@@ -1,0 +1,75 @@
+// Reproduces the paper's Fig. 3/4: the HMM extension evaluates six models
+// in parallel through the kernel's parallel execution operator, speeding up
+// the costly inference operation compared to serial evaluation at the
+// application level. google-benchmark measures serial vs parallel
+// evaluation of the same six-model bank (named after the six stroke models
+// of the paper's MIL listing).
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "hmm/hmm.h"
+#include "hmm/parallel_eval.h"
+
+namespace {
+
+using cobra::Rng;
+using cobra::hmm::Hmm;
+using cobra::hmm::ParallelEvaluator;
+
+constexpr int kNumStates = 8;
+constexpr int kNumSymbols = 16;
+constexpr size_t kSequenceLength = 4000;
+
+const ParallelEvaluator& Evaluator() {
+  static ParallelEvaluator* const kEvaluator = [] {
+    auto* evaluator = new ParallelEvaluator();
+    Rng rng(4242);
+    for (const char* name : {"Service", "Forehand", "Smash", "Backhand",
+                             "VolleyBackhand", "VolleyForehand"}) {
+      Hmm hmm(kNumStates, kNumSymbols);
+      hmm.Randomize(rng);
+      evaluator->AddModel(name, std::move(hmm));
+    }
+    return evaluator;
+  }();
+  return *kEvaluator;
+}
+
+const std::vector<int>& Observations() {
+  static const std::vector<int>* const kObs = [] {
+    Rng rng(99);
+    auto* obs = new std::vector<int>(kSequenceLength);
+    for (auto& o : *obs) o = static_cast<int>(rng.UniformInt(kNumSymbols));
+    return obs;
+  }();
+  return *kObs;
+}
+
+void BM_SerialEvaluation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scores = Evaluator().EvaluateAll(Observations(), /*parallel=*/false);
+    benchmark::DoNotOptimize(scores);
+  }
+}
+BENCHMARK(BM_SerialEvaluation);
+
+void BM_ParallelEvaluation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scores = Evaluator().EvaluateAll(Observations(), /*parallel=*/true);
+    benchmark::DoNotOptimize(scores);
+  }
+}
+BENCHMARK(BM_ParallelEvaluation);
+
+void BM_Classify(benchmark::State& state) {
+  for (auto _ : state) {
+    auto label = Evaluator().Classify(Observations());
+    benchmark::DoNotOptimize(label);
+  }
+}
+BENCHMARK(BM_Classify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Reproduces the §5.2 speech endpoint comparison: the paper's STE + MFCC
+// endpoint detector against entropy- and zero-crossing-based alternatives,
+// which it found "powerless when applied in a noisy environment such as
+// ours". The bench sweeps the engine-noise level and reports per-clip
+// endpoint accuracy for each detector.
+
+#include <cstdio>
+#include <vector>
+
+#include "audio/clip_features.h"
+#include "audio/short_time_energy.h"
+#include "bench/bench_util.h"
+#include "dsp/spectral.h"
+#include "f1/audio_synth.h"
+#include "f1/timeline.h"
+
+namespace {
+
+using namespace cobra;
+using namespace cobra::f1;
+
+struct Scores {
+  int correct = 0;
+  int total = 0;
+  double Accuracy() const {
+    return total > 0 ? static_cast<double>(correct) / total : 0.0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "§5.2: speech endpointing — STE+MFCC vs entropy vs zero crossings");
+  RaceProfile profile = RaceProfile::GermanGp(
+      std::min(300.0, cobra::bench::RaceSeconds()));
+  const RaceTimeline timeline = GenerateTimeline(profile);
+
+  std::printf("  %-18s %-12s %-12s %-12s\n", "noise level", "STE+MFCC",
+              "entropy", "zero-cross");
+  for (const double noise_scale : {0.5, 1.0, 2.0, 3.0}) {
+    AudioSynthesizer::Options synth_options;
+    // The sweep raises the *tonal* components of the track noise (engine
+    // scream + rumble): harmonic noise is what makes a Formula 1 broadcast
+    // acoustically hostile to entropy and zero-crossing endpointing — it
+    // looks like speech to both — while the sub-band STE + MFCC detector
+    // rejects it through the MFCC dynamics criterion.
+    synth_options.noise_amplitude *= noise_scale;
+    synth_options.rumble_amplitude *= noise_scale;
+    synth_options.engine_tone_amplitude = 0.06 * noise_scale;
+    AudioSynthesizer synth(timeline, synth_options);
+    audio::ClipAnalyzer analyzer;
+
+    // Calibrate the entropy / ZCR thresholds on the first 30 s (they are
+    // given the best possible single threshold, which is generous).
+    std::vector<double> entropies, zcrs;
+    std::vector<uint8_t> truth_flags;
+    const size_t calib = 300;
+    Scores paper_scores, entropy_scores, zcr_scores;
+
+    std::vector<double> ent_all, zcr_all;
+    std::vector<uint8_t> speech_all;
+    for (size_t c = 0; c < synth.num_clips(); ++c) {
+      const auto samples = synth.SynthesizeClip(c);
+      const bool truth = synth.ClipHasSpeech(c);
+      const auto features = analyzer.Analyze(samples);
+      paper_scores.total++;
+      if (features.is_speech == truth) paper_scores.correct++;
+      ent_all.push_back(dsp::SpectralEntropy(samples));
+      zcr_all.push_back(dsp::ZeroCrossingRate(samples));
+      speech_all.push_back(truth ? 1 : 0);
+    }
+    // Best threshold (direction-agnostic) for entropy / ZCR on the first
+    // `calib` clips, evaluated on the rest.
+    auto best_eval = [&](const std::vector<double>& values) {
+      double best_acc = 0.0;
+      double best_thr = 0.0;
+      bool best_above = true;
+      for (size_t i = 0; i < std::min(calib, values.size()); i += 3) {
+        const double thr = values[i];
+        for (bool above : {true, false}) {
+          int ok = 0;
+          for (size_t c = 0; c < std::min(calib, values.size()); ++c) {
+            const bool pred = above ? values[c] > thr : values[c] < thr;
+            if (pred == (speech_all[c] != 0)) ++ok;
+          }
+          const double acc = static_cast<double>(ok) / calib;
+          if (acc > best_acc) {
+            best_acc = acc;
+            best_thr = thr;
+            best_above = above;
+          }
+        }
+      }
+      Scores s;
+      for (size_t c = calib; c < values.size(); ++c) {
+        const bool pred =
+            best_above ? values[c] > best_thr : values[c] < best_thr;
+        s.total++;
+        if (pred == (speech_all[c] != 0)) s.correct++;
+      }
+      return s;
+    };
+    entropy_scores = best_eval(ent_all);
+    zcr_scores = best_eval(zcr_all);
+
+    std::printf("  %-18.2f %-12.3f %-12.3f %-12.3f\n", noise_scale,
+                paper_scores.Accuracy(), entropy_scores.Accuracy(),
+                zcr_scores.Accuracy());
+  }
+  std::printf(
+      "\nExpected shape (paper \u00a75.2): the multi-feature sub-band "
+      "STE + MFCC detector is the stable choice across noise conditions; "
+      "single-feature entropy endpointing is erratic under mixed "
+      "harmonic/broadband noise and zero crossings degrade steadily as the "
+      "track gets louder.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Table 1 of the paper: comparison of three Bayesian-network
+// structures (Fig. 7a/b/c) against the fully parameterized DBN (Fig. 7a +
+// Fig. 8 temporal arcs) for the detection of emphasized announcer speech on
+// the German Grand Prix.
+//
+// Protocol (paper §5.5): parameters learned on a 300 s sequence (3000
+// evidence vectors; the DBN sees the same window as 12 segments of 25 s);
+// inference runs over the whole race. BN outputs cannot be thresholded
+// directly (Fig. 9a) and are accumulated over time first; DBN outputs are
+// thresholded as-is.
+//
+// Paper reference values:   BN(a) 60/67, BN(b) 54/62, BN(c) 50/76,
+//                           DBN(a) 85/81  (precision/recall %).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "f1/networks.h"
+#include "f1/pipeline.h"
+
+namespace {
+
+using cobra::bench::CachedEvidence;
+using cobra::bench::CachedTimeline;
+using cobra::bench::PrintPrRow;
+using namespace cobra::f1;
+
+struct Row {
+  const char* label;
+  AudioStructure structure;
+  const char* paper_p;
+  const char* paper_r;
+};
+
+cobra::f1::PrecisionRecall ScoreSeries(const std::vector<double>& series,
+                                       const RaceTimeline& timeline,
+                                       double threshold = 0.5) {
+  const auto segments = ExtractSegments(series, threshold, 2.0);
+  return ScoreSegments(segments, TruthSegments(timeline, "excited"));
+}
+
+}  // namespace
+
+int main() {
+  cobra::bench::PrintHeader(
+      "Table 1: BNs vs fully parameterized DBN (emphasized speech, "
+      "German GP)");
+  const RaceProfile profile = RaceProfile::GermanGp(cobra::bench::RaceSeconds());
+  const RaceTimeline& timeline = CachedTimeline(profile);
+  const RaceEvidence& evidence = CachedEvidence(profile, /*with_video=*/false);
+
+  TrainingOptions training;  // 300 s window, 25 s DBN segments
+
+  const Row kBnRows[] = {
+      {"\"Fully parameterized\" BN (7a)", AudioStructure::kFullyParameterized,
+       "60%", "67%"},
+      {"BN with direct evidence (7b)", AudioStructure::kDirectEvidence, "54%",
+       "62%"},
+      {"Input/Output BN (7c)", AudioStructure::kInputOutput, "50%", "76%"},
+  };
+  for (const Row& row : kBnRows) {
+    auto net = TrainAudioBn(row.structure, evidence, training);
+    if (!net.ok()) {
+      std::printf("  %s: training failed: %s\n", row.label,
+                  net.status().ToString().c_str());
+      continue;
+    }
+    auto series = InferAudioBnSeries(*net, evidence);
+    if (!series.ok()) {
+      std::printf("  %s: inference failed: %s\n", row.label,
+                  series.status().ToString().c_str());
+      continue;
+    }
+    // BN post-processing: accumulate the query node over time (3 s window).
+    const auto accumulated = AccumulateOverTime(*series, 15);
+    PrintPrRow(row.label,
+               ScoreSeries(accumulated, timeline,
+                           AdaptiveThreshold(accumulated)),
+               row.paper_p, row.paper_r);
+  }
+
+  auto dbn = TrainAudioDbn(AudioStructure::kFullyParameterized,
+                           TemporalScheme::kFig8, evidence, training);
+  if (!dbn.ok()) {
+    std::printf("  DBN training failed: %s\n",
+                dbn.status().ToString().c_str());
+    return 1;
+  }
+  auto series = InferAudioDbnSeries(*dbn, evidence);
+  if (!series.ok()) {
+    std::printf("  DBN inference failed: %s\n",
+                series.status().ToString().c_str());
+    return 1;
+  }
+  PrintPrRow("\"Fully parameterized\" DBN (7a+8)", ScoreSeries(*series, timeline),
+             "85%", "81%");
+
+  std::printf(
+      "\nExpected shape: the three BNs cluster together; the DBN clearly "
+      "dominates.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Table 2 of the paper: generalization of the selected audio
+// model (the fully parameterized DBN, trained on the German GP) to the
+// Belgian and USA Grand Prix.
+//
+// Paper reference values:  Belgian 77/79, USA 76/81 (precision/recall %).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "f1/networks.h"
+#include "f1/pipeline.h"
+
+int main() {
+  using namespace cobra::f1;
+  using cobra::bench::CachedEvidence;
+  using cobra::bench::CachedTimeline;
+
+  cobra::bench::PrintHeader(
+      "Table 2: audio DBN generalization (emphasized speech)");
+  const double seconds = cobra::bench::RaceSeconds();
+  const RaceProfile german = RaceProfile::GermanGp(seconds);
+
+  TrainingOptions training;
+  auto dbn = TrainAudioDbn(AudioStructure::kFullyParameterized,
+                           TemporalScheme::kFig8,
+                           CachedEvidence(german, /*with_video=*/false),
+                           training);
+  if (!dbn.ok()) {
+    std::printf("training failed: %s\n", dbn.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Eval {
+    RaceProfile profile;
+    const char* paper_p;
+    const char* paper_r;
+  };
+  const Eval kEvals[] = {
+      {RaceProfile::BelgianGp(seconds), "77%", "79%"},
+      {RaceProfile::UsaGp(seconds), "76%", "81%"},
+  };
+  for (const Eval& eval : kEvals) {
+    const RaceEvidence& evidence =
+        CachedEvidence(eval.profile, /*with_video=*/false);
+    auto series = InferAudioDbnSeries(*dbn, evidence);
+    if (!series.ok()) {
+      std::printf("  %s: inference failed: %s\n", eval.profile.name.c_str(),
+                  series.status().ToString().c_str());
+      continue;
+    }
+    const auto segments = ExtractSegments(*series, 0.5, 2.0);
+    const auto pr = ScoreSegments(
+        segments, TruthSegments(CachedTimeline(eval.profile), "excited"));
+    cobra::bench::PrintPrRow(eval.profile.name.c_str(), pr, eval.paper_p,
+                             eval.paper_r);
+  }
+  std::printf(
+      "\nExpected shape: precision/recall on unseen races stays close to "
+      "(slightly below) the training race.\n");
+  return 0;
+}

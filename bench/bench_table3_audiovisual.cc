@@ -1,0 +1,69 @@
+// Reproduces Table 3 of the paper: the audio-visual DBN (Fig. 10 slice,
+// Fig. 11 temporal arcs) applied to the German Grand Prix. Highlights use
+// probability threshold 0.5 and minimal duration 6 s; the supplemental
+// query nodes (Start / Fly-out / Passing) are classified per highlight
+// segment by the most probable candidate, re-evaluated every 5 s for
+// segments over 15 s. Training uses 6 sequences of 50 s.
+//
+// Paper reference values (German GP):
+//   highlights 84/86, start 83/100, fly out 64/78, passing 79/50.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "f1/networks.h"
+#include "f1/pipeline.h"
+
+int main() {
+  using namespace cobra::f1;
+  using cobra::bench::CachedEvidence;
+  using cobra::bench::CachedTimeline;
+
+  cobra::bench::PrintHeader("Table 3: audio-visual DBN on the German GP");
+  const RaceProfile profile =
+      RaceProfile::GermanGp(cobra::bench::RaceSeconds());
+  const RaceTimeline& timeline = CachedTimeline(profile);
+  const RaceEvidence& evidence = CachedEvidence(profile, /*with_video=*/true);
+
+  TrainingOptions training;  // 6 x 50 s supervised segments
+  auto dbn = TrainAudioVisualDbn(/*with_passing=*/true, evidence, training);
+  if (!dbn.ok()) {
+    std::printf("training failed: %s\n", dbn.status().ToString().c_str());
+    return 1;
+  }
+  auto series = InferAudioVisual(*dbn, evidence);
+  if (!series.ok()) {
+    std::printf("inference failed: %s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  const HighlightResult result = ExtractHighlights(*series);
+
+  cobra::bench::PrintPrRow(
+      "Highlights",
+      ScoreSegments(result.highlights, HighlightSegments(timeline)), "84%",
+      "86%");
+
+  struct SubEvent {
+    const char* type;
+    const char* paper_p;
+    const char* paper_r;
+  };
+  const SubEvent kSubEvents[] = {
+      {"start", "83%", "100%"},
+      {"flyout", "64%", "78%"},
+      {"passing", "79%", "50%"},
+  };
+  for (const SubEvent& sub : kSubEvents) {
+    std::vector<Segment> detected;
+    for (const auto& typed : result.sub_events) {
+      if (typed.type == sub.type) detected.push_back(typed.span);
+    }
+    const auto pr =
+        ScoreSegments(detected, TruthSegments(timeline, sub.type));
+    cobra::bench::PrintPrRow(sub.type, pr, sub.paper_p, sub.paper_r);
+  }
+  std::printf(
+      "\nExpected shape: highlights and start strong; fly-out and passing "
+      "weaker (general low-level cues).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Table 4 of the paper: generalization of the audio-visual DBN
+// (trained on the German GP) to the Belgian and USA Grand Prix, with and
+// without the passing sub-network. The Belgian/USA broadcasts use different
+// camera work (global pan), which swamps the general motion cue that the
+// passing sub-network relies on — including the sub-network then *hurts*
+// the whole model, which is why the paper excluded it after the Belgian
+// results.
+//
+// Paper reference values:
+//   Belgian (with passing subnet): highlights 44/53, start 100/67,
+//                                  fly out 100/36, passing 28/31.
+//   USA (without passing subnet):  highlights 73/76, start 100/50,
+//                                  fly out 0/0 (no fly-outs in that race).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "f1/networks.h"
+#include "f1/pipeline.h"
+
+namespace {
+
+using namespace cobra::f1;
+
+void Evaluate(const cobra::bayes::DynamicBayesianNetwork& dbn,
+              const RaceProfile& profile, bool with_passing,
+              const char* paper_hl_p, const char* paper_hl_r) {
+  const RaceTimeline& timeline = cobra::bench::CachedTimeline(profile);
+  const RaceEvidence& evidence =
+      cobra::bench::CachedEvidence(profile, /*with_video=*/true);
+  auto series = InferAudioVisual(dbn, evidence);
+  if (!series.ok()) {
+    std::printf("  %s: inference failed: %s\n", profile.name.c_str(),
+                series.status().ToString().c_str());
+    return;
+  }
+  const HighlightResult result = ExtractHighlights(*series);
+  std::printf(" %s (%s passing subnet):\n", profile.name.c_str(),
+              with_passing ? "with" : "without");
+  cobra::bench::PrintPrRow(
+      "Highlights",
+      ScoreSegments(result.highlights, HighlightSegments(timeline)),
+      paper_hl_p, paper_hl_r);
+  for (const char* type : {"start", "flyout", "passing"}) {
+    if (!with_passing && std::string(type) == "passing") continue;
+    std::vector<Segment> detected;
+    for (const auto& typed : result.sub_events) {
+      if (typed.type == type) detected.push_back(typed.span);
+    }
+    const auto truth = TruthSegments(timeline, type);
+    const auto pr = ScoreSegments(detected, truth);
+    std::printf("  %-34s P=%3.0f%%  R=%3.0f%%  [det=%d truth=%d]\n", type,
+                100.0 * pr.precision, 100.0 * pr.recall, pr.num_detections,
+                pr.num_truth);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using cobra::bench::CachedEvidence;
+
+  cobra::bench::PrintHeader(
+      "Table 4: audio-visual DBN generalization, passing-subnet ablation");
+  const double seconds = cobra::bench::RaceSeconds();
+  const RaceProfile german = RaceProfile::GermanGp(seconds);
+  const RaceEvidence& train = CachedEvidence(german, /*with_video=*/true);
+
+  TrainingOptions training;
+  auto with_passing = TrainAudioVisualDbn(true, train, training);
+  auto without_passing = TrainAudioVisualDbn(false, train, training);
+  if (!with_passing.ok() || !without_passing.ok()) {
+    std::printf("training failed\n");
+    return 1;
+  }
+
+  const RaceProfile belgian = RaceProfile::BelgianGp(seconds);
+  const RaceProfile usa = RaceProfile::UsaGp(seconds);
+
+  // The paper's Table 4 cells.
+  Evaluate(*with_passing, belgian, true, "44%", "53%");
+  Evaluate(*without_passing, usa, false, "73%", "76%");
+  // The complementary cells, showing the crossover explicitly.
+  std::printf("\n Complementary cells (not in the paper's table):\n");
+  Evaluate(*without_passing, belgian, false, "n/a", "n/a");
+  Evaluate(*with_passing, usa, true, "n/a", "n/a");
+
+  std::printf(
+      "\nExpected shape: on panning-camera races the passing sub-network "
+      "degrades the whole model; excluding it recovers most of the "
+      "highlight accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef COBRA_BENCH_BENCH_UTIL_H_
+#define COBRA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "f1/evaluation.h"
+#include "f1/features.h"
+#include "f1/timeline.h"
+
+namespace cobra::bench {
+
+/// Race length used by the experiment harnesses. The paper analyzed ~90 min
+/// broadcasts; the default here is 10 min so that every bench finishes in
+/// tens of seconds while keeping enough events per race for stable
+/// precision/recall. Override with COBRA_RACE_SECONDS.
+inline double RaceSeconds() {
+  const char* env = std::getenv("COBRA_RACE_SECONDS");
+  if (env != nullptr) {
+    const double v = std::atof(env);
+    if (v >= 120.0) return v;
+  }
+  return 600.0;
+}
+
+/// Extracts (and process-locally caches) evidence for a race profile.
+inline const f1::RaceEvidence& CachedEvidence(const f1::RaceProfile& profile,
+                                              bool with_video) {
+  static std::map<std::string, f1::RaceEvidence>* const kCache =
+      new std::map<std::string, f1::RaceEvidence>();
+  const std::string key =
+      profile.name + (with_video ? "+video" : "+audio");
+  auto it = kCache->find(key);
+  if (it != kCache->end()) return it->second;
+  f1::RaceTimeline timeline = f1::GenerateTimeline(profile);
+  f1::EvidenceOptions options;
+  options.extract_video = with_video;
+  auto [ins, inserted] =
+      kCache->emplace(key, f1::ExtractEvidence(timeline, options));
+  return ins->second;
+}
+
+/// Cached timeline (ground truth) for a profile.
+inline const f1::RaceTimeline& CachedTimeline(const f1::RaceProfile& profile) {
+  static std::map<std::string, f1::RaceTimeline>* const kCache =
+      new std::map<std::string, f1::RaceTimeline>();
+  auto it = kCache->find(profile.name);
+  if (it != kCache->end()) return it->second;
+  auto [ins, inserted] = kCache->emplace(profile.name,
+                                         f1::GenerateTimeline(profile));
+  return ins->second;
+}
+
+/// Prints one precision/recall row with the paper's reference values.
+inline void PrintPrRow(const char* label, const f1::PrecisionRecall& pr,
+                       const char* paper_precision,
+                       const char* paper_recall) {
+  std::printf("  %-34s P=%3.0f%% (paper %s)   R=%3.0f%% (paper %s)"
+              "   [det=%d truth=%d]\n",
+              label, 100.0 * pr.precision, paper_precision,
+              100.0 * pr.recall, paper_recall, pr.num_detections,
+              pr.num_truth);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace cobra::bench
+
+#endif  // COBRA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// End-to-end highlight extraction (the paper's §5.5 pipeline), outside the
+// query engine: synthesize a broadcast, extract the f1–f17 evidence, train
+// the audio-visual DBN on supervised segments, filter the whole race, and
+// report the extracted highlights with their sub-event classification and
+// precision/recall against ground truth.
+//
+// Build & run:   ./build/examples/highlight_extraction [race_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "f1/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace cobra::f1;
+
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 420.0;
+  const RaceProfile profile = RaceProfile::GermanGp(seconds);
+  std::printf("Synthesizing %s (%.0f s) and extracting evidence...\n",
+              profile.name.c_str(), profile.duration_sec);
+  const RaceTimeline timeline = GenerateTimeline(profile);
+  const RaceEvidence evidence = ExtractEvidence(timeline);
+
+  std::printf("Training the audio-visual DBN (6 supervised segments)...\n");
+  TrainingOptions training;
+  auto dbn = TrainAudioVisualDbn(/*with_passing=*/true, evidence, training);
+  if (!dbn.ok()) {
+    std::printf("training failed: %s\n", dbn.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Filtering the whole race...\n");
+  auto series = InferAudioVisual(*dbn, evidence);
+  if (!series.ok()) {
+    std::printf("inference failed: %s\n", series.status().ToString().c_str());
+    return 1;
+  }
+
+  const HighlightResult result = ExtractHighlights(*series);
+  std::printf("\nExtracted highlights (threshold 0.5, min duration 6 s):\n");
+  for (const auto& segment : result.highlights) {
+    std::printf("  [%6.1f .. %6.1f]", segment.begin, segment.end);
+    for (const auto& typed : result.sub_events) {
+      if (typed.span.begin >= segment.begin - 1e-9 &&
+          typed.span.end <= segment.end + 1e-9) {
+        std::printf("  %s", typed.type.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nGround truth (start / fly-outs / passings / replays):\n");
+  for (const auto& truth : timeline.Highlights()) {
+    std::printf("  [%6.1f .. %6.1f] %s\n", truth.begin, truth.end,
+                truth.type.c_str());
+  }
+
+  const auto pr =
+      ScoreSegments(result.highlights, HighlightSegments(timeline));
+  std::printf("\nHighlights: precision %.0f%%  recall %.0f%%  "
+              "(%d detections / %d interesting segments)\n",
+              100.0 * pr.precision, 100.0 * pr.recall, pr.num_detections,
+              pr.num_truth);
+  return 0;
+}

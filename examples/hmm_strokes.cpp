@@ -1,0 +1,84 @@
+// The HMM extension in the style of the paper's Fig. 4 MIL program: six
+// named stroke models evaluated in parallel over a quantized observation
+// sequence, with the best-scoring model returned — here trained and
+// classified on synthetic feature streams.
+//
+// Build & run:   ./build/examples/hmm_strokes
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "hmm/hmm.h"
+#include "hmm/parallel_eval.h"
+
+namespace {
+
+using cobra::Rng;
+using cobra::hmm::Hmm;
+
+/// Synthesizes a feature quadruple for a "stroke" with a characteristic
+/// symbol bias, mimicking the quantized f1..f4 feature BATs of Fig. 4.
+std::vector<int> MakeSequence(int cls, Rng& rng, int length = 60) {
+  std::vector<int> obs(length);
+  for (int t = 0; t < length; ++t) {
+    // Each class favours a different region of the 16-symbol alphabet.
+    const int base = (cls * 3) % 16;
+    obs[t] = rng.Bernoulli(0.7)
+                 ? (base + static_cast<int>(rng.UniformInt(3u))) % 16
+                 : static_cast<int>(rng.UniformInt(16u));
+  }
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  const char* kStrokes[] = {"Service",        "Forehand",
+                            "Smash",          "Backhand",
+                            "VolleyBackhand", "VolleyForehand"};
+  Rng rng(2002);
+
+  // Train one HMM per stroke on 12 sequences each (Baum-Welch).
+  cobra::hmm::ParallelEvaluator evaluator;
+  for (int cls = 0; cls < 6; ++cls) {
+    std::vector<std::vector<int>> train;
+    for (int s = 0; s < 12; ++s) train.push_back(MakeSequence(cls, rng));
+    Hmm hmm(4, 16);
+    hmm.Randomize(rng);
+    auto loglik = hmm.BaumWelch(train, {});
+    if (!loglik.ok()) {
+      std::printf("training %s failed\n", kStrokes[cls]);
+      return 1;
+    }
+    evaluator.AddModel(kStrokes[cls], std::move(hmm));
+    std::printf("trained %-16s (final loglik %.1f)\n", kStrokes[cls],
+                *loglik);
+  }
+
+  // Classify held-out sequences through the parallel evaluator (the
+  // kernel's parallel execution operator fans out to the six models).
+  int correct = 0;
+  const int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const int cls = trial % 6;
+    auto obs = MakeSequence(cls, rng);
+    auto label = evaluator.Classify(obs, /*parallel=*/true);
+    if (!label.ok()) return 1;
+    if (*label == kStrokes[cls]) ++correct;
+  }
+  std::printf("\nparallel classification accuracy: %d / %d\n", correct,
+              kTrials);
+
+  // Show the per-model scores for one sequence, like the parEval table the
+  // MIL procedure builds.
+  auto scores = evaluator.EvaluateAll(MakeSequence(2, rng));
+  if (scores.ok()) {
+    std::printf("\nscores for one Smash sequence:\n");
+    for (const auto& [name, loglik] : *scores) {
+      std::printf("  %-16s %.1f\n", name.c_str(), loglik);
+    }
+  }
+  return 0;
+}

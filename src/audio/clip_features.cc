@@ -1,0 +1,102 @@
+#include "audio/clip_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/mathutil.h"
+#include "audio/short_time_energy.h"
+
+namespace cobra::audio {
+namespace {
+
+/// Scalar "MFCC activity" of one frame: mean absolute value of the first
+/// three shape coefficients c1..c3 (the ones the paper found most
+/// indicative; c0 is the raw log-energy sum).
+double MfccActivity(const std::vector<double>& coeffs) {
+  const size_t last = std::min<size_t>(4, coeffs.size());
+  if (last <= 1) return 0.0;
+  double acc = 0.0;
+  for (size_t c = 1; c < last; ++c) acc += std::abs(coeffs[c]);
+  return acc / static_cast<double>(last - 1);
+}
+
+}  // namespace
+
+ClipAnalyzer::ClipAnalyzer(const Options& options)
+    : options_(options),
+      low_band_(dsp::FirFilter::BandPass(0.0, 882.0,
+                                         options.format.sample_rate,
+                                         options.filter_taps)),
+      mid_band_(dsp::FirFilter::BandPass(882.0, 2205.0,
+                                         options.format.sample_rate,
+                                         options.filter_taps)),
+      mfcc_(options.mfcc),
+      pitch_(options.pitch) {}
+
+ClipFeatures ClipAnalyzer::Analyze(
+    const std::vector<double>& clip_samples) const {
+  ClipFeatures f;
+  const size_t frame_len = options_.format.FrameSamples();
+  if (clip_samples.size() < frame_len) return f;
+
+  const auto low = low_band_.Apply(clip_samples);
+  const auto mid = mid_band_.Apply(clip_samples);
+
+  // Endpointing inputs: low-band STE and MFCCs per 10 ms frame.
+  const auto low_ste = ShortTimeEnergySeries(low, frame_len);
+  const auto mfccs = mfcc_.ComputeSeries(low, frame_len);
+  f.endpoint = DetectSpeechEndpoint(low_ste, mfccs, options_.endpoint);
+  f.is_speech = f.endpoint.is_speech;
+
+  // f2: pause rate = fraction of silent frames.
+  size_t silent = 0;
+  for (double e : low_ste) {
+    if (e < options_.silence_ste_threshold) ++silent;
+  }
+  f.pause_rate = low_ste.empty()
+                     ? 1.0
+                     : static_cast<double>(silent) / low_ste.size();
+
+  // f3–f5: mid-band (882–2205 Hz) STE statistics.
+  const auto mid_ste = ShortTimeEnergySeries(mid, frame_len);
+  f.ste_avg = Mean(mid_ste);
+  f.ste_range = DynamicRange(mid_ste);
+  f.ste_max = MaxOf(mid_ste);
+
+  // f6–f8: voiced pitch statistics over the low band.
+  const auto pitches = pitch_.EstimateSeries(low);
+  std::vector<double> voiced;
+  voiced.reserve(pitches.size());
+  for (double p : pitches) {
+    if (p > 0.0) voiced.push_back(p);
+  }
+  f.pitch_avg = Mean(voiced);
+  f.pitch_range = DynamicRange(voiced);
+  f.pitch_max = MaxOf(voiced);
+
+  // f9–f10: MFCC activity statistics.
+  std::vector<double> activity;
+  activity.reserve(mfccs.size());
+  for (const auto& frame : mfccs) activity.push_back(MfccActivity(frame));
+  f.mfcc_avg = Mean(activity);
+  f.mfcc_max = MaxOf(activity);
+  return f;
+}
+
+std::vector<ClipFeatures> ClipAnalyzer::AnalyzeSignal(
+    const std::vector<double>& samples) const {
+  std::vector<ClipFeatures> out;
+  const size_t clip_len = options_.format.ClipSamples();
+  COBRA_CHECK(clip_len > 0);
+  out.reserve(samples.size() / clip_len);
+  for (size_t start = 0; start + clip_len <= samples.size();
+       start += clip_len) {
+    std::vector<double> clip(samples.begin() + start,
+                             samples.begin() + start + clip_len);
+    out.push_back(Analyze(clip));
+  }
+  return out;
+}
+
+}  // namespace cobra::audio

@@ -1,0 +1,71 @@
+#ifndef COBRA_AUDIO_CLIP_FEATURES_H_
+#define COBRA_AUDIO_CLIP_FEATURES_H_
+
+#include <vector>
+
+#include "audio/endpoint.h"
+#include "audio/mfcc.h"
+#include "audio/pitch.h"
+#include "audio/types.h"
+#include "dsp/filter.h"
+
+namespace cobra::audio {
+
+/// Raw per-clip audio statistics: the paper's features f2–f10 plus the
+/// endpoint decision. Excited-speech statistics (STE over the 882–2205 Hz
+/// band; pitch and MFCCs over 0–882 Hz) are only meaningful on clips the
+/// endpoint detector marks as speech; the analyzer still reports them on
+/// non-speech clips (they are near zero there).
+struct ClipFeatures {
+  bool is_speech = false;       // endpoint decision
+  double pause_rate = 0.0;      // f2: fraction of silent frames in the clip
+  double ste_avg = 0.0;         // f3: mean mid-band STE
+  double ste_range = 0.0;       // f4: dynamic range of mid-band STE
+  double ste_max = 0.0;         // f5: max mid-band STE
+  double pitch_avg = 0.0;       // f6: mean voiced pitch (Hz)
+  double pitch_range = 0.0;     // f7: dynamic range of voiced pitch
+  double pitch_max = 0.0;       // f8: max voiced pitch
+  double mfcc_avg = 0.0;        // f9: mean MFCC activity
+  double mfcc_max = 0.0;        // f10: max MFCC activity
+  EndpointMetrics endpoint;     // diagnostic: raw endpoint metrics
+};
+
+/// Turns a 0.1 s clip of raw samples into ClipFeatures, running the paper's
+/// band split: 0–882 Hz for endpointing/pitch/MFCC, 882–2205 Hz for the
+/// excited-speech STE.
+class ClipAnalyzer {
+ public:
+  struct Options {
+    AudioFormat format;
+    EndpointOptions endpoint;
+    PitchTracker::Options pitch;
+    MfccExtractor::Options mfcc;
+    /// Per-frame low-band STE below this counts as a silent frame for the
+    /// pause-rate feature.
+    double silence_ste_threshold = 6e-4;
+    size_t filter_taps = 101;
+  };
+
+  explicit ClipAnalyzer(const Options& options);
+  ClipAnalyzer() : ClipAnalyzer(Options()) {}
+
+  /// Analyzes one clip (must contain at least one 10 ms frame).
+  ClipFeatures Analyze(const std::vector<double>& clip_samples) const;
+
+  /// Convenience: analyzes a long signal clip by clip.
+  std::vector<ClipFeatures> AnalyzeSignal(
+      const std::vector<double>& samples) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  dsp::FirFilter low_band_;   // 0 – 882 Hz
+  dsp::FirFilter mid_band_;   // 882 – 2205 Hz
+  MfccExtractor mfcc_;
+  PitchTracker pitch_;
+};
+
+}  // namespace cobra::audio
+
+#endif  // COBRA_AUDIO_CLIP_FEATURES_H_

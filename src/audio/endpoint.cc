@@ -1,0 +1,46 @@
+#include "audio/endpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/mathutil.h"
+
+namespace cobra::audio {
+
+EndpointMetrics DetectSpeechEndpoint(
+    const std::vector<double>& low_band_ste_per_frame,
+    const std::vector<std::vector<double>>& mfcc_per_frame,
+    const EndpointOptions& options) {
+  EndpointMetrics m;
+  if (low_band_ste_per_frame.empty()) return m;
+
+  m.ste_metric = options.ste_avg_weight * Mean(low_band_ste_per_frame) +
+                 options.ste_max_weight * MaxOf(low_band_ste_per_frame) +
+                 options.ste_range_weight * DynamicRange(low_band_ste_per_frame);
+
+  // First three shape coefficients (c1..c3 — c0 is the raw log-energy sum
+  // and would swamp the metric), averaged in magnitude and ranged across
+  // the clip's frames.
+  const size_t kFirstCoeff = 1;
+  const size_t kNumCoeffs = 3;
+  double metric = 0.0;
+  for (size_t c = kFirstCoeff; c < kFirstCoeff + kNumCoeffs; ++c) {
+    std::vector<double> series;
+    series.reserve(mfcc_per_frame.size());
+    for (const auto& frame : mfcc_per_frame) {
+      if (c < frame.size()) series.push_back(frame[c]);
+    }
+    if (series.empty()) continue;
+    double abs_mean = 0.0;
+    for (double v : series) abs_mean += std::abs(v);
+    abs_mean /= static_cast<double>(series.size());
+    metric += (abs_mean + DynamicRange(series)) / kNumCoeffs;
+  }
+  m.mfcc_metric = metric;
+
+  m.is_speech = m.ste_metric > options.ste_threshold &&
+                m.mfcc_metric > options.mfcc_threshold;
+  return m;
+}
+
+}  // namespace cobra::audio

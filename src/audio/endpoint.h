@@ -1,0 +1,40 @@
+#ifndef COBRA_AUDIO_ENDPOINT_H_
+#define COBRA_AUDIO_ENDPOINT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra::audio {
+
+/// Speech endpoint detection (paper §5.2): a 0.1 s clip is speech when both
+///  - a weighted sum of the average, maximum and dynamic range of the
+///    0–882 Hz short-time energy exceeds `ste_threshold` (paper: 2.2e-3), and
+///  - the sum of the average values and dynamic range of the first three
+///    MFCCs exceeds `mfcc_threshold` (paper: 1.3).
+/// The paper also tried entropy and zero-crossing endpointing and found them
+/// powerless in this noisy domain; `bench_speech_endpoint` reproduces that.
+struct EndpointOptions {
+  double ste_threshold = 2.2e-3;
+  double ste_avg_weight = 0.5;
+  double ste_max_weight = 0.25;
+  double ste_range_weight = 0.25;
+  double mfcc_threshold = 1.3;
+};
+
+/// Per-clip endpoint decision inputs.
+struct EndpointMetrics {
+  double ste_metric = 0.0;
+  double mfcc_metric = 0.0;
+  bool is_speech = false;
+};
+
+/// Computes the decision from per-frame low-band STE values and per-frame
+/// MFCC vectors of one clip.
+EndpointMetrics DetectSpeechEndpoint(
+    const std::vector<double>& low_band_ste_per_frame,
+    const std::vector<std::vector<double>>& mfcc_per_frame,
+    const EndpointOptions& options);
+
+}  // namespace cobra::audio
+
+#endif  // COBRA_AUDIO_ENDPOINT_H_

@@ -1,0 +1,77 @@
+#include "audio/mfcc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "dsp/fft.h"
+#include "dsp/spectral.h"
+#include "dsp/window.h"
+
+namespace cobra::audio {
+
+MfccExtractor::MfccExtractor(const Options& options) : options_(options) {
+  COBRA_CHECK(options_.num_filters >= options_.num_coeffs);
+  COBRA_CHECK(options_.fft_size > 0 &&
+              (options_.fft_size & (options_.fft_size - 1)) == 0);
+  const size_t num_bins = options_.fft_size / 2 + 1;
+  const double bin_hz = options_.sample_rate / options_.fft_size;
+
+  const double mel_lo = dsp::HzToMel(options_.min_freq_hz);
+  const double mel_hi = dsp::HzToMel(options_.max_freq_hz);
+  // num_filters triangular filters need num_filters + 2 edge points.
+  std::vector<double> edges_hz(options_.num_filters + 2);
+  for (size_t i = 0; i < edges_hz.size(); ++i) {
+    const double mel =
+        mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                     static_cast<double>(edges_hz.size() - 1);
+    edges_hz[i] = dsp::MelToHz(mel);
+  }
+
+  filterbank_.assign(options_.num_filters, std::vector<double>(num_bins, 0.0));
+  for (size_t f = 0; f < options_.num_filters; ++f) {
+    const double lo = edges_hz[f];
+    const double mid = edges_hz[f + 1];
+    const double hi = edges_hz[f + 2];
+    for (size_t k = 0; k < num_bins; ++k) {
+      const double hz = k * bin_hz;
+      if (hz <= lo || hz >= hi) continue;
+      filterbank_[f][k] = hz <= mid ? (hz - lo) / std::max(1e-9, mid - lo)
+                                    : (hi - hz) / std::max(1e-9, hi - mid);
+    }
+  }
+}
+
+std::vector<double> MfccExtractor::Compute(
+    const std::vector<double>& frame) const {
+  std::vector<double> windowed = frame;
+  if (!windowed.empty()) {
+    const auto w = dsp::MakeWindow(dsp::WindowType::kHamming, windowed.size());
+    dsp::ApplyWindow(w, windowed);
+  }
+  const auto power = dsp::PowerSpectrum(windowed, options_.fft_size);
+
+  std::vector<double> log_energies(options_.num_filters, 0.0);
+  for (size_t f = 0; f < options_.num_filters; ++f) {
+    double e = 0.0;
+    const size_t num_bins = std::min(power.size(), filterbank_[f].size());
+    for (size_t k = 0; k < num_bins; ++k) e += filterbank_[f][k] * power[k];
+    log_energies[f] = std::log(e + 1e-10);
+  }
+  return dsp::DctII(log_energies, options_.num_coeffs);
+}
+
+std::vector<std::vector<double>> MfccExtractor::ComputeSeries(
+    const std::vector<double>& signal, size_t frame_len) const {
+  std::vector<std::vector<double>> out;
+  if (frame_len == 0) return out;
+  for (size_t start = 0; start + frame_len <= signal.size();
+       start += frame_len) {
+    std::vector<double> frame(signal.begin() + start,
+                              signal.begin() + start + frame_len);
+    out.push_back(Compute(frame));
+  }
+  return out;
+}
+
+}  // namespace cobra::audio

@@ -1,0 +1,46 @@
+#ifndef COBRA_AUDIO_MFCC_H_
+#define COBRA_AUDIO_MFCC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra::audio {
+
+/// Mel-Frequency Cepstral Coefficient extractor: Hamming-windowed power
+/// spectrum -> triangular mel filterbank -> log energies -> DCT-II. The
+/// paper uses 12 coefficients and observes that the first three are the most
+/// indicative for speech detection.
+class MfccExtractor {
+ public:
+  struct Options {
+    double sample_rate = 22050.0;
+    size_t num_filters = 20;
+    size_t num_coeffs = 12;
+    double min_freq_hz = 0.0;
+    /// Upper edge of the filterbank; the paper low-passes to 882 Hz before
+    /// computing MFCCs (the indicative band for speech in its noisy mix).
+    double max_freq_hz = 882.0;
+    size_t fft_size = 256;
+  };
+
+  explicit MfccExtractor(const Options& options);
+  MfccExtractor() : MfccExtractor(Options()) {}
+
+  /// MFCCs of one analysis frame (any length <= fft_size; zero-padded).
+  std::vector<double> Compute(const std::vector<double>& frame) const;
+
+  /// MFCCs for every consecutive `frame_len` frame of `signal`.
+  std::vector<std::vector<double>> ComputeSeries(
+      const std::vector<double>& signal, size_t frame_len) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  /// filterbank_[f][k] = weight of FFT bin k in mel filter f.
+  std::vector<std::vector<double>> filterbank_;
+};
+
+}  // namespace cobra::audio
+
+#endif  // COBRA_AUDIO_MFCC_H_

@@ -1,0 +1,52 @@
+#include "audio/pitch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/spectral.h"
+
+namespace cobra::audio {
+
+double PitchTracker::EstimateWindow(const std::vector<double>& window) const {
+  const size_t min_lag = static_cast<size_t>(
+      options_.sample_rate / options_.max_pitch_hz);
+  const size_t max_lag = static_cast<size_t>(
+      options_.sample_rate / options_.min_pitch_hz);
+  if (window.size() < max_lag + 1) return 0.0;
+
+  const auto r = dsp::Autocorrelation(window, max_lag);
+  if (r[0] <= 1e-12) return 0.0;
+
+  size_t best_lag = 0;
+  double best = 0.0;
+  for (size_t lag = min_lag; lag <= max_lag; ++lag) {
+    // Local peak in the autocorrelation.
+    if (lag > min_lag && lag < max_lag &&
+        (r[lag] < r[lag - 1] || r[lag] < r[lag + 1])) {
+      continue;
+    }
+    if (r[lag] > best) {
+      best = r[lag];
+      best_lag = lag;
+    }
+  }
+  if (best_lag == 0) return 0.0;
+  const double normalized = best / r[0];
+  if (normalized < options_.voicing_threshold) return 0.0;
+  return options_.sample_rate / static_cast<double>(best_lag);
+}
+
+std::vector<double> PitchTracker::EstimateSeries(
+    const std::vector<double>& signal) const {
+  std::vector<double> out;
+  const size_t w = options_.window_samples;
+  if (w == 0) return out;
+  for (size_t start = 0; start + w <= signal.size(); start += w) {
+    std::vector<double> window(signal.begin() + start,
+                               signal.begin() + start + w);
+    out.push_back(EstimateWindow(window));
+  }
+  return out;
+}
+
+}  // namespace cobra::audio

@@ -1,0 +1,42 @@
+#ifndef COBRA_AUDIO_PITCH_H_
+#define COBRA_AUDIO_PITCH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra::audio {
+
+/// Autocorrelation pitch tracker. The paper estimates pitch by
+/// autocorrelation analysis of the low-passed (0–882 Hz) signal and is only
+/// interested in pitch below 1 kHz (human speech).
+class PitchTracker {
+ public:
+  struct Options {
+    double sample_rate = 22050.0;
+    double min_pitch_hz = 70.0;
+    double max_pitch_hz = 420.0;
+    /// Minimum normalized autocorrelation peak (r[lag]/r[0]) to call the
+    /// window voiced; unvoiced windows report pitch 0.
+    double voicing_threshold = 0.30;
+    /// Analysis window length in samples (20 ms at 22.05 kHz).
+    size_t window_samples = 441;
+  };
+
+  explicit PitchTracker(const Options& options) : options_(options) {}
+  PitchTracker() : PitchTracker(Options()) {}
+
+  /// Pitch of one window in Hz; 0 when unvoiced or too short.
+  double EstimateWindow(const std::vector<double>& window) const;
+
+  /// Pitch for consecutive non-overlapping windows of `signal`.
+  std::vector<double> EstimateSeries(const std::vector<double>& signal) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace cobra::audio
+
+#endif  // COBRA_AUDIO_PITCH_H_

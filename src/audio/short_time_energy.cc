@@ -1,0 +1,38 @@
+#include "audio/short_time_energy.h"
+
+#include <map>
+
+namespace cobra::audio {
+
+double ShortTimeEnergy(const std::vector<double>& frame,
+                       dsp::WindowType window) {
+  if (frame.empty()) return 0.0;
+  const auto w = dsp::MakeWindow(window, frame.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    const double v = frame[i] * w[i];
+    acc += v * v;
+  }
+  return acc / static_cast<double>(frame.size());
+}
+
+std::vector<double> ShortTimeEnergySeries(const std::vector<double>& signal,
+                                          size_t frame_len,
+                                          dsp::WindowType window) {
+  std::vector<double> out;
+  if (frame_len == 0 || signal.size() < frame_len) return out;
+  const auto w = dsp::MakeWindow(window, frame_len);
+  out.reserve(signal.size() / frame_len);
+  for (size_t start = 0; start + frame_len <= signal.size();
+       start += frame_len) {
+    double acc = 0.0;
+    for (size_t i = 0; i < frame_len; ++i) {
+      const double v = signal[start + i] * w[i];
+      acc += v * v;
+    }
+    out.push_back(acc / static_cast<double>(frame_len));
+  }
+  return out;
+}
+
+}  // namespace cobra::audio

@@ -1,0 +1,25 @@
+#ifndef COBRA_AUDIO_SHORT_TIME_ENERGY_H_
+#define COBRA_AUDIO_SHORT_TIME_ENERGY_H_
+
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace cobra::audio {
+
+/// Short Time Energy of one analysis frame: the average squared windowed
+/// amplitude. The paper computes STE after sub-band division and selects the
+/// Hamming window among the four commonly used filters because it gave the
+/// best endpointing / excited-speech indication.
+double ShortTimeEnergy(const std::vector<double>& frame,
+                       dsp::WindowType window = dsp::WindowType::kHamming);
+
+/// STE for every consecutive `frame_len`-sample frame of `signal`
+/// (truncating any tail shorter than a frame).
+std::vector<double> ShortTimeEnergySeries(
+    const std::vector<double>& signal, size_t frame_len,
+    dsp::WindowType window = dsp::WindowType::kHamming);
+
+}  // namespace cobra::audio
+
+#endif  // COBRA_AUDIO_SHORT_TIME_ENERGY_H_

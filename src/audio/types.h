@@ -1,0 +1,29 @@
+#ifndef COBRA_AUDIO_TYPES_H_
+#define COBRA_AUDIO_TYPES_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra::audio {
+
+/// Sampling parameters used throughout the case study: the paper digitizes
+/// audio at 22 kHz / 16-bit, analyzes 10 ms *frames* and aggregates per
+/// 0.1 s *clips* (so one clip = 10 frames, and feature vectors are 10x the
+/// video duration in seconds).
+struct AudioFormat {
+  double sample_rate = 22050.0;
+  /// 10 ms analysis frame.
+  size_t FrameSamples() const { return static_cast<size_t>(sample_rate / 100.0); }
+  /// 0.1 s aggregation clip.
+  size_t ClipSamples() const { return static_cast<size_t>(sample_rate / 10.0); }
+  size_t FramesPerClip() const { return ClipSamples() / FrameSamples(); }
+};
+
+/// One 0.1 s clip of mono PCM samples in [-1, 1].
+struct AudioClip {
+  std::vector<double> samples;
+};
+
+}  // namespace cobra::audio
+
+#endif  // COBRA_AUDIO_TYPES_H_

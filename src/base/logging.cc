@@ -1,0 +1,57 @@
+#include "base/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cobra {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), file_(file), line_(line), fatal_(fatal) {}
+
+LogMessage::~LogMessage() {
+  if (fatal_ || static_cast<int>(level_) >=
+                    g_min_level.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), Basename(file_),
+                 line_, stream_.str().c_str());
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal
+}  // namespace cobra

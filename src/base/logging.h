@@ -1,0 +1,56 @@
+#ifndef COBRA_BASE_LOGGING_H_
+#define COBRA_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cobra {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates the message and emits it (with level
+/// tag, file and line) on destruction. FATAL additionally aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cobra
+
+#define COBRA_LOG(level)                                                  \
+  ::cobra::internal::LogMessage(::cobra::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+#define COBRA_CHECK(cond)                                                   \
+  if (!(cond))                                                              \
+  ::cobra::internal::LogMessage(::cobra::LogLevel::kError, __FILE__,        \
+                                __LINE__, /*fatal=*/true)                   \
+      << "Check failed: " #cond " "
+
+#define COBRA_DCHECK(cond) COBRA_CHECK(cond)
+
+#endif  // COBRA_BASE_LOGGING_H_

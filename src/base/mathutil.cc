@@ -1,0 +1,53 @@
+#include "base/mathutil.h"
+
+#include <limits>
+
+namespace cobra {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double DynamicRange(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+  return *mx - *mn;
+}
+
+double MaxOf(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+void NormalizeInPlace(std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  if (s <= std::numeric_limits<double>::min() * v.size()) {
+    const double u = v.empty() ? 0.0 : 1.0 / static_cast<double>(v.size());
+    for (double& x : v) x = u;
+    return;
+  }
+  for (double& x : v) x /= s;
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  if (v.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace cobra

@@ -1,0 +1,47 @@
+#ifndef COBRA_BASE_MATHUTIL_H_
+#define COBRA_BASE_MATHUTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cobra {
+
+/// Arithmetic mean; 0 for an empty range.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& v);
+
+/// max(v) - min(v); 0 for an empty range. This is the "dynamic range"
+/// statistic the paper computes for STE and pitch over an audio clip.
+double DynamicRange(const std::vector<double>& v);
+
+/// Maximum element; 0 for an empty range.
+double MaxOf(const std::vector<double>& v);
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+/// Numerically-stable logistic 1 / (1 + e^-x).
+inline double Sigmoid(double x) {
+  if (x >= 0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Normalizes v in place to sum to 1; if the sum is ~0 makes it uniform.
+void NormalizeInPlace(std::vector<double>& v);
+
+/// log(sum(exp(v))) computed stably.
+double LogSumExp(const std::vector<double>& v);
+
+}  // namespace cobra
+
+#endif  // COBRA_BASE_MATHUTIL_H_

@@ -1,0 +1,58 @@
+#include "base/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cobra {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: accessing value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieOkResultAsError() {
+  std::fprintf(stderr, "FATAL: constructing Result error from OK status\n");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cobra

@@ -1,0 +1,76 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace cobra {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  COBRA_CHECK(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t chunks = std::min(n, threads_.size());
+  const size_t per_chunk = (n + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + c * per_chunk;
+    const size_t hi = std::min(end, lo + per_chunk);
+    if (lo >= hi) break;
+    Schedule([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  WaitIdle();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace cobra

@@ -1,0 +1,54 @@
+#ifndef COBRA_BASE_THREAD_POOL_H_
+#define COBRA_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cobra {
+
+/// Fixed-size worker pool used by the kernel's parallel execution operator
+/// and the parallel HMM evaluator (paper Fig. 3/4). Tasks are plain
+/// std::function<void()>; waiting is done through WaitIdle() or the
+/// ParallelFor helper.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on a worker thread.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until all scheduled tasks have completed.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [begin, end) across the pool and waits for
+  /// completion. Work is split into contiguous chunks, one batch per worker.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_BASE_THREAD_POOL_H_

@@ -1,0 +1,99 @@
+#include "bayes/cpt.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/mathutil.h"
+
+namespace cobra::bayes {
+
+MixedRadix::MixedRadix(std::vector<int> cardinalities)
+    : cards_(std::move(cardinalities)) {
+  strides_.resize(cards_.size());
+  total_ = 1;
+  for (size_t i = cards_.size(); i-- > 0;) {
+    COBRA_CHECK(cards_[i] >= 1);
+    strides_[i] = total_;
+    total_ *= static_cast<size_t>(cards_[i]);
+  }
+}
+
+size_t MixedRadix::Encode(const std::vector<int>& digits) const {
+  COBRA_CHECK(digits.size() == cards_.size());
+  size_t idx = 0;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    COBRA_DCHECK(digits[i] >= 0 && digits[i] < cards_[i]);
+    idx += static_cast<size_t>(digits[i]) * strides_[i];
+  }
+  return idx;
+}
+
+int MixedRadix::Digit(size_t index, size_t digit) const {
+  return static_cast<int>((index / strides_[digit]) %
+                          static_cast<size_t>(cards_[digit]));
+}
+
+void MixedRadix::Decode(size_t index, std::vector<int>* digits) const {
+  digits->resize(cards_.size());
+  for (size_t i = 0; i < cards_.size(); ++i) {
+    (*digits)[i] = Digit(index, i);
+  }
+}
+
+Cpt::Cpt(std::vector<int> parent_cards, int num_states)
+    : parent_index_(std::move(parent_cards)), num_states_(num_states) {
+  COBRA_CHECK(num_states >= 1);
+  probs_.assign(parent_index_.size() * static_cast<size_t>(num_states),
+                1.0 / num_states);
+}
+
+Status Cpt::SetRow(size_t row, const std::vector<double>& p) {
+  if (row >= num_rows()) return Status::OutOfRange("CPT row out of range");
+  if (p.size() != static_cast<size_t>(num_states_)) {
+    return Status::InvalidArgument("CPT row has wrong arity");
+  }
+  double sum = 0.0;
+  for (double v : p) {
+    if (v < 0.0) return Status::InvalidArgument("negative probability");
+    sum += v;
+  }
+  if (sum <= 0.0) return Status::InvalidArgument("zero row");
+  for (int s = 0; s < num_states_; ++s) Set(row, s, p[s] / sum);
+  return Status::OK();
+}
+
+void Cpt::NormalizeRows() {
+  for (size_t r = 0; r < num_rows(); ++r) {
+    double sum = 0.0;
+    for (int s = 0; s < num_states_; ++s) sum += P(r, s);
+    if (sum <= 1e-300) {
+      for (int s = 0; s < num_states_; ++s) Set(r, s, 1.0 / num_states_);
+    } else {
+      for (int s = 0; s < num_states_; ++s) Set(r, s, P(r, s) / sum);
+    }
+  }
+}
+
+void Cpt::Randomize(Rng& rng, double noise) {
+  for (size_t r = 0; r < num_rows(); ++r) {
+    for (int s = 0; s < num_states_; ++s) {
+      Set(r, s, 1.0 + noise * rng.Uniform());
+    }
+  }
+  NormalizeRows();
+}
+
+void Cpt::SetFromCounts(const std::vector<double>& counts, double prior) {
+  COBRA_CHECK(counts.size() == probs_.size());
+  for (size_t r = 0; r < num_rows(); ++r) {
+    double sum = 0.0;
+    for (int s = 0; s < num_states_; ++s) {
+      sum += counts[r * num_states_ + s] + prior;
+    }
+    for (int s = 0; s < num_states_; ++s) {
+      Set(r, s, (counts[r * num_states_ + s] + prior) / sum);
+    }
+  }
+}
+
+}  // namespace cobra::bayes

@@ -1,0 +1,88 @@
+#ifndef COBRA_BAYES_CPT_H_
+#define COBRA_BAYES_CPT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace cobra::bayes {
+
+/// Mixed-radix indexing over a tuple of discrete variables: index =
+/// sum_i digit_i * stride_i with the *last* cardinality varying fastest.
+class MixedRadix {
+ public:
+  MixedRadix() = default;
+  explicit MixedRadix(std::vector<int> cardinalities);
+
+  size_t size() const { return total_; }
+  size_t num_digits() const { return cards_.size(); }
+  int cardinality(size_t digit) const { return cards_[digit]; }
+
+  /// Composes an index from digits (digits.size() == num_digits()).
+  size_t Encode(const std::vector<int>& digits) const;
+
+  /// Extracts one digit from an index.
+  int Digit(size_t index, size_t digit) const;
+
+  /// Decodes all digits.
+  void Decode(size_t index, std::vector<int>* digits) const;
+
+ private:
+  std::vector<int> cards_;
+  std::vector<size_t> strides_;
+  size_t total_ = 1;
+};
+
+/// A conditional probability table P(X | parents): `rows` = one probability
+/// row per parent configuration, each row of length num_states summing to 1.
+class Cpt {
+ public:
+  Cpt() = default;
+  /// Builds a CPT with the given parent cardinalities, initialized uniform.
+  Cpt(std::vector<int> parent_cards, int num_states);
+
+  int num_states() const { return num_states_; }
+  size_t num_rows() const { return parent_index_.size(); }
+  const MixedRadix& parent_index() const { return parent_index_; }
+
+  double P(size_t row, int state) const {
+    return probs_[row * num_states_ + state];
+  }
+  void Set(size_t row, int state, double p) {
+    probs_[row * num_states_ + state] = p;
+  }
+
+  /// Sets one full row (normalizes it).
+  Status SetRow(size_t row, const std::vector<double>& p);
+
+  /// Normalizes every row to sum to 1 (uniform when a row sums to ~0).
+  void NormalizeRows();
+
+  /// Randomizes rows with Dirichlet-like jitter: uniform + noise*U(0,1),
+  /// then normalized. Used by EM restarts.
+  void Randomize(Rng& rng, double noise = 1.0);
+
+  /// Accumulates `weight` into the (row, state) expected-count cell of
+  /// `counts` (caller-managed, same shape as probs).
+  static void AddCount(std::vector<double>& counts, int num_states,
+                       size_t row, int state, double weight) {
+    counts[row * num_states + state] += weight;
+  }
+
+  /// Replaces probabilities with normalized counts (plus `prior` smoothing).
+  void SetFromCounts(const std::vector<double>& counts, double prior = 1e-3);
+
+  std::vector<double>& mutable_probs() { return probs_; }
+  const std::vector<double>& probs() const { return probs_; }
+
+ private:
+  MixedRadix parent_index_;
+  int num_states_ = 0;
+  std::vector<double> probs_;
+};
+
+}  // namespace cobra::bayes
+
+#endif  // COBRA_BAYES_CPT_H_

@@ -1,0 +1,573 @@
+#include "bayes/dbn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.h"
+#include "base/mathutil.h"
+
+namespace cobra::bayes {
+
+Result<DynamicBayesianNetwork> DynamicBayesianNetwork::Create(
+    BayesianNetwork slice, std::vector<TemporalArc> arcs) {
+  if (!slice.finalized()) {
+    return Status::FailedPrecondition("slice network must be finalized");
+  }
+  DynamicBayesianNetwork dbn;
+  dbn.slice_ = std::move(slice);
+  dbn.arcs_ = std::move(arcs);
+
+  // Chain nodes: non-evidence nodes in topological order.
+  dbn.chain_pos_.assign(dbn.slice_.num_nodes(), -1);
+  std::vector<int> chain_cards;
+  for (NodeId n : dbn.slice_.topological_order()) {
+    if (!dbn.slice_.is_evidence(n)) {
+      dbn.chain_pos_[n] = static_cast<int>(dbn.chain_.size());
+      dbn.chain_.push_back(n);
+      chain_cards.push_back(dbn.slice_.num_states(n));
+    }
+  }
+  dbn.chain_radix_ = MixedRadix(chain_cards);
+
+  // Evidence nodes that participate in enumeration (non-leaf evidence).
+  std::vector<int> ev_cards;
+  dbn.enum_pos_.assign(dbn.slice_.num_nodes(), -1);
+  for (size_t i = 0; i < dbn.chain_.size(); ++i) {
+    dbn.enum_pos_[dbn.chain_[i]] = static_cast<int>(i);
+  }
+  for (NodeId n : dbn.slice_.enumerated_nodes()) {
+    if (dbn.slice_.is_evidence(n)) {
+      dbn.enum_pos_[n] =
+          static_cast<int>(dbn.chain_.size() + dbn.enum_evidence_.size());
+      dbn.enum_evidence_.push_back(n);
+      ev_cards.push_back(dbn.slice_.num_states(n));
+    }
+  }
+  dbn.enum_evidence_radix_ = MixedRadix(ev_cards);
+
+  // Temporal parents per node, in arc order.
+  dbn.temporal_parents_.assign(dbn.slice_.num_nodes(), {});
+  for (const TemporalArc& arc : dbn.arcs_) {
+    if (arc.from < 0 || arc.from >= dbn.slice_.num_nodes() || arc.to < 0 ||
+        arc.to >= dbn.slice_.num_nodes()) {
+      return Status::InvalidArgument("temporal arc endpoint out of range");
+    }
+    if (dbn.slice_.is_evidence(arc.from) || dbn.slice_.is_evidence(arc.to)) {
+      return Status::InvalidArgument(
+          "temporal arcs must connect non-observable nodes");
+    }
+    dbn.temporal_parents_[arc.to].push_back(arc.from);
+  }
+
+  // Transition CPTs for chain nodes: intra-slice parents then temporal.
+  dbn.transition_cpts_.resize(dbn.slice_.num_nodes());
+  for (NodeId n : dbn.chain_) {
+    std::vector<int> cards;
+    for (NodeId p : dbn.slice_.parents(n)) {
+      cards.push_back(dbn.slice_.num_states(p));
+    }
+    for (NodeId p : dbn.temporal_parents_[n]) {
+      cards.push_back(dbn.slice_.num_states(p));
+    }
+    dbn.transition_cpts_[n] = Cpt(std::move(cards), dbn.slice_.num_states(n));
+  }
+  return dbn;
+}
+
+Cpt& DynamicBayesianNetwork::transition_cpt(NodeId n) {
+  COBRA_CHECK(chain_pos_[n] >= 0) << "node has no transition CPT";
+  return transition_cpts_[n];
+}
+
+const Cpt& DynamicBayesianNetwork::transition_cpt(NodeId n) const {
+  COBRA_CHECK(chain_pos_[n] >= 0) << "node has no transition CPT";
+  return transition_cpts_[n];
+}
+
+void DynamicBayesianNetwork::RandomizeCpts(Rng& rng, double noise) {
+  slice_.RandomizeCpts(rng, noise);
+  for (NodeId n : chain_) transition_cpts_[n].Randomize(rng, noise);
+}
+
+std::vector<std::vector<double>> DynamicBayesianNetwork::SliceLambdas(
+    const Evidence& e) const {
+  std::vector<std::vector<double>> lambdas(slice_.num_nodes());
+  for (NodeId n = 0; n < slice_.num_nodes(); ++n) {
+    lambdas[n] = slice_.Lambda(n, e);
+  }
+  return lambdas;
+}
+
+double DynamicBayesianNetwork::ConfigWeight(
+    bool initial, const std::vector<int>& prev_chain,
+    const std::vector<int>& enum_states,
+    const std::vector<std::vector<double>>& lambdas,
+    std::vector<int>* scratch) const {
+  double w = 1.0;
+  // Chain node factors.
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    const NodeId n = chain_[i];
+    scratch->clear();
+    for (NodeId p : slice_.parents(n)) {
+      scratch->push_back(enum_states[enum_pos_[p]]);
+    }
+    const Cpt* cpt;
+    if (initial) {
+      cpt = &slice_.cpt(n);
+    } else {
+      for (NodeId p : temporal_parents_[n]) {
+        scratch->push_back(prev_chain[chain_pos_[p]]);
+      }
+      cpt = &transition_cpts_[n];
+    }
+    const size_t row = cpt->parent_index().Encode(*scratch);
+    const int x = enum_states[i];
+    w *= cpt->P(row, x) * lambdas[n][x];
+    if (w <= 0.0) return 0.0;
+  }
+  // Enumerated evidence node factors (tied slice CPTs).
+  for (size_t j = 0; j < enum_evidence_.size(); ++j) {
+    const NodeId n = enum_evidence_[j];
+    scratch->clear();
+    for (NodeId p : slice_.parents(n)) {
+      scratch->push_back(enum_states[enum_pos_[p]]);
+    }
+    const size_t row = slice_.cpt(n).parent_index().Encode(*scratch);
+    const int x = enum_states[chain_.size() + j];
+    w *= slice_.cpt(n).P(row, x) * lambdas[n][x];
+    if (w <= 0.0) return 0.0;
+  }
+  return w;
+}
+
+double DynamicBayesianNetwork::LeafFactor(
+    const std::vector<int>& enum_states,
+    const std::vector<std::vector<double>>& lambdas,
+    std::vector<int>* scratch) const {
+  double w = 1.0;
+  for (NodeId leaf : slice_.absorbed_leaves()) {
+    scratch->clear();
+    for (NodeId p : slice_.parents(leaf)) {
+      scratch->push_back(enum_states[enum_pos_[p]]);
+    }
+    const Cpt& cpt = slice_.cpt(leaf);
+    const size_t row = cpt.parent_index().Encode(*scratch);
+    double s = 0.0;
+    for (int v = 0; v < cpt.num_states(); ++v) {
+      s += cpt.P(row, v) * lambdas[leaf][v];
+    }
+    w *= s;
+    if (w <= 0.0) return 0.0;
+  }
+  return w;
+}
+
+void DynamicBayesianNetwork::StepKernel(bool initial, const Evidence& evidence,
+                                        std::vector<double>* kernel) const {
+  const size_t S = chain_radix_.size();
+  const size_t E = enum_evidence_radix_.size();
+  const size_t prev_dim = initial ? 1 : S;
+  kernel->assign(prev_dim * S, 0.0);
+
+  const auto lambdas = SliceLambdas(evidence);
+  std::vector<int> enum_states(chain_.size() + enum_evidence_.size());
+  std::vector<int> prev_chain(chain_.size(), 0);
+  std::vector<int> scratch;
+
+  for (size_t prev = 0; prev < prev_dim; ++prev) {
+    if (!initial) chain_radix_.Decode(prev, &prev_chain);
+    for (size_t cur = 0; cur < S; ++cur) {
+      for (size_t i = 0; i < chain_.size(); ++i) {
+        enum_states[i] = chain_radix_.Digit(cur, i);
+      }
+      double acc = 0.0;
+      for (size_t ev = 0; ev < E; ++ev) {
+        for (size_t j = 0; j < enum_evidence_.size(); ++j) {
+          enum_states[chain_.size() + j] =
+              enum_evidence_radix_.Digit(ev, j);
+        }
+        const double w =
+            ConfigWeight(initial, prev_chain, enum_states, lambdas, &scratch);
+        if (w <= 0.0) continue;
+        acc += w * LeafFactor(enum_states, lambdas, &scratch);
+      }
+      (*kernel)[prev * S + cur] = acc;
+    }
+  }
+}
+
+void DynamicBayesianNetwork::ProjectToClusters(
+    const Clusters& clusters, std::vector<double>* belief) const {
+  if (clusters.empty()) return;  // single-cluster (exact) filtering
+  const size_t S = chain_radix_.size();
+  // Per-cluster marginals.
+  std::vector<std::vector<double>> marginals(clusters.size());
+  std::vector<std::vector<int>> member_pos(clusters.size());
+  std::vector<MixedRadix> radices(clusters.size());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    std::vector<int> cards;
+    for (NodeId n : clusters[c]) {
+      COBRA_CHECK(chain_pos_[n] >= 0) << "cluster node must be a chain node";
+      member_pos[c].push_back(chain_pos_[n]);
+      cards.push_back(slice_.num_states(n));
+    }
+    radices[c] = MixedRadix(cards);
+    marginals[c].assign(radices[c].size(), 0.0);
+  }
+  std::vector<int> digits(chain_.size());
+  std::vector<int> sub;
+  for (size_t h = 0; h < S; ++h) {
+    chain_radix_.Decode(h, &digits);
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      sub.clear();
+      for (int p : member_pos[c]) sub.push_back(digits[p]);
+      marginals[c][radices[c].Encode(sub)] += (*belief)[h];
+    }
+  }
+  for (size_t h = 0; h < S; ++h) {
+    chain_radix_.Decode(h, &digits);
+    double v = 1.0;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      sub.clear();
+      for (int p : member_pos[c]) sub.push_back(digits[p]);
+      v *= marginals[c][radices[c].Encode(sub)];
+    }
+    (*belief)[h] = v;
+  }
+  NormalizeInPlace(*belief);
+}
+
+Result<DynamicBayesianNetwork::FilterResult> DynamicBayesianNetwork::Filter(
+    const std::vector<Evidence>& sequence, NodeId query,
+    const Clusters& clusters) const {
+  if (query < 0 || query >= slice_.num_nodes() || chain_pos_[query] < 0) {
+    return Status::InvalidArgument("query must be a non-observable node");
+  }
+  FilterResult result;
+  if (sequence.empty()) return result;
+  const size_t S = chain_radix_.size();
+  const int qpos = chain_pos_[query];
+  const int qstates = slice_.num_states(query);
+
+  std::vector<double> belief(S, 0.0);
+  std::vector<double> kernel;
+  for (size_t t = 0; t < sequence.size(); ++t) {
+    std::vector<double> next(S, 0.0);
+    if (t == 0) {
+      StepKernel(/*initial=*/true, sequence[0], &kernel);
+      next = kernel;
+    } else {
+      StepKernel(/*initial=*/false, sequence[t], &kernel);
+      for (size_t prev = 0; prev < S; ++prev) {
+        if (belief[prev] <= 0.0) continue;
+        const double bp = belief[prev];
+        for (size_t cur = 0; cur < S; ++cur) {
+          next[cur] += bp * kernel[prev * S + cur];
+        }
+      }
+    }
+    double c = 0.0;
+    for (double v : next) c += v;
+    if (c <= 0.0) {
+      return Status::FailedPrecondition("zero-likelihood evidence at step " +
+                                        std::to_string(t));
+    }
+    for (double& v : next) v /= c;
+    result.loglik += std::log(c);
+    ProjectToClusters(clusters, &next);
+    belief = std::move(next);
+
+    std::vector<double> marg(qstates, 0.0);
+    for (size_t h = 0; h < S; ++h) {
+      marg[chain_radix_.Digit(h, qpos)] += belief[h];
+    }
+    result.query_posterior.push_back(std::move(marg));
+    result.beliefs.push_back(belief);
+  }
+  return result;
+}
+
+std::vector<double> DynamicBayesianNetwork::MarginalFromBelief(
+    const std::vector<double>& belief, NodeId node) const {
+  COBRA_CHECK(node >= 0 && node < slice_.num_nodes() && chain_pos_[node] >= 0)
+      << "node is not a chain node";
+  COBRA_CHECK(belief.size() == chain_radix_.size());
+  const int pos = chain_pos_[node];
+  std::vector<double> marg(slice_.num_states(node), 0.0);
+  for (size_t h = 0; h < belief.size(); ++h) {
+    marg[chain_radix_.Digit(h, pos)] += belief[h];
+  }
+  return marg;
+}
+
+Result<std::vector<std::vector<double>>> DynamicBayesianNetwork::Smooth(
+    const std::vector<Evidence>& sequence, NodeId query) const {
+  if (query < 0 || query >= slice_.num_nodes() || chain_pos_[query] < 0) {
+    return Status::InvalidArgument("query must be a non-observable node");
+  }
+  std::vector<std::vector<double>> out;
+  if (sequence.empty()) return out;
+  const size_t T = sequence.size();
+  const size_t S = chain_radix_.size();
+
+  // Forward pass, storing kernels (training sequences are short; full-race
+  // smoothing should chunk the sequence).
+  std::vector<std::vector<double>> kernels(T);
+  std::vector<std::vector<double>> alphas(T);
+  std::vector<double> scales(T, 0.0);
+  std::vector<double> alpha(S, 0.0);
+  for (size_t t = 0; t < T; ++t) {
+    StepKernel(t == 0, sequence[t], &kernels[t]);
+    std::vector<double> next(S, 0.0);
+    if (t == 0) {
+      next = kernels[0];
+    } else {
+      for (size_t prev = 0; prev < S; ++prev) {
+        if (alpha[prev] <= 0.0) continue;
+        for (size_t cur = 0; cur < S; ++cur) {
+          next[cur] += alpha[prev] * kernels[t][prev * S + cur];
+        }
+      }
+    }
+    double c = 0.0;
+    for (double v : next) c += v;
+    if (c <= 0.0) {
+      return Status::FailedPrecondition("zero-likelihood evidence at step " +
+                                        std::to_string(t));
+    }
+    for (double& v : next) v /= c;
+    scales[t] = c;
+    alphas[t] = next;
+    alpha = std::move(next);
+  }
+
+  // Backward pass.
+  std::vector<double> beta(S, 1.0);
+  const int qpos = chain_pos_[query];
+  const int qstates = slice_.num_states(query);
+  out.assign(T, std::vector<double>(qstates, 0.0));
+  for (size_t t = T; t-- > 0;) {
+    std::vector<double> gamma(S, 0.0);
+    for (size_t h = 0; h < S; ++h) gamma[h] = alphas[t][h] * beta[h];
+    NormalizeInPlace(gamma);
+    for (size_t h = 0; h < S; ++h) {
+      out[t][chain_radix_.Digit(h, qpos)] += gamma[h];
+    }
+    if (t == 0) break;
+    std::vector<double> beta_prev(S, 0.0);
+    for (size_t prev = 0; prev < S; ++prev) {
+      double acc = 0.0;
+      for (size_t cur = 0; cur < S; ++cur) {
+        acc += kernels[t][prev * S + cur] * beta[cur];
+      }
+      beta_prev[prev] = acc / scales[t];
+    }
+    beta = std::move(beta_prev);
+  }
+  return out;
+}
+
+Result<double> DynamicBayesianNetwork::LogLikelihood(
+    const std::vector<Evidence>& sequence) const {
+  if (chain_.empty()) return Status::FailedPrecondition("no chain nodes");
+  COBRA_ASSIGN_OR_RETURN(FilterResult r, Filter(sequence, chain_[0]));
+  return r.loglik;
+}
+
+Result<double> DynamicBayesianNetwork::AccumulateCounts(
+    const std::vector<Evidence>& sequence, CountTables* counts) const {
+  const size_t T = sequence.size();
+  const size_t S = chain_radix_.size();
+  const size_t E = enum_evidence_radix_.size();
+  if (T == 0) return 0.0;
+
+  // Forward pass with stored kernels.
+  std::vector<std::vector<double>> kernels(T);
+  std::vector<std::vector<double>> alphas(T);
+  std::vector<double> scales(T, 0.0);
+  double loglik = 0.0;
+  {
+    std::vector<double> alpha(S, 0.0);
+    for (size_t t = 0; t < T; ++t) {
+      StepKernel(t == 0, sequence[t], &kernels[t]);
+      std::vector<double> next(S, 0.0);
+      if (t == 0) {
+        next = kernels[0];
+      } else {
+        for (size_t prev = 0; prev < S; ++prev) {
+          if (alpha[prev] <= 0.0) continue;
+          for (size_t cur = 0; cur < S; ++cur) {
+            next[cur] += alpha[prev] * kernels[t][prev * S + cur];
+          }
+        }
+      }
+      double c = 0.0;
+      for (double v : next) c += v;
+      if (c <= 0.0) {
+        return Status::FailedPrecondition("zero-likelihood sequence");
+      }
+      for (double& v : next) v /= c;
+      scales[t] = c;
+      loglik += std::log(c);
+      alphas[t] = next;
+      alpha = std::move(next);
+    }
+  }
+
+  // Backward pass with per-step count accumulation over full tuples
+  // (prev chain, cur chain, enumerated evidence).
+  std::vector<double> beta(S, 1.0);
+  std::vector<int> enum_states(chain_.size() + enum_evidence_.size());
+  std::vector<int> prev_chain(chain_.size(), 0);
+  std::vector<int> scratch;
+
+  for (size_t t = T; t-- > 0;) {
+    const auto lambdas = SliceLambdas(sequence[t]);
+    const bool initial = (t == 0);
+    const size_t prev_dim = initial ? 1 : S;
+
+    // Total posterior-weight normalizer for this step.
+    double tot = 0.0;
+    for (size_t prev = 0; prev < prev_dim; ++prev) {
+      const double ap = initial ? 1.0 : alphas[t - 1][prev];
+      if (ap <= 0.0) continue;
+      for (size_t cur = 0; cur < S; ++cur) {
+        tot += ap * kernels[t][prev * S + cur] * beta[cur];
+      }
+    }
+    if (tot <= 0.0) {
+      return Status::FailedPrecondition("zero posterior weight in E-step");
+    }
+
+    for (size_t prev = 0; prev < prev_dim; ++prev) {
+      const double ap = initial ? 1.0 : alphas[t - 1][prev];
+      if (ap <= 0.0) continue;
+      if (!initial) chain_radix_.Decode(prev, &prev_chain);
+      for (size_t cur = 0; cur < S; ++cur) {
+        if (beta[cur] <= 0.0) continue;
+        for (size_t i = 0; i < chain_.size(); ++i) {
+          enum_states[i] = chain_radix_.Digit(cur, i);
+        }
+        for (size_t ev = 0; ev < E; ++ev) {
+          for (size_t j = 0; j < enum_evidence_.size(); ++j) {
+            enum_states[chain_.size() + j] =
+                enum_evidence_radix_.Digit(ev, j);
+          }
+          const double w = ConfigWeight(initial, prev_chain, enum_states,
+                                        lambdas, &scratch) *
+                           LeafFactor(enum_states, lambdas, &scratch);
+          if (w <= 0.0) continue;
+          const double wn = ap * w * beta[cur] / tot;
+
+          // Chain family counts (prior at t=0, transition at t>0).
+          for (size_t i = 0; i < chain_.size(); ++i) {
+            const NodeId n = chain_[i];
+            scratch.clear();
+            for (NodeId p : slice_.parents(n)) {
+              scratch.push_back(enum_states[enum_pos_[p]]);
+            }
+            if (initial) {
+              const size_t row =
+                  slice_.cpt(n).parent_index().Encode(scratch);
+              Cpt::AddCount(counts->prior[n], slice_.num_states(n), row,
+                            enum_states[i], wn);
+            } else {
+              for (NodeId p : temporal_parents_[n]) {
+                scratch.push_back(prev_chain[chain_pos_[p]]);
+              }
+              const size_t row =
+                  transition_cpts_[n].parent_index().Encode(scratch);
+              Cpt::AddCount(counts->transition[n], slice_.num_states(n), row,
+                            enum_states[i], wn);
+            }
+          }
+          // Enumerated evidence families (tied CPT).
+          for (size_t j = 0; j < enum_evidence_.size(); ++j) {
+            const NodeId n = enum_evidence_[j];
+            scratch.clear();
+            for (NodeId p : slice_.parents(n)) {
+              scratch.push_back(enum_states[enum_pos_[p]]);
+            }
+            const size_t row = slice_.cpt(n).parent_index().Encode(scratch);
+            Cpt::AddCount(counts->prior[n], slice_.num_states(n), row,
+                          enum_states[chain_.size() + j], wn);
+          }
+          // Absorbed leaves: expected state posterior under the family row.
+          for (NodeId leaf : slice_.absorbed_leaves()) {
+            scratch.clear();
+            for (NodeId p : slice_.parents(leaf)) {
+              scratch.push_back(enum_states[enum_pos_[p]]);
+            }
+            const Cpt& cpt = slice_.cpt(leaf);
+            const size_t row = cpt.parent_index().Encode(scratch);
+            double norm = 0.0;
+            for (int v = 0; v < cpt.num_states(); ++v) {
+              norm += cpt.P(row, v) * lambdas[leaf][v];
+            }
+            if (norm <= 0.0) continue;
+            for (int v = 0; v < cpt.num_states(); ++v) {
+              Cpt::AddCount(counts->prior[leaf], cpt.num_states(), row, v,
+                            wn * cpt.P(row, v) * lambdas[leaf][v] / norm);
+            }
+          }
+        }
+      }
+    }
+
+    // Backward recursion.
+    if (t == 0) break;
+    std::vector<double> beta_prev(S, 0.0);
+    for (size_t prev = 0; prev < S; ++prev) {
+      double acc = 0.0;
+      for (size_t cur = 0; cur < S; ++cur) {
+        acc += kernels[t][prev * S + cur] * beta[cur];
+      }
+      beta_prev[prev] = acc / scales[t];
+    }
+    beta = std::move(beta_prev);
+  }
+  return loglik;
+}
+
+Result<double> DynamicBayesianNetwork::TrainEm(
+    const std::vector<std::vector<Evidence>>& sequences,
+    const EmOptions& options) {
+  if (sequences.empty()) return Status::InvalidArgument("no sequences");
+  double prev_loglik = -std::numeric_limits<double>::infinity();
+  double loglik = prev_loglik;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    CountTables counts;
+    counts.prior.resize(slice_.num_nodes());
+    counts.transition.resize(slice_.num_nodes());
+    for (NodeId n = 0; n < slice_.num_nodes(); ++n) {
+      counts.prior[n].assign(slice_.cpt(n).probs().size(), 0.0);
+      if (chain_pos_[n] >= 0) {
+        counts.transition[n].assign(transition_cpts_[n].probs().size(), 0.0);
+      }
+    }
+    loglik = 0.0;
+    for (const auto& seq : sequences) {
+      COBRA_ASSIGN_OR_RETURN(double seq_ll, AccumulateCounts(seq, &counts));
+      loglik += seq_ll;
+    }
+    // M-step: tied evidence CPTs + chain priors from `prior` counts,
+    // chain transitions from `transition` counts.
+    for (NodeId n = 0; n < slice_.num_nodes(); ++n) {
+      slice_.cpt(n).SetFromCounts(counts.prior[n], options.count_prior);
+      if (chain_pos_[n] >= 0) {
+        transition_cpts_[n].SetFromCounts(counts.transition[n],
+                                          options.count_prior);
+      }
+    }
+    if (iter > 0 &&
+        std::abs(loglik - prev_loglik) <
+            options.tolerance * (std::abs(prev_loglik) + 1.0)) {
+      break;
+    }
+    prev_loglik = loglik;
+  }
+  return loglik;
+}
+
+}  // namespace cobra::bayes

@@ -1,0 +1,157 @@
+#ifndef COBRA_BAYES_DBN_H_
+#define COBRA_BAYES_DBN_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "bayes/network.h"
+
+namespace cobra::bayes {
+
+/// A Dynamic Bayesian Network in two-slice (2-TBN) form: an intra-slice
+/// structure shared by every time slice plus temporal arcs from slice t-1 to
+/// slice t. Temporal arcs connect *non-observable* (chain) nodes, matching
+/// the paper's designs (Figs. 8 and 11), and the first-order Markov property
+/// holds by construction.
+///
+/// Parameters: evidence nodes use one CPT tied across time; every chain
+/// node has a prior CPT (slice 0, intra-slice parents only) and a transition
+/// CPT (intra-slice parents followed by temporal parents).
+///
+/// Inference maintains a belief state over the joint chain configuration
+/// (exact filtering — the "one cluster" setting of the paper) or, with a
+/// cluster partition, the Boyen–Koller approximation: after each exact
+/// propagation step the belief is projected onto a product of per-cluster
+/// marginals. Learning is EM (maximum likelihood) with exact
+/// forward–backward smoothing over the joint chain, which is the "exact
+/// inference and learning" configuration the paper reports as best.
+class DynamicBayesianNetwork {
+ public:
+  struct TemporalArc {
+    NodeId from;  // node in slice t-1
+    NodeId to;    // node in slice t
+  };
+
+  /// Builds a DBN from a *finalized* slice network and temporal arcs (both
+  /// ends must be non-evidence nodes).
+  static Result<DynamicBayesianNetwork> Create(BayesianNetwork slice,
+                                               std::vector<TemporalArc> arcs);
+
+  const BayesianNetwork& slice() const { return slice_; }
+  const std::vector<TemporalArc>& temporal_arcs() const { return arcs_; }
+
+  /// Chain (non-observable) nodes in enumeration order.
+  const std::vector<NodeId>& chain_nodes() const { return chain_; }
+  /// Number of joint chain states (the belief-state dimension).
+  size_t num_chain_states() const { return chain_radix_.size(); }
+
+  /// Transition CPT of a chain node (parents: intra-slice, then temporal).
+  Cpt& transition_cpt(NodeId n);
+  const Cpt& transition_cpt(NodeId n) const;
+  /// Temporal parents of a node (order matches the transition CPT's
+  /// trailing parent digits).
+  const std::vector<NodeId>& temporal_parents(NodeId n) const {
+    return temporal_parents_[n];
+  }
+  /// Mutable slice access (EM initialization tweaks leaf CPTs).
+  BayesianNetwork& mutable_slice() { return slice_; }
+  /// Prior CPT (slice 0) of any node == the slice network's CPT.
+  Cpt& prior_cpt(NodeId n) { return slice_.cpt(n); }
+  const Cpt& prior_cpt(NodeId n) const { return slice_.cpt(n); }
+
+  void RandomizeCpts(Rng& rng, double noise = 1.0);
+
+  /// A Boyen–Koller cluster partition of the chain nodes. Empty = single
+  /// cluster (exact filtering).
+  using Clusters = std::vector<std::vector<NodeId>>;
+
+  struct FilterResult {
+    /// Per step: posterior of the query node given evidence so far.
+    std::vector<std::vector<double>> query_posterior;
+    /// Per step: full joint belief over chain states (after projection).
+    std::vector<std::vector<double>> beliefs;
+    double loglik = 0.0;
+  };
+
+  /// Runs (approximate) filtering over an evidence sequence.
+  Result<FilterResult> Filter(const std::vector<Evidence>& sequence,
+                              NodeId query,
+                              const Clusters& clusters = {}) const;
+
+  /// Marginal distribution of a chain node extracted from a joint belief
+  /// vector (as stored in FilterResult::beliefs).
+  std::vector<double> MarginalFromBelief(const std::vector<double>& belief,
+                                         NodeId node) const;
+
+  /// Exact smoothed per-step posteriors of `query` (forward-backward).
+  Result<std::vector<std::vector<double>>> Smooth(
+      const std::vector<Evidence>& sequence, NodeId query) const;
+
+  /// Log-likelihood of an evidence sequence under the model.
+  Result<double> LogLikelihood(const std::vector<Evidence>& sequence) const;
+
+  struct EmOptions {
+    int max_iterations = 30;
+    double tolerance = 1e-5;
+    double count_prior = 1e-3;
+  };
+
+  /// EM over multiple evidence sequences (the paper trains on 12 segments
+  /// of 25 s each). Returns the final total log-likelihood.
+  Result<double> TrainEm(const std::vector<std::vector<Evidence>>& sequences,
+                         const EmOptions& options);
+
+ private:
+  DynamicBayesianNetwork() = default;
+
+  /// Per-sequence sufficient statistics accumulated by the E-step.
+  struct CountTables {
+    std::vector<std::vector<double>> prior;       // per node
+    std::vector<std::vector<double>> transition;  // per chain node
+  };
+
+  /// Weight of a full slice configuration at t=0 (prior CPTs) or t>0
+  /// (transition CPTs, given previous chain states).
+  double ConfigWeight(bool initial, const std::vector<int>& prev_chain,
+                      const std::vector<int>& enum_states,
+                      const std::vector<std::vector<double>>& lambdas,
+                      std::vector<int>* scratch) const;
+
+  /// Absorbed-leaf factor for a configuration.
+  double LeafFactor(const std::vector<int>& enum_states,
+                    const std::vector<std::vector<double>>& lambdas,
+                    std::vector<int>* scratch) const;
+
+  /// Computes the unnormalized step kernel into `kernel` (prev x cur) for
+  /// t>0, or the initial vector (cur) for t=0 (prev dimension 1).
+  void StepKernel(bool initial, const Evidence& evidence,
+                  std::vector<double>* kernel) const;
+
+  /// Projects a joint chain belief onto the product of cluster marginals.
+  void ProjectToClusters(const Clusters& clusters,
+                         std::vector<double>* belief) const;
+
+  /// Accumulates expected counts for one sequence given forward/backward
+  /// quantities. Returns the sequence log-likelihood.
+  Result<double> AccumulateCounts(const std::vector<Evidence>& sequence,
+                                  CountTables* counts) const;
+
+  /// Cached per-call lambdas for one evidence slice.
+  std::vector<std::vector<double>> SliceLambdas(const Evidence& e) const;
+
+  BayesianNetwork slice_;
+  std::vector<TemporalArc> arcs_;
+  std::vector<NodeId> chain_;          // non-evidence nodes, topo order
+  std::vector<int> chain_pos_;         // node -> position in chain_ or -1
+  MixedRadix chain_radix_;
+  std::vector<NodeId> enum_evidence_;  // evidence nodes with children
+  MixedRadix enum_evidence_radix_;
+  std::vector<int> enum_pos_;          // node -> position in full enum tuple
+  std::vector<std::vector<NodeId>> temporal_parents_;  // per node
+  std::vector<Cpt> transition_cpts_;   // per node (chain only used)
+};
+
+}  // namespace cobra::bayes
+
+#endif  // COBRA_BAYES_DBN_H_

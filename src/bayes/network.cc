@@ -1,0 +1,280 @@
+#include "bayes/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+#include "base/logging.h"
+
+namespace cobra::bayes {
+
+NodeId BayesianNetwork::AddNode(const std::string& name, int num_states,
+                                bool is_evidence) {
+  COBRA_CHECK(!finalized_) << "AddNode after Finalize";
+  COBRA_CHECK(num_states >= 2);
+  Node node;
+  node.name = name;
+  node.num_states = num_states;
+  node.is_evidence = is_evidence;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+Status BayesianNetwork::AddEdge(NodeId parent, NodeId child) {
+  if (finalized_) return Status::FailedPrecondition("AddEdge after Finalize");
+  if (parent < 0 || parent >= num_nodes() || child < 0 ||
+      child >= num_nodes() || parent == child) {
+    return Status::InvalidArgument("bad edge endpoints");
+  }
+  nodes_[child].parents.push_back(parent);
+  nodes_[parent].children.push_back(child);
+  return Status::OK();
+}
+
+Status BayesianNetwork::Finalize() {
+  if (finalized_) return Status::FailedPrecondition("already finalized");
+  // Kahn topological sort.
+  std::vector<int> indegree(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    indegree[n] = static_cast<int>(nodes_[n].parents.size());
+  }
+  std::queue<NodeId> ready;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (indegree[n] == 0) ready.push(static_cast<NodeId>(n));
+  }
+  topo_.clear();
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop();
+    topo_.push_back(n);
+    for (NodeId c : nodes_[n].children) {
+      if (--indegree[c] == 0) ready.push(c);
+    }
+  }
+  if (topo_.size() != nodes_.size()) {
+    return Status::InvalidArgument("network has a cycle");
+  }
+
+  // Partition into enumerated nodes and absorbable evidence leaves.
+  enum_nodes_.clear();
+  absorbed_.clear();
+  std::vector<int> enum_cards;
+  for (NodeId n : topo_) {
+    if (nodes_[n].is_evidence && nodes_[n].children.empty()) {
+      absorbed_.push_back(n);
+    } else {
+      enum_nodes_.push_back(n);
+      enum_cards.push_back(nodes_[n].num_states);
+    }
+  }
+  enum_radix_ = MixedRadix(enum_cards);
+
+  // Allocate CPTs (uniform).
+  for (auto& node : nodes_) {
+    std::vector<int> parent_cards;
+    parent_cards.reserve(node.parents.size());
+    for (NodeId p : node.parents) parent_cards.push_back(nodes_[p].num_states);
+    node.cpt = Cpt(std::move(parent_cards), node.num_states);
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+NodeId BayesianNetwork::FindNode(const std::string& name) const {
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].name == name) return static_cast<NodeId>(n);
+  }
+  return -1;
+}
+
+void BayesianNetwork::RandomizeCpts(Rng& rng, double noise) {
+  for (auto& node : nodes_) node.cpt.Randomize(rng, noise);
+}
+
+std::vector<double> BayesianNetwork::Lambda(NodeId n,
+                                            const Evidence& evidence) const {
+  const int k = nodes_[n].num_states;
+  auto hard = evidence.hard.find(n);
+  if (hard != evidence.hard.end()) {
+    std::vector<double> lambda(k, 0.0);
+    COBRA_CHECK(hard->second >= 0 && hard->second < k);
+    lambda[hard->second] = 1.0;
+    return lambda;
+  }
+  auto soft = evidence.soft.find(n);
+  if (soft != evidence.soft.end()) {
+    COBRA_CHECK(soft->second.size() == static_cast<size_t>(k));
+    return soft->second;
+  }
+  return std::vector<double>(k, 1.0);
+}
+
+double BayesianNetwork::EnumerateConfigs(
+    const Evidence& evidence,
+    const std::function<void(const std::vector<int>&, double)>& visit) const {
+  COBRA_CHECK(finalized_);
+  // Per-node lambdas (cached once per call).
+  std::vector<std::vector<double>> lambdas(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    lambdas[n] = Lambda(static_cast<NodeId>(n), evidence);
+  }
+  // Position of each node within the enumeration tuple.
+  std::vector<int> pos(nodes_.size(), -1);
+  for (size_t i = 0; i < enum_nodes_.size(); ++i) {
+    pos[enum_nodes_[i]] = static_cast<int>(i);
+  }
+
+  std::vector<int> states(enum_nodes_.size(), 0);
+  std::vector<int> parent_states;
+  double total = 0.0;
+  const size_t num_configs = enum_radix_.size();
+  for (size_t cfg = 0; cfg < num_configs; ++cfg) {
+    enum_radix_.Decode(cfg, &states);
+    double w = 1.0;
+    for (size_t i = 0; i < enum_nodes_.size() && w > 0.0; ++i) {
+      const NodeId n = enum_nodes_[i];
+      const Node& node = nodes_[n];
+      parent_states.clear();
+      for (NodeId p : node.parents) {
+        COBRA_DCHECK(pos[p] >= 0) << "parent of enum node must be enumerated";
+        parent_states.push_back(states[pos[p]]);
+      }
+      const size_t row = node.cpt.parent_index().Encode(parent_states);
+      w *= node.cpt.P(row, states[i]) * lambdas[n][states[i]];
+    }
+    if (w <= 0.0) continue;
+    for (NodeId leaf : absorbed_) {
+      const Node& node = nodes_[leaf];
+      parent_states.clear();
+      for (NodeId p : node.parents) parent_states.push_back(states[pos[p]]);
+      const size_t row = node.cpt.parent_index().Encode(parent_states);
+      double s = 0.0;
+      for (int v = 0; v < node.num_states; ++v) {
+        s += node.cpt.P(row, v) * lambdas[leaf][v];
+      }
+      w *= s;
+      if (w <= 0.0) break;
+    }
+    if (w <= 0.0) continue;
+    total += w;
+    if (visit) visit(states, w);
+  }
+  return total;
+}
+
+Result<std::vector<double>> BayesianNetwork::Posterior(
+    NodeId query, const Evidence& evidence) const {
+  if (!finalized_) return Status::FailedPrecondition("not finalized");
+  if (query < 0 || query >= num_nodes()) {
+    return Status::InvalidArgument("bad query node");
+  }
+  int qpos = -1;
+  for (size_t i = 0; i < enum_nodes_.size(); ++i) {
+    if (enum_nodes_[i] == query) qpos = static_cast<int>(i);
+  }
+  if (qpos < 0) {
+    return Status::InvalidArgument(
+        "query node is an absorbed evidence leaf: " + name(query));
+  }
+  std::vector<double> acc(num_states(query), 0.0);
+  const double total = EnumerateConfigs(
+      evidence, [&](const std::vector<int>& states, double w) {
+        acc[states[qpos]] += w;
+      });
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("evidence has zero likelihood");
+  }
+  for (double& v : acc) v /= total;
+  return acc;
+}
+
+Result<double> BayesianNetwork::LogLikelihood(const Evidence& evidence) const {
+  if (!finalized_) return Status::FailedPrecondition("not finalized");
+  const double total = EnumerateConfigs(evidence, nullptr);
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("evidence has zero likelihood");
+  }
+  return std::log(total);
+}
+
+Result<double> BayesianNetwork::TrainEm(const std::vector<Evidence>& samples,
+                                        const EmOptions& options) {
+  if (!finalized_) return Status::FailedPrecondition("not finalized");
+  if (samples.empty()) return Status::InvalidArgument("no samples");
+
+  std::vector<int> pos(nodes_.size(), -1);
+  for (size_t i = 0; i < enum_nodes_.size(); ++i) {
+    pos[enum_nodes_[i]] = static_cast<int>(i);
+  }
+
+  double prev_loglik = -std::numeric_limits<double>::infinity();
+  double loglik = prev_loglik;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Expected counts, one flat table per node.
+    std::vector<std::vector<double>> counts(nodes_.size());
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      counts[n].assign(nodes_[n].cpt.probs().size(), 0.0);
+    }
+    loglik = 0.0;
+
+    std::vector<int> parent_states;
+    for (const Evidence& sample : samples) {
+      const double total = EnumerateConfigs(sample, nullptr);
+      if (total <= 0.0) {
+        return Status::FailedPrecondition(
+            "sample with zero likelihood during EM");
+      }
+      loglik += std::log(total);
+      // Per-node lambdas for the absorbed-leaf posterior.
+      std::vector<std::vector<double>> lambdas(nodes_.size());
+      for (size_t n = 0; n < nodes_.size(); ++n) {
+        lambdas[n] = Lambda(static_cast<NodeId>(n), sample);
+      }
+      EnumerateConfigs(sample, [&](const std::vector<int>& states, double w) {
+        const double wn = w / total;
+        for (size_t i = 0; i < enum_nodes_.size(); ++i) {
+          const NodeId n = enum_nodes_[i];
+          parent_states.clear();
+          for (NodeId p : nodes_[n].parents) {
+            parent_states.push_back(states[pos[p]]);
+          }
+          const size_t row = nodes_[n].cpt.parent_index().Encode(parent_states);
+          Cpt::AddCount(counts[n], nodes_[n].num_states, row, states[i], wn);
+        }
+        for (NodeId leaf : absorbed_) {
+          const Node& node = nodes_[leaf];
+          parent_states.clear();
+          for (NodeId p : node.parents) {
+            parent_states.push_back(states[pos[p]]);
+          }
+          const size_t row = node.cpt.parent_index().Encode(parent_states);
+          double norm = 0.0;
+          for (int v = 0; v < node.num_states; ++v) {
+            norm += node.cpt.P(row, v) * lambdas[leaf][v];
+          }
+          if (norm <= 0.0) continue;
+          for (int v = 0; v < node.num_states; ++v) {
+            const double q = node.cpt.P(row, v) * lambdas[leaf][v] / norm;
+            Cpt::AddCount(counts[leaf], node.num_states, row, v, wn * q);
+          }
+        }
+      });
+    }
+
+    // M-step.
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      nodes_[n].cpt.SetFromCounts(counts[n], options.count_prior);
+    }
+
+    if (iter > 0 &&
+        std::abs(loglik - prev_loglik) <
+            options.tolerance * (std::abs(prev_loglik) + 1.0)) {
+      break;
+    }
+    prev_loglik = loglik;
+  }
+  return loglik;
+}
+
+}  // namespace cobra::bayes

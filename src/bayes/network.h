@@ -1,0 +1,129 @@
+#ifndef COBRA_BAYES_NETWORK_H_
+#define COBRA_BAYES_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "bayes/cpt.h"
+
+namespace cobra::bayes {
+
+using NodeId = int;
+
+/// Evidence entered into a network for one inference call (one video clip).
+/// Evidence is *soft* ("virtual"): per-node likelihood vectors, matching the
+/// paper's probabilistic feature values in [0, 1] — feature value v on a
+/// binary node enters as likelihood (1-v, v). Hard assignments (used when a
+/// query node is supervised during training) fix a node to one state.
+struct Evidence {
+  std::map<NodeId, std::vector<double>> soft;
+  std::map<NodeId, int> hard;
+
+  /// Convenience for binary nodes: likelihood (1-v, v).
+  void SetBinary(NodeId node, double v) { soft[node] = {1.0 - v, v}; }
+};
+
+/// A discrete Bayesian network: DAG of k-ary nodes with CPTs. Nodes flagged
+/// `is_evidence` are the feature inputs; the rest (query and intermediate
+/// nodes) are hidden. Inference is exact: enumeration over the hidden (and
+/// any non-leaf evidence) nodes, with leaf evidence absorbed analytically —
+/// the networks in this domain have at most a dozen such nodes, so exact
+/// inference is cheap.
+class BayesianNetwork {
+ public:
+  BayesianNetwork() = default;
+
+  /// Adds a node; `is_evidence` marks feature-input nodes.
+  NodeId AddNode(const std::string& name, int num_states, bool is_evidence);
+
+  /// Adds a directed edge parent -> child. Must be called before Finalize.
+  Status AddEdge(NodeId parent, NodeId child);
+
+  /// Validates acyclicity, fixes the topological order and allocates
+  /// (uniform) CPTs. Must be called before inference or training.
+  Status Finalize();
+  bool finalized() const { return finalized_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const std::string& name(NodeId n) const { return nodes_[n].name; }
+  int num_states(NodeId n) const { return nodes_[n].num_states; }
+  bool is_evidence(NodeId n) const { return nodes_[n].is_evidence; }
+  const std::vector<NodeId>& parents(NodeId n) const {
+    return nodes_[n].parents;
+  }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return nodes_[n].children;
+  }
+  /// NodeId by name; -1 when absent.
+  NodeId FindNode(const std::string& name) const;
+
+  Cpt& cpt(NodeId n) { return nodes_[n].cpt; }
+  const Cpt& cpt(NodeId n) const { return nodes_[n].cpt; }
+
+  /// Randomizes every CPT (EM initialization).
+  void RandomizeCpts(Rng& rng, double noise = 1.0);
+
+  /// Exact posterior P(query | evidence); `query` must not be an absorbed
+  /// evidence leaf.
+  Result<std::vector<double>> Posterior(NodeId query,
+                                        const Evidence& evidence) const;
+
+  /// Log-probability of the evidence.
+  Result<double> LogLikelihood(const Evidence& evidence) const;
+
+  struct EmOptions {
+    int max_iterations = 40;
+    double tolerance = 1e-5;   // relative log-likelihood improvement
+    double count_prior = 1e-3; // Dirichlet smoothing of M-step counts
+  };
+
+  /// Expectation-Maximization (maximum-likelihood) parameter learning over
+  /// i.i.d. samples; hidden intermediate nodes are handled by the E-step.
+  /// Returns the final log-likelihood.
+  Result<double> TrainEm(const std::vector<Evidence>& samples,
+                         const EmOptions& options);
+
+  /// The nodes enumerated by inference (non-evidence nodes plus evidence
+  /// nodes with children), in topological order. Exposed for the DBN.
+  const std::vector<NodeId>& enumerated_nodes() const { return enum_nodes_; }
+  /// Evidence leaves absorbed analytically.
+  const std::vector<NodeId>& absorbed_leaves() const { return absorbed_; }
+  const std::vector<NodeId>& topological_order() const { return topo_; }
+
+ private:
+  friend class DynamicBayesianNetwork;
+
+  struct Node {
+    std::string name;
+    int num_states = 2;
+    bool is_evidence = false;
+    std::vector<NodeId> parents;
+    std::vector<NodeId> children;
+    Cpt cpt;
+  };
+
+  /// Likelihood vector for a node under `evidence` (ones when unobserved).
+  std::vector<double> Lambda(NodeId n, const Evidence& evidence) const;
+
+  /// Enumerates all configurations of enum_nodes_, calling
+  /// visit(config_states, weight) for each configuration with nonzero
+  /// weight. Returns the total weight (the evidence likelihood).
+  double EnumerateConfigs(
+      const Evidence& evidence,
+      const std::function<void(const std::vector<int>&, double)>& visit) const;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> topo_;
+  std::vector<NodeId> enum_nodes_;
+  std::vector<NodeId> absorbed_;
+  MixedRadix enum_radix_;
+  bool finalized_ = false;
+};
+
+}  // namespace cobra::bayes
+
+#endif  // COBRA_BAYES_NETWORK_H_

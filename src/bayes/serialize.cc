@@ -1,0 +1,166 @@
+#include "bayes/serialize.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace cobra::bayes {
+namespace {
+
+void AppendCpt(std::ostringstream& out, const char* tag, NodeId node,
+               const Cpt& cpt) {
+  out << tag << " " << node;
+  for (double p : cpt.probs()) out << " " << p;
+  out << "\n";
+}
+
+Status ParseCpt(const std::vector<std::string>& fields, Cpt* cpt) {
+  if (fields.size() != 2 + cpt->probs().size()) {
+    return Status::InvalidArgument("CPT arity mismatch in serialized model");
+  }
+  auto& probs = cpt->mutable_probs();
+  for (size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = std::atof(fields[2 + i].c_str());
+  }
+  cpt->NormalizeRows();
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeNetwork(const BayesianNetwork& net) {
+  std::ostringstream out;
+  out << "bn " << net.num_nodes() << "\n";
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    out << "node " << net.name(n) << " " << net.num_states(n) << " "
+        << (net.is_evidence(n) ? 1 : 0);
+    for (NodeId p : net.parents(n)) out << " " << p;
+    out << "\n";
+  }
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    AppendCpt(out, "cpt", n, net.cpt(n));
+  }
+  return out.str();
+}
+
+Result<BayesianNetwork> DeserializeNetwork(const std::string& text) {
+  BayesianNetwork net;
+  std::istringstream in(text);
+  std::string line;
+  int expected_nodes = -1;
+  std::vector<std::vector<NodeId>> parents;
+  bool finalized = false;
+  while (std::getline(in, line)) {
+    const auto fields = StrSplit(std::string(StrTrim(line)), ' ');
+    if (fields.empty() || fields[0].empty()) continue;
+    if (fields[0] == "bn") {
+      if (fields.size() != 2) return Status::InvalidArgument("bad bn line");
+      expected_nodes = std::atoi(fields[1].c_str());
+    } else if (fields[0] == "node") {
+      if (fields.size() < 4) return Status::InvalidArgument("bad node line");
+      net.AddNode(fields[1], std::atoi(fields[2].c_str()),
+                  std::atoi(fields[3].c_str()) != 0);
+      std::vector<NodeId> node_parents;
+      for (size_t i = 4; i < fields.size(); ++i) {
+        node_parents.push_back(std::atoi(fields[i].c_str()));
+      }
+      parents.push_back(std::move(node_parents));
+    } else if (fields[0] == "cpt") {
+      if (!finalized) {
+        if (net.num_nodes() != expected_nodes) {
+          return Status::InvalidArgument("node count mismatch");
+        }
+        for (NodeId child = 0; child < net.num_nodes(); ++child) {
+          for (NodeId parent : parents[child]) {
+            COBRA_RETURN_IF_ERROR(net.AddEdge(parent, child));
+          }
+        }
+        COBRA_RETURN_IF_ERROR(net.Finalize());
+        finalized = true;
+      }
+      if (fields.size() < 2) return Status::InvalidArgument("bad cpt line");
+      const NodeId n = std::atoi(fields[1].c_str());
+      if (n < 0 || n >= net.num_nodes()) {
+        return Status::OutOfRange("cpt node out of range");
+      }
+      COBRA_RETURN_IF_ERROR(ParseCpt(fields, &net.cpt(n)));
+    } else {
+      return Status::InvalidArgument("unknown line tag: " + fields[0]);
+    }
+  }
+  if (!finalized) return Status::InvalidArgument("model has no CPT section");
+  return net;
+}
+
+std::string SerializeDbn(const DynamicBayesianNetwork& dbn) {
+  std::ostringstream out;
+  out << SerializeNetwork(dbn.slice());
+  out << "dbn\n";
+  for (const auto& arc : dbn.temporal_arcs()) {
+    out << "arc " << arc.from << " " << arc.to << "\n";
+  }
+  for (NodeId n : dbn.chain_nodes()) {
+    AppendCpt(out, "tcpt", n, dbn.transition_cpt(n));
+  }
+  return out.str();
+}
+
+Result<DynamicBayesianNetwork> DeserializeDbn(const std::string& text) {
+  const size_t marker = text.find("\ndbn\n");
+  if (marker == std::string::npos) {
+    return Status::InvalidArgument("not a serialized DBN (no dbn marker)");
+  }
+  COBRA_ASSIGN_OR_RETURN(BayesianNetwork slice,
+                         DeserializeNetwork(text.substr(0, marker + 1)));
+
+  std::vector<DynamicBayesianNetwork::TemporalArc> arcs;
+  std::vector<std::pair<NodeId, std::vector<std::string>>> tcpts;
+  std::istringstream in(text.substr(marker + 5));
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto fields = StrSplit(std::string(StrTrim(line)), ' ');
+    if (fields.empty() || fields[0].empty()) continue;
+    if (fields[0] == "arc") {
+      if (fields.size() != 3) return Status::InvalidArgument("bad arc line");
+      arcs.push_back({std::atoi(fields[1].c_str()),
+                      std::atoi(fields[2].c_str())});
+    } else if (fields[0] == "tcpt") {
+      if (fields.size() < 2) return Status::InvalidArgument("bad tcpt line");
+      tcpts.emplace_back(std::atoi(fields[1].c_str()), fields);
+    } else {
+      return Status::InvalidArgument("unknown dbn line tag: " + fields[0]);
+    }
+  }
+  COBRA_ASSIGN_OR_RETURN(
+      DynamicBayesianNetwork dbn,
+      DynamicBayesianNetwork::Create(std::move(slice), std::move(arcs)));
+  for (auto& [node, fields] : tcpts) {
+    if (node < 0 || node >= dbn.slice().num_nodes()) {
+      return Status::OutOfRange("tcpt node out of range");
+    }
+    COBRA_RETURN_IF_ERROR(ParseCpt(fields, &dbn.transition_cpt(node)));
+  }
+  return dbn;
+}
+
+Status StoreModel(kernel::Catalog* catalog, const std::string& name,
+                  const std::string& serialized) {
+  const std::string bat_name = "model." + name;
+  if (catalog->Exists(bat_name)) {
+    COBRA_RETURN_IF_ERROR(catalog->Drop(bat_name));
+  }
+  kernel::Bat bat(kernel::TailType::kStr);
+  bat.AppendStr(0, serialized);
+  catalog->Put(bat_name, std::move(bat));
+  return Status::OK();
+}
+
+Result<std::string> LoadModel(const kernel::Catalog& catalog,
+                              const std::string& name) {
+  COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat,
+                         catalog.Get("model." + name));
+  if (bat->empty()) return Status::NotFound("empty model BAT");
+  return bat->StrAt(0);
+}
+
+}  // namespace cobra::bayes

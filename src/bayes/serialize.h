@@ -1,0 +1,41 @@
+#ifndef COBRA_BAYES_SERIALIZE_H_
+#define COBRA_BAYES_SERIALIZE_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "bayes/dbn.h"
+#include "bayes/network.h"
+#include "kernel/catalog.h"
+
+namespace cobra::bayes {
+
+/// Model persistence. The paper stores domain knowledge — trained HMMs,
+/// DBNs, rules — *inside the database*, so that querying a new domain only
+/// requires loading that domain's models. These routines serialize networks
+/// to a line-oriented text format and store/load them through the kernel
+/// catalog as single-row string BATs under "model.<name>".
+
+/// Serializes a finalized network (structure + CPTs).
+std::string SerializeNetwork(const BayesianNetwork& net);
+
+/// Rebuilds a network from SerializeNetwork output.
+Result<BayesianNetwork> DeserializeNetwork(const std::string& text);
+
+/// Serializes a DBN (slice + temporal arcs + transition CPTs).
+std::string SerializeDbn(const DynamicBayesianNetwork& dbn);
+
+/// Rebuilds a DBN from SerializeDbn output.
+Result<DynamicBayesianNetwork> DeserializeDbn(const std::string& text);
+
+/// Stores a serialized model in the kernel catalog under "model.<name>".
+Status StoreModel(kernel::Catalog* catalog, const std::string& name,
+                  const std::string& serialized);
+
+/// Loads a serialized model from the kernel catalog.
+Result<std::string> LoadModel(const kernel::Catalog& catalog,
+                              const std::string& name);
+
+}  // namespace cobra::bayes
+
+#endif  // COBRA_BAYES_SERIALIZE_H_

@@ -1,0 +1,236 @@
+#include "cobra/video_model.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace cobra::model {
+
+VideoCatalog::VideoCatalog(kernel::Catalog* catalog)
+    : catalog_(catalog), session_(catalog) {
+  COBRA_CHECK(catalog != nullptr);
+  moa::ClassDef video_class;
+  video_class.name = "video";
+  video_class.attributes = {
+      {"name", kernel::TailType::kStr},
+      {"duration", kernel::TailType::kFloat},
+      {"fps", kernel::TailType::kFloat},
+  };
+  COBRA_CHECK(session_.DefineClass(video_class).ok());
+
+  moa::ClassDef event_class;
+  event_class.name = "event";
+  event_class.attributes = {
+      {"video", kernel::TailType::kOid},
+      {"type", kernel::TailType::kStr},
+      {"begin", kernel::TailType::kFloat},
+      {"end", kernel::TailType::kFloat},
+      {"confidence", kernel::TailType::kFloat},
+      {"attrs", kernel::TailType::kStr},
+  };
+  COBRA_CHECK(session_.DefineClass(event_class).ok());
+
+  moa::ClassDef object_class;
+  object_class.name = "object";
+  object_class.attributes = {
+      {"video", kernel::TailType::kOid},
+      {"class", kernel::TailType::kStr},
+      {"name", kernel::TailType::kStr},
+      {"attrs", kernel::TailType::kStr},
+  };
+  COBRA_CHECK(session_.DefineClass(object_class).ok());
+}
+
+Result<VideoId> VideoCatalog::RegisterVideo(const std::string& name,
+                                            double duration_sec, double fps) {
+  for (const auto& v : videos_) {
+    if (v.name == name) return Status::AlreadyExists("video exists: " + name);
+  }
+  COBRA_ASSIGN_OR_RETURN(kernel::Oid oid, session_.NewObject("video"));
+  COBRA_RETURN_IF_ERROR(
+      session_.SetAttr("video", oid, "name", kernel::Value::Str(name)));
+  COBRA_RETURN_IF_ERROR(session_.SetAttr("video", oid, "duration",
+                                         kernel::Value::Float(duration_sec)));
+  COBRA_RETURN_IF_ERROR(
+      session_.SetAttr("video", oid, "fps", kernel::Value::Float(fps)));
+  VideoDescriptor desc;
+  desc.id = oid;
+  desc.name = name;
+  desc.duration_sec = duration_sec;
+  desc.fps = fps;
+  videos_.push_back(desc);
+  return oid;
+}
+
+Result<VideoDescriptor> VideoCatalog::GetVideo(VideoId id) const {
+  for (const auto& v : videos_) {
+    if (v.id == id) return v;
+  }
+  return Status::NotFound("no video with that id");
+}
+
+Result<VideoDescriptor> VideoCatalog::FindVideo(const std::string& name) const {
+  for (const auto& v : videos_) {
+    if (v.name == name) return v;
+  }
+  return Status::NotFound("no video named " + name);
+}
+
+std::vector<VideoDescriptor> VideoCatalog::Videos() const { return videos_; }
+
+std::string VideoCatalog::FeatureBatName(VideoId video,
+                                         const std::string& feature) const {
+  return StrFormat("feature.%llu.%s", static_cast<unsigned long long>(video),
+                   feature.c_str());
+}
+
+Status VideoCatalog::StoreFeatureSeries(VideoId video,
+                                        const std::string& feature,
+                                        const std::vector<double>& values) {
+  const std::string bat_name = FeatureBatName(video, feature);
+  if (catalog_->Exists(bat_name)) {
+    COBRA_RETURN_IF_ERROR(catalog_->Drop(bat_name));
+  }
+  kernel::Bat bat(kernel::TailType::kFloat);
+  for (size_t i = 0; i < values.size(); ++i) {
+    bat.AppendFloat(static_cast<kernel::Oid>(i), values[i]);
+  }
+  catalog_->Put(bat_name, std::move(bat));
+  auto& names = feature_names_[video];
+  if (std::find(names.begin(), names.end(), feature) == names.end()) {
+    names.push_back(feature);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> VideoCatalog::LoadFeatureSeries(
+    VideoId video, const std::string& feature) const {
+  COBRA_ASSIGN_OR_RETURN(
+      const kernel::Bat* bat,
+      static_cast<const kernel::Catalog*>(catalog_)->Get(
+          FeatureBatName(video, feature)));
+  return bat->float_tails();
+}
+
+bool VideoCatalog::HasFeature(VideoId video, const std::string& feature) const {
+  return catalog_->Exists(FeatureBatName(video, feature));
+}
+
+std::vector<std::string> VideoCatalog::FeatureNames(VideoId video) const {
+  auto it = feature_names_.find(video);
+  return it == feature_names_.end() ? std::vector<std::string>{} : it->second;
+}
+
+Status VideoCatalog::StoreObject(VideoId video, const ObjectRecord& object) {
+  COBRA_ASSIGN_OR_RETURN(kernel::Oid oid, session_.NewObject("object"));
+  COBRA_RETURN_IF_ERROR(
+      session_.SetAttr("object", oid, "video", kernel::Value::OfOid(video)));
+  COBRA_RETURN_IF_ERROR(session_.SetAttr("object", oid, "class",
+                                         kernel::Value::Str(object.cls)));
+  COBRA_RETURN_IF_ERROR(
+      session_.SetAttr("object", oid, "name", kernel::Value::Str(object.name)));
+  std::vector<std::string> kv;
+  for (const auto& [k, v] : object.attrs) kv.push_back(k + "=" + v);
+  COBRA_RETURN_IF_ERROR(session_.SetAttr("object", oid, "attrs",
+                                         kernel::Value::Str(StrJoin(kv, ";"))));
+  objects_[video].push_back(object);
+  return Status::OK();
+}
+
+Result<std::vector<ObjectRecord>> VideoCatalog::Objects(
+    VideoId video, const std::string& cls) const {
+  auto it = objects_.find(video);
+  std::vector<ObjectRecord> out;
+  if (it == objects_.end()) return out;
+  for (const auto& obj : it->second) {
+    if (cls.empty() || obj.cls == cls) out.push_back(obj);
+  }
+  return out;
+}
+
+Status VideoCatalog::StoreEvent(VideoId video, const EventRecord& event) {
+  COBRA_ASSIGN_OR_RETURN(kernel::Oid oid, session_.NewObject("event"));
+  COBRA_RETURN_IF_ERROR(
+      session_.SetAttr("event", oid, "video", kernel::Value::OfOid(video)));
+  COBRA_RETURN_IF_ERROR(
+      session_.SetAttr("event", oid, "type", kernel::Value::Str(event.type)));
+  COBRA_RETURN_IF_ERROR(session_.SetAttr("event", oid, "begin",
+                                         kernel::Value::Float(event.begin_sec)));
+  COBRA_RETURN_IF_ERROR(session_.SetAttr("event", oid, "end",
+                                         kernel::Value::Float(event.end_sec)));
+  COBRA_RETURN_IF_ERROR(session_.SetAttr(
+      "event", oid, "confidence", kernel::Value::Float(event.confidence)));
+  std::vector<std::string> kv;
+  for (const auto& [k, v] : event.attrs) kv.push_back(k + "=" + v);
+  COBRA_RETURN_IF_ERROR(session_.SetAttr("event", oid, "attrs",
+                                         kernel::Value::Str(StrJoin(kv, ";"))));
+  events_[video].push_back(event);
+  return Status::OK();
+}
+
+Status VideoCatalog::StoreEvents(VideoId video,
+                                 const std::vector<EventRecord>& events) {
+  for (const auto& e : events) {
+    COBRA_RETURN_IF_ERROR(StoreEvent(video, e));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<EventRecord>> VideoCatalog::Events(
+    VideoId video, const std::string& type) const {
+  auto it = events_.find(video);
+  std::vector<EventRecord> out;
+  if (it != events_.end()) {
+    for (const auto& e : it->second) {
+      if (type.empty() || e.type == type) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return a.begin_sec < b.begin_sec;
+            });
+  return out;
+}
+
+bool VideoCatalog::HasEvents(VideoId video, const std::string& type) const {
+  auto it = events_.find(video);
+  if (it == events_.end()) return false;
+  for (const auto& e : it->second) {
+    if (e.type == type) return true;
+  }
+  return false;
+}
+
+Status VideoCatalog::DropEvents(VideoId video, const std::string& type) {
+  auto it = events_.find(video);
+  if (it == events_.end()) return Status::OK();
+  auto& vec = it->second;
+  vec.erase(std::remove_if(vec.begin(), vec.end(),
+                           [&type](const EventRecord& e) {
+                             return e.type == type;
+                           }),
+            vec.end());
+  return Status::OK();
+}
+
+rules::EventFact VideoCatalog::ToFact(const EventRecord& event) {
+  rules::EventFact fact;
+  fact.type = event.type;
+  fact.span = rules::TimeInterval{event.begin_sec, event.end_sec};
+  fact.attrs = event.attrs;
+  fact.confidence = event.confidence;
+  return fact;
+}
+
+EventRecord VideoCatalog::FromFact(const rules::EventFact& fact) {
+  EventRecord event;
+  event.type = fact.type;
+  event.begin_sec = fact.span.begin;
+  event.end_sec = fact.span.end;
+  event.attrs = fact.attrs;
+  event.confidence = fact.confidence;
+  return event;
+}
+
+}  // namespace cobra::model

@@ -1,0 +1,107 @@
+#ifndef COBRA_COBRA_VIDEO_MODEL_H_
+#define COBRA_COBRA_VIDEO_MODEL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kernel/catalog.h"
+#include "moa/moa.h"
+#include "rules/engine.h"
+
+namespace cobra::model {
+
+using VideoId = kernel::Oid;
+
+/// Raw layer: one registered video source.
+struct VideoDescriptor {
+  VideoId id = 0;
+  std::string name;
+  double duration_sec = 0.0;
+  double fps = 25.0;
+};
+
+/// Event layer record: a semantic occurrence within a video. `attrs` carries
+/// domain attributes (driver name, caption kind, ...).
+struct EventRecord {
+  std::string type;
+  double begin_sec = 0.0;
+  double end_sec = 0.0;
+  double confidence = 1.0;
+  std::map<std::string, std::string> attrs;
+};
+
+/// Object layer record: a prominent spatial entity (driver, car, ...).
+struct ObjectRecord {
+  std::string cls;   // e.g. "driver"
+  std::string name;  // e.g. "SCHUMACHER"
+  std::map<std::string, std::string> attrs;
+};
+
+/// The Cobra video data model [15]: four layers — raw data, features,
+/// objects, events — persisted via the Moa/kernel stack so that metadata is
+/// ordinary database content that queries (and the preprocessor's
+/// availability checks) can reach. Features are per-0.1 s-clip time series;
+/// events are attributed intervals.
+class VideoCatalog {
+ public:
+  explicit VideoCatalog(kernel::Catalog* catalog);
+
+  // -- Raw layer ---------------------------------------------------------
+
+  Result<VideoId> RegisterVideo(const std::string& name, double duration_sec,
+                                double fps = 25.0);
+  Result<VideoDescriptor> GetVideo(VideoId id) const;
+  Result<VideoDescriptor> FindVideo(const std::string& name) const;
+  std::vector<VideoDescriptor> Videos() const;
+
+  // -- Feature layer -------------------------------------------------------
+
+  /// Stores a named per-clip feature series (overwrites a previous one).
+  Status StoreFeatureSeries(VideoId video, const std::string& feature,
+                            const std::vector<double>& values);
+  Result<std::vector<double>> LoadFeatureSeries(
+      VideoId video, const std::string& feature) const;
+  bool HasFeature(VideoId video, const std::string& feature) const;
+  std::vector<std::string> FeatureNames(VideoId video) const;
+
+  // -- Object layer -------------------------------------------------------
+
+  Status StoreObject(VideoId video, const ObjectRecord& object);
+  Result<std::vector<ObjectRecord>> Objects(VideoId video,
+                                            const std::string& cls) const;
+
+  // -- Event layer --------------------------------------------------------
+
+  Status StoreEvent(VideoId video, const EventRecord& event);
+  Status StoreEvents(VideoId video, const std::vector<EventRecord>& events);
+  /// Events of a type (empty type = all), sorted by begin time.
+  Result<std::vector<EventRecord>> Events(VideoId video,
+                                          const std::string& type = "") const;
+  bool HasEvents(VideoId video, const std::string& type) const;
+  /// Drops all events of a type (used before re-extraction).
+  Status DropEvents(VideoId video, const std::string& type);
+
+  /// Bridges the event layer to the rule engine.
+  static rules::EventFact ToFact(const EventRecord& event);
+  static EventRecord FromFact(const rules::EventFact& fact);
+
+  moa::MoaSession& session() { return session_; }
+
+ private:
+  std::string FeatureBatName(VideoId video, const std::string& feature) const;
+
+  kernel::Catalog* catalog_;
+  moa::MoaSession session_;
+  std::vector<VideoDescriptor> videos_;
+  // Event storage: in-memory index mirroring the BAT-backed store.
+  std::map<VideoId, std::vector<EventRecord>> events_;
+  std::map<VideoId, std::vector<ObjectRecord>> objects_;
+  std::map<VideoId, std::vector<std::string>> feature_names_;
+};
+
+}  // namespace cobra::model
+
+#endif  // COBRA_COBRA_VIDEO_MODEL_H_

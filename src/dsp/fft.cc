@@ -1,0 +1,66 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace cobra::dsp {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  COBRA_CHECK(n > 0 && (n & (n - 1)) == 0) << "FFT size must be a power of 2";
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> RealFft(const std::vector<double>& signal,
+                                          size_t min_size) {
+  size_t n = NextPow2(std::max(signal.size(), std::max<size_t>(min_size, 1)));
+  std::vector<std::complex<double>> data(n);
+  for (size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+  Fft(data);
+  return data;
+}
+
+std::vector<double> PowerSpectrum(const std::vector<double>& signal,
+                                  size_t min_size) {
+  auto spec = RealFft(signal, min_size);
+  const size_t half = spec.size() / 2;
+  std::vector<double> power(half + 1);
+  for (size_t k = 0; k <= half; ++k) power[k] = std::norm(spec[k]);
+  return power;
+}
+
+}  // namespace cobra::dsp

@@ -1,0 +1,28 @@
+#ifndef COBRA_DSP_FFT_H_
+#define COBRA_DSP_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace cobra::dsp {
+
+/// Returns the smallest power of two >= n (n >= 1).
+size_t NextPow2(size_t n);
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` applies the conjugate transform and divides by N.
+void Fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// FFT of a real signal, zero-padded to the next power of two (or to
+/// `min_size` if larger). Returns the full complex spectrum.
+std::vector<std::complex<double>> RealFft(const std::vector<double>& signal,
+                                          size_t min_size = 0);
+
+/// Power spectrum |X[k]|^2 of a real signal for k in [0, N/2].
+std::vector<double> PowerSpectrum(const std::vector<double>& signal,
+                                  size_t min_size = 0);
+
+}  // namespace cobra::dsp
+
+#endif  // COBRA_DSP_FFT_H_

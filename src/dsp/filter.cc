@@ -1,0 +1,72 @@
+#include "dsp/filter.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "dsp/window.h"
+
+namespace cobra::dsp {
+namespace {
+
+double Sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(M_PI * x) / (M_PI * x);
+}
+
+}  // namespace
+
+FirFilter FirFilter::BandPass(double low_hz, double high_hz,
+                              double sample_rate, size_t num_taps) {
+  COBRA_CHECK(num_taps % 2 == 1) << "num_taps must be odd";
+  COBRA_CHECK(sample_rate > 0.0);
+  COBRA_CHECK(low_hz >= 0.0 && high_hz > low_hz);
+  const double nyquist = sample_rate / 2.0;
+  const double fl = low_hz / nyquist;        // normalized [0,1]
+  const double fh = std::min(high_hz, nyquist) / nyquist;
+
+  const auto window = MakeWindow(WindowType::kHamming, num_taps);
+  std::vector<double> taps(num_taps);
+  const double mid = static_cast<double>(num_taps - 1) / 2.0;
+  for (size_t i = 0; i < num_taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    // Ideal band-pass = highpass-cutoff sinc minus lowpass-cutoff sinc.
+    const double ideal = fh * Sinc(fh * t) - fl * Sinc(fl * t);
+    taps[i] = ideal * window[i];
+  }
+  return FirFilter(std::move(taps));
+}
+
+std::vector<double> FirFilter::Apply(const std::vector<double>& signal) const {
+  const size_t n = signal.size();
+  const size_t m = taps_.size();
+  const size_t delay = (m - 1) / 2;
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    // Output sample i corresponds to input centered at i (delay-compensated).
+    for (size_t k = 0; k < m; ++k) {
+      const ptrdiff_t idx =
+          static_cast<ptrdiff_t>(i) + static_cast<ptrdiff_t>(delay) -
+          static_cast<ptrdiff_t>(k);
+      if (idx >= 0 && idx < static_cast<ptrdiff_t>(n)) {
+        acc += taps_[k] * signal[static_cast<size_t>(idx)];
+      }
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> ExponentialSmooth(const std::vector<double>& signal,
+                                      double a) {
+  COBRA_CHECK(a >= 0.0 && a < 1.0);
+  std::vector<double> out(signal.size());
+  double y = 0.0;
+  for (size_t i = 0; i < signal.size(); ++i) {
+    y = a * y + (1.0 - a) * signal[i];
+    out[i] = y;
+  }
+  return out;
+}
+
+}  // namespace cobra::dsp

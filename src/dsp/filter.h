@@ -1,0 +1,40 @@
+#ifndef COBRA_DSP_FILTER_H_
+#define COBRA_DSP_FILTER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra::dsp {
+
+/// Linear-phase FIR filter built by the windowed-sinc method. The audio
+/// front end uses band-pass instances for the paper's sub-bands
+/// (0–882 Hz for pitch/MFCC, 882–2205 Hz for excited-speech STE,
+/// 0–2.5 kHz for speech characterization).
+class FirFilter {
+ public:
+  /// Designs a band-pass filter passing [low_hz, high_hz] at `sample_rate`.
+  /// `num_taps` must be odd; larger means sharper transition bands.
+  /// low_hz == 0 gives a low-pass; high_hz >= Nyquist gives a high-pass.
+  static FirFilter BandPass(double low_hz, double high_hz, double sample_rate,
+                            size_t num_taps = 101);
+
+  /// Filters `signal` (same-length output; zero initial state, group delay
+  /// compensated so features line up with the input timeline).
+  std::vector<double> Apply(const std::vector<double>& signal) const;
+
+  const std::vector<double>& taps() const { return taps_; }
+
+ private:
+  explicit FirFilter(std::vector<double> taps) : taps_(std::move(taps)) {}
+
+  std::vector<double> taps_;
+};
+
+/// Single-pole IIR smoother y[i] = a*y[i-1] + (1-a)*x[i], used for envelope
+/// tracking. `a` in [0,1).
+std::vector<double> ExponentialSmooth(const std::vector<double>& signal,
+                                      double a);
+
+}  // namespace cobra::dsp
+
+#endif  // COBRA_DSP_FILTER_H_

@@ -1,0 +1,71 @@
+#include "dsp/spectral.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "dsp/fft.h"
+
+namespace cobra::dsp {
+
+std::vector<double> Autocorrelation(const std::vector<double>& signal,
+                                    size_t max_lag) {
+  const size_t n = signal.size();
+  std::vector<double> r(max_lag + 1, 0.0);
+  if (n == 0) return r;
+  for (size_t k = 0; k <= max_lag && k < n; ++k) {
+    double s = 0.0;
+    for (size_t i = 0; i + k < n; ++i) s += signal[i] * signal[i + k];
+    r[k] = s / static_cast<double>(n);
+  }
+  return r;
+}
+
+std::vector<double> DctII(const std::vector<double>& input,
+                          size_t num_coeffs) {
+  const size_t n = input.size();
+  COBRA_CHECK(n > 0);
+  std::vector<double> out(num_coeffs, 0.0);
+  for (size_t k = 0; k < num_coeffs; ++k) {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      s += input[i] * std::cos(M_PI * static_cast<double>(k) *
+                               (static_cast<double>(i) + 0.5) /
+                               static_cast<double>(n));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+double ZeroCrossingRate(const std::vector<double>& signal) {
+  if (signal.size() < 2) return 0.0;
+  size_t crossings = 0;
+  for (size_t i = 1; i < signal.size(); ++i) {
+    if ((signal[i - 1] >= 0.0) != (signal[i] >= 0.0)) ++crossings;
+  }
+  return static_cast<double>(crossings) /
+         static_cast<double>(signal.size() - 1);
+}
+
+double SpectralEntropy(const std::vector<double>& signal) {
+  if (signal.empty()) return 0.0;
+  auto power = PowerSpectrum(signal);
+  double total = 0.0;
+  for (double p : power) total += p;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : power) {
+    if (p <= 0.0) continue;
+    const double q = p / total;
+    h -= q * std::log(q);
+  }
+  return h;
+}
+
+double HzToMel(double hz) { return 2595.0 * std::log10(1.0 + hz / 700.0); }
+
+double MelToHz(double mel) {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+}  // namespace cobra::dsp

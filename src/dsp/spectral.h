@@ -1,0 +1,34 @@
+#ifndef COBRA_DSP_SPECTRAL_H_
+#define COBRA_DSP_SPECTRAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra::dsp {
+
+/// Biased autocorrelation r[k] = sum_i x[i] x[i+k] / N for k in [0, max_lag].
+/// Used by the pitch tracker (the paper estimates pitch by autocorrelation
+/// analysis of the low-passed signal).
+std::vector<double> Autocorrelation(const std::vector<double>& signal,
+                                    size_t max_lag);
+
+/// DCT-II of `input`, returning `num_coeffs` coefficients. Used to turn
+/// log mel-band energies into MFCCs.
+std::vector<double> DctII(const std::vector<double>& input,
+                          size_t num_coeffs);
+
+/// Zero-crossing rate: fraction of adjacent sample pairs with a sign change.
+double ZeroCrossingRate(const std::vector<double>& signal);
+
+/// Shannon entropy of the normalized magnitude spectrum of `signal`
+/// (natural log). The paper reports entropy-based endpointing as powerless
+/// in its noisy domain; the endpoint bench reproduces that comparison.
+double SpectralEntropy(const std::vector<double>& signal);
+
+/// Converts frequency in Hz to the mel scale and back.
+double HzToMel(double hz);
+double MelToHz(double mel);
+
+}  // namespace cobra::dsp
+
+#endif  // COBRA_DSP_SPECTRAL_H_

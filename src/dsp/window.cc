@@ -1,0 +1,41 @@
+#include "dsp/window.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace cobra::dsp {
+
+std::vector<double> MakeWindow(WindowType type, size_t n) {
+  COBRA_CHECK(n > 0);
+  std::vector<double> w(n, 1.0);
+  if (n == 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * M_PI * x);
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * M_PI * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * M_PI * x) +
+               0.08 * std::cos(4.0 * M_PI * x);
+        break;
+    }
+  }
+  return w;
+}
+
+void ApplyWindow(const std::vector<double>& window,
+                 std::vector<double>& frame) {
+  COBRA_CHECK(window.size() == frame.size());
+  for (size_t i = 0; i < frame.size(); ++i) frame[i] *= window[i];
+}
+
+}  // namespace cobra::dsp

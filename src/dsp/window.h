@@ -1,0 +1,22 @@
+#ifndef COBRA_DSP_WINDOW_H_
+#define COBRA_DSP_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra::dsp {
+
+/// Window shapes used for short-time analysis. The paper selects the Hamming
+/// window for short-time energy because it gave the best speech endpoint
+/// detection among the four commonly used filters.
+enum class WindowType { kRectangular, kHamming, kHann, kBlackman };
+
+/// Returns the window coefficients of length n.
+std::vector<double> MakeWindow(WindowType type, size_t n);
+
+/// Multiplies `frame` element-wise by the window (sizes must match).
+void ApplyWindow(const std::vector<double>& window, std::vector<double>& frame);
+
+}  // namespace cobra::dsp
+
+#endif  // COBRA_DSP_WINDOW_H_

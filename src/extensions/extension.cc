@@ -1,0 +1,57 @@
+#include "extensions/extension.h"
+
+namespace cobra::extensions {
+
+const CallbackExtension::Provided* CallbackExtension::Find(
+    const std::string& event_type) const {
+  for (const auto& p : provides_) {
+    if (p.event_type == event_type) return &p;
+  }
+  return nullptr;
+}
+
+bool CallbackExtension::Provides(const std::string& event_type) const {
+  return Find(event_type) != nullptr;
+}
+
+double CallbackExtension::Cost(const std::string& event_type) const {
+  const Provided* p = Find(event_type);
+  return p != nullptr ? p->cost : 0.0;
+}
+
+double CallbackExtension::Quality(const std::string& event_type) const {
+  const Provided* p = Find(event_type);
+  return p != nullptr ? p->quality : 0.0;
+}
+
+Status CallbackExtension::Extract(model::VideoId video,
+                                  const std::string& event_type,
+                                  model::VideoCatalog* catalog) {
+  if (!Provides(event_type)) {
+    return Status::InvalidArgument(name_ + " does not provide " + event_type);
+  }
+  return extract_(video, event_type, catalog);
+}
+
+void ExtensionRegistry::Register(
+    std::unique_ptr<SemanticExtension> extension) {
+  extensions_.push_back(std::move(extension));
+}
+
+std::vector<SemanticExtension*> ExtensionRegistry::Providers(
+    const std::string& event_type) const {
+  std::vector<SemanticExtension*> out;
+  for (const auto& e : extensions_) {
+    if (e->Provides(event_type)) out.push_back(e.get());
+  }
+  return out;
+}
+
+std::vector<std::string> ExtensionRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(extensions_.size());
+  for (const auto& e : extensions_) out.push_back(e->name());
+  return out;
+}
+
+}  // namespace cobra::extensions

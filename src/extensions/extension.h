@@ -1,0 +1,94 @@
+#ifndef COBRA_EXTENSIONS_EXTENSION_H_
+#define COBRA_EXTENSIONS_EXTENSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "cobra/video_model.h"
+
+namespace cobra::extensions {
+
+/// A semantic-extraction extension: the unit the query preprocessor invokes
+/// when requested metadata is missing. The paper integrates four of these
+/// (video-processing/feature-extraction, HMM, DBN, rule-based); each
+/// advertises which event types it can materialize, plus a cost and quality
+/// estimate the preprocessor's high-level optimizer uses to pick a method
+/// when several could satisfy a query.
+class SemanticExtension {
+ public:
+  virtual ~SemanticExtension() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// True if this extension can materialize events of `event_type`.
+  virtual bool Provides(const std::string& event_type) const = 0;
+
+  /// Relative execution cost (higher = slower).
+  virtual double Cost(const std::string& event_type) const = 0;
+
+  /// Expected extraction quality in [0, 1] (higher = better).
+  virtual double Quality(const std::string& event_type) const = 0;
+
+  /// Materializes events of `event_type` for `video` into the catalog.
+  virtual Status Extract(model::VideoId video, const std::string& event_type,
+                         model::VideoCatalog* catalog) = 0;
+};
+
+/// A function-backed extension, convenient for wiring domain pipelines
+/// (e.g. the F1 DBN fusion) into the registry.
+class CallbackExtension : public SemanticExtension {
+ public:
+  struct Provided {
+    std::string event_type;
+    double cost = 1.0;
+    double quality = 0.5;
+  };
+  using ExtractFn = std::function<Status(
+      model::VideoId, const std::string&, model::VideoCatalog*)>;
+
+  CallbackExtension(std::string name, std::vector<Provided> provides,
+                    ExtractFn extract)
+      : name_(std::move(name)),
+        provides_(std::move(provides)),
+        extract_(std::move(extract)) {}
+
+  const std::string& name() const override { return name_; }
+  bool Provides(const std::string& event_type) const override;
+  double Cost(const std::string& event_type) const override;
+  double Quality(const std::string& event_type) const override;
+  Status Extract(model::VideoId video, const std::string& event_type,
+                 model::VideoCatalog* catalog) override;
+
+ private:
+  const Provided* Find(const std::string& event_type) const;
+
+  std::string name_;
+  std::vector<Provided> provides_;
+  ExtractFn extract_;
+};
+
+/// Registry of installed extensions; owned by the query engine's host.
+class ExtensionRegistry {
+ public:
+  ExtensionRegistry() = default;
+  ExtensionRegistry(const ExtensionRegistry&) = delete;
+  ExtensionRegistry& operator=(const ExtensionRegistry&) = delete;
+
+  void Register(std::unique_ptr<SemanticExtension> extension);
+
+  /// Extensions able to produce `event_type`, in registration order.
+  std::vector<SemanticExtension*> Providers(
+      const std::string& event_type) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::unique_ptr<SemanticExtension>> extensions_;
+};
+
+}  // namespace cobra::extensions
+
+#endif  // COBRA_EXTENSIONS_EXTENSION_H_

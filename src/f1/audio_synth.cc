@@ -1,0 +1,199 @@
+#include "f1/audio_synth.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace cobra::f1 {
+namespace {
+
+uint64_t HashClip(uint64_t seed, uint64_t clip) {
+  uint64_t x = seed ^ (clip * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+AudioSynthesizer::AudioSynthesizer(const RaceTimeline& timeline,
+                                   const Options& options)
+    : options_(options), seed_(timeline.profile.seed ^ 0xA0D10ull) {
+  const size_t num_clips = timeline.NumClips();
+  speech_.assign(num_clips, 0);
+  excited_.assign(num_clips, 0);
+  intensity_.assign(num_clips, 0.0);
+  car_level_.assign(num_clips, 1.0);
+  phone_.assign(num_clips, -1);
+
+  Rng seg_rng(seed_ ^ 0xCAFEull);
+  for (const auto& e : timeline.events) {
+    const size_t first = static_cast<size_t>(std::max(0.0, e.begin) * 10.0);
+    const size_t last = std::min(
+        num_clips, static_cast<size_t>(std::max(0.0, e.end) * 10.0));
+    if (e.type == "commentary") {
+      // Occasionally the announcer is merely animated — raised effort
+      // without being genuinely excited. These segments are the natural
+      // false-positive source for excited-speech detection.
+      const bool animated =
+          e.attrs.count("excited") != 0 && e.attrs.at("excited") == "0" &&
+          seg_rng.Bernoulli(0.18);
+      const double animated_intensity =
+          animated ? seg_rng.Uniform(0.28, 0.52) : 0.0;
+      for (size_t c = first; c < last; ++c) {
+        speech_[c] = 1;
+        intensity_[c] = std::max(intensity_[c], animated_intensity);
+      }
+      // Map the spoken words onto clips: one phone per clip, one clip of
+      // gap between words.
+      auto words_it = e.attrs.find("words");
+      if (words_it != e.attrs.end()) {
+        size_t clip = first;
+        for (const char ch : words_it->second) {
+          if (clip >= last) break;
+          const int phone = kws::PhoneOf(ch);
+          if (phone < 0) {
+            // Word separator: one silent-phone clip (still speech audio).
+            phone_[clip++] = -1;
+            continue;
+          }
+          phone_[clip++] = phone;
+        }
+      }
+    } else if (e.type == "excited") {
+      double intensity = 1.0;
+      auto it = e.attrs.find("intensity");
+      if (it != e.attrs.end()) intensity = std::atof(it->second.c_str());
+      for (size_t c = first; c < last; ++c) {
+        excited_[c] = 1;
+        intensity_[c] = std::max(intensity_[c], intensity);
+      }
+    } else if (e.type == "start" || e.type == "passing") {
+      for (size_t c = first; c < last; ++c) car_level_[c] = 2.2;
+    } else if (e.type == "flyout") {
+      for (size_t c = first; c < last; ++c) car_level_[c] = 1.8;
+    }
+  }
+}
+
+std::vector<double> AudioSynthesizer::SynthesizeClip(size_t clip) const {
+  COBRA_CHECK(clip < speech_.size());
+  const size_t n = options_.format.ClipSamples();
+  const double rate = options_.format.sample_rate;
+  const size_t frame_len = options_.format.FrameSamples();
+  std::vector<double> out(n, 0.0);
+
+  Rng rng(HashClip(seed_, clip));
+  const bool speech = speech_[clip] != 0;
+  const bool excited = excited_[clip] != 0;
+  const double t0 = static_cast<double>(clip) * 0.1;
+
+  // --- Background: engine hiss + low rumble + crowd ------------------------
+  // Engine load fluctuates clip to clip (rev-ups, Doppler as cars pass the
+  // microphone); occasional crowd bursts spike the broadband level. This
+  // clip-level variability is what makes single-clip classification
+  // ambiguous and temporal fusion worthwhile.
+  double level = car_level_[clip] * rng.Uniform(0.6, 1.8);
+  if (rng.Bernoulli(0.03)) level *= 2.5;  // crowd roar / close fly-by
+  const double noise_amp = options_.noise_amplitude * level;
+  const double rumble_f = 52.0 + 6.0 * std::sin(t0 * 0.13);
+  const double rumble_amp = options_.rumble_amplitude * level;
+  for (size_t i = 0; i < n; ++i) {
+    const double t = t0 + static_cast<double>(i) / rate;
+    out[i] = noise_amp * (rng.Uniform() * 2.0 - 1.0) +
+             rumble_amp * std::sin(2.0 * M_PI * rumble_f * t);
+  }
+  if (options_.engine_tone_amplitude > 0.0) {
+    const double tone_amp = options_.engine_tone_amplitude * level;
+    const double tone_f =
+        options_.engine_tone_hz * (1.0 + 0.08 * std::sin(t0 * 0.5));
+    for (size_t i = 0; i < n; ++i) {
+      const double t = t0 + static_cast<double>(i) / rate;
+      for (int k = 1; k <= 4; ++k) {
+        out[i] += tone_amp / k * std::sin(2.0 * M_PI * tone_f * k * t + k);
+      }
+    }
+  }
+
+  if (!speech) return out;
+
+  // --- Announcer speech -------------------------------------------------------
+  // Vocal effort interpolates between calm commentary and full excitement.
+  const double intensity = intensity_[clip];
+  (void)excited;
+  const double base_pitch =
+      options_.normal_pitch_hz +
+      intensity * (options_.excited_pitch_hz - options_.normal_pitch_hz);
+  // Slow prosodic drift plus substantial per-clip jitter: prosody varies
+  // word to word, so individual clips of calm and excited speech overlap.
+  const double f0 = base_pitch * (1.0 + 0.06 * std::sin(t0 * 0.9)) +
+                    rng.Gaussian(0.0, base_pitch * 0.12);
+  const double amp =
+      (options_.normal_amplitude +
+       intensity * (options_.excited_amplitude - options_.normal_amplitude)) *
+      std::exp(rng.Gaussian(0.0, 0.45));
+  const double micro_pause =
+      options_.normal_micro_pause +
+      intensity *
+          (options_.excited_micro_pause - options_.normal_micro_pause);
+
+  // Per-frame voicing decision (micro pauses lower the pause-rate feature
+  // for excited speech).
+  const size_t frames = n / frame_len;
+  std::vector<uint8_t> voiced(frames, 1);
+  for (size_t f = 0; f < frames; ++f) {
+    if (rng.Bernoulli(micro_pause)) voiced[f] = 0;
+  }
+
+  constexpr int kHarmonics = 16;
+  double harmonic_amp[kHarmonics];
+  double harmonic_phase[kHarmonics];
+  for (int k = 0; k < kHarmonics; ++k) {
+    harmonic_amp[k] = amp / static_cast<double>(k + 1);
+    // Deterministic phases tied to absolute time keep the waveform roughly
+    // continuous across clip boundaries.
+    harmonic_phase[k] = 0.35 * k;
+  }
+  const double syllable_rate = 3.5 + 1.5 * intensity;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t f = std::min(frames - 1, i / frame_len);
+    if (voiced[f] == 0) continue;
+    const double t = t0 + static_cast<double>(i) / rate;
+    // Syllable amplitude modulation.
+    const double syl =
+        0.55 + 0.45 * std::sin(2.0 * M_PI * syllable_rate * t);
+    double s = 0.0;
+    for (int k = 0; k < kHarmonics; ++k) {
+      const double freq = f0 * (k + 1);
+      if (freq > 3000.0) break;
+      s += harmonic_amp[k] * std::sin(2.0 * M_PI * freq * t +
+                                      harmonic_phase[k]);
+    }
+    out[i] += syl * s;
+  }
+  return out;
+}
+
+std::vector<kws::PhoneToken> AudioSynthesizer::PhoneStream() const {
+  std::vector<kws::PhoneToken> stream;
+  stream.reserve(phone_.size());
+  Rng rng(seed_ ^ 0x5EEDull);
+  for (size_t clip = 0; clip < phone_.size(); ++clip) {
+    kws::PhoneToken tok;
+    tok.time_sec = static_cast<double>(clip) * 0.1;
+    tok.phone = phone_[clip];
+    if (tok.phone >= 0) {
+      if (rng.Bernoulli(options_.phone_substitution_prob)) {
+        tok.phone = static_cast<int>(rng.UniformInt(26u));
+      }
+      tok.confidence = 0.72 + 0.26 * rng.Uniform();
+    }
+    stream.push_back(tok);
+  }
+  return stream;
+}
+
+}  // namespace cobra::f1

@@ -1,0 +1,79 @@
+#ifndef COBRA_F1_AUDIO_SYNTH_H_
+#define COBRA_F1_AUDIO_SYNTH_H_
+
+#include <vector>
+
+#include "audio/types.h"
+#include "f1/timeline.h"
+#include "kws/keyword_spotter.h"
+
+namespace cobra::f1 {
+
+/// Synthesizes the broadcast audio of a race from its ground-truth
+/// timeline: announcer speech as a harmonic series whose fundamental,
+/// amplitude and pause behaviour shift when the announcer is excited
+/// (raised voice), Formula 1 engine noise (broadband hiss + low rumble),
+/// and crowd swell at fly-outs. The audio front end then runs real DSP on
+/// these samples, so detection is noisy in the same qualitative way the
+/// paper's analog-TV audio was.
+///
+/// The synthesizer also emits the phone-token stream consumed by the
+/// keyword spotter (the substitution for the TNO-Abbot acoustic decoder):
+/// one phone per 0.1 s of speech, with substitution noise.
+class AudioSynthesizer {
+ public:
+  struct Options {
+    audio::AudioFormat format;
+    /// Probability a decoded phone is substituted (acoustic confusion).
+    double phone_substitution_prob = 0.08;
+    /// Fundamental frequency of normal / excited speech (Hz).
+    double normal_pitch_hz = 115.0;
+    double excited_pitch_hz = 230.0;
+    /// Speech amplitudes.
+    double normal_amplitude = 0.22;
+    double excited_amplitude = 0.45;
+    /// Car/background noise amplitude.
+    double noise_amplitude = 0.05;
+    double rumble_amplitude = 0.035;
+    /// Tonal engine scream (harmonic stack on `engine_tone_hz`). Zero by
+    /// default; the endpointing bench raises it to show why
+    /// entropy/zero-crossing detectors fail against harmonic noise.
+    double engine_tone_amplitude = 0.0;
+    double engine_tone_hz = 345.0;
+    /// Probability a 10 ms frame of normal speech is a micro-pause
+    /// (excited speech pauses far less).
+    double normal_micro_pause = 0.12;
+    double excited_micro_pause = 0.02;
+  };
+
+  AudioSynthesizer(const RaceTimeline& timeline, const Options& options);
+  explicit AudioSynthesizer(const RaceTimeline& timeline)
+      : AudioSynthesizer(timeline, Options()) {}
+
+  size_t num_clips() const { return speech_.size(); }
+
+  /// Samples of clip `i` (deterministic: the same clip always synthesizes
+  /// identically, so clips can be streamed and never stored).
+  std::vector<double> SynthesizeClip(size_t clip) const;
+
+  /// The full decoded phone stream (one token per clip).
+  std::vector<kws::PhoneToken> PhoneStream() const;
+
+  /// Ground-truth per-clip flags derived from the timeline (used by tests
+  /// and for supervised DBN training labels).
+  bool ClipHasSpeech(size_t clip) const { return speech_[clip]; }
+  bool ClipIsExcited(size_t clip) const { return excited_[clip]; }
+
+ private:
+  Options options_;
+  uint64_t seed_ = 0;
+  std::vector<uint8_t> speech_;      // per clip
+  std::vector<uint8_t> excited_;     // per clip: ground-truth excited flag
+  std::vector<double> intensity_;    // per clip: vocal-effort interpolation
+  std::vector<double> car_level_;    // per clip noise multiplier
+  std::vector<int> phone_;           // per clip, -1 = silence
+};
+
+}  // namespace cobra::f1
+
+#endif  // COBRA_F1_AUDIO_SYNTH_H_

@@ -1,0 +1,173 @@
+#include "f1/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace cobra::f1 {
+
+std::vector<Segment> ExtractSegments(const std::vector<double>& posterior,
+                                     double threshold,
+                                     double min_duration_sec, double clip_sec,
+                                     double merge_gap_sec) {
+  std::vector<Segment> raw;
+  int run_start = -1;
+  for (size_t t = 0; t <= posterior.size(); ++t) {
+    const bool on = t < posterior.size() && posterior[t] >= threshold;
+    if (on && run_start < 0) run_start = static_cast<int>(t);
+    if (!on && run_start >= 0) {
+      raw.push_back(Segment{run_start * clip_sec, t * clip_sec});
+      run_start = -1;
+    }
+  }
+  // Merge nearby runs.
+  std::vector<Segment> merged;
+  for (const auto& seg : raw) {
+    if (!merged.empty() && seg.begin - merged.back().end <= merge_gap_sec) {
+      merged.back().end = seg.end;
+    } else {
+      merged.push_back(seg);
+    }
+  }
+  // Duration filter.
+  std::vector<Segment> out;
+  for (const auto& seg : merged) {
+    if (seg.Duration() >= min_duration_sec) out.push_back(seg);
+  }
+  return out;
+}
+
+std::vector<double> AccumulateOverTime(const std::vector<double>& series,
+                                       size_t window) {
+  COBRA_CHECK(window >= 1);
+  std::vector<double> out(series.size(), 0.0);
+  double acc = 0.0;
+  for (size_t t = 0; t < series.size(); ++t) {
+    acc += series[t];
+    if (t >= window) acc -= series[t - window];
+    out[t] = acc / static_cast<double>(std::min(t + 1, window));
+  }
+  return out;
+}
+
+double AdaptiveThreshold(const std::vector<double>& series, double k,
+                         double lo, double hi) {
+  if (series.empty()) return hi;
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(series.size());
+  double var = 0.0;
+  for (double v : series) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(series.size());
+  return std::clamp(mean + k * std::sqrt(var), lo, hi);
+}
+
+namespace {
+
+/// A detection matches a truth interval when their overlap is long enough
+/// in absolute terms AND constitutes a meaningful fraction of the
+/// detection. The fraction test keeps a degenerate race-long detection
+/// (e.g. a saturated Highlight posterior on a panning-camera race) from
+/// "matching" everything.
+bool Matches(const Segment& d, const Segment& t, double min_overlap_sec) {
+  const double overlap = std::min(d.end, t.end) - std::max(d.begin, t.begin);
+  const double needed =
+      std::min(min_overlap_sec, 0.5 * std::min(d.Duration(), t.Duration()));
+  return overlap >= needed && overlap >= 0.15 * d.Duration();
+}
+
+}  // namespace
+
+PrecisionRecall ScoreSegments(const std::vector<Segment>& detected,
+                              const std::vector<Segment>& truth,
+                              double min_overlap_sec) {
+  PrecisionRecall pr;
+  pr.num_detections = static_cast<int>(detected.size());
+  pr.num_truth = static_cast<int>(truth.size());
+  for (const auto& d : detected) {
+    for (const auto& t : truth) {
+      if (Matches(d, t, min_overlap_sec)) {
+        ++pr.true_positives;
+        break;
+      }
+    }
+  }
+  for (const auto& t : truth) {
+    for (const auto& d : detected) {
+      if (Matches(d, t, min_overlap_sec)) {
+        ++pr.covered_truth;
+        break;
+      }
+    }
+  }
+  pr.precision = pr.num_detections > 0
+                     ? static_cast<double>(pr.true_positives) /
+                           pr.num_detections
+                     : 0.0;
+  pr.recall = pr.num_truth > 0
+                  ? static_cast<double>(pr.covered_truth) / pr.num_truth
+                  : 0.0;
+  return pr;
+}
+
+std::vector<Segment> TruthSegments(const RaceTimeline& timeline,
+                                   const std::string& type) {
+  std::vector<Segment> out;
+  for (const auto& e : timeline.EventsOfType(type)) {
+    out.push_back(Segment{e.begin, e.end});
+  }
+  return out;
+}
+
+std::vector<Segment> HighlightSegments(const RaceTimeline& timeline) {
+  std::vector<Segment> out;
+  for (const auto& e : timeline.Highlights()) {
+    out.push_back(Segment{e.begin, e.end});
+  }
+  return out;
+}
+
+std::vector<TypedSegment> ClassifySubEvents(
+    const Segment& highlight,
+    const std::map<std::string, const std::vector<double>*>& node_posteriors,
+    double clip_sec, double long_segment_sec, double window_sec,
+    double min_posterior) {
+  std::vector<TypedSegment> out;
+  const double duration = highlight.Duration();
+  const double step = duration > long_segment_sec ? window_sec : duration;
+  for (double w = highlight.begin; w < highlight.end - 1e-9; w += step) {
+    const double w_end = std::min(highlight.end, w + step);
+    const size_t c0 = static_cast<size_t>(w / clip_sec);
+    const size_t c1 = static_cast<size_t>(w_end / clip_sec);
+    std::string best_type;
+    double best_mean = min_posterior;
+    for (const auto& [type, series] : node_posteriors) {
+      if (series == nullptr || series->empty()) continue;
+      double acc = 0.0;
+      size_t count = 0;
+      for (size_t c = c0; c < std::min(c1, series->size()); ++c) {
+        acc += (*series)[c];
+        ++count;
+      }
+      if (count == 0) continue;
+      const double mean = acc / static_cast<double>(count);
+      if (mean > best_mean) {
+        best_mean = mean;
+        best_type = type;
+      }
+    }
+    if (!best_type.empty()) {
+      // Merge consecutive windows of the same type.
+      if (!out.empty() && out.back().type == best_type &&
+          std::abs(out.back().span.end - w) < 1e-9) {
+        out.back().span.end = w_end;
+      } else {
+        out.push_back(TypedSegment{best_type, Segment{w, w_end}});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::f1

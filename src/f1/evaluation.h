@@ -1,0 +1,87 @@
+#ifndef COBRA_F1_EVALUATION_H_
+#define COBRA_F1_EVALUATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "f1/timeline.h"
+
+namespace cobra::f1 {
+
+/// A detected time segment.
+struct Segment {
+  double begin = 0.0;
+  double end = 0.0;
+
+  double Duration() const { return end - begin; }
+  bool Overlaps(double b, double e, double min_overlap) const {
+    return std::min(end, e) - std::max(begin, b) >= min_overlap;
+  }
+};
+
+/// Turns a per-clip posterior series into segments: clips above `threshold`
+/// form runs, runs separated by less than `merge_gap_sec` merge, and runs
+/// shorter than `min_duration_sec` are dropped. Table 3's parameters are
+/// threshold 0.5 and minimal duration 6 s.
+std::vector<Segment> ExtractSegments(const std::vector<double>& posterior,
+                                     double threshold,
+                                     double min_duration_sec,
+                                     double clip_sec = 0.1,
+                                     double merge_gap_sec = 1.0);
+
+/// The post-processing the paper applies to *BN* outputs, whose raw values
+/// "cannot be directly employed to distinguish the presence and time
+/// boundaries of excited speech" (Fig. 9a): accumulate (moving-average) the
+/// query node over a window before thresholding.
+std::vector<double> AccumulateOverTime(const std::vector<double>& series,
+                                       size_t window);
+
+/// Decision threshold for accumulated BN outputs. Different BN structures
+/// calibrate their query posterior differently (the input/output structure
+/// in particular concentrates it low), so the "conclusion" step uses a
+/// data-driven threshold: mean + `k` standard deviations, clamped to
+/// [lo, hi]. DBN outputs do not need this — they are thresholded at 0.5.
+double AdaptiveThreshold(const std::vector<double>& series, double k = 1.0,
+                         double lo = 0.25, double hi = 0.55);
+
+/// Precision / recall of detected segments against ground-truth intervals:
+/// a detection is a true positive when it overlaps a truth interval by at
+/// least `min_overlap_sec`; a truth interval is covered when some detection
+/// overlaps it likewise.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  int true_positives = 0;
+  int num_detections = 0;
+  int covered_truth = 0;
+  int num_truth = 0;
+};
+
+PrecisionRecall ScoreSegments(const std::vector<Segment>& detected,
+                              const std::vector<Segment>& truth,
+                              double min_overlap_sec = 1.0);
+
+/// Converts timeline events (optionally filtered by type) into segments.
+std::vector<Segment> TruthSegments(const RaceTimeline& timeline,
+                                   const std::string& type);
+std::vector<Segment> HighlightSegments(const RaceTimeline& timeline);
+
+/// A highlight segment classified as a specific sub-event.
+struct TypedSegment {
+  std::string type;
+  Segment span;
+};
+
+/// The paper's sub-event selection: within each highlight segment take the
+/// most probable candidate node; segments longer than `long_segment_sec`
+/// are re-evaluated every `window_sec` to allow multiple selections.
+std::vector<TypedSegment> ClassifySubEvents(
+    const Segment& highlight,
+    const std::map<std::string, const std::vector<double>*>& node_posteriors,
+    double clip_sec = 0.1, double long_segment_sec = 15.0,
+    double window_sec = 5.0, double min_posterior = 0.30);
+
+}  // namespace cobra::f1
+
+#endif  // COBRA_F1_EVALUATION_H_

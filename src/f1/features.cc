@@ -1,0 +1,116 @@
+#include "f1/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/mathutil.h"
+#include "f1/lexicon.h"
+#include "kws/keyword_spotter.h"
+#include "video/visual_cues.h"
+
+namespace cobra::f1 {
+namespace {
+
+double Saturate(double x, double scale) {
+  if (x <= 0.0) return 0.0;
+  return x / (x + scale);
+}
+
+double Ramp(double x, double lo, double hi) {
+  return Clamp((x - lo) / (hi - lo), 0.0, 1.0);
+}
+
+}  // namespace
+
+RaceEvidence ExtractEvidence(const RaceTimeline& timeline) {
+  return ExtractEvidence(timeline, EvidenceOptions());
+}
+
+RaceEvidence ExtractEvidence(const RaceTimeline& timeline,
+                             const EvidenceOptions& options) {
+  RaceEvidence out;
+  out.profile = timeline.profile;
+  const size_t num_clips = timeline.NumClips();
+  out.clips.resize(num_clips);
+
+  // --- Audio path ------------------------------------------------------------
+  AudioSynthesizer synth(timeline, options.synth);
+  audio::ClipAnalyzer analyzer(options.audio);
+  const NormalizerOptions& norm = options.normalizer;
+
+  for (size_t c = 0; c < num_clips; ++c) {
+    const auto samples = synth.SynthesizeClip(c);
+    const audio::ClipFeatures f = analyzer.Analyze(samples);
+    ClipEvidence& e = out.clips[c];
+    e.is_speech = f.is_speech;
+    e.pause_rate = Clamp(f.pause_rate, 0.0, 1.0);
+    // Excited-speech statistics are gated on the endpoint decision, as in
+    // the paper ("computations only performed on speech segments").
+    if (f.is_speech) {
+      e.ste_avg = Saturate(f.ste_avg, norm.ste_avg_scale);
+      e.ste_range = Saturate(f.ste_range, norm.ste_range_scale);
+      e.ste_max = Saturate(f.ste_max, norm.ste_max_scale);
+      e.pitch_avg = Ramp(f.pitch_avg, norm.pitch_lo_hz, norm.pitch_hi_hz);
+      e.pitch_range = Clamp(f.pitch_range / norm.pitch_range_scale, 0.0, 1.0);
+      e.pitch_max = Ramp(f.pitch_max, norm.pitch_lo_hz, norm.pitch_hi_hz);
+      e.mfcc_avg = Saturate(f.mfcc_avg, norm.mfcc_scale);
+      e.mfcc_max = Saturate(f.mfcc_max, norm.mfcc_scale);
+    }
+    e.part_of_race =
+        static_cast<double>(c) / static_cast<double>(num_clips);
+  }
+
+  // --- Keyword spotting --------------------------------------------------------
+  kws::KeywordSpotter spotter(ExcitedKeywords());
+  const auto hits = spotter.Spot(synth.PhoneStream());
+  for (const auto& hit : hits) {
+    const size_t first = static_cast<size_t>(hit.start_sec * 10.0);
+    const size_t last = std::min(
+        num_clips,
+        static_cast<size_t>((hit.start_sec + hit.duration_sec) * 10.0) + 1);
+    for (size_t c = first; c < last && c < num_clips; ++c) {
+      out.clips[c].keywords = std::max(out.clips[c].keywords, hit.normalized);
+    }
+  }
+
+  // --- Visual path ------------------------------------------------------------
+  if (options.extract_video) {
+    FrameRenderer renderer(timeline, options.video);
+    video::VisualAnalyzer visual;
+    for (size_t c = 0; c < num_clips; ++c) {
+      const double t = static_cast<double>(c) * 0.1;
+      const image::Frame a = renderer.Render(t + 0.02);
+      const image::Frame b = renderer.Render(t + 0.06);
+      const video::VideoClipFeatures v = visual.AnalyzeClip(a, b);
+      ClipEvidence& e = out.clips[c];
+      e.replay = v.replay;
+      e.color_diff = v.color_diff;
+      e.semaphore = v.semaphore;
+      e.dust = v.dust;
+      e.sand = v.sand;
+      e.motion = v.motion;
+    }
+  }
+
+  // --- Ground truth ------------------------------------------------------------
+  const auto highlights = timeline.Highlights();
+  for (size_t c = 0; c < num_clips; ++c) {
+    const double t = static_cast<double>(c) * 0.1;
+    ClipEvidence& e = out.clips[c];
+    e.truth_excited = timeline.IsActive("excited", t);
+    e.truth_start = timeline.IsActive("start", t);
+    e.truth_flyout = timeline.IsActive("flyout", t);
+    e.truth_passing = timeline.IsActive("passing", t);
+    e.truth_replay = timeline.IsActive("replay", t);
+    for (const auto& h : highlights) {
+      if (h.Covers(t)) {
+        e.truth_highlight = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::f1

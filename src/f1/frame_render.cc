@@ -1,0 +1,273 @@
+#include "f1/frame_render.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "f1/lexicon.h"
+#include "image/draw.h"
+#include "image/font.h"
+
+namespace cobra::f1 {
+namespace {
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 31;
+  x *= 0xD6E8FEB86659FD93ull;
+  x ^= x >> 32;
+  return x;
+}
+
+image::Rgb DriverColor(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : name) h = (h ^ static_cast<uint64_t>(c)) * 1099511628211ull;
+  return image::Rgb{static_cast<uint8_t>(64 + (h & 0x7F)),
+                    static_cast<uint8_t>(64 + ((h >> 8) & 0x7F)),
+                    static_cast<uint8_t>(64 + ((h >> 16) & 0x7F))};
+}
+
+constexpr image::Rgb kSandColor{200, 160, 90};
+constexpr image::Rgb kDustColor{188, 168, 138};
+
+}  // namespace
+
+FrameRenderer::FrameRenderer(const RaceTimeline& timeline,
+                             const Options& options)
+    : options_(options), timeline_(&timeline),
+      seed_(timeline.profile.seed ^ 0xF1F1ull) {
+  pan_fraction_ = timeline.profile.camera_global_motion;
+  // Pre-compute shot boundaries: cuts every 4–10 s, plus forced cuts at
+  // replay boundaries.
+  Rng rng(seed_);
+  double t = 0.0;
+  while (t < timeline.profile.duration_sec) {
+    shots_.push_back(Shot{t, rng.NextU64()});
+    t += rng.Uniform(4.0, 10.0);
+  }
+}
+
+const FrameRenderer::Shot& FrameRenderer::ShotAt(double t) const {
+  // Binary search for the last shot beginning <= t.
+  size_t lo = 0, hi = shots_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (shots_[mid].begin <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return shots_[lo];
+}
+
+void FrameRenderer::DrawBackground(image::Frame& frame, double t,
+                                   const Shot& shot) const {
+  // Palette per shot.
+  const uint8_t base = static_cast<uint8_t>(90 + (shot.style & 0x3F));
+  const uint8_t stripe = static_cast<uint8_t>(base + 40);
+  const int period = 16 + static_cast<int>((shot.style >> 8) & 0x7);
+  // Per-shot camera pan shifts the stripe pattern — the per-race
+  // camera-work knob. A panning shot leaks uniform motion into every block
+  // of the motion histogram.
+  // The director cuts to a static close-up when two cars battle, so the
+  // passing event itself is never filmed panning.
+  const bool panning = ((shot.style >> 17) % 100) <
+                           static_cast<uint64_t>(pan_fraction_ * 100.0) &&
+                       timeline_->ActiveEvent("passing", t) == nullptr;
+  const int pan =
+      panning ? static_cast<int>((t - shot.begin) * 95.0) : 0;
+  for (int y = 0; y < frame.height(); ++y) {
+    // Track band in the middle, grass/crowd bands above and below.
+    const bool track = y > frame.height() / 3 && y < 5 * frame.height() / 6;
+    for (int x = 0; x < frame.width(); ++x) {
+      uint8_t v;
+      if (track) {
+        v = (((x + pan) / period) % 2 == 0) ? base : stripe;
+      } else {
+        v = static_cast<uint8_t>(base - 30 + ((x * 7 + y * 13) % 9));
+      }
+      frame.Set(x, y, image::Rgb{v, v, v});
+    }
+  }
+}
+
+void FrameRenderer::DrawCars(image::Frame& frame, double t,
+                             const Shot& shot) const {
+  const TimelineEvent* passing = timeline_->ActiveEvent("passing", t);
+  const TimelineEvent* start = timeline_->ActiveEvent("start", t);
+  const int w = frame.width();
+  const int h = frame.height();
+  const int car_w = std::max(12, w / 9);
+  const int car_h = std::max(7, h / 12);
+  const int track_y = h / 2;
+
+  auto draw_car = [&](double x, int y, image::Rgb color) {
+    const int xi = static_cast<int>(x);
+    image::FillRect(frame, xi, y, car_w, car_h, color);
+    image::FillRect(frame, xi + 1, y + car_h - 2, 3, 2,
+                    image::Rgb{20, 20, 20});
+    image::FillRect(frame, xi + car_w - 4, y + car_h - 2, 3, 2,
+                    image::Rgb{20, 20, 20});
+  };
+
+  if (passing != nullptr) {
+    // Two cars fighting for position: the attacker repeatedly lunges past
+    // — strong, fast, localized motion against the background.
+    const double cycle = std::fmod(t - passing->begin, 1.2) / 1.2;
+    const double x_front = w * 0.55 + 22.0 * std::sin(t * 4.0);
+    const double x_back = w * 0.02 + cycle * (w * 0.92);
+    const image::Rgb bright{238, 238, 238};
+    const int big_w = car_w * 5 / 4;
+    const int big_h = car_h * 5 / 4;
+    draw_car(x_front, track_y, DriverColor("FRONT"));
+    image::FillRect(frame, static_cast<int>(x_back), track_y + car_h + 3,
+                    big_w, big_h, bright);
+    return;
+  }
+  if (start != nullptr) {
+    // Field accelerating away: several cars moving quickly.
+    const double phase = t - start->begin;
+    for (int c = 0; c < 4; ++c) {
+      const double x =
+          w * 0.1 + c * car_w * 1.4 + phase * (60.0 + 18.0 * c);
+      if (x < w) draw_car(x, track_y + (c % 2) * (car_h + 2),
+                          DriverColor(DriverNames()[c]));
+    }
+    return;
+  }
+  // Regular racing: cars in about half the shots, cruising through.
+  if ((shot.style & 1) != 0) {
+    const double speed = 14.0 + static_cast<double>((shot.style >> 4) & 0xF);
+    const double x = std::fmod((t - shot.begin) * speed, w + 2.0 * car_w) -
+                     car_w;
+    draw_car(x, track_y, DriverColor(DriverNames()[shot.style % 8]));
+  }
+}
+
+void FrameRenderer::DrawSemaphore(image::Frame& frame, double t,
+                                  const TimelineEvent& sem) const {
+  // The gantry: a row of touching red lights whose lit extent grows in
+  // regular steps — a rectangle increasing its horizontal dimension. The
+  // bank is fully lit by the time the field is released and stays visible
+  // through the first race seconds.
+  const double grow_span = std::max(0.5, sem.end - sem.begin - 2.5);
+  const double phase = (t - sem.begin) / grow_span;
+  const int lights =
+      1 + std::min(4, static_cast<int>(std::min(1.0, phase) * 5.0));
+  const int light_w = std::max(4, frame.width() / 24);
+  const int light_h = std::max(4, frame.height() / 18);
+  const int x0 = frame.width() / 2 - (5 * light_w) / 2;
+  const int y0 = frame.height() / 8;
+  image::FillRect(frame, x0 - 2, y0 - 2, 5 * light_w + 4, light_h + 4,
+                  image::Rgb{25, 25, 25});
+  for (int l = 0; l < lights; ++l) {
+    image::FillRect(frame, x0 + l * light_w, y0, light_w, light_h,
+                    image::Rgb{225, 30, 28});
+  }
+}
+
+void FrameRenderer::DrawFlyout(image::Frame& frame, double t,
+                               const TimelineEvent& flyout) const {
+  const double phase =
+      (t - flyout.begin) / std::max(0.1, flyout.end - flyout.begin);
+  // Gravel trap at the bottom third plus a billowing dust cloud: the cloud
+  // erupts quickly, hangs, then settles over the last fifth of the event.
+  const double intensity =
+      std::min({1.0, phase * 5.0, (1.0 - phase) * 5.0});
+  const int sand_h = static_cast<int>(frame.height() * 0.22 * intensity) + 4;
+  image::FillRect(frame, 0, 2 * frame.height() / 3, frame.width(), sand_h,
+                  kSandColor);
+  const int dust_w = static_cast<int>(frame.width() * 0.5 * intensity) + 8;
+  const int dust_h = static_cast<int>(frame.height() * 0.3 * intensity) + 6;
+  const int cx = frame.width() / 2 + static_cast<int>(20.0 * std::sin(t * 3));
+  image::BlendRect(frame, cx - dust_w / 2, frame.height() / 3, dust_w, dust_h,
+                   kDustColor, 0.85);
+  // The spinning car.
+  const int car_w = std::max(10, frame.width() / 12);
+  const int car_h = std::max(5, frame.height() / 18);
+  const int x = cx + static_cast<int>(15.0 * std::cos(t * 7.0));
+  const int y = frame.height() / 2 + static_cast<int>(8.0 * std::sin(t * 9.0));
+  image::FillRect(frame, x, y, car_w, car_h,
+                  DriverColor(flyout.attrs.count("driver")
+                                  ? flyout.attrs.at("driver")
+                                  : "X"));
+}
+
+void FrameRenderer::DrawDve(image::Frame& frame, double phase) const {
+  // A bright vertical stripe sweeping left to right.
+  const int stripe_w = std::max(6, frame.width() / 10);
+  const int x = static_cast<int>(phase * (frame.width() + stripe_w)) -
+                stripe_w;
+  image::FillRect(frame, x, 0, stripe_w, frame.height(),
+                  image::Rgb{240, 240, 250});
+}
+
+void FrameRenderer::DrawCaption(image::Frame& frame,
+                                const TimelineEvent& caption) const {
+  const auto& font = image::BitmapFont::Get();
+  const int band_h = frame.height() / 5;
+  const int band_y = frame.height() - band_h;
+  image::BlendRect(frame, 0, band_y, frame.width(), band_h,
+                   image::Rgb{8, 8, 24}, 0.82);
+  auto it = caption.attrs.find("text");
+  if (it == caption.attrs.end()) return;
+  const int scale = std::max(1, frame.height() / 80);
+  const int text_w = font.TextWidth(it->second, scale);
+  const int x = std::max(2, (frame.width() - text_w) / 2);
+  const int y = band_y + (band_h - image::BitmapFont::kGlyphHeight * scale) / 2;
+  font.Draw(frame, it->second, x, y, scale, image::Rgb{250, 245, 120});
+}
+
+image::Frame FrameRenderer::Render(double t_sec) const {
+  image::Frame frame(options_.width, options_.height);
+  const TimelineEvent* replay = timeline_->ActiveEvent("replay", t_sec);
+
+  // Replays show their own (time-shifted) action footage.
+  const double scene_t = replay != nullptr
+                             ? t_sec - replay->begin + 1000.0
+                             : t_sec;
+  const Shot& shot = ShotAt(t_sec);
+  DrawBackground(frame, scene_t, shot);
+  DrawCars(frame, scene_t, shot);
+
+  const TimelineEvent* sem = timeline_->ActiveEvent("semaphore", t_sec);
+  if (sem != nullptr) DrawSemaphore(frame, t_sec, *sem);
+
+  const TimelineEvent* flyout = timeline_->ActiveEvent("flyout", t_sec);
+  if (flyout != nullptr) DrawFlyout(frame, t_sec, *flyout);
+
+  // DVE wipes bracketing replay segments.
+  for (const auto& e : timeline_->events) {
+    if (e.type != "replay") continue;
+    const double d = options_.dve_duration;
+    if (t_sec >= e.begin - d && t_sec < e.begin) {
+      DrawDve(frame, (t_sec - (e.begin - d)) / d);
+    } else if (t_sec >= e.end - d && t_sec < e.end) {
+      DrawDve(frame, (t_sec - (e.end - d)) / d);
+    }
+  }
+
+  const TimelineEvent* caption = timeline_->ActiveEvent("caption", t_sec);
+  if (caption != nullptr) DrawCaption(frame, *caption);
+
+  // Sensor noise, seeded per frame index so consecutive frames differ. A
+  // cheap LCG keeps rendering fast enough to stream whole races (a
+  // Box–Muller draw per channel would dominate the pipeline).
+  const uint64_t frame_index =
+      static_cast<uint64_t>(t_sec * options_.fps + 0.5);
+  uint64_t state = Mix(seed_, frame_index) | 1ull;
+  const int spread =
+      std::max(1, static_cast<int>(options_.pixel_noise_stddev * 3.0));
+  auto& data = frame.mutable_data();
+  for (uint8_t& byte : data) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const int delta = static_cast<int>((state >> 33) % (2 * spread + 1)) -
+                      spread;
+    byte = static_cast<uint8_t>(std::clamp(byte + delta, 0, 255));
+  }
+  return frame;
+}
+
+}  // namespace cobra::f1

@@ -1,0 +1,53 @@
+#include "f1/lexicon.h"
+
+namespace cobra::f1 {
+
+const std::vector<std::string>& DriverNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{
+          "SCHUMACHER", "BARRICHELLO", "HAKKINEN", "COULTHARD", "MONTOYA",
+          "RALF",       "VILLENEUVE",  "TRULLI",   "FISICHELLA", "ALESI",
+          "IRVINE",     "FRENTZEN",    "PANIS",    "BUTTON",     "RAIKKONEN",
+          "HEIDFELD",
+      };
+  return *kNames;
+}
+
+const std::vector<std::string>& CaptionWords() {
+  static const std::vector<std::string>* const kWords =
+      new std::vector<std::string>{
+          "PIT",  "STOP", "FINAL", "LAP", "WINNER", "CLASSIFICATION",
+          "FASTEST", "SPEED", "ORDER", "LEADER", "OUT", "RETIRED",
+      };
+  return *kWords;
+}
+
+const std::vector<std::string>& ExcitedKeywords() {
+  static const std::vector<std::string>* const kWords =
+      new std::vector<std::string>{
+          "INCREDIBLE", "CRASH",   "SPIN",     "OVERTAKE", "PASSES",
+          "GRAVEL",     "LEADS",   "ATTACK",   "AMAZING",  "DISASTER",
+          "CONTACT",    "FANTASTIC", "UNBELIEVABLE", "GOES", "WIDE",
+          "BRILLIANT",  "TROUBLE", "PRESSURE", "FIGHT",    "WOW",
+      };
+  return *kWords;
+}
+
+const std::vector<std::string>& NeutralWords() {
+  static const std::vector<std::string>* const kWords =
+      new std::vector<std::string>{
+          "THE",   "CAR",    "TYRES", "ENGINE", "SECTOR", "TIME",
+          "GAP",   "SECOND", "TEAM",  "RACE",   "TRACK",  "CORNER",
+          "STRAIGHT", "BOX", "FUEL",  "STRATEGY",
+      };
+  return *kWords;
+}
+
+std::vector<std::string> CaptionVocabulary() {
+  std::vector<std::string> vocab = DriverNames();
+  const auto& words = CaptionWords();
+  vocab.insert(vocab.end(), words.begin(), words.end());
+  return vocab;
+}
+
+}  // namespace cobra::f1

@@ -1,0 +1,29 @@
+#ifndef COBRA_F1_LEXICON_H_
+#define COBRA_F1_LEXICON_H_
+
+#include <string>
+#include <vector>
+
+namespace cobra::f1 {
+
+/// Driver surnames of the 2001 season used for captions and queries.
+const std::vector<std::string>& DriverNames();
+
+/// Informative caption words (PIT STOP, FINAL LAP, WINNER, ...). Multi-word
+/// captions are stored as separate tokens; the renderer draws them with
+/// spaces and the recognizer matches per word region.
+const std::vector<std::string>& CaptionWords();
+
+/// The "couple of tens of words that can usually be heard when the
+/// commentator is excited" — the keyword-spotting vocabulary.
+const std::vector<std::string>& ExcitedKeywords();
+
+/// Neutral commentary filler words (not in the keyword grammar).
+const std::vector<std::string>& NeutralWords();
+
+/// Full recognizer vocabulary: driver names + caption words.
+std::vector<std::string> CaptionVocabulary();
+
+}  // namespace cobra::f1
+
+#endif  // COBRA_F1_LEXICON_H_

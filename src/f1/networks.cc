@@ -1,0 +1,341 @@
+#include "f1/networks.h"
+
+#include "base/logging.h"
+#include "base/mathutil.h"
+
+namespace cobra::f1 {
+namespace {
+
+/// Feature leaf bindings. `center`/`steepness` calibrate the raw [0,1]
+/// feature into the probabilistic value entered as soft evidence — the
+/// paper's quantization step. Without it, mid-range values (e.g. a motion
+/// cue of 0.3 against a 0.1 baseline) are *anti*-informative under binary
+/// soft evidence, because v < 0.5 favours whichever state predicts the
+/// lower feature rate.
+struct FeatureBinding {
+  const char* name;
+  double (*get)(const ClipEvidence&);
+  double center;
+  double steepness;
+};
+
+double Calibrate(const FeatureBinding& binding, const ClipEvidence& clip) {
+  const double v = binding.get(clip);
+  if (binding.steepness <= 0.0) return v;  // already a calibrated value
+  return Sigmoid(binding.steepness * (v - binding.center));
+}
+
+constexpr FeatureBinding kAudioFeatures[] = {
+    {"kw", [](const ClipEvidence& c) { return c.keywords; }, 0.25, 10.0},
+    {"pause", [](const ClipEvidence& c) { return c.pause_rate; }, 0.12, 25.0},
+    {"ste_avg", [](const ClipEvidence& c) { return c.ste_avg; }, 0.15, 15.0},
+    {"ste_range", [](const ClipEvidence& c) { return c.ste_range; }, 0.15,
+     15.0},
+    {"ste_max", [](const ClipEvidence& c) { return c.ste_max; }, 0.20, 12.0},
+    {"pitch_avg", [](const ClipEvidence& c) { return c.pitch_avg; }, 0.40,
+     10.0},
+    {"pitch_range", [](const ClipEvidence& c) { return c.pitch_range; }, 0.30,
+     10.0},
+    {"pitch_max", [](const ClipEvidence& c) { return c.pitch_max; }, 0.45,
+     10.0},
+    {"mfcc_avg", [](const ClipEvidence& c) { return c.mfcc_avg; }, 0.91,
+     40.0},
+    {"mfcc_max", [](const ClipEvidence& c) { return c.mfcc_max; }, 0.93,
+     40.0},
+};
+
+constexpr FeatureBinding kVisualFeatures[] = {
+    {"part", [](const ClipEvidence& c) { return c.part_of_race; }, 0.5, 0.0},
+    {"replay", [](const ClipEvidence& c) { return c.replay; }, 0.5, 12.0},
+    {"color_diff", [](const ClipEvidence& c) { return c.color_diff; }, 0.25,
+     10.0},
+    {"semaphore", [](const ClipEvidence& c) { return c.semaphore; }, 0.5,
+     12.0},
+    {"dust", [](const ClipEvidence& c) { return c.dust; }, 0.30, 10.0},
+    {"sand", [](const ClipEvidence& c) { return c.sand; }, 0.30, 10.0},
+    {"motion", [](const ClipEvidence& c) { return c.motion; }, 0.20, 14.0},
+};
+
+/// Aggregated input-node values for the input/output structure.
+double EnergyAggregate(const ClipEvidence& c) {
+  return (c.ste_avg + c.ste_range + c.ste_max) / 3.0;
+}
+double PitchAggregate(const ClipEvidence& c) {
+  return (c.pitch_avg + c.pitch_range + c.pitch_max) / 3.0;
+}
+double QualityAggregate(const ClipEvidence& c) {
+  return (c.pause_rate + c.mfcc_avg + c.mfcc_max) / 3.0;
+}
+
+}  // namespace
+
+bayes::BayesianNetwork BuildAudioSlice(AudioStructure structure) {
+  bayes::BayesianNetwork net;
+  switch (structure) {
+    case AudioStructure::kFullyParameterized: {
+      const auto ea = net.AddNode(kExcitedAnnouncer, 2, false);
+      const auto en = net.AddNode("EN", 2, false);  // energy envelope
+      const auto pv = net.AddNode("PV", 2, false);  // voice pitch
+      const auto sq = net.AddNode("SQ", 2, false);  // speech quality
+      COBRA_CHECK(net.AddEdge(ea, en).ok());
+      COBRA_CHECK(net.AddEdge(ea, pv).ok());
+      COBRA_CHECK(net.AddEdge(ea, sq).ok());
+      const auto kw = net.AddNode("kw", 2, true);
+      COBRA_CHECK(net.AddEdge(ea, kw).ok());
+      for (const char* name :
+           {"ste_avg", "ste_range", "ste_max"}) {
+        const auto leaf = net.AddNode(name, 2, true);
+        COBRA_CHECK(net.AddEdge(en, leaf).ok());
+      }
+      for (const char* name :
+           {"pitch_avg", "pitch_range", "pitch_max"}) {
+        const auto leaf = net.AddNode(name, 2, true);
+        COBRA_CHECK(net.AddEdge(pv, leaf).ok());
+      }
+      for (const char* name : {"pause", "mfcc_avg", "mfcc_max"}) {
+        const auto leaf = net.AddNode(name, 2, true);
+        COBRA_CHECK(net.AddEdge(sq, leaf).ok());
+      }
+      break;
+    }
+    case AudioStructure::kDirectEvidence: {
+      const auto ea = net.AddNode(kExcitedAnnouncer, 2, false);
+      for (const auto& binding : kAudioFeatures) {
+        const auto f = net.AddNode(binding.name, 2, true);
+        COBRA_CHECK(net.AddEdge(f, ea).ok());
+      }
+      break;
+    }
+    case AudioStructure::kInputOutput: {
+      const auto ea = net.AddNode(kExcitedAnnouncer, 2, false);
+      const auto en = net.AddNode("EN", 2, false);
+      const auto pv = net.AddNode("PV", 2, false);
+      const auto sq = net.AddNode("SQ", 2, false);
+      const auto kwh = net.AddNode("KW", 2, false);
+      const auto in_energy = net.AddNode("in_energy", 2, true);
+      const auto in_pitch = net.AddNode("in_pitch", 2, true);
+      const auto in_quality = net.AddNode("in_quality", 2, true);
+      const auto in_kw = net.AddNode("in_kw", 2, true);
+      COBRA_CHECK(net.AddEdge(in_energy, en).ok());
+      COBRA_CHECK(net.AddEdge(in_pitch, pv).ok());
+      COBRA_CHECK(net.AddEdge(in_quality, sq).ok());
+      COBRA_CHECK(net.AddEdge(in_kw, kwh).ok());
+      COBRA_CHECK(net.AddEdge(en, ea).ok());
+      COBRA_CHECK(net.AddEdge(pv, ea).ok());
+      COBRA_CHECK(net.AddEdge(sq, ea).ok());
+      COBRA_CHECK(net.AddEdge(kwh, ea).ok());
+      break;
+    }
+  }
+  COBRA_CHECK(net.Finalize().ok());
+  return net;
+}
+
+std::vector<bayes::DynamicBayesianNetwork::TemporalArc> MakeTemporalArcs(
+    const bayes::BayesianNetwork& slice, const std::string& query_name,
+    TemporalScheme scheme) {
+  std::vector<bayes::DynamicBayesianNetwork::TemporalArc> arcs;
+  const bayes::NodeId query = slice.FindNode(query_name);
+  COBRA_CHECK(query >= 0) << "no query node " << query_name;
+  std::vector<bayes::NodeId> hidden;
+  for (bayes::NodeId n = 0; n < slice.num_nodes(); ++n) {
+    if (!slice.is_evidence(n)) hidden.push_back(n);
+  }
+  switch (scheme) {
+    case TemporalScheme::kFig8:
+      for (bayes::NodeId n : hidden) {
+        arcs.push_back({n, n});  // persistence
+        if (n != query) {
+          arcs.push_back({query, n});  // query broadcasts forward
+          arcs.push_back({n, query});  // hidden feed the query forward
+        }
+      }
+      break;
+    case TemporalScheme::kQueryOnlyReceives:
+      for (bayes::NodeId n : hidden) {
+        if (n == query) {
+          arcs.push_back({query, query});
+        } else {
+          arcs.push_back({n, query});
+        }
+      }
+      break;
+    case TemporalScheme::kNoQueryBroadcast:
+      for (bayes::NodeId n : hidden) {
+        arcs.push_back({n, n});
+        if (n != query) arcs.push_back({n, query});
+      }
+      break;
+  }
+  return arcs;
+}
+
+Result<bayes::DynamicBayesianNetwork> BuildAudioDbn(AudioStructure structure,
+                                                    TemporalScheme scheme) {
+  bayes::BayesianNetwork slice = BuildAudioSlice(structure);
+  auto arcs = MakeTemporalArcs(slice, kExcitedAnnouncer, scheme);
+  return bayes::DynamicBayesianNetwork::Create(std::move(slice),
+                                               std::move(arcs));
+}
+
+void InitializeForEm(bayes::BayesianNetwork& net, Rng& rng) {
+  net.RandomizeCpts(rng, 0.6);
+  for (bayes::NodeId n = 0; n < net.num_nodes(); ++n) {
+    if (net.is_evidence(n) || net.num_states(n) != 2) continue;
+    const auto& parents = net.parents(n);
+    if (parents.empty()) continue;
+    bool all_binary = true;
+    for (bayes::NodeId p : parents) {
+      all_binary = all_binary && net.num_states(p) == 2;
+    }
+    if (!all_binary) continue;
+    if (parents.size() == 1) {
+      // Identity-leaning bias for hidden intermediates (structures 7a/7c)
+      // so EM's latent semantics don't collapse.
+      COBRA_CHECK(net.cpt(n).SetRow(0, {0.72, 0.28}).ok());
+      COBRA_CHECK(net.cpt(n).SetRow(1, {0.28, 0.72}).ok());
+    } else {
+      // Noisy-OR-leaning bias for aggregation nodes (EA in structures
+      // 7b/7c): P(on) grows with the number of active parents.
+      bayes::Cpt& cpt = net.cpt(n);
+      for (size_t row = 0; row < cpt.num_rows(); ++row) {
+        int ones = 0;
+        for (size_t d = 0; d < parents.size(); ++d) {
+          ones += cpt.parent_index().Digit(row, d);
+        }
+        const double p_on =
+            0.1 + 0.8 * static_cast<double>(ones) / parents.size();
+        COBRA_CHECK(cpt.SetRow(row, {1.0 - p_on, p_on}).ok());
+      }
+    }
+  }
+}
+
+void InitializeForEm(bayes::DynamicBayesianNetwork& dbn, Rng& rng) {
+  InitializeForEm(dbn.mutable_slice(), rng);
+  // Persistence bias: transition rows prefer keeping the previous state of
+  // the same node.
+  const auto& slice = dbn.slice();
+  for (bayes::NodeId n : dbn.chain_nodes()) {
+    const auto& temporal = dbn.temporal_parents(n);
+    int self_digit = -1;
+    for (size_t i = 0; i < temporal.size(); ++i) {
+      if (temporal[i] == n) {
+        self_digit = static_cast<int>(slice.parents(n).size() + i);
+      }
+    }
+    bayes::Cpt& cpt = dbn.transition_cpt(n);
+    cpt.Randomize(rng, 0.6);
+    if (self_digit < 0 || slice.num_states(n) != 2) continue;
+    for (size_t row = 0; row < cpt.num_rows(); ++row) {
+      const int prev = cpt.parent_index().Digit(row, self_digit);
+      const double keep = 0.8;
+      COBRA_CHECK(cpt.SetRow(row, prev == 1 ? std::vector<double>{1 - keep, keep}
+                                            : std::vector<double>{keep, 1 - keep})
+                      .ok());
+    }
+  }
+}
+
+bayes::Evidence MakeAudioEvidence(const bayes::BayesianNetwork& net,
+                                  const ClipEvidence& clip, bool supervise) {
+  bayes::Evidence e;
+  for (const auto& binding : kAudioFeatures) {
+    const bayes::NodeId n = net.FindNode(binding.name);
+    if (n >= 0) e.SetBinary(n, Calibrate(binding, clip));
+  }
+  // Aggregated input nodes (input/output structure).
+  constexpr FeatureBinding kAggregates[] = {
+      {"in_energy", &EnergyAggregate, 0.18, 12.0},
+      {"in_pitch", &PitchAggregate, 0.35, 10.0},
+      {"in_quality", &QualityAggregate, 0.45, 8.0},
+      {"in_kw", [](const ClipEvidence& c) { return c.keywords; }, 0.25, 10.0},
+  };
+  for (const auto& agg : kAggregates) {
+    const bayes::NodeId n = net.FindNode(agg.name);
+    if (n >= 0) e.SetBinary(n, Calibrate(agg, clip));
+  }
+  if (supervise) {
+    const bayes::NodeId ea = net.FindNode(kExcitedAnnouncer);
+    COBRA_CHECK(ea >= 0);
+    e.hard[ea] = clip.truth_excited ? 1 : 0;
+  }
+  return e;
+}
+
+bayes::BayesianNetwork BuildAudioVisualSlice(bool with_passing) {
+  bayes::BayesianNetwork net;
+  const auto h = net.AddNode(kHighlight, 2, false);
+  const auto ea = net.AddNode(kExcitedAnnouncer, 2, false);
+  const auto st = net.AddNode(kStartNode, 2, false);
+  const auto fo = net.AddNode(kFlyOutNode, 2, false);
+  COBRA_CHECK(net.AddEdge(h, ea).ok());
+  COBRA_CHECK(net.AddEdge(h, st).ok());
+  COBRA_CHECK(net.AddEdge(h, fo).ok());
+  bayes::NodeId pa = -1;
+  if (with_passing) {
+    pa = net.AddNode(kPassingNode, 2, false);
+    COBRA_CHECK(net.AddEdge(h, pa).ok());
+  }
+  // Audio leaves under EA.
+  for (const auto& binding : kAudioFeatures) {
+    const auto leaf = net.AddNode(binding.name, 2, true);
+    COBRA_CHECK(net.AddEdge(ea, leaf).ok());
+  }
+  // Visual leaves.
+  const auto replay = net.AddNode("replay", 2, true);
+  COBRA_CHECK(net.AddEdge(h, replay).ok());
+  const auto semaphore = net.AddNode("semaphore", 2, true);
+  const auto part = net.AddNode("part", 2, true);
+  const auto motion = net.AddNode("motion", 2, true);
+  COBRA_CHECK(net.AddEdge(st, semaphore).ok());
+  COBRA_CHECK(net.AddEdge(st, part).ok());
+  COBRA_CHECK(net.AddEdge(st, motion).ok());
+  const auto dust = net.AddNode("dust", 2, true);
+  const auto sand = net.AddNode("sand", 2, true);
+  COBRA_CHECK(net.AddEdge(fo, dust).ok());
+  COBRA_CHECK(net.AddEdge(fo, sand).ok());
+  if (with_passing) {
+    const auto color_diff = net.AddNode("color_diff", 2, true);
+    COBRA_CHECK(net.AddEdge(pa, color_diff).ok());
+    COBRA_CHECK(net.AddEdge(pa, motion).ok());
+  }
+  COBRA_CHECK(net.Finalize().ok());
+  return net;
+}
+
+Result<bayes::DynamicBayesianNetwork> BuildAudioVisualDbn(
+    bool with_passing, TemporalScheme scheme) {
+  bayes::BayesianNetwork slice = BuildAudioVisualSlice(with_passing);
+  auto arcs = MakeTemporalArcs(slice, kHighlight, scheme);
+  return bayes::DynamicBayesianNetwork::Create(std::move(slice),
+                                               std::move(arcs));
+}
+
+bayes::Evidence MakeAudioVisualEvidence(const bayes::BayesianNetwork& net,
+                                        const ClipEvidence& clip,
+                                        bool supervise) {
+  bayes::Evidence e;
+  for (const auto& binding : kAudioFeatures) {
+    const bayes::NodeId n = net.FindNode(binding.name);
+    if (n >= 0) e.SetBinary(n, Calibrate(binding, clip));
+  }
+  for (const auto& binding : kVisualFeatures) {
+    const bayes::NodeId n = net.FindNode(binding.name);
+    if (n >= 0) e.SetBinary(n, Calibrate(binding, clip));
+  }
+  if (supervise) {
+    auto clamp = [&net, &e](const char* name, bool value) {
+      const bayes::NodeId n = net.FindNode(name);
+      if (n >= 0) e.hard[n] = value ? 1 : 0;
+    };
+    clamp(kHighlight, clip.truth_highlight);
+    clamp(kExcitedAnnouncer, clip.truth_excited);
+    clamp(kStartNode, clip.truth_start);
+    clamp(kFlyOutNode, clip.truth_flyout);
+    clamp(kPassingNode, clip.truth_passing);
+  }
+  return e;
+}
+
+}  // namespace cobra::f1

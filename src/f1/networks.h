@@ -1,0 +1,92 @@
+#ifndef COBRA_F1_NETWORKS_H_
+#define COBRA_F1_NETWORKS_H_
+
+#include <string>
+#include <vector>
+
+#include "bayes/dbn.h"
+#include "bayes/network.h"
+#include "f1/features.h"
+
+namespace cobra::f1 {
+
+/// The three one-slice structures of Fig. 7.
+enum class AudioStructure {
+  /// (a) "Fully parameterized": the query node EA tops a hierarchy of
+  /// hidden intermediate nodes (energy / pitch / quality) that parent the
+  /// evidence features.
+  kFullyParameterized,
+  /// (b) Direct influence from evidence to the query node: all ten audio
+  /// features are parents of EA.
+  kDirectEvidence,
+  /// (c) Input/output structure: (aggregated) evidence feeds intermediate
+  /// nodes which feed EA. Feature groups are aggregated into one input node
+  /// per intermediate to keep exact inference tractable (see DESIGN.md).
+  kInputOutput,
+};
+
+/// The temporal-dependency schemes of §5.5.
+enum class TemporalScheme {
+  /// Fig. 8 (best in the paper): self-arcs on every non-observable node,
+  /// plus query(t-1) -> every hidden(t) and every hidden(t-1) -> query(t).
+  kFig8,
+  /// Only the query node receives temporal input: hidden(t-1) -> query(t)
+  /// and query(t-1) -> query(t); no other temporal arcs.
+  kQueryOnlyReceives,
+  /// Self-arcs plus hidden(t-1) -> query(t); the query does not distribute
+  /// evidence to the other non-observables.
+  kNoQueryBroadcast,
+};
+
+/// Canonical node names.
+inline constexpr char kExcitedAnnouncer[] = "EA";
+inline constexpr char kHighlight[] = "Highlight";
+inline constexpr char kStartNode[] = "Start";
+inline constexpr char kFlyOutNode[] = "FlyOut";
+inline constexpr char kPassingNode[] = "Passing";
+
+/// Builds the one-slice audio network (also used standalone as the BN).
+bayes::BayesianNetwork BuildAudioSlice(AudioStructure structure);
+
+/// Builds the audio DBN: slice structure + temporal arcs per scheme.
+Result<bayes::DynamicBayesianNetwork> BuildAudioDbn(AudioStructure structure,
+                                                    TemporalScheme scheme);
+
+/// Soft evidence for one clip on an audio network; when `supervise` is
+/// true, the EA node is clamped to the ground-truth excited label
+/// (training).
+bayes::Evidence MakeAudioEvidence(const bayes::BayesianNetwork& net,
+                                  const ClipEvidence& clip,
+                                  bool supervise = false);
+
+/// Builds the one-slice audio-visual network of Fig. 10. The Highlight
+/// query node parents the sub-event nodes (EA, Start, FlyOut and, when
+/// `with_passing`, Passing); each sub-event parents its feature leaves.
+bayes::BayesianNetwork BuildAudioVisualSlice(bool with_passing);
+
+/// Audio-visual DBN with Fig. 11 temporal dependencies (scheme kFig8 with
+/// Highlight as the query node).
+Result<bayes::DynamicBayesianNetwork> BuildAudioVisualDbn(
+    bool with_passing, TemporalScheme scheme = TemporalScheme::kFig8);
+
+/// Soft evidence for one clip on the audio-visual network; `supervise`
+/// clamps Highlight and the sub-event nodes to ground truth (training).
+bayes::Evidence MakeAudioVisualEvidence(const bayes::BayesianNetwork& net,
+                                        const ClipEvidence& clip,
+                                        bool supervise = false);
+
+/// Temporal arcs for a finalized slice per scheme (exposed for tests).
+std::vector<bayes::DynamicBayesianNetwork::TemporalArc> MakeTemporalArcs(
+    const bayes::BayesianNetwork& slice, const std::string& query_name,
+    TemporalScheme scheme);
+
+/// EM initialization: random CPTs plus an identity-leaning bias on hidden
+/// intermediate nodes (P(child = s | parent = s) elevated) so EM's latent
+/// semantics don't collapse into an uninformative fixed point, and — for
+/// DBNs — a persistence bias on self-transition rows.
+void InitializeForEm(bayes::BayesianNetwork& net, Rng& rng);
+void InitializeForEm(bayes::DynamicBayesianNetwork& dbn, Rng& rng);
+
+}  // namespace cobra::f1
+
+#endif  // COBRA_F1_NETWORKS_H_

@@ -1,0 +1,306 @@
+#include "f1/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "f1/lexicon.h"
+
+namespace cobra::f1 {
+namespace {
+
+constexpr double kStartTime = 25.0;
+constexpr double kStartDuration = 8.0;
+constexpr double kSemaphoreLead = 8.0;
+
+/// Places `count` events of duration ~`dur` into [lo, hi] with at least
+/// `sep` separation from everything already placed in `busy`.
+std::vector<double> PlaceEvents(int count, double lo, double hi, double sep,
+                                std::vector<std::pair<double, double>>& busy,
+                                double dur, Rng& rng) {
+  std::vector<double> begins;
+  int attempts = 0;
+  while (static_cast<int>(begins.size()) < count && attempts < count * 60) {
+    ++attempts;
+    const double b = rng.Uniform(lo, std::max(lo + 1.0, hi - dur));
+    bool ok = true;
+    for (const auto& [bb, be] : busy) {
+      if (b < be + sep && bb < b + dur + sep) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    busy.emplace_back(b, b + dur);
+    begins.push_back(b);
+  }
+  std::sort(begins.begin(), begins.end());
+  return begins;
+}
+
+std::string PickDriver(Rng& rng) {
+  const auto& names = DriverNames();
+  return names[rng.UniformInt(names.size())];
+}
+
+}  // namespace
+
+RaceProfile RaceProfile::GermanGp(double duration_sec) {
+  RaceProfile p;
+  p.name = "german-gp";
+  p.duration_sec = duration_sec;
+  p.seed = 20010729;  // 2001 German GP date
+  p.camera_global_motion = 0.04;  // mostly static camera: passing cue works
+  return p;
+}
+
+RaceProfile RaceProfile::BelgianGp(double duration_sec) {
+  RaceProfile p;
+  p.name = "belgian-gp";
+  p.duration_sec = duration_sec;
+  p.seed = 20010902;
+  p.camera_global_motion = 0.65;  // frequent pans: motion cue swamped
+  p.flyouts_per_minute = 0.40;
+  return p;
+}
+
+RaceProfile RaceProfile::UsaGp(double duration_sec) {
+  RaceProfile p;
+  p.name = "usa-gp";
+  p.duration_sec = duration_sec;
+  p.seed = 20010930;
+  p.camera_global_motion = 0.60;
+  p.has_flyouts = false;  // "There were no fly-outs in the USA Grand Prix"
+  return p;
+}
+
+std::vector<TimelineEvent> RaceTimeline::EventsOfType(
+    const std::string& type) const {
+  std::vector<TimelineEvent> out;
+  for (const auto& e : events) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+const TimelineEvent* RaceTimeline::ActiveEvent(const std::string& type,
+                                               double t) const {
+  for (const auto& e : events) {
+    if (e.type == type && e.Covers(t)) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<TimelineEvent> RaceTimeline::Highlights() const {
+  std::vector<TimelineEvent> out;
+  for (const auto& e : events) {
+    if (e.type == "start" || e.type == "flyout" || e.type == "passing" ||
+        e.type == "replay") {
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              return a.begin < b.begin;
+            });
+  return out;
+}
+
+RaceTimeline GenerateTimeline(const RaceProfile& profile) {
+  COBRA_CHECK(profile.duration_sec >= 120.0)
+      << "race must be at least two minutes";
+  RaceTimeline timeline;
+  timeline.profile = profile;
+  Rng rng(profile.seed);
+
+  auto add = [&timeline](std::string type, double begin, double end,
+                         std::map<std::string, std::string> attrs = {}) {
+    TimelineEvent e;
+    e.type = std::move(type);
+    e.begin = begin;
+    e.end = end;
+    e.attrs = std::move(attrs);
+    timeline.events.push_back(std::move(e));
+  };
+
+  const double duration = profile.duration_sec;
+  const double race_minutes = (duration - 60.0) / 60.0;
+
+  // --- The start -----------------------------------------------------------
+  // The gantry stays on screen through the opening seconds of the race, so
+  // the semaphore cue overlaps the start event itself.
+  add("semaphore", kStartTime - kSemaphoreLead, kStartTime + 4.0);
+  add("start", kStartTime, kStartTime + kStartDuration,
+      {{"driver", PickDriver(rng)}});
+
+  std::vector<std::pair<double, double>> busy;
+  busy.emplace_back(kStartTime - kSemaphoreLead,
+                    kStartTime + kStartDuration + 10.0);
+
+  // --- Domain events ---------------------------------------------------------
+  const double lo = kStartTime + kStartDuration + 20.0;
+  const double hi = duration - 30.0;
+
+  const int num_passings = std::max(
+      1, static_cast<int>(std::lround(profile.passings_per_minute *
+                                      race_minutes)));
+  const int num_flyouts =
+      profile.has_flyouts
+          ? std::max(1, static_cast<int>(std::lround(
+                            profile.flyouts_per_minute * race_minutes)))
+          : 0;
+  const int num_pitstops = std::max(
+      1, static_cast<int>(std::lround(profile.pitstops_per_minute *
+                                      race_minutes)));
+
+  struct Pending {
+    std::string type;
+    double begin;
+    double dur;
+    std::string driver;
+  };
+  std::vector<Pending> pending;
+  for (double b : PlaceEvents(num_flyouts, lo, hi, 14.0, busy, 8.0, rng)) {
+    pending.push_back({"flyout", b, rng.Uniform(6.5, 9.0), PickDriver(rng)});
+  }
+  for (double b : PlaceEvents(num_passings, lo, hi, 14.0, busy, 8.0, rng)) {
+    pending.push_back({"passing", b, rng.Uniform(6.5, 9.5), PickDriver(rng)});
+  }
+  for (double b : PlaceEvents(num_pitstops, lo, hi, 14.0, busy, 10.0, rng)) {
+    pending.push_back({"pitstop", b, 10.0, PickDriver(rng)});
+  }
+  for (const auto& p : pending) {
+    add(p.type, p.begin, p.begin + p.dur, {{"driver", p.driver}});
+  }
+
+  // --- Replays ---------------------------------------------------------------
+  // Fly-outs are always replayed; passings often; the start sometimes.
+  std::vector<Pending> replay_sources;
+  for (const auto& p : pending) {
+    if (p.type == "flyout" ||
+        (p.type == "passing" && rng.Bernoulli(0.6))) {
+      replay_sources.push_back(p);
+    }
+  }
+  for (const auto& src : replay_sources) {
+    const double rb = src.begin + src.dur + rng.Uniform(4.0, 9.0);
+    const double rd = rng.Uniform(6.0, 9.0);
+    if (rb + rd > duration - 10.0) continue;
+    bool ok = true;
+    for (const auto& [bb, be] : busy) {
+      if (rb < be && bb < rb + rd) {
+        // Replays may not overlap other *events*; allow the gap after its
+        // own source which we just reserved as busy.
+        if (std::abs(bb - src.begin) > 1e-9) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    busy.emplace_back(rb, rb + rd);
+    add("replay", rb, rb + rd,
+        {{"source", src.type}, {"driver", src.driver}});
+  }
+
+  // --- Excited speech ----------------------------------------------------------
+  // The start is always called with excitement; other highlights per
+  // excited_coverage; plus spontaneous false excitement.
+  std::vector<std::pair<double, double>> excited;
+  excited.emplace_back(kStartTime, kStartTime + rng.Uniform(5.0, 8.0));
+  for (const auto& p : pending) {
+    if (p.type == "pitstop") continue;
+    if (!rng.Bernoulli(profile.excited_coverage)) continue;
+    excited.emplace_back(p.begin + rng.Uniform(0.0, 1.0),
+                         p.begin + p.dur + rng.Uniform(0.5, 2.0));
+  }
+  const int num_false = static_cast<int>(
+      std::lround(profile.false_excitement_per_minute * race_minutes));
+  std::vector<std::pair<double, double>> busy_excited = busy;
+  for (double b :
+       PlaceEvents(num_false, lo, hi, 8.0, busy_excited, 4.0, rng)) {
+    excited.emplace_back(b, b + rng.Uniform(3.0, 5.0));
+  }
+  std::sort(excited.begin(), excited.end());
+  for (const auto& [b, e] : excited) {
+    // Excitement intensity varies: a start or crash is called at full
+    // volume, a routine overtake only with mild emphasis. Graded intensity
+    // is what keeps excited-speech detection below 100%.
+    add("excited", b, std::min(e, duration),
+        {{"intensity", StrFormat("%.2f", rng.Uniform(0.50, 1.0))}});
+  }
+
+  // --- Commentary (speech activity + spoken words) -----------------------------
+  auto is_excited_at = [&excited](double t) {
+    for (const auto& [b, e] : excited) {
+      if (t >= b && t < e) return true;
+    }
+    return false;
+  };
+  double t = 2.0;
+  while (t < duration - 2.0) {
+    const bool excited_now = is_excited_at(t);
+    const double talk_len =
+        excited_now ? rng.Uniform(6.0, 10.0) : rng.Uniform(4.0, 9.0);
+    const double seg_end = std::min(t + talk_len, duration - 1.0);
+    // Words: one per ~0.55 s of speech.
+    std::vector<std::string> words;
+    const int num_words = std::max(1, static_cast<int>((seg_end - t) / 0.55));
+    for (int w = 0; w < num_words; ++w) {
+      const double word_time = t + (seg_end - t) * w / num_words;
+      const bool exc = is_excited_at(word_time);
+      const double keyword_p = exc ? 0.45 : 0.05;
+      if (rng.Bernoulli(keyword_p)) {
+        const auto& kw = ExcitedKeywords();
+        words.push_back(kw[rng.UniformInt(kw.size())]);
+      } else if (rng.Bernoulli(0.12)) {
+        words.push_back(PickDriver(rng));
+      } else {
+        const auto& neutral = NeutralWords();
+        words.push_back(neutral[rng.UniformInt(neutral.size())]);
+      }
+    }
+    add("commentary", t, seg_end,
+        {{"words", StrJoin(words, " ")},
+         {"excited", excited_now ? "1" : "0"}});
+    // Pause: short when the announcer is excited.
+    const double pause =
+        excited_now ? rng.Uniform(0.2, 0.8) : rng.Uniform(1.2, 4.0);
+    t = seg_end + pause;
+  }
+
+  // --- Captions ---------------------------------------------------------------
+  for (const auto& p : pending) {
+    if (p.type == "pitstop") {
+      add("caption", p.begin + 1.0, p.begin + p.dur - 1.0,
+          {{"text", "PIT STOP " + p.driver}, {"driver", p.driver},
+           {"kind", "pitstop"}});
+    } else if (p.type == "flyout") {
+      add("caption", p.begin + p.dur, p.begin + p.dur + 3.0,
+          {{"text", p.driver + " OUT"}, {"driver", p.driver},
+           {"kind", "retired"}});
+    }
+  }
+  // Periodic leader boards.
+  for (double ct = 60.0; ct < duration - 40.0; ct += rng.Uniform(60.0, 90.0)) {
+    const std::string leader = PickDriver(rng);
+    add("caption", ct, ct + 3.5,
+        {{"text", "LEADER " + leader}, {"driver", leader},
+         {"kind", "classification"}});
+  }
+  // Final lap and winner.
+  const std::string winner = PickDriver(rng);
+  add("caption", duration - 35.0, duration - 31.0,
+      {{"text", "FINAL LAP"}, {"kind", "finallap"}});
+  add("caption", duration - 8.0, duration - 3.0,
+      {{"text", "WINNER " + winner}, {"driver", winner}, {"kind", "winner"}});
+
+  std::sort(timeline.events.begin(), timeline.events.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              return a.begin < b.begin;
+            });
+  return timeline;
+}
+
+}  // namespace cobra::f1

@@ -1,0 +1,90 @@
+#ifndef COBRA_F1_TIMELINE_H_
+#define COBRA_F1_TIMELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace cobra::f1 {
+
+/// Generation profile for one synthetic Grand Prix broadcast. The three
+/// 2001 races the paper digitized are modeled as three profiles; the
+/// decisive difference the paper reports — "different camera work in the
+/// German GP" which made the motion-based passing cue work there and fail
+/// elsewhere — is the `camera_global_motion` parameter (global background
+/// motion that leaks into the motion histogram).
+struct RaceProfile {
+  std::string name = "german-gp";
+  double duration_sec = 600.0;
+  uint64_t seed = 1;
+
+  /// Camera work: the fraction of shots filmed with a panning camera.
+  /// Low = mostly static camera work (the passing motion cue is
+  /// informative); high = frequent pans whose global motion swamps the cue.
+  double camera_global_motion = 0.10;
+
+  // Event densities (per minute of race after the start phase).
+  double passings_per_minute = 0.70;
+  double flyouts_per_minute = 0.30;
+  double pitstops_per_minute = 0.45;
+
+  /// Spontaneous announcer excitement without any highlight (per minute).
+  double false_excitement_per_minute = 0.40;
+  /// Probability that a fly-out / passing is accompanied by excited speech
+  /// (the start always is). Drives the audio-only recall ceiling of ~50%
+  /// that the paper reports once replays are counted.
+  double excited_coverage = 0.75;
+
+  bool has_flyouts = true;
+
+  static RaceProfile GermanGp(double duration_sec = 600.0);
+  static RaceProfile BelgianGp(double duration_sec = 600.0);
+  static RaceProfile UsaGp(double duration_sec = 600.0);
+};
+
+/// One ground-truth occurrence. Types used:
+///   "start", "flyout", "passing", "pitstop", "replay"  — domain events
+///   "excited"     — announcer raises his voice
+///   "commentary"  — speech activity segment; attr "words" holds the spoken
+///                   token sequence, attr "excited" ("0"/"1")
+///   "caption"     — superimposed text; attr "text", optional "driver"
+struct TimelineEvent {
+  std::string type;
+  double begin = 0.0;
+  double end = 0.0;
+  std::map<std::string, std::string> attrs;
+
+  bool Covers(double t) const { return t >= begin && t < end; }
+};
+
+/// Full ground truth of one synthetic race.
+struct RaceTimeline {
+  RaceProfile profile;
+  std::vector<TimelineEvent> events;
+
+  std::vector<TimelineEvent> EventsOfType(const std::string& type) const;
+  /// First event of `type` covering time t, or nullptr.
+  const TimelineEvent* ActiveEvent(const std::string& type, double t) const;
+  /// True if any event of `type` covers t.
+  bool IsActive(const std::string& type, double t) const {
+    return ActiveEvent(type, t) != nullptr;
+  }
+
+  /// The "interesting segments": start, fly-outs, passings and replay
+  /// scenes — the ground truth against which highlight precision/recall is
+  /// scored (the paper counts replay scenes as interesting segments).
+  std::vector<TimelineEvent> Highlights() const;
+
+  size_t NumClips() const {
+    return static_cast<size_t>(profile.duration_sec * 10.0);
+  }
+};
+
+/// Deterministically generates the ground-truth timeline for a profile.
+RaceTimeline GenerateTimeline(const RaceProfile& profile);
+
+}  // namespace cobra::f1
+
+#endif  // COBRA_F1_TIMELINE_H_

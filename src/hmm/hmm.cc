@@ -1,0 +1,302 @@
+#include "hmm/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.h"
+
+namespace cobra::hmm {
+
+Hmm::Hmm(int num_states, int num_symbols)
+    : num_states_(num_states), num_symbols_(num_symbols) {
+  COBRA_CHECK(num_states >= 1 && num_symbols >= 1);
+  pi_.assign(num_states_, 1.0 / num_states_);
+  a_.assign(static_cast<size_t>(num_states_) * num_states_,
+            1.0 / num_states_);
+  b_.assign(static_cast<size_t>(num_states_) * num_symbols_,
+            1.0 / num_symbols_);
+}
+
+namespace {
+
+Status CheckRow(const std::vector<double>& row, size_t n) {
+  if (row.size() != n) return Status::InvalidArgument("bad row arity");
+  double sum = 0.0;
+  for (double v : row) {
+    if (v < 0.0) return Status::InvalidArgument("negative probability");
+    sum += v;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("row does not sum to 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Hmm::SetInitial(const std::vector<double>& pi) {
+  COBRA_RETURN_IF_ERROR(CheckRow(pi, static_cast<size_t>(num_states_)));
+  pi_ = pi;
+  return Status::OK();
+}
+
+Status Hmm::SetTransitionRow(int s, const std::vector<double>& row) {
+  if (s < 0 || s >= num_states_) return Status::OutOfRange("bad state");
+  COBRA_RETURN_IF_ERROR(CheckRow(row, static_cast<size_t>(num_states_)));
+  std::copy(row.begin(), row.end(), a_.begin() + s * num_states_);
+  return Status::OK();
+}
+
+Status Hmm::SetEmissionRow(int s, const std::vector<double>& row) {
+  if (s < 0 || s >= num_states_) return Status::OutOfRange("bad state");
+  COBRA_RETURN_IF_ERROR(CheckRow(row, static_cast<size_t>(num_symbols_)));
+  std::copy(row.begin(), row.end(), b_.begin() + s * num_symbols_);
+  return Status::OK();
+}
+
+void Hmm::Randomize(Rng& rng) {
+  auto randomize = [&rng](std::vector<double>& table, int row_len) {
+    for (size_t r = 0; r * row_len < table.size(); ++r) {
+      double sum = 0.0;
+      for (int i = 0; i < row_len; ++i) {
+        const double v = 0.5 + rng.Uniform();
+        table[r * row_len + i] = v;
+        sum += v;
+      }
+      for (int i = 0; i < row_len; ++i) table[r * row_len + i] /= sum;
+    }
+  };
+  randomize(pi_, num_states_);
+  randomize(a_, num_states_);
+  randomize(b_, num_symbols_);
+}
+
+Status Hmm::CheckObservations(const std::vector<int>& observations) const {
+  for (int o : observations) {
+    if (o < 0 || o >= num_symbols_) {
+      return Status::InvalidArgument("observation symbol out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> Hmm::LogLikelihood(
+    const std::vector<int>& observations) const {
+  COBRA_RETURN_IF_ERROR(CheckObservations(observations));
+  if (observations.empty()) return 0.0;
+  std::vector<double> alpha(num_states_);
+  double loglik = 0.0;
+  for (int s = 0; s < num_states_; ++s) {
+    alpha[s] = pi_[s] * emission(s, observations[0]);
+  }
+  for (size_t t = 0;; ++t) {
+    double c = 0.0;
+    for (double v : alpha) c += v;
+    if (c <= 0.0) {
+      return Status::FailedPrecondition("zero-probability observation");
+    }
+    for (double& v : alpha) v /= c;
+    loglik += std::log(c);
+    if (t + 1 >= observations.size()) break;
+    std::vector<double> next(num_states_, 0.0);
+    for (int s = 0; s < num_states_; ++s) {
+      if (alpha[s] <= 0.0) continue;
+      for (int u = 0; u < num_states_; ++u) {
+        next[u] += alpha[s] * transition(s, u);
+      }
+    }
+    for (int u = 0; u < num_states_; ++u) {
+      next[u] *= emission(u, observations[t + 1]);
+    }
+    alpha = std::move(next);
+  }
+  return loglik;
+}
+
+Result<Hmm::ViterbiResult> Hmm::Viterbi(
+    const std::vector<int>& observations) const {
+  COBRA_RETURN_IF_ERROR(CheckObservations(observations));
+  ViterbiResult result;
+  if (observations.empty()) return result;
+  const size_t T = observations.size();
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  auto safe_log = [](double v) {
+    return v > 0.0 ? std::log(v) : -1e300;
+  };
+  std::vector<double> delta(num_states_);
+  std::vector<std::vector<int>> psi(T, std::vector<int>(num_states_, 0));
+  for (int s = 0; s < num_states_; ++s) {
+    delta[s] = safe_log(pi_[s]) + safe_log(emission(s, observations[0]));
+  }
+  for (size_t t = 1; t < T; ++t) {
+    std::vector<double> next(num_states_, kNegInf);
+    for (int u = 0; u < num_states_; ++u) {
+      double best = kNegInf;
+      int arg = 0;
+      for (int s = 0; s < num_states_; ++s) {
+        const double v = delta[s] + safe_log(transition(s, u));
+        if (v > best) {
+          best = v;
+          arg = s;
+        }
+      }
+      next[u] = best + safe_log(emission(u, observations[t]));
+      psi[t][u] = arg;
+    }
+    delta = std::move(next);
+  }
+  int best_state = 0;
+  for (int s = 1; s < num_states_; ++s) {
+    if (delta[s] > delta[best_state]) best_state = s;
+  }
+  result.log_prob = delta[best_state];
+  result.path.assign(T, 0);
+  result.path[T - 1] = best_state;
+  for (size_t t = T - 1; t-- > 0;) {
+    result.path[t] = psi[t + 1][result.path[t + 1]];
+  }
+  return result;
+}
+
+Result<double> Hmm::BaumWelch(const std::vector<std::vector<int>>& sequences,
+                              const TrainOptions& options) {
+  if (sequences.empty()) return Status::InvalidArgument("no sequences");
+  for (const auto& seq : sequences) {
+    COBRA_RETURN_IF_ERROR(CheckObservations(seq));
+    if (seq.empty()) return Status::InvalidArgument("empty sequence");
+  }
+
+  double prev_loglik = -std::numeric_limits<double>::infinity();
+  double loglik = prev_loglik;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<double> pi_counts(num_states_, 0.0);
+    std::vector<double> a_counts(a_.size(), 0.0);
+    std::vector<double> b_counts(b_.size(), 0.0);
+    loglik = 0.0;
+
+    for (const auto& obs : sequences) {
+      const size_t T = obs.size();
+      // Scaled forward.
+      std::vector<std::vector<double>> alpha(
+          T, std::vector<double>(num_states_, 0.0));
+      std::vector<double> scales(T, 0.0);
+      for (int s = 0; s < num_states_; ++s) {
+        alpha[0][s] = pi_[s] * emission(s, obs[0]);
+      }
+      for (size_t t = 0; t < T; ++t) {
+        if (t > 0) {
+          for (int u = 0; u < num_states_; ++u) {
+            double acc = 0.0;
+            for (int s = 0; s < num_states_; ++s) {
+              acc += alpha[t - 1][s] * transition(s, u);
+            }
+            alpha[t][u] = acc * emission(u, obs[t]);
+          }
+        }
+        double c = 0.0;
+        for (double v : alpha[t]) c += v;
+        if (c <= 0.0) {
+          return Status::FailedPrecondition("zero-probability sequence");
+        }
+        for (double& v : alpha[t]) v /= c;
+        scales[t] = c;
+        loglik += std::log(c);
+      }
+      // Scaled backward.
+      std::vector<std::vector<double>> beta(
+          T, std::vector<double>(num_states_, 1.0));
+      for (size_t t = T - 1; t-- > 0;) {
+        for (int s = 0; s < num_states_; ++s) {
+          double acc = 0.0;
+          for (int u = 0; u < num_states_; ++u) {
+            acc += transition(s, u) * emission(u, obs[t + 1]) *
+                   beta[t + 1][u];
+          }
+          beta[t][s] = acc / scales[t + 1];
+        }
+      }
+      // Counts.
+      for (size_t t = 0; t < T; ++t) {
+        double norm = 0.0;
+        for (int s = 0; s < num_states_; ++s) {
+          norm += alpha[t][s] * beta[t][s];
+        }
+        if (norm <= 0.0) continue;
+        for (int s = 0; s < num_states_; ++s) {
+          const double gamma = alpha[t][s] * beta[t][s] / norm;
+          b_counts[s * num_symbols_ + obs[t]] += gamma;
+          if (t == 0) pi_counts[s] += gamma;
+        }
+      }
+      for (size_t t = 0; t + 1 < T; ++t) {
+        double norm = 0.0;
+        std::vector<double> xi(
+            static_cast<size_t>(num_states_) * num_states_, 0.0);
+        for (int s = 0; s < num_states_; ++s) {
+          for (int u = 0; u < num_states_; ++u) {
+            const double v = alpha[t][s] * transition(s, u) *
+                             emission(u, obs[t + 1]) * beta[t + 1][u];
+            xi[s * num_states_ + u] = v;
+            norm += v;
+          }
+        }
+        if (norm <= 0.0) continue;
+        for (size_t i = 0; i < xi.size(); ++i) {
+          a_counts[i] += xi[i] / norm;
+        }
+      }
+    }
+
+    // M-step with smoothing.
+    auto renorm = [&options](std::vector<double>& probs,
+                             const std::vector<double>& counts, int row_len) {
+      for (size_t r = 0; r * row_len < probs.size(); ++r) {
+        double sum = 0.0;
+        for (int i = 0; i < row_len; ++i) {
+          sum += counts[r * row_len + i] + options.count_prior;
+        }
+        for (int i = 0; i < row_len; ++i) {
+          probs[r * row_len + i] =
+              (counts[r * row_len + i] + options.count_prior) / sum;
+        }
+      }
+    };
+    renorm(pi_, pi_counts, num_states_);
+    renorm(a_, a_counts, num_states_);
+    renorm(b_, b_counts, num_symbols_);
+
+    if (iter > 0 &&
+        std::abs(loglik - prev_loglik) <
+            options.tolerance * (std::abs(prev_loglik) + 1.0)) {
+      break;
+    }
+    prev_loglik = loglik;
+  }
+  return loglik;
+}
+
+std::vector<int> QuantizeFeatures(
+    const std::vector<std::vector<double>>& features) {
+  if (features.empty() || features[0].empty()) return {};
+  const size_t T = features[0].size();
+  std::vector<double> medians(features.size());
+  for (size_t f = 0; f < features.size(); ++f) {
+    COBRA_CHECK(features[f].size() == T) << "feature series length mismatch";
+    std::vector<double> sorted = features[f];
+    const size_t mid = (sorted.size() - 1) / 2;  // lower median
+    std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+    medians[f] = sorted[mid];
+  }
+  std::vector<int> out(T, 0);
+  for (size_t t = 0; t < T; ++t) {
+    int symbol = 0;
+    for (size_t f = 0; f < features.size(); ++f) {
+      if (features[f][t] > medians[f]) symbol |= (1 << f);
+    }
+    out[t] = symbol;
+  }
+  return out;
+}
+
+}  // namespace cobra::hmm

@@ -1,0 +1,77 @@
+#ifndef COBRA_HMM_HMM_H_
+#define COBRA_HMM_HMM_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace cobra::hmm {
+
+/// A discrete (multinomial-emission) Hidden Markov Model. The Cobra HMM
+/// extension exposes the paper's two basic operations — training
+/// (Baum–Welch) and evaluation (scaled forward log-likelihood) — plus
+/// Viterbi decoding. Observation sequences are quantized feature symbols
+/// (the MIL program in Fig. 4 quantizes four feature BATs into one
+/// observation sequence before evaluating six models in parallel).
+class Hmm {
+ public:
+  /// Uniformly initialized model.
+  Hmm(int num_states, int num_symbols);
+
+  int num_states() const { return num_states_; }
+  int num_symbols() const { return num_symbols_; }
+
+  double initial(int s) const { return pi_[s]; }
+  double transition(int s, int t) const { return a_[s * num_states_ + t]; }
+  double emission(int s, int o) const { return b_[s * num_symbols_ + o]; }
+
+  Status SetInitial(const std::vector<double>& pi);
+  Status SetTransitionRow(int s, const std::vector<double>& row);
+  Status SetEmissionRow(int s, const std::vector<double>& row);
+
+  /// Randomizes all distributions (training initialization).
+  void Randomize(Rng& rng);
+
+  /// Scaled forward algorithm: log P(observations | model).
+  Result<double> LogLikelihood(const std::vector<int>& observations) const;
+
+  /// Most probable state path and its log probability.
+  struct ViterbiResult {
+    std::vector<int> path;
+    double log_prob = 0.0;
+  };
+  Result<ViterbiResult> Viterbi(const std::vector<int>& observations) const;
+
+  struct TrainOptions {
+    int max_iterations = 50;
+    double tolerance = 1e-5;
+    double count_prior = 1e-3;
+  };
+
+  /// Baum–Welch (EM) over multiple observation sequences. Returns the final
+  /// total log-likelihood.
+  Result<double> BaumWelch(const std::vector<std::vector<int>>& sequences,
+                           const TrainOptions& options);
+
+ private:
+  Status CheckObservations(const std::vector<int>& observations) const;
+
+  int num_states_;
+  int num_symbols_;
+  std::vector<double> pi_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+};
+
+/// Quantizes parallel feature series into observation symbols by
+/// thresholding each feature at its median and packing the bits — the
+/// `quant` step of the paper's MIL program (Fig. 4) that merges four
+/// feature BATs into one observation sequence.
+std::vector<int> QuantizeFeatures(
+    const std::vector<std::vector<double>>& features);
+
+}  // namespace cobra::hmm
+
+#endif  // COBRA_HMM_HMM_H_

@@ -1,0 +1,51 @@
+#include "hmm/parallel_eval.h"
+
+#include <functional>
+
+#include "kernel/parallel.h"
+
+namespace cobra::hmm {
+
+void ParallelEvaluator::AddModel(const std::string& name, Hmm model) {
+  models_.emplace_back(name, std::move(model));
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+ParallelEvaluator::EvaluateAll(const std::vector<int>& observations,
+                               bool parallel) const {
+  if (models_.empty()) return Status::FailedPrecondition("no models");
+  std::vector<Result<double>> results(models_.size(), Result<double>(0.0));
+  if (parallel) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(models_.size());
+    for (size_t i = 0; i < models_.size(); ++i) {
+      tasks.push_back([this, i, &observations, &results] {
+        results[i] = models_[i].second.LogLikelihood(observations);
+      });
+    }
+    kernel::ParallelExec(tasks);
+  } else {
+    for (size_t i = 0; i < models_.size(); ++i) {
+      results[i] = models_[i].second.LogLikelihood(observations);
+    }
+  }
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(models_.size());
+  for (size_t i = 0; i < models_.size(); ++i) {
+    if (!results[i].ok()) return results[i].status();
+    out.emplace_back(models_[i].first, results[i].value());
+  }
+  return out;
+}
+
+Result<std::string> ParallelEvaluator::Classify(
+    const std::vector<int>& observations, bool parallel) const {
+  COBRA_ASSIGN_OR_RETURN(auto scores, EvaluateAll(observations, parallel));
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i].second > scores[best].second) best = i;
+  }
+  return scores[best].first;
+}
+
+}  // namespace cobra::hmm

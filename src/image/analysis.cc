@@ -1,0 +1,114 @@
+#include "image/analysis.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace cobra::image {
+
+double ColorFraction(const Frame& frame, const ColorRange& range) {
+  if (frame.empty()) return 0.0;
+  size_t count = 0;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      if (range.Matches(frame.At(x, y))) ++count;
+    }
+  }
+  return static_cast<double>(count) /
+         (static_cast<double>(frame.width()) * frame.height());
+}
+
+std::vector<uint8_t> ColorMask(const Frame& frame, const ColorRange& range) {
+  std::vector<uint8_t> mask(
+      static_cast<size_t>(frame.width()) * frame.height(), 0);
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      mask[static_cast<size_t>(y) * frame.width() + x] =
+          range.Matches(frame.At(x, y)) ? 1 : 0;
+    }
+  }
+  return mask;
+}
+
+Box MaskBoundingBox(const std::vector<uint8_t>& mask, int width, int height) {
+  COBRA_CHECK(static_cast<size_t>(width) * height == mask.size());
+  Box box;
+  box.x0 = width;
+  box.y0 = height;
+  box.x1 = -1;
+  box.y1 = -1;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (mask[static_cast<size_t>(y) * width + x] == 0) continue;
+      box.x0 = std::min(box.x0, x);
+      box.y0 = std::min(box.y0, y);
+      box.x1 = std::max(box.x1, x);
+      box.y1 = std::max(box.y1, y);
+    }
+  }
+  return box;
+}
+
+double MaskDensityInBox(const std::vector<uint8_t>& mask, int width,
+                        const Box& box) {
+  if (box.IsEmpty()) return 0.0;
+  size_t count = 0;
+  for (int y = box.y0; y <= box.y1; ++y) {
+    for (int x = box.x0; x <= box.x1; ++x) {
+      if (mask[static_cast<size_t>(y) * width + x] != 0) ++count;
+    }
+  }
+  return static_cast<double>(count) / box.Area();
+}
+
+bool DetectRedRectangle(const Frame& frame, Box* box, double* density) {
+  // Strong red with suppressed green/blue; matches the renderer's start
+  // lights while rejecting sand (red+green) and generic track noise.
+  const ColorRange red{.r_min = 170, .g_max = 90, .b_max = 90};
+  const auto mask = ColorMask(frame, red);
+  const Box bb = MaskBoundingBox(mask, frame.width(), frame.height());
+  if (box != nullptr) *box = bb;
+  if (bb.IsEmpty() || bb.Area() < 24) {
+    if (density != nullptr) *density = 0.0;
+    return false;
+  }
+  const double d = MaskDensityInBox(mask, frame.width(), bb);
+  if (density != nullptr) *density = d;
+  // A lit semaphore bank is a compact block: dense and wider than tall.
+  return d > 0.55 && bb.Width() >= bb.Height();
+}
+
+double MeanLuma(const Frame& frame) {
+  if (frame.empty()) return 0.0;
+  double acc = 0.0;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) acc += Luma(frame.At(x, y));
+  }
+  return acc / (static_cast<double>(frame.width()) * frame.height());
+}
+
+void LumaStatsInBox(const Frame& frame, const Box& box, double* mean,
+                    double* variance) {
+  COBRA_CHECK(mean != nullptr && variance != nullptr);
+  *mean = 0.0;
+  *variance = 0.0;
+  if (box.IsEmpty()) return;
+  double acc = 0.0;
+  double acc2 = 0.0;
+  int count = 0;
+  for (int y = std::max(0, box.y0); y <= std::min(frame.height() - 1, box.y1);
+       ++y) {
+    for (int x = std::max(0, box.x0); x <= std::min(frame.width() - 1, box.x1);
+         ++x) {
+      const double l = Luma(frame.At(x, y));
+      acc += l;
+      acc2 += l * l;
+      ++count;
+    }
+  }
+  if (count == 0) return;
+  *mean = acc / count;
+  *variance = std::max(0.0, acc2 / count - (*mean) * (*mean));
+}
+
+}  // namespace cobra::image

@@ -1,0 +1,64 @@
+#ifndef COBRA_IMAGE_ANALYSIS_H_
+#define COBRA_IMAGE_ANALYSIS_H_
+
+#include <vector>
+
+#include "image/frame.h"
+
+namespace cobra::image {
+
+/// An inclusive axis-aligned pixel box.
+struct Box {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = -1;  // inclusive; empty when x1 < x0
+  int y1 = -1;
+
+  bool IsEmpty() const { return x1 < x0 || y1 < y0; }
+  int Width() const { return IsEmpty() ? 0 : x1 - x0 + 1; }
+  int Height() const { return IsEmpty() ? 0 : y1 - y0 + 1; }
+  int Area() const { return Width() * Height(); }
+};
+
+/// Inclusive RGB color range predicate.
+struct ColorRange {
+  uint8_t r_min = 0, r_max = 255;
+  uint8_t g_min = 0, g_max = 255;
+  uint8_t b_min = 0, b_max = 255;
+
+  bool Matches(const Rgb& p) const {
+    return p.r >= r_min && p.r <= r_max && p.g >= g_min && p.g <= g_max &&
+           p.b >= b_min && p.b <= b_max;
+  }
+};
+
+/// Fraction of pixels in `frame` matching `range` — the paper's sand/dust
+/// cue filters the RGB image for those colors and computes a probability.
+double ColorFraction(const Frame& frame, const ColorRange& range);
+
+/// Binary mask (width*height, row-major) of pixels matching `range`.
+std::vector<uint8_t> ColorMask(const Frame& frame, const ColorRange& range);
+
+/// Bounding box of set pixels in `mask`; empty box if none.
+Box MaskBoundingBox(const std::vector<uint8_t>& mask, int width, int height);
+
+/// Density of set pixels inside `box` (0 for an empty box).
+double MaskDensityInBox(const std::vector<uint8_t>& mask, int width,
+                        const Box& box);
+
+/// Detects the semaphore gantry: a dense rectangular region of red pixels
+/// (the start lights touch each other, so the region reads as one rectangle
+/// whose horizontal dimension grows as lights come on). Returns the box and
+/// density via out-params and true when a sufficiently dense region exists.
+bool DetectRedRectangle(const Frame& frame, Box* box, double* density);
+
+/// Mean luma over the frame in [0, 255].
+double MeanLuma(const Frame& frame);
+
+/// Mean luma and luma variance restricted to a box.
+void LumaStatsInBox(const Frame& frame, const Box& box, double* mean,
+                    double* variance);
+
+}  // namespace cobra::image
+
+#endif  // COBRA_IMAGE_ANALYSIS_H_

@@ -1,0 +1,60 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobra::image {
+namespace {
+
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+}
+
+}  // namespace
+
+void FillRect(Frame& frame, int x, int y, int w, int h, Rgb color) {
+  const int x0 = std::max(0, x);
+  const int y0 = std::max(0, y);
+  const int x1 = std::min(frame.width(), x + w);
+  const int y1 = std::min(frame.height(), y + h);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) frame.Set(xx, yy, color);
+  }
+}
+
+void BlendRect(Frame& frame, int x, int y, int w, int h, Rgb color,
+               double opacity) {
+  const double a = std::clamp(opacity, 0.0, 1.0);
+  const int x0 = std::max(0, x);
+  const int y0 = std::max(0, y);
+  const int x1 = std::min(frame.width(), x + w);
+  const int y1 = std::min(frame.height(), y + h);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) {
+      const Rgb p = frame.At(xx, yy);
+      frame.Set(xx, yy,
+                Rgb{ClampByte(p.r * (1 - a) + color.r * a),
+                    ClampByte(p.g * (1 - a) + color.g * a),
+                    ClampByte(p.b * (1 - a) + color.b * a)});
+    }
+  }
+}
+
+void AddGaussianNoise(Frame& frame, double stddev, cobra::Rng& rng) {
+  auto& data = frame.mutable_data();
+  for (uint8_t& byte : data) {
+    byte = ClampByte(byte + rng.Gaussian(0.0, stddev));
+  }
+}
+
+void FillNoise(Frame& frame, uint8_t lo, uint8_t hi, cobra::Rng& rng) {
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const uint8_t v = static_cast<uint8_t>(
+          rng.UniformInt(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+      frame.Set(x, y, Rgb{v, v, v});
+    }
+  }
+}
+
+}  // namespace cobra::image

@@ -1,0 +1,28 @@
+#ifndef COBRA_IMAGE_DRAW_H_
+#define COBRA_IMAGE_DRAW_H_
+
+#include "base/rng.h"
+#include "image/frame.h"
+
+namespace cobra::image {
+
+/// Fills the axis-aligned rectangle [x, x+w) x [y, y+h), clipped to `frame`.
+void FillRect(Frame& frame, int x, int y, int w, int h, Rgb color);
+
+/// Alpha-blends `color` over the rectangle with opacity in [0, 1]; used for
+/// the shaded caption background the broadcaster puts under superimposed
+/// text.
+void BlendRect(Frame& frame, int x, int y, int w, int h, Rgb color,
+               double opacity);
+
+/// Adds zero-mean Gaussian noise with the given stddev (in 8-bit counts) to
+/// every channel of every pixel.
+void AddGaussianNoise(Frame& frame, double stddev, cobra::Rng& rng);
+
+/// Fills the whole frame with per-pixel uniform noise in [lo, hi] per
+/// channel (crowd/track texture).
+void FillNoise(Frame& frame, uint8_t lo, uint8_t hi, cobra::Rng& rng);
+
+}  // namespace cobra::image
+
+#endif  // COBRA_IMAGE_DRAW_H_

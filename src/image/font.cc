@@ -1,0 +1,118 @@
+#include "image/font.h"
+
+#include <array>
+#include <cctype>
+
+namespace cobra::image {
+namespace {
+
+// Each glyph is 7 rows of 5 columns; '#' is ink.
+struct Glyph {
+  char c;
+  const char* rows[7];
+};
+
+constexpr Glyph kGlyphs[] = {
+    {'A', {" ### ", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"}},
+    {'B', {"#### ", "#   #", "#   #", "#### ", "#   #", "#   #", "#### "}},
+    {'C', {" ### ", "#   #", "#    ", "#    ", "#    ", "#   #", " ### "}},
+    {'D', {"#### ", "#   #", "#   #", "#   #", "#   #", "#   #", "#### "}},
+    {'E', {"#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#####"}},
+    {'F', {"#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#    "}},
+    {'G', {" ### ", "#   #", "#    ", "# ###", "#   #", "#   #", " ### "}},
+    {'H', {"#   #", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"}},
+    {'I', {" ### ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "}},
+    {'J', {"  ###", "   # ", "   # ", "   # ", "   # ", "#  # ", " ##  "}},
+    {'K', {"#   #", "#  # ", "# #  ", "##   ", "# #  ", "#  # ", "#   #"}},
+    {'L', {"#    ", "#    ", "#    ", "#    ", "#    ", "#    ", "#####"}},
+    {'M', {"#   #", "## ##", "# # #", "# # #", "#   #", "#   #", "#   #"}},
+    {'N', {"#   #", "##  #", "# # #", "#  ##", "#   #", "#   #", "#   #"}},
+    {'O', {" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "}},
+    {'P', {"#### ", "#   #", "#   #", "#### ", "#    ", "#    ", "#    "}},
+    {'Q', {" ### ", "#   #", "#   #", "#   #", "# # #", "#  # ", " ## #"}},
+    {'R', {"#### ", "#   #", "#   #", "#### ", "# #  ", "#  # ", "#   #"}},
+    {'S', {" ####", "#    ", "#    ", " ### ", "    #", "    #", "#### "}},
+    {'T', {"#####", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "}},
+    {'U', {"#   #", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "}},
+    {'V', {"#   #", "#   #", "#   #", "#   #", "#   #", " # # ", "  #  "}},
+    {'W', {"#   #", "#   #", "#   #", "# # #", "# # #", "## ##", "#   #"}},
+    {'X', {"#   #", "#   #", " # # ", "  #  ", " # # ", "#   #", "#   #"}},
+    {'Y', {"#   #", "#   #", " # # ", "  #  ", "  #  ", "  #  ", "  #  "}},
+    {'Z', {"#####", "    #", "   # ", "  #  ", " #   ", "#    ", "#####"}},
+    {'0', {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "}},
+    {'1', {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "}},
+    {'2', {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"}},
+    {'3', {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "}},
+    {'4', {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "}},
+    {'5', {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "}},
+    {'6', {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "}},
+    {'7', {"#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "}},
+    {'8', {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "}},
+    {'9', {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "}},
+    {'.', {"     ", "     ", "     ", "     ", "     ", " ##  ", " ##  "}},
+    {'-', {"     ", "     ", "     ", "#####", "     ", "     ", "     "}},
+    {':', {"     ", " ##  ", " ##  ", "     ", " ##  ", " ##  ", "     "}},
+    {' ', {"     ", "     ", "     ", "     ", "     ", "     ", "     "}},
+};
+
+const Glyph* FindGlyph(char c) {
+  const char u =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (const Glyph& g : kGlyphs) {
+    if (g.c == u) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const BitmapFont& BitmapFont::Get() {
+  static const BitmapFont* const kFont = new BitmapFont();
+  return *kFont;
+}
+
+bool BitmapFont::HasGlyph(char c) const { return FindGlyph(c) != nullptr; }
+
+bool BitmapFont::Pixel(char c, int col, int row) const {
+  const Glyph* g = FindGlyph(c);
+  if (g == nullptr || col < 0 || col >= kGlyphWidth || row < 0 ||
+      row >= kGlyphHeight) {
+    return false;
+  }
+  return g->rows[row][col] == '#';
+}
+
+void BitmapFont::Draw(Frame& frame, std::string_view text, int x, int y,
+                      int scale, Rgb color) const {
+  int cx = x;
+  for (char c : text) {
+    for (int row = 0; row < kGlyphHeight; ++row) {
+      for (int col = 0; col < kGlyphWidth; ++col) {
+        if (!Pixel(c, col, row)) continue;
+        for (int dy = 0; dy < scale; ++dy) {
+          for (int dx = 0; dx < scale; ++dx) {
+            const int px = cx + col * scale + dx;
+            const int py = y + row * scale + dy;
+            if (frame.Contains(px, py)) frame.Set(px, py, color);
+          }
+        }
+      }
+    }
+    cx += (kGlyphWidth + 1) * scale;
+  }
+}
+
+int BitmapFont::TextWidth(std::string_view text, int scale) const {
+  if (text.empty()) return 0;
+  return static_cast<int>(text.size()) * (kGlyphWidth + 1) * scale - scale;
+}
+
+Frame BitmapFont::RenderPattern(std::string_view text, int scale) const {
+  const int w = TextWidth(text, scale);
+  const int h = kGlyphHeight * scale;
+  Frame out(std::max(1, w), std::max(1, h), Rgb{0, 0, 0});
+  Draw(out, text, 0, 0, scale, Rgb{255, 255, 255});
+  return out;
+}
+
+}  // namespace cobra::image

@@ -1,0 +1,50 @@
+#ifndef COBRA_IMAGE_FONT_H_
+#define COBRA_IMAGE_FONT_H_
+
+#include <string>
+#include <string_view>
+
+#include "image/frame.h"
+
+namespace cobra::image {
+
+/// Fixed 5x7 bitmap font covering A-Z, 0-9, space, '.', '-' and ':'.
+/// The race renderer draws superimposed captions with it and the text
+/// recognizer renders its reference patterns from the very same glyphs, so
+/// recognition difficulty comes from background, noise and scaling rather
+/// than from a font mismatch — matching the paper's setup where reference
+/// patterns are extracted from the broadcast itself.
+class BitmapFont {
+ public:
+  static constexpr int kGlyphWidth = 5;
+  static constexpr int kGlyphHeight = 7;
+
+  /// Returns the process-wide font instance.
+  static const BitmapFont& Get();
+
+  /// True if the font has a glyph for `c` (after ASCII upper-casing).
+  bool HasGlyph(char c) const;
+
+  /// True if glyph row `row` (0..6) has an ink pixel in column `col` (0..4).
+  /// Unknown characters render as empty.
+  bool Pixel(char c, int col, int row) const;
+
+  /// Draws `text` starting at (x, y) with integer `scale` (pixels per font
+  /// pixel) and 1-scaled-pixel inter-character spacing.
+  void Draw(Frame& frame, std::string_view text, int x, int y, int scale,
+            Rgb color) const;
+
+  /// Width in pixels of `text` drawn at `scale`.
+  int TextWidth(std::string_view text, int scale) const;
+
+  /// Renders `text` white-on-black into a tight frame at `scale`; used by
+  /// the recognizer to build reference patterns.
+  Frame RenderPattern(std::string_view text, int scale) const;
+
+ private:
+  BitmapFont() = default;
+};
+
+}  // namespace cobra::image
+
+#endif  // COBRA_IMAGE_FONT_H_

@@ -1,0 +1,103 @@
+#include "image/frame.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace cobra::image {
+
+Frame::Frame(int width, int height, Rgb fill)
+    : width_(width), height_(height) {
+  COBRA_CHECK(width >= 0 && height >= 0);
+  data_.resize(static_cast<size_t>(width) * static_cast<size_t>(height) * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) Set(x, y, fill);
+  }
+}
+
+Frame Frame::Crop(int x, int y, int w, int h) const {
+  const int x0 = std::max(0, x);
+  const int y0 = std::max(0, y);
+  const int x1 = std::min(width_, x + w);
+  const int y1 = std::min(height_, y + h);
+  const int cw = std::max(0, x1 - x0);
+  const int ch = std::max(0, y1 - y0);
+  Frame out(cw, ch);
+  for (int yy = 0; yy < ch; ++yy) {
+    for (int xx = 0; xx < cw; ++xx) out.Set(xx, yy, At(x0 + xx, y0 + yy));
+  }
+  return out;
+}
+
+Frame Frame::ResizeNearest(int new_w, int new_h) const {
+  COBRA_CHECK(new_w > 0 && new_h > 0);
+  COBRA_CHECK(!empty());
+  Frame out(new_w, new_h);
+  for (int y = 0; y < new_h; ++y) {
+    const int sy = std::min(height_ - 1, y * height_ / new_h);
+    for (int x = 0; x < new_w; ++x) {
+      const int sx = std::min(width_ - 1, x * width_ / new_w);
+      out.Set(x, y, At(sx, sy));
+    }
+  }
+  return out;
+}
+
+Frame Frame::ResizeBilinear(int new_w, int new_h) const {
+  COBRA_CHECK(new_w > 0 && new_h > 0);
+  COBRA_CHECK(!empty());
+  Frame out(new_w, new_h);
+  const double sx_scale =
+      new_w > 1 ? static_cast<double>(width_ - 1) / (new_w - 1) : 0.0;
+  const double sy_scale =
+      new_h > 1 ? static_cast<double>(height_ - 1) / (new_h - 1) : 0.0;
+  for (int y = 0; y < new_h; ++y) {
+    const double fy = y * sy_scale;
+    const int y0 = static_cast<int>(fy);
+    const int y1 = std::min(height_ - 1, y0 + 1);
+    const double wy = fy - y0;
+    for (int x = 0; x < new_w; ++x) {
+      const double fx = x * sx_scale;
+      const int x0 = static_cast<int>(fx);
+      const int x1 = std::min(width_ - 1, x0 + 1);
+      const double wx = fx - x0;
+      const Rgb p00 = At(x0, y0);
+      const Rgb p10 = At(x1, y0);
+      const Rgb p01 = At(x0, y1);
+      const Rgb p11 = At(x1, y1);
+      auto lerp = [&](uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+        const double top = a * (1.0 - wx) + b * wx;
+        const double bot = c * (1.0 - wx) + d * wx;
+        return static_cast<uint8_t>(
+            std::lround(std::clamp(top * (1.0 - wy) + bot * wy, 0.0, 255.0)));
+      };
+      out.Set(x, y,
+              Rgb{lerp(p00.r, p10.r, p01.r, p11.r),
+                  lerp(p00.g, p10.g, p01.g, p11.g),
+                  lerp(p00.b, p10.b, p01.b, p11.b)});
+    }
+  }
+  return out;
+}
+
+Frame MinIntensityFilter(const std::vector<Frame>& frames) {
+  COBRA_CHECK(!frames.empty());
+  Frame out = frames[0];
+  for (size_t f = 1; f < frames.size(); ++f) {
+    const Frame& cur = frames[f];
+    COBRA_CHECK(cur.width() == out.width() && cur.height() == out.height());
+    for (int y = 0; y < out.height(); ++y) {
+      for (int x = 0; x < out.width(); ++x) {
+        const Rgb a = out.At(x, y);
+        const Rgb b = cur.At(x, y);
+        // Keep the darker pixel (by luma): background motion is bright noise
+        // relative to the stable dark shading under the caption.
+        if (Luma(b) < Luma(a)) out.Set(x, y, b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::image

@@ -1,0 +1,88 @@
+#ifndef COBRA_IMAGE_FRAME_H_
+#define COBRA_IMAGE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cobra::image {
+
+/// An 8-bit RGB triple.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// Luma (ITU-R 601) of a pixel in [0, 255].
+inline double Luma(const Rgb& p) {
+  return 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+}
+
+/// An interleaved RGB8 raster. This is the only image representation in the
+/// library; the race renderer produces Frames and every visual/text analysis
+/// consumes them. Frames at the paper's working resolution are 384x288
+/// (quarter PAL).
+class Frame {
+ public:
+  Frame() = default;
+  /// Creates a width x height frame filled with `fill`.
+  Frame(int width, int height, Rgb fill = Rgb{0, 0, 0});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  /// Unchecked pixel access; (x, y) must be inside the raster.
+  Rgb At(int x, int y) const {
+    const size_t i = Index(x, y);
+    return Rgb{data_[i], data_[i + 1], data_[i + 2]};
+  }
+  void Set(int x, int y, Rgb p) {
+    const size_t i = Index(x, y);
+    data_[i] = p.r;
+    data_[i + 1] = p.g;
+    data_[i + 2] = p.b;
+  }
+
+  /// True if (x, y) lies inside the raster.
+  bool Contains(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Returns a copy of the axis-aligned sub-rectangle clipped to the frame.
+  Frame Crop(int x, int y, int w, int h) const;
+
+  /// Nearest-neighbour resize to (new_w, new_h).
+  Frame ResizeNearest(int new_w, int new_h) const;
+
+  /// Bilinear resize to (new_w, new_h); this implements the 4x text-region
+  /// magnification of the paper's refinement step when called with 4*w, 4*h.
+  Frame ResizeBilinear(int new_w, int new_h) const;
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  std::vector<uint8_t>& mutable_data() { return data_; }
+
+ private:
+  size_t Index(int x, int y) const {
+    return (static_cast<size_t>(y) * static_cast<size_t>(width_) +
+            static_cast<size_t>(x)) *
+           3;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// Pixel-wise temporal minimum of intensity over `frames` (all same size).
+/// The paper's text refinement filters text regions by minimizing pixel
+/// intensities over several consecutive frames to separate characters from
+/// the moving background.
+Frame MinIntensityFilter(const std::vector<Frame>& frames);
+
+}  // namespace cobra::image
+
+#endif  // COBRA_IMAGE_FRAME_H_

@@ -1,0 +1,87 @@
+#include "image/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace cobra::image {
+
+ColorHistogram ComputeHistogram(const Frame& frame, int bins) {
+  COBRA_CHECK(bins > 0 && bins <= 256);
+  ColorHistogram h;
+  h.bins = bins;
+  h.r.assign(bins, 0.0);
+  h.g.assign(bins, 0.0);
+  h.b.assign(bins, 0.0);
+  const double total =
+      static_cast<double>(frame.width()) * frame.height();
+  if (total == 0) return h;
+  const int shift_div = 256 / bins;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const Rgb p = frame.At(x, y);
+      h.r[p.r / shift_div] += 1.0;
+      h.g[p.g / shift_div] += 1.0;
+      h.b[p.b / shift_div] += 1.0;
+    }
+  }
+  for (auto* chan : {&h.r, &h.g, &h.b}) {
+    for (double& v : *chan) v /= total;
+  }
+  return h;
+}
+
+double HistogramDistance(const ColorHistogram& a, const ColorHistogram& b) {
+  COBRA_CHECK(a.bins == b.bins);
+  double d = 0.0;
+  for (int i = 0; i < a.bins; ++i) {
+    d += std::abs(a.r[i] - b.r[i]);
+    d += std::abs(a.g[i] - b.g[i]);
+    d += std::abs(a.b[i] - b.b[i]);
+  }
+  return d;
+}
+
+double PixelDifference(const Frame& a, const Frame& b) {
+  COBRA_CHECK(a.width() == b.width() && a.height() == b.height());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      acc += std::abs(Luma(a.At(x, y)) - Luma(b.At(x, y)));
+    }
+  }
+  return acc / (255.0 * a.width() * a.height());
+}
+
+std::vector<double> BlockMotion(const Frame& a, const Frame& b, int grid_x,
+                                int grid_y) {
+  COBRA_CHECK(a.width() == b.width() && a.height() == b.height());
+  COBRA_CHECK(grid_x > 0 && grid_y > 0);
+  std::vector<double> out(static_cast<size_t>(grid_x) * grid_y, 0.0);
+  if (a.empty()) return out;
+  const int bw = std::max(1, a.width() / grid_x);
+  const int bh = std::max(1, a.height() / grid_y);
+  for (int gy = 0; gy < grid_y; ++gy) {
+    for (int gx = 0; gx < grid_x; ++gx) {
+      const int x0 = gx * bw;
+      const int y0 = gy * bh;
+      const int x1 = (gx == grid_x - 1) ? a.width() : (x0 + bw);
+      const int y1 = (gy == grid_y - 1) ? a.height() : (y0 + bh);
+      double acc = 0.0;
+      int count = 0;
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          acc += std::abs(Luma(a.At(x, y)) - Luma(b.At(x, y)));
+          ++count;
+        }
+      }
+      out[static_cast<size_t>(gy) * grid_x + gx] =
+          count > 0 ? acc / (255.0 * count) : 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::image

@@ -1,0 +1,40 @@
+#ifndef COBRA_IMAGE_HISTOGRAM_H_
+#define COBRA_IMAGE_HISTOGRAM_H_
+
+#include <array>
+#include <vector>
+
+#include "image/frame.h"
+
+namespace cobra::image {
+
+/// Per-channel color histogram with `bins` buckets per channel, normalized
+/// to sum to 1 per channel.
+struct ColorHistogram {
+  int bins = 0;
+  std::vector<double> r;
+  std::vector<double> g;
+  std::vector<double> b;
+};
+
+/// Computes the color histogram of `frame` with the given bin count.
+ColorHistogram ComputeHistogram(const Frame& frame, int bins = 32);
+
+/// L1 distance between two histograms (same bin count), in [0, 2] per
+/// channel summed over channels -> [0, 6]; used by shot boundary detection.
+double HistogramDistance(const ColorHistogram& a, const ColorHistogram& b);
+
+/// Mean absolute luma difference per pixel between consecutive frames,
+/// normalized to [0, 1]. The paper uses pixel color difference between two
+/// consecutive frames as the motion-amount cue (start detection, f13).
+double PixelDifference(const Frame& a, const Frame& b);
+
+/// Per-block mean absolute luma difference between two frames on a
+/// grid of (grid_x x grid_y) blocks, each value normalized to [0, 1]. This
+/// is the "motion histogram" used for the passing cue and DVE matching.
+std::vector<double> BlockMotion(const Frame& a, const Frame& b, int grid_x,
+                                int grid_y);
+
+}  // namespace cobra::image
+
+#endif  // COBRA_IMAGE_HISTOGRAM_H_

@@ -1,0 +1,294 @@
+#include "kernel/bat.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace cobra::kernel {
+
+std::string_view TailTypeName(TailType t) {
+  switch (t) {
+    case TailType::kInt:
+      return "int";
+    case TailType::kFloat:
+      return "dbl";
+    case TailType::kStr:
+      return "str";
+    case TailType::kOid:
+      return "oid";
+  }
+  return "?";
+}
+
+double Value::Numeric() const {
+  switch (type_) {
+    case TailType::kInt:
+      return static_cast<double>(AsInt());
+    case TailType::kFloat:
+      return AsFloat();
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TailType::kInt:
+      return std::to_string(AsInt());
+    case TailType::kFloat:
+      return StrFormat("%g", AsFloat());
+    case TailType::kStr:
+      return AsStr();
+    case TailType::kOid:
+      return StrFormat("oid(%llu)", static_cast<unsigned long long>(AsOid()));
+  }
+  return "?";
+}
+
+Status Bat::Append(Oid head, const Value& tail) {
+  if (tail.type() != tail_type_) {
+    return Status::InvalidArgument(
+        StrFormat("appending %s tail to BAT[oid,%s]",
+                  std::string(TailTypeName(tail.type())).c_str(),
+                  std::string(TailTypeName(tail_type_)).c_str()));
+  }
+  head_.push_back(head);
+  switch (tail_type_) {
+    case TailType::kInt:
+      ints_.push_back(tail.AsInt());
+      break;
+    case TailType::kFloat:
+      floats_.push_back(tail.AsFloat());
+      break;
+    case TailType::kStr:
+      strs_.push_back(tail.AsStr());
+      break;
+    case TailType::kOid:
+      oids_.push_back(tail.AsOid());
+      break;
+  }
+  return Status::OK();
+}
+
+void Bat::AppendInt(Oid head, int64_t v) {
+  COBRA_CHECK(tail_type_ == TailType::kInt);
+  head_.push_back(head);
+  ints_.push_back(v);
+}
+
+void Bat::AppendFloat(Oid head, double v) {
+  COBRA_CHECK(tail_type_ == TailType::kFloat);
+  head_.push_back(head);
+  floats_.push_back(v);
+}
+
+void Bat::AppendStr(Oid head, std::string v) {
+  COBRA_CHECK(tail_type_ == TailType::kStr);
+  head_.push_back(head);
+  strs_.push_back(std::move(v));
+}
+
+void Bat::AppendOid(Oid head, Oid v) {
+  COBRA_CHECK(tail_type_ == TailType::kOid);
+  head_.push_back(head);
+  oids_.push_back(v);
+}
+
+Value Bat::TailAt(size_t i) const {
+  switch (tail_type_) {
+    case TailType::kInt:
+      return Value::Int(ints_[i]);
+    case TailType::kFloat:
+      return Value::Float(floats_[i]);
+    case TailType::kStr:
+      return Value::Str(strs_[i]);
+    case TailType::kOid:
+      return Value::OfOid(oids_[i]);
+  }
+  return Value();
+}
+
+Result<Bat> Bat::SelectEq(const Value& v) const {
+  if (v.type() != tail_type_) {
+    return Status::InvalidArgument("SelectEq value type mismatch");
+  }
+  Bat out(tail_type_);
+  for (size_t i = 0; i < size(); ++i) {
+    if (TailAt(i) == v) {
+      Status s = out.Append(head_[i], v);
+      COBRA_CHECK(s.ok());
+    }
+  }
+  return out;
+}
+
+Result<Bat> Bat::SelectRange(double lo, double hi) const {
+  if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
+    return Status::InvalidArgument("SelectRange requires a numeric tail");
+  }
+  Bat out(tail_type_);
+  for (size_t i = 0; i < size(); ++i) {
+    const double v =
+        tail_type_ == TailType::kInt ? static_cast<double>(ints_[i])
+                                     : floats_[i];
+    if (v >= lo && v <= hi) {
+      if (tail_type_ == TailType::kInt) {
+        out.AppendInt(head_[i], ints_[i]);
+      } else {
+        out.AppendFloat(head_[i], floats_[i]);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Bat> Bat::SelectStr(const std::string& s) const {
+  if (tail_type_ != TailType::kStr) {
+    return Status::InvalidArgument("SelectStr requires a str tail");
+  }
+  Bat out(TailType::kStr);
+  for (size_t i = 0; i < size(); ++i) {
+    if (strs_[i] == s) out.AppendStr(head_[i], strs_[i]);
+  }
+  return out;
+}
+
+Result<Bat> Bat::Reverse() const {
+  if (tail_type_ != TailType::kOid) {
+    return Status::InvalidArgument("Reverse requires an oid tail");
+  }
+  Bat out(TailType::kOid);
+  for (size_t i = 0; i < size(); ++i) out.AppendOid(oids_[i], head_[i]);
+  return out;
+}
+
+Bat Bat::Mirror() const {
+  Bat out(TailType::kOid);
+  for (Oid h : head_) out.AppendOid(h, h);
+  return out;
+}
+
+Bat Bat::Slice(size_t begin, size_t end) const {
+  Bat out(tail_type_);
+  const size_t e = std::min(end, size());
+  for (size_t i = begin; i < e; ++i) {
+    Status s = out.Append(head_[i], TailAt(i));
+    COBRA_CHECK(s.ok());
+  }
+  return out;
+}
+
+Result<double> Bat::Sum() const {
+  if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
+    return Status::InvalidArgument("Sum requires a numeric tail");
+  }
+  double acc = 0.0;
+  if (tail_type_ == TailType::kInt) {
+    for (int64_t v : ints_) acc += static_cast<double>(v);
+  } else {
+    for (double v : floats_) acc += v;
+  }
+  return acc;
+}
+
+Result<double> Bat::Max() const {
+  COBRA_ASSIGN_OR_RETURN(size_t pos, ArgMax());
+  return TailAt(pos).Numeric();
+}
+
+Result<double> Bat::Min() const {
+  if (empty()) return Status::FailedPrecondition("Min of empty BAT");
+  if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
+    return Status::InvalidArgument("Min requires a numeric tail");
+  }
+  double best = TailAt(0).Numeric();
+  for (size_t i = 1; i < size(); ++i) {
+    best = std::min(best, TailAt(i).Numeric());
+  }
+  return best;
+}
+
+Result<size_t> Bat::ArgMax() const {
+  if (empty()) return Status::FailedPrecondition("ArgMax of empty BAT");
+  if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
+    return Status::InvalidArgument("ArgMax requires a numeric tail");
+  }
+  size_t best = 0;
+  double best_v = TailAt(0).Numeric();
+  for (size_t i = 1; i < size(); ++i) {
+    const double v = TailAt(i).Numeric();
+    if (v > best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<Bat> Join(const Bat& a, const Bat& b) {
+  if (a.tail_type() != TailType::kOid) {
+    return Status::InvalidArgument("Join needs an oid tail on the left BAT");
+  }
+  std::unordered_map<Oid, std::vector<size_t>> index;
+  index.reserve(b.size());
+  for (size_t j = 0; j < b.size(); ++j) index[b.HeadAt(j)].push_back(j);
+  Bat out(b.tail_type());
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto it = index.find(a.OidAt(i));
+    if (it == index.end()) continue;
+    for (size_t j : it->second) {
+      Status s = out.Append(a.HeadAt(i), b.TailAt(j));
+      COBRA_CHECK(s.ok());
+    }
+  }
+  return out;
+}
+
+Bat Semijoin(const Bat& a, const Bat& b) {
+  std::unordered_set<Oid> heads;
+  heads.reserve(b.size());
+  for (size_t j = 0; j < b.size(); ++j) heads.insert(b.HeadAt(j));
+  Bat out(a.tail_type());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (heads.count(a.HeadAt(i)) != 0) {
+      Status s = out.Append(a.HeadAt(i), a.TailAt(i));
+      COBRA_CHECK(s.ok());
+    }
+  }
+  return out;
+}
+
+Bat Diff(const Bat& a, const Bat& b) {
+  std::unordered_set<Oid> heads;
+  heads.reserve(b.size());
+  for (size_t j = 0; j < b.size(); ++j) heads.insert(b.HeadAt(j));
+  Bat out(a.tail_type());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (heads.count(a.HeadAt(i)) == 0) {
+      Status s = out.Append(a.HeadAt(i), a.TailAt(i));
+      COBRA_CHECK(s.ok());
+    }
+  }
+  return out;
+}
+
+Bat Group(const Bat& a, std::vector<size_t>* representatives) {
+  Bat out(TailType::kOid);
+  std::unordered_map<std::string, Oid> group_of;
+  if (representatives != nullptr) representatives->clear();
+  for (size_t i = 0; i < a.size(); ++i) {
+    const std::string key = a.TailAt(i).ToString();
+    auto [it, inserted] =
+        group_of.emplace(key, static_cast<Oid>(group_of.size()));
+    if (inserted && representatives != nullptr) {
+      representatives->push_back(i);
+    }
+    out.AppendOid(a.HeadAt(i), it->second);
+  }
+  return out;
+}
+
+}  // namespace cobra::kernel

@@ -1,0 +1,146 @@
+#ifndef COBRA_KERNEL_BAT_H_
+#define COBRA_KERNEL_BAT_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/status.h"
+
+namespace cobra::kernel {
+
+/// Object identifier — the head column type of every BAT, exactly as in
+/// Monet's binary relational model.
+using Oid = uint64_t;
+
+/// Tail column type of a BAT.
+enum class TailType { kInt, kFloat, kStr, kOid };
+
+std::string_view TailTypeName(TailType t);
+
+/// A tail value. Oid tails are carried as the distinct `Oid`-typed
+/// alternative of the variant (index 3).
+class Value {
+ public:
+  Value() : data_(int64_t{0}), type_(TailType::kInt) {}
+  static Value Int(int64_t v) { return Value(v, TailType::kInt); }
+  static Value Float(double v) { return Value(v, TailType::kFloat); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value OfOid(Oid v) { return Value(v, TailType::kOid); }
+
+  TailType type() const { return type_; }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsFloat() const { return std::get<double>(data_); }
+  const std::string& AsStr() const { return std::get<std::string>(data_); }
+  Oid AsOid() const { return std::get<Oid>(data_); }
+
+  /// Loose numeric view: ints and floats both convert; others are 0.
+  double Numeric() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.type_ == b.type_ && a.data_ == b.data_;
+  }
+
+ private:
+  Value(int64_t v, TailType t) : data_(v), type_(t) {}
+  Value(double v, TailType t) : data_(v), type_(t) {}
+  Value(Oid v, TailType t) : data_(v), type_(t) {}
+  explicit Value(std::string v)
+      : data_(std::move(v)), type_(TailType::kStr) {}
+
+  std::variant<int64_t, double, std::string, Oid> data_;
+  TailType type_;
+};
+
+/// A Binary Association Table: a sequence of (head oid, tail value) pairs
+/// with a fixed tail type. This is the Monet physical data model the paper
+/// builds on (`BAT[oid,dbl] f1` in Fig. 4); all metadata in the Cobra layer
+/// is decomposed into BATs.
+///
+/// Tails are stored column-wise in a typed vector, so scans touch only the
+/// bytes they need (main-memory column execution).
+class Bat {
+ public:
+  explicit Bat(TailType tail_type) : tail_type_(tail_type) {}
+
+  TailType tail_type() const { return tail_type_; }
+  size_t size() const { return head_.size(); }
+  bool empty() const { return head_.empty(); }
+
+  /// Appends a pair; the value type must match the tail type.
+  Status Append(Oid head, const Value& tail);
+  /// Typed fast-path appends (no variant).
+  void AppendInt(Oid head, int64_t v);
+  void AppendFloat(Oid head, double v);
+  void AppendStr(Oid head, std::string v);
+  void AppendOid(Oid head, Oid v);
+
+  Oid HeadAt(size_t i) const { return head_[i]; }
+  Value TailAt(size_t i) const;
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double FloatAt(size_t i) const { return floats_[i]; }
+  const std::string& StrAt(size_t i) const { return strs_[i]; }
+  Oid OidAt(size_t i) const { return oids_[i]; }
+
+  const std::vector<Oid>& heads() const { return head_; }
+  const std::vector<double>& float_tails() const { return floats_; }
+  const std::vector<int64_t>& int_tails() const { return ints_; }
+
+  // -- MIL-style unary operators ------------------------------------------
+
+  /// select(v): pairs whose tail equals v.
+  Result<Bat> SelectEq(const Value& v) const;
+  /// select(lo, hi): pairs with numeric tail in [lo, hi] (int/float tails).
+  Result<Bat> SelectRange(double lo, double hi) const;
+  /// select over string tails matching exactly `s`.
+  Result<Bat> SelectStr(const std::string& s) const;
+  /// reverse(): swaps head and tail; tail must be oid-typed.
+  Result<Bat> Reverse() const;
+  /// mirror(): (head, head) as oid tail.
+  Bat Mirror() const;
+  /// slice of [begin, end) positions.
+  Bat Slice(size_t begin, size_t end) const;
+
+  // -- Aggregates ----------------------------------------------------------
+
+  /// Numeric aggregates over int/float tails.
+  Result<double> Sum() const;
+  Result<double> Max() const;
+  Result<double> Min() const;
+  size_t Count() const { return size(); }
+
+  /// Position of the maximum numeric tail; error when empty/non-numeric.
+  Result<size_t> ArgMax() const;
+
+ private:
+  TailType tail_type_;
+  std::vector<Oid> head_;
+  std::vector<int64_t> ints_;
+  std::vector<double> floats_;
+  std::vector<std::string> strs_;
+  std::vector<Oid> oids_;
+};
+
+// -- Binary operators -------------------------------------------------------
+
+/// join(a, b): for every (h, t) in `a` with oid tail and (t, v) in `b`,
+/// emits (h, v). Hash join on b's head.
+Result<Bat> Join(const Bat& a, const Bat& b);
+
+/// semijoin(a, b): pairs of `a` whose head occurs as a head in `b`.
+Bat Semijoin(const Bat& a, const Bat& b);
+
+/// kdiff(a, b): pairs of `a` whose head does NOT occur as a head in `b`.
+Bat Diff(const Bat& a, const Bat& b);
+
+/// group(a): maps equal tails to a dense group id; returns BAT[oid, oid]
+/// (original head -> group id) and fills `representatives` with one input
+/// position per group.
+Bat Group(const Bat& a, std::vector<size_t>* representatives);
+
+}  // namespace cobra::kernel
+
+#endif  // COBRA_KERNEL_BAT_H_

@@ -1,0 +1,59 @@
+#include "kernel/catalog.h"
+
+namespace cobra::kernel {
+
+Result<Bat*> Catalog::Create(const std::string& name, TailType tail_type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = bats_.emplace(name, nullptr);
+  if (!inserted) {
+    return Status::AlreadyExists("BAT already exists: " + name);
+  }
+  it->second = std::make_unique<Bat>(tail_type);
+  return it->second.get();
+}
+
+Result<Bat*> Catalog::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bats_.find(name);
+  if (it == bats_.end()) return Status::NotFound("no BAT named " + name);
+  return it->second.get();
+}
+
+Result<const Bat*> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bats_.find(name);
+  if (it == bats_.end()) {
+    return Status::NotFound("no BAT named " + name);
+  }
+  return static_cast<const Bat*>(it->second.get());
+}
+
+Bat* Catalog::Put(const std::string& name, Bat bat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = bats_[name];
+  slot = std::make_unique<Bat>(std::move(bat));
+  return slot.get();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bats_.erase(name) == 0) {
+    return Status::NotFound("no BAT named " + name);
+  }
+  return Status::OK();
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bats_.count(name) != 0;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(bats_.size());
+  for (const auto& [name, bat] : bats_) out.push_back(name);
+  return out;
+}
+
+}  // namespace cobra::kernel

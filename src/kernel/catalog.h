@@ -1,0 +1,50 @@
+#ifndef COBRA_KERNEL_CATALOG_H_
+#define COBRA_KERNEL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kernel/bat.h"
+
+namespace cobra::kernel {
+
+/// Named-BAT catalog — the kernel's persistent variable environment. Moa
+/// operator programs address their operand columns through it, and the Cobra
+/// metadata layers (feature/object/event) store their decomposed relations
+/// here.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty BAT under `name`; error if the name exists.
+  Result<Bat*> Create(const std::string& name, TailType tail_type);
+
+  /// Returns the BAT registered under `name`, or NotFound.
+  Result<Bat*> Get(const std::string& name);
+  Result<const Bat*> Get(const std::string& name) const;
+
+  /// Registers (moves) an existing BAT; overwrites any previous binding.
+  Bat* Put(const std::string& name, Bat bat);
+
+  /// Drops a binding; error if absent.
+  Status Drop(const std::string& name);
+
+  bool Exists(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Bat>> bats_;
+};
+
+}  // namespace cobra::kernel
+
+#endif  // COBRA_KERNEL_CATALOG_H_

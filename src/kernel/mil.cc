@@ -1,0 +1,375 @@
+#include "kernel/mil.h"
+
+#include <cctype>
+#include <functional>
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace cobra::kernel {
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kNumber, kString, kAssign, kLParen, kRParen,
+                    kComma, kSemi, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<Token> Next() {
+    SkipSpaceAndComments();
+    if (pos_ >= input_.size()) return Token{Token::Kind::kEnd, "", 0};
+    const char c = input_[pos_];
+    if (c == '(') { ++pos_; return Token{Token::Kind::kLParen, "(", 0}; }
+    if (c == ')') { ++pos_; return Token{Token::Kind::kRParen, ")", 0}; }
+    if (c == ',') { ++pos_; return Token{Token::Kind::kComma, ",", 0}; }
+    if (c == ';') { ++pos_; return Token{Token::Kind::kSemi, ";", 0}; }
+    if (c == ':' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+      pos_ += 2;
+      return Token{Token::Kind::kAssign, ":=", 0};
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos_;
+      std::string text;
+      while (pos_ < input_.size() && input_[pos_] != quote) {
+        text += input_[pos_++];
+      }
+      if (pos_ >= input_.size()) {
+        return Status::InvalidArgument("unterminated string in MIL script");
+      }
+      ++pos_;
+      return Token{Token::Kind::kString, text, 0};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      size_t end = pos_;
+      std::string text;
+      while (end < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '.' || input_[end] == '-' ||
+              input_[end] == 'e' || input_[end] == 'E' ||
+              input_[end] == '+')) {
+        text += input_[end++];
+      }
+      char* parse_end = nullptr;
+      const double v = std::strtod(text.c_str(), &parse_end);
+      if (parse_end == text.c_str()) {
+        return Status::InvalidArgument("bad numeric literal: " + text);
+      }
+      pos_ += static_cast<size_t>(parse_end - text.c_str());
+      return Token{Token::Kind::kNumber, text, v};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        text += input_[pos_++];
+      }
+      return Token{Token::Kind::kWord, text, 0};
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in MIL script");
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    for (;;) {
+      while (pos_ < input_.size() &&
+             std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < input_.size() && input_[pos_] == '#') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+Result<double> AsNumber(const MilValue& v, const char* context) {
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  return Status::InvalidArgument(std::string("expected a number for ") +
+                                 context);
+}
+
+Result<const Bat*> AsBat(const MilValue& v, const char* context) {
+  if (const Bat* bat = std::get_if<Bat>(&v)) return bat;
+  return Status::InvalidArgument(std::string("expected a BAT for ") + context);
+}
+
+std::string ValueToString(const MilValue& v) {
+  if (const double* d = std::get_if<double>(&v)) return StrFormat("%g", *d);
+  if (const std::string* s = std::get_if<std::string>(&v)) return *s;
+  const Bat& bat = std::get<Bat>(v);
+  std::string out = StrFormat("BAT[oid,%s] #%zu {",
+                              std::string(TailTypeName(bat.tail_type())).c_str(),
+                              bat.size());
+  const size_t show = std::min<size_t>(bat.size(), 6);
+  for (size_t i = 0; i < show; ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%llu->%s",
+                     static_cast<unsigned long long>(bat.HeadAt(i)),
+                     bat.TailAt(i).ToString().c_str());
+  }
+  if (bat.size() > show) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+MilSession::MilSession(Catalog* catalog) : catalog_(catalog) {}
+
+Result<const MilValue*> MilSession::Get(const std::string& name) const {
+  auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    return Status::NotFound("no MIL variable " + name);
+  }
+  return &it->second;
+}
+
+Result<std::string> MilSession::Execute(const std::string& script) {
+  Lexer lexer(script);
+  std::string output;
+
+  // Recursive-descent expression evaluation over the token stream. The
+  // parser is LL(1) with one pushed-back token.
+  std::vector<Token> pushed;
+  auto next = [&]() -> Result<Token> {
+    if (!pushed.empty()) {
+      Token tok = std::move(pushed.back());
+      pushed.pop_back();
+      return tok;
+    }
+    return lexer.Next();
+  };
+  auto push_back = [&](Token tok) { pushed.push_back(std::move(tok)); };
+
+  std::function<Result<MilValue>()> parse_expr = [&]() -> Result<MilValue> {
+    COBRA_ASSIGN_OR_RETURN(Token tok, next());
+    if (tok.kind == Token::Kind::kNumber) return MilValue(tok.number);
+    if (tok.kind == Token::Kind::kString) return MilValue(tok.text);
+    if (tok.kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected expression, got '" + tok.text +
+                                     "'");
+    }
+    const std::string name = tok.text;
+    COBRA_ASSIGN_OR_RETURN(Token after, next());
+    if (after.kind != Token::Kind::kLParen) {
+      push_back(after);
+      auto it = variables_.find(name);
+      if (it == variables_.end()) {
+        return Status::NotFound("unknown MIL variable " + name);
+      }
+      return MilValue(it->second);
+    }
+    // Function call: parse comma-separated arguments.
+    std::vector<MilValue> args;
+    COBRA_ASSIGN_OR_RETURN(Token peek, next());
+    if (peek.kind != Token::Kind::kRParen) {
+      push_back(peek);
+      for (;;) {
+        COBRA_ASSIGN_OR_RETURN(MilValue arg, parse_expr());
+        args.push_back(std::move(arg));
+        COBRA_ASSIGN_OR_RETURN(Token sep, next());
+        if (sep.kind == Token::Kind::kRParen) break;
+        if (sep.kind != Token::Kind::kComma) {
+          return Status::InvalidArgument("expected ',' or ')' in call to " +
+                                         name);
+        }
+      }
+    }
+    auto arity = [&](size_t n) -> Status {
+      if (args.size() != n) {
+        return Status::InvalidArgument(
+            StrFormat("%s expects %zu arguments, got %zu", name.c_str(), n,
+                      args.size()));
+      }
+      return Status::OK();
+    };
+
+    if (name == "bat") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      const std::string* bat_name = std::get_if<std::string>(&args[0]);
+      if (bat_name == nullptr) {
+        return Status::InvalidArgument("bat() expects a name string");
+      }
+      COBRA_ASSIGN_OR_RETURN(
+          const Bat* bat,
+          static_cast<const Catalog*>(catalog_)->Get(*bat_name));
+      return MilValue(*bat);
+    }
+    if (name == "persist") {
+      COBRA_RETURN_IF_ERROR(arity(2));
+      const std::string* bat_name = std::get_if<std::string>(&args[0]);
+      if (bat_name == nullptr) {
+        return Status::InvalidArgument("persist() expects a name string");
+      }
+      COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[1], "persist"));
+      catalog_->Put(*bat_name, Bat(*bat));
+      return MilValue(*bat);
+    }
+    if (name == "new") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      const std::string* type = std::get_if<std::string>(&args[0]);
+      if (type == nullptr) {
+        return Status::InvalidArgument("new() expects a type string");
+      }
+      if (*type == "int") return MilValue(Bat(TailType::kInt));
+      if (*type == "dbl") return MilValue(Bat(TailType::kFloat));
+      if (*type == "str") return MilValue(Bat(TailType::kStr));
+      if (*type == "oid") return MilValue(Bat(TailType::kOid));
+      return Status::InvalidArgument("unknown BAT type " + *type);
+    }
+    if (name == "insert") {
+      COBRA_RETURN_IF_ERROR(arity(3));
+      COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "insert"));
+      COBRA_ASSIGN_OR_RETURN(double head, AsNumber(args[1], "insert head"));
+      Bat copy(*bat);
+      Value tail;
+      switch (copy.tail_type()) {
+        case TailType::kInt: {
+          COBRA_ASSIGN_OR_RETURN(double v, AsNumber(args[2], "insert tail"));
+          tail = Value::Int(static_cast<int64_t>(v));
+          break;
+        }
+        case TailType::kFloat: {
+          COBRA_ASSIGN_OR_RETURN(double v, AsNumber(args[2], "insert tail"));
+          tail = Value::Float(v);
+          break;
+        }
+        case TailType::kStr: {
+          const std::string* s = std::get_if<std::string>(&args[2]);
+          if (s == nullptr) {
+            return Status::InvalidArgument("insert tail must be a string");
+          }
+          tail = Value::Str(*s);
+          break;
+        }
+        case TailType::kOid: {
+          COBRA_ASSIGN_OR_RETURN(double v, AsNumber(args[2], "insert tail"));
+          tail = Value::OfOid(static_cast<Oid>(v));
+          break;
+        }
+      }
+      COBRA_RETURN_IF_ERROR(copy.Append(static_cast<Oid>(head), tail));
+      return MilValue(std::move(copy));
+    }
+    if (name == "select") {
+      if (args.size() == 2) {
+        COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "select"));
+        const std::string* s = std::get_if<std::string>(&args[1]);
+        if (s == nullptr) {
+          return Status::InvalidArgument(
+              "two-argument select expects a string");
+        }
+        COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectStr(*s));
+        return MilValue(std::move(selected));
+      }
+      COBRA_RETURN_IF_ERROR(arity(3));
+      COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "select"));
+      COBRA_ASSIGN_OR_RETURN(double lo, AsNumber(args[1], "select lo"));
+      COBRA_ASSIGN_OR_RETURN(double hi, AsNumber(args[2], "select hi"));
+      COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectRange(lo, hi));
+      return MilValue(std::move(selected));
+    }
+    if (name == "join" || name == "semijoin" || name == "diff") {
+      COBRA_RETURN_IF_ERROR(arity(2));
+      COBRA_ASSIGN_OR_RETURN(const Bat* a, AsBat(args[0], name.c_str()));
+      COBRA_ASSIGN_OR_RETURN(const Bat* b, AsBat(args[1], name.c_str()));
+      if (name == "join") {
+        COBRA_ASSIGN_OR_RETURN(Bat joined, Join(*a, *b));
+        return MilValue(std::move(joined));
+      }
+      if (name == "semijoin") return MilValue(Semijoin(*a, *b));
+      return MilValue(Diff(*a, *b));
+    }
+    if (name == "reverse" || name == "mirror") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], name.c_str()));
+      if (name == "mirror") return MilValue(bat->Mirror());
+      COBRA_ASSIGN_OR_RETURN(Bat reversed, bat->Reverse());
+      return MilValue(std::move(reversed));
+    }
+    if (name == "slice") {
+      COBRA_RETURN_IF_ERROR(arity(3));
+      COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "slice"));
+      COBRA_ASSIGN_OR_RETURN(double b, AsNumber(args[1], "slice begin"));
+      COBRA_ASSIGN_OR_RETURN(double e, AsNumber(args[2], "slice end"));
+      return MilValue(bat->Slice(static_cast<size_t>(b),
+                                 static_cast<size_t>(e)));
+    }
+    if (name == "sum" || name == "max" || name == "min" || name == "count") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], name.c_str()));
+      if (name == "count") return MilValue(static_cast<double>(bat->Count()));
+      if (name == "sum") {
+        COBRA_ASSIGN_OR_RETURN(double v, bat->Sum());
+        return MilValue(v);
+      }
+      if (name == "max") {
+        COBRA_ASSIGN_OR_RETURN(double v, bat->Max());
+        return MilValue(v);
+      }
+      COBRA_ASSIGN_OR_RETURN(double v, bat->Min());
+      return MilValue(v);
+    }
+    return Status::InvalidArgument("unknown MIL function " + name);
+  };
+
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(Token tok, next());
+    if (tok.kind == Token::Kind::kEnd) break;
+    if (tok.kind == Token::Kind::kSemi) continue;
+
+    if (tok.kind == Token::Kind::kWord && tok.text == "VAR") {
+      COBRA_ASSIGN_OR_RETURN(Token name, next());
+      if (name.kind != Token::Kind::kWord) {
+        return Status::InvalidArgument("expected variable name after VAR");
+      }
+      COBRA_ASSIGN_OR_RETURN(Token assign, next());
+      if (assign.kind != Token::Kind::kAssign) {
+        return Status::InvalidArgument("expected ':=' after VAR " + name.text);
+      }
+      COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr());
+      variables_.insert_or_assign(name.text, std::move(value));
+      continue;
+    }
+    if (tok.kind == Token::Kind::kWord && tok.text == "PRINT") {
+      COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr());
+      output += ValueToString(value);
+      output += "\n";
+      continue;
+    }
+    // Either an assignment to an existing variable or a bare expression.
+    if (tok.kind == Token::Kind::kWord) {
+      COBRA_ASSIGN_OR_RETURN(Token after, next());
+      if (after.kind == Token::Kind::kAssign) {
+        if (variables_.count(tok.text) == 0) {
+          return Status::NotFound("assignment to undeclared variable " +
+                                  tok.text);
+        }
+        COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr());
+        variables_.insert_or_assign(tok.text, std::move(value));
+        continue;
+      }
+      push_back(after);
+    }
+    push_back(tok);
+    COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr());
+    (void)value;
+  }
+  return output;
+}
+
+}  // namespace cobra::kernel

@@ -1,0 +1,57 @@
+#ifndef COBRA_KERNEL_MIL_H_
+#define COBRA_KERNEL_MIL_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/status.h"
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+
+namespace cobra::kernel {
+
+/// A value in a MIL script: a BAT, a scalar, or a string.
+using MilValue = std::variant<Bat, double, std::string>;
+
+/// A small interpreter for a MIL-like scripting language over the BAT
+/// catalog — the interface language of the physical level (the paper's
+/// Figs. 4/5 list MIL procedures; Moa operator programs are rewritten into
+/// exactly this kind of script).
+///
+/// Statements (each terminated by ';'):
+///   VAR name := <expr>;      declare a session variable
+///   name := <expr>;          reassign
+///   PRINT <expr>;            append the value to the output log
+///   <expr>;                  evaluate for effect
+///
+/// Expressions:
+///   bat("name")                     catalog BAT (copied into the session)
+///   persist("name", e)              store a BAT into the catalog
+///   new("int"|"dbl"|"str"|"oid")    empty BAT
+///   insert(e, head, tail)           append one pair (returns the BAT)
+///   select(e, lo, hi)               numeric range select
+///   select(e, "s")                  string equality select
+///   join(e1, e2) / semijoin(e1, e2) / diff(e1, e2)
+///   reverse(e) / mirror(e) / slice(e, begin, end)
+///   sum(e) / max(e) / min(e) / count(e)       scalar aggregates
+///   numeric literals, "string" literals, variables
+class MilSession {
+ public:
+  explicit MilSession(Catalog* catalog);
+
+  /// Runs a script; returns the PRINT output (one line per PRINT).
+  Result<std::string> Execute(const std::string& script);
+
+  /// Reads a session variable (for host code after Execute).
+  Result<const MilValue*> Get(const std::string& name) const;
+
+ private:
+  Catalog* catalog_;
+  std::map<std::string, MilValue> variables_;
+};
+
+}  // namespace cobra::kernel
+
+#endif  // COBRA_KERNEL_MIL_H_

@@ -1,0 +1,19 @@
+#include "kernel/parallel.h"
+
+#include <thread>
+
+namespace cobra::kernel {
+
+ThreadPool& KernelPool() {
+  static ThreadPool* const kPool = new ThreadPool(
+      std::max(2u, std::thread::hardware_concurrency()));
+  return *kPool;
+}
+
+void ParallelExec(const std::vector<std::function<void()>>& tasks) {
+  ThreadPool& pool = KernelPool();
+  for (const auto& task : tasks) pool.Schedule(task);
+  pool.WaitIdle();
+}
+
+}  // namespace cobra::kernel

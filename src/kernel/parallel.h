@@ -1,0 +1,23 @@
+#ifndef COBRA_KERNEL_PARALLEL_H_
+#define COBRA_KERNEL_PARALLEL_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/thread_pool.h"
+
+namespace cobra::kernel {
+
+/// The kernel's parallel execution operator (MIL `threadcnt` in the paper's
+/// Fig. 4): runs `tasks` concurrently on the shared kernel pool and blocks
+/// until all complete. Extensions (e.g. parallel HMM evaluation across six
+/// model servers) funnel their concurrency through this single operator.
+void ParallelExec(const std::vector<std::function<void()>>& tasks);
+
+/// The pool used by ParallelExec; sized to the hardware concurrency, created
+/// on first use.
+ThreadPool& KernelPool();
+
+}  // namespace cobra::kernel
+
+#endif  // COBRA_KERNEL_PARALLEL_H_

@@ -1,0 +1,90 @@
+#include "kws/keyword_spotter.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cobra::kws {
+
+int PhoneOf(char c) {
+  const char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (u >= 'A' && u <= 'Z') return u - 'A';
+  return -1;
+}
+
+std::vector<int> PhoneSequence(const std::string& word) {
+  std::vector<int> out;
+  out.reserve(word.size());
+  for (char c : word) {
+    const int p = PhoneOf(c);
+    if (p >= 0) out.push_back(p);
+  }
+  return out;
+}
+
+KeywordSpotter::KeywordSpotter(std::vector<std::string> keywords,
+                               const Options& options)
+    : options_(options), keywords_(std::move(keywords)) {
+  sequences_.reserve(keywords_.size());
+  for (const auto& w : keywords_) sequences_.push_back(PhoneSequence(w));
+}
+
+std::vector<KeywordHit> KeywordSpotter::Spot(
+    const std::vector<PhoneToken>& stream) const {
+  std::vector<KeywordHit> hits;
+  for (size_t k = 0; k < keywords_.size(); ++k) {
+    const auto& seq = sequences_[k];
+    if (seq.empty()) continue;
+    // Try to start the chain at every stream position; the chain consumes
+    // exactly one token per phone (the synthesizer emits phones at the
+    // token rate), crediting substitutions at a reduced rate.
+    for (size_t start = 0; start + seq.size() <= stream.size(); ++start) {
+      if (stream[start].phone < 0) continue;  // chains start on speech
+      double score = 0.0;
+      bool dead = false;
+      size_t substitutions = 0;
+      for (size_t i = 0; i < seq.size(); ++i) {
+        const PhoneToken& tok = stream[start + i];
+        if (tok.phone < 0) {
+          dead = true;  // silence breaks the chain
+          break;
+        }
+        if (tok.phone == seq[i]) {
+          score += tok.confidence;
+        } else {
+          score += tok.confidence * options_.substitution_credit;
+          ++substitutions;
+        }
+      }
+      if (dead) continue;
+      // A grammar path must be anchored: at least half the phones exact.
+      if (substitutions * 2 > seq.size()) continue;
+      const double normalized = score / static_cast<double>(seq.size());
+      if (normalized < options_.min_normalized_score) continue;
+      KeywordHit hit;
+      hit.word = keywords_[k];
+      hit.score = score;
+      hit.normalized = std::min(1.0, normalized);
+      hit.start_sec = stream[start].time_sec;
+      hit.duration_sec =
+          static_cast<double>(seq.size()) * options_.token_period_sec;
+      hits.push_back(std::move(hit));
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const KeywordHit& a, const KeywordHit& b) {
+              return a.start_sec < b.start_sec;
+            });
+  // Suppress overlapping duplicates of the same word (keep best score).
+  std::vector<KeywordHit> out;
+  for (auto& h : hits) {
+    if (!out.empty() && out.back().word == h.word &&
+        h.start_sec < out.back().start_sec + out.back().duration_sec) {
+      if (h.normalized > out.back().normalized) out.back() = h;
+      continue;
+    }
+    out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace cobra::kws

@@ -1,0 +1,70 @@
+#ifndef COBRA_KWS_KEYWORD_SPOTTER_H_
+#define COBRA_KWS_KEYWORD_SPOTTER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace cobra::kws {
+
+/// One decoded phone-like token. The original system used the TNO-Abbot
+/// keyword spotter on the acoustic signal; this repo's substitution decodes
+/// a symbolic phone stream emitted by the audio synthesizer (one token per
+/// 0.1 s of speech, with substitution noise applied by the synthesizer to
+/// model acoustic confusability), which exercises the same downstream path:
+/// grammar matching, non-normalized scores, start times and durations.
+struct PhoneToken {
+  int phone = -1;          // -1 = silence / non-speech
+  double confidence = 0.0; // decoder confidence in [0, 1]
+  double time_sec = 0.0;   // token start time
+};
+
+/// A keyword detection.
+struct KeywordHit {
+  std::string word;
+  double score = 0.0;       // non-normalized accumulated score
+  double normalized = 0.0;  // score / length, in [0, 1]
+  double start_sec = 0.0;
+  double duration_sec = 0.0;
+};
+
+/// Maps a letter A–Z to its phone id; -1 for anything else.
+int PhoneOf(char c);
+
+/// Converts a word to its phone sequence (letters only).
+std::vector<int> PhoneSequence(const std::string& word);
+
+/// Finite-state-grammar keyword spotter: each keyword is a left-to-right
+/// chain of phone states; the decoder advances chains over the token
+/// stream, tolerating substitutions with a penalty, and emits a hit when a
+/// chain completes with sufficient normalized score.
+class KeywordSpotter {
+ public:
+  struct Options {
+    /// Multiplier applied to a step's confidence on a phone substitution.
+    double substitution_credit = 0.25;
+    /// Minimum normalized score for a hit.
+    double min_normalized_score = 0.55;
+    /// Token period in seconds (one phone per 0.1 s clip).
+    double token_period_sec = 0.1;
+  };
+
+  KeywordSpotter(std::vector<std::string> keywords, const Options& options);
+  explicit KeywordSpotter(std::vector<std::string> keywords)
+      : KeywordSpotter(std::move(keywords), Options()) {}
+
+  /// Scans the stream and returns all hits sorted by start time.
+  std::vector<KeywordHit> Spot(const std::vector<PhoneToken>& stream) const;
+
+  const std::vector<std::string>& keywords() const { return keywords_; }
+
+ private:
+  Options options_;
+  std::vector<std::string> keywords_;
+  std::vector<std::vector<int>> sequences_;
+};
+
+}  // namespace cobra::kws
+
+#endif  // COBRA_KWS_KEYWORD_SPOTTER_H_

@@ -1,0 +1,188 @@
+#include "moa/moa.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/logging.h"
+
+namespace cobra::moa {
+
+MoaSession::MoaSession(kernel::Catalog* catalog) : catalog_(catalog) {
+  COBRA_CHECK(catalog != nullptr);
+}
+
+Status MoaSession::DefineClass(const ClassDef& def) {
+  if (classes_.count(def.name) != 0) {
+    return Status::AlreadyExists("class exists: " + def.name);
+  }
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat * extent,
+                         catalog_->Create(ExtentName(def.name),
+                                          kernel::TailType::kOid));
+  (void)extent;
+  for (const auto& [attr, type] : def.attributes) {
+    COBRA_ASSIGN_OR_RETURN(kernel::Bat * bat,
+                           catalog_->Create(AttrName(def.name, attr), type));
+    (void)bat;
+  }
+  classes_[def.name] = def;
+  return Status::OK();
+}
+
+bool MoaSession::HasClass(const std::string& name) const {
+  return classes_.count(name) != 0;
+}
+
+Result<kernel::Oid> MoaSession::NewObject(const std::string& cls) {
+  if (!HasClass(cls)) return Status::NotFound("no class " + cls);
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat * extent,
+                         catalog_->Get(ExtentName(cls)));
+  const kernel::Oid oid = next_oid_++;
+  extent->AppendOid(oid, oid);
+  return oid;
+}
+
+Status MoaSession::SetAttr(const std::string& cls, kernel::Oid oid,
+                           const std::string& attr,
+                           const kernel::Value& value) {
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) return Status::NotFound("no class " + cls);
+  if (it->second.attributes.count(attr) == 0) {
+    return Status::NotFound("no attribute " + attr + " on " + cls);
+  }
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat * bat,
+                         catalog_->Get(AttrName(cls, attr)));
+  return bat->Append(oid, value);
+}
+
+Result<const kernel::Bat*> MoaSession::AttrBat(const std::string& cls,
+                                               const std::string& attr) const {
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) return Status::NotFound("no class " + cls);
+  if (it->second.attributes.count(attr) == 0) {
+    return Status::NotFound("no attribute " + attr + " on " + cls);
+  }
+  return static_cast<const kernel::Catalog*>(catalog_)->Get(
+      AttrName(cls, attr));
+}
+
+Result<kernel::Value> MoaSession::GetAttr(const std::string& cls,
+                                          kernel::Oid oid,
+                                          const std::string& attr) const {
+  COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
+  for (size_t i = 0; i < bat->size(); ++i) {
+    if (bat->HeadAt(i) == oid) return bat->TailAt(i);
+  }
+  return Status::NotFound("object has no value for " + attr);
+}
+
+OidSet MoaSession::HeadsOf(const kernel::Bat& bat) {
+  OidSet out;
+  out.oids.reserve(bat.size());
+  for (size_t i = 0; i < bat.size(); ++i) out.oids.push_back(bat.HeadAt(i));
+  return out;
+}
+
+Result<OidSet> MoaSession::Extent(const std::string& cls) const {
+  if (!HasClass(cls)) return Status::NotFound("no class " + cls);
+  COBRA_ASSIGN_OR_RETURN(
+      const kernel::Bat* extent,
+      static_cast<const kernel::Catalog*>(catalog_)->Get(ExtentName(cls)));
+  return HeadsOf(*extent);
+}
+
+Result<OidSet> MoaSession::SelectEq(const std::string& cls,
+                                    const std::string& attr,
+                                    const kernel::Value& value) const {
+  COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat selected, bat->SelectEq(value));
+  return HeadsOf(selected);
+}
+
+Result<OidSet> MoaSession::SelectRange(const std::string& cls,
+                                       const std::string& attr, double lo,
+                                       double hi) const {
+  COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat selected, bat->SelectRange(lo, hi));
+  return HeadsOf(selected);
+}
+
+Result<kernel::Bat> MoaSession::Project(const std::string& cls,
+                                        const OidSet& set,
+                                        const std::string& attr) const {
+  COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
+  // semijoin(attr_bat, set-as-bat): rewrite through the kernel operator.
+  kernel::Bat set_bat(kernel::TailType::kOid);
+  for (kernel::Oid oid : set.oids) set_bat.AppendOid(oid, oid);
+  return kernel::Semijoin(*bat, set_bat);
+}
+
+Result<kernel::Bat> MoaSession::Map(
+    const kernel::Bat& column, kernel::TailType result_type,
+    const std::function<kernel::Value(const kernel::Value&)>& fn) const {
+  kernel::Bat out(result_type);
+  for (size_t i = 0; i < column.size(); ++i) {
+    const kernel::Value v = fn(column.TailAt(i));
+    if (v.type() != result_type) {
+      return Status::InvalidArgument("Map function returned wrong type");
+    }
+    COBRA_RETURN_IF_ERROR(out.Append(column.HeadAt(i), v));
+  }
+  return out;
+}
+
+OidSet MoaSession::Intersect(const OidSet& a, const OidSet& b) {
+  std::unordered_set<kernel::Oid> in_b(b.oids.begin(), b.oids.end());
+  OidSet out;
+  for (kernel::Oid oid : a.oids) {
+    if (in_b.count(oid) != 0) out.oids.push_back(oid);
+  }
+  return out;
+}
+
+OidSet MoaSession::Union(const OidSet& a, const OidSet& b) {
+  std::unordered_set<kernel::Oid> seen(a.oids.begin(), a.oids.end());
+  OidSet out = a;
+  for (kernel::Oid oid : b.oids) {
+    if (seen.insert(oid).second) out.oids.push_back(oid);
+  }
+  return out;
+}
+
+OidSet MoaSession::Minus(const OidSet& a, const OidSet& b) {
+  std::unordered_set<kernel::Oid> in_b(b.oids.begin(), b.oids.end());
+  OidSet out;
+  for (kernel::Oid oid : a.oids) {
+    if (in_b.count(oid) == 0) out.oids.push_back(oid);
+  }
+  return out;
+}
+
+Result<OidSet> MoaSession::JoinInto(const std::string& cls, const OidSet& set,
+                                    const std::string& attr,
+                                    const OidSet& targets) const {
+  COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
+  if (bat->tail_type() != kernel::TailType::kOid) {
+    return Status::InvalidArgument("JoinInto requires an oid attribute");
+  }
+  kernel::Bat target_bat(kernel::TailType::kOid);
+  for (kernel::Oid oid : targets.oids) target_bat.AppendOid(oid, oid);
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat joined, kernel::Join(*bat, target_bat));
+  OidSet joined_heads = HeadsOf(joined);
+  return Intersect(set, joined_heads);
+}
+
+Result<double> MoaSession::AggregateSum(const std::string& cls,
+                                        const OidSet& set,
+                                        const std::string& attr) const {
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat column, Project(cls, set, attr));
+  return column.Sum();
+}
+
+Result<double> MoaSession::AggregateMax(const std::string& cls,
+                                        const OidSet& set,
+                                        const std::string& attr) const {
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat column, Project(cls, set, attr));
+  return column.Max();
+}
+
+}  // namespace cobra::moa

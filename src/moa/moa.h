@@ -1,0 +1,121 @@
+#ifndef COBRA_MOA_MOA_H_
+#define COBRA_MOA_MOA_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+
+namespace cobra::moa {
+
+/// A SET structure: an ordered set of object identifiers. Moa's structure
+/// primitives (SET, TUPLE, OBJECT) are flattened onto BATs; a SET of objects
+/// is carried as its oid list, and TUPLE attributes live in per-attribute
+/// BATs, exactly the vertical decomposition Monet favours.
+struct OidSet {
+  std::vector<kernel::Oid> oids;
+
+  size_t size() const { return oids.size(); }
+  bool empty() const { return oids.empty(); }
+};
+
+/// Schema of an object class: attribute name -> tail type. Every attribute
+/// is stored in the kernel catalog as BAT "<class>.<attr>" (head = object
+/// oid); the class extent is BAT "<class>.@extent".
+struct ClassDef {
+  std::string name;
+  std::map<std::string, kernel::TailType> attributes;
+};
+
+/// The Moa logical layer: an object algebra whose operators are rewritten
+/// into kernel BAT operations (the paper's "flattening an object algebra to
+/// provide performance" [16]). One session wraps one kernel catalog.
+class MoaSession {
+ public:
+  explicit MoaSession(kernel::Catalog* catalog);
+
+  // -- DDL / DML ------------------------------------------------------------
+
+  /// Registers a class and creates its extent and attribute BATs.
+  Status DefineClass(const ClassDef& def);
+  bool HasClass(const std::string& name) const;
+
+  /// Allocates a fresh object of `cls`, appending to the extent.
+  Result<kernel::Oid> NewObject(const std::string& cls);
+
+  /// Sets an attribute value (appends to the attribute BAT).
+  Status SetAttr(const std::string& cls, kernel::Oid oid,
+                 const std::string& attr, const kernel::Value& value);
+
+  /// Reads an attribute value of one object (first binding).
+  Result<kernel::Value> GetAttr(const std::string& cls, kernel::Oid oid,
+                                const std::string& attr) const;
+
+  // -- Algebra operators ------------------------------------------------------
+
+  /// All objects of a class.
+  Result<OidSet> Extent(const std::string& cls) const;
+
+  /// select(extent, attr = value).
+  Result<OidSet> SelectEq(const std::string& cls, const std::string& attr,
+                          const kernel::Value& value) const;
+
+  /// select(extent, lo <= attr <= hi) over numeric attributes.
+  Result<OidSet> SelectRange(const std::string& cls, const std::string& attr,
+                             double lo, double hi) const;
+
+  /// project(set, attr): BAT of (oid, value) for the objects in `set`.
+  Result<kernel::Bat> Project(const std::string& cls, const OidSet& set,
+                              const std::string& attr) const;
+
+  /// map(f, project(set, attr)): element-wise ADT operation over a column —
+  /// the extension hook through which feature/semantic operators run inside
+  /// the algebra.
+  Result<kernel::Bat> Map(
+      const kernel::Bat& column, kernel::TailType result_type,
+      const std::function<kernel::Value(const kernel::Value&)>& fn) const;
+
+  /// Set operations (order preserved from the left operand).
+  static OidSet Intersect(const OidSet& a, const OidSet& b);
+  static OidSet Union(const OidSet& a, const OidSet& b);
+  static OidSet Minus(const OidSet& a, const OidSet& b);
+
+  /// Semijoin: objects in `set` whose oid-typed attribute points into
+  /// `targets`.
+  Result<OidSet> JoinInto(const std::string& cls, const OidSet& set,
+                          const std::string& attr,
+                          const OidSet& targets) const;
+
+  /// Aggregates over a numeric attribute of a set.
+  Result<double> AggregateSum(const std::string& cls, const OidSet& set,
+                              const std::string& attr) const;
+  Result<double> AggregateMax(const std::string& cls, const OidSet& set,
+                              const std::string& attr) const;
+
+  kernel::Catalog* catalog() { return catalog_; }
+
+ private:
+  std::string ExtentName(const std::string& cls) const {
+    return cls + ".@extent";
+  }
+  std::string AttrName(const std::string& cls, const std::string& attr) const {
+    return cls + "." + attr;
+  }
+  Result<const kernel::Bat*> AttrBat(const std::string& cls,
+                                     const std::string& attr) const;
+  /// Converts a selection result (BAT) into the oid set of its heads,
+  /// restricted to `set` when provided.
+  static OidSet HeadsOf(const kernel::Bat& bat);
+
+  kernel::Catalog* catalog_;
+  std::map<std::string, ClassDef> classes_;
+  kernel::Oid next_oid_ = 1;
+};
+
+}  // namespace cobra::moa
+
+#endif  // COBRA_MOA_MOA_H_

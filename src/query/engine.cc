@@ -1,0 +1,119 @@
+#include "query/engine.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace cobra::query {
+
+QueryEngine::QueryEngine(model::VideoCatalog* catalog,
+                         extensions::ExtensionRegistry* registry)
+    : catalog_(catalog), registry_(registry) {
+  COBRA_CHECK(catalog != nullptr && registry != nullptr);
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
+  COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  return Execute(parsed);
+}
+
+Status QueryEngine::EnsureAvailable(model::VideoId video,
+                                    const std::string& type,
+                                    MethodPreference preference,
+                                    QueryResult* result) {
+  if (catalog_->HasEvents(video, type)) return Status::OK();
+  auto providers = registry_->Providers(type);
+  if (providers.empty()) {
+    return Status::NotFound("no metadata and no extraction method for '" +
+                            type + "'");
+  }
+  // High-level optimization: pick the method by the requested preference.
+  extensions::SemanticExtension* best = providers[0];
+  for (auto* p : providers) {
+    const bool better =
+        preference == MethodPreference::kQuality
+            ? p->Quality(type) > best->Quality(type)
+            : p->Cost(type) < best->Cost(type);
+    if (better) best = p;
+  }
+  COBRA_RETURN_IF_ERROR(best->Extract(video, type, catalog_));
+  result->methods_invoked.push_back(best->name());
+  result->extracted_dynamically = true;
+  return Status::OK();
+}
+
+bool QueryEngine::MatchesPattern(const model::EventRecord& event,
+                                 const EventPattern& pattern) {
+  if (event.type != pattern.type) return false;
+  for (const auto& [key, value] : pattern.attr_equals) {
+    auto it = event.attrs.find(key);
+    if (it == event.attrs.end()) return false;
+    if (ToUpperAscii(it->second) != value) return false;
+  }
+  return true;
+}
+
+bool QueryEngine::TemporalMatch(TemporalOp op,
+                                const model::EventRecord& primary,
+                                const model::EventRecord& secondary) {
+  const double pb = primary.begin_sec, pe = primary.end_sec;
+  const double sb = secondary.begin_sec, se = secondary.end_sec;
+  switch (op) {
+    case TemporalOp::kNone:
+      return true;
+    case TemporalOp::kDuring:
+      return pb >= sb && pe <= se;
+    case TemporalOp::kOverlapping:
+      return pb <= se && sb <= pe;
+    case TemporalOp::kBefore:
+      return pe <= sb;
+    case TemporalOp::kAfter:
+      return pb >= se;
+    case TemporalOp::kContaining:
+      return sb >= pb && se <= pe;
+  }
+  return false;
+}
+
+Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
+  QueryResult result;
+  COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
+                         catalog_->FindVideo(query.video));
+
+  COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.primary.type,
+                                        query.preference, &result));
+  COBRA_ASSIGN_OR_RETURN(auto primary_events,
+                         catalog_->Events(video.id, query.primary.type));
+
+  std::vector<model::EventRecord> filtered;
+  for (const auto& e : primary_events) {
+    if (MatchesPattern(e, query.primary)) filtered.push_back(e);
+  }
+
+  if (query.temporal_op != TemporalOp::kNone) {
+    COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.secondary.type,
+                                          query.preference, &result));
+    COBRA_ASSIGN_OR_RETURN(auto secondary_events,
+                           catalog_->Events(video.id, query.secondary.type));
+    std::vector<model::EventRecord> secondary;
+    for (const auto& e : secondary_events) {
+      if (MatchesPattern(e, query.secondary)) secondary.push_back(e);
+    }
+    std::vector<model::EventRecord> joined;
+    for (const auto& p : filtered) {
+      for (const auto& s : secondary) {
+        if (TemporalMatch(query.temporal_op, p, s)) {
+          joined.push_back(p);
+          break;
+        }
+      }
+    }
+    filtered = std::move(joined);
+  }
+
+  result.segments = std::move(filtered);
+  return result;
+}
+
+}  // namespace cobra::query

@@ -1,0 +1,60 @@
+#ifndef COBRA_QUERY_ENGINE_H_
+#define COBRA_QUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "cobra/video_model.h"
+#include "extensions/extension.h"
+#include "query/parser.h"
+
+namespace cobra::query {
+
+/// Result of a query: matching event-layer segments plus preprocessor
+/// diagnostics (which methods ran, and whether extraction happened
+/// dynamically at query time).
+struct QueryResult {
+  std::vector<model::EventRecord> segments;
+  /// Extensions invoked by the preprocessor (empty when metadata existed).
+  std::vector<std::string> methods_invoked;
+  bool extracted_dynamically = false;
+};
+
+/// The conceptual layer: parses a retrieval query, runs the query
+/// preprocessor (checks whether the required metadata exists; when it does
+/// not, picks an extraction method by the cost/quality model and invokes the
+/// extension to populate it — the paper's dynamic feature/semantic
+/// extraction), then evaluates the algebra over the event layer.
+class QueryEngine {
+ public:
+  QueryEngine(model::VideoCatalog* catalog,
+              extensions::ExtensionRegistry* registry);
+
+  /// Parses and executes a query string.
+  Result<QueryResult> Execute(const std::string& query_text);
+
+  /// Executes an already-parsed query.
+  Result<QueryResult> Execute(const ParsedQuery& query);
+
+ private:
+  /// Ensures events of `type` exist for `video`; dynamically extracts when
+  /// missing, selecting the provider per `preference`.
+  Status EnsureAvailable(model::VideoId video, const std::string& type,
+                         MethodPreference preference, QueryResult* result);
+
+  /// Attribute filters (case-insensitive value comparison).
+  static bool MatchesPattern(const model::EventRecord& event,
+                             const EventPattern& pattern);
+
+  /// Temporal-join predicate between a primary and secondary interval.
+  static bool TemporalMatch(TemporalOp op, const model::EventRecord& primary,
+                            const model::EventRecord& secondary);
+
+  model::VideoCatalog* catalog_;
+  extensions::ExtensionRegistry* registry_;
+};
+
+}  // namespace cobra::query
+
+#endif  // COBRA_QUERY_ENGINE_H_

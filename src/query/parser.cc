@@ -1,0 +1,176 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace cobra::query {
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kString, kEquals, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<Token> Next() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) return Token{Token::Kind::kEnd, ""};
+    const char c = input_[pos_];
+    if (c == '=') {
+      ++pos_;
+      return Token{Token::Kind::kEquals, "="};
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++pos_;
+      std::string text;
+      while (pos_ < input_.size() && input_[pos_] != quote) {
+        text += input_[pos_++];
+      }
+      if (pos_ >= input_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      return Token{Token::Kind::kString, text};
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+        c == '.') {
+      std::string text;
+      while (pos_ < input_.size()) {
+        const char d = input_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '-' || d == '.') {
+          text += d;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return Token{Token::Kind::kWord, text};
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in query");
+  }
+
+ private:
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+bool IsKeyword(const Token& tok, const char* kw) {
+  return tok.kind == Token::Kind::kWord && ToUpperAscii(tok.text) == kw;
+}
+
+/// WHERE key = 'value' {AND key = 'value'} — `first` is the token after
+/// WHERE has been consumed; on return `next` holds the first token past the
+/// clause.
+Status ParseWhere(Lexer& lexer, Token first, EventPattern* pattern,
+                  Token* next) {
+  Token tok = first;
+  for (;;) {
+    if (tok.kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected attribute name in WHERE");
+    }
+    const std::string key = ToLowerAscii(tok.text);
+    COBRA_ASSIGN_OR_RETURN(Token eq, lexer.Next());
+    if (eq.kind != Token::Kind::kEquals) {
+      return Status::InvalidArgument("expected '=' after attribute " + key);
+    }
+    COBRA_ASSIGN_OR_RETURN(Token value, lexer.Next());
+    if (value.kind != Token::Kind::kString &&
+        value.kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected value after '='");
+    }
+    pattern->attr_equals[key] = ToUpperAscii(value.text);
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+    if (!IsKeyword(tok, "AND")) break;
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  }
+  *next = tok;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  ParsedQuery query;
+
+  COBRA_ASSIGN_OR_RETURN(Token tok, lexer.Next());
+  if (!IsKeyword(tok, "RETRIEVE")) {
+    return Status::InvalidArgument("query must start with RETRIEVE");
+  }
+  COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  if (tok.kind != Token::Kind::kWord) {
+    return Status::InvalidArgument("expected event type after RETRIEVE");
+  }
+  query.primary.type = ToLowerAscii(tok.text);
+
+  COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  if (!IsKeyword(tok, "FROM")) {
+    return Status::InvalidArgument("expected FROM after event type");
+  }
+  COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  if (tok.kind != Token::Kind::kString && tok.kind != Token::Kind::kWord) {
+    return Status::InvalidArgument("expected video name after FROM");
+  }
+  query.video = tok.text;
+
+  COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  if (IsKeyword(tok, "WHERE")) {
+    COBRA_ASSIGN_OR_RETURN(Token first, lexer.Next());
+    COBRA_RETURN_IF_ERROR(ParseWhere(lexer, first, &query.primary, &tok));
+  }
+
+  const std::map<std::string, TemporalOp> temporal_ops = {
+      {"DURING", TemporalOp::kDuring},
+      {"OVERLAPPING", TemporalOp::kOverlapping},
+      {"BEFORE", TemporalOp::kBefore},
+      {"AFTER", TemporalOp::kAfter},
+      {"CONTAINING", TemporalOp::kContaining},
+  };
+  if (tok.kind == Token::Kind::kWord) {
+    auto it = temporal_ops.find(ToUpperAscii(tok.text));
+    if (it != temporal_ops.end()) {
+      query.temporal_op = it->second;
+      COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+      if (tok.kind != Token::Kind::kWord) {
+        return Status::InvalidArgument(
+            "expected event type after temporal operator");
+      }
+      query.secondary.type = ToLowerAscii(tok.text);
+      COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+      if (IsKeyword(tok, "WHERE")) {
+        COBRA_ASSIGN_OR_RETURN(Token first, lexer.Next());
+        COBRA_RETURN_IF_ERROR(ParseWhere(lexer, first, &query.secondary, &tok));
+      }
+    }
+  }
+
+  if (IsKeyword(tok, "PREFER")) {
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+    if (IsKeyword(tok, "QUALITY")) {
+      query.preference = MethodPreference::kQuality;
+    } else if (IsKeyword(tok, "COST")) {
+      query.preference = MethodPreference::kCost;
+    } else {
+      return Status::InvalidArgument("expected QUALITY or COST after PREFER");
+    }
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  }
+
+  if (tok.kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("unexpected trailing token: " + tok.text);
+  }
+  return query;
+}
+
+}  // namespace cobra::query

@@ -1,0 +1,57 @@
+#ifndef COBRA_QUERY_PARSER_H_
+#define COBRA_QUERY_PARSER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace cobra::query {
+
+/// Temporal join operators between the primary and secondary event pattern.
+enum class TemporalOp {
+  kNone,
+  kDuring,       // primary inside (or equal to) a secondary event
+  kOverlapping,  // intervals intersect
+  kBefore,       // primary ends before a secondary starts
+  kAfter,        // primary starts after a secondary ends
+  kContaining,   // primary contains a secondary event
+};
+
+/// Method-selection preference used by the query preprocessor when several
+/// extensions could materialize a missing event type.
+enum class MethodPreference { kQuality, kCost };
+
+/// One event pattern: a type plus attribute equality filters.
+struct EventPattern {
+  std::string type;
+  std::map<std::string, std::string> attr_equals;
+};
+
+/// Parsed form of the retrieval language:
+///
+///   RETRIEVE <type> FROM '<video>'
+///     [WHERE <key> = '<value>' {AND <key> = '<value>'}]
+///     [DURING|OVERLAPPING|BEFORE|AFTER|CONTAINING <type2>
+///        [WHERE <key> = '<value>' {AND ...}]]
+///     [PREFER QUALITY|COST]
+///
+/// e.g.  RETRIEVE highlight FROM 'german-gp' WHERE driver = 'SCHUMACHER'
+///       RETRIEVE pitstop FROM 'usa-gp' DURING highlight PREFER COST
+struct ParsedQuery {
+  EventPattern primary;
+  std::string video;
+  TemporalOp temporal_op = TemporalOp::kNone;
+  EventPattern secondary;
+  MethodPreference preference = MethodPreference::kQuality;
+};
+
+/// Parses the retrieval language; returns InvalidArgument with a pointed
+/// message on syntax errors.
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+}  // namespace cobra::query
+
+#endif  // COBRA_QUERY_PARSER_H_

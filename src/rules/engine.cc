@@ -1,0 +1,108 @@
+#include "rules/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace cobra::rules {
+
+bool Pattern::Matches(const EventFact& fact) const {
+  if (fact.type != type) return false;
+  for (const auto& [key, value] : attr_equals) {
+    auto it = fact.attrs.find(key);
+    if (it == fact.attrs.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+EventFact RuleEngine::Derive(const Rule& rule, const EventFact& a,
+                             const EventFact* b) {
+  EventFact out;
+  out.type = rule.derived_type;
+  if (b == nullptr) {
+    out.span = a.span;
+    out.confidence = a.confidence;
+  } else {
+    switch (rule.combine) {
+      case IntervalCombine::kUnion:
+        out.span = a.span.Union(b->span);
+        break;
+      case IntervalCombine::kIntersection:
+        out.span = a.span.Intersection(b->span);
+        break;
+      case IntervalCombine::kFirst:
+        out.span = a.span;
+        break;
+      case IntervalCombine::kSecond:
+        out.span = b->span;
+        break;
+    }
+    out.confidence = std::min(a.confidence, b->confidence);
+  }
+  for (const auto& [key, value] : rule.derived_attrs) {
+    if (StartsWith(value, "$1.")) {
+      auto it = a.attrs.find(value.substr(3));
+      if (it != a.attrs.end()) out.attrs[key] = it->second;
+    } else if (StartsWith(value, "$2.") && b != nullptr) {
+      auto it = b->attrs.find(value.substr(3));
+      if (it != b->attrs.end()) out.attrs[key] = it->second;
+    } else {
+      out.attrs[key] = value;
+    }
+  }
+  return out;
+}
+
+bool RuleEngine::ApplyRule(const Rule& rule,
+                           std::vector<EventFact>& facts) const {
+  std::vector<EventFact> derived;
+  const size_t n = facts.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!rule.first.Matches(facts[i])) continue;
+    if (!rule.binary) {
+      derived.push_back(Derive(rule, facts[i], nullptr));
+      continue;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (!rule.second.Matches(facts[j])) continue;
+      const AllenRelation rel =
+          ClassifyRelation(facts[i].span, facts[j].span, rule.epsilon);
+      if (!rule.allowed_relations.empty() &&
+          rule.allowed_relations.count(rel) == 0) {
+        continue;
+      }
+      if (rule.max_gap_sec >= 0.0) {
+        const double gap =
+            std::max(facts[j].span.begin - facts[i].span.end,
+                     facts[i].span.begin - facts[j].span.end);
+        if (gap > rule.max_gap_sec) continue;
+      }
+      derived.push_back(Derive(rule, facts[i], &facts[j]));
+    }
+  }
+  bool added = false;
+  for (auto& d : derived) {
+    if (!d.span.Valid()) continue;
+    if (std::find(facts.begin(), facts.end(), d) == facts.end()) {
+      facts.push_back(std::move(d));
+      added = true;
+    }
+  }
+  return added;
+}
+
+std::vector<EventFact> RuleEngine::Infer(std::vector<EventFact> facts,
+                                         const InferOptions& options) const {
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool any = false;
+    for (const Rule& rule : rules_) {
+      any = ApplyRule(rule, facts) || any;
+    }
+    if (!any) break;
+  }
+  return facts;
+}
+
+}  // namespace cobra::rules

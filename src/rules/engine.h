@@ -1,0 +1,93 @@
+#ifndef COBRA_RULES_ENGINE_H_
+#define COBRA_RULES_ENGINE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "rules/interval.h"
+
+namespace cobra::rules {
+
+/// A fact in the event layer: a typed, attributed time interval. Both
+/// extracted events (from DBNs / text recognition) and rule-derived compound
+/// events are facts.
+struct EventFact {
+  std::string type;
+  TimeInterval span;
+  std::map<std::string, std::string> attrs;
+  double confidence = 1.0;
+
+  bool operator==(const EventFact& other) const {
+    return type == other.type && attrs == other.attrs &&
+           std::abs(span.begin - other.span.begin) < 1e-9 &&
+           std::abs(span.end - other.span.end) < 1e-9;
+  }
+};
+
+/// Premise pattern: matches facts by type and (optionally) attribute values.
+struct Pattern {
+  std::string type;
+  std::map<std::string, std::string> attr_equals;
+
+  bool Matches(const EventFact& fact) const;
+};
+
+/// How a binary rule combines the two matched intervals into the derived
+/// event's interval.
+enum class IntervalCombine { kUnion, kIntersection, kFirst, kSecond };
+
+/// A derivation rule over the event layer. Unary rules (no second premise)
+/// re-classify or re-attribute single facts; binary rules join two facts
+/// under an Allen-relation constraint — the paper's "user can define new
+/// compound events by specifying different temporal relationships among
+/// already defined events".
+struct Rule {
+  std::string name;
+  Pattern first;
+  Pattern second;          // unused when `binary` is false
+  bool binary = false;
+  std::set<AllenRelation> allowed_relations;  // empty = any (binary only)
+  /// Endpoint tolerance and maximum gap (for kBefore/kAfter proximity).
+  double epsilon = 0.05;
+  double max_gap_sec = -1.0;  // <0 = unlimited
+
+  std::string derived_type;
+  IntervalCombine combine = IntervalCombine::kUnion;
+  /// Literal attributes plus copy directives "$1.key" / "$2.key" which pull
+  /// the attribute from the first/second matched fact.
+  std::map<std::string, std::string> derived_attrs;
+};
+
+/// Inference limits for RuleEngine::Infer.
+struct InferOptions {
+  int max_passes = 8;
+};
+
+/// Forward-chaining inference to a fixpoint with duplicate suppression.
+class RuleEngine {
+ public:
+  RuleEngine() = default;
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  size_t num_rules() const { return rules_.size(); }
+
+  /// Returns base facts plus everything derivable.
+  std::vector<EventFact> Infer(std::vector<EventFact> facts,
+                               const InferOptions& options = {}) const;
+
+ private:
+  /// Applies one rule to the fact set, appending novel derivations.
+  bool ApplyRule(const Rule& rule, std::vector<EventFact>& facts) const;
+
+  static EventFact Derive(const Rule& rule, const EventFact& a,
+                          const EventFact* b);
+
+  std::vector<Rule> rules_;
+};
+
+}  // namespace cobra::rules
+
+#endif  // COBRA_RULES_ENGINE_H_

@@ -1,0 +1,79 @@
+#include "rules/interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobra::rules {
+
+TimeInterval TimeInterval::Union(const TimeInterval& other) const {
+  return TimeInterval{std::min(begin, other.begin), std::max(end, other.end)};
+}
+
+TimeInterval TimeInterval::Intersection(const TimeInterval& other) const {
+  return TimeInterval{std::max(begin, other.begin), std::min(end, other.end)};
+}
+
+std::string_view AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore: return "before";
+    case AllenRelation::kAfter: return "after";
+    case AllenRelation::kMeets: return "meets";
+    case AllenRelation::kMetBy: return "met-by";
+    case AllenRelation::kOverlaps: return "overlaps";
+    case AllenRelation::kOverlappedBy: return "overlapped-by";
+    case AllenRelation::kStarts: return "starts";
+    case AllenRelation::kStartedBy: return "started-by";
+    case AllenRelation::kDuring: return "during";
+    case AllenRelation::kContains: return "contains";
+    case AllenRelation::kFinishes: return "finishes";
+    case AllenRelation::kFinishedBy: return "finished-by";
+    case AllenRelation::kEquals: return "equals";
+  }
+  return "?";
+}
+
+AllenRelation ClassifyRelation(const TimeInterval& a, const TimeInterval& b,
+                               double epsilon) {
+  const auto eq = [epsilon](double x, double y) {
+    return std::abs(x - y) <= epsilon;
+  };
+  const bool begin_eq = eq(a.begin, b.begin);
+  const bool end_eq = eq(a.end, b.end);
+  if (begin_eq && end_eq) return AllenRelation::kEquals;
+  if (eq(a.end, b.begin)) return AllenRelation::kMeets;
+  if (eq(b.end, a.begin)) return AllenRelation::kMetBy;
+  if (a.end < b.begin) return AllenRelation::kBefore;
+  if (b.end < a.begin) return AllenRelation::kAfter;
+  if (begin_eq) {
+    return a.end < b.end ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  }
+  if (end_eq) {
+    return a.begin > b.begin ? AllenRelation::kFinishes
+                             : AllenRelation::kFinishedBy;
+  }
+  if (a.begin > b.begin && a.end < b.end) return AllenRelation::kDuring;
+  if (b.begin > a.begin && b.end < a.end) return AllenRelation::kContains;
+  return a.begin < b.begin ? AllenRelation::kOverlaps
+                           : AllenRelation::kOverlappedBy;
+}
+
+AllenRelation InverseRelation(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore: return AllenRelation::kAfter;
+    case AllenRelation::kAfter: return AllenRelation::kBefore;
+    case AllenRelation::kMeets: return AllenRelation::kMetBy;
+    case AllenRelation::kMetBy: return AllenRelation::kMeets;
+    case AllenRelation::kOverlaps: return AllenRelation::kOverlappedBy;
+    case AllenRelation::kOverlappedBy: return AllenRelation::kOverlaps;
+    case AllenRelation::kStarts: return AllenRelation::kStartedBy;
+    case AllenRelation::kStartedBy: return AllenRelation::kStarts;
+    case AllenRelation::kDuring: return AllenRelation::kContains;
+    case AllenRelation::kContains: return AllenRelation::kDuring;
+    case AllenRelation::kFinishes: return AllenRelation::kFinishedBy;
+    case AllenRelation::kFinishedBy: return AllenRelation::kFinishes;
+    case AllenRelation::kEquals: return AllenRelation::kEquals;
+  }
+  return AllenRelation::kEquals;
+}
+
+}  // namespace cobra::rules

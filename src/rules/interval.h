@@ -1,0 +1,57 @@
+#ifndef COBRA_RULES_INTERVAL_H_
+#define COBRA_RULES_INTERVAL_H_
+
+#include <string>
+#include <string_view>
+
+namespace cobra::rules {
+
+/// A closed time interval in seconds within one video.
+struct TimeInterval {
+  double begin = 0.0;
+  double end = 0.0;
+
+  double Duration() const { return end - begin; }
+  bool Valid() const { return end >= begin; }
+
+  /// True when the intervals share at least one instant.
+  bool Intersects(const TimeInterval& other) const {
+    return begin <= other.end && other.begin <= end;
+  }
+
+  TimeInterval Union(const TimeInterval& other) const;
+  /// Intersection; empty (begin > end) when disjoint.
+  TimeInterval Intersection(const TimeInterval& other) const;
+};
+
+/// Allen's 13 interval relations, used by the rule-based extension for
+/// spatio-temporal reasoning over the event layer.
+enum class AllenRelation {
+  kBefore,        // a ends before b starts
+  kAfter,
+  kMeets,         // a.end == b.begin
+  kMetBy,
+  kOverlaps,      // a starts first, they overlap, b ends last
+  kOverlappedBy,
+  kStarts,        // same begin, a ends first
+  kStartedBy,
+  kDuring,        // a strictly inside b
+  kContains,
+  kFinishes,      // same end, a starts later
+  kFinishedBy,
+  kEquals,
+};
+
+std::string_view AllenRelationName(AllenRelation r);
+
+/// Computes the Allen relation between a and b with tolerance `epsilon` on
+/// endpoint equality (feature timelines are quantized to 0.1 s).
+AllenRelation ClassifyRelation(const TimeInterval& a, const TimeInterval& b,
+                               double epsilon = 1e-9);
+
+/// The inverse relation (relation of b to a).
+AllenRelation InverseRelation(AllenRelation r);
+
+}  // namespace cobra::rules
+
+#endif  // COBRA_RULES_INTERVAL_H_

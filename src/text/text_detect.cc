@@ -1,0 +1,66 @@
+#include "text/text_detect.h"
+
+#include <algorithm>
+
+#include "image/analysis.h"
+
+namespace cobra::text {
+
+image::Frame TextDetector::CaptionBand(const image::Frame& frame) const {
+  const int band_h = std::max(
+      1, static_cast<int>(frame.height() * options_.bottom_fraction));
+  return frame.Crop(0, frame.height() - band_h, frame.width(), band_h);
+}
+
+bool TextDetector::FrameHasText(const image::Frame& frame) const {
+  const image::Frame band = CaptionBand(frame);
+  if (band.empty()) return false;
+
+  double sum = 0.0;
+  double sum2 = 0.0;
+  size_t bright = 0;
+  const size_t total = static_cast<size_t>(band.width()) * band.height();
+  for (int y = 0; y < band.height(); ++y) {
+    for (int x = 0; x < band.width(); ++x) {
+      const double l = image::Luma(band.At(x, y));
+      sum += l;
+      sum2 += l * l;
+      if (l > options_.bright_luma) ++bright;
+    }
+  }
+  const double mean = sum / total;
+  const double variance = std::max(0.0, sum2 / total - mean * mean);
+  const double bright_fraction = static_cast<double>(bright) / total;
+
+  return mean < options_.max_band_luma &&
+         bright_fraction >= options_.min_bright_fraction &&
+         bright_fraction <= options_.max_bright_fraction &&
+         variance >= options_.min_variance;
+}
+
+std::optional<image::Frame> TextDetector::Push(const image::Frame& frame) {
+  if (FrameHasText(frame)) {
+    segment_bands_.push_back(CaptionBand(frame));
+    return std::nullopt;
+  }
+  return FinishSegment();
+}
+
+std::optional<image::Frame> TextDetector::Flush() { return FinishSegment(); }
+
+std::optional<image::Frame> TextDetector::FinishSegment() {
+  if (segment_bands_.size() < options_.min_duration_frames) {
+    segment_bands_.clear();  // too short: skip, per the duration criterion
+    return std::nullopt;
+  }
+  image::Frame refined = RefineTextRegion(segment_bands_);
+  segment_bands_.clear();
+  return refined;
+}
+
+image::Frame RefineTextRegion(const std::vector<image::Frame>& bands) {
+  image::Frame filtered = image::MinIntensityFilter(bands);
+  return filtered.ResizeBilinear(filtered.width() * 4, filtered.height() * 4);
+}
+
+}  // namespace cobra::text

@@ -1,0 +1,68 @@
+#ifndef COBRA_TEXT_TEXT_DETECT_H_
+#define COBRA_TEXT_TEXT_DETECT_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "image/frame.h"
+
+namespace cobra::text {
+
+/// Detection of superimposed (graphic) text. The paper exploits the domain
+/// property that captions sit in the bottom part of the picture on a shaded
+/// (darkened) band with bright, high-contrast characters: step one finds the
+/// shaded region per frame, step two applies duration and bright-pixel
+/// criteria over consecutive frames.
+class TextDetector {
+ public:
+  struct Options {
+    /// Fraction of the frame height scanned at the bottom (matches the
+    /// broadcaster's caption band).
+    double bottom_fraction = 0.20;
+    /// Shading: mean luma of the band must fall below this.
+    double max_band_luma = 90.0;
+    /// Characters: number of bright pixels (luma above bright_luma) in the
+    /// band, as a fraction, must be in [min_bright, max_bright].
+    double bright_luma = 180.0;
+    double min_bright_fraction = 0.003;
+    double max_bright_fraction = 0.30;
+    /// Bright pixels must be structured, not noise: their luma variance
+    /// inside the band must exceed this.
+    double min_variance = 500.0;
+    /// Frames the shaded region must persist before a segment is reported.
+    size_t min_duration_frames = 3;
+  };
+
+  explicit TextDetector(const Options& options) : options_(options) {}
+  TextDetector() : TextDetector(Options()) {}
+
+  /// Per-frame check: does this frame carry a shaded caption band?
+  bool FrameHasText(const image::Frame& frame) const;
+
+  /// Returns the caption band sub-image of `frame`.
+  image::Frame CaptionBand(const image::Frame& frame) const;
+
+  /// Streaming use: push frames; when a run of caption frames ends (or
+  /// `Flush` is called) a refined text region is emitted.
+  /// Returns the refined (min-filtered, 4x magnified) region when the
+  /// current segment just completed.
+  std::optional<image::Frame> Push(const image::Frame& frame);
+  std::optional<image::Frame> Flush();
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::optional<image::Frame> FinishSegment();
+
+  Options options_;
+  std::vector<image::Frame> segment_bands_;
+};
+
+/// The paper's refinement step: minimum-intensity filtering over the
+/// segment's frames followed by 4x bilinear magnification.
+image::Frame RefineTextRegion(const std::vector<image::Frame>& bands);
+
+}  // namespace cobra::text
+
+#endif  // COBRA_TEXT_TEXT_DETECT_H_

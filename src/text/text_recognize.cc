@@ -1,0 +1,269 @@
+#include "text/text_recognize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace cobra::text {
+namespace {
+
+/// Nearest-neighbour resize of a binary mask.
+InkMask ResizeMask(const InkMask& in, int new_w, int new_h) {
+  InkMask out;
+  out.width = new_w;
+  out.height = new_h;
+  out.ink.assign(static_cast<size_t>(new_w) * new_h, 0);
+  if (in.width == 0 || in.height == 0) return out;
+  for (int y = 0; y < new_h; ++y) {
+    const int sy = std::min(in.height - 1, y * in.height / new_h);
+    for (int x = 0; x < new_w; ++x) {
+      const int sx = std::min(in.width - 1, x * in.width / new_w);
+      out.ink[static_cast<size_t>(y) * new_w + x] =
+          in.ink[static_cast<size_t>(sy) * in.width + sx];
+    }
+  }
+  return out;
+}
+
+InkMask MaskFromFrame(const image::Frame& frame, double luma_threshold) {
+  InkMask mask;
+  mask.width = frame.width();
+  mask.height = frame.height();
+  mask.ink.assign(static_cast<size_t>(mask.width) * mask.height, 0);
+  for (int y = 0; y < mask.height; ++y) {
+    for (int x = 0; x < mask.width; ++x) {
+      mask.ink[static_cast<size_t>(y) * mask.width + x] =
+          image::Luma(frame.At(x, y)) > luma_threshold ? 1 : 0;
+    }
+  }
+  return mask;
+}
+
+/// Extracts the sub-mask covering [x0,x1]x[y0,y1] (inclusive).
+InkMask SubMask(const InkMask& in, int x0, int y0, int x1, int y1) {
+  InkMask out;
+  out.width = x1 - x0 + 1;
+  out.height = y1 - y0 + 1;
+  out.ink.assign(static_cast<size_t>(out.width) * out.height, 0);
+  for (int y = 0; y < out.height; ++y) {
+    for (int x = 0; x < out.width; ++x) {
+      out.ink[static_cast<size_t>(y) * out.width + x] =
+          in.ink[static_cast<size_t>(y0 + y) * in.width + (x0 + x)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+InkMask BinarizeRegion(const image::Frame& region, double luma_threshold) {
+  return MaskFromFrame(region, luma_threshold);
+}
+
+TextRecognizer::TextRecognizer(std::vector<std::string> vocabulary,
+                               const Options& options)
+    : options_(options), vocabulary_(std::move(vocabulary)) {
+  const auto& font = image::BitmapFont::Get();
+  const int scale =
+      std::max(1, options_.canon_height / image::BitmapFont::kGlyphHeight);
+  references_.reserve(vocabulary_.size());
+  for (const auto& word : vocabulary_) {
+    Reference ref;
+    ref.word = word;
+    ref.char_count = static_cast<int>(word.size());
+    const image::Frame pattern = font.RenderPattern(word, scale);
+    ref.mask = MaskFromFrame(pattern, 128.0);
+    references_.push_back(std::move(ref));
+  }
+}
+
+std::vector<std::vector<CharCell>> TextRecognizer::SegmentWords(
+    const InkMask& mask) const {
+  std::vector<std::vector<CharCell>> words;
+  if (mask.width == 0 || mask.height == 0) return words;
+
+  // Horizontal projection: find text line bands (rows containing ink).
+  std::vector<int> row_ink(mask.height, 0);
+  for (int y = 0; y < mask.height; ++y) {
+    for (int x = 0; x < mask.width; ++x) {
+      row_ink[y] += mask.ink[static_cast<size_t>(y) * mask.width + x];
+    }
+  }
+  struct Line {
+    int y0, y1;
+  };
+  std::vector<Line> lines;
+  int line_start = -1;
+  for (int y = 0; y <= mask.height; ++y) {
+    const bool has = y < mask.height && row_ink[y] > 0;
+    if (has && line_start < 0) line_start = y;
+    if (!has && line_start >= 0) {
+      if (y - line_start >= 4) lines.push_back({line_start, y - 1});
+      line_start = -1;
+    }
+  }
+
+  const int min_col_ink = std::max(
+      1, static_cast<int>(options_.column_ink_fraction * mask.height));
+
+  for (const Line& line : lines) {
+    // Vertical projection restricted to the line band.
+    std::vector<int> col_ink(mask.width, 0);
+    for (int x = 0; x < mask.width; ++x) {
+      for (int y = line.y0; y <= line.y1; ++y) {
+        col_ink[x] += mask.ink[static_cast<size_t>(y) * mask.width + x];
+      }
+    }
+    // Pass 1: raw runs of ink columns.
+    struct Run {
+      int x0, x1;
+    };
+    std::vector<Run> runs;
+    int run_start = -1;
+    for (int x = 0; x <= mask.width; ++x) {
+      const bool has = x < mask.width && col_ink[x] >= min_col_ink;
+      if (has && run_start < 0) run_start = x;
+      if (!has && run_start >= 0) {
+        runs.push_back(Run{run_start, x - 1});
+        run_start = -1;
+      }
+    }
+    // Pass 2: merge runs split by brief sub-threshold columns into
+    // characters, then group characters into words by gap size.
+    const size_t first_word_of_line = words.size();
+    std::vector<CharCell> current_word;
+    auto flush_word = [&]() {
+      if (!current_word.empty()) words.push_back(std::move(current_word));
+      current_word.clear();
+    };
+    for (const Run& run : runs) {
+      const int gap = current_word.empty()
+                          ? 0
+                          : run.x0 - current_word.back().x1 - 1;
+      if (!current_word.empty() && gap < options_.char_merge_columns) {
+        current_word.back().x1 = run.x1;  // same character, resume stroke
+        continue;
+      }
+      if (!current_word.empty() && gap >= options_.word_gap_columns) {
+        flush_word();
+      }
+      CharCell cell;
+      cell.x0 = run.x0;
+      cell.x1 = run.x1;
+      current_word.push_back(cell);
+    }
+    flush_word();
+    // Pass 3: double vertical projection — per-character row bounds
+    // (restricted to this line's words).
+    for (size_t w = first_word_of_line; w < words.size(); ++w) {
+      for (CharCell& cell : words[w]) {
+        int cy0 = line.y1;
+        int cy1 = line.y0;
+        for (int yy = line.y0; yy <= line.y1; ++yy) {
+          for (int xx = cell.x0; xx <= cell.x1; ++xx) {
+            if (mask.ink[static_cast<size_t>(yy) * mask.width + xx] != 0) {
+              cy0 = std::min(cy0, yy);
+              cy1 = std::max(cy1, yy);
+            }
+          }
+        }
+        cell.y0 = cy0;
+        cell.y1 = std::max(cy1, cy0);
+      }
+    }
+  }
+  return words;
+}
+
+namespace {
+
+/// 3x3 dilation of a binary mask.
+InkMask Dilate(const InkMask& in) {
+  InkMask out = in;
+  for (int y = 0; y < in.height; ++y) {
+    for (int x = 0; x < in.width; ++x) {
+      if (in.ink[static_cast<size_t>(y) * in.width + x] == 0) continue;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int yy = y + dy;
+          const int xx = x + dx;
+          if (yy >= 0 && yy < in.height && xx >= 0 && xx < in.width) {
+            out.ink[static_cast<size_t>(yy) * in.width + xx] = 1;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Fraction of ink pixels of `a` that fall on (dilated) ink of `b`.
+double InkCoverage(const InkMask& a, const InkMask& b_dilated) {
+  size_t ink = 0;
+  size_t covered = 0;
+  for (size_t i = 0; i < a.ink.size(); ++i) {
+    if (a.ink[i] == 0) continue;
+    ++ink;
+    if (b_dilated.ink[i] != 0) ++covered;
+  }
+  return ink > 0 ? static_cast<double>(covered) / ink : 0.0;
+}
+
+}  // namespace
+
+double TextRecognizer::Similarity(const InkMask& region,
+                                  const InkMask& reference) {
+  if (reference.width == 0 || reference.height == 0) return 0.0;
+  const InkMask scaled = ResizeMask(region, reference.width, reference.height);
+  // Symmetric dilation-tolerant match: strict pixel intersection punishes
+  // thin-stroke glyphs for sub-pixel misalignment after rescaling, so each
+  // side's ink is scored against the other's 1-px neighbourhood and the
+  // harmonic mean combines them.
+  const double a_in_b = InkCoverage(scaled, Dilate(reference));
+  const double b_in_a = InkCoverage(reference, Dilate(scaled));
+  if (a_in_b + b_in_a <= 0.0) return 0.0;
+  return 2.0 * a_in_b * b_in_a / (a_in_b + b_in_a);
+}
+
+std::vector<RecognizedWord> TextRecognizer::Recognize(
+    const image::Frame& region) const {
+  std::vector<RecognizedWord> out;
+  const InkMask mask = BinarizeRegion(region, options_.binarize_luma);
+  const auto words = SegmentWords(mask);
+  for (const auto& cells : words) {
+    if (cells.empty()) continue;
+    int x0 = cells.front().x0;
+    int x1 = cells.back().x1;
+    int y0 = cells.front().y0;
+    int y1 = cells.front().y1;
+    for (const CharCell& c : cells) {
+      y0 = std::min(y0, c.y0);
+      y1 = std::max(y1, c.y1);
+    }
+    const InkMask word_mask = SubMask(mask, x0, y0, x1, y1);
+    const int char_count = static_cast<int>(cells.size());
+
+    // Length-bucketed pattern matching: only compare against references of
+    // similar length (counting non-space characters per word token; the
+    // vocabulary stores multi-word phrases as separate tokens upstream).
+    const Reference* best = nullptr;
+    double best_score = 0.0;
+    for (const Reference& ref : references_) {
+      if (std::abs(ref.char_count - char_count) > options_.length_tolerance) {
+        continue;
+      }
+      const double s = Similarity(word_mask, ref.mask);
+      if (s > best_score) {
+        best_score = s;
+        best = &ref;
+      }
+    }
+    if (best != nullptr && best_score >= options_.accept_threshold) {
+      out.push_back(RecognizedWord{best->word, best_score, x0, y0});
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::text

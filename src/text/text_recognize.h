@@ -1,0 +1,98 @@
+#ifndef COBRA_TEXT_TEXT_RECOGNIZE_H_
+#define COBRA_TEXT_TEXT_RECOGNIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "image/font.h"
+#include "image/frame.h"
+
+namespace cobra::text {
+
+/// A recognized caption word.
+struct RecognizedWord {
+  std::string text;
+  double score = 0.0;  // pattern-match similarity in [0, 1]
+  int x = 0;           // left edge in the refined region
+  int y = 0;           // top edge in the refined region
+};
+
+/// Binary ink mask of a region (row-major, 1 = ink).
+struct InkMask {
+  int width = 0;
+  int height = 0;
+  std::vector<uint8_t> ink;
+};
+
+/// Thresholds the refined RGB text region into an ink mask (bright
+/// characters over the shaded background).
+InkMask BinarizeRegion(const image::Frame& region, double luma_threshold = 150.0);
+
+/// A segmented character cell (column range within a line).
+struct CharCell {
+  int x0 = 0, x1 = 0;  // inclusive column range
+  int y0 = 0, y1 = 0;  // inclusive row range after the double projection
+};
+
+/// Pattern-matching word recognizer. Reference patterns are rendered from
+/// the shared bitmap font. Since broadcast characters "are usually irregular
+/// and can be occluded or deformed", matching is done on whole *word
+/// regions* (characters grouped by pixel distance), bucketed by word length
+/// to cut the search space, with a plain pixel-difference metric and an
+/// acceptance threshold — exactly the paper's scheme.
+class TextRecognizer {
+ public:
+  struct Options {
+    /// Minimum white-pixel count for a column to count as ink in the
+    /// vertical projection, as a fraction of region height.
+    double column_ink_fraction = 0.02;
+    /// Luma threshold separating character ink from the shaded band.
+    double binarize_luma = 170.0;
+    /// Column runs separated by less than this merge into one character
+    /// (interpolation can briefly drop a glyph column under the ink
+    /// threshold).
+    int char_merge_columns = 5;
+    /// Gap (in columns) separating two words; gaps between characters of
+    /// one word are smaller. Measured on the 4x refined region.
+    int word_gap_columns = 20;
+    /// Words only match reference patterns whose character count differs by
+    /// at most this much (the paper buckets by similar length).
+    int length_tolerance = 1;
+    /// Minimum similarity for a match.
+    double accept_threshold = 0.62;
+    /// Canonical size word regions are resized to before comparison.
+    int canon_height = 28;
+  };
+
+  /// Builds a recognizer over a fixed vocabulary (driver names and
+  /// informative words such as PIT STOP, FINAL LAP, WINNER...).
+  TextRecognizer(std::vector<std::string> vocabulary, const Options& options);
+  explicit TextRecognizer(std::vector<std::string> vocabulary)
+      : TextRecognizer(std::move(vocabulary), Options()) {}
+
+  /// Runs segmentation + matching over a refined text region.
+  std::vector<RecognizedWord> Recognize(const image::Frame& region) const;
+
+  /// Segments the mask into word regions (exposed for tests).
+  std::vector<std::vector<CharCell>> SegmentWords(const InkMask& mask) const;
+
+  const std::vector<std::string>& vocabulary() const { return vocabulary_; }
+
+ private:
+  struct Reference {
+    std::string word;
+    int char_count = 0;
+    InkMask mask;  // canonical-height rendering
+  };
+
+  /// Similarity in [0,1] between a word-region mask and a reference.
+  static double Similarity(const InkMask& region, const InkMask& reference);
+
+  Options options_;
+  std::vector<std::string> vocabulary_;
+  std::vector<Reference> references_;
+};
+
+}  // namespace cobra::text
+
+#endif  // COBRA_TEXT_TEXT_RECOGNIZE_H_

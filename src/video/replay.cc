@@ -1,0 +1,68 @@
+#include "video/replay.h"
+
+#include <algorithm>
+
+#include "image/histogram.h"
+
+namespace cobra::video {
+
+bool ReplayDetector::IsStripeFrame(
+    const std::vector<double>& column_motion) const {
+  if (column_motion.empty()) return false;
+  std::vector<double> sorted = column_motion;
+  std::sort(sorted.begin(), sorted.end());
+  const double peak = sorted.back();
+  const double median = sorted[sorted.size() / 2];
+  return peak > options_.stripe_threshold &&
+         median < options_.background_threshold;
+}
+
+bool ReplayDetector::Push(const image::Frame& frame) {
+  bool dve_now = false;
+  if (has_prev_ && frame.width() == prev_.width() &&
+      frame.height() == prev_.height()) {
+    const auto columns =
+        image::BlockMotion(prev_, frame, options_.grid_columns, 1);
+    if (IsStripeFrame(columns)) {
+      ++stripe_run_;
+    } else {
+      stripe_run_ = 0;
+    }
+    dve_now = stripe_run_ >= options_.min_stripe_frames;
+  }
+  prev_ = frame;
+  has_prev_ = true;
+
+  ++frames_since_dve_;
+  if (dve_now) {
+    if (!dve_latched_ && frames_since_dve_ > options_.merge_frames) {
+      dve_latched_ = true;
+      if (!in_replay_) {
+        in_replay_ = true;
+        frames_in_replay_ = 0;
+      } else {
+        in_replay_ = false;
+      }
+    }
+    frames_since_dve_ = 0;
+  } else {
+    dve_latched_ = false;
+  }
+
+  if (in_replay_) {
+    ++frames_in_replay_;
+    if (frames_in_replay_ > options_.max_replay_frames) in_replay_ = false;
+  }
+  return in_replay_;
+}
+
+void ReplayDetector::Reset() {
+  has_prev_ = false;
+  stripe_run_ = 0;
+  dve_latched_ = false;
+  in_replay_ = false;
+  frames_in_replay_ = 0;
+  frames_since_dve_ = 0;
+}
+
+}  // namespace cobra::video

@@ -1,0 +1,52 @@
+#include "video/shot_detection.h"
+
+namespace cobra::video {
+
+bool ShotBoundaryDetector::Push(const image::Frame& frame) {
+  image::ColorHistogram h =
+      image::ComputeHistogram(frame, options_.histogram_bins);
+  bool boundary = false;
+  if (!history_.empty()) {
+    const double pair_dist = image::HistogramDistance(history_.back(), h);
+    double window_dist = 0.0;
+    for (const auto& prev : history_) {
+      window_dist += image::HistogramDistance(prev, h);
+    }
+    window_dist /= static_cast<double>(history_.size());
+    const bool far_enough =
+        !has_boundary_ ||
+        frame_index_ - last_boundary_ >= options_.min_shot_frames;
+    if (pair_dist > options_.pair_threshold &&
+        window_dist > options_.window_threshold && far_enough) {
+      boundary = true;
+      last_boundary_ = frame_index_;
+      has_boundary_ = true;
+      // A boundary invalidates the look-back window (new shot content).
+      history_.clear();
+    }
+  }
+  history_.push_back(std::move(h));
+  while (history_.size() > options_.window) history_.pop_front();
+  ++frame_index_;
+  return boundary;
+}
+
+void ShotBoundaryDetector::Reset() {
+  history_.clear();
+  frame_index_ = 0;
+  last_boundary_ = 0;
+  has_boundary_ = false;
+}
+
+std::vector<size_t> DetectShotBoundaries(
+    const std::vector<image::Frame>& frames,
+    const ShotBoundaryDetector::Options& options) {
+  ShotBoundaryDetector detector(options);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    if (detector.Push(frames[i])) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace cobra::video

@@ -1,0 +1,175 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audio/clip_features.h"
+#include "audio/endpoint.h"
+#include "audio/mfcc.h"
+#include "audio/pitch.h"
+#include "audio/short_time_energy.h"
+#include "base/rng.h"
+
+namespace cobra::audio {
+namespace {
+
+std::vector<double> Harmonics(double f0, double rate, size_t n, double amp,
+                              int count = 10) {
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / rate;
+    for (int k = 1; k <= count; ++k) {
+      out[i] += amp / k * std::sin(2.0 * M_PI * f0 * k * t);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Noise(size_t n, double amp, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = amp * (rng.Uniform() * 2.0 - 1.0);
+  return out;
+}
+
+TEST(SteTest, SilenceIsZero) {
+  std::vector<double> silence(220, 0.0);
+  EXPECT_DOUBLE_EQ(ShortTimeEnergy(silence), 0.0);
+}
+
+TEST(SteTest, ScalesWithAmplitudeSquared) {
+  auto quiet = Harmonics(200, 22050, 220, 0.1);
+  auto loud = Harmonics(200, 22050, 220, 0.4);
+  const double ratio = ShortTimeEnergy(loud) / ShortTimeEnergy(quiet);
+  EXPECT_NEAR(ratio, 16.0, 1.0);
+}
+
+TEST(SteTest, SeriesCoversFrames) {
+  auto sig = Harmonics(200, 22050, 2205, 0.2);
+  auto series = ShortTimeEnergySeries(sig, 220);
+  EXPECT_EQ(series.size(), 10u);
+  for (double v : series) EXPECT_GT(v, 0.0);
+}
+
+TEST(PitchTest, RecoversFundamental) {
+  PitchTracker tracker;
+  for (double f0 : {110.0, 160.0, 230.0, 300.0}) {
+    auto window = Harmonics(f0, 22050, 441, 0.3);
+    const double estimate = tracker.EstimateWindow(window);
+    EXPECT_NEAR(estimate, f0, f0 * 0.08) << "f0=" << f0;
+  }
+}
+
+TEST(PitchTest, NoiseIsUnvoiced) {
+  PitchTracker tracker;
+  auto noise = Noise(441, 0.3, 17);
+  EXPECT_EQ(tracker.EstimateWindow(noise), 0.0);
+}
+
+TEST(PitchTest, SilenceIsUnvoiced) {
+  PitchTracker tracker;
+  std::vector<double> silence(441, 0.0);
+  EXPECT_EQ(tracker.EstimateWindow(silence), 0.0);
+}
+
+TEST(MfccTest, OutputArity) {
+  MfccExtractor mfcc;
+  auto coeffs = mfcc.Compute(Harmonics(150, 22050, 220, 0.3));
+  EXPECT_EQ(coeffs.size(), 12u);
+}
+
+TEST(MfccTest, DistinguishesSpectralShapes) {
+  MfccExtractor mfcc;
+  auto voiced = mfcc.Compute(Harmonics(150, 22050, 220, 0.3));
+  auto noise = mfcc.Compute(Noise(220, 0.3, 3));
+  // The shape coefficients should differ substantially.
+  double diff = 0.0;
+  for (size_t c = 1; c < 4; ++c) diff += std::abs(voiced[c] - noise[c]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(EndpointTest, SpeechPassesNoiseFails) {
+  // Per-frame STE for speech-like levels vs background noise levels.
+  std::vector<double> speech_ste(10, 0.02);
+  std::vector<double> noise_ste(10, 3e-4);
+  MfccExtractor mfcc;
+  std::vector<std::vector<double>> speech_mfcc, noise_mfcc;
+  Rng rng(5);
+  for (int f = 0; f < 10; ++f) {
+    speech_mfcc.push_back(
+        mfcc.Compute(Harmonics(140 + 20 * (f % 3), 22050, 220, 0.3)));
+    noise_mfcc.push_back(mfcc.Compute(Noise(220, 0.05, 100 + f)));
+  }
+  EndpointOptions options;
+  auto speech = DetectSpeechEndpoint(speech_ste, speech_mfcc, options);
+  auto noise = DetectSpeechEndpoint(noise_ste, noise_mfcc, options);
+  EXPECT_TRUE(speech.is_speech);
+  EXPECT_FALSE(noise.is_speech);
+  EXPECT_GT(speech.ste_metric, noise.ste_metric);
+}
+
+TEST(EndpointTest, EmptyInputIsNotSpeech) {
+  auto result = DetectSpeechEndpoint({}, {}, EndpointOptions());
+  EXPECT_FALSE(result.is_speech);
+}
+
+class ClipAnalyzerTest : public ::testing::Test {
+ protected:
+  ClipAnalyzer analyzer_;
+};
+
+TEST_F(ClipAnalyzerTest, SpeechClipDetected) {
+  // 0.1 s of voiced speech plus a little noise.
+  auto clip = Harmonics(150, 22050, 2205, 0.25);
+  auto noise = Noise(2205, 0.03, 9);
+  for (size_t i = 0; i < clip.size(); ++i) clip[i] += noise[i];
+  auto features = analyzer_.Analyze(clip);
+  EXPECT_TRUE(features.is_speech);
+  EXPECT_LT(features.pause_rate, 0.3);
+  EXPECT_GT(features.pitch_avg, 100.0);
+}
+
+TEST_F(ClipAnalyzerTest, NoiseClipRejected) {
+  auto clip = Noise(2205, 0.05, 11);
+  auto features = analyzer_.Analyze(clip);
+  EXPECT_FALSE(features.is_speech);
+}
+
+TEST_F(ClipAnalyzerTest, ExcitedHasHigherMidbandSteAndPitch) {
+  auto normal = Harmonics(115, 22050, 2205, 0.22, 16);
+  auto excited = Harmonics(230, 22050, 2205, 0.45, 16);
+  auto f_normal = analyzer_.Analyze(normal);
+  auto f_excited = analyzer_.Analyze(excited);
+  EXPECT_GT(f_excited.ste_avg, f_normal.ste_avg * 2.0);
+  EXPECT_GT(f_excited.pitch_avg, f_normal.pitch_avg * 1.5);
+}
+
+TEST_F(ClipAnalyzerTest, AnalyzeSignalSplitsClips) {
+  auto sig = Harmonics(150, 22050, 22050, 0.2);  // 1 s
+  auto clips = analyzer_.AnalyzeSignal(sig);
+  EXPECT_EQ(clips.size(), 10u);
+}
+
+TEST_F(ClipAnalyzerTest, TooShortClipIsEmptyFeatures) {
+  std::vector<double> tiny(10, 0.1);
+  auto features = analyzer_.Analyze(tiny);
+  EXPECT_FALSE(features.is_speech);
+  EXPECT_EQ(features.ste_avg, 0.0);
+}
+
+// Property sweep: pitch tracking across the announcer range.
+class PitchSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PitchSweep, TracksWithinTolerance) {
+  PitchTracker tracker;
+  const double f0 = GetParam();
+  auto window = Harmonics(f0, 22050, 441, 0.3);
+  EXPECT_NEAR(tracker.EstimateWindow(window), f0, f0 * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AnnouncerRange, PitchSweep,
+                         ::testing::Values(90.0, 120.0, 150.0, 180.0, 210.0,
+                                           240.0, 280.0, 320.0));
+
+}  // namespace
+}  // namespace cobra::audio

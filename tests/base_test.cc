@@ -1,0 +1,185 @@
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/mathutil.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "base/thread_pool.h"
+
+namespace cobra {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  COBRA_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(2);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(3);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Categorical(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(5);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(MathTest, MeanStdDev) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(DynamicRange(v), 3.0);
+  EXPECT_DOUBLE_EQ(MaxOf(v), 4.0);
+}
+
+TEST(MathTest, EmptyVectorsAreZero) {
+  std::vector<double> v;
+  EXPECT_EQ(Mean(v), 0.0);
+  EXPECT_EQ(StdDev(v), 0.0);
+  EXPECT_EQ(DynamicRange(v), 0.0);
+}
+
+TEST(MathTest, NormalizeInPlace) {
+  std::vector<double> v = {1.0, 3.0};
+  NormalizeInPlace(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  std::vector<double> zeros = {0.0, 0.0};
+  NormalizeInPlace(zeros);
+  EXPECT_DOUBLE_EQ(zeros[0], 0.5);
+}
+
+TEST(MathTest, LogSumExpStable) {
+  std::vector<double> v = {-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(v), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, SigmoidSymmetry) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+}
+
+TEST(StringsTest, SplitTrimJoin) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrTrim("  hi \t"), "hi");
+  EXPECT_EQ(StrJoin({"x", "y"}, "-"), "x-y");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToUpperAscii("Pit Stop"), "PIT STOP");
+  EXPECT_EQ(ToLowerAscii("ABC"), "abc");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("highlight", "high"));
+  EXPECT_FALSE(StartsWith("hi", "high"));
+  EXPECT_TRUE(EndsWith("race.avi", ".avi"));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(0, 50, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cobra

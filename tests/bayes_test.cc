@@ -1,0 +1,434 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "bayes/cpt.h"
+#include "bayes/dbn.h"
+#include "bayes/network.h"
+
+namespace cobra::bayes {
+namespace {
+
+TEST(MixedRadixTest, EncodeDecodeRoundTrip) {
+  MixedRadix radix({2, 3, 4});
+  EXPECT_EQ(radix.size(), 24u);
+  std::vector<int> digits;
+  for (size_t i = 0; i < radix.size(); ++i) {
+    radix.Decode(i, &digits);
+    EXPECT_EQ(radix.Encode(digits), i);
+  }
+}
+
+TEST(MixedRadixTest, LastDigitFastest) {
+  MixedRadix radix({2, 3});
+  EXPECT_EQ(radix.Encode({0, 0}), 0u);
+  EXPECT_EQ(radix.Encode({0, 1}), 1u);
+  EXPECT_EQ(radix.Encode({1, 0}), 3u);
+}
+
+TEST(CptTest, RowsNormalize) {
+  Cpt cpt({2}, 3);
+  EXPECT_EQ(cpt.num_rows(), 2u);
+  ASSERT_TRUE(cpt.SetRow(0, {2.0, 1.0, 1.0}).ok());
+  EXPECT_DOUBLE_EQ(cpt.P(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(cpt.P(0, 1), 0.25);
+}
+
+TEST(CptTest, SetFromCountsSmooths) {
+  Cpt cpt({}, 2);
+  std::vector<double> counts = {3.0, 1.0};
+  cpt.SetFromCounts(counts, 0.0);
+  EXPECT_NEAR(cpt.P(0, 0), 0.75, 1e-12);
+}
+
+// Classic sprinkler fragment: C -> R, C -> S; manual posterior check.
+class SprinklerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    c_ = net_.AddNode("cloudy", 2, /*is_evidence=*/false);
+    r_ = net_.AddNode("rain", 2, /*is_evidence=*/true);
+    s_ = net_.AddNode("sprinkler", 2, /*is_evidence=*/true);
+    ASSERT_TRUE(net_.AddEdge(c_, r_).ok());
+    ASSERT_TRUE(net_.AddEdge(c_, s_).ok());
+    ASSERT_TRUE(net_.Finalize().ok());
+    ASSERT_TRUE(net_.cpt(c_).SetRow(0, {0.5, 0.5}).ok());
+    // P(rain | cloudy): rows indexed by cloudy state.
+    ASSERT_TRUE(net_.cpt(r_).SetRow(0, {0.8, 0.2}).ok());
+    ASSERT_TRUE(net_.cpt(r_).SetRow(1, {0.2, 0.8}).ok());
+    ASSERT_TRUE(net_.cpt(s_).SetRow(0, {0.5, 0.5}).ok());
+    ASSERT_TRUE(net_.cpt(s_).SetRow(1, {0.9, 0.1}).ok());
+  }
+
+  BayesianNetwork net_;
+  NodeId c_ = -1, r_ = -1, s_ = -1;
+};
+
+TEST_F(SprinklerTest, PriorWithoutEvidence) {
+  auto post = net_.Posterior(c_, Evidence{});
+  ASSERT_TRUE(post.ok());
+  EXPECT_NEAR((*post)[0], 0.5, 1e-12);
+}
+
+TEST_F(SprinklerTest, HardEvidencePosterior) {
+  Evidence e;
+  e.hard[r_] = 1;  // rain observed
+  auto post = net_.Posterior(c_, e);
+  ASSERT_TRUE(post.ok());
+  // P(C=1 | R=1) = 0.8*0.5 / (0.8*0.5 + 0.2*0.5) = 0.8.
+  EXPECT_NEAR((*post)[1], 0.8, 1e-12);
+}
+
+TEST_F(SprinklerTest, SoftEvidenceInterpolates) {
+  Evidence hard;
+  hard.hard[r_] = 1;
+  Evidence soft;
+  soft.SetBinary(r_, 1.0);  // likelihood (0,1) == hard evidence
+  auto p_hard = net_.Posterior(c_, hard);
+  auto p_soft = net_.Posterior(c_, soft);
+  ASSERT_TRUE(p_hard.ok());
+  ASSERT_TRUE(p_soft.ok());
+  EXPECT_NEAR((*p_hard)[1], (*p_soft)[1], 1e-12);
+
+  Evidence weak;
+  weak.SetBinary(r_, 0.5);  // uninformative likelihood
+  auto p_weak = net_.Posterior(c_, weak);
+  ASSERT_TRUE(p_weak.ok());
+  EXPECT_NEAR((*p_weak)[1], 0.5, 1e-12);
+}
+
+TEST_F(SprinklerTest, CombinedEvidence) {
+  Evidence e;
+  e.hard[r_] = 1;
+  e.hard[s_] = 1;
+  auto post = net_.Posterior(c_, e);
+  ASSERT_TRUE(post.ok());
+  // P(C=1|R=1,S=1) ~ 0.5*0.8*0.1 / (0.5*0.8*0.1 + 0.5*0.2*0.5) = 0.4444...
+  EXPECT_NEAR((*post)[1], 0.8 * 0.1 / (0.8 * 0.1 + 0.2 * 0.5), 1e-12);
+}
+
+TEST_F(SprinklerTest, LogLikelihoodMatchesManualSum) {
+  Evidence e;
+  e.hard[r_] = 1;
+  auto ll = net_.LogLikelihood(e);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_NEAR(*ll, std::log(0.5 * 0.2 + 0.5 * 0.8), 1e-12);
+}
+
+TEST_F(SprinklerTest, QueryOnAbsorbedLeafIsRejected) {
+  auto post = net_.Posterior(r_, Evidence{});
+  EXPECT_FALSE(post.ok());
+}
+
+TEST(BayesianNetworkTest, CycleRejected) {
+  BayesianNetwork net;
+  NodeId a = net.AddNode("a", 2, false);
+  NodeId b = net.AddNode("b", 2, false);
+  ASSERT_TRUE(net.AddEdge(a, b).ok());
+  ASSERT_TRUE(net.AddEdge(b, a).ok());
+  EXPECT_FALSE(net.Finalize().ok());
+}
+
+TEST(BayesianNetworkTest, FindNodeByName) {
+  BayesianNetwork net;
+  net.AddNode("alpha", 2, false);
+  NodeId b = net.AddNode("beta", 2, true);
+  ASSERT_TRUE(net.Finalize().ok());
+  EXPECT_EQ(net.FindNode("beta"), b);
+  EXPECT_EQ(net.FindNode("gamma"), -1);
+}
+
+TEST(BayesianNetworkTest, EvidenceParentOfQueryIsEnumerated) {
+  // Fig 7b style: evidence nodes point *into* the query node.
+  BayesianNetwork net;
+  NodeId e1 = net.AddNode("e1", 2, true);
+  NodeId e2 = net.AddNode("e2", 2, true);
+  NodeId q = net.AddNode("q", 2, false);
+  ASSERT_TRUE(net.AddEdge(e1, q).ok());
+  ASSERT_TRUE(net.AddEdge(e2, q).ok());
+  ASSERT_TRUE(net.Finalize().ok());
+  ASSERT_TRUE(net.cpt(e1).SetRow(0, {0.5, 0.5}).ok());
+  ASSERT_TRUE(net.cpt(e2).SetRow(0, {0.5, 0.5}).ok());
+  // q = OR-ish of e1, e2.
+  ASSERT_TRUE(net.cpt(q).SetRow(0, {0.9, 0.1}).ok());
+  ASSERT_TRUE(net.cpt(q).SetRow(1, {0.3, 0.7}).ok());
+  ASSERT_TRUE(net.cpt(q).SetRow(2, {0.3, 0.7}).ok());
+  ASSERT_TRUE(net.cpt(q).SetRow(3, {0.05, 0.95}).ok());
+
+  Evidence e;
+  e.hard[e1] = 1;
+  e.hard[e2] = 1;
+  auto post = net.Posterior(q, e);
+  ASSERT_TRUE(post.ok());
+  EXPECT_NEAR((*post)[1], 0.95, 1e-12);
+}
+
+TEST(BayesianNetworkEmTest, LearnsFromCompleteObservations) {
+  // One hidden-free structure: H (supervised) -> E. EM should recover the
+  // conditional from data.
+  BayesianNetwork net;
+  NodeId h = net.AddNode("h", 2, false);
+  NodeId e = net.AddNode("e", 2, true);
+  ASSERT_TRUE(net.AddEdge(h, e).ok());
+  ASSERT_TRUE(net.Finalize().ok());
+  Rng rng(7);
+  net.RandomizeCpts(rng);
+
+  // Generate data from a known model: P(h=1)=0.3, P(e=1|h)= (0.1, 0.9).
+  std::vector<Evidence> samples;
+  Rng data_rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    const int hv = data_rng.Bernoulli(0.3) ? 1 : 0;
+    const int ev = data_rng.Bernoulli(hv == 1 ? 0.9 : 0.1) ? 1 : 0;
+    Evidence sample;
+    sample.hard[h] = hv;
+    sample.hard[e] = ev;
+    samples.push_back(sample);
+  }
+  auto ll = net.TrainEm(samples, {});
+  ASSERT_TRUE(ll.ok());
+  EXPECT_NEAR(net.cpt(h).P(0, 1), 0.3, 0.03);
+  EXPECT_NEAR(net.cpt(e).P(1, 1), 0.9, 0.03);
+  EXPECT_NEAR(net.cpt(e).P(0, 1), 0.1, 0.03);
+}
+
+TEST(BayesianNetworkEmTest, HiddenIntermediateImprovesLikelihood) {
+  // H -> M -> E with M hidden; EM should monotonically improve loglik.
+  BayesianNetwork net;
+  NodeId h = net.AddNode("h", 2, false);
+  NodeId m = net.AddNode("m", 2, false);
+  NodeId e = net.AddNode("e", 2, true);
+  ASSERT_TRUE(net.AddEdge(h, m).ok());
+  ASSERT_TRUE(net.AddEdge(m, e).ok());
+  ASSERT_TRUE(net.Finalize().ok());
+  Rng rng(3);
+  net.RandomizeCpts(rng);
+
+  std::vector<Evidence> samples;
+  Rng data_rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int hv = data_rng.Bernoulli(0.5) ? 1 : 0;
+    const int ev = data_rng.Bernoulli(hv == 1 ? 0.8 : 0.2) ? 1 : 0;
+    Evidence sample;
+    sample.hard[h] = hv;
+    sample.SetBinary(e, ev == 1 ? 0.95 : 0.05);
+    samples.push_back(sample);
+  }
+  BayesianNetwork::EmOptions opts;
+  opts.max_iterations = 1;
+  auto ll1 = net.TrainEm(samples, opts);
+  ASSERT_TRUE(ll1.ok());
+  opts.max_iterations = 20;
+  auto ll2 = net.TrainEm(samples, opts);
+  ASSERT_TRUE(ll2.ok());
+  EXPECT_GE(*ll2, *ll1 - 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// DBN tests
+// ---------------------------------------------------------------------------
+
+/// Builds the simplest DBN: one binary chain node Q with a persistence arc
+/// and one evidence leaf E — structurally an HMM with 2 states.
+DynamicBayesianNetwork MakeHmmLikeDbn(double stay, double emit_true) {
+  BayesianNetwork slice;
+  NodeId q = slice.AddNode("q", 2, false);
+  NodeId e = slice.AddNode("e", 2, true);
+  EXPECT_TRUE(slice.AddEdge(q, e).ok());
+  EXPECT_TRUE(slice.Finalize().ok());
+  EXPECT_TRUE(slice.cpt(q).SetRow(0, {0.5, 0.5}).ok());
+  EXPECT_TRUE(slice.cpt(e).SetRow(0, {emit_true, 1.0 - emit_true}).ok());
+  EXPECT_TRUE(slice.cpt(e).SetRow(1, {1.0 - emit_true, emit_true}).ok());
+  auto dbn = DynamicBayesianNetwork::Create(
+      std::move(slice), {{q, q}});
+  EXPECT_TRUE(dbn.ok());
+  DynamicBayesianNetwork d = std::move(*dbn);
+  NodeId qq = d.slice().FindNode("q");
+  EXPECT_TRUE(d.transition_cpt(qq).SetRow(0, {stay, 1.0 - stay}).ok());
+  EXPECT_TRUE(d.transition_cpt(qq).SetRow(1, {1.0 - stay, stay}).ok());
+  return d;
+}
+
+TEST(DbnTest, FilterMatchesManualHmmForward) {
+  DynamicBayesianNetwork dbn = MakeHmmLikeDbn(0.9, 0.8);
+  const NodeId q = dbn.slice().FindNode("q");
+  const NodeId e = dbn.slice().FindNode("e");
+
+  std::vector<Evidence> seq(3);
+  seq[0].hard[e] = 1;
+  seq[1].hard[e] = 1;
+  seq[2].hard[e] = 0;
+
+  auto result = dbn.Filter(seq, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->query_posterior.size(), 3u);
+
+  // Manual scaled forward for the equivalent HMM.
+  double a0 = 0.5 * 0.2, a1 = 0.5 * 0.8;  // P(e=1|q)
+  double c = a0 + a1;
+  a0 /= c;
+  a1 /= c;
+  EXPECT_NEAR(result->query_posterior[0][1], a1, 1e-12);
+  double loglik = std::log(c);
+  // Step 2: e=1 again.
+  double b0 = (a0 * 0.9 + a1 * 0.1) * 0.2;
+  double b1 = (a0 * 0.1 + a1 * 0.9) * 0.8;
+  c = b0 + b1;
+  b0 /= c;
+  b1 /= c;
+  loglik += std::log(c);
+  EXPECT_NEAR(result->query_posterior[1][1], b1, 1e-12);
+  // Step 3: e=0.
+  double d0 = (b0 * 0.9 + b1 * 0.1) * 0.8;
+  double d1 = (b0 * 0.1 + b1 * 0.9) * 0.2;
+  c = d0 + d1;
+  d1 /= c;
+  loglik += std::log(c);
+  EXPECT_NEAR(result->query_posterior[2][1], d1, 1e-12);
+  EXPECT_NEAR(result->loglik, loglik, 1e-12);
+}
+
+TEST(DbnTest, SmoothedBeatsFilteredAtEarlySteps) {
+  DynamicBayesianNetwork dbn = MakeHmmLikeDbn(0.95, 0.7);
+  const NodeId q = dbn.slice().FindNode("q");
+  const NodeId e = dbn.slice().FindNode("e");
+  // A long run of e=1 should, in hindsight, raise early-step beliefs.
+  std::vector<Evidence> seq(10);
+  for (auto& ev : seq) ev.hard[e] = 1;
+  auto filtered = dbn.Filter(seq, q);
+  auto smoothed = dbn.Smooth(seq, q);
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_GT((*smoothed)[0][1], filtered->query_posterior[0][1]);
+}
+
+TEST(DbnTest, SingleClusterMatchesExact) {
+  DynamicBayesianNetwork dbn = MakeHmmLikeDbn(0.9, 0.8);
+  const NodeId q = dbn.slice().FindNode("q");
+  const NodeId e = dbn.slice().FindNode("e");
+  std::vector<Evidence> seq(5);
+  for (size_t t = 0; t < seq.size(); ++t) seq[t].hard[e] = t % 2;
+  auto exact = dbn.Filter(seq, q);
+  auto clustered = dbn.Filter(seq, q, {{q}});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(clustered.ok());
+  for (size_t t = 0; t < seq.size(); ++t) {
+    EXPECT_NEAR(exact->query_posterior[t][1],
+                clustered->query_posterior[t][1], 1e-12);
+  }
+}
+
+TEST(DbnTest, TemporalArcFromEvidenceRejected) {
+  BayesianNetwork slice;
+  NodeId q = slice.AddNode("q", 2, false);
+  NodeId e = slice.AddNode("e", 2, true);
+  ASSERT_TRUE(slice.AddEdge(q, e).ok());
+  ASSERT_TRUE(slice.Finalize().ok());
+  auto dbn = DynamicBayesianNetwork::Create(std::move(slice), {{e, q}});
+  EXPECT_FALSE(dbn.ok());
+}
+
+TEST(DbnTest, BoyenKollerProjectionIsProductOfMarginals) {
+  // Two chain nodes with coupled transitions; 2-cluster BK should still
+  // produce a valid distribution and match cluster marginals of the exact
+  // belief at the first step after projection.
+  BayesianNetwork slice;
+  NodeId a = slice.AddNode("a", 2, false);
+  NodeId b = slice.AddNode("b", 2, false);
+  NodeId e = slice.AddNode("e", 2, true);
+  ASSERT_TRUE(slice.AddEdge(a, b).ok());
+  ASSERT_TRUE(slice.AddEdge(b, e).ok());
+  ASSERT_TRUE(slice.Finalize().ok());
+  Rng rng(5);
+  slice.RandomizeCpts(rng);
+  auto dbn_or = DynamicBayesianNetwork::Create(
+      std::move(slice), {{a, a}, {b, b}, {a, b}});
+  ASSERT_TRUE(dbn_or.ok());
+  DynamicBayesianNetwork dbn = std::move(*dbn_or);
+  Rng rng2(9);
+  dbn.RandomizeCpts(rng2);
+
+  const NodeId qa = dbn.slice().FindNode("a");
+  const NodeId qb = dbn.slice().FindNode("b");
+  const NodeId qe = dbn.slice().FindNode("e");
+  std::vector<Evidence> seq(6);
+  for (size_t t = 0; t < seq.size(); ++t) seq[t].hard[qe] = (t / 2) % 2;
+
+  auto exact = dbn.Filter(seq, qa);
+  auto bk = dbn.Filter(seq, qa, {{qa}, {qb}});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(bk.ok());
+  for (size_t t = 0; t < seq.size(); ++t) {
+    double sum = 0.0;
+    for (double v : bk->beliefs[t]) {
+      EXPECT_GE(v, -1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Marginals after the first projection agree with the exact marginals at
+  // t=0 (projection preserves cluster marginals).
+  EXPECT_NEAR(bk->query_posterior[0][1], exact->query_posterior[0][1], 1e-9);
+}
+
+TEST(DbnEmTest, RecoversPersistenceFromSyntheticData) {
+  // Generate data from a known HMM-like DBN and check EM recovers the
+  // self-transition bias starting from a perturbed model.
+  DynamicBayesianNetwork truth = MakeHmmLikeDbn(0.9, 0.85);
+  const NodeId q = truth.slice().FindNode("q");
+  const NodeId e = truth.slice().FindNode("e");
+
+  Rng rng(123);
+  std::vector<std::vector<Evidence>> sequences;
+  for (int s = 0; s < 12; ++s) {
+    std::vector<Evidence> seq;
+    int state = rng.Bernoulli(0.5) ? 1 : 0;
+    for (int t = 0; t < 60; ++t) {
+      if (t > 0 && !rng.Bernoulli(0.9)) state = 1 - state;
+      const int obs = rng.Bernoulli(state == 1 ? 0.85 : 0.15) ? 1 : 0;
+      Evidence ev;
+      ev.hard[e] = obs;
+      // Supervise the query node half the time (as when training the
+      // excited-speech node on labeled ground truth).
+      if (t % 2 == 0) ev.hard[q] = state;
+      seq.push_back(ev);
+    }
+    sequences.push_back(std::move(seq));
+  }
+
+  DynamicBayesianNetwork model = MakeHmmLikeDbn(0.6, 0.6);
+  auto ll = model.TrainEm(sequences, {});
+  ASSERT_TRUE(ll.ok());
+  const NodeId mq = model.slice().FindNode("q");
+  // Self-transition should move toward 0.9.
+  const double stay0 = model.transition_cpt(mq).P(0, 0);
+  const double stay1 = model.transition_cpt(mq).P(1, 1);
+  EXPECT_GT(stay0, 0.75);
+  EXPECT_GT(stay1, 0.75);
+}
+
+TEST(DbnEmTest, LikelihoodMonotone) {
+  DynamicBayesianNetwork model = MakeHmmLikeDbn(0.7, 0.6);
+  const NodeId e = model.slice().FindNode("e");
+  Rng rng(77);
+  std::vector<std::vector<Evidence>> sequences(4);
+  for (auto& seq : sequences) {
+    for (int t = 0; t < 40; ++t) {
+      Evidence ev;
+      ev.SetBinary(e, rng.Uniform());
+      seq.push_back(ev);
+    }
+  }
+  DynamicBayesianNetwork::EmOptions opts;
+  opts.max_iterations = 1;
+  auto ll1 = model.TrainEm(sequences, opts);
+  ASSERT_TRUE(ll1.ok());
+  opts.max_iterations = 10;
+  auto ll2 = model.TrainEm(sequences, opts);
+  ASSERT_TRUE(ll2.ok());
+  EXPECT_GE(*ll2, *ll1 - 1e-6);
+}
+
+}  // namespace
+}  // namespace cobra::bayes

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cobra/video_model.h"
+#include "kernel/catalog.h"
+
+namespace cobra::model {
+namespace {
+
+class VideoCatalogTest : public ::testing::Test {
+ protected:
+  kernel::Catalog kernel_catalog_;
+  VideoCatalog catalog_{&kernel_catalog_};
+};
+
+TEST_F(VideoCatalogTest, RegisterAndFindVideo) {
+  auto id = catalog_.RegisterVideo("german-gp", 5400.0);
+  ASSERT_TRUE(id.ok());
+  auto video = catalog_.FindVideo("german-gp");
+  ASSERT_TRUE(video.ok());
+  EXPECT_EQ(video->id, *id);
+  EXPECT_DOUBLE_EQ(video->duration_sec, 5400.0);
+  EXPECT_FALSE(catalog_.RegisterVideo("german-gp", 1.0).ok());
+  EXPECT_FALSE(catalog_.FindVideo("monaco-gp").ok());
+}
+
+TEST_F(VideoCatalogTest, FeatureLayerRoundTrip) {
+  auto id = catalog_.RegisterVideo("race", 100.0);
+  ASSERT_TRUE(id.ok());
+  std::vector<double> series = {0.1, 0.9, 0.5};
+  ASSERT_TRUE(catalog_.StoreFeatureSeries(*id, "motion", series).ok());
+  EXPECT_TRUE(catalog_.HasFeature(*id, "motion"));
+  EXPECT_FALSE(catalog_.HasFeature(*id, "pitch"));
+  auto loaded = catalog_.LoadFeatureSeries(*id, "motion");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, series);
+  auto names = catalog_.FeatureNames(*id);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "motion");
+}
+
+TEST_F(VideoCatalogTest, FeatureOverwrite) {
+  auto id = catalog_.RegisterVideo("race", 100.0);
+  ASSERT_TRUE(catalog_.StoreFeatureSeries(*id, "f", {1.0}).ok());
+  ASSERT_TRUE(catalog_.StoreFeatureSeries(*id, "f", {2.0, 3.0}).ok());
+  auto loaded = catalog_.LoadFeatureSeries(*id, "f");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST_F(VideoCatalogTest, EventLayerStoresAndFilters) {
+  auto id = catalog_.RegisterVideo("race", 100.0);
+  EventRecord highlight;
+  highlight.type = "highlight";
+  highlight.begin_sec = 30.0;
+  highlight.end_sec = 40.0;
+  highlight.attrs["driver"] = "ALESI";
+  ASSERT_TRUE(catalog_.StoreEvent(*id, highlight).ok());
+  EventRecord pitstop;
+  pitstop.type = "pitstop";
+  pitstop.begin_sec = 10.0;
+  pitstop.end_sec = 20.0;
+  ASSERT_TRUE(catalog_.StoreEvent(*id, pitstop).ok());
+
+  EXPECT_TRUE(catalog_.HasEvents(*id, "highlight"));
+  EXPECT_FALSE(catalog_.HasEvents(*id, "flyout"));
+  auto all = catalog_.Events(*id);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].type, "pitstop");  // sorted by begin time
+  auto highlights = catalog_.Events(*id, "highlight");
+  ASSERT_TRUE(highlights.ok());
+  ASSERT_EQ(highlights->size(), 1u);
+  EXPECT_EQ((*highlights)[0].attrs.at("driver"), "ALESI");
+}
+
+TEST_F(VideoCatalogTest, DropEvents) {
+  auto id = catalog_.RegisterVideo("race", 100.0);
+  EventRecord e;
+  e.type = "highlight";
+  ASSERT_TRUE(catalog_.StoreEvent(*id, e).ok());
+  ASSERT_TRUE(catalog_.DropEvents(*id, "highlight").ok());
+  EXPECT_FALSE(catalog_.HasEvents(*id, "highlight"));
+}
+
+TEST_F(VideoCatalogTest, ObjectLayer) {
+  auto id = catalog_.RegisterVideo("race", 100.0);
+  ObjectRecord driver;
+  driver.cls = "driver";
+  driver.name = "TRULLI";
+  ASSERT_TRUE(catalog_.StoreObject(*id, driver).ok());
+  auto drivers = catalog_.Objects(*id, "driver");
+  ASSERT_TRUE(drivers.ok());
+  ASSERT_EQ(drivers->size(), 1u);
+  EXPECT_EQ((*drivers)[0].name, "TRULLI");
+  auto cars = catalog_.Objects(*id, "car");
+  ASSERT_TRUE(cars.ok());
+  EXPECT_TRUE(cars->empty());
+}
+
+TEST_F(VideoCatalogTest, FactBridgeRoundTrip) {
+  EventRecord e;
+  e.type = "flyout";
+  e.begin_sec = 12.5;
+  e.end_sec = 19.0;
+  e.confidence = 0.8;
+  e.attrs["driver"] = "PANIS";
+  auto fact = VideoCatalog::ToFact(e);
+  EXPECT_EQ(fact.type, "flyout");
+  EXPECT_DOUBLE_EQ(fact.span.begin, 12.5);
+  auto back = VideoCatalog::FromFact(fact);
+  EXPECT_EQ(back.type, e.type);
+  EXPECT_EQ(back.attrs, e.attrs);
+  EXPECT_DOUBLE_EQ(back.confidence, 0.8);
+}
+
+TEST_F(VideoCatalogTest, EventsStoredInKernelBats) {
+  auto id = catalog_.RegisterVideo("race", 100.0);
+  EventRecord e;
+  e.type = "highlight";
+  ASSERT_TRUE(catalog_.StoreEvent(*id, e).ok());
+  // The decomposed event relation lives in the kernel catalog.
+  auto types = kernel_catalog_.Get("event.type");
+  ASSERT_TRUE(types.ok());
+  EXPECT_EQ((*types)->size(), 1u);
+  EXPECT_EQ((*types)->StrAt(0), "highlight");
+}
+
+}  // namespace
+}  // namespace cobra::model

@@ -1,0 +1,170 @@
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.h"
+#include "dsp/filter.h"
+#include "dsp/spectral.h"
+#include "dsp/window.h"
+
+namespace cobra::dsp {
+namespace {
+
+std::vector<double> Sine(double freq, double rate, size_t n,
+                         double amp = 1.0) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = amp * std::sin(2.0 * M_PI * freq * i / rate);
+  }
+  return out;
+}
+
+TEST(FftTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+TEST(FftTest, DeltaHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  Fft(data);
+  for (const auto& v : data) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(FftTest, InverseRecovers) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 16; ++i) data.emplace_back(std::sin(i * 0.7), 0.0);
+  auto original = data;
+  Fft(data);
+  Fft(data, /*inverse=*/true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, SinePeakAtExpectedBin) {
+  const double rate = 1024.0;
+  auto sine = Sine(128.0, rate, 1024);
+  auto power = PowerSpectrum(sine);
+  size_t peak = 0;
+  for (size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 128u);
+}
+
+TEST(FftTest, ParsevalHolds) {
+  auto sig = Sine(50.0, 512.0, 512, 0.5);
+  double time_energy = 0.0;
+  for (double v : sig) time_energy += v * v;
+  std::vector<std::complex<double>> data(sig.begin(), sig.end());
+  Fft(data);
+  double freq_energy = 0.0;
+  for (auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(time_energy, freq_energy / 512.0, 1e-9);
+}
+
+TEST(WindowTest, HammingEndpoints) {
+  auto w = MakeWindow(WindowType::kHamming, 11);
+  EXPECT_NEAR(w[0], 0.08, 1e-9);
+  EXPECT_NEAR(w[10], 0.08, 1e-9);
+  EXPECT_NEAR(w[5], 1.0, 1e-9);
+}
+
+TEST(WindowTest, HannZeroEndpoints) {
+  auto w = MakeWindow(WindowType::kHann, 9);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[4], 1.0, 1e-12);
+}
+
+TEST(WindowTest, RectangularIsOnes) {
+  auto w = MakeWindow(WindowType::kRectangular, 5);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(FilterTest, LowPassKeepsLowKillsHigh) {
+  const double rate = 8000.0;
+  auto filter = FirFilter::BandPass(0.0, 500.0, rate, 101);
+  auto low = Sine(100.0, rate, 2000);
+  auto high = Sine(3000.0, rate, 2000);
+  auto low_out = filter.Apply(low);
+  auto high_out = filter.Apply(high);
+  double le = 0.0, he = 0.0;
+  for (size_t i = 500; i < 1500; ++i) {
+    le += low_out[i] * low_out[i];
+    he += high_out[i] * high_out[i];
+  }
+  EXPECT_GT(le, 100.0 * he);
+}
+
+TEST(FilterTest, BandPassSelectsBand) {
+  const double rate = 22050.0;
+  auto filter = FirFilter::BandPass(882.0, 2205.0, rate, 101);
+  auto inband = Sine(1500.0, rate, 4000);
+  auto below = Sine(200.0, rate, 4000);
+  auto above = Sine(6000.0, rate, 4000);
+  auto e = [&](const std::vector<double>& s) {
+    auto o = filter.Apply(s);
+    double acc = 0.0;
+    for (size_t i = 1000; i < 3000; ++i) acc += o[i] * o[i];
+    return acc;
+  };
+  EXPECT_GT(e(inband), 20.0 * e(below));
+  EXPECT_GT(e(inband), 20.0 * e(above));
+}
+
+TEST(FilterTest, ExponentialSmoothConverges) {
+  std::vector<double> step(100, 1.0);
+  auto out = ExponentialSmooth(step, 0.9);
+  EXPECT_LT(out[0], 0.2);
+  EXPECT_NEAR(out[99], 1.0, 0.01);
+}
+
+TEST(SpectralTest, AutocorrelationPeakAtPeriod) {
+  const double rate = 22050.0;
+  auto sine = Sine(210.0, rate, 2048);
+  const size_t period = static_cast<size_t>(rate / 210.0);
+  auto r = Autocorrelation(sine, 400);
+  // r[period] should be a strong local peak comparable to r[0].
+  EXPECT_GT(r[period], 0.6 * r[0]);
+}
+
+TEST(SpectralTest, DctConstantSignal) {
+  std::vector<double> flat(16, 2.0);
+  auto dct = DctII(flat, 4);
+  EXPECT_NEAR(dct[0], 32.0, 1e-9);  // sum of the signal
+  EXPECT_NEAR(dct[1], 0.0, 1e-9);
+  EXPECT_NEAR(dct[2], 0.0, 1e-9);
+}
+
+TEST(SpectralTest, ZeroCrossingRateOfSine) {
+  auto sine = Sine(100.0, 1000.0, 1000);
+  // 100 Hz at 1 kHz: ~200 crossings in 1000 samples.
+  EXPECT_NEAR(ZeroCrossingRate(sine), 0.2, 0.02);
+}
+
+TEST(SpectralTest, EntropyLowerForPureTone) {
+  auto tone = Sine(100.0, 1024.0, 1024);
+  std::vector<double> noise(1024);
+  unsigned seed = 12345;
+  for (auto& v : noise) {
+    seed = seed * 1664525u + 1013904223u;
+    v = (static_cast<double>(seed >> 8) / (1 << 24)) - 0.5;
+  }
+  EXPECT_LT(SpectralEntropy(tone), SpectralEntropy(noise));
+}
+
+TEST(SpectralTest, MelScaleRoundTrip) {
+  for (double hz : {100.0, 440.0, 1000.0, 4000.0}) {
+    EXPECT_NEAR(MelToHz(HzToMel(hz)), hz, 1e-6);
+  }
+  EXPECT_LT(HzToMel(200.0) - HzToMel(100.0), 200.0);
+}
+
+}  // namespace
+}  // namespace cobra::dsp

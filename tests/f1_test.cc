@@ -1,0 +1,318 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "f1/audio_synth.h"
+#include "f1/evaluation.h"
+#include "f1/features.h"
+#include "f1/frame_render.h"
+#include "f1/lexicon.h"
+#include "image/analysis.h"
+#include "f1/networks.h"
+#include "f1/timeline.h"
+
+namespace cobra::f1 {
+namespace {
+
+TEST(LexiconTest, VocabulariesNonEmptyAndUpperCase) {
+  EXPECT_GE(DriverNames().size(), 10u);
+  EXPECT_GE(ExcitedKeywords().size(), 20u);  // "a couple of tens of words"
+  for (const auto& w : CaptionVocabulary()) {
+    for (char c : w) EXPECT_TRUE(c >= 'A' && c <= 'Z') << w;
+  }
+}
+
+TEST(TimelineTest, DeterministicForSameProfile) {
+  auto a = GenerateTimeline(RaceProfile::GermanGp(300.0));
+  auto b = GenerateTimeline(RaceProfile::GermanGp(300.0));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].type, b.events[i].type);
+    EXPECT_DOUBLE_EQ(a.events[i].begin, b.events[i].begin);
+  }
+}
+
+TEST(TimelineTest, ContainsRequiredEventTypes) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(600.0));
+  for (const char* type : {"start", "semaphore", "flyout", "passing",
+                           "pitstop", "replay", "excited", "commentary",
+                           "caption"}) {
+    EXPECT_FALSE(timeline.EventsOfType(type).empty()) << type;
+  }
+}
+
+TEST(TimelineTest, UsaGpHasNoFlyouts) {
+  auto timeline = GenerateTimeline(RaceProfile::UsaGp(600.0));
+  EXPECT_TRUE(timeline.EventsOfType("flyout").empty());
+}
+
+TEST(TimelineTest, SemaphoreOverlapsStart) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(300.0));
+  auto sem = timeline.EventsOfType("semaphore");
+  auto start = timeline.EventsOfType("start");
+  ASSERT_EQ(sem.size(), 1u);
+  ASSERT_EQ(start.size(), 1u);
+  EXPECT_LT(sem[0].begin, start[0].begin);
+  EXPECT_GT(sem[0].end, start[0].begin);
+}
+
+TEST(TimelineTest, HighlightsIncludeReplays) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(600.0));
+  std::set<std::string> types;
+  for (const auto& h : timeline.Highlights()) types.insert(h.type);
+  EXPECT_TRUE(types.count("replay"));
+  EXPECT_TRUE(types.count("start"));
+}
+
+TEST(TimelineTest, EventsDoNotOverlapEachOther) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(600.0));
+  auto domain = timeline.Highlights();
+  for (size_t i = 0; i < domain.size(); ++i) {
+    for (size_t j = i + 1; j < domain.size(); ++j) {
+      const bool overlap = domain[i].begin < domain[j].end &&
+                           domain[j].begin < domain[i].end;
+      EXPECT_FALSE(overlap) << domain[i].type << " vs " << domain[j].type;
+    }
+  }
+}
+
+TEST(AudioSynthTest, ClipDeterminism) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(120.0));
+  AudioSynthesizer synth(timeline);
+  auto a = synth.SynthesizeClip(42);
+  auto b = synth.SynthesizeClip(42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AudioSynthTest, SamplesBounded) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(120.0));
+  AudioSynthesizer synth(timeline);
+  for (size_t c = 0; c < 100; c += 7) {
+    for (double v : synth.SynthesizeClip(c)) {
+      EXPECT_LT(std::abs(v), 4.0);
+    }
+  }
+}
+
+TEST(AudioSynthTest, ExcitedClipsLouderOnAverage) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(300.0));
+  AudioSynthesizer synth(timeline);
+  double excited_energy = 0.0, normal_energy = 0.0;
+  int en = 0, nn = 0;
+  for (size_t c = 0; c < synth.num_clips(); ++c) {
+    if (!synth.ClipHasSpeech(c)) continue;
+    double e = 0.0;
+    for (double v : synth.SynthesizeClip(c)) e += v * v;
+    if (synth.ClipIsExcited(c)) {
+      excited_energy += e;
+      ++en;
+    } else {
+      normal_energy += e;
+      ++nn;
+    }
+  }
+  ASSERT_GT(en, 0);
+  ASSERT_GT(nn, 0);
+  EXPECT_GT(excited_energy / en, 1.3 * normal_energy / nn);
+}
+
+TEST(AudioSynthTest, PhoneStreamAlignsWithCommentary) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(120.0));
+  AudioSynthesizer synth(timeline);
+  auto stream = synth.PhoneStream();
+  ASSERT_EQ(stream.size(), timeline.NumClips());
+  int spoken = 0;
+  for (const auto& tok : stream) {
+    if (tok.phone >= 0) {
+      EXPECT_LT(tok.phone, 26);
+      EXPECT_GT(tok.confidence, 0.5);
+      ++spoken;
+    }
+  }
+  EXPECT_GT(spoken, 200);  // plenty of speech in two minutes
+}
+
+TEST(FrameRenderTest, FrameSizeAndDeterminism) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(120.0));
+  FrameRenderer renderer(timeline);
+  auto a = renderer.Render(30.0);
+  auto b = renderer.Render(30.0);
+  EXPECT_EQ(a.width(), 256);
+  EXPECT_EQ(a.height(), 192);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(FrameRenderTest, SemaphoreVisibleBeforeStart) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(120.0));
+  FrameRenderer renderer(timeline);
+  const auto frame = renderer.Render(24.0);  // during the semaphore phase
+  image::Box box;
+  double density = 0.0;
+  EXPECT_TRUE(image::DetectRedRectangle(
+      frame.Crop(0, 0, frame.width(), frame.height() / 2), &box, &density));
+}
+
+TEST(FrameRenderTest, CaptionDrawnDuringCaptionEvent) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(300.0));
+  auto captions = timeline.EventsOfType("caption");
+  ASSERT_FALSE(captions.empty());
+  FrameRenderer renderer(timeline);
+  const double t = (captions[0].begin + captions[0].end) / 2.0;
+  const auto frame = renderer.Render(t);
+  // Bottom band darkened with bright text pixels.
+  int bright = 0;
+  for (int y = frame.height() - frame.height() / 5; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      if (image::Luma(frame.At(x, y)) > 180) ++bright;
+    }
+  }
+  EXPECT_GT(bright, 50);
+}
+
+TEST(EvaluationTest, ExtractSegmentsMergesAndFilters) {
+  std::vector<double> series(200, 0.0);
+  for (int i = 20; i < 80; ++i) series[i] = 0.9;   // 6 s run
+  for (int i = 85; i < 90; ++i) series[i] = 0.9;   // merges (gap 0.5 s)
+  for (int i = 150; i < 160; ++i) series[i] = 0.9; // 1 s: below min duration
+  auto segments = ExtractSegments(series, 0.5, 3.0);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_NEAR(segments[0].begin, 2.0, 1e-9);
+  EXPECT_NEAR(segments[0].end, 9.0, 1e-9);
+}
+
+TEST(EvaluationTest, AccumulateSmooths) {
+  std::vector<double> series = {0, 1, 0, 1, 0, 1};
+  auto smoothed = AccumulateOverTime(series, 2);
+  EXPECT_NEAR(smoothed[1], 0.5, 1e-9);
+  EXPECT_NEAR(smoothed[5], 0.5, 1e-9);
+}
+
+TEST(EvaluationTest, ScoreSegmentsCounts) {
+  std::vector<Segment> truth = {{10, 20}, {50, 60}};
+  std::vector<Segment> detected = {{11, 19}, {30, 35}};
+  auto pr = ScoreSegments(detected, truth);
+  EXPECT_EQ(pr.true_positives, 1);
+  EXPECT_EQ(pr.covered_truth, 1);
+  EXPECT_NEAR(pr.precision, 0.5, 1e-9);
+  EXPECT_NEAR(pr.recall, 0.5, 1e-9);
+}
+
+TEST(EvaluationTest, DegenerateRaceLongDetectionIsNotATruePositive) {
+  std::vector<Segment> truth = {{10, 20}, {50, 60}, {100, 110}};
+  std::vector<Segment> blob = {{0, 600}};
+  auto pr = ScoreSegments(blob, truth);
+  EXPECT_EQ(pr.true_positives, 0);
+  EXPECT_EQ(pr.covered_truth, 0);
+}
+
+TEST(EvaluationTest, AdaptiveThresholdTracksScale) {
+  std::vector<double> low(100, 0.1);
+  low[50] = 0.4;
+  const double thr = AdaptiveThreshold(low);
+  EXPECT_GE(thr, 0.1);
+  EXPECT_LE(thr, 0.55);
+}
+
+TEST(EvaluationTest, ClassifySubEventsPicksMostProbable) {
+  std::vector<double> start(100, 0.1), flyout(100, 0.8);
+  std::map<std::string, const std::vector<double>*> nodes = {
+      {"start", &start}, {"flyout", &flyout}};
+  auto typed = ClassifySubEvents(Segment{2.0, 8.0}, nodes);
+  ASSERT_EQ(typed.size(), 1u);
+  EXPECT_EQ(typed[0].type, "flyout");
+}
+
+TEST(EvaluationTest, LongSegmentsReclassifiedInWindows) {
+  // First half start-ish, second half flyout-ish over a 20 s segment.
+  std::vector<double> start(300, 0.0), flyout(300, 0.0);
+  for (int i = 0; i < 100; ++i) start[i] = 0.9;
+  for (int i = 100; i < 300; ++i) flyout[i] = 0.9;
+  std::map<std::string, const std::vector<double>*> nodes = {
+      {"start", &start}, {"flyout", &flyout}};
+  auto typed = ClassifySubEvents(Segment{0.0, 20.0}, nodes);
+  ASSERT_GE(typed.size(), 2u);
+  EXPECT_EQ(typed.front().type, "start");
+  EXPECT_EQ(typed.back().type, "flyout");
+}
+
+TEST(NetworksTest, AudioSliceStructures) {
+  auto a = BuildAudioSlice(AudioStructure::kFullyParameterized);
+  EXPECT_GE(a.num_nodes(), 14);
+  EXPECT_GE(a.FindNode(kExcitedAnnouncer), 0);
+  EXPECT_EQ(a.enumerated_nodes().size(), 4u);  // EA + 3 intermediates
+
+  auto b = BuildAudioSlice(AudioStructure::kDirectEvidence);
+  const auto ea = b.FindNode(kExcitedAnnouncer);
+  EXPECT_EQ(b.parents(ea).size(), 10u);
+
+  auto c = BuildAudioSlice(AudioStructure::kInputOutput);
+  EXPECT_GE(c.FindNode("in_energy"), 0);
+}
+
+TEST(NetworksTest, TemporalSchemesArcCounts) {
+  auto slice = BuildAudioSlice(AudioStructure::kFullyParameterized);
+  // 4 hidden nodes (EA + 3).
+  auto fig8 = MakeTemporalArcs(slice, kExcitedAnnouncer,
+                               TemporalScheme::kFig8);
+  EXPECT_EQ(fig8.size(), 4u + 3u + 3u);  // self x4, query->h x3, h->query x3
+  auto only_query = MakeTemporalArcs(slice, kExcitedAnnouncer,
+                                     TemporalScheme::kQueryOnlyReceives);
+  EXPECT_EQ(only_query.size(), 4u);  // q->q plus 3 h->q
+  auto no_broadcast = MakeTemporalArcs(slice, kExcitedAnnouncer,
+                                       TemporalScheme::kNoQueryBroadcast);
+  EXPECT_EQ(no_broadcast.size(), 4u + 3u);
+}
+
+TEST(NetworksTest, AudioVisualSliceWithAndWithoutPassing) {
+  auto with = BuildAudioVisualSlice(true);
+  auto without = BuildAudioVisualSlice(false);
+  EXPECT_GE(with.FindNode(kPassingNode), 0);
+  EXPECT_LT(without.FindNode(kPassingNode), 0);
+  EXPECT_LT(without.FindNode("color_diff"), 0);
+  // Highlight parents the sub-events.
+  const auto h = with.FindNode(kHighlight);
+  EXPECT_EQ(with.children(h).size(), 5u);  // EA, Start, FlyOut, Passing, replay
+}
+
+TEST(NetworksTest, EvidenceMappingCoversFeatureNodes) {
+  auto net = BuildAudioVisualSlice(true);
+  ClipEvidence clip;
+  clip.semaphore = 1.0;
+  clip.motion = 0.9;
+  auto evidence = MakeAudioVisualEvidence(net, clip);
+  // Every evidence node receives a soft likelihood.
+  int evidence_nodes = 0;
+  for (bayes::NodeId n = 0; n < net.num_nodes(); ++n) {
+    if (net.is_evidence(n)) ++evidence_nodes;
+  }
+  EXPECT_EQ(static_cast<int>(evidence.soft.size()), evidence_nodes);
+  EXPECT_TRUE(evidence.hard.empty());
+  auto supervised = MakeAudioVisualEvidence(net, clip, /*supervise=*/true);
+  EXPECT_EQ(supervised.hard.size(), 5u);
+}
+
+TEST(FeaturesTest, AudioOnlyExtraction) {
+  auto timeline = GenerateTimeline(RaceProfile::GermanGp(120.0));
+  EvidenceOptions options;
+  options.extract_video = false;
+  auto evidence = ExtractEvidence(timeline, options);
+  ASSERT_EQ(evidence.clips.size(), 1200u);
+  // Features normalized to [0,1]; visual cues all zero.
+  int speech_clips = 0;
+  for (const auto& clip : evidence.clips) {
+    EXPECT_GE(clip.pause_rate, 0.0);
+    EXPECT_LE(clip.pause_rate, 1.0);
+    EXPECT_LE(clip.pitch_avg, 1.0);
+    EXPECT_EQ(clip.semaphore, 0.0);
+    if (clip.is_speech) ++speech_clips;
+  }
+  EXPECT_GT(speech_clips, 300);
+  // Ground truth present.
+  int excited = 0;
+  for (const auto& clip : evidence.clips) excited += clip.truth_excited;
+  EXPECT_GT(excited, 30);
+}
+
+}  // namespace
+}  // namespace cobra::f1

@@ -1,0 +1,164 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "hmm/hmm.h"
+#include "hmm/parallel_eval.h"
+
+namespace cobra::hmm {
+namespace {
+
+/// A strongly-identifiable 2-state, 2-symbol model.
+Hmm MakeBiasedHmm(double stay = 0.9, double emit = 0.9) {
+  Hmm hmm(2, 2);
+  EXPECT_TRUE(hmm.SetInitial({0.5, 0.5}).ok());
+  EXPECT_TRUE(hmm.SetTransitionRow(0, {stay, 1 - stay}).ok());
+  EXPECT_TRUE(hmm.SetTransitionRow(1, {1 - stay, stay}).ok());
+  EXPECT_TRUE(hmm.SetEmissionRow(0, {emit, 1 - emit}).ok());
+  EXPECT_TRUE(hmm.SetEmissionRow(1, {1 - emit, emit}).ok());
+  return hmm;
+}
+
+TEST(HmmTest, SingleObservationLikelihood) {
+  Hmm hmm = MakeBiasedHmm();
+  auto ll = hmm.LogLikelihood({0});
+  ASSERT_TRUE(ll.ok());
+  // P(o=0) = 0.5*0.9 + 0.5*0.1 = 0.5.
+  EXPECT_NEAR(*ll, std::log(0.5), 1e-12);
+}
+
+TEST(HmmTest, TwoStepForwardManual) {
+  Hmm hmm = MakeBiasedHmm();
+  auto ll = hmm.LogLikelihood({0, 0});
+  ASSERT_TRUE(ll.ok());
+  // alpha1 = (0.45, 0.05); alpha2(s) = sum alpha1 * A * B.
+  const double a20 = (0.45 * 0.9 + 0.05 * 0.1) * 0.9;
+  const double a21 = (0.45 * 0.1 + 0.05 * 0.9) * 0.1;
+  EXPECT_NEAR(*ll, std::log(a20 + a21), 1e-12);
+}
+
+TEST(HmmTest, RejectsBadSymbols) {
+  Hmm hmm = MakeBiasedHmm();
+  EXPECT_FALSE(hmm.LogLikelihood({0, 5}).ok());
+  EXPECT_FALSE(hmm.LogLikelihood({-1}).ok());
+}
+
+TEST(HmmTest, ViterbiFollowsObservations) {
+  Hmm hmm = MakeBiasedHmm();
+  auto vit = hmm.Viterbi({0, 0, 0, 1, 1, 1});
+  ASSERT_TRUE(vit.ok());
+  EXPECT_EQ(vit->path, (std::vector<int>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(HmmTest, ConsistentSequenceMoreLikely) {
+  Hmm hmm = MakeBiasedHmm();
+  auto consistent = hmm.LogLikelihood({0, 0, 0, 0, 0, 0});
+  auto alternating = hmm.LogLikelihood({0, 1, 0, 1, 0, 1});
+  ASSERT_TRUE(consistent.ok());
+  ASSERT_TRUE(alternating.ok());
+  EXPECT_GT(*consistent, *alternating);
+}
+
+TEST(HmmTest, BaumWelchImprovesLikelihood) {
+  Rng rng(11);
+  // Sample training sequences from the biased model.
+  Hmm truth = MakeBiasedHmm();
+  std::vector<std::vector<int>> sequences;
+  for (int s = 0; s < 10; ++s) {
+    std::vector<int> obs;
+    int state = rng.Bernoulli(0.5) ? 1 : 0;
+    for (int t = 0; t < 50; ++t) {
+      if (t > 0 && !rng.Bernoulli(0.9)) state = 1 - state;
+      obs.push_back(rng.Bernoulli(state == 0 ? 0.9 : 0.1) ? 0 : 1);
+    }
+    sequences.push_back(std::move(obs));
+  }
+  Hmm model(2, 2);
+  model.Randomize(rng);
+  Hmm::TrainOptions opts;
+  opts.max_iterations = 1;
+  auto ll1 = model.BaumWelch(sequences, opts);
+  ASSERT_TRUE(ll1.ok());
+  opts.max_iterations = 40;
+  auto ll2 = model.BaumWelch(sequences, opts);
+  ASSERT_TRUE(ll2.ok());
+  EXPECT_GE(*ll2, *ll1 - 1e-6);
+
+  // The learned model should clearly prefer its own data over noise.
+  auto own = model.LogLikelihood(sequences[0]);
+  ASSERT_TRUE(own.ok());
+}
+
+TEST(HmmTest, TrainedModelsDiscriminate) {
+  Rng rng(21);
+  // Model A prefers symbol 0-runs; model B prefers symbol 1-runs.
+  std::vector<std::vector<int>> a_data, b_data;
+  for (int s = 0; s < 8; ++s) {
+    std::vector<int> a, b;
+    for (int t = 0; t < 40; ++t) {
+      a.push_back(rng.Bernoulli(0.85) ? 0 : 1);
+      b.push_back(rng.Bernoulli(0.85) ? 1 : 0);
+    }
+    a_data.push_back(std::move(a));
+    b_data.push_back(std::move(b));
+  }
+  Hmm model_a(2, 2), model_b(2, 2);
+  model_a.Randomize(rng);
+  model_b.Randomize(rng);
+  ASSERT_TRUE(model_a.BaumWelch(a_data, {}).ok());
+  ASSERT_TRUE(model_b.BaumWelch(b_data, {}).ok());
+
+  ParallelEvaluator evaluator;
+  evaluator.AddModel("A", std::move(model_a));
+  evaluator.AddModel("B", std::move(model_b));
+
+  auto cls_a = evaluator.Classify(a_data[0]);
+  auto cls_b = evaluator.Classify(b_data[0]);
+  ASSERT_TRUE(cls_a.ok());
+  ASSERT_TRUE(cls_b.ok());
+  EXPECT_EQ(*cls_a, "A");
+  EXPECT_EQ(*cls_b, "B");
+}
+
+TEST(ParallelEvalTest, SerialAndParallelAgree) {
+  Rng rng(31);
+  ParallelEvaluator evaluator;
+  for (int m = 0; m < 6; ++m) {
+    Hmm hmm(3, 4);
+    hmm.Randomize(rng);
+    evaluator.AddModel("m" + std::to_string(m), std::move(hmm));
+  }
+  std::vector<int> obs;
+  for (int t = 0; t < 200; ++t) obs.push_back(static_cast<int>(rng.UniformInt(4u)));
+  auto par = evaluator.EvaluateAll(obs, /*parallel=*/true);
+  auto ser = evaluator.EvaluateAll(obs, /*parallel=*/false);
+  ASSERT_TRUE(par.ok());
+  ASSERT_TRUE(ser.ok());
+  ASSERT_EQ(par->size(), ser->size());
+  for (size_t i = 0; i < par->size(); ++i) {
+    EXPECT_EQ((*par)[i].first, (*ser)[i].first);
+    EXPECT_NEAR((*par)[i].second, (*ser)[i].second, 1e-9);
+  }
+}
+
+TEST(QuantizeTest, PacksBitsAboveMedians) {
+  std::vector<std::vector<double>> features = {
+      {0.0, 1.0, 0.0, 1.0},  // bit 0
+      {0.0, 0.0, 1.0, 1.0},  // bit 1
+  };
+  auto symbols = QuantizeFeatures(features);
+  ASSERT_EQ(symbols.size(), 4u);
+  EXPECT_EQ(symbols[0], 0);
+  EXPECT_EQ(symbols[1], 1);
+  EXPECT_EQ(symbols[2], 2);
+  EXPECT_EQ(symbols[3], 3);
+}
+
+TEST(QuantizeTest, EmptyInput) {
+  EXPECT_TRUE(QuantizeFeatures({}).empty());
+}
+
+}  // namespace
+}  // namespace cobra::hmm

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "image/analysis.h"
+#include "image/draw.h"
+#include "image/font.h"
+#include "image/frame.h"
+#include "image/histogram.h"
+
+namespace cobra::image {
+namespace {
+
+TEST(FrameTest, ConstructFill) {
+  Frame frame(4, 3, Rgb{10, 20, 30});
+  EXPECT_EQ(frame.width(), 4);
+  EXPECT_EQ(frame.height(), 3);
+  EXPECT_EQ(frame.At(3, 2), (Rgb{10, 20, 30}));
+}
+
+TEST(FrameTest, SetGetRoundTrip) {
+  Frame frame(2, 2);
+  frame.Set(1, 0, Rgb{1, 2, 3});
+  EXPECT_EQ(frame.At(1, 0), (Rgb{1, 2, 3}));
+  EXPECT_EQ(frame.At(0, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(FrameTest, CropClips) {
+  Frame frame(10, 10, Rgb{5, 5, 5});
+  Frame crop = frame.Crop(8, 8, 5, 5);
+  EXPECT_EQ(crop.width(), 2);
+  EXPECT_EQ(crop.height(), 2);
+}
+
+TEST(FrameTest, ResizeNearestPreservesBlocks) {
+  Frame frame(2, 1);
+  frame.Set(0, 0, Rgb{255, 0, 0});
+  frame.Set(1, 0, Rgb{0, 255, 0});
+  Frame big = frame.ResizeNearest(4, 2);
+  EXPECT_EQ(big.At(0, 0).r, 255);
+  EXPECT_EQ(big.At(3, 1).g, 255);
+}
+
+TEST(FrameTest, ResizeBilinearInterpolates) {
+  Frame frame(2, 1);
+  frame.Set(0, 0, Rgb{0, 0, 0});
+  frame.Set(1, 0, Rgb{200, 200, 200});
+  Frame big = frame.ResizeBilinear(5, 1);
+  // Middle pixel should be around halfway.
+  EXPECT_NEAR(big.At(2, 0).r, 100, 2);
+}
+
+TEST(FrameTest, MinIntensityKeepsStaticBrightText) {
+  // Text pixel is bright in all frames; background fluctuates.
+  Frame a(2, 1), b(2, 1);
+  a.Set(0, 0, Rgb{230, 230, 230});
+  b.Set(0, 0, Rgb{230, 230, 230});
+  a.Set(1, 0, Rgb{180, 180, 180});
+  b.Set(1, 0, Rgb{40, 40, 40});
+  Frame filtered = MinIntensityFilter({a, b});
+  EXPECT_EQ(filtered.At(0, 0).r, 230);
+  EXPECT_EQ(filtered.At(1, 0).r, 40);
+}
+
+TEST(HistogramTest, NormalizedPerChannel) {
+  Frame frame(8, 8, Rgb{128, 0, 255});
+  auto h = ComputeHistogram(frame, 16);
+  double sum = 0.0;
+  for (double v : h.r) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(h.r[8], 1.0, 1e-9);   // 128 -> bin 8
+  EXPECT_NEAR(h.b[15], 1.0, 1e-9);  // 255 -> top bin
+}
+
+TEST(HistogramTest, DistanceZeroForIdentical) {
+  Frame frame(8, 8, Rgb{10, 20, 30});
+  auto h = ComputeHistogram(frame);
+  EXPECT_DOUBLE_EQ(HistogramDistance(h, h), 0.0);
+}
+
+TEST(HistogramTest, DistanceLargeForDisjoint) {
+  Frame a(8, 8, Rgb{0, 0, 0});
+  Frame b(8, 8, Rgb{255, 255, 255});
+  EXPECT_NEAR(HistogramDistance(ComputeHistogram(a), ComputeHistogram(b)),
+              6.0, 1e-9);
+}
+
+TEST(AnalysisTest, PixelDifference) {
+  Frame a(4, 4, Rgb{0, 0, 0});
+  Frame b(4, 4, Rgb{255, 255, 255});
+  EXPECT_NEAR(PixelDifference(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(PixelDifference(a, b), 1.0, 1e-12);
+}
+
+TEST(AnalysisTest, BlockMotionLocalized) {
+  Frame a(32, 32, Rgb{50, 50, 50});
+  Frame b = a;
+  FillRect(b, 0, 0, 8, 8, Rgb{250, 250, 250});  // change only block (0,0)
+  auto blocks = BlockMotion(a, b, 4, 4);
+  EXPECT_GT(blocks[0], 0.5);
+  for (size_t i = 1; i < blocks.size(); ++i) EXPECT_NEAR(blocks[i], 0.0, 1e-9);
+}
+
+TEST(AnalysisTest, ColorFractionAndMask) {
+  Frame frame(10, 10, Rgb{0, 0, 0});
+  FillRect(frame, 0, 0, 5, 10, Rgb{200, 160, 90});
+  ColorRange sand{.r_min = 150, .r_max = 230, .g_min = 110, .g_max = 190,
+                  .b_min = 40, .b_max = 120};
+  EXPECT_NEAR(ColorFraction(frame, sand), 0.5, 1e-9);
+  auto mask = ColorMask(frame, sand);
+  Box box = MaskBoundingBox(mask, 10, 10);
+  EXPECT_EQ(box.Width(), 5);
+  EXPECT_EQ(box.Height(), 10);
+  EXPECT_NEAR(MaskDensityInBox(mask, 10, box), 1.0, 1e-9);
+}
+
+TEST(AnalysisTest, DetectRedRectangle) {
+  Frame frame(64, 64, Rgb{60, 60, 60});
+  FillRect(frame, 20, 10, 24, 8, Rgb{220, 30, 30});
+  Box box;
+  double density = 0.0;
+  EXPECT_TRUE(DetectRedRectangle(frame, &box, &density));
+  EXPECT_EQ(box.Width(), 24);
+  EXPECT_GT(density, 0.9);
+  // A sparse scatter of red must not count.
+  Frame sparse(64, 64, Rgb{60, 60, 60});
+  sparse.Set(1, 1, Rgb{220, 30, 30});
+  sparse.Set(60, 60, Rgb{220, 30, 30});
+  EXPECT_FALSE(DetectRedRectangle(sparse, &box, &density));
+}
+
+TEST(AnalysisTest, LumaStats) {
+  Frame frame(4, 4, Rgb{100, 100, 100});
+  double mean = 0.0, variance = 0.0;
+  LumaStatsInBox(frame, Box{0, 0, 3, 3}, &mean, &variance);
+  EXPECT_NEAR(mean, 100.0, 1e-6);
+  EXPECT_NEAR(variance, 0.0, 1e-6);
+  EXPECT_NEAR(MeanLuma(frame), 100.0, 1e-6);
+}
+
+TEST(DrawTest, BlendRectOpacity) {
+  Frame frame(2, 2, Rgb{100, 100, 100});
+  BlendRect(frame, 0, 0, 2, 2, Rgb{0, 0, 0}, 0.5);
+  EXPECT_EQ(frame.At(0, 0).r, 50);
+}
+
+TEST(DrawTest, NoiseStaysInRange) {
+  Frame frame(16, 16, Rgb{128, 128, 128});
+  Rng rng(5);
+  AddGaussianNoise(frame, 10.0, rng);
+  bool changed = false;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      if (frame.At(x, y).r != 128) changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(FontTest, GlyphCoverage) {
+  const auto& font = BitmapFont::Get();
+  for (char c = 'A'; c <= 'Z'; ++c) EXPECT_TRUE(font.HasGlyph(c));
+  for (char c = '0'; c <= '9'; ++c) EXPECT_TRUE(font.HasGlyph(c));
+  EXPECT_TRUE(font.HasGlyph(' '));
+  EXPECT_TRUE(font.HasGlyph('a'));  // case-folded
+  EXPECT_FALSE(font.HasGlyph('@'));
+}
+
+TEST(FontTest, GlyphsAreDistinct) {
+  const auto& font = BitmapFont::Get();
+  auto signature = [&font](char c) {
+    uint64_t sig = 0;
+    for (int row = 0; row < BitmapFont::kGlyphHeight; ++row) {
+      for (int col = 0; col < BitmapFont::kGlyphWidth; ++col) {
+        sig = (sig << 1) | (font.Pixel(c, col, row) ? 1 : 0);
+      }
+    }
+    return sig;
+  };
+  for (char a = 'A'; a <= 'Z'; ++a) {
+    for (char b = static_cast<char>(a + 1); b <= 'Z'; ++b) {
+      EXPECT_NE(signature(a), signature(b)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(FontTest, RenderPatternSize) {
+  const auto& font = BitmapFont::Get();
+  Frame pattern = font.RenderPattern("PIT", 2);
+  EXPECT_EQ(pattern.height(), BitmapFont::kGlyphHeight * 2);
+  EXPECT_EQ(pattern.width(), font.TextWidth("PIT", 2));
+  // There is ink.
+  double lit = 0;
+  for (int y = 0; y < pattern.height(); ++y) {
+    for (int x = 0; x < pattern.width(); ++x) {
+      if (pattern.At(x, y).r > 128) lit++;
+    }
+  }
+  EXPECT_GT(lit, 20);
+}
+
+}  // namespace
+}  // namespace cobra::image

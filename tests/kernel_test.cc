@@ -1,0 +1,172 @@
+#include <atomic>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+#include "kernel/parallel.h"
+
+namespace cobra::kernel {
+namespace {
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Float(1.5).AsFloat(), 1.5);
+  EXPECT_EQ(Value::Str("x").AsStr(), "x");
+  EXPECT_EQ(Value::OfOid(9).AsOid(), 9u);
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).Numeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).Numeric(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Str("x").Numeric(), 0.0);
+}
+
+TEST(BatTest, AppendTypeChecked) {
+  Bat bat(TailType::kFloat);
+  EXPECT_TRUE(bat.Append(1, Value::Float(0.5)).ok());
+  EXPECT_FALSE(bat.Append(2, Value::Int(1)).ok());
+  EXPECT_EQ(bat.size(), 1u);
+}
+
+TEST(BatTest, SelectRange) {
+  Bat bat(TailType::kFloat);
+  for (int i = 0; i < 10; ++i) bat.AppendFloat(i, i * 0.1);
+  auto selected = bat.SelectRange(0.25, 0.65);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 4u);  // 0.3, 0.4, 0.5, 0.6
+  EXPECT_EQ(selected->HeadAt(0), 3u);
+}
+
+TEST(BatTest, SelectEqAndStr) {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(1, "highlight");
+  bat.AppendStr(2, "pitstop");
+  bat.AppendStr(3, "highlight");
+  auto selected = bat.SelectStr("highlight");
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+  EXPECT_FALSE(bat.SelectRange(0, 1).ok());  // non-numeric tail
+}
+
+TEST(BatTest, ReverseRequiresOidTail) {
+  Bat links(TailType::kOid);
+  links.AppendOid(1, 10);
+  links.AppendOid(2, 20);
+  auto reversed = links.Reverse();
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_EQ(reversed->HeadAt(0), 10u);
+  EXPECT_EQ(reversed->OidAt(0), 1u);
+
+  Bat floats(TailType::kFloat);
+  EXPECT_FALSE(floats.Reverse().ok());
+}
+
+TEST(BatTest, MirrorAndSlice) {
+  Bat bat(TailType::kInt);
+  for (int i = 0; i < 5; ++i) bat.AppendInt(10 + i, i);
+  Bat mirror = bat.Mirror();
+  EXPECT_EQ(mirror.OidAt(2), 12u);
+  Bat slice = bat.Slice(1, 3);
+  EXPECT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice.IntAt(0), 1);
+}
+
+TEST(BatTest, Aggregates) {
+  Bat bat(TailType::kInt);
+  for (int v : {4, 1, 7, 2}) bat.AppendInt(0, v);
+  EXPECT_DOUBLE_EQ(*bat.Sum(), 14.0);
+  EXPECT_DOUBLE_EQ(*bat.Max(), 7.0);
+  EXPECT_DOUBLE_EQ(*bat.Min(), 1.0);
+  EXPECT_EQ(*bat.ArgMax(), 2u);
+  Bat empty(TailType::kInt);
+  EXPECT_FALSE(empty.Max().ok());
+}
+
+TEST(BatOpsTest, JoinFollowsOidTails) {
+  Bat links(TailType::kOid);  // event -> video
+  links.AppendOid(100, 1);
+  links.AppendOid(101, 2);
+  links.AppendOid(102, 1);
+  Bat names(TailType::kStr);  // video -> name
+  names.AppendStr(1, "german");
+  names.AppendStr(2, "belgian");
+  auto joined = Join(links, names);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), 3u);
+  EXPECT_EQ(joined->HeadAt(0), 100u);
+  EXPECT_EQ(joined->StrAt(0), "german");
+  EXPECT_EQ(joined->StrAt(1), "belgian");
+}
+
+TEST(BatOpsTest, SemijoinAndDiffPartition) {
+  Bat data(TailType::kInt);
+  for (int i = 0; i < 6; ++i) data.AppendInt(i, i);
+  Bat keys(TailType::kOid);
+  keys.AppendOid(1, 1);
+  keys.AppendOid(3, 3);
+  Bat in = Semijoin(data, keys);
+  Bat out = Diff(data, keys);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(in.size() + out.size(), data.size());
+}
+
+TEST(BatOpsTest, GroupAssignsDenseIds) {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(0, "a");
+  bat.AppendStr(1, "b");
+  bat.AppendStr(2, "a");
+  std::vector<size_t> reps;
+  Bat groups = Group(bat, &reps);
+  EXPECT_EQ(groups.OidAt(0), groups.OidAt(2));
+  EXPECT_NE(groups.OidAt(0), groups.OidAt(1));
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0], 0u);
+  EXPECT_EQ(reps[1], 1u);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  auto bat = catalog.Create("f1", TailType::kFloat);
+  ASSERT_TRUE(bat.ok());
+  EXPECT_FALSE(catalog.Create("f1", TailType::kInt).ok());
+  EXPECT_TRUE(catalog.Get("f1").ok());
+  EXPECT_TRUE(catalog.Exists("f1"));
+  EXPECT_TRUE(catalog.Drop("f1").ok());
+  EXPECT_FALSE(catalog.Get("f1").ok());
+  EXPECT_FALSE(catalog.Drop("f1").ok());
+}
+
+TEST(CatalogTest, PutOverwrites) {
+  Catalog catalog;
+  Bat a(TailType::kInt);
+  a.AppendInt(0, 1);
+  catalog.Put("x", std::move(a));
+  Bat b(TailType::kInt);
+  catalog.Put("x", std::move(b));
+  EXPECT_EQ((*catalog.Get("x"))->size(), 0u);
+}
+
+TEST(CatalogTest, NamesSorted) {
+  Catalog catalog;
+  (void)catalog.Create("zeta", TailType::kInt);
+  (void)catalog.Create("alpha", TailType::kInt);
+  auto names = catalog.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+}
+
+TEST(ParallelTest, ExecutesAllTasks) {
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  ParallelExec(tasks);
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace cobra::kernel

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "kws/keyword_spotter.h"
+
+namespace cobra::kws {
+namespace {
+
+std::vector<PhoneToken> StreamOf(const std::string& letters,
+                                 double confidence = 0.9) {
+  std::vector<PhoneToken> stream;
+  for (size_t i = 0; i < letters.size(); ++i) {
+    PhoneToken tok;
+    tok.time_sec = static_cast<double>(i) * 0.1;
+    tok.phone = PhoneOf(letters[i]);
+    tok.confidence = tok.phone >= 0 ? confidence : 0.0;
+    stream.push_back(tok);
+  }
+  return stream;
+}
+
+TEST(PhoneTest, LettersMapDensely) {
+  EXPECT_EQ(PhoneOf('A'), 0);
+  EXPECT_EQ(PhoneOf('z'), 25);
+  EXPECT_EQ(PhoneOf(' '), -1);
+  EXPECT_EQ(PhoneOf('3'), -1);
+}
+
+TEST(PhoneTest, SequenceSkipsNonLetters) {
+  auto seq = PhoneSequence("PIT-STOP");
+  EXPECT_EQ(seq.size(), 7u);
+}
+
+TEST(SpotterTest, FindsEmbeddedKeyword) {
+  KeywordSpotter spotter({"CRASH"});
+  auto hits = spotter.Spot(StreamOf("THE CAR CRASH NOW"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].word, "CRASH");
+  EXPECT_NEAR(hits[0].start_sec, 0.8, 1e-9);
+  EXPECT_NEAR(hits[0].duration_sec, 0.5, 1e-9);
+  EXPECT_GT(hits[0].normalized, 0.8);
+}
+
+TEST(SpotterTest, SilenceBreaksChains) {
+  KeywordSpotter spotter({"CRASH"});
+  // 'CRA SH': silence in the middle kills the chain.
+  auto hits = spotter.Spot(StreamOf("CRA SH"));
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(SpotterTest, ToleratesOneSubstitution) {
+  KeywordSpotter spotter({"CRASH"});
+  auto hits = spotter.Spot(StreamOf("CRASH"));
+  ASSERT_EQ(hits.size(), 1u);
+  auto noisy = StreamOf("CRXSH");
+  hits = spotter.Spot(noisy);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_LT(hits[0].normalized, 0.9);  // substitution costs score
+}
+
+TEST(SpotterTest, RejectsMostlySubstituted) {
+  KeywordSpotter spotter({"CRASH"});
+  EXPECT_TRUE(spotter.Spot(StreamOf("CXYSZ")).empty());
+}
+
+TEST(SpotterTest, LowConfidenceRejected) {
+  KeywordSpotter spotter({"CRASH"});
+  EXPECT_TRUE(spotter.Spot(StreamOf("CRASH", 0.3)).empty());
+}
+
+TEST(SpotterTest, MultipleKeywordsSortedByTime) {
+  KeywordSpotter spotter({"SPIN", "GRAVEL"});
+  auto hits = spotter.Spot(StreamOf("GRAVEL AND SPIN"));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].word, "GRAVEL");
+  EXPECT_EQ(hits[1].word, "SPIN");
+  EXPECT_LT(hits[0].start_sec, hits[1].start_sec);
+}
+
+TEST(SpotterTest, OverlappingDuplicatesSuppressed) {
+  // "CRASHCRASH" yields two distinct (non-overlapping) hits, not chains at
+  // every offset.
+  KeywordSpotter spotter({"CRASH"});
+  auto hits = spotter.Spot(StreamOf("CRASHCRASH"));
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(SpotterTest, ScoreIsNonNormalizedSum) {
+  KeywordSpotter spotter({"GO"});
+  auto hits = spotter.Spot(StreamOf("GO"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NEAR(hits[0].score, 1.8, 1e-9);       // 2 phones x 0.9
+  EXPECT_NEAR(hits[0].normalized, 0.9, 1e-9);  // score / length
+}
+
+}  // namespace
+}  // namespace cobra::kws

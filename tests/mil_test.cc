@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "kernel/catalog.h"
+#include "kernel/mil.h"
+
+namespace cobra::kernel {
+namespace {
+
+class MilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto values = catalog_.Create("values", TailType::kFloat);
+    ASSERT_TRUE(values.ok());
+    for (int i = 0; i < 10; ++i) {
+      (*values)->AppendFloat(static_cast<Oid>(i), i * 0.1);
+    }
+    auto names = catalog_.Create("names", TailType::kStr);
+    ASSERT_TRUE(names.ok());
+    (*names)->AppendStr(0, "alpha");
+    (*names)->AppendStr(1, "beta");
+    (*names)->AppendStr(2, "alpha");
+    session_ = std::make_unique<MilSession>(&catalog_);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<MilSession> session_;
+};
+
+TEST_F(MilTest, PrintScalar) {
+  auto out = session_->Execute("PRINT 42;");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "42\n");
+}
+
+TEST_F(MilTest, VarAndAggregate) {
+  auto out = session_->Execute(
+      "VAR f := bat('values');\n"
+      "PRINT sum(f);\n"
+      "PRINT count(f);\n");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "4.5\n10\n");
+}
+
+TEST_F(MilTest, SelectRangeThenCount) {
+  auto out = session_->Execute(
+      "VAR hits := select(bat('values'), 0.25, 0.65);\n"
+      "PRINT count(hits);");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "4\n");
+}
+
+TEST_F(MilTest, StringSelect) {
+  auto out = session_->Execute("PRINT count(select(bat('names'), 'alpha'));");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "2\n");
+}
+
+TEST_F(MilTest, NewInsertAndJoin) {
+  // Mirrors the shape of the paper's Fig. 4: build an oid->oid mapping and
+  // join it against a value BAT.
+  auto out = session_->Execute(
+      "VAR links := insert(insert(new('oid'), 100, 2), 101, 4);\n"
+      "VAR joined := join(links, bat('values'));\n"
+      "PRINT count(joined);\n"
+      "PRINT sum(joined);");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "2\n0.6\n");
+}
+
+TEST_F(MilTest, ReverseMirrorSlice) {
+  auto out = session_->Execute(
+      "VAR links := insert(new('oid'), 7, 3);\n"
+      "VAR back := reverse(links);\n"
+      "PRINT count(back);\n"
+      "PRINT count(mirror(bat('values')));\n"
+      "PRINT count(slice(bat('values'), 2, 5));");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "1\n10\n3\n");
+}
+
+TEST_F(MilTest, PersistWritesCatalog) {
+  auto out = session_->Execute(
+      "VAR top := select(bat('values'), 0.75, 1.0);\n"
+      "persist('top_values', top);");
+  ASSERT_TRUE(out.ok());
+  auto stored = catalog_.Get("top_values");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ((*stored)->size(), 2u);  // 0.8, 0.9
+}
+
+TEST_F(MilTest, ReassignmentRequiresDeclaration) {
+  EXPECT_FALSE(session_->Execute("x := 1;").ok());
+  EXPECT_TRUE(session_->Execute("VAR x := 1; x := 2; PRINT x;").ok());
+}
+
+TEST_F(MilTest, VariablePersistsAcrossExecutes) {
+  ASSERT_TRUE(session_->Execute("VAR kept := 7;").ok());
+  auto out = session_->Execute("PRINT kept;");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "7\n");
+  auto value = session_->Get("kept");
+  ASSERT_TRUE(value.ok());
+}
+
+TEST_F(MilTest, CommentsIgnored) {
+  auto out = session_->Execute(
+      "# preparing an observation sequence\n"
+      "PRINT 1;  # trailing comment\n");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "1\n");
+}
+
+TEST_F(MilTest, ErrorsAreReported) {
+  EXPECT_FALSE(session_->Execute("PRINT bat('missing');").ok());
+  EXPECT_FALSE(session_->Execute("PRINT frobnicate(1);").ok());
+  EXPECT_FALSE(session_->Execute("PRINT sum(1);").ok());
+  EXPECT_FALSE(session_->Execute("PRINT select(bat('values'));").ok());
+  EXPECT_FALSE(session_->Execute("PRINT 'unterminated;").ok());
+}
+
+TEST_F(MilTest, BatPrintFormat) {
+  auto out = session_->Execute("PRINT slice(bat('names'), 0, 2);");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("BAT[oid,str] #2"), std::string::npos);
+  EXPECT_NE(out->find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cobra::kernel

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "kernel/catalog.h"
+#include "moa/moa.h"
+
+namespace cobra::moa {
+namespace {
+
+class MoaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<MoaSession>(&catalog_);
+    ClassDef drivers;
+    drivers.name = "driver";
+    drivers.attributes = {
+        {"name", kernel::TailType::kStr},
+        {"points", kernel::TailType::kInt},
+        {"team", kernel::TailType::kOid},
+    };
+    ASSERT_TRUE(session_->DefineClass(drivers).ok());
+    ClassDef teams;
+    teams.name = "team";
+    teams.attributes = {{"name", kernel::TailType::kStr}};
+    ASSERT_TRUE(session_->DefineClass(teams).ok());
+  }
+
+  kernel::Oid AddTeam(const std::string& name) {
+    auto oid = session_->NewObject("team");
+    EXPECT_TRUE(oid.ok());
+    EXPECT_TRUE(session_->SetAttr("team", *oid, "name",
+                                  kernel::Value::Str(name)).ok());
+    return *oid;
+  }
+
+  kernel::Oid AddDriver(const std::string& name, int points,
+                        kernel::Oid team) {
+    auto oid = session_->NewObject("driver");
+    EXPECT_TRUE(oid.ok());
+    EXPECT_TRUE(session_->SetAttr("driver", *oid, "name",
+                                  kernel::Value::Str(name)).ok());
+    EXPECT_TRUE(session_->SetAttr("driver", *oid, "points",
+                                  kernel::Value::Int(points)).ok());
+    EXPECT_TRUE(session_->SetAttr("driver", *oid, "team",
+                                  kernel::Value::OfOid(team)).ok());
+    return *oid;
+  }
+
+  kernel::Catalog catalog_;
+  std::unique_ptr<MoaSession> session_;
+};
+
+TEST_F(MoaTest, DefineClassCreatesBats) {
+  EXPECT_TRUE(catalog_.Exists("driver.@extent"));
+  EXPECT_TRUE(catalog_.Exists("driver.name"));
+  EXPECT_FALSE(session_->DefineClass(ClassDef{"driver", {}}).ok());
+}
+
+TEST_F(MoaTest, NewObjectGrowsExtent) {
+  AddTeam("FERRARI");
+  AddTeam("MCLAREN");
+  auto extent = session_->Extent("team");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->size(), 2u);
+}
+
+TEST_F(MoaTest, GetAttrRoundTrip) {
+  auto team = AddTeam("FERRARI");
+  auto value = session_->GetAttr("team", team, "name");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsStr(), "FERRARI");
+  EXPECT_FALSE(session_->GetAttr("team", team, "missing").ok());
+}
+
+TEST_F(MoaTest, SelectEqByString) {
+  auto ferrari = AddTeam("FERRARI");
+  AddDriver("SCHUMACHER", 100, ferrari);
+  AddDriver("HAKKINEN", 80, ferrari);
+  auto selected = session_->SelectEq("driver", "name",
+                                     kernel::Value::Str("HAKKINEN"));
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 1u);
+}
+
+TEST_F(MoaTest, SelectRangeNumeric) {
+  auto team = AddTeam("X");
+  AddDriver("A", 10, team);
+  AddDriver("B", 50, team);
+  AddDriver("C", 90, team);
+  auto selected = session_->SelectRange("driver", "points", 40, 100);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+}
+
+TEST_F(MoaTest, ProjectReturnsColumn) {
+  auto team = AddTeam("X");
+  AddDriver("A", 10, team);
+  AddDriver("B", 50, team);
+  auto extent = session_->Extent("driver");
+  ASSERT_TRUE(extent.ok());
+  auto column = session_->Project("driver", *extent, "points");
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->size(), 2u);
+  EXPECT_DOUBLE_EQ(*column->Sum(), 60.0);
+}
+
+TEST_F(MoaTest, MapAppliesAdtFunction) {
+  auto team = AddTeam("X");
+  AddDriver("A", 10, team);
+  auto extent = session_->Extent("driver");
+  auto column = session_->Project("driver", *extent, "points");
+  ASSERT_TRUE(column.ok());
+  auto doubled = session_->Map(
+      *column, kernel::TailType::kInt,
+      [](const kernel::Value& v) { return kernel::Value::Int(v.AsInt() * 2); });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled->IntAt(0), 20);
+}
+
+TEST_F(MoaTest, SetOperations) {
+  OidSet a{{1, 2, 3}};
+  OidSet b{{2, 3, 4}};
+  EXPECT_EQ(MoaSession::Intersect(a, b).oids, (std::vector<kernel::Oid>{2, 3}));
+  EXPECT_EQ(MoaSession::Union(a, b).oids,
+            (std::vector<kernel::Oid>{1, 2, 3, 4}));
+  EXPECT_EQ(MoaSession::Minus(a, b).oids, (std::vector<kernel::Oid>{1}));
+}
+
+TEST_F(MoaTest, JoinIntoFollowsOidAttribute) {
+  auto ferrari = AddTeam("FERRARI");
+  auto mclaren = AddTeam("MCLAREN");
+  AddDriver("SCHUMACHER", 100, ferrari);
+  AddDriver("HAKKINEN", 80, mclaren);
+  AddDriver("BARRICHELLO", 60, ferrari);
+  auto drivers = session_->Extent("driver");
+  auto ferrari_drivers = session_->JoinInto(
+      "driver", *drivers, "team", OidSet{{ferrari}});
+  ASSERT_TRUE(ferrari_drivers.ok());
+  EXPECT_EQ(ferrari_drivers->size(), 2u);
+}
+
+TEST_F(MoaTest, Aggregates) {
+  auto team = AddTeam("X");
+  AddDriver("A", 10, team);
+  AddDriver("B", 30, team);
+  auto extent = session_->Extent("driver");
+  EXPECT_DOUBLE_EQ(*session_->AggregateSum("driver", *extent, "points"), 40.0);
+  EXPECT_DOUBLE_EQ(*session_->AggregateMax("driver", *extent, "points"), 30.0);
+}
+
+TEST_F(MoaTest, UnknownClassErrors) {
+  EXPECT_FALSE(session_->Extent("nope").ok());
+  EXPECT_FALSE(session_->NewObject("nope").ok());
+  EXPECT_FALSE(session_->SelectEq("nope", "x", kernel::Value::Int(1)).ok());
+}
+
+}  // namespace
+}  // namespace cobra::moa

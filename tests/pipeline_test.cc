@@ -1,0 +1,145 @@
+// End-to-end integration tests over the assembled system: ingest a short
+// synthetic race, exercise the query path (dynamic extraction, temporal
+// joins, preference-based method selection) and model persistence. These
+// run a real (small) broadcast through synthesis, DSP, vision, OCR, DBN
+// training and filtering, so they take a few seconds each.
+
+#include <gtest/gtest.h>
+
+#include "bayes/serialize.h"
+#include "f1/pipeline.h"
+#include "kernel/catalog.h"
+
+namespace cobra::f1 {
+namespace {
+
+class F1SystemTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new F1System();
+    F1System::IngestOptions options;
+    options.training.em_iterations = 8;
+    auto id = system_->IngestRace(RaceProfile::GermanGp(180.0), options);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    video_ = *id;
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  static F1System* system_;
+  static model::VideoId video_;
+};
+
+F1System* F1SystemTest::system_ = nullptr;
+model::VideoId F1SystemTest::video_ = 0;
+
+TEST_F(F1SystemTest, IngestRegistersVideoAndObjects) {
+  auto video = system_->videos().FindVideo("german-gp");
+  ASSERT_TRUE(video.ok());
+  EXPECT_DOUBLE_EQ(video->duration_sec, 180.0);
+  auto drivers = system_->videos().Objects(video_, "driver");
+  ASSERT_TRUE(drivers.ok());
+  EXPECT_GE(drivers->size(), 10u);
+  EXPECT_NE(system_->TimelineFor(video_), nullptr);
+  EXPECT_NE(system_->EvidenceFor(video_), nullptr);
+}
+
+TEST_F(F1SystemTest, DuplicateIngestRejected) {
+  F1System::IngestOptions options;
+  EXPECT_FALSE(system_->IngestRace(RaceProfile::GermanGp(180.0), options).ok());
+}
+
+TEST_F(F1SystemTest, DynamicHighlightExtraction) {
+  auto result = system_->Query("RETRIEVE highlight FROM 'german-gp'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->segments.empty());
+  // Start should be among the detected highlights (truth start at 25-33 s).
+  bool covers_start = false;
+  for (const auto& s : result->segments) {
+    if (s.begin_sec < 33.0 && s.end_sec > 25.0) covers_start = true;
+  }
+  EXPECT_TRUE(covers_start);
+}
+
+TEST_F(F1SystemTest, TextEventsCarryDriverAttributes) {
+  auto result = system_->Query("RETRIEVE caption FROM 'german-gp'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->segments.empty());
+  bool any_driver = false;
+  for (const auto& s : result->segments) {
+    if (s.attrs.count("driver") != 0) any_driver = true;
+    EXPECT_TRUE(s.attrs.count("text") != 0);
+  }
+  EXPECT_TRUE(any_driver);
+}
+
+TEST_F(F1SystemTest, PreferenceSelectsMethod) {
+  // excited_speech has two providers: DBN (quality) and BN (cost).
+  ASSERT_TRUE(
+      system_->videos().DropEvents(video_, "excited_speech").ok());
+  auto cheap =
+      system_->Query("RETRIEVE excited_speech FROM 'german-gp' PREFER COST");
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_EQ(cheap->methods_invoked.size(), 1u);
+  EXPECT_EQ(cheap->methods_invoked[0], "audio-bn-extension");
+
+  ASSERT_TRUE(
+      system_->videos().DropEvents(video_, "excited_speech").ok());
+  auto good = system_->Query(
+      "RETRIEVE excited_speech FROM 'german-gp' PREFER QUALITY");
+  ASSERT_TRUE(good.ok());
+  ASSERT_EQ(good->methods_invoked.size(), 1u);
+  EXPECT_EQ(good->methods_invoked[0], "audio-dbn-extension");
+}
+
+TEST_F(F1SystemTest, TemporalJoinQuery) {
+  auto result = system_->Query(
+      "RETRIEVE highlight FROM 'german-gp' OVERLAPPING excited_speech");
+  ASSERT_TRUE(result.ok());
+  // Subset of all highlights.
+  auto all = system_->Query("RETRIEVE highlight FROM 'german-gp'");
+  ASSERT_TRUE(all.ok());
+  EXPECT_LE(result->segments.size(), all->segments.size());
+}
+
+TEST_F(F1SystemTest, RuleDerivedEventsQueryable) {
+  auto result = system_->Query("RETRIEVE incident FROM 'german-gp'");
+  ASSERT_TRUE(result.ok());  // may be empty on a short race, must not error
+}
+
+TEST(PipelineModelPersistence, TrainedDbnSurvivesCatalogRoundTrip) {
+  // Train a small audio DBN and store it in a kernel catalog as domain
+  // knowledge; a fresh session loads and uses it without retraining.
+  RaceTimeline timeline = GenerateTimeline(RaceProfile::GermanGp(180.0));
+  EvidenceOptions eopts;
+  eopts.extract_video = false;
+  RaceEvidence evidence = ExtractEvidence(timeline, eopts);
+  TrainingOptions topts;
+  topts.train_window_sec = 120.0;
+  topts.em_iterations = 8;
+  auto dbn = TrainAudioDbn(AudioStructure::kFullyParameterized,
+                           TemporalScheme::kFig8, evidence, topts);
+  ASSERT_TRUE(dbn.ok());
+
+  kernel::Catalog catalog;
+  ASSERT_TRUE(bayes::StoreModel(&catalog, "audio-dbn",
+                                bayes::SerializeDbn(*dbn)).ok());
+  auto serialized = bayes::LoadModel(catalog, "audio-dbn");
+  ASSERT_TRUE(serialized.ok());
+  auto restored = bayes::DeserializeDbn(*serialized);
+  ASSERT_TRUE(restored.ok());
+
+  auto original_series = InferAudioDbnSeries(*dbn, evidence);
+  auto restored_series = InferAudioDbnSeries(*restored, evidence);
+  ASSERT_TRUE(original_series.ok());
+  ASSERT_TRUE(restored_series.ok());
+  ASSERT_EQ(original_series->size(), restored_series->size());
+  for (size_t t = 0; t < original_series->size(); t += 50) {
+    EXPECT_NEAR((*original_series)[t], (*restored_series)[t], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace cobra::f1

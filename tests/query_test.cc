@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "cobra/video_model.h"
+#include "extensions/extension.h"
+#include "kernel/catalog.h"
+#include "query/engine.h"
+#include "query/parser.h"
+
+namespace cobra::query {
+namespace {
+
+TEST(ParserTest, MinimalQuery) {
+  auto q = ParseQuery("RETRIEVE highlight FROM 'german-gp'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->primary.type, "highlight");
+  EXPECT_EQ(q->video, "german-gp");
+  EXPECT_EQ(q->temporal_op, TemporalOp::kNone);
+  EXPECT_EQ(q->preference, MethodPreference::kQuality);
+}
+
+TEST(ParserTest, WhereClauseMultipleConjuncts) {
+  auto q = ParseQuery(
+      "RETRIEVE caption FROM 'usa-gp' WHERE driver = 'Montoya' AND kind = "
+      "'pitstop'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->primary.attr_equals.at("driver"), "MONTOYA");
+  EXPECT_EQ(q->primary.attr_equals.at("kind"), "PITSTOP");
+}
+
+TEST(ParserTest, TemporalClauseWithSecondaryWhere) {
+  auto q = ParseQuery(
+      "RETRIEVE highlight FROM 'b' OVERLAPPING caption WHERE driver = 'X'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->temporal_op, TemporalOp::kOverlapping);
+  EXPECT_EQ(q->secondary.type, "caption");
+  EXPECT_EQ(q->secondary.attr_equals.at("driver"), "X");
+}
+
+TEST(ParserTest, PreferClause) {
+  auto q = ParseQuery("RETRIEVE excited_speech FROM 'b' PREFER COST");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->preference, MethodPreference::kCost);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseQuery("retrieve pitstop from 'x' where driver = 'alesi'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->primary.type, "pitstop");
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM y").ok());
+  EXPECT_FALSE(ParseQuery("RETRIEVE highlight").ok());
+  EXPECT_FALSE(ParseQuery("RETRIEVE highlight FROM 'x' WHERE = 'y'").ok());
+  EXPECT_FALSE(ParseQuery("RETRIEVE highlight FROM 'x' garbage").ok());
+  EXPECT_FALSE(ParseQuery("RETRIEVE h FROM 'x' PREFER SPEED").ok());
+  EXPECT_FALSE(ParseQuery("RETRIEVE h FROM 'unterminated").ok());
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto id = videos_.RegisterVideo("race", 600.0);
+    ASSERT_TRUE(id.ok());
+    video_ = *id;
+    // Pre-materialized events.
+    StoreEvent("highlight", 30, 40, {});
+    StoreEvent("highlight", 100, 110, {{"driver", "ALESI"}});
+    StoreEvent("caption", 102, 106, {{"driver", "ALESI"}});
+    StoreEvent("caption", 300, 304, {{"driver", "BUTTON"}});
+  }
+
+  void StoreEvent(const std::string& type, double b, double e,
+                  std::map<std::string, std::string> attrs) {
+    model::EventRecord record;
+    record.type = type;
+    record.begin_sec = b;
+    record.end_sec = e;
+    record.attrs = std::move(attrs);
+    ASSERT_TRUE(videos_.StoreEvent(video_, record).ok());
+  }
+
+  kernel::Catalog catalog_;
+  model::VideoCatalog videos_{&catalog_};
+  extensions::ExtensionRegistry registry_;
+  QueryEngine engine_{&videos_, &registry_};
+  model::VideoId video_ = 0;
+};
+
+TEST_F(QueryEngineTest, RetrievesMaterializedEvents) {
+  auto result = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->segments.size(), 2u);
+  EXPECT_FALSE(result->extracted_dynamically);
+}
+
+TEST_F(QueryEngineTest, AttributeFilter) {
+  auto result =
+      engine_.Execute("RETRIEVE highlight FROM 'race' WHERE driver = 'alesi'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->segments[0].begin_sec, 100.0);
+}
+
+TEST_F(QueryEngineTest, TemporalJoinOverlapping) {
+  auto result = engine_.Execute(
+      "RETRIEVE highlight FROM 'race' OVERLAPPING caption WHERE driver = "
+      "'ALESI'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->segments[0].begin_sec, 100.0);
+}
+
+TEST_F(QueryEngineTest, TemporalBeforeAfter) {
+  auto before = engine_.Execute(
+      "RETRIEVE highlight FROM 'race' BEFORE caption WHERE driver = 'BUTTON'");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->segments.size(), 2u);
+  auto after = engine_.Execute(
+      "RETRIEVE caption FROM 'race' AFTER highlight WHERE driver = 'ALESI'");
+  ASSERT_TRUE(after.ok());
+  // Caption at 300 begins after highlight [100,110]; caption at 102 doesn't.
+  ASSERT_EQ(after->segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(after->segments[0].begin_sec, 300.0);
+}
+
+TEST_F(QueryEngineTest, MissingVideoErrors) {
+  EXPECT_FALSE(engine_.Execute("RETRIEVE highlight FROM 'nope'").ok());
+}
+
+TEST_F(QueryEngineTest, MissingMetadataWithoutProviderErrors) {
+  auto result = engine_.Execute("RETRIEVE flyout FROM 'race'");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryEngineTest, DynamicExtractionInvokesExtension) {
+  int calls = 0;
+  registry_.Register(std::make_unique<extensions::CallbackExtension>(
+      "test-extension",
+      std::vector<extensions::CallbackExtension::Provided>{
+          {"flyout", 1.0, 0.9}},
+      [this, &calls](model::VideoId id, const std::string&,
+                     model::VideoCatalog* catalog) {
+        ++calls;
+        model::EventRecord e;
+        e.type = "flyout";
+        e.begin_sec = 50;
+        e.end_sec = 57;
+        return catalog->StoreEvent(id, e);
+      }));
+  auto result = engine_.Execute("RETRIEVE flyout FROM 'race'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->segments.size(), 1u);
+  EXPECT_TRUE(result->extracted_dynamically);
+  ASSERT_EQ(result->methods_invoked.size(), 1u);
+  EXPECT_EQ(result->methods_invoked[0], "test-extension");
+  EXPECT_EQ(calls, 1);
+  // Second query hits the materialized metadata: no re-extraction.
+  auto again = engine_.Execute("RETRIEVE flyout FROM 'race'");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->extracted_dynamically);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(QueryEngineTest, MethodSelectionByPreference) {
+  auto make = [this](const std::string& name, double cost, double quality) {
+    registry_.Register(std::make_unique<extensions::CallbackExtension>(
+        name,
+        std::vector<extensions::CallbackExtension::Provided>{
+            {"passing", cost, quality}},
+        [name](model::VideoId id, const std::string&,
+               model::VideoCatalog* catalog) {
+          model::EventRecord e;
+          e.type = "passing";
+          e.begin_sec = 1;
+          e.end_sec = 2;
+          e.attrs["by"] = name;
+          return catalog->StoreEvent(id, e);
+        }));
+  };
+  make("cheap-method", 1.0, 0.5);
+  make("good-method", 5.0, 0.95);
+
+  auto best = engine_.Execute("RETRIEVE passing FROM 'race' PREFER QUALITY");
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->methods_invoked[0], "good-method");
+
+  ASSERT_TRUE(videos_.DropEvents(video_, "passing").ok());
+  auto cheap = engine_.Execute("RETRIEVE passing FROM 'race' PREFER COST");
+  ASSERT_TRUE(cheap.ok());
+  EXPECT_EQ(cheap->methods_invoked[0], "cheap-method");
+}
+
+TEST(ExtensionRegistryTest, ProvidersFiltersByType) {
+  extensions::ExtensionRegistry registry;
+  registry.Register(std::make_unique<extensions::CallbackExtension>(
+      "a",
+      std::vector<extensions::CallbackExtension::Provided>{{"x", 1, 0.5}},
+      [](model::VideoId, const std::string&, model::VideoCatalog*) {
+        return Status::OK();
+      }));
+  EXPECT_EQ(registry.Providers("x").size(), 1u);
+  EXPECT_TRUE(registry.Providers("y").empty());
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cobra::query

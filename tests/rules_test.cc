@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "rules/engine.h"
+#include "rules/interval.h"
+
+namespace cobra::rules {
+namespace {
+
+TEST(IntervalTest, BasicOps) {
+  TimeInterval a{1.0, 3.0};
+  TimeInterval b{2.0, 5.0};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.Union(b).begin, 1.0);
+  EXPECT_DOUBLE_EQ(a.Union(b).end, 5.0);
+  EXPECT_DOUBLE_EQ(a.Intersection(b).begin, 2.0);
+  EXPECT_DOUBLE_EQ(a.Intersection(b).end, 3.0);
+  TimeInterval c{6.0, 7.0};
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersection(c).Valid());
+}
+
+TEST(AllenTest, AllThirteenRelations) {
+  const TimeInterval base{10.0, 20.0};
+  EXPECT_EQ(ClassifyRelation({1, 5}, base), AllenRelation::kBefore);
+  EXPECT_EQ(ClassifyRelation({25, 30}, base), AllenRelation::kAfter);
+  EXPECT_EQ(ClassifyRelation({5, 10}, base), AllenRelation::kMeets);
+  EXPECT_EQ(ClassifyRelation({20, 25}, base), AllenRelation::kMetBy);
+  EXPECT_EQ(ClassifyRelation({5, 15}, base), AllenRelation::kOverlaps);
+  EXPECT_EQ(ClassifyRelation({15, 25}, base), AllenRelation::kOverlappedBy);
+  EXPECT_EQ(ClassifyRelation({10, 15}, base), AllenRelation::kStarts);
+  EXPECT_EQ(ClassifyRelation({10, 25}, base), AllenRelation::kStartedBy);
+  EXPECT_EQ(ClassifyRelation({12, 18}, base), AllenRelation::kDuring);
+  EXPECT_EQ(ClassifyRelation({5, 25}, base), AllenRelation::kContains);
+  EXPECT_EQ(ClassifyRelation({15, 20}, base), AllenRelation::kFinishes);
+  EXPECT_EQ(ClassifyRelation({5, 20}, base), AllenRelation::kFinishedBy);
+  EXPECT_EQ(ClassifyRelation({10, 20}, base), AllenRelation::kEquals);
+}
+
+TEST(AllenTest, EpsilonTolerance) {
+  EXPECT_EQ(ClassifyRelation({1.0, 9.99}, {10.0, 20.0}, 0.05),
+            AllenRelation::kMeets);
+  EXPECT_EQ(ClassifyRelation({1.0, 9.99}, {10.0, 20.0}, 1e-6),
+            AllenRelation::kBefore);
+}
+
+// Property: inverse(r(a,b)) == r(b,a) for random interval pairs.
+class AllenInverseSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(AllenInverseSweep, InverseConsistent) {
+  const auto [offset, length] = GetParam();
+  const TimeInterval a{10.0, 20.0};
+  const TimeInterval b{10.0 + offset, 10.0 + offset + length};
+  const AllenRelation forward = ClassifyRelation(a, b);
+  const AllenRelation backward = ClassifyRelation(b, a);
+  EXPECT_EQ(InverseRelation(forward), backward);
+  EXPECT_EQ(InverseRelation(InverseRelation(forward)), forward);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Offsets, AllenInverseSweep,
+    ::testing::Values(std::pair{-15.0, 3.0}, std::pair{-5.0, 5.0},
+                      std::pair{-5.0, 15.0}, std::pair{0.0, 5.0},
+                      std::pair{0.0, 10.0}, std::pair{0.0, 15.0},
+                      std::pair{2.0, 5.0}, std::pair{5.0, 5.0},
+                      std::pair{2.0, 8.0}, std::pair{12.0, 5.0},
+                      std::pair{-12.0, 30.0}));
+
+TEST(PatternTest, MatchesTypeAndAttrs) {
+  EventFact fact;
+  fact.type = "flyout";
+  fact.attrs["driver"] = "HAKKINEN";
+  Pattern p1{"flyout", {}};
+  Pattern p2{"flyout", {{"driver", "HAKKINEN"}}};
+  Pattern p3{"flyout", {{"driver", "SCHUMACHER"}}};
+  Pattern p4{"passing", {}};
+  EXPECT_TRUE(p1.Matches(fact));
+  EXPECT_TRUE(p2.Matches(fact));
+  EXPECT_FALSE(p3.Matches(fact));
+  EXPECT_FALSE(p4.Matches(fact));
+}
+
+TEST(RuleEngineTest, UnaryRuleReclassifies) {
+  RuleEngine engine;
+  Rule rule;
+  rule.name = "promote";
+  rule.first.type = "flyout";
+  rule.derived_type = "incident";
+  engine.AddRule(rule);
+
+  std::vector<EventFact> facts = {{"flyout", {10, 16}, {}, 1.0}};
+  auto derived = engine.Infer(facts);
+  ASSERT_EQ(derived.size(), 2u);
+  EXPECT_EQ(derived[1].type, "incident");
+  EXPECT_DOUBLE_EQ(derived[1].span.begin, 10.0);
+}
+
+TEST(RuleEngineTest, BinaryRuleWithAllenConstraint) {
+  RuleEngine engine;
+  Rule rule;
+  rule.name = "event-then-replay";
+  rule.first.type = "flyout";
+  rule.second.type = "replay";
+  rule.binary = true;
+  rule.allowed_relations = {AllenRelation::kBefore};
+  rule.max_gap_sec = 10.0;
+  rule.derived_type = "incident";
+  rule.combine = IntervalCombine::kUnion;
+  engine.AddRule(rule);
+
+  std::vector<EventFact> facts = {
+      {"flyout", {10, 16}, {{"driver", "ALESI"}}, 1.0},
+      {"replay", {20, 28}, {}, 1.0},
+      {"replay", {200, 208}, {}, 1.0},  // too far: gap constraint
+  };
+  auto derived = engine.Infer(facts);
+  ASSERT_EQ(derived.size(), 4u);
+  EXPECT_EQ(derived[3].type, "incident");
+  EXPECT_DOUBLE_EQ(derived[3].span.begin, 10.0);
+  EXPECT_DOUBLE_EQ(derived[3].span.end, 28.0);
+}
+
+TEST(RuleEngineTest, AttributeCopyDirectives) {
+  RuleEngine engine;
+  Rule rule;
+  rule.name = "flyout-of";
+  rule.first.type = "flyout";
+  rule.second.type = "retired";
+  rule.binary = true;
+  rule.derived_type = "flyout_of";
+  rule.combine = IntervalCombine::kFirst;
+  rule.derived_attrs = {{"driver", "$2.driver"}, {"source", "rules"}};
+  engine.AddRule(rule);
+
+  std::vector<EventFact> facts = {
+      {"flyout", {10, 16}, {}, 1.0},
+      {"retired", {15, 18}, {{"driver", "BUTTON"}}, 1.0},
+  };
+  auto derived = engine.Infer(facts);
+  ASSERT_EQ(derived.size(), 3u);
+  EXPECT_EQ(derived[2].attrs.at("driver"), "BUTTON");
+  EXPECT_EQ(derived[2].attrs.at("source"), "rules");
+  EXPECT_DOUBLE_EQ(derived[2].span.end, 16.0);
+}
+
+TEST(RuleEngineTest, FixpointChainsRules) {
+  RuleEngine engine;
+  Rule first;
+  first.first.type = "a";
+  first.derived_type = "b";
+  engine.AddRule(first);
+  Rule second;
+  second.first.type = "b";
+  second.derived_type = "c";
+  engine.AddRule(second);
+
+  auto derived = engine.Infer({{"a", {0, 1}, {}, 1.0}});
+  ASSERT_EQ(derived.size(), 3u);
+  EXPECT_EQ(derived[2].type, "c");
+}
+
+TEST(RuleEngineTest, DuplicatesSuppressed) {
+  RuleEngine engine;
+  Rule rule;
+  rule.first.type = "a";
+  rule.derived_type = "b";
+  engine.AddRule(rule);
+  auto derived = engine.Infer({{"a", {0, 1}, {}, 1.0}});
+  // A second pass must not add another copy of b.
+  EXPECT_EQ(derived.size(), 2u);
+}
+
+TEST(RuleEngineTest, ConfidencePropagatesAsMin) {
+  RuleEngine engine;
+  Rule rule;
+  rule.first.type = "a";
+  rule.second.type = "b";
+  rule.binary = true;
+  rule.derived_type = "c";
+  engine.AddRule(rule);
+  auto derived = engine.Infer({
+      {"a", {0, 1}, {}, 0.9},
+      {"b", {0.5, 2}, {}, 0.6},
+  });
+  ASSERT_EQ(derived.size(), 3u);
+  EXPECT_DOUBLE_EQ(derived[2].confidence, 0.6);
+}
+
+}  // namespace
+}  // namespace cobra::rules

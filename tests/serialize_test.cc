@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "bayes/serialize.h"
+#include "f1/networks.h"
+
+namespace cobra::bayes {
+namespace {
+
+TEST(SerializeTest, NetworkRoundTripPreservesPosteriors) {
+  BayesianNetwork net;
+  const NodeId h = net.AddNode("h", 2, false);
+  const NodeId e = net.AddNode("e", 2, true);
+  ASSERT_TRUE(net.AddEdge(h, e).ok());
+  ASSERT_TRUE(net.Finalize().ok());
+  ASSERT_TRUE(net.cpt(h).SetRow(0, {0.3, 0.7}).ok());
+  ASSERT_TRUE(net.cpt(e).SetRow(0, {0.9, 0.1}).ok());
+  ASSERT_TRUE(net.cpt(e).SetRow(1, {0.2, 0.8}).ok());
+
+  auto restored = DeserializeNetwork(SerializeNetwork(net));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_nodes(), 2);
+  EXPECT_EQ(restored->FindNode("h"), h);
+  EXPECT_TRUE(restored->is_evidence(restored->FindNode("e")));
+
+  Evidence evidence;
+  evidence.hard[e] = 1;
+  auto p1 = net.Posterior(h, evidence);
+  auto p2 = restored->Posterior(restored->FindNode("h"), evidence);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NEAR((*p1)[1], (*p2)[1], 1e-9);
+}
+
+TEST(SerializeTest, DbnRoundTripPreservesFiltering) {
+  // A trained-looking audio DBN with randomized parameters.
+  auto dbn_or = cobra::f1::BuildAudioDbn(
+      cobra::f1::AudioStructure::kFullyParameterized,
+      cobra::f1::TemporalScheme::kFig8);
+  ASSERT_TRUE(dbn_or.ok());
+  DynamicBayesianNetwork dbn = std::move(*dbn_or);
+  Rng rng(99);
+  dbn.RandomizeCpts(rng);
+
+  auto restored = DeserializeDbn(SerializeDbn(dbn));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->temporal_arcs().size(), dbn.temporal_arcs().size());
+  EXPECT_EQ(restored->num_chain_states(), dbn.num_chain_states());
+
+  // Same evidence sequence -> same filtered posterior.
+  const NodeId ea = dbn.slice().FindNode(cobra::f1::kExcitedAnnouncer);
+  std::vector<Evidence> sequence(20);
+  Rng erng(7);
+  for (auto& ev : sequence) {
+    for (NodeId n = 0; n < dbn.slice().num_nodes(); ++n) {
+      if (dbn.slice().is_evidence(n)) ev.SetBinary(n, erng.Uniform());
+    }
+  }
+  auto f1_result = dbn.Filter(sequence, ea);
+  auto f2_result = restored->Filter(sequence, ea);
+  ASSERT_TRUE(f1_result.ok());
+  ASSERT_TRUE(f2_result.ok());
+  for (size_t t = 0; t < sequence.size(); ++t) {
+    EXPECT_NEAR(f1_result->query_posterior[t][1],
+                f2_result->query_posterior[t][1], 1e-6);
+  }
+}
+
+TEST(SerializeTest, CatalogStoreLoad) {
+  kernel::Catalog catalog;
+  ASSERT_TRUE(StoreModel(&catalog, "audio-dbn", "bn 0\ncpt").ok());
+  auto loaded = LoadModel(catalog, "audio-dbn");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, "bn 0\ncpt");
+  // Overwrite is allowed.
+  ASSERT_TRUE(StoreModel(&catalog, "audio-dbn", "v2").ok());
+  EXPECT_EQ(*LoadModel(catalog, "audio-dbn"), "v2");
+  EXPECT_FALSE(LoadModel(catalog, "missing").ok());
+}
+
+TEST(SerializeTest, GarbageRejected) {
+  EXPECT_FALSE(DeserializeNetwork("").ok());
+  EXPECT_FALSE(DeserializeNetwork("xyz 1 2 3").ok());
+  EXPECT_FALSE(DeserializeDbn("bn 0\n").ok());
+}
+
+}  // namespace
+}  // namespace cobra::bayes

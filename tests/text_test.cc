@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "image/draw.h"
+#include "image/font.h"
+#include "text/text_detect.h"
+#include "text/text_recognize.h"
+
+namespace cobra::text {
+namespace {
+
+/// Renders a broadcast-style caption band: dark shading with bright text.
+image::Frame MakeBand(const std::string& caption, int width = 256,
+                      int height = 38, uint64_t noise_seed = 0) {
+  image::Frame band(width, height, {30, 30, 46});
+  const auto& font = image::BitmapFont::Get();
+  const int scale = 2;
+  const int x = (width - font.TextWidth(caption, scale)) / 2;
+  const int y = (height - image::BitmapFont::kGlyphHeight * scale) / 2;
+  font.Draw(band, caption, x, y, scale, {250, 245, 120});
+  if (noise_seed != 0) {
+    Rng rng(noise_seed);
+    image::AddGaussianNoise(band, 2.0, rng);
+  }
+  return band;
+}
+
+/// A full frame with the caption band at the bottom.
+image::Frame MakeFrame(const std::string& caption, uint64_t noise_seed = 0) {
+  image::Frame frame(256, 192, {120, 120, 120});
+  const image::Frame band = MakeBand(caption, 256, 38, noise_seed);
+  for (int y = 0; y < band.height(); ++y) {
+    for (int x = 0; x < band.width(); ++x) {
+      frame.Set(x, 192 - 38 + y, band.At(x, y));
+    }
+  }
+  return frame;
+}
+
+TEST(TextDetectTest, CaptionFrameDetected) {
+  TextDetector detector;
+  EXPECT_TRUE(detector.FrameHasText(MakeFrame("PIT STOP", 1)));
+}
+
+TEST(TextDetectTest, PlainFrameRejected) {
+  TextDetector detector;
+  image::Frame frame(256, 192, {120, 120, 120});
+  EXPECT_FALSE(detector.FrameHasText(frame));
+}
+
+TEST(TextDetectTest, DarkBandWithoutTextRejected) {
+  TextDetector detector;
+  EXPECT_FALSE(detector.FrameHasText(MakeFrame("", 1)));
+}
+
+TEST(TextDetectTest, DurationCriterion) {
+  TextDetector detector;
+  // Two caption frames then a plain frame: below min duration, no segment.
+  detector.Push(MakeFrame("WINNER", 1));
+  detector.Push(MakeFrame("WINNER", 2));
+  auto segment = detector.Push(image::Frame(256, 192, {120, 120, 120}));
+  EXPECT_FALSE(segment.has_value());
+  // Five caption frames: segment emitted at the end.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(detector.Push(MakeFrame("WINNER", 10 + i)).has_value());
+  }
+  segment = detector.Push(image::Frame(256, 192, {120, 120, 120}));
+  EXPECT_TRUE(segment.has_value());
+  EXPECT_GT(segment->width(), 256);  // 4x magnified
+}
+
+TEST(TextRecognizeTest, BinarizeSeparatesInk) {
+  auto band = MakeBand("LAP");
+  auto mask = BinarizeRegion(band, 170.0);
+  int ink = 0;
+  for (auto v : mask.ink) ink += v;
+  EXPECT_GT(ink, 50);
+  EXPECT_LT(ink, mask.width * mask.height / 4);
+}
+
+TEST(TextRecognizeTest, SegmentsWordsAndChars) {
+  TextRecognizer recognizer({"FINAL", "LAP"});
+  std::vector<image::Frame> bands;
+  for (int i = 0; i < 5; ++i) bands.push_back(MakeBand("FINAL LAP", 256, 38, 20 + i));
+  auto refined = RefineTextRegion(bands);
+  auto mask = BinarizeRegion(refined, 170.0);
+  auto words = recognizer.SegmentWords(mask);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0].size(), 5u);
+  EXPECT_EQ(words[1].size(), 3u);
+}
+
+TEST(TextRecognizeTest, RecognizesVocabulary) {
+  TextRecognizer recognizer(
+      {"PIT", "STOP", "WINNER", "SCHUMACHER", "HAKKINEN", "LEADER"});
+  std::vector<image::Frame> bands;
+  for (int i = 0; i < 6; ++i) {
+    bands.push_back(MakeBand("PIT STOP HAKKINEN", 256, 38, 30 + i));
+  }
+  auto refined = RefineTextRegion(bands);
+  auto words = recognizer.Recognize(refined);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0].text, "PIT");
+  EXPECT_EQ(words[1].text, "STOP");
+  EXPECT_EQ(words[2].text, "HAKKINEN");
+  for (const auto& w : words) EXPECT_GT(w.score, 0.5);
+}
+
+TEST(TextRecognizeTest, LengthBucketingPrunesCandidates) {
+  // "WINNER" (6 chars) cannot match a 3-char or 10-char reference.
+  TextRecognizer recognizer({"LAP", "SCHUMACHER"});
+  std::vector<image::Frame> bands;
+  for (int i = 0; i < 5; ++i) bands.push_back(MakeBand("WINNER", 256, 38, 40 + i));
+  auto words = recognizer.Recognize(RefineTextRegion(bands));
+  EXPECT_TRUE(words.empty());
+}
+
+TEST(TextRecognizeTest, EmptyRegionYieldsNothing) {
+  TextRecognizer recognizer({"PIT"});
+  image::Frame empty(64, 32, {20, 20, 20});
+  EXPECT_TRUE(recognizer.Recognize(empty).empty());
+}
+
+// Property sweep: every driver name in the lexicon-sized vocabulary is
+// recognizable when rendered cleanly.
+class DriverRecognitionSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DriverRecognitionSweep, RecognizesCleanRender) {
+  const std::string name = GetParam();
+  TextRecognizer recognizer({"SCHUMACHER", "BARRICHELLO", "HAKKINEN",
+                             "COULTHARD", "MONTOYA", "VILLENEUVE", "TRULLI",
+                             "RAIKKONEN"});
+  std::vector<image::Frame> bands;
+  for (int i = 0; i < 5; ++i) {
+    bands.push_back(MakeBand(name, 320, 38, 50 + i));
+  }
+  auto words = recognizer.Recognize(RefineTextRegion(bands));
+  ASSERT_EQ(words.size(), 1u) << name;
+  EXPECT_EQ(words[0].text, name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Drivers, DriverRecognitionSweep,
+                         ::testing::Values("SCHUMACHER", "BARRICHELLO",
+                                           "HAKKINEN", "COULTHARD", "MONTOYA",
+                                           "VILLENEUVE", "TRULLI",
+                                           "RAIKKONEN"));
+
+}  // namespace
+}  // namespace cobra::text

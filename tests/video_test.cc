@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "image/draw.h"
+#include "video/replay.h"
+#include "video/shot_detection.h"
+#include "video/visual_cues.h"
+
+namespace cobra::video {
+namespace {
+
+image::Frame Flat(uint8_t v) { return image::Frame(64, 48, {v, v, v}); }
+
+TEST(ShotDetectionTest, DetectsHardCut) {
+  ShotBoundaryDetector detector;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(detector.Push(Flat(60)));
+  EXPECT_TRUE(detector.Push(Flat(200)));
+}
+
+TEST(ShotDetectionTest, IgnoresSmallChanges) {
+  ShotBoundaryDetector detector;
+  Rng rng(3);
+  image::Frame frame = Flat(120);
+  for (int i = 0; i < 30; ++i) {
+    image::Frame noisy = frame;
+    image::AddGaussianNoise(noisy, 4.0, rng);
+    EXPECT_FALSE(detector.Push(noisy));
+  }
+}
+
+TEST(ShotDetectionTest, RefractoryPeriodSuppressesDoubleCuts) {
+  ShotBoundaryDetector::Options options;
+  options.min_shot_frames = 5;
+  ShotBoundaryDetector detector(options);
+  for (int i = 0; i < 6; ++i) detector.Push(Flat(60));
+  EXPECT_TRUE(detector.Push(Flat(200)));
+  // Immediate second flash is suppressed.
+  EXPECT_FALSE(detector.Push(Flat(60)));
+}
+
+TEST(ShotDetectionTest, OfflineHelper) {
+  std::vector<image::Frame> frames;
+  for (int i = 0; i < 8; ++i) frames.push_back(Flat(50));
+  for (int i = 0; i < 8; ++i) frames.push_back(Flat(220));
+  auto boundaries = DetectShotBoundaries(frames);
+  ASSERT_EQ(boundaries.size(), 1u);
+  EXPECT_EQ(boundaries[0], 8u);
+}
+
+TEST(ReplayTest, DveStripeTogglesReplay) {
+  ReplayDetector detector;
+  image::Frame base(160, 48, {100, 100, 100});
+  auto dve_frames = [&](int offset) {
+    // A bright stripe sweeping across several frames.
+    std::vector<image::Frame> frames;
+    for (int i = 0; i < 5; ++i) {
+      image::Frame f = base;
+      image::FillRect(f, offset + i * 20, 0, 18, 48, {250, 250, 250});
+      frames.push_back(f);
+    }
+    return frames;
+  };
+  // Static lead-in.
+  for (int i = 0; i < 20; ++i) detector.Push(base);
+  EXPECT_FALSE(detector.in_replay());
+  // Opening DVE.
+  for (auto& f : dve_frames(0)) detector.Push(f);
+  for (int i = 0; i < 3; ++i) detector.Push(base);
+  EXPECT_TRUE(detector.in_replay());
+  // Quiet replay content.
+  for (int i = 0; i < 40; ++i) detector.Push(base);
+  EXPECT_TRUE(detector.in_replay());
+  // Closing DVE.
+  for (auto& f : dve_frames(0)) detector.Push(f);
+  for (int i = 0; i < 3; ++i) detector.Push(base);
+  EXPECT_FALSE(detector.in_replay());
+}
+
+TEST(ReplayTest, UniformMotionIsNotADve) {
+  ReplayDetector detector;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    image::Frame f(160, 48);
+    image::FillNoise(f, 0, 255, rng);  // full-frame chaos
+    detector.Push(f);
+  }
+  EXPECT_FALSE(detector.in_replay());
+}
+
+TEST(ReplayTest, TimeoutForceCloses) {
+  ReplayDetector::Options options;
+  options.max_replay_frames = 30;
+  ReplayDetector detector(options);
+  image::Frame base(160, 48, {100, 100, 100});
+  for (int i = 0; i < 20; ++i) detector.Push(base);
+  for (int i = 0; i < 5; ++i) {
+    image::Frame f = base;
+    image::FillRect(f, i * 20, 0, 18, 48, {250, 250, 250});
+    detector.Push(f);
+  }
+  for (int i = 0; i < 40; ++i) detector.Push(base);
+  EXPECT_FALSE(detector.in_replay());
+}
+
+TEST(VisualAnalyzerTest, SemaphoreCue) {
+  VisualAnalyzer analyzer;
+  image::Frame a(128, 96, {80, 80, 80});
+  image::Frame b = a;
+  image::FillRect(b, 40, 8, 30, 8, {225, 30, 28});
+  auto features = analyzer.AnalyzeClip(a, b);
+  EXPECT_GT(features.semaphore, 0.5);
+}
+
+TEST(VisualAnalyzerTest, SandAndDustCues) {
+  VisualAnalyzer analyzer;
+  image::Frame a(128, 96, {80, 80, 80});
+  image::Frame b = a;
+  image::FillRect(b, 0, 60, 128, 36, {200, 160, 90});    // sand
+  image::FillRect(b, 20, 20, 60, 30, {188, 168, 138});   // dust
+  auto features = analyzer.AnalyzeClip(a, b);
+  EXPECT_GT(features.sand, 0.5);
+  EXPECT_GT(features.dust, 0.5);
+}
+
+TEST(VisualAnalyzerTest, MotionRespondsToMovingObject) {
+  VisualAnalyzer quiet_analyzer;
+  image::Frame a(128, 96, {90, 90, 90});
+  image::Frame b = a;
+  auto quiet = quiet_analyzer.AnalyzeClip(a, a);
+  image::FillRect(b, 30, 40, 24, 12, {235, 235, 235});
+  VisualAnalyzer moving_analyzer;
+  auto moving = moving_analyzer.AnalyzeClip(a, b);
+  EXPECT_GT(moving.motion, quiet.motion + 0.2);
+  EXPECT_GT(moving.color_diff, quiet.color_diff);
+}
+
+TEST(VisualAnalyzerTest, QuietSceneHasNoCues) {
+  VisualAnalyzer analyzer;
+  image::Frame a(128, 96, {90, 90, 90});
+  auto features = analyzer.AnalyzeClip(a, a);
+  EXPECT_EQ(features.semaphore, 0.0);
+  EXPECT_LT(features.sand, 0.05);
+  EXPECT_LT(features.dust, 0.05);
+  EXPECT_LT(features.motion, 0.05);
+  EXPECT_EQ(features.replay, 0.0);
+}
+
+}  // namespace
+}  // namespace cobra::video
