@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_speech_endpoint.cc" "bench/CMakeFiles/bench_speech_endpoint.dir/bench_speech_endpoint.cc.o" "gcc" "bench/CMakeFiles/bench_speech_endpoint.dir/bench_speech_endpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/f1/CMakeFiles/cobra_f1.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/cobra_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cobra_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/cobra_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/kws/CMakeFiles/cobra_kws.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cobra_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/cobra_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/cobra/CMakeFiles/cobra_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/moa/CMakeFiles/cobra_moa.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cobra_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/cobra_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cobra_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/cobra_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/cobra_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speech_endpoint.dir/bench_speech_endpoint.cc.o"
+  "CMakeFiles/bench_speech_endpoint.dir/bench_speech_endpoint.cc.o.d"
+  "bench_speech_endpoint"
+  "bench_speech_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speech_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_bn_vs_dbn.dir/bench_table1_bn_vs_dbn.cc.o"
+  "CMakeFiles/bench_table1_bn_vs_dbn.dir/bench_table1_bn_vs_dbn.cc.o.d"
+  "bench_table1_bn_vs_dbn"
+  "bench_table1_bn_vs_dbn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bn_vs_dbn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_audio_generalization.dir/bench_table2_audio_generalization.cc.o"
+  "CMakeFiles/bench_table2_audio_generalization.dir/bench_table2_audio_generalization.cc.o.d"
+  "bench_table2_audio_generalization"
+  "bench_table2_audio_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_audio_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_audiovisual.dir/bench_table3_audiovisual.cc.o"
+  "CMakeFiles/bench_table3_audiovisual.dir/bench_table3_audiovisual.cc.o.d"
+  "bench_table3_audiovisual"
+  "bench_table3_audiovisual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_audiovisual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_event.dir/custom_event.cpp.o"
+  "CMakeFiles/custom_event.dir/custom_event.cpp.o.d"
+  "custom_event"
+  "custom_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highlight_extraction.dir/highlight_extraction.cpp.o"
+  "CMakeFiles/highlight_extraction.dir/highlight_extraction.cpp.o.d"
+  "highlight_extraction"
+  "highlight_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highlight_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_strokes.dir/hmm_strokes.cpp.o"
+  "CMakeFiles/hmm_strokes.dir/hmm_strokes.cpp.o.d"
+  "hmm_strokes"
+  "hmm_strokes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_strokes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hmm_strokes.
+# This may be replaced when dependencies are built.

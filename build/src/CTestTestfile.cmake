@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("dsp")
+subdirs("image")
+subdirs("kernel")
+subdirs("audio")
+subdirs("video")
+subdirs("text")
+subdirs("kws")
+subdirs("moa")
+subdirs("hmm")
+subdirs("bayes")
+subdirs("rules")
+subdirs("cobra")
+subdirs("query")
+subdirs("extensions")
+subdirs("f1")

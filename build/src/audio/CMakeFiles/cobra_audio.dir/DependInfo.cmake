@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/clip_features.cc" "src/audio/CMakeFiles/cobra_audio.dir/clip_features.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/clip_features.cc.o.d"
+  "/root/repo/src/audio/endpoint.cc" "src/audio/CMakeFiles/cobra_audio.dir/endpoint.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/endpoint.cc.o.d"
+  "/root/repo/src/audio/mfcc.cc" "src/audio/CMakeFiles/cobra_audio.dir/mfcc.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/mfcc.cc.o.d"
+  "/root/repo/src/audio/pitch.cc" "src/audio/CMakeFiles/cobra_audio.dir/pitch.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/pitch.cc.o.d"
+  "/root/repo/src/audio/short_time_energy.cc" "src/audio/CMakeFiles/cobra_audio.dir/short_time_energy.cc.o" "gcc" "src/audio/CMakeFiles/cobra_audio.dir/short_time_energy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/cobra_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_audio.dir/clip_features.cc.o"
+  "CMakeFiles/cobra_audio.dir/clip_features.cc.o.d"
+  "CMakeFiles/cobra_audio.dir/endpoint.cc.o"
+  "CMakeFiles/cobra_audio.dir/endpoint.cc.o.d"
+  "CMakeFiles/cobra_audio.dir/mfcc.cc.o"
+  "CMakeFiles/cobra_audio.dir/mfcc.cc.o.d"
+  "CMakeFiles/cobra_audio.dir/pitch.cc.o"
+  "CMakeFiles/cobra_audio.dir/pitch.cc.o.d"
+  "CMakeFiles/cobra_audio.dir/short_time_energy.cc.o"
+  "CMakeFiles/cobra_audio.dir/short_time_energy.cc.o.d"
+  "libcobra_audio.a"
+  "libcobra_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

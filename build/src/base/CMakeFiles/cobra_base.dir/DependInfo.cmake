@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/cobra_base.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/cobra_base.dir/logging.cc.o.d"
+  "/root/repo/src/base/mathutil.cc" "src/base/CMakeFiles/cobra_base.dir/mathutil.cc.o" "gcc" "src/base/CMakeFiles/cobra_base.dir/mathutil.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/base/CMakeFiles/cobra_base.dir/rng.cc.o" "gcc" "src/base/CMakeFiles/cobra_base.dir/rng.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/base/CMakeFiles/cobra_base.dir/status.cc.o" "gcc" "src/base/CMakeFiles/cobra_base.dir/status.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/cobra_base.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/cobra_base.dir/strings.cc.o.d"
+  "/root/repo/src/base/thread_pool.cc" "src/base/CMakeFiles/cobra_base.dir/thread_pool.cc.o" "gcc" "src/base/CMakeFiles/cobra_base.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_base.dir/logging.cc.o"
+  "CMakeFiles/cobra_base.dir/logging.cc.o.d"
+  "CMakeFiles/cobra_base.dir/mathutil.cc.o"
+  "CMakeFiles/cobra_base.dir/mathutil.cc.o.d"
+  "CMakeFiles/cobra_base.dir/rng.cc.o"
+  "CMakeFiles/cobra_base.dir/rng.cc.o.d"
+  "CMakeFiles/cobra_base.dir/status.cc.o"
+  "CMakeFiles/cobra_base.dir/status.cc.o.d"
+  "CMakeFiles/cobra_base.dir/strings.cc.o"
+  "CMakeFiles/cobra_base.dir/strings.cc.o.d"
+  "CMakeFiles/cobra_base.dir/thread_pool.cc.o"
+  "CMakeFiles/cobra_base.dir/thread_pool.cc.o.d"
+  "libcobra_base.a"
+  "libcobra_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

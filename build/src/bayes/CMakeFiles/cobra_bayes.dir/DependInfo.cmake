@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayes/cpt.cc" "src/bayes/CMakeFiles/cobra_bayes.dir/cpt.cc.o" "gcc" "src/bayes/CMakeFiles/cobra_bayes.dir/cpt.cc.o.d"
+  "/root/repo/src/bayes/dbn.cc" "src/bayes/CMakeFiles/cobra_bayes.dir/dbn.cc.o" "gcc" "src/bayes/CMakeFiles/cobra_bayes.dir/dbn.cc.o.d"
+  "/root/repo/src/bayes/network.cc" "src/bayes/CMakeFiles/cobra_bayes.dir/network.cc.o" "gcc" "src/bayes/CMakeFiles/cobra_bayes.dir/network.cc.o.d"
+  "/root/repo/src/bayes/serialize.cc" "src/bayes/CMakeFiles/cobra_bayes.dir/serialize.cc.o" "gcc" "src/bayes/CMakeFiles/cobra_bayes.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cobra_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

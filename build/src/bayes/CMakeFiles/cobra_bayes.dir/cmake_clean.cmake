@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_bayes.dir/cpt.cc.o"
+  "CMakeFiles/cobra_bayes.dir/cpt.cc.o.d"
+  "CMakeFiles/cobra_bayes.dir/dbn.cc.o"
+  "CMakeFiles/cobra_bayes.dir/dbn.cc.o.d"
+  "CMakeFiles/cobra_bayes.dir/network.cc.o"
+  "CMakeFiles/cobra_bayes.dir/network.cc.o.d"
+  "CMakeFiles/cobra_bayes.dir/serialize.cc.o"
+  "CMakeFiles/cobra_bayes.dir/serialize.cc.o.d"
+  "libcobra_bayes.a"
+  "libcobra_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_model.dir/video_model.cc.o"
+  "CMakeFiles/cobra_model.dir/video_model.cc.o.d"
+  "libcobra_model.a"
+  "libcobra_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

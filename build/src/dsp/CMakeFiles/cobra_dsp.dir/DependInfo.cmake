@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cc" "src/dsp/CMakeFiles/cobra_dsp.dir/fft.cc.o" "gcc" "src/dsp/CMakeFiles/cobra_dsp.dir/fft.cc.o.d"
+  "/root/repo/src/dsp/filter.cc" "src/dsp/CMakeFiles/cobra_dsp.dir/filter.cc.o" "gcc" "src/dsp/CMakeFiles/cobra_dsp.dir/filter.cc.o.d"
+  "/root/repo/src/dsp/spectral.cc" "src/dsp/CMakeFiles/cobra_dsp.dir/spectral.cc.o" "gcc" "src/dsp/CMakeFiles/cobra_dsp.dir/spectral.cc.o.d"
+  "/root/repo/src/dsp/window.cc" "src/dsp/CMakeFiles/cobra_dsp.dir/window.cc.o" "gcc" "src/dsp/CMakeFiles/cobra_dsp.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

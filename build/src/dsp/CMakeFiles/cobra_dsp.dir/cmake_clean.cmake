@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_dsp.dir/fft.cc.o"
+  "CMakeFiles/cobra_dsp.dir/fft.cc.o.d"
+  "CMakeFiles/cobra_dsp.dir/filter.cc.o"
+  "CMakeFiles/cobra_dsp.dir/filter.cc.o.d"
+  "CMakeFiles/cobra_dsp.dir/spectral.cc.o"
+  "CMakeFiles/cobra_dsp.dir/spectral.cc.o.d"
+  "CMakeFiles/cobra_dsp.dir/window.cc.o"
+  "CMakeFiles/cobra_dsp.dir/window.cc.o.d"
+  "libcobra_dsp.a"
+  "libcobra_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

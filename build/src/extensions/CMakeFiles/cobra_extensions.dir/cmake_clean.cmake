@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_extensions.dir/extension.cc.o"
+  "CMakeFiles/cobra_extensions.dir/extension.cc.o.d"
+  "libcobra_extensions.a"
+  "libcobra_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_f1.dir/audio_synth.cc.o"
+  "CMakeFiles/cobra_f1.dir/audio_synth.cc.o.d"
+  "CMakeFiles/cobra_f1.dir/evaluation.cc.o"
+  "CMakeFiles/cobra_f1.dir/evaluation.cc.o.d"
+  "CMakeFiles/cobra_f1.dir/features.cc.o"
+  "CMakeFiles/cobra_f1.dir/features.cc.o.d"
+  "CMakeFiles/cobra_f1.dir/frame_render.cc.o"
+  "CMakeFiles/cobra_f1.dir/frame_render.cc.o.d"
+  "CMakeFiles/cobra_f1.dir/lexicon.cc.o"
+  "CMakeFiles/cobra_f1.dir/lexicon.cc.o.d"
+  "CMakeFiles/cobra_f1.dir/networks.cc.o"
+  "CMakeFiles/cobra_f1.dir/networks.cc.o.d"
+  "CMakeFiles/cobra_f1.dir/pipeline.cc.o"
+  "CMakeFiles/cobra_f1.dir/pipeline.cc.o.d"
+  "CMakeFiles/cobra_f1.dir/timeline.cc.o"
+  "CMakeFiles/cobra_f1.dir/timeline.cc.o.d"
+  "libcobra_f1.a"
+  "libcobra_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmm/hmm.cc" "src/hmm/CMakeFiles/cobra_hmm.dir/hmm.cc.o" "gcc" "src/hmm/CMakeFiles/cobra_hmm.dir/hmm.cc.o.d"
+  "/root/repo/src/hmm/parallel_eval.cc" "src/hmm/CMakeFiles/cobra_hmm.dir/parallel_eval.cc.o" "gcc" "src/hmm/CMakeFiles/cobra_hmm.dir/parallel_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cobra_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_hmm.dir/hmm.cc.o"
+  "CMakeFiles/cobra_hmm.dir/hmm.cc.o.d"
+  "CMakeFiles/cobra_hmm.dir/parallel_eval.cc.o"
+  "CMakeFiles/cobra_hmm.dir/parallel_eval.cc.o.d"
+  "libcobra_hmm.a"
+  "libcobra_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/analysis.cc" "src/image/CMakeFiles/cobra_image.dir/analysis.cc.o" "gcc" "src/image/CMakeFiles/cobra_image.dir/analysis.cc.o.d"
+  "/root/repo/src/image/draw.cc" "src/image/CMakeFiles/cobra_image.dir/draw.cc.o" "gcc" "src/image/CMakeFiles/cobra_image.dir/draw.cc.o.d"
+  "/root/repo/src/image/font.cc" "src/image/CMakeFiles/cobra_image.dir/font.cc.o" "gcc" "src/image/CMakeFiles/cobra_image.dir/font.cc.o.d"
+  "/root/repo/src/image/frame.cc" "src/image/CMakeFiles/cobra_image.dir/frame.cc.o" "gcc" "src/image/CMakeFiles/cobra_image.dir/frame.cc.o.d"
+  "/root/repo/src/image/histogram.cc" "src/image/CMakeFiles/cobra_image.dir/histogram.cc.o" "gcc" "src/image/CMakeFiles/cobra_image.dir/histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

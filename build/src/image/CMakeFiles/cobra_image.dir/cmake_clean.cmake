@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_image.dir/analysis.cc.o"
+  "CMakeFiles/cobra_image.dir/analysis.cc.o.d"
+  "CMakeFiles/cobra_image.dir/draw.cc.o"
+  "CMakeFiles/cobra_image.dir/draw.cc.o.d"
+  "CMakeFiles/cobra_image.dir/font.cc.o"
+  "CMakeFiles/cobra_image.dir/font.cc.o.d"
+  "CMakeFiles/cobra_image.dir/frame.cc.o"
+  "CMakeFiles/cobra_image.dir/frame.cc.o.d"
+  "CMakeFiles/cobra_image.dir/histogram.cc.o"
+  "CMakeFiles/cobra_image.dir/histogram.cc.o.d"
+  "libcobra_image.a"
+  "libcobra_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

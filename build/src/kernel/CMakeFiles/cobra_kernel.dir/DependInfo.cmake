@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/bat.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/bat.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/bat.cc.o.d"
+  "/root/repo/src/kernel/catalog.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/catalog.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/catalog.cc.o.d"
+  "/root/repo/src/kernel/mil.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/mil.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/mil.cc.o.d"
+  "/root/repo/src/kernel/parallel.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/parallel.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

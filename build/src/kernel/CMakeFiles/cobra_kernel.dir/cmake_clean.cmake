@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_kernel.dir/bat.cc.o"
+  "CMakeFiles/cobra_kernel.dir/bat.cc.o.d"
+  "CMakeFiles/cobra_kernel.dir/catalog.cc.o"
+  "CMakeFiles/cobra_kernel.dir/catalog.cc.o.d"
+  "CMakeFiles/cobra_kernel.dir/mil.cc.o"
+  "CMakeFiles/cobra_kernel.dir/mil.cc.o.d"
+  "CMakeFiles/cobra_kernel.dir/parallel.cc.o"
+  "CMakeFiles/cobra_kernel.dir/parallel.cc.o.d"
+  "libcobra_kernel.a"
+  "libcobra_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

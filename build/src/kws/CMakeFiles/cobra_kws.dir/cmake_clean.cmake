@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_kws.dir/keyword_spotter.cc.o"
+  "CMakeFiles/cobra_kws.dir/keyword_spotter.cc.o.d"
+  "libcobra_kws.a"
+  "libcobra_kws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_kws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

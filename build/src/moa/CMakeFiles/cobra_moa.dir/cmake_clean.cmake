@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_moa.dir/moa.cc.o"
+  "CMakeFiles/cobra_moa.dir/moa.cc.o.d"
+  "libcobra_moa.a"
+  "libcobra_moa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_moa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_query.dir/engine.cc.o"
+  "CMakeFiles/cobra_query.dir/engine.cc.o.d"
+  "CMakeFiles/cobra_query.dir/parser.cc.o"
+  "CMakeFiles/cobra_query.dir/parser.cc.o.d"
+  "libcobra_query.a"
+  "libcobra_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_rules.dir/engine.cc.o"
+  "CMakeFiles/cobra_rules.dir/engine.cc.o.d"
+  "CMakeFiles/cobra_rules.dir/interval.cc.o"
+  "CMakeFiles/cobra_rules.dir/interval.cc.o.d"
+  "libcobra_rules.a"
+  "libcobra_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

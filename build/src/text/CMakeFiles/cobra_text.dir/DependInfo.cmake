@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/text_detect.cc" "src/text/CMakeFiles/cobra_text.dir/text_detect.cc.o" "gcc" "src/text/CMakeFiles/cobra_text.dir/text_detect.cc.o.d"
+  "/root/repo/src/text/text_recognize.cc" "src/text/CMakeFiles/cobra_text.dir/text_recognize.cc.o" "gcc" "src/text/CMakeFiles/cobra_text.dir/text_recognize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/cobra_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

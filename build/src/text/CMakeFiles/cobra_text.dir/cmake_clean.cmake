@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_text.dir/text_detect.cc.o"
+  "CMakeFiles/cobra_text.dir/text_detect.cc.o.d"
+  "CMakeFiles/cobra_text.dir/text_recognize.cc.o"
+  "CMakeFiles/cobra_text.dir/text_recognize.cc.o.d"
+  "libcobra_text.a"
+  "libcobra_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/replay.cc" "src/video/CMakeFiles/cobra_video.dir/replay.cc.o" "gcc" "src/video/CMakeFiles/cobra_video.dir/replay.cc.o.d"
+  "/root/repo/src/video/shot_detection.cc" "src/video/CMakeFiles/cobra_video.dir/shot_detection.cc.o" "gcc" "src/video/CMakeFiles/cobra_video.dir/shot_detection.cc.o.d"
+  "/root/repo/src/video/visual_cues.cc" "src/video/CMakeFiles/cobra_video.dir/visual_cues.cc.o" "gcc" "src/video/CMakeFiles/cobra_video.dir/visual_cues.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/cobra_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_video.dir/replay.cc.o"
+  "CMakeFiles/cobra_video.dir/replay.cc.o.d"
+  "CMakeFiles/cobra_video.dir/shot_detection.cc.o"
+  "CMakeFiles/cobra_video.dir/shot_detection.cc.o.d"
+  "CMakeFiles/cobra_video.dir/visual_cues.cc.o"
+  "CMakeFiles/cobra_video.dir/visual_cues.cc.o.d"
+  "libcobra_video.a"
+  "libcobra_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cobra_model_test.cc" "tests/CMakeFiles/cobra_model_test.dir/cobra_model_test.cc.o" "gcc" "tests/CMakeFiles/cobra_model_test.dir/cobra_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cobra/CMakeFiles/cobra_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/moa/CMakeFiles/cobra_moa.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cobra_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/cobra_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cobra_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_model_test.dir/cobra_model_test.cc.o"
+  "CMakeFiles/cobra_model_test.dir/cobra_model_test.cc.o.d"
+  "cobra_model_test"
+  "cobra_model_test.pdb"
+  "cobra_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

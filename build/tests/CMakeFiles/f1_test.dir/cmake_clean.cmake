@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f1_test.dir/f1_test.cc.o"
+  "CMakeFiles/f1_test.dir/f1_test.cc.o.d"
+  "f1_test"
+  "f1_test.pdb"
+  "f1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kws_test.dir/kws_test.cc.o"
+  "CMakeFiles/kws_test.dir/kws_test.cc.o.d"
+  "kws_test"
+  "kws_test.pdb"
+  "kws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

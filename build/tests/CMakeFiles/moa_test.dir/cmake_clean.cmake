@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moa_test.dir/moa_test.cc.o"
+  "CMakeFiles/moa_test.dir/moa_test.cc.o.d"
+  "moa_test"
+  "moa_test.pdb"
+  "moa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
