@@ -1,0 +1,153 @@
+// Serial-vs-parallel throughput for the morsel-parallel BAT operators.
+//
+// Runs each hot operator over a large float BAT at threadcnt 1/2/4/8 and
+// reports rows/s plus speedup over the single-thread run of the same code
+// path. Row count defaults to 10M; override with COBRA_BENCH_ROWS. Results
+// are also written to BENCH_kernel.json for machine consumption.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "kernel/bat.h"
+#include "kernel/exec_context.h"
+
+namespace cobra::kernel {
+namespace {
+
+size_t BenchRows() {
+  const char* env = std::getenv("COBRA_BENCH_ROWS");
+  if (env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v >= 1000) return static_cast<size_t>(v);
+  }
+  return 10'000'000;
+}
+
+ExecContext Ctx(int threadcnt) {
+  ExecContext ctx;
+  ctx.threadcnt = threadcnt;
+  return ctx;
+}
+
+double BestOfSeconds(int reps, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string op;
+  int threadcnt;
+  size_t rows;
+  double seconds;
+  double speedup;  // vs the threadcnt=1 run of the same operator
+};
+
+void RunOp(const std::string& op, size_t rows,
+           const std::function<void(const ExecContext&)>& body,
+           std::vector<Row>* out) {
+  constexpr int kThreadcnts[] = {1, 2, 4, 8};
+  double serial_seconds = 0.0;
+  for (int threadcnt : kThreadcnts) {
+    const ExecContext ctx = Ctx(threadcnt);
+    const double seconds = BestOfSeconds(3, [&] { body(ctx); });
+    if (threadcnt == 1) serial_seconds = seconds;
+    const double speedup = serial_seconds / seconds;
+    std::printf("  %-14s threadcnt=%d  %8.4fs  %12.0f rows/s  %5.2fx\n",
+                op.c_str(), threadcnt, seconds, rows / seconds, speedup);
+    out->push_back({op, threadcnt, rows, seconds, speedup});
+  }
+}
+
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"threadcnt\": %d, \"rows\": %zu, "
+                 "\"seconds\": %.6f, \"rows_per_sec\": %.0f, "
+                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 r.op.c_str(), r.threadcnt, r.rows, r.seconds,
+                 r.rows / r.seconds, r.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path, rows.size());
+}
+
+int Main() {
+  const size_t n = BenchRows();
+  std::printf("=== morsel-parallel kernel operators, %zu-row float BAT ===\n",
+              n);
+
+  Rng rng(42);
+  Bat floats(TailType::kFloat);
+  floats.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    floats.AppendFloat(static_cast<Oid>(i), rng.Uniform());
+  }
+
+  // Join/group inputs are smaller: their outputs/tables are row-sized, so
+  // full 10M rows would be dominated by allocation rather than the operator.
+  const size_t join_rows = std::max<size_t>(n / 10, 1000);
+  Bat probe(TailType::kOid);
+  probe.Reserve(join_rows);
+  Bat build(TailType::kFloat);
+  build.Reserve(join_rows);
+  Bat groups(TailType::kInt);
+  groups.Reserve(join_rows);
+  for (size_t i = 0; i < join_rows; ++i) {
+    probe.AppendOid(static_cast<Oid>(i),
+                    static_cast<Oid>(rng.UniformInt(uint64_t{join_rows})));
+    build.AppendFloat(static_cast<Oid>(i), rng.Uniform());
+    groups.AppendInt(static_cast<Oid>(i), rng.UniformInt(int64_t{0}, 4095));
+  }
+
+  std::vector<Row> results;
+  RunOp("select_range", n, [&](const ExecContext& ctx) {
+    auto out = floats.SelectRange(0.25, 0.75, ctx);
+    COBRA_CHECK(out.ok());
+  }, &results);
+  RunOp("sum", n, [&](const ExecContext& ctx) {
+    auto out = floats.Sum(ctx);
+    COBRA_CHECK(out.ok());
+  }, &results);
+  RunOp("max", n, [&](const ExecContext& ctx) {
+    auto out = floats.Max(ctx);
+    COBRA_CHECK(out.ok());
+  }, &results);
+  RunOp("join", join_rows, [&](const ExecContext& ctx) {
+    auto out = Join(probe, build, ctx);
+    COBRA_CHECK(out.ok());
+  }, &results);
+  RunOp("group", join_rows, [&](const ExecContext& ctx) {
+    std::vector<size_t> reps;
+    Bat out = Group(groups, &reps, ctx);
+    COBRA_CHECK(!out.empty());
+  }, &results);
+
+  WriteJson(results, "BENCH_kernel.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cobra::kernel
+
+int main() { return cobra::kernel::Main(); }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_kernel.dir/bench_parallel_kernel.cc.o"
+  "CMakeFiles/bench_parallel_kernel.dir/bench_parallel_kernel.cc.o.d"
+  "bench_parallel_kernel"
+  "bench_parallel_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

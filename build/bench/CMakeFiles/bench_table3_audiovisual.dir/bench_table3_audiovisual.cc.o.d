@@ -251,9 +251,9 @@ bench/CMakeFiles/bench_table3_audiovisual.dir/bench_table3_audiovisual.cc.o: \
  /root/repo/src/kernel/catalog.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/kernel/bat.h /root/repo/src/moa/moa.h \
- /root/repo/src/rules/engine.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/kernel/bat.h /root/repo/src/kernel/exec_context.h \
+ /root/repo/src/moa/moa.h /root/repo/src/rules/engine.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/rules/interval.h \
  /root/repo/src/extensions/extension.h /root/repo/src/query/engine.h \
  /root/repo/src/query/parser.h

@@ -242,8 +242,9 @@ examples/CMakeFiles/query_demo.dir/query_demo.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/kernel/bat.h \
- /root/repo/src/moa/moa.h /root/repo/src/rules/engine.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/kernel/exec_context.h /root/repo/src/moa/moa.h \
+ /root/repo/src/rules/engine.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/rules/interval.h \
  /root/repo/src/extensions/extension.h /root/repo/src/f1/evaluation.h \
  /root/repo/src/f1/timeline.h /root/repo/src/f1/features.h \

@@ -217,6 +217,7 @@ src/extensions/CMakeFiles/cobra_extensions.dir/extension.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/kernel/bat.h \
+ /root/repo/src/kernel/exec_context.h /usr/include/c++/12/cstddef \
  /root/repo/src/moa/moa.h /root/repo/src/rules/engine.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/rules/interval.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/kernel/bat.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/bat.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/bat.cc.o.d"
   "/root/repo/src/kernel/catalog.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/catalog.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/catalog.cc.o.d"
+  "/root/repo/src/kernel/exec_context.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/exec_context.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/exec_context.cc.o.d"
   "/root/repo/src/kernel/mil.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/mil.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/mil.cc.o.d"
   "/root/repo/src/kernel/parallel.cc" "src/kernel/CMakeFiles/cobra_kernel.dir/parallel.cc.o" "gcc" "src/kernel/CMakeFiles/cobra_kernel.dir/parallel.cc.o.d"
   )

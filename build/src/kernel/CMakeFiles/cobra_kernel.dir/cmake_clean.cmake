@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cobra_kernel.dir/bat.cc.o.d"
   "CMakeFiles/cobra_kernel.dir/catalog.cc.o"
   "CMakeFiles/cobra_kernel.dir/catalog.cc.o.d"
+  "CMakeFiles/cobra_kernel.dir/exec_context.cc.o"
+  "CMakeFiles/cobra_kernel.dir/exec_context.cc.o.d"
   "CMakeFiles/cobra_kernel.dir/mil.cc.o"
   "CMakeFiles/cobra_kernel.dir/mil.cc.o.d"
   "CMakeFiles/cobra_kernel.dir/parallel.cc.o"

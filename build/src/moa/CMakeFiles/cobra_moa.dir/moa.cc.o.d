@@ -176,6 +176,7 @@ src/moa/CMakeFiles/cobra_moa.dir/moa.cc.o: /root/repo/src/moa/moa.cc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/kernel/bat.h \
+ /root/repo/src/kernel/exec_context.h /usr/include/c++/12/cstddef \
  /root/repo/src/kernel/catalog.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

@@ -297,5 +297,5 @@ tests/CMakeFiles/cobra_model_test.dir/cobra_model_test.cc.o: \
  /root/repo/src/kernel/catalog.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/kernel/bat.h \
- /root/repo/src/moa/moa.h /root/repo/src/rules/engine.h \
- /root/repo/src/rules/interval.h
+ /root/repo/src/kernel/exec_context.h /root/repo/src/moa/moa.h \
+ /root/repo/src/rules/engine.h /root/repo/src/rules/interval.h

@@ -296,4 +296,5 @@ tests/CMakeFiles/mil_test.dir/mil_test.cc.o: /root/repo/tests/mil_test.cc \
  /root/repo/src/kernel/catalog.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/base/status.h \
- /root/repo/src/kernel/bat.h /root/repo/src/kernel/mil.h
+ /root/repo/src/kernel/bat.h /root/repo/src/kernel/exec_context.h \
+ /root/repo/src/kernel/mil.h

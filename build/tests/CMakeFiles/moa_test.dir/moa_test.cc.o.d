@@ -296,4 +296,5 @@ tests/CMakeFiles/moa_test.dir/moa_test.cc.o: /root/repo/tests/moa_test.cc \
  /root/repo/src/kernel/catalog.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/base/status.h \
- /root/repo/src/kernel/bat.h /root/repo/src/moa/moa.h
+ /root/repo/src/kernel/bat.h /root/repo/src/kernel/exec_context.h \
+ /root/repo/src/moa/moa.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_kernel_test.dir/parallel_kernel_test.cc.o"
+  "CMakeFiles/parallel_kernel_test.dir/parallel_kernel_test.cc.o.d"
+  "parallel_kernel_test"
+  "parallel_kernel_test.pdb"
+  "parallel_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

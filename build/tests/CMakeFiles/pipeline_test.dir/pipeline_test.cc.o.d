@@ -320,15 +320,15 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o: \
  /root/repo/src/bayes/cpt.h /root/repo/src/kernel/catalog.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/kernel/bat.h /root/repo/src/f1/pipeline.h \
- /root/repo/src/cobra/video_model.h /root/repo/src/moa/moa.h \
- /root/repo/src/rules/engine.h /root/repo/src/rules/interval.h \
- /root/repo/src/extensions/extension.h /root/repo/src/f1/evaluation.h \
- /root/repo/src/f1/timeline.h /root/repo/src/f1/features.h \
- /root/repo/src/audio/clip_features.h /root/repo/src/audio/endpoint.h \
- /root/repo/src/audio/mfcc.h /root/repo/src/audio/pitch.h \
- /root/repo/src/audio/types.h /root/repo/src/dsp/filter.h \
- /root/repo/src/f1/audio_synth.h /root/repo/src/kws/keyword_spotter.h \
- /root/repo/src/f1/frame_render.h /root/repo/src/image/frame.h \
- /root/repo/src/f1/networks.h /root/repo/src/query/engine.h \
- /root/repo/src/query/parser.h
+ /root/repo/src/kernel/bat.h /root/repo/src/kernel/exec_context.h \
+ /root/repo/src/f1/pipeline.h /root/repo/src/cobra/video_model.h \
+ /root/repo/src/moa/moa.h /root/repo/src/rules/engine.h \
+ /root/repo/src/rules/interval.h /root/repo/src/extensions/extension.h \
+ /root/repo/src/f1/evaluation.h /root/repo/src/f1/timeline.h \
+ /root/repo/src/f1/features.h /root/repo/src/audio/clip_features.h \
+ /root/repo/src/audio/endpoint.h /root/repo/src/audio/mfcc.h \
+ /root/repo/src/audio/pitch.h /root/repo/src/audio/types.h \
+ /root/repo/src/dsp/filter.h /root/repo/src/f1/audio_synth.h \
+ /root/repo/src/kws/keyword_spotter.h /root/repo/src/f1/frame_render.h \
+ /root/repo/src/image/frame.h /root/repo/src/f1/networks.h \
+ /root/repo/src/query/engine.h /root/repo/src/query/parser.h

@@ -297,6 +297,7 @@ tests/CMakeFiles/query_test.dir/query_test.cc.o: \
  /root/repo/src/kernel/catalog.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/kernel/bat.h \
- /root/repo/src/moa/moa.h /root/repo/src/rules/engine.h \
- /root/repo/src/rules/interval.h /root/repo/src/extensions/extension.h \
- /root/repo/src/query/engine.h /root/repo/src/query/parser.h
+ /root/repo/src/kernel/exec_context.h /root/repo/src/moa/moa.h \
+ /root/repo/src/rules/engine.h /root/repo/src/rules/interval.h \
+ /root/repo/src/extensions/extension.h /root/repo/src/query/engine.h \
+ /root/repo/src/query/parser.h

@@ -320,10 +320,11 @@ tests/CMakeFiles/serialize_test.dir/serialize_test.cc.o: \
  /root/repo/src/bayes/cpt.h /root/repo/src/kernel/catalog.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/kernel/bat.h /root/repo/src/f1/networks.h \
- /root/repo/src/f1/features.h /root/repo/src/audio/clip_features.h \
- /root/repo/src/audio/endpoint.h /root/repo/src/audio/mfcc.h \
- /root/repo/src/audio/pitch.h /root/repo/src/audio/types.h \
- /root/repo/src/dsp/filter.h /root/repo/src/f1/audio_synth.h \
- /root/repo/src/f1/timeline.h /root/repo/src/kws/keyword_spotter.h \
- /root/repo/src/f1/frame_render.h /root/repo/src/image/frame.h
+ /root/repo/src/kernel/bat.h /root/repo/src/kernel/exec_context.h \
+ /root/repo/src/f1/networks.h /root/repo/src/f1/features.h \
+ /root/repo/src/audio/clip_features.h /root/repo/src/audio/endpoint.h \
+ /root/repo/src/audio/mfcc.h /root/repo/src/audio/pitch.h \
+ /root/repo/src/audio/types.h /root/repo/src/dsp/filter.h \
+ /root/repo/src/f1/audio_synth.h /root/repo/src/f1/timeline.h \
+ /root/repo/src/kws/keyword_spotter.h /root/repo/src/f1/frame_render.h \
+ /root/repo/src/image/frame.h

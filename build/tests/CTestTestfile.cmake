@@ -8,6 +8,7 @@ include("/root/repo/build/tests/base_test[1]_include.cmake")
 include("/root/repo/build/tests/dsp_test[1]_include.cmake")
 include("/root/repo/build/tests/image_test[1]_include.cmake")
 include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_kernel_test[1]_include.cmake")
 include("/root/repo/build/tests/audio_test[1]_include.cmake")
 include("/root/repo/build/tests/video_test[1]_include.cmake")
 include("/root/repo/build/tests/text_test[1]_include.cmake")

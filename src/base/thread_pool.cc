@@ -5,6 +5,13 @@
 #include "base/logging.h"
 
 namespace cobra {
+namespace {
+
+/// Set for the lifetime of a worker thread; lets TaskGroup::Wait detect that
+/// blocking would occupy a pool worker.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   COBRA_CHECK(num_threads >= 1);
@@ -36,24 +43,46 @@ void ThreadPool::WaitIdle() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
+bool ThreadPool::RunOneQueuedTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+    ++active_;
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --active_;
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
   const size_t n = end - begin;
   const size_t chunks = std::min(n, threads_.size());
   const size_t per_chunk = (n + chunks - 1) / chunks;
+  TaskGroup group(this);
   for (size_t c = 0; c < chunks; ++c) {
     const size_t lo = begin + c * per_chunk;
     const size_t hi = std::min(end, lo + per_chunk);
     if (lo >= hi) break;
-    Schedule([lo, hi, &fn] {
+    group.Run([lo, hi, &fn] {
       for (size_t i = lo; i < hi; ++i) fn(i);
     });
   }
-  WaitIdle();
+  group.Wait();
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -71,6 +100,48 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }
   }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  COBRA_CHECK(pool != nullptr);
+}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Run(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Schedule([this, task = std::move(task)] {
+    task();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  if (pool_->OnWorkerThread()) {
+    // A worker blocking here would remove itself from the pool while its
+    // own sub-tasks may still sit in the queue behind it — with every worker
+    // doing so, nested parallelism deadlocks. Drain queued tasks instead;
+    // once the queue is empty, the group's remaining tasks are executing on
+    // other threads and a plain wait is safe (no new tasks can join the
+    // group while its owner sits in Wait()).
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (pending_ == 0) return;
+      }
+      if (!pool_->RunOneQueuedTask()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return pending_ == 0; });
+        return;
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 }  // namespace cobra

@@ -13,8 +13,12 @@ namespace cobra {
 
 /// Fixed-size worker pool used by the kernel's parallel execution operator
 /// and the parallel HMM evaluator (paper Fig. 3/4). Tasks are plain
-/// std::function<void()>; waiting is done through WaitIdle() or the
-/// ParallelFor helper.
+/// std::function<void()>.
+///
+/// Waiting for completion is done through a TaskGroup, which covers exactly
+/// the tasks scheduled through it — two callers sharing one pool never wait
+/// on each other's work. WaitIdle() remains for whole-pool barriers (e.g.
+/// tests and shutdown) and blocks until *every* scheduled task is done.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>= 1).
@@ -27,17 +31,30 @@ class ThreadPool {
   /// Enqueues a task for execution on a worker thread.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until all scheduled tasks have completed.
+  /// Blocks until all scheduled tasks (from every caller) have completed.
+  /// Prefer TaskGroup when other threads may be using the same pool.
   void WaitIdle();
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
   /// Runs fn(i) for i in [begin, end) across the pool and waits for
-  /// completion. Work is split into contiguous chunks, one batch per worker.
+  /// completion of exactly those calls (via an internal TaskGroup). Work is
+  /// split into contiguous chunks, one batch per worker. Safe to call from
+  /// inside a pool task: the nested wait drains queued work instead of
+  /// blocking a worker.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 
  private:
+  friend class TaskGroup;
+
+  /// Pops and runs one queued task on the calling thread. Returns false if
+  /// the queue was empty. Used by TaskGroup waits on worker threads.
+  bool RunOneQueuedTask();
+
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
@@ -47,6 +64,36 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   size_t active_ = 0;
   bool stop_ = false;
+};
+
+/// A per-caller completion latch over a shared ThreadPool. Run() schedules a
+/// task on the pool; Wait() blocks until all tasks Run() through *this group*
+/// have finished, regardless of what other callers scheduled. When Wait() is
+/// called from a pool worker (nested parallelism), the waiter executes queued
+/// pool tasks instead of blocking, so nesting cannot deadlock the pool.
+///
+/// Run() and Wait() must be called from the owning thread only; the executed
+/// tasks themselves may run anywhere.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  /// Waits for any still-pending tasks.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `task` on the pool and tracks it in this group.
+  void Run(std::function<void()> task);
+
+  /// Blocks until every task Run() through this group has completed.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
 };
 
 }  // namespace cobra

@@ -1,6 +1,8 @@
 #include "kernel/bat.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -97,6 +99,71 @@ void Bat::AppendOid(Oid head, Oid v) {
   oids_.push_back(v);
 }
 
+void Bat::AppendRowFrom(Oid head, const Bat& src, size_t i) {
+  COBRA_CHECK(tail_type_ == src.tail_type_);
+  head_.push_back(head);
+  switch (tail_type_) {
+    case TailType::kInt:
+      ints_.push_back(src.ints_[i]);
+      break;
+    case TailType::kFloat:
+      floats_.push_back(src.floats_[i]);
+      break;
+    case TailType::kStr:
+      strs_.push_back(src.strs_[i]);
+      break;
+    case TailType::kOid:
+      oids_.push_back(src.oids_[i]);
+      break;
+  }
+}
+
+void Bat::Reserve(size_t n) {
+  head_.reserve(n);
+  switch (tail_type_) {
+    case TailType::kInt:
+      ints_.reserve(n);
+      break;
+    case TailType::kFloat:
+      floats_.reserve(n);
+      break;
+    case TailType::kStr:
+      strs_.reserve(n);
+      break;
+    case TailType::kOid:
+      oids_.reserve(n);
+      break;
+  }
+}
+
+void Bat::Concat(const Bat& other) {
+  COBRA_CHECK(tail_type_ == other.tail_type_);
+  head_.insert(head_.end(), other.head_.begin(), other.head_.end());
+  switch (tail_type_) {
+    case TailType::kInt:
+      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+      break;
+    case TailType::kFloat:
+      floats_.insert(floats_.end(), other.floats_.begin(),
+                     other.floats_.end());
+      break;
+    case TailType::kStr:
+      strs_.insert(strs_.end(), other.strs_.begin(), other.strs_.end());
+      break;
+    case TailType::kOid:
+      oids_.insert(oids_.end(), other.oids_.begin(), other.oids_.end());
+      break;
+  }
+}
+
+Bat Bat::FromOidColumns(std::vector<Oid> heads, std::vector<Oid> tails) {
+  COBRA_CHECK(heads.size() == tails.size());
+  Bat out(TailType::kOid);
+  out.head_ = std::move(heads);
+  out.oids_ = std::move(tails);
+  return out;
+}
+
 Value Bat::TailAt(size_t i) const {
   switch (tail_type_) {
     case TailType::kInt:
@@ -111,6 +178,28 @@ Value Bat::TailAt(size_t i) const {
   return Value();
 }
 
+namespace {
+
+/// Order-preserving merge of per-morsel operator outputs.
+Bat MergeParts(TailType type, const std::vector<Bat>& parts) {
+  size_t total = 0;
+  for (const Bat& p : parts) total += p.size();
+  Bat out(type);
+  out.Reserve(total);
+  for (const Bat& p : parts) out.Concat(p);
+  return out;
+}
+
+/// splitmix64 finalizer — deterministic partitioning hash for oids.
+uint64_t HashOid(Oid x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Result<Bat> Bat::SelectEq(const Value& v) const {
   if (v.type() != tail_type_) {
     return Status::InvalidArgument("SelectEq value type mismatch");
@@ -123,6 +212,48 @@ Result<Bat> Bat::SelectEq(const Value& v) const {
     }
   }
   return out;
+}
+
+Result<Bat> Bat::SelectEq(const Value& v, const ExecContext& ctx) const {
+  if (v.type() != tail_type_) {
+    return Status::InvalidArgument("SelectEq value type mismatch");
+  }
+  if (!ctx.UseParallel(size())) return SelectEq(v);
+  std::vector<Bat> parts(ctx.NumMorsels(size()), Bat(tail_type_));
+  ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
+    Bat& out = parts[m];
+    switch (tail_type_) {
+      case TailType::kInt: {
+        const int64_t want = v.AsInt();
+        for (size_t i = begin; i < end; ++i) {
+          if (ints_[i] == want) out.AppendInt(head_[i], want);
+        }
+        break;
+      }
+      case TailType::kFloat: {
+        const double want = v.AsFloat();
+        for (size_t i = begin; i < end; ++i) {
+          if (floats_[i] == want) out.AppendFloat(head_[i], want);
+        }
+        break;
+      }
+      case TailType::kStr: {
+        const std::string& want = v.AsStr();
+        for (size_t i = begin; i < end; ++i) {
+          if (strs_[i] == want) out.AppendStr(head_[i], want);
+        }
+        break;
+      }
+      case TailType::kOid: {
+        const Oid want = v.AsOid();
+        for (size_t i = begin; i < end; ++i) {
+          if (oids_[i] == want) out.AppendOid(head_[i], want);
+        }
+        break;
+      }
+    }
+  });
+  return MergeParts(tail_type_, parts);
 }
 
 Result<Bat> Bat::SelectRange(double lo, double hi) const {
@@ -145,6 +276,31 @@ Result<Bat> Bat::SelectRange(double lo, double hi) const {
   return out;
 }
 
+Result<Bat> Bat::SelectRange(double lo, double hi,
+                             const ExecContext& ctx) const {
+  if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
+    return Status::InvalidArgument("SelectRange requires a numeric tail");
+  }
+  if (!ctx.UseParallel(size())) return SelectRange(lo, hi);
+  std::vector<Bat> parts(ctx.NumMorsels(size()), Bat(tail_type_));
+  ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
+    Bat& out = parts[m];
+    if (tail_type_ == TailType::kInt) {
+      for (size_t i = begin; i < end; ++i) {
+        const double v = static_cast<double>(ints_[i]);
+        if (v >= lo && v <= hi) out.AppendInt(head_[i], ints_[i]);
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        if (floats_[i] >= lo && floats_[i] <= hi) {
+          out.AppendFloat(head_[i], floats_[i]);
+        }
+      }
+    }
+  });
+  return MergeParts(tail_type_, parts);
+}
+
 Result<Bat> Bat::SelectStr(const std::string& s) const {
   if (tail_type_ != TailType::kStr) {
     return Status::InvalidArgument("SelectStr requires a str tail");
@@ -154,6 +310,21 @@ Result<Bat> Bat::SelectStr(const std::string& s) const {
     if (strs_[i] == s) out.AppendStr(head_[i], strs_[i]);
   }
   return out;
+}
+
+Result<Bat> Bat::SelectStr(const std::string& s, const ExecContext& ctx) const {
+  if (tail_type_ != TailType::kStr) {
+    return Status::InvalidArgument("SelectStr requires a str tail");
+  }
+  if (!ctx.UseParallel(size())) return SelectStr(s);
+  std::vector<Bat> parts(ctx.NumMorsels(size()), Bat(TailType::kStr));
+  ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
+    Bat& out = parts[m];
+    for (size_t i = begin; i < end; ++i) {
+      if (strs_[i] == s) out.AppendStr(head_[i], strs_[i]);
+    }
+  });
+  return MergeParts(TailType::kStr, parts);
 }
 
 Result<Bat> Bat::Reverse() const {
@@ -194,8 +365,36 @@ Result<double> Bat::Sum() const {
   return acc;
 }
 
+Result<double> Bat::Sum(const ExecContext& ctx) const {
+  if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
+    return Status::InvalidArgument("Sum requires a numeric tail");
+  }
+  // Always reduce per fixed-size morsel, even on the serial path: the
+  // morsel boundaries depend only on ctx.morsel_rows, so the rounding of
+  // the combined float sum is identical at every threadcnt.
+  const size_t num = ctx.NumMorsels(size());
+  std::vector<double> partial(num, 0.0);
+  ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
+    double acc = 0.0;
+    if (tail_type_ == TailType::kInt) {
+      for (size_t i = begin; i < end; ++i) acc += static_cast<double>(ints_[i]);
+    } else {
+      for (size_t i = begin; i < end; ++i) acc += floats_[i];
+    }
+    partial[m] = acc;
+  });
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  return acc;
+}
+
 Result<double> Bat::Max() const {
   COBRA_ASSIGN_OR_RETURN(size_t pos, ArgMax());
+  return TailAt(pos).Numeric();
+}
+
+Result<double> Bat::Max(const ExecContext& ctx) const {
+  COBRA_ASSIGN_OR_RETURN(size_t pos, ArgMax(ctx));
   return TailAt(pos).Numeric();
 }
 
@@ -211,6 +410,30 @@ Result<double> Bat::Min() const {
   return best;
 }
 
+Result<double> Bat::Min(const ExecContext& ctx) const {
+  if (empty()) return Status::FailedPrecondition("Min of empty BAT");
+  if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
+    return Status::InvalidArgument("Min requires a numeric tail");
+  }
+  const size_t num = ctx.NumMorsels(size());
+  std::vector<double> partial(num, 0.0);
+  ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
+    double best = tail_type_ == TailType::kInt
+                      ? static_cast<double>(ints_[begin])
+                      : floats_[begin];
+    for (size_t i = begin + 1; i < end; ++i) {
+      const double v = tail_type_ == TailType::kInt
+                           ? static_cast<double>(ints_[i])
+                           : floats_[i];
+      best = std::min(best, v);
+    }
+    partial[m] = best;
+  });
+  double best = partial[0];
+  for (size_t m = 1; m < num; ++m) best = std::min(best, partial[m]);
+  return best;
+}
+
 Result<size_t> Bat::ArgMax() const {
   if (empty()) return Status::FailedPrecondition("ArgMax of empty BAT");
   if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
@@ -223,6 +446,44 @@ Result<size_t> Bat::ArgMax() const {
     if (v > best_v) {
       best_v = v;
       best = i;
+    }
+  }
+  return best;
+}
+
+Result<size_t> Bat::ArgMax(const ExecContext& ctx) const {
+  if (empty()) return Status::FailedPrecondition("ArgMax of empty BAT");
+  if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
+    return Status::InvalidArgument("ArgMax requires a numeric tail");
+  }
+  const size_t num = ctx.NumMorsels(size());
+  std::vector<size_t> best_pos(num, 0);
+  std::vector<double> best_val(num, 0.0);
+  ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
+    size_t best = begin;
+    double bv = tail_type_ == TailType::kInt
+                    ? static_cast<double>(ints_[begin])
+                    : floats_[begin];
+    for (size_t i = begin + 1; i < end; ++i) {
+      const double v = tail_type_ == TailType::kInt
+                           ? static_cast<double>(ints_[i])
+                           : floats_[i];
+      if (v > bv) {
+        bv = v;
+        best = i;
+      }
+    }
+    best_pos[m] = best;
+    best_val[m] = bv;
+  });
+  // Combine strictly-greater in morsel order: resolves ties to the lowest
+  // position, matching the serial scan.
+  size_t best = best_pos[0];
+  double bv = best_val[0];
+  for (size_t m = 1; m < num; ++m) {
+    if (best_val[m] > bv) {
+      bv = best_val[m];
+      best = best_pos[m];
     }
   }
   return best;
@@ -245,6 +506,54 @@ Result<Bat> Join(const Bat& a, const Bat& b) {
     }
   }
   return out;
+}
+
+Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx) {
+  if (a.tail_type() != TailType::kOid) {
+    return Status::InvalidArgument("Join needs an oid tail on the left BAT");
+  }
+  if ((!ctx.UseParallel(a.size()) && !ctx.UseParallel(b.size())) ||
+      b.size() > std::numeric_limits<uint32_t>::max()) {
+    return Join(a, b);
+  }
+  // Build side: hash-partition b's heads so each partition table can be
+  // built without synchronization. Bucket scan per b-morsel runs in
+  // parallel; buckets keep b order, so duplicate matches are emitted in b
+  // order exactly as the serial join does.
+  size_t num_partitions = 1;
+  while (num_partitions < static_cast<size_t>(ctx.threadcnt) * 4) {
+    num_partitions <<= 1;
+  }
+  const size_t bnum = ctx.NumMorsels(b.size());
+  std::vector<std::vector<std::vector<uint32_t>>> buckets(
+      bnum, std::vector<std::vector<uint32_t>>(num_partitions));
+  ForEachMorsel(ctx, b.size(), [&](size_t m, size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      buckets[m][HashOid(b.HeadAt(j)) & (num_partitions - 1)].push_back(
+          static_cast<uint32_t>(j));
+    }
+  });
+  std::vector<std::unordered_map<Oid, std::vector<uint32_t>>> tables(
+      num_partitions);
+  ParallelForEach(ctx, num_partitions, [&](size_t p) {
+    auto& table = tables[p];
+    for (size_t m = 0; m < bnum; ++m) {
+      for (uint32_t j : buckets[m][p]) table[b.HeadAt(j)].push_back(j);
+    }
+  });
+  // Probe morsels over a in parallel; per-morsel outputs merge in order.
+  std::vector<Bat> parts(ctx.NumMorsels(a.size()), Bat(b.tail_type()));
+  ForEachMorsel(ctx, a.size(), [&](size_t m, size_t begin, size_t end) {
+    Bat& out = parts[m];
+    for (size_t i = begin; i < end; ++i) {
+      const Oid t = a.OidAt(i);
+      const auto& table = tables[HashOid(t) & (num_partitions - 1)];
+      auto it = table.find(t);
+      if (it == table.end()) continue;
+      for (uint32_t j : it->second) out.AppendRowFrom(a.HeadAt(i), b, j);
+    }
+  });
+  return MergeParts(b.tail_type(), parts);
 }
 
 Bat Semijoin(const Bat& a, const Bat& b) {
@@ -289,6 +598,61 @@ Bat Group(const Bat& a, std::vector<size_t>* representatives) {
     out.AppendOid(a.HeadAt(i), it->second);
   }
   return out;
+}
+
+Bat Group(const Bat& a, std::vector<size_t>* representatives,
+          const ExecContext& ctx) {
+  if (!ctx.UseParallel(a.size())) return Group(a, representatives);
+  const size_t num = ctx.NumMorsels(a.size());
+  // Phase 1 (parallel): per-morsel tables in local first-occurrence order.
+  struct LocalTable {
+    std::unordered_map<std::string, uint32_t> ids;
+    std::vector<std::string> keys;   // local first-occurrence order
+    std::vector<size_t> first_pos;   // global position of first occurrence
+    std::vector<uint32_t> row_ids;   // local id per row of the morsel
+  };
+  std::vector<LocalTable> locals(num);
+  ForEachMorsel(ctx, a.size(), [&](size_t m, size_t begin, size_t end) {
+    LocalTable& t = locals[m];
+    t.row_ids.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      std::string key = a.TailAt(i).ToString();
+      auto [it, inserted] =
+          t.ids.try_emplace(std::move(key),
+                            static_cast<uint32_t>(t.keys.size()));
+      if (inserted) {
+        t.keys.push_back(it->first);
+        t.first_pos.push_back(i);
+      }
+      t.row_ids.push_back(it->second);
+    }
+  });
+  // Phase 2 (serial, morsel order): assign global dense ids. A key's global
+  // id is fixed by the first morsel that saw it, so the numbering equals the
+  // serial scan's first-occurrence order.
+  std::unordered_map<std::string, Oid> global;
+  if (representatives != nullptr) representatives->clear();
+  std::vector<std::vector<Oid>> local_to_global(num);
+  for (size_t m = 0; m < num; ++m) {
+    local_to_global[m].reserve(locals[m].keys.size());
+    for (size_t k = 0; k < locals[m].keys.size(); ++k) {
+      auto [it, inserted] = global.try_emplace(
+          locals[m].keys[k], static_cast<Oid>(global.size()));
+      if (inserted && representatives != nullptr) {
+        representatives->push_back(locals[m].first_pos[k]);
+      }
+      local_to_global[m].push_back(it->second);
+    }
+  }
+  // Phase 3 (parallel): re-map rows through the global table.
+  std::vector<Oid> gids(a.size());
+  ForEachMorsel(ctx, a.size(), [&](size_t m, size_t begin, size_t end) {
+    const LocalTable& t = locals[m];
+    for (size_t i = begin; i < end; ++i) {
+      gids[i] = local_to_global[m][t.row_ids[i - begin]];
+    }
+  });
+  return Bat::FromOidColumns(a.heads(), std::move(gids));
 }
 
 }  // namespace cobra::kernel

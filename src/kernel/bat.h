@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "kernel/exec_context.h"
 
 namespace cobra::kernel {
 
@@ -78,6 +79,21 @@ class Bat {
   void AppendStr(Oid head, std::string v);
   void AppendOid(Oid head, Oid v);
 
+  /// Appends (head, tail of `src` at position `i`); `src` must have the same
+  /// tail type. No variant round-trip.
+  void AppendRowFrom(Oid head, const Bat& src, size_t i);
+
+  /// Pre-sizes the columns for `n` pairs.
+  void Reserve(size_t n);
+
+  /// Appends every pair of `other` (same tail type) — bulk column concat,
+  /// used to merge per-morsel operator outputs in morsel order.
+  void Concat(const Bat& other);
+
+  /// Adopts pre-built head/tail columns (must be the same length) as a
+  /// BAT[oid, oid].
+  static Bat FromOidColumns(std::vector<Oid> heads, std::vector<Oid> tails);
+
   Oid HeadAt(size_t i) const { return head_[i]; }
   Value TailAt(size_t i) const;
   int64_t IntAt(size_t i) const { return ints_[i]; }
@@ -90,13 +106,21 @@ class Bat {
   const std::vector<int64_t>& int_tails() const { return ints_; }
 
   // -- MIL-style unary operators ------------------------------------------
+  //
+  // Each hot operator has a serial form and an ExecContext form. The
+  // context form runs morsel-parallel on the shared kernel pool when
+  // ctx.UseParallel(size()) holds, and is equivalence-tested to produce
+  // byte-identical output (values and order) at every threadcnt.
 
   /// select(v): pairs whose tail equals v.
   Result<Bat> SelectEq(const Value& v) const;
+  Result<Bat> SelectEq(const Value& v, const ExecContext& ctx) const;
   /// select(lo, hi): pairs with numeric tail in [lo, hi] (int/float tails).
   Result<Bat> SelectRange(double lo, double hi) const;
+  Result<Bat> SelectRange(double lo, double hi, const ExecContext& ctx) const;
   /// select over string tails matching exactly `s`.
   Result<Bat> SelectStr(const std::string& s) const;
+  Result<Bat> SelectStr(const std::string& s, const ExecContext& ctx) const;
   /// reverse(): swaps head and tail; tail must be oid-typed.
   Result<Bat> Reverse() const;
   /// mirror(): (head, head) as oid tail.
@@ -106,14 +130,22 @@ class Bat {
 
   // -- Aggregates ----------------------------------------------------------
 
-  /// Numeric aggregates over int/float tails.
+  /// Numeric aggregates over int/float tails. The ExecContext forms reduce
+  /// per fixed-size morsel and combine partials in morsel order, so the
+  /// floating-point result is identical at every threadcnt (and to the
+  /// serial form whenever the input fits one morsel).
   Result<double> Sum() const;
+  Result<double> Sum(const ExecContext& ctx) const;
   Result<double> Max() const;
+  Result<double> Max(const ExecContext& ctx) const;
   Result<double> Min() const;
+  Result<double> Min(const ExecContext& ctx) const;
   size_t Count() const { return size(); }
 
   /// Position of the maximum numeric tail; error when empty/non-numeric.
+  /// Ties resolve to the lowest position on both paths.
   Result<size_t> ArgMax() const;
+  Result<size_t> ArgMax(const ExecContext& ctx) const;
 
  private:
   TailType tail_type_;
@@ -127,8 +159,15 @@ class Bat {
 // -- Binary operators -------------------------------------------------------
 
 /// join(a, b): for every (h, t) in `a` with oid tail and (t, v) in `b`,
-/// emits (h, v). Hash join on b's head.
+/// emits (h, v). Hash join on b's head. The output is ordered by position
+/// in `a`, with a row's matches emitted in `b` order.
 Result<Bat> Join(const Bat& a, const Bat& b);
+
+/// Partitioned parallel hash join with the same output as the serial form:
+/// the build side is hash-partitioned and the partition tables built in
+/// parallel, probe morsels over `a` run in parallel, and the per-morsel
+/// outputs are merged in morsel order.
+Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx);
 
 /// semijoin(a, b): pairs of `a` whose head occurs as a head in `b`.
 Bat Semijoin(const Bat& a, const Bat& b);
@@ -138,8 +177,15 @@ Bat Diff(const Bat& a, const Bat& b);
 
 /// group(a): maps equal tails to a dense group id; returns BAT[oid, oid]
 /// (original head -> group id) and fills `representatives` with one input
-/// position per group.
+/// position per group. Group ids are dense in first-occurrence order.
 Bat Group(const Bat& a, std::vector<size_t>* representatives);
+
+/// Parallel group with identical output: per-morsel local tables are built
+/// in parallel, merged serially in morsel order into the global dense-id
+/// table (preserving first-occurrence numbering), then rows are re-mapped in
+/// parallel.
+Bat Group(const Bat& a, std::vector<size_t>* representatives,
+          const ExecContext& ctx);
 
 }  // namespace cobra::kernel
 

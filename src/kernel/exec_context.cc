@@ -1,0 +1,66 @@
+#include "kernel/exec_context.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "base/thread_pool.h"
+#include "kernel/parallel.h"
+
+namespace cobra::kernel {
+
+ExecContext ExecContext::Hardware() {
+  ExecContext ctx;
+  ctx.threadcnt =
+      static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+  return ctx;
+}
+
+void ForEachMorsel(const ExecContext& ctx, size_t rows,
+                   const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t num = ctx.NumMorsels(rows);
+  const size_t per = ctx.MorselRows();
+  auto run = [&](size_t morsel) {
+    const size_t lo = morsel * per;
+    fn(morsel, lo, std::min(rows, lo + per));
+  };
+  if (num <= 1 || !ctx.UseParallel(rows)) {
+    for (size_t m = 0; m < num; ++m) run(m);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const size_t workers =
+      std::min(static_cast<size_t>(ctx.threadcnt), num);
+  TaskGroup group(&KernelPool());
+  for (size_t w = 0; w < workers; ++w) {
+    group.Run([&next, num, &run] {
+      for (size_t m = next.fetch_add(1); m < num; m = next.fetch_add(1)) {
+        run(m);
+      }
+    });
+  }
+  group.Wait();
+}
+
+void ParallelForEach(const ExecContext& ctx, size_t count,
+                     const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (ctx.threadcnt <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const size_t workers =
+      std::min(static_cast<size_t>(ctx.threadcnt), count);
+  TaskGroup group(&KernelPool());
+  for (size_t w = 0; w < workers; ++w) {
+    group.Run([&next, count, &fn] {
+      for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  group.Wait();
+}
+
+}  // namespace cobra::kernel

@@ -1,0 +1,72 @@
+#ifndef COBRA_KERNEL_EXEC_CONTEXT_H_
+#define COBRA_KERNEL_EXEC_CONTEXT_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace cobra::kernel {
+
+/// Execution parameters for the kernel's parallel operators — the repo's
+/// counterpart of the MIL `threadcnt` setting the paper sets before fanning
+/// work out over processors (Fig. 4). A context is threaded explicitly
+/// through the layers (MIL session, Moa session, query engine) so each
+/// caller controls its own degree of parallelism on the shared KernelPool().
+///
+/// Operators fall back to the serial path when the input is small
+/// (`serial_cutoff`) — morsel scheduling overhead would dominate — and
+/// otherwise split the input into fixed-size morsels that `threadcnt`
+/// workers pull from a shared counter (morsel-driven scheduling). Morsel
+/// boundaries depend only on `morsel_rows`, never on `threadcnt`, so
+/// order-sensitive merges and floating-point reductions produce
+/// byte-identical results at every thread count.
+struct ExecContext {
+  static constexpr size_t kDefaultMorselRows = size_t{1} << 16;
+  static constexpr size_t kDefaultSerialCutoff = size_t{1} << 14;
+
+  /// Number of concurrent workers an operator may occupy (>= 1).
+  int threadcnt = 1;
+  /// Rows per morsel; the unit of scheduling and of deterministic reduction.
+  size_t morsel_rows = kDefaultMorselRows;
+  /// Inputs with fewer rows than this always take the serial path.
+  size_t serial_cutoff = kDefaultSerialCutoff;
+
+  /// A strictly serial context (the default).
+  static ExecContext Serial() { return ExecContext{}; }
+  /// threadcnt = hardware concurrency (>= 2).
+  static ExecContext Hardware();
+
+  /// Whether an operator over `rows` rows should go parallel.
+  bool UseParallel(size_t rows) const {
+    return threadcnt > 1 && rows >= serial_cutoff && rows > MorselRows();
+  }
+
+  /// morsel_rows guarded against 0 (treated as "one morsel").
+  size_t MorselRows() const {
+    return morsel_rows == 0 ? ~size_t{0} : morsel_rows;
+  }
+
+  /// Number of morsels covering `rows` rows.
+  size_t NumMorsels(size_t rows) const {
+    if (rows == 0) return 0;
+    return (rows + MorselRows() - 1) / MorselRows();
+  }
+};
+
+/// Runs fn(morsel, begin, end) for every morsel of [0, rows). Serial (in
+/// morsel order) when ctx.UseParallel(rows) is false; otherwise
+/// ctx.threadcnt workers on KernelPool() pull morsel indices from a shared
+/// counter. fn must be safe to call concurrently for distinct morsels;
+/// order-dependent results belong in per-morsel slots merged by the caller
+/// in morsel order.
+void ForEachMorsel(const ExecContext& ctx, size_t rows,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Runs fn(i) for i in [0, count) with at most ctx.threadcnt concurrent
+/// workers (serial when threadcnt == 1 or count <= 1). Used for
+/// partition-parallel phases where the unit of work is not a row range.
+void ParallelForEach(const ExecContext& ctx, size_t count,
+                     const std::function<void(size_t)>& fn);
+
+}  // namespace cobra::kernel
+
+#endif  // COBRA_KERNEL_EXEC_CONTEXT_H_

@@ -273,22 +273,32 @@ Result<std::string> MilSession::Execute(const std::string& script) {
           return Status::InvalidArgument(
               "two-argument select expects a string");
         }
-        COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectStr(*s));
+        COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectStr(*s, exec_));
         return MilValue(std::move(selected));
       }
       COBRA_RETURN_IF_ERROR(arity(3));
       COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "select"));
       COBRA_ASSIGN_OR_RETURN(double lo, AsNumber(args[1], "select lo"));
       COBRA_ASSIGN_OR_RETURN(double hi, AsNumber(args[2], "select hi"));
-      COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectRange(lo, hi));
+      COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectRange(lo, hi, exec_));
       return MilValue(std::move(selected));
+    }
+    if (name == "threadcnt") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      COBRA_ASSIGN_OR_RETURN(double n, AsNumber(args[0], "threadcnt"));
+      if (n < 1.0 || n != std::floor(n) || n > 1024.0) {
+        return Status::InvalidArgument(
+            StrFormat("threadcnt expects an integer in [1, 1024], got %g", n));
+      }
+      exec_.threadcnt = static_cast<int>(n);
+      return MilValue(n);
     }
     if (name == "join" || name == "semijoin" || name == "diff") {
       COBRA_RETURN_IF_ERROR(arity(2));
       COBRA_ASSIGN_OR_RETURN(const Bat* a, AsBat(args[0], name.c_str()));
       COBRA_ASSIGN_OR_RETURN(const Bat* b, AsBat(args[1], name.c_str()));
       if (name == "join") {
-        COBRA_ASSIGN_OR_RETURN(Bat joined, Join(*a, *b));
+        COBRA_ASSIGN_OR_RETURN(Bat joined, Join(*a, *b, exec_));
         return MilValue(std::move(joined));
       }
       if (name == "semijoin") return MilValue(Semijoin(*a, *b));
@@ -314,14 +324,14 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], name.c_str()));
       if (name == "count") return MilValue(static_cast<double>(bat->Count()));
       if (name == "sum") {
-        COBRA_ASSIGN_OR_RETURN(double v, bat->Sum());
+        COBRA_ASSIGN_OR_RETURN(double v, bat->Sum(exec_));
         return MilValue(v);
       }
       if (name == "max") {
-        COBRA_ASSIGN_OR_RETURN(double v, bat->Max());
+        COBRA_ASSIGN_OR_RETURN(double v, bat->Max(exec_));
         return MilValue(v);
       }
-      COBRA_ASSIGN_OR_RETURN(double v, bat->Min());
+      COBRA_ASSIGN_OR_RETURN(double v, bat->Min(exec_));
       return MilValue(v);
     }
     return Status::InvalidArgument("unknown MIL function " + name);

@@ -36,6 +36,9 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///   join(e1, e2) / semijoin(e1, e2) / diff(e1, e2)
 ///   reverse(e) / mirror(e) / slice(e, begin, end)
 ///   sum(e) / max(e) / min(e) / count(e)       scalar aggregates
+///   threadcnt(n)                    degree of parallelism for subsequent
+///                                   select/join/aggregate calls (paper
+///                                   Fig. 4); n >= 1, returns n
 ///   numeric literals, "string" literals, variables
 class MilSession {
  public:
@@ -47,9 +50,15 @@ class MilSession {
   /// Reads a session variable (for host code after Execute).
   Result<const MilValue*> Get(const std::string& name) const;
 
+  /// Execution parameters applied to parallelizable operators; threadcnt is
+  /// scriptable via `threadcnt(n)` and persists across Execute() calls.
+  const ExecContext& exec() const { return exec_; }
+  void set_exec(const ExecContext& exec) { exec_ = exec; }
+
  private:
   Catalog* catalog_;
   std::map<std::string, MilValue> variables_;
+  ExecContext exec_;
 };
 
 }  // namespace cobra::kernel

@@ -12,8 +12,9 @@ ThreadPool& KernelPool() {
 
 void ParallelExec(const std::vector<std::function<void()>>& tasks) {
   ThreadPool& pool = KernelPool();
-  for (const auto& task : tasks) pool.Schedule(task);
-  pool.WaitIdle();
+  TaskGroup group(&pool);
+  for (const auto& task : tasks) group.Run(task);
+  group.Wait();
 }
 
 }  // namespace cobra::kernel

@@ -12,6 +12,8 @@ namespace cobra::kernel {
 /// Fig. 4): runs `tasks` concurrently on the shared kernel pool and blocks
 /// until all complete. Extensions (e.g. parallel HMM evaluation across six
 /// model servers) funnel their concurrency through this single operator.
+/// Waiting is scoped to the caller's own tasks (TaskGroup), so concurrent
+/// ParallelExec calls on the shared pool never block on each other's work.
 void ParallelExec(const std::vector<std::function<void()>>& tasks);
 
 /// The pool used by ParallelExec; sized to the hardware concurrency, created

@@ -94,7 +94,7 @@ Result<OidSet> MoaSession::SelectEq(const std::string& cls,
                                     const std::string& attr,
                                     const kernel::Value& value) const {
   COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
-  COBRA_ASSIGN_OR_RETURN(kernel::Bat selected, bat->SelectEq(value));
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat selected, bat->SelectEq(value, exec_));
   return HeadsOf(selected);
 }
 
@@ -102,7 +102,8 @@ Result<OidSet> MoaSession::SelectRange(const std::string& cls,
                                        const std::string& attr, double lo,
                                        double hi) const {
   COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
-  COBRA_ASSIGN_OR_RETURN(kernel::Bat selected, bat->SelectRange(lo, hi));
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat selected,
+                         bat->SelectRange(lo, hi, exec_));
   return HeadsOf(selected);
 }
 
@@ -166,7 +167,8 @@ Result<OidSet> MoaSession::JoinInto(const std::string& cls, const OidSet& set,
   }
   kernel::Bat target_bat(kernel::TailType::kOid);
   for (kernel::Oid oid : targets.oids) target_bat.AppendOid(oid, oid);
-  COBRA_ASSIGN_OR_RETURN(kernel::Bat joined, kernel::Join(*bat, target_bat));
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat joined,
+                         kernel::Join(*bat, target_bat, exec_));
   OidSet joined_heads = HeadsOf(joined);
   return Intersect(set, joined_heads);
 }
@@ -175,14 +177,14 @@ Result<double> MoaSession::AggregateSum(const std::string& cls,
                                         const OidSet& set,
                                         const std::string& attr) const {
   COBRA_ASSIGN_OR_RETURN(kernel::Bat column, Project(cls, set, attr));
-  return column.Sum();
+  return column.Sum(exec_);
 }
 
 Result<double> MoaSession::AggregateMax(const std::string& cls,
                                         const OidSet& set,
                                         const std::string& attr) const {
   COBRA_ASSIGN_OR_RETURN(kernel::Bat column, Project(cls, set, attr));
-  return column.Max();
+  return column.Max(exec_);
 }
 
 }  // namespace cobra::moa

@@ -9,6 +9,7 @@
 #include "base/status.h"
 #include "kernel/bat.h"
 #include "kernel/catalog.h"
+#include "kernel/exec_context.h"
 
 namespace cobra::moa {
 
@@ -98,6 +99,12 @@ class MoaSession {
 
   kernel::Catalog* catalog() { return catalog_; }
 
+  /// Execution parameters forwarded to the kernel operators the algebra
+  /// rewrites into (select/join/aggregate go morsel-parallel past the
+  /// cutoff). Defaults to the serial context.
+  const kernel::ExecContext& exec() const { return exec_; }
+  void set_exec(const kernel::ExecContext& exec) { exec_ = exec; }
+
  private:
   std::string ExtentName(const std::string& cls) const {
     return cls + ".@extent";
@@ -114,6 +121,7 @@ class MoaSession {
   kernel::Catalog* catalog_;
   std::map<std::string, ClassDef> classes_;
   kernel::Oid next_oid_ = 1;
+  kernel::ExecContext exec_;
 };
 
 }  // namespace cobra::moa

@@ -1,6 +1,8 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <functional>
+#include <iterator>
 
 #include "base/logging.h"
 #include "base/strings.h"
@@ -76,6 +78,31 @@ bool QueryEngine::TemporalMatch(TemporalOp op,
   return false;
 }
 
+namespace {
+
+/// Morsel-parallel, order-preserving filter over an event list.
+std::vector<model::EventRecord> FilterEvents(
+    const kernel::ExecContext& exec,
+    const std::vector<model::EventRecord>& events,
+    const std::function<bool(const model::EventRecord&)>& keep) {
+  const size_t num = exec.NumMorsels(events.size());
+  std::vector<std::vector<model::EventRecord>> parts(num);
+  kernel::ForEachMorsel(
+      exec, events.size(), [&](size_t m, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (keep(events[i])) parts[m].push_back(events[i]);
+        }
+      });
+  std::vector<model::EventRecord> out;
+  for (auto& part : parts) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
   QueryResult result;
   COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
@@ -86,29 +113,28 @@ Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
   COBRA_ASSIGN_OR_RETURN(auto primary_events,
                          catalog_->Events(video.id, query.primary.type));
 
-  std::vector<model::EventRecord> filtered;
-  for (const auto& e : primary_events) {
-    if (MatchesPattern(e, query.primary)) filtered.push_back(e);
-  }
+  std::vector<model::EventRecord> filtered =
+      FilterEvents(exec_, primary_events, [&query](const auto& e) {
+        return MatchesPattern(e, query.primary);
+      });
 
   if (query.temporal_op != TemporalOp::kNone) {
     COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.secondary.type,
                                           query.preference, &result));
     COBRA_ASSIGN_OR_RETURN(auto secondary_events,
                            catalog_->Events(video.id, query.secondary.type));
-    std::vector<model::EventRecord> secondary;
-    for (const auto& e : secondary_events) {
-      if (MatchesPattern(e, query.secondary)) secondary.push_back(e);
-    }
-    std::vector<model::EventRecord> joined;
-    for (const auto& p : filtered) {
-      for (const auto& s : secondary) {
-        if (TemporalMatch(query.temporal_op, p, s)) {
-          joined.push_back(p);
-          break;
-        }
-      }
-    }
+    std::vector<model::EventRecord> secondary =
+        FilterEvents(exec_, secondary_events, [&query](const auto& e) {
+          return MatchesPattern(e, query.secondary);
+        });
+    // Temporal semijoin: keep primaries with at least one temporal match.
+    std::vector<model::EventRecord> joined =
+        FilterEvents(exec_, filtered, [&](const auto& p) {
+          for (const auto& s : secondary) {
+            if (TemporalMatch(query.temporal_op, p, s)) return true;
+          }
+          return false;
+        });
     filtered = std::move(joined);
   }
 

@@ -7,6 +7,7 @@
 #include "base/status.h"
 #include "cobra/video_model.h"
 #include "extensions/extension.h"
+#include "kernel/exec_context.h"
 #include "query/parser.h"
 
 namespace cobra::query {
@@ -37,6 +38,12 @@ class QueryEngine {
   /// Executes an already-parsed query.
   Result<QueryResult> Execute(const ParsedQuery& query);
 
+  /// Execution parameters for the evaluator: pattern filtering and the
+  /// temporal join run morsel-parallel over the event lists past the serial
+  /// cutoff. Defaults to the serial context.
+  const kernel::ExecContext& exec() const { return exec_; }
+  void set_exec(const kernel::ExecContext& exec) { exec_ = exec; }
+
  private:
   /// Ensures events of `type` exist for `video`; dynamically extracts when
   /// missing, selecting the provider per `preference`.
@@ -53,6 +60,7 @@ class QueryEngine {
 
   model::VideoCatalog* catalog_;
   extensions::ExtensionRegistry* registry_;
+  kernel::ExecContext exec_;
 };
 
 }  // namespace cobra::query

@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -179,6 +181,84 @@ TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
   ThreadPool pool(2);
   pool.WaitIdle();  // must not hang
   SUCCEED();
+}
+
+// Regression: Wait() on one group must not wait for another caller's tasks.
+// The slow group's task blocks on a gate that is only opened AFTER the quick
+// group's Wait() returns — under the old whole-pool WaitIdle semantics this
+// test deadlocks.
+TEST(TaskGroupTest, WaitCoversOnlyOwnTasks) {
+  ThreadPool pool(2);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> slow_done{false};
+
+  TaskGroup slow(&pool);
+  slow.Run([opened, &slow_done] {
+    opened.wait();
+    slow_done.store(true);
+  });
+
+  std::atomic<int> quick_count{0};
+  TaskGroup quick(&pool);
+  for (int i = 0; i < 8; ++i) {
+    quick.Run([&quick_count] { quick_count.fetch_add(1); });
+  }
+  quick.Wait();
+  EXPECT_EQ(quick_count.load(), 8);
+  EXPECT_FALSE(slow_done.load());  // the other group is still in flight
+
+  gate.set_value();
+  slow.Wait();
+  EXPECT_TRUE(slow_done.load());
+}
+
+// Two threads schedule through their own groups on one shared pool
+// concurrently; each must observe exactly its own task count at Wait().
+TEST(TaskGroupTest, ConcurrentCallersDoNotInterfere) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 200;
+  auto caller = [&pool](std::atomic<int>* count) {
+    for (int round = 0; round < 5; ++round) {
+      TaskGroup group(&pool);
+      for (int i = 0; i < kTasks; ++i) {
+        group.Run([count] { count->fetch_add(1); });
+      }
+      group.Wait();
+      // All of this caller's tasks for the round are done at Wait-return.
+      EXPECT_EQ(count->load() % kTasks, 0);
+    }
+  };
+  std::atomic<int> count_a{0}, count_b{0};
+  std::thread ta(caller, &count_a);
+  std::thread tb(caller, &count_b);
+  ta.join();
+  tb.join();
+  EXPECT_EQ(count_a.load(), 5 * kTasks);
+  EXPECT_EQ(count_b.load(), 5 * kTasks);
+}
+
+// N producer threads each run rounds of ParallelFor whose bodies nest
+// another ParallelFor on the same pool. Nested waits run queued tasks
+// instead of blocking workers, so this must neither deadlock nor lose work.
+TEST(ThreadPoolTest, NestedParallelForStress) {
+  ThreadPool pool(3);
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 5;
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 13;
+  std::atomic<size_t> count{0};
+  auto producer = [&] {
+    for (int round = 0; round < kRounds; ++round) {
+      pool.ParallelFor(0, kOuter, [&](size_t) {
+        pool.ParallelFor(0, kInner, [&](size_t) { count.fetch_add(1); });
+      });
+    }
+  };
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) producers.emplace_back(producer);
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(count.load(), kProducers * kRounds * kOuter * kInner);
 }
 
 }  // namespace

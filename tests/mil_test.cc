@@ -118,6 +118,75 @@ TEST_F(MilTest, ErrorsAreReported) {
   EXPECT_FALSE(session_->Execute("PRINT 'unterminated;").ok());
 }
 
+// Malformed scripts must come back as non-ok Results with a message that
+// names the problem — never a crash or a silent empty output.
+
+TEST_F(MilTest, UnterminatedStringNamesTheProblem) {
+  auto out = session_->Execute("VAR x := select(bat('names'), 'alp;");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().ToString().find("unterminated"), std::string::npos)
+      << out.status().ToString();
+}
+
+TEST_F(MilTest, UnknownFunctionNamesTheFunction) {
+  auto out = session_->Execute("PRINT frobnicate(1);");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().ToString().find("frobnicate"), std::string::npos)
+      << out.status().ToString();
+}
+
+TEST_F(MilTest, TypeMismatchedInsertIsRejected) {
+  // String tail into a numeric BAT and number tail into a str BAT.
+  auto bad_int = session_->Execute("PRINT insert(new('int'), 0, 'abc');");
+  ASSERT_FALSE(bad_int.ok());
+  EXPECT_NE(bad_int.status().ToString().find("insert"), std::string::npos)
+      << bad_int.status().ToString();
+  auto bad_str = session_->Execute("PRINT insert(new('str'), 0, 3.5);");
+  ASSERT_FALSE(bad_str.ok());
+  EXPECT_NE(bad_str.status().ToString().find("insert"), std::string::npos)
+      << bad_str.status().ToString();
+  // Inserting into a non-BAT is caught too.
+  EXPECT_FALSE(session_->Execute("PRINT insert(7, 0, 1);").ok());
+}
+
+TEST_F(MilTest, ThreadcntValidatesItsArgument) {
+  for (const char* script :
+       {"threadcnt(0);", "threadcnt(-3);", "threadcnt(2.5);",
+        "threadcnt('four');", "threadcnt();"}) {
+    auto out = session_->Execute(script);
+    ASSERT_FALSE(out.ok()) << script;
+    EXPECT_NE(out.status().ToString().find("threadcnt"), std::string::npos)
+        << out.status().ToString();
+  }
+  EXPECT_EQ(session_->exec().threadcnt, 1);  // failed calls leave it alone
+}
+
+TEST_F(MilTest, ThreadcntSetsTheSessionContext) {
+  auto out = session_->Execute("PRINT threadcnt(4);");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "4\n");
+  EXPECT_EQ(session_->exec().threadcnt, 4);
+}
+
+TEST_F(MilTest, ParallelSelectAndAggregatesMatchSerialOutput) {
+  // Force the parallel path even on the 10-row fixture BAT.
+  ExecContext exec;
+  exec.morsel_rows = 2;
+  exec.serial_cutoff = 1;
+  session_->set_exec(exec);
+  const std::string script =
+      "PRINT count(select(bat('values'), 0.15, 0.85));\n"
+      "PRINT sum(bat('values'));\n"
+      "PRINT max(bat('values'));\n"
+      "PRINT count(select(bat('names'), 'alpha'));\n";
+  auto serial = session_->Execute("threadcnt(1);" + script);
+  auto parallel = session_->Execute("threadcnt(7);" + script);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(*serial, *parallel);
+  EXPECT_EQ(*serial, "7\n4.5\n0.9\n2\n");
+}
+
 TEST_F(MilTest, BatPrintFormat) {
   auto out = session_->Execute("PRINT slice(bat('names'), 0, 2);");
   ASSERT_TRUE(out.ok());

@@ -1,0 +1,234 @@
+// Serial/parallel equivalence suite for the morsel-parallel BAT operators.
+//
+// Every parallelized operator must produce byte-identical output (values,
+// heads, and ordering) at every threadcnt. The suite runs randomized BATs
+// (seeded Rng) across all tail types and the edge cases that stress the
+// morsel decomposition: empty input, a single element, and all-equal tails.
+// Small morsels (64 rows) and a unit serial cutoff force the parallel path
+// at test sizes.
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "kernel/bat.h"
+#include "kernel/exec_context.h"
+
+namespace cobra::kernel {
+namespace {
+
+ExecContext Ctx(int threadcnt) {
+  ExecContext ctx;
+  ctx.threadcnt = threadcnt;
+  ctx.morsel_rows = 64;
+  ctx.serial_cutoff = 1;
+  return ctx;
+}
+
+/// Bit-exact double comparison: equivalence means byte-identical, not
+/// approximately equal.
+void ExpectSameDouble(double a, double b, size_t i) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))
+      << "float tail differs at position " << i << ": " << a << " vs " << b;
+}
+
+void ExpectSameBat(const Bat& expected, const Bat& actual) {
+  ASSERT_EQ(expected.tail_type(), actual.tail_type());
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected.HeadAt(i), actual.HeadAt(i)) << "head at " << i;
+    switch (expected.tail_type()) {
+      case TailType::kInt:
+        ASSERT_EQ(expected.IntAt(i), actual.IntAt(i)) << "int tail at " << i;
+        break;
+      case TailType::kFloat:
+        ExpectSameDouble(expected.FloatAt(i), actual.FloatAt(i), i);
+        break;
+      case TailType::kStr:
+        ASSERT_EQ(expected.StrAt(i), actual.StrAt(i)) << "str tail at " << i;
+        break;
+      case TailType::kOid:
+        ASSERT_EQ(expected.OidAt(i), actual.OidAt(i)) << "oid tail at " << i;
+        break;
+    }
+  }
+}
+
+/// Randomized BAT with duplicate-heavy tails so equality selects and
+/// grouping have real work to do. `all_equal` pins every tail to one value.
+Bat RandomBat(TailType type, size_t n, uint64_t seed, bool all_equal = false) {
+  Rng rng(seed);
+  // A small palette of values creates duplicates across morsel boundaries.
+  const size_t palette = all_equal ? 1 : 37;
+  std::vector<double> float_palette;
+  for (size_t i = 0; i < palette; ++i) float_palette.push_back(rng.Uniform());
+  Bat bat(type);
+  for (size_t i = 0; i < n; ++i) {
+    const Oid head = static_cast<Oid>(rng.UniformInt(uint64_t{1000}));
+    switch (type) {
+      case TailType::kInt:
+        bat.AppendInt(head, all_equal ? 7 : rng.UniformInt(int64_t{-25}, 25));
+        break;
+      case TailType::kFloat:
+        bat.AppendFloat(head, float_palette[rng.UniformInt(palette)]);
+        break;
+      case TailType::kStr: {
+        const uint64_t word =
+            all_equal ? 0 : rng.UniformInt(uint64_t{palette});
+        std::string s = "w";
+        s += std::to_string(word);
+        bat.AppendStr(head, std::move(s));
+        break;
+      }
+      case TailType::kOid:
+        bat.AppendOid(head,
+                      all_equal ? Oid{3} : static_cast<Oid>(
+                                               rng.UniformInt(uint64_t{64})));
+        break;
+    }
+  }
+  return bat;
+}
+
+constexpr TailType kAllTypes[] = {TailType::kInt, TailType::kFloat,
+                                  TailType::kStr, TailType::kOid};
+constexpr size_t kSizes[] = {0, 1, 257, 5000};
+
+class ParallelKernelTest : public ::testing::TestWithParam<int> {
+ protected:
+  ExecContext ctx() const { return Ctx(GetParam()); }
+};
+
+TEST_P(ParallelKernelTest, SelectRangeMatchesSerial) {
+  for (TailType type : {TailType::kInt, TailType::kFloat}) {
+    for (size_t n : kSizes) {
+      for (bool all_equal : {false, true}) {
+        const Bat bat = RandomBat(type, n, 11 + n, all_equal);
+        auto serial = bat.SelectRange(-10.0, 0.6);
+        auto parallel = bat.SelectRange(-10.0, 0.6, ctx());
+        ASSERT_TRUE(serial.ok());
+        ASSERT_TRUE(parallel.ok());
+        ExpectSameBat(*serial, *parallel);
+      }
+    }
+  }
+  // Type errors surface identically on both paths.
+  const Bat strs = RandomBat(TailType::kStr, 100, 1);
+  EXPECT_FALSE(strs.SelectRange(0, 1, ctx()).ok());
+}
+
+TEST_P(ParallelKernelTest, SelectEqMatchesSerial) {
+  for (TailType type : kAllTypes) {
+    for (size_t n : kSizes) {
+      for (bool all_equal : {false, true}) {
+        const Bat bat = RandomBat(type, n, 23 + n, all_equal);
+        // Probe with a value drawn the same way as the data, so hits exist.
+        const Value probe = RandomBat(type, 1, 23 + n, all_equal).TailAt(0);
+        auto serial = bat.SelectEq(probe);
+        auto parallel = bat.SelectEq(probe, ctx());
+        ASSERT_TRUE(serial.ok());
+        ASSERT_TRUE(parallel.ok());
+        ExpectSameBat(*serial, *parallel);
+      }
+    }
+  }
+  const Bat ints = RandomBat(TailType::kInt, 100, 2);
+  EXPECT_FALSE(ints.SelectEq(Value::Str("x"), ctx()).ok());
+}
+
+TEST_P(ParallelKernelTest, SelectStrMatchesSerial) {
+  for (size_t n : kSizes) {
+    for (bool all_equal : {false, true}) {
+      const Bat bat = RandomBat(TailType::kStr, n, 31 + n, all_equal);
+      auto serial = bat.SelectStr("w3");
+      auto parallel = bat.SelectStr("w3", ctx());
+      ASSERT_TRUE(serial.ok());
+      ASSERT_TRUE(parallel.ok());
+      ExpectSameBat(*serial, *parallel);
+    }
+  }
+  const Bat ints = RandomBat(TailType::kInt, 100, 3);
+  EXPECT_FALSE(ints.SelectStr("x", ctx()).ok());
+}
+
+TEST_P(ParallelKernelTest, AggregatesMatchSerial) {
+  for (TailType type : {TailType::kInt, TailType::kFloat}) {
+    for (size_t n : kSizes) {
+      for (bool all_equal : {false, true}) {
+        const Bat bat = RandomBat(type, n, 41 + n, all_equal);
+        if (n == 0) {
+          EXPECT_FALSE(bat.Max(ctx()).ok());
+          EXPECT_FALSE(bat.Min(ctx()).ok());
+          EXPECT_FALSE(bat.ArgMax(ctx()).ok());
+          EXPECT_EQ(*bat.Sum(ctx()), 0.0);
+          continue;
+        }
+        // Max/Min/ArgMax are byte-identical to the serial operator; ArgMax
+        // ties (all-equal tails) must resolve to the same position.
+        EXPECT_EQ(*bat.ArgMax(), *bat.ArgMax(ctx()));
+        ExpectSameDouble(*bat.Max(), *bat.Max(ctx()), n);
+        ExpectSameDouble(*bat.Min(), *bat.Min(ctx()), n);
+        // Sum reduces per fixed-size morsel: identical at every threadcnt.
+        ExpectSameDouble(*bat.Sum(Ctx(1)), *bat.Sum(ctx()), n);
+      }
+    }
+  }
+  const Bat strs = RandomBat(TailType::kStr, 100, 4);
+  EXPECT_FALSE(strs.Sum(ctx()).ok());
+  EXPECT_FALSE(strs.ArgMax(ctx()).ok());
+}
+
+TEST_P(ParallelKernelTest, GroupMatchesSerial) {
+  for (TailType type : kAllTypes) {
+    for (size_t n : kSizes) {
+      for (bool all_equal : {false, true}) {
+        const Bat bat = RandomBat(type, n, 53 + n, all_equal);
+        std::vector<size_t> serial_reps, parallel_reps;
+        Bat serial = Group(bat, &serial_reps);
+        Bat parallel = Group(bat, &parallel_reps, ctx());
+        ExpectSameBat(serial, parallel);
+        EXPECT_EQ(serial_reps, parallel_reps);
+      }
+    }
+  }
+}
+
+TEST_P(ParallelKernelTest, JoinMatchesSerial) {
+  for (TailType tail : kAllTypes) {
+    for (size_t n : kSizes) {
+      // Left side: oid tails pointing into b's head space, some missing.
+      Bat a(TailType::kOid);
+      Rng rng(67 + n);
+      for (size_t i = 0; i < n; ++i) {
+        a.AppendOid(static_cast<Oid>(i),
+                    static_cast<Oid>(rng.UniformInt(uint64_t{400})));
+      }
+      // Build side with duplicate heads, so one probe emits several rows.
+      const Bat b = RandomBat(tail, 300, 71 + n);
+      auto serial = Join(a, b);
+      auto parallel = Join(a, b, ctx());
+      ASSERT_TRUE(serial.ok());
+      ASSERT_TRUE(parallel.ok());
+      ExpectSameBat(*serial, *parallel);
+    }
+  }
+  // Joining against an empty build side yields an empty result.
+  Bat a(TailType::kOid);
+  for (size_t i = 0; i < 5000; ++i) a.AppendOid(i, i);
+  auto empty = Join(a, Bat(TailType::kFloat), ctx());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  // Non-oid left tail is rejected on both paths.
+  EXPECT_FALSE(Join(Bat(TailType::kInt), a, ctx()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threadcnt, ParallelKernelTest,
+                         ::testing::Values(1, 2, 7));
+
+}  // namespace
+}  // namespace cobra::kernel
