@@ -1,0 +1,19 @@
+# Validates a benchmark JSON artifact: the file must exist, parse as JSON,
+# and contain a non-empty array — keeping the BENCH_*.json perf trajectory
+# machine-readable. Usage:
+#   cmake -DJSON_FILE=<path> -P check_bench_json.cmake
+if(NOT DEFINED JSON_FILE)
+  message(FATAL_ERROR "pass -DJSON_FILE=<path>")
+endif()
+if(NOT EXISTS "${JSON_FILE}")
+  message(FATAL_ERROR "benchmark output missing: ${JSON_FILE}")
+endif()
+file(READ "${JSON_FILE}" _content)
+string(JSON _len ERROR_VARIABLE _err LENGTH "${_content}")
+if(_err)
+  message(FATAL_ERROR "malformed JSON in ${JSON_FILE}: ${_err}")
+endif()
+if(_len LESS 1)
+  message(FATAL_ERROR "empty benchmark array in ${JSON_FILE}")
+endif()
+message(STATUS "${JSON_FILE}: valid JSON array with ${_len} entries")

@@ -166,6 +166,7 @@ Status VideoCatalog::StoreEvent(VideoId video, const EventRecord& event) {
   COBRA_RETURN_IF_ERROR(session_.SetAttr("event", oid, "attrs",
                                          kernel::Value::Str(StrJoin(kv, ";"))));
   events_[video].push_back(event);
+  ++event_version_;
   return Status::OK();
 }
 
@@ -211,6 +212,7 @@ Status VideoCatalog::DropEvents(VideoId video, const std::string& type) {
                              return e.type == type;
                            }),
             vec.end());
+  ++event_version_;
   return Status::OK();
 }
 

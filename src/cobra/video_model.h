@@ -84,6 +84,11 @@ class VideoCatalog {
   /// Drops all events of a type (used before re-extraction).
   Status DropEvents(VideoId video, const std::string& type);
 
+  /// Monotonic counter bumped by every event-layer mutation (StoreEvent,
+  /// StoreEvents, DropEvents). The query layer's result cache records it
+  /// per entry, so any event change invalidates stale cached results.
+  uint64_t event_version() const { return event_version_; }
+
   /// Bridges the event layer to the rule engine.
   static rules::EventFact ToFact(const EventRecord& event);
   static EventRecord FromFact(const rules::EventFact& fact);
@@ -100,6 +105,7 @@ class VideoCatalog {
   std::map<VideoId, std::vector<EventRecord>> events_;
   std::map<VideoId, std::vector<ObjectRecord>> objects_;
   std::map<VideoId, std::vector<std::string>> feature_names_;
+  uint64_t event_version_ = 0;
 };
 
 }  // namespace cobra::model

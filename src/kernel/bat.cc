@@ -1,8 +1,10 @@
 #include "kernel/bat.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,14 +27,16 @@ std::string_view TailTypeName(TailType t) {
   return "?";
 }
 
-double Value::Numeric() const {
+Result<double> Value::Numeric() const {
   switch (type_) {
     case TailType::kInt:
       return static_cast<double>(AsInt());
     case TailType::kFloat:
       return AsFloat();
     default:
-      return 0.0;
+      return Status::InvalidArgument(
+          StrFormat("no numeric view of a %s value",
+                    std::string(TailTypeName(type_)).c_str()));
   }
 }
 
@@ -50,6 +54,185 @@ std::string Value::ToString() const {
   return "?";
 }
 
+// -- Acceleration state -----------------------------------------------------
+
+/// Shared per-BAT acceleration state. Index builds and lookups are
+/// serialized on `mu`; the published indexes are immutable, so probes use
+/// them outside the lock. Counters are relaxed atomics (diagnostics only).
+struct Bat::Accel {
+  std::mutex mu;
+  std::shared_ptr<const HashIndex> tail;
+  std::shared_ptr<const HashIndex> head;
+  std::atomic<uint64_t> tail_builds{0};
+  std::atomic<uint64_t> tail_probes{0};
+  std::atomic<uint64_t> head_builds{0};
+  std::atomic<uint64_t> head_probes{0};
+};
+
+Bat::Accel& Bat::accel() const {
+  Accel* a = accel_.load(std::memory_order_acquire);
+  if (a != nullptr) return *a;
+  auto* fresh = new Accel();
+  if (accel_.compare_exchange_strong(a, fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;  // another probe won the race
+  return *a;
+}
+
+Bat::~Bat() { delete accel_.load(std::memory_order_acquire); }
+
+Bat::Bat(const Bat& other)
+    : tail_type_(other.tail_type_),
+      head_(other.head_),
+      ints_(other.ints_),
+      floats_(other.floats_),
+      oids_(other.oids_),
+      str_codes_(other.str_codes_),
+      dict_(other.dict_),
+      version_(other.version_) {
+  dict_order_.assign(dict_.size(), nullptr);
+  for (const auto& [s, code] : dict_) dict_order_[code] = &s;
+}
+
+Bat& Bat::operator=(const Bat& other) {
+  if (this == &other) return *this;
+  Bat copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Bat::Bat(Bat&& other) noexcept
+    : tail_type_(other.tail_type_),
+      head_(std::move(other.head_)),
+      ints_(std::move(other.ints_)),
+      floats_(std::move(other.floats_)),
+      oids_(std::move(other.oids_)),
+      str_codes_(std::move(other.str_codes_)),
+      dict_(std::move(other.dict_)),
+      dict_order_(std::move(other.dict_order_)),
+      version_(other.version_),
+      accel_(other.accel_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+Bat& Bat::operator=(Bat&& other) noexcept {
+  if (this == &other) return *this;
+  delete accel_.load(std::memory_order_acquire);
+  tail_type_ = other.tail_type_;
+  head_ = std::move(other.head_);
+  ints_ = std::move(other.ints_);
+  floats_ = std::move(other.floats_);
+  oids_ = std::move(other.oids_);
+  str_codes_ = std::move(other.str_codes_);
+  dict_ = std::move(other.dict_);
+  dict_order_ = std::move(other.dict_order_);
+  version_ = other.version_;
+  accel_.store(other.accel_.exchange(nullptr, std::memory_order_acq_rel),
+               std::memory_order_release);
+  return *this;
+}
+
+uint32_t Bat::InternStr(std::string v) {
+  auto [it, inserted] =
+      dict_.try_emplace(std::move(v), static_cast<uint32_t>(dict_.size()));
+  if (inserted) dict_order_.push_back(&it->first);
+  return it->second;
+}
+
+bool Bat::LookupStrCode(const std::string& s, uint32_t* code) const {
+  auto it = dict_.find(s);
+  if (it == dict_.end()) return false;
+  *code = it->second;
+  return true;
+}
+
+uint64_t Bat::TailKeyAt(size_t i) const {
+  switch (tail_type_) {
+    case TailType::kInt:
+      return std::bit_cast<uint64_t>(ints_[i]);
+    case TailType::kFloat: {
+      double d = floats_[i];
+      if (d == 0.0) d = 0.0;  // fold -0.0 into +0.0: they compare equal
+      return std::bit_cast<uint64_t>(d);
+    }
+    case TailType::kStr:
+      return str_codes_[i];
+    case TailType::kOid:
+      return oids_[i];
+  }
+  return 0;
+}
+
+std::shared_ptr<const Bat::HashIndex> Bat::TailIndex(bool force) const {
+  if (size() > std::numeric_limits<uint32_t>::max()) return nullptr;
+  Accel& a = accel();
+  std::lock_guard<std::mutex> lock(a.mu);
+  if (a.tail != nullptr && a.tail->built_version == version_) {
+    a.tail_probes.fetch_add(1, std::memory_order_relaxed);
+    return a.tail;
+  }
+  // Build (or rebuild after a mutation) when forced, when an index already
+  // accreted on this BAT, or when the BAT is large enough to pay off.
+  if (!force && a.tail == nullptr && size() < kAutoIndexMinRows) {
+    return nullptr;
+  }
+  auto idx = std::make_shared<HashIndex>();
+  idx->built_version = version_;
+  idx->map.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    idx->map[TailKeyAt(i)].push_back(static_cast<uint32_t>(i));
+  }
+  a.tail = std::move(idx);
+  a.tail_builds.fetch_add(1, std::memory_order_relaxed);
+  a.tail_probes.fetch_add(1, std::memory_order_relaxed);
+  return a.tail;
+}
+
+std::shared_ptr<const Bat::HashIndex> Bat::HeadIndex(bool force) const {
+  if (size() > std::numeric_limits<uint32_t>::max()) return nullptr;
+  Accel& a = accel();
+  std::lock_guard<std::mutex> lock(a.mu);
+  if (a.head != nullptr && a.head->built_version == version_) {
+    a.head_probes.fetch_add(1, std::memory_order_relaxed);
+    return a.head;
+  }
+  if (!force && a.head == nullptr && size() < kAutoIndexMinRows) {
+    return nullptr;
+  }
+  auto idx = std::make_shared<HashIndex>();
+  idx->built_version = version_;
+  idx->map.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    idx->map[head_[i]].push_back(static_cast<uint32_t>(i));
+  }
+  a.head = std::move(idx);
+  a.head_builds.fetch_add(1, std::memory_order_relaxed);
+  a.head_probes.fetch_add(1, std::memory_order_relaxed);
+  return a.head;
+}
+
+Bat::AccelInfo Bat::accel_info() const {
+  AccelInfo info;
+  info.version = version_;
+  info.dict_entries = dict_order_.size();
+  Accel* a = accel_.load(std::memory_order_acquire);
+  if (a == nullptr) return info;
+  std::lock_guard<std::mutex> lock(a->mu);
+  info.tail_index_built = a->tail != nullptr;
+  info.tail_index_fresh =
+      a->tail != nullptr && a->tail->built_version == version_;
+  info.head_index_built = a->head != nullptr;
+  info.head_index_fresh =
+      a->head != nullptr && a->head->built_version == version_;
+  info.tail_builds = a->tail_builds.load(std::memory_order_relaxed);
+  info.tail_probes = a->tail_probes.load(std::memory_order_relaxed);
+  info.head_builds = a->head_builds.load(std::memory_order_relaxed);
+  info.head_probes = a->head_probes.load(std::memory_order_relaxed);
+  return info;
+}
+
+// -- Mutation ---------------------------------------------------------------
+
 Status Bat::Append(Oid head, const Value& tail) {
   if (tail.type() != tail_type_) {
     return Status::InvalidArgument(
@@ -66,12 +249,13 @@ Status Bat::Append(Oid head, const Value& tail) {
       floats_.push_back(tail.AsFloat());
       break;
     case TailType::kStr:
-      strs_.push_back(tail.AsStr());
+      str_codes_.push_back(InternStr(tail.AsStr()));
       break;
     case TailType::kOid:
       oids_.push_back(tail.AsOid());
       break;
   }
+  Bump();
   return Status::OK();
 }
 
@@ -79,24 +263,28 @@ void Bat::AppendInt(Oid head, int64_t v) {
   COBRA_CHECK(tail_type_ == TailType::kInt);
   head_.push_back(head);
   ints_.push_back(v);
+  Bump();
 }
 
 void Bat::AppendFloat(Oid head, double v) {
   COBRA_CHECK(tail_type_ == TailType::kFloat);
   head_.push_back(head);
   floats_.push_back(v);
+  Bump();
 }
 
 void Bat::AppendStr(Oid head, std::string v) {
   COBRA_CHECK(tail_type_ == TailType::kStr);
   head_.push_back(head);
-  strs_.push_back(std::move(v));
+  str_codes_.push_back(InternStr(std::move(v)));
+  Bump();
 }
 
 void Bat::AppendOid(Oid head, Oid v) {
   COBRA_CHECK(tail_type_ == TailType::kOid);
   head_.push_back(head);
   oids_.push_back(v);
+  Bump();
 }
 
 void Bat::AppendRowFrom(Oid head, const Bat& src, size_t i) {
@@ -110,12 +298,18 @@ void Bat::AppendRowFrom(Oid head, const Bat& src, size_t i) {
       floats_.push_back(src.floats_[i]);
       break;
     case TailType::kStr:
-      strs_.push_back(src.strs_[i]);
+      if (&src == this) {
+        const uint32_t code = str_codes_[i];
+        str_codes_.push_back(code);
+      } else {
+        str_codes_.push_back(InternStr(src.StrAt(i)));
+      }
       break;
     case TailType::kOid:
       oids_.push_back(src.oids_[i]);
       break;
   }
+  Bump();
 }
 
 void Bat::Reserve(size_t n) {
@@ -128,7 +322,7 @@ void Bat::Reserve(size_t n) {
       floats_.reserve(n);
       break;
     case TailType::kStr:
-      strs_.reserve(n);
+      str_codes_.reserve(n);
       break;
     case TailType::kOid:
       oids_.reserve(n);
@@ -147,13 +341,21 @@ void Bat::Concat(const Bat& other) {
       floats_.insert(floats_.end(), other.floats_.begin(),
                      other.floats_.end());
       break;
-    case TailType::kStr:
-      strs_.insert(strs_.end(), other.strs_.begin(), other.strs_.end());
+    case TailType::kStr: {
+      // Remap the other dictionary's codes through ours.
+      std::vector<uint32_t> remap(other.dict_order_.size());
+      for (size_t c = 0; c < other.dict_order_.size(); ++c) {
+        remap[c] = InternStr(*other.dict_order_[c]);
+      }
+      str_codes_.reserve(str_codes_.size() + other.str_codes_.size());
+      for (uint32_t c : other.str_codes_) str_codes_.push_back(remap[c]);
       break;
+    }
     case TailType::kOid:
       oids_.insert(oids_.end(), other.oids_.begin(), other.oids_.end());
       break;
   }
+  Bump();
 }
 
 Bat Bat::FromOidColumns(std::vector<Oid> heads, std::vector<Oid> tails) {
@@ -171,7 +373,7 @@ Value Bat::TailAt(size_t i) const {
     case TailType::kFloat:
       return Value::Float(floats_[i]);
     case TailType::kStr:
-      return Value::Str(strs_[i]);
+      return Value::Str(StrAt(i));
     case TailType::kOid:
       return Value::OfOid(oids_[i]);
   }
@@ -200,27 +402,111 @@ uint64_t HashOid(Oid x) {
 
 }  // namespace
 
-Result<Bat> Bat::SelectEq(const Value& v) const {
-  if (v.type() != tail_type_) {
-    return Status::InvalidArgument("SelectEq value type mismatch");
-  }
+// -- Selects ----------------------------------------------------------------
+
+Bat Bat::EmitEqHits(const std::vector<uint32_t>& hits, const Value& v) const {
   Bat out(tail_type_);
-  for (size_t i = 0; i < size(); ++i) {
-    if (TailAt(i) == v) {
-      Status s = out.Append(head_[i], v);
-      COBRA_CHECK(s.ok());
+  out.Reserve(hits.size());
+  switch (tail_type_) {
+    case TailType::kInt: {
+      const int64_t want = v.AsInt();
+      for (uint32_t p : hits) out.AppendInt(head_[p], want);
+      break;
+    }
+    case TailType::kFloat: {
+      const double want = v.AsFloat();
+      for (uint32_t p : hits) out.AppendFloat(head_[p], want);
+      break;
+    }
+    case TailType::kStr: {
+      const uint32_t code = out.InternStr(v.AsStr());
+      for (uint32_t p : hits) {
+        out.head_.push_back(head_[p]);
+        out.str_codes_.push_back(code);
+      }
+      break;
+    }
+    case TailType::kOid: {
+      const Oid want = v.AsOid();
+      for (uint32_t p : hits) out.AppendOid(head_[p], want);
+      break;
     }
   }
   return out;
 }
 
-Result<Bat> Bat::SelectEq(const Value& v, const ExecContext& ctx) const {
+Result<Bat> Bat::SelectEqImpl(const Value& v, const ExecContext* ctx) const {
   if (v.type() != tail_type_) {
     return Status::InvalidArgument("SelectEq value type mismatch");
   }
-  if (!ctx.UseParallel(size())) return SelectEq(v);
-  std::vector<Bat> parts(ctx.NumMorsels(size()), Bat(tail_type_));
-  ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
+  // Resolve the canonical probe key; some probes provably match no row
+  // (string absent from the dictionary, NaN never compares equal).
+  uint64_t key = 0;
+  uint32_t str_code = 0;
+  switch (tail_type_) {
+    case TailType::kInt:
+      key = std::bit_cast<uint64_t>(v.AsInt());
+      break;
+    case TailType::kFloat: {
+      double d = v.AsFloat();
+      if (d != d) return Bat(tail_type_);  // NaN matches nothing
+      if (d == 0.0) d = 0.0;
+      key = std::bit_cast<uint64_t>(d);
+      break;
+    }
+    case TailType::kStr:
+      if (!LookupStrCode(v.AsStr(), &str_code)) return Bat(tail_type_);
+      key = str_code;
+      break;
+    case TailType::kOid:
+      key = v.AsOid();
+      break;
+  }
+  if (ctx == nullptr || ctx->auto_index) {
+    if (auto idx = TailIndex(/*force=*/false)) {
+      auto it = idx->map.find(key);
+      if (it == idx->map.end()) return Bat(tail_type_);
+      return EmitEqHits(it->second, v);
+    }
+  }
+  if (ctx == nullptr || !ctx->UseParallel(size())) {
+    // Serial scan over the typed column (codes, never string bytes).
+    Bat out(tail_type_);
+    switch (tail_type_) {
+      case TailType::kInt: {
+        const int64_t want = v.AsInt();
+        for (size_t i = 0; i < size(); ++i) {
+          if (ints_[i] == want) out.AppendInt(head_[i], want);
+        }
+        break;
+      }
+      case TailType::kFloat: {
+        const double want = v.AsFloat();
+        for (size_t i = 0; i < size(); ++i) {
+          if (floats_[i] == want) out.AppendFloat(head_[i], want);
+        }
+        break;
+      }
+      case TailType::kStr: {
+        for (size_t i = 0; i < size(); ++i) {
+          if (str_codes_[i] == str_code) {
+            out.AppendRowFrom(head_[i], *this, i);
+          }
+        }
+        break;
+      }
+      case TailType::kOid: {
+        const Oid want = v.AsOid();
+        for (size_t i = 0; i < size(); ++i) {
+          if (oids_[i] == want) out.AppendOid(head_[i], want);
+        }
+        break;
+      }
+    }
+    return out;
+  }
+  std::vector<Bat> parts(ctx->NumMorsels(size()), Bat(tail_type_));
+  ForEachMorsel(*ctx, size(), [&](size_t m, size_t begin, size_t end) {
     Bat& out = parts[m];
     switch (tail_type_) {
       case TailType::kInt: {
@@ -238,9 +524,10 @@ Result<Bat> Bat::SelectEq(const Value& v, const ExecContext& ctx) const {
         break;
       }
       case TailType::kStr: {
-        const std::string& want = v.AsStr();
         for (size_t i = begin; i < end; ++i) {
-          if (strs_[i] == want) out.AppendStr(head_[i], want);
+          if (str_codes_[i] == str_code) {
+            out.AppendRowFrom(head_[i], *this, i);
+          }
         }
         break;
       }
@@ -254,6 +541,14 @@ Result<Bat> Bat::SelectEq(const Value& v, const ExecContext& ctx) const {
     }
   });
   return MergeParts(tail_type_, parts);
+}
+
+Result<Bat> Bat::SelectEq(const Value& v) const {
+  return SelectEqImpl(v, nullptr);
+}
+
+Result<Bat> Bat::SelectEq(const Value& v, const ExecContext& ctx) const {
+  return SelectEqImpl(v, &ctx);
 }
 
 Result<Bat> Bat::SelectRange(double lo, double hi) const {
@@ -305,26 +600,14 @@ Result<Bat> Bat::SelectStr(const std::string& s) const {
   if (tail_type_ != TailType::kStr) {
     return Status::InvalidArgument("SelectStr requires a str tail");
   }
-  Bat out(TailType::kStr);
-  for (size_t i = 0; i < size(); ++i) {
-    if (strs_[i] == s) out.AppendStr(head_[i], strs_[i]);
-  }
-  return out;
+  return SelectEqImpl(Value::Str(s), nullptr);
 }
 
 Result<Bat> Bat::SelectStr(const std::string& s, const ExecContext& ctx) const {
   if (tail_type_ != TailType::kStr) {
     return Status::InvalidArgument("SelectStr requires a str tail");
   }
-  if (!ctx.UseParallel(size())) return SelectStr(s);
-  std::vector<Bat> parts(ctx.NumMorsels(size()), Bat(TailType::kStr));
-  ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
-    Bat& out = parts[m];
-    for (size_t i = begin; i < end; ++i) {
-      if (strs_[i] == s) out.AppendStr(head_[i], strs_[i]);
-    }
-  });
-  return MergeParts(TailType::kStr, parts);
+  return SelectEqImpl(Value::Str(s), &ctx);
 }
 
 Result<Bat> Bat::Reverse() const {
@@ -345,12 +628,11 @@ Bat Bat::Mirror() const {
 Bat Bat::Slice(size_t begin, size_t end) const {
   Bat out(tail_type_);
   const size_t e = std::min(end, size());
-  for (size_t i = begin; i < e; ++i) {
-    Status s = out.Append(head_[i], TailAt(i));
-    COBRA_CHECK(s.ok());
-  }
+  for (size_t i = begin; i < e; ++i) out.AppendRowFrom(head_[i], *this, i);
   return out;
 }
+
+// -- Aggregates -------------------------------------------------------------
 
 Result<double> Bat::Sum() const {
   if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
@@ -390,12 +672,14 @@ Result<double> Bat::Sum(const ExecContext& ctx) const {
 
 Result<double> Bat::Max() const {
   COBRA_ASSIGN_OR_RETURN(size_t pos, ArgMax());
-  return TailAt(pos).Numeric();
+  return tail_type_ == TailType::kInt ? static_cast<double>(ints_[pos])
+                                      : floats_[pos];
 }
 
 Result<double> Bat::Max(const ExecContext& ctx) const {
   COBRA_ASSIGN_OR_RETURN(size_t pos, ArgMax(ctx));
-  return TailAt(pos).Numeric();
+  return tail_type_ == TailType::kInt ? static_cast<double>(ints_[pos])
+                                      : floats_[pos];
 }
 
 Result<double> Bat::Min() const {
@@ -403,9 +687,13 @@ Result<double> Bat::Min() const {
   if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
     return Status::InvalidArgument("Min requires a numeric tail");
   }
-  double best = TailAt(0).Numeric();
+  double best = tail_type_ == TailType::kInt ? static_cast<double>(ints_[0])
+                                             : floats_[0];
   for (size_t i = 1; i < size(); ++i) {
-    best = std::min(best, TailAt(i).Numeric());
+    const double v = tail_type_ == TailType::kInt
+                         ? static_cast<double>(ints_[i])
+                         : floats_[i];
+    best = std::min(best, v);
   }
   return best;
 }
@@ -440,9 +728,12 @@ Result<size_t> Bat::ArgMax() const {
     return Status::InvalidArgument("ArgMax requires a numeric tail");
   }
   size_t best = 0;
-  double best_v = TailAt(0).Numeric();
+  double best_v = tail_type_ == TailType::kInt ? static_cast<double>(ints_[0])
+                                               : floats_[0];
   for (size_t i = 1; i < size(); ++i) {
-    const double v = TailAt(i).Numeric();
+    const double v = tail_type_ == TailType::kInt
+                         ? static_cast<double>(ints_[i])
+                         : floats_[i];
     if (v > best_v) {
       best_v = v;
       best = i;
@@ -489,37 +780,34 @@ Result<size_t> Bat::ArgMax(const ExecContext& ctx) const {
   return best;
 }
 
-Result<Bat> Join(const Bat& a, const Bat& b) {
-  if (a.tail_type() != TailType::kOid) {
-    return Status::InvalidArgument("Join needs an oid tail on the left BAT");
-  }
-  std::unordered_map<Oid, std::vector<size_t>> index;
-  index.reserve(b.size());
-  for (size_t j = 0; j < b.size(); ++j) index[b.HeadAt(j)].push_back(j);
+// -- Binary operators -------------------------------------------------------
+
+namespace {
+
+/// Pre-index scan join with a throwaway build table — the fallback for
+/// build sides past uint32 positions and the ctx.auto_index=false baseline.
+Result<Bat> JoinScan(const Bat& a, const Bat& b) {
+  std::unordered_map<Oid, std::vector<size_t>> table;
+  table.reserve(b.size());
+  for (size_t j = 0; j < b.size(); ++j) table[b.HeadAt(j)].push_back(j);
   Bat out(b.tail_type());
   for (size_t i = 0; i < a.size(); ++i) {
-    auto it = index.find(a.OidAt(i));
-    if (it == index.end()) continue;
-    for (size_t j : it->second) {
-      Status s = out.Append(a.HeadAt(i), b.TailAt(j));
-      COBRA_CHECK(s.ok());
-    }
+    auto it = table.find(a.OidAt(i));
+    if (it == table.end()) continue;
+    for (size_t j : it->second) out.AppendRowFrom(a.HeadAt(i), b, j);
   }
   return out;
 }
 
-Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx) {
-  if (a.tail_type() != TailType::kOid) {
-    return Status::InvalidArgument("Join needs an oid tail on the left BAT");
-  }
+/// The pre-index partitioned parallel join plan, kept as the
+/// ctx.auto_index=false path: build side hash-partitioned, partition tables
+/// built in parallel, probe morsels merged in morsel order.
+Result<Bat> JoinPartitioned(const Bat& a, const Bat& b,
+                            const ExecContext& ctx) {
   if ((!ctx.UseParallel(a.size()) && !ctx.UseParallel(b.size())) ||
       b.size() > std::numeric_limits<uint32_t>::max()) {
-    return Join(a, b);
+    return JoinScan(a, b);
   }
-  // Build side: hash-partition b's heads so each partition table can be
-  // built without synchronization. Bucket scan per b-morsel runs in
-  // parallel; buckets keep b order, so duplicate matches are emitted in b
-  // order exactly as the serial join does.
   size_t num_partitions = 1;
   while (num_partitions < static_cast<size_t>(ctx.threadcnt) * 4) {
     num_partitions <<= 1;
@@ -541,7 +829,6 @@ Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx) {
       for (uint32_t j : buckets[m][p]) table[b.HeadAt(j)].push_back(j);
     }
   });
-  // Probe morsels over a in parallel; per-morsel outputs merge in order.
   std::vector<Bat> parts(ctx.NumMorsels(a.size()), Bat(b.tail_type()));
   ForEachMorsel(ctx, a.size(), [&](size_t m, size_t begin, size_t end) {
     Bat& out = parts[m];
@@ -556,42 +843,122 @@ Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx) {
   return MergeParts(b.tail_type(), parts);
 }
 
-Bat Semijoin(const Bat& a, const Bat& b) {
-  std::unordered_set<Oid> heads;
-  heads.reserve(b.size());
-  for (size_t j = 0; j < b.size(); ++j) heads.insert(b.HeadAt(j));
-  Bat out(a.tail_type());
+/// Serial probe of `b`'s persistent head index over all of `a`.
+Bat JoinProbeSerial(const Bat& a, const Bat& b, const Bat::HashIndex& idx) {
+  Bat out(b.tail_type());
   for (size_t i = 0; i < a.size(); ++i) {
-    if (heads.count(a.HeadAt(i)) != 0) {
-      Status s = out.Append(a.HeadAt(i), a.TailAt(i));
-      COBRA_CHECK(s.ok());
-    }
+    auto it = idx.map.find(a.OidAt(i));
+    if (it == idx.map.end()) continue;
+    for (uint32_t j : it->second) out.AppendRowFrom(a.HeadAt(i), b, j);
   }
   return out;
 }
 
-Bat Diff(const Bat& a, const Bat& b) {
+std::unordered_set<Oid> HeadSet(const Bat& b) {
   std::unordered_set<Oid> heads;
   heads.reserve(b.size());
   for (size_t j = 0; j < b.size(); ++j) heads.insert(b.HeadAt(j));
-  Bat out(a.tail_type());
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (heads.count(a.HeadAt(i)) == 0) {
-      Status s = out.Append(a.HeadAt(i), a.TailAt(i));
-      COBRA_CHECK(s.ok());
+  return heads;
+}
+
+/// Shared body of Semijoin/Diff: keeps rows of `a` whose head membership in
+/// `contains` equals `keep_present`. Morsel-parallel with ordered merge
+/// when a context past the cutoff is given.
+template <typename Contains>
+Bat FilterByHead(const Bat& a, const ExecContext* ctx, bool keep_present,
+                 const Contains& contains) {
+  if (ctx == nullptr || !ctx->UseParallel(a.size())) {
+    Bat out(a.tail_type());
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (contains(a.HeadAt(i)) == keep_present) {
+        out.AppendRowFrom(a.HeadAt(i), a, i);
+      }
+    }
+    return out;
+  }
+  std::vector<Bat> parts(ctx->NumMorsels(a.size()), Bat(a.tail_type()));
+  ForEachMorsel(*ctx, a.size(), [&](size_t m, size_t begin, size_t end) {
+    Bat& out = parts[m];
+    for (size_t i = begin; i < end; ++i) {
+      if (contains(a.HeadAt(i)) == keep_present) {
+        out.AppendRowFrom(a.HeadAt(i), a, i);
+      }
+    }
+  });
+  return MergeParts(a.tail_type(), parts);
+}
+
+Bat FilterByHeadOf(const Bat& a, const Bat& b, const ExecContext* ctx,
+                   bool keep_present) {
+  const bool use_index = ctx == nullptr || ctx->auto_index;
+  if (use_index) {
+    if (auto idx = b.HeadIndex(/*force=*/true)) {
+      return FilterByHead(a, ctx, keep_present, [&idx](Oid h) {
+        return idx->map.count(h) != 0;
+      });
     }
   }
-  return out;
+  const std::unordered_set<Oid> heads = HeadSet(b);
+  return FilterByHead(a, ctx, keep_present, [&heads](Oid h) {
+    return heads.count(h) != 0;
+  });
+}
+
+}  // namespace
+
+Result<Bat> Join(const Bat& a, const Bat& b) {
+  if (a.tail_type() != TailType::kOid) {
+    return Status::InvalidArgument("Join needs an oid tail on the left BAT");
+  }
+  auto idx = b.HeadIndex(/*force=*/true);
+  if (idx == nullptr) return JoinScan(a, b);
+  return JoinProbeSerial(a, b, *idx);
+}
+
+Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx) {
+  if (a.tail_type() != TailType::kOid) {
+    return Status::InvalidArgument("Join needs an oid tail on the left BAT");
+  }
+  if (!ctx.auto_index) return JoinPartitioned(a, b, ctx);
+  auto idx = b.HeadIndex(/*force=*/true);
+  if (idx == nullptr) return JoinScan(a, b);
+  if (!ctx.UseParallel(a.size())) return JoinProbeSerial(a, b, *idx);
+  std::vector<Bat> parts(ctx.NumMorsels(a.size()), Bat(b.tail_type()));
+  ForEachMorsel(ctx, a.size(), [&](size_t m, size_t begin, size_t end) {
+    Bat& out = parts[m];
+    for (size_t i = begin; i < end; ++i) {
+      auto it = idx->map.find(a.OidAt(i));
+      if (it == idx->map.end()) continue;
+      for (uint32_t j : it->second) out.AppendRowFrom(a.HeadAt(i), b, j);
+    }
+  });
+  return MergeParts(b.tail_type(), parts);
+}
+
+Bat Semijoin(const Bat& a, const Bat& b) {
+  return FilterByHeadOf(a, b, nullptr, /*keep_present=*/true);
+}
+
+Bat Semijoin(const Bat& a, const Bat& b, const ExecContext& ctx) {
+  return FilterByHeadOf(a, b, &ctx, /*keep_present=*/true);
+}
+
+Bat Diff(const Bat& a, const Bat& b) {
+  return FilterByHeadOf(a, b, nullptr, /*keep_present=*/false);
+}
+
+Bat Diff(const Bat& a, const Bat& b, const ExecContext& ctx) {
+  return FilterByHeadOf(a, b, &ctx, /*keep_present=*/false);
 }
 
 Bat Group(const Bat& a, std::vector<size_t>* representatives) {
   Bat out(TailType::kOid);
-  std::unordered_map<std::string, Oid> group_of;
+  out.Reserve(a.size());
+  std::unordered_map<uint64_t, Oid> group_of;
   if (representatives != nullptr) representatives->clear();
   for (size_t i = 0; i < a.size(); ++i) {
-    const std::string key = a.TailAt(i).ToString();
-    auto [it, inserted] =
-        group_of.emplace(key, static_cast<Oid>(group_of.size()));
+    auto [it, inserted] = group_of.try_emplace(
+        a.TailKeyAt(i), static_cast<Oid>(group_of.size()));
     if (inserted && representatives != nullptr) {
       representatives->push_back(i);
     }
@@ -604,10 +971,11 @@ Bat Group(const Bat& a, std::vector<size_t>* representatives,
           const ExecContext& ctx) {
   if (!ctx.UseParallel(a.size())) return Group(a, representatives);
   const size_t num = ctx.NumMorsels(a.size());
-  // Phase 1 (parallel): per-morsel tables in local first-occurrence order.
+  // Phase 1 (parallel): per-morsel tables in local first-occurrence order,
+  // keyed by the canonical 64-bit tail key (dictionary code for strings).
   struct LocalTable {
-    std::unordered_map<std::string, uint32_t> ids;
-    std::vector<std::string> keys;   // local first-occurrence order
+    std::unordered_map<uint64_t, uint32_t> ids;
+    std::vector<uint64_t> keys;      // local first-occurrence order
     std::vector<size_t> first_pos;   // global position of first occurrence
     std::vector<uint32_t> row_ids;   // local id per row of the morsel
   };
@@ -616,12 +984,11 @@ Bat Group(const Bat& a, std::vector<size_t>* representatives,
     LocalTable& t = locals[m];
     t.row_ids.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
-      std::string key = a.TailAt(i).ToString();
+      const uint64_t key = a.TailKeyAt(i);
       auto [it, inserted] =
-          t.ids.try_emplace(std::move(key),
-                            static_cast<uint32_t>(t.keys.size()));
+          t.ids.try_emplace(key, static_cast<uint32_t>(t.keys.size()));
       if (inserted) {
-        t.keys.push_back(it->first);
+        t.keys.push_back(key);
         t.first_pos.push_back(i);
       }
       t.row_ids.push_back(it->second);
@@ -630,7 +997,7 @@ Bat Group(const Bat& a, std::vector<size_t>* representatives,
   // Phase 2 (serial, morsel order): assign global dense ids. A key's global
   // id is fixed by the first morsel that saw it, so the numbering equals the
   // serial scan's first-occurrence order.
-  std::unordered_map<std::string, Oid> global;
+  std::unordered_map<uint64_t, Oid> global;
   if (representatives != nullptr) representatives->clear();
   std::vector<std::vector<Oid>> local_to_global(num);
   for (size_t m = 0; m < num; ++m) {

@@ -1,8 +1,11 @@
 #ifndef COBRA_KERNEL_BAT_H_
 #define COBRA_KERNEL_BAT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -36,8 +39,9 @@ class Value {
   const std::string& AsStr() const { return std::get<std::string>(data_); }
   Oid AsOid() const { return std::get<Oid>(data_); }
 
-  /// Loose numeric view: ints and floats both convert; others are 0.
-  double Numeric() const;
+  /// Numeric view: ints and floats convert; str/oid values are a typed
+  /// InvalidArgument error (never silently 0).
+  Result<double> Numeric() const;
 
   std::string ToString() const;
 
@@ -62,10 +66,58 @@ class Value {
 /// is decomposed into BATs.
 ///
 /// Tails are stored column-wise in a typed vector, so scans touch only the
-/// bytes they need (main-memory column execution).
+/// bytes they need (main-memory column execution). String tails are
+/// dictionary-encoded: distinct strings live once in a per-BAT interning
+/// heap and the column holds `uint32_t` codes, so string equality is a code
+/// compare and highly repetitive columns (F1 annotations, event types)
+/// shrink to four bytes per row.
+///
+/// BATs are *self-organizing*, as in Monet: equality probes accrete
+/// persistent hash indexes (tail-value index for `SelectEq`/`SelectStr`,
+/// head index for `Join`/`Semijoin`/`Diff` build sides) that are built
+/// lazily on first probe and reused until a mutation bumps the BAT's
+/// version counter, after which the next probe rebuilds them transparently.
+/// Concurrent read-only probes on a shared BAT are thread-safe (index
+/// builds are serialized internally); mutation requires exclusive access,
+/// like the standard containers.
 class Bat {
  public:
+  /// Rows below this never auto-build an index on probe (scan is cheaper);
+  /// once a BAT has accreted an index it is kept fresh regardless of size.
+  static constexpr size_t kAutoIndexMinRows = 128;
+
+  /// A persistent equality-probe accelerator: key -> ascending positions.
+  /// Keys are the 64-bit canonical encoding of the column value (see
+  /// `TailKeyAt`). Exposed for the kernel operators, `info()` and tests;
+  /// treat as read-only.
+  struct HashIndex {
+    uint64_t built_version = 0;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> map;
+  };
+
+  /// Snapshot of the acceleration state (surfaced by MIL `info()`).
+  struct AccelInfo {
+    uint64_t version = 0;
+    bool tail_index_built = false;
+    bool tail_index_fresh = false;
+    bool head_index_built = false;
+    bool head_index_fresh = false;
+    uint64_t tail_builds = 0;
+    uint64_t tail_probes = 0;
+    uint64_t head_builds = 0;
+    uint64_t head_probes = 0;
+    size_t dict_entries = 0;  // distinct strings (kStr tails only)
+  };
+
   explicit Bat(TailType tail_type) : tail_type_(tail_type) {}
+  ~Bat();
+
+  /// Copies carry the columns and dictionary but start with a fresh
+  /// acceleration state (indexes rebuild lazily in the copy).
+  Bat(const Bat& other);
+  Bat& operator=(const Bat& other);
+  Bat(Bat&& other) noexcept;
+  Bat& operator=(Bat&& other) noexcept;
 
   TailType tail_type() const { return tail_type_; }
   size_t size() const { return head_.size(); }
@@ -87,7 +139,8 @@ class Bat {
   void Reserve(size_t n);
 
   /// Appends every pair of `other` (same tail type) — bulk column concat,
-  /// used to merge per-morsel operator outputs in morsel order.
+  /// used to merge per-morsel operator outputs in morsel order. String
+  /// codes are remapped through this BAT's dictionary.
   void Concat(const Bat& other);
 
   /// Adopts pre-built head/tail columns (must be the same length) as a
@@ -98,19 +151,45 @@ class Bat {
   Value TailAt(size_t i) const;
   int64_t IntAt(size_t i) const { return ints_[i]; }
   double FloatAt(size_t i) const { return floats_[i]; }
-  const std::string& StrAt(size_t i) const { return strs_[i]; }
+  const std::string& StrAt(size_t i) const {
+    return *dict_order_[str_codes_[i]];
+  }
   Oid OidAt(size_t i) const { return oids_[i]; }
 
   const std::vector<Oid>& heads() const { return head_; }
   const std::vector<double>& float_tails() const { return floats_; }
   const std::vector<int64_t>& int_tails() const { return ints_; }
 
+  // -- Acceleration layer ---------------------------------------------------
+
+  /// Mutation counter; indexes built at an older version rebuild on probe.
+  uint64_t version() const { return version_; }
+  /// Distinct strings in the dictionary (0 for non-string tails).
+  size_t DictSize() const { return dict_order_.size(); }
+  /// Forces an index build now (benchmarks/tests; probes do this lazily).
+  void BuildTailIndex() const { (void)TailIndex(/*force=*/true); }
+  void BuildHeadIndex() const { (void)HeadIndex(/*force=*/true); }
+  AccelInfo accel_info() const;
+
+  /// Current tail/head hash index, building per policy: always when
+  /// `force`, else when one already exists (kept fresh) or the BAT has at
+  /// least kAutoIndexMinRows rows. Returns null when the policy declines
+  /// (callers fall back to a scan). Thread-safe.
+  std::shared_ptr<const HashIndex> TailIndex(bool force) const;
+  std::shared_ptr<const HashIndex> HeadIndex(bool force) const;
+
+  /// Canonical 64-bit key of the tail at `i` (dictionary code for strings,
+  /// bit pattern for numerics with -0.0 normalized to 0.0).
+  uint64_t TailKeyAt(size_t i) const;
+
   // -- MIL-style unary operators ------------------------------------------
   //
   // Each hot operator has a serial form and an ExecContext form. The
   // context form runs morsel-parallel on the shared kernel pool when
   // ctx.UseParallel(size()) holds, and is equivalence-tested to produce
-  // byte-identical output (values and order) at every threadcnt.
+  // byte-identical output (values and order) at every threadcnt. Equality
+  // selects probe the persistent tail index when the policy allows
+  // (ctx.auto_index gates it on the context forms).
 
   /// select(v): pairs whose tail equals v.
   Result<Bat> SelectEq(const Value& v) const;
@@ -148,36 +227,67 @@ class Bat {
   Result<size_t> ArgMax(const ExecContext& ctx) const;
 
  private:
+  struct Accel;
+
+  /// Lazily-created shared acceleration state (atomic CAS publication, so
+  /// concurrent const probes race safely on first touch).
+  Accel& accel() const;
+  /// Common select-equal body; `ctx` may be null (serial form).
+  Result<Bat> SelectEqImpl(const Value& v, const ExecContext* ctx) const;
+  /// Interns `v`, returning its dictionary code.
+  uint32_t InternStr(std::string v);
+  /// Looks up a string's code without interning; false when absent (the
+  /// string provably matches no row).
+  bool LookupStrCode(const std::string& s, uint32_t* code) const;
+  /// Emits (head, probe value) for every position in `hits` (ascending) —
+  /// the indexed SelectEq/SelectStr output, byte-identical to the scan.
+  Bat EmitEqHits(const std::vector<uint32_t>& hits, const Value& v) const;
+  void Bump() { ++version_; }
+
   TailType tail_type_;
   std::vector<Oid> head_;
   std::vector<int64_t> ints_;
   std::vector<double> floats_;
-  std::vector<std::string> strs_;
   std::vector<Oid> oids_;
+  // Dictionary-encoded string column: per-row codes plus the interning
+  // heap. `dict_` owns the strings (node-stable keys); `dict_order_` maps
+  // code -> key in insertion order.
+  std::vector<uint32_t> str_codes_;
+  std::unordered_map<std::string, uint32_t> dict_;
+  std::vector<const std::string*> dict_order_;
+
+  uint64_t version_ = 0;
+  mutable std::atomic<Accel*> accel_{nullptr};
 };
 
 // -- Binary operators -------------------------------------------------------
 
 /// join(a, b): for every (h, t) in `a` with oid tail and (t, v) in `b`,
-/// emits (h, v). Hash join on b's head. The output is ordered by position
-/// in `a`, with a row's matches emitted in `b` order.
+/// emits (h, v). Hash join probing `b`'s persistent head index (built on
+/// first use, reused across calls). The output is ordered by position in
+/// `a`, with a row's matches emitted in `b` order.
 Result<Bat> Join(const Bat& a, const Bat& b);
 
-/// Partitioned parallel hash join with the same output as the serial form:
-/// the build side is hash-partitioned and the partition tables built in
-/// parallel, probe morsels over `a` run in parallel, and the per-morsel
-/// outputs are merged in morsel order.
+/// Parallel join with the same output as the serial form: probe morsels
+/// over `a` run in parallel against the shared head index and the
+/// per-morsel outputs merge in morsel order. With ctx.auto_index false the
+/// pre-index partitioned build/probe plan runs instead (no state is left
+/// on `b`).
 Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx);
 
 /// semijoin(a, b): pairs of `a` whose head occurs as a head in `b`.
 Bat Semijoin(const Bat& a, const Bat& b);
+Bat Semijoin(const Bat& a, const Bat& b, const ExecContext& ctx);
 
 /// kdiff(a, b): pairs of `a` whose head does NOT occur as a head in `b`.
 Bat Diff(const Bat& a, const Bat& b);
+Bat Diff(const Bat& a, const Bat& b, const ExecContext& ctx);
 
 /// group(a): maps equal tails to a dense group id; returns BAT[oid, oid]
 /// (original head -> group id) and fills `representatives` with one input
 /// position per group. Group ids are dense in first-occurrence order.
+/// Grouping hashes the canonical 64-bit tail keys — dictionary codes for
+/// strings — never the string bytes.
 Bat Group(const Bat& a, std::vector<size_t>* representatives);
 
 /// Parallel group with identical output: per-morsel local tables are built

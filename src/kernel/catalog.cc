@@ -48,6 +48,17 @@ bool Catalog::Exists(const std::string& name) const {
   return bats_.count(name) != 0;
 }
 
+std::vector<Catalog::BatStats> Catalog::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BatStats> out;
+  out.reserve(bats_.size());
+  for (const auto& [name, bat] : bats_) {
+    out.push_back(BatStats{name, bat->tail_type(), bat->size(),
+                           bat->accel_info()});
+  }
+  return out;
+}
+
 std::vector<std::string> Catalog::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;

@@ -40,6 +40,19 @@ class Catalog {
   /// All registered names, sorted.
   std::vector<std::string> Names() const;
 
+  /// Per-BAT acceleration snapshot (index lifecycle + dictionary state).
+  struct BatStats {
+    std::string name;
+    TailType tail_type;
+    size_t rows = 0;
+    Bat::AccelInfo accel;
+  };
+
+  /// Stats for every registered BAT, in name order. Reads the live BATs in
+  /// place, so accreted indexes show up (catalog copies would not carry
+  /// them).
+  std::vector<BatStats> Stats() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Bat>> bats_;

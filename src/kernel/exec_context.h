@@ -29,6 +29,11 @@ struct ExecContext {
   size_t morsel_rows = kDefaultMorselRows;
   /// Inputs with fewer rows than this always take the serial path.
   size_t serial_cutoff = kDefaultSerialCutoff;
+  /// Whether operators may probe (and lazily build) the persistent per-BAT
+  /// hash indexes. Off forces the pre-index scan/partitioned plans — the
+  /// cold baseline benchmarks compare against. Results are byte-identical
+  /// either way.
+  bool auto_index = true;
 
   /// A strictly serial context (the default).
   static ExecContext Serial() { return ExecContext{}; }

@@ -301,8 +301,38 @@ Result<std::string> MilSession::Execute(const std::string& script) {
         COBRA_ASSIGN_OR_RETURN(Bat joined, Join(*a, *b, exec_));
         return MilValue(std::move(joined));
       }
-      if (name == "semijoin") return MilValue(Semijoin(*a, *b));
-      return MilValue(Diff(*a, *b));
+      if (name == "semijoin") return MilValue(Semijoin(*a, *b, exec_));
+      return MilValue(Diff(*a, *b, exec_));
+    }
+    if (name == "info") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      // With a name string, inspect the catalog BAT in place — bat() hands
+      // out copies, which start with a fresh (empty) acceleration state.
+      const Bat* bat = nullptr;
+      std::string label = "<expr>";
+      if (const std::string* bat_name = std::get_if<std::string>(&args[0])) {
+        COBRA_ASSIGN_OR_RETURN(
+            bat, static_cast<const Catalog*>(catalog_)->Get(*bat_name));
+        label = *bat_name;
+      } else {
+        COBRA_ASSIGN_OR_RETURN(bat, AsBat(args[0], "info"));
+      }
+      const Bat::AccelInfo a = bat->accel_info();
+      return MilValue(StrFormat(
+          "info(%s): BAT[oid,%s] #%zu version=%llu dict=%zu "
+          "tail_index[built=%d fresh=%d builds=%llu probes=%llu] "
+          "head_index[built=%d fresh=%d builds=%llu probes=%llu]",
+          label.c_str(),
+          std::string(TailTypeName(bat->tail_type())).c_str(), bat->size(),
+          static_cast<unsigned long long>(a.version), a.dict_entries,
+          static_cast<int>(a.tail_index_built),
+          static_cast<int>(a.tail_index_fresh),
+          static_cast<unsigned long long>(a.tail_builds),
+          static_cast<unsigned long long>(a.tail_probes),
+          static_cast<int>(a.head_index_built),
+          static_cast<int>(a.head_index_fresh),
+          static_cast<unsigned long long>(a.head_builds),
+          static_cast<unsigned long long>(a.head_probes)));
     }
     if (name == "reverse" || name == "mirror") {
       COBRA_RETURN_IF_ERROR(arity(1));

@@ -39,6 +39,10 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///   threadcnt(n)                    degree of parallelism for subsequent
 ///                                   select/join/aggregate calls (paper
 ///                                   Fig. 4); n >= 1, returns n
+///   info("name") / info(e)          one-line acceleration report (index
+///                                   lifecycle, version, dictionary size);
+///                                   the name form inspects the catalog BAT
+///                                   in place, so accreted indexes show up
 ///   numeric literals, "string" literals, variables
 class MilSession {
  public:

@@ -69,6 +69,16 @@ Result<kernel::Value> MoaSession::GetAttr(const std::string& cls,
                                           kernel::Oid oid,
                                           const std::string& attr) const {
   COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
+  // Probe the BAT's persistent head index when the accretion policy allows;
+  // index positions are ascending, so front() is the first binding, same as
+  // the scan.
+  if (auto idx = bat->HeadIndex(/*force=*/false)) {
+    auto it = idx->map.find(oid);
+    if (it == idx->map.end()) {
+      return Status::NotFound("object has no value for " + attr);
+    }
+    return bat->TailAt(it->second.front());
+  }
   for (size_t i = 0; i < bat->size(); ++i) {
     if (bat->HeadAt(i) == oid) return bat->TailAt(i);
   }
@@ -114,7 +124,7 @@ Result<kernel::Bat> MoaSession::Project(const std::string& cls,
   // semijoin(attr_bat, set-as-bat): rewrite through the kernel operator.
   kernel::Bat set_bat(kernel::TailType::kOid);
   for (kernel::Oid oid : set.oids) set_bat.AppendOid(oid, oid);
-  return kernel::Semijoin(*bat, set_bat);
+  return kernel::Semijoin(*bat, set_bat, exec_);
 }
 
 Result<kernel::Bat> MoaSession::Map(

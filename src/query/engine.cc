@@ -103,8 +103,71 @@ std::vector<model::EventRecord> FilterEvents(
 
 }  // namespace
 
+std::string QueryEngine::CacheKey(const ParsedQuery& query) {
+  std::string key = query.video;
+  auto add_pattern = [&key](const EventPattern& p) {
+    key += '\x1e';
+    key += p.type;
+    for (const auto& [k, v] : p.attr_equals) {
+      key += '\x1f';
+      key += k;
+      key += '=';
+      key += v;
+    }
+  };
+  add_pattern(query.primary);
+  key += '\x1e';
+  key += static_cast<char>('0' + static_cast<int>(query.temporal_op));
+  if (query.temporal_op != TemporalOp::kNone) add_pattern(query.secondary);
+  key += '\x1e';
+  key += static_cast<char>('0' + static_cast<int>(query.preference));
+  return key;
+}
+
+CacheStats QueryEngine::cache_stats() const {
+  CacheStats stats;
+  stats.hits = cache_hits_;
+  stats.misses = cache_misses_;
+  stats.evictions = cache_evictions_;
+  stats.entries = lru_.size();
+  stats.capacity = cache_capacity_;
+  return stats;
+}
+
+void QueryEngine::set_cache_capacity(size_t capacity) {
+  cache_capacity_ = capacity;
+  while (lru_.size() > cache_capacity_) {
+    cache_map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++cache_evictions_;
+  }
+}
+
+void QueryEngine::ClearCache() {
+  lru_.clear();
+  cache_map_.clear();
+}
+
 Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
   QueryResult result;
+  const std::string cache_key = CacheKey(query);
+  if (cache_capacity_ > 0) {
+    auto it = cache_map_.find(cache_key);
+    if (it != cache_map_.end() &&
+        it->second->event_version == catalog_->event_version()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++cache_hits_;
+      result.segments = it->second->segments;
+      result.cache_hit = true;
+      return result;
+    }
+    if (it != cache_map_.end()) {
+      // Stale under the current event version: drop and re-evaluate.
+      lru_.erase(it->second);
+      cache_map_.erase(it);
+    }
+    ++cache_misses_;
+  }
   COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
                          catalog_->FindVideo(query.video));
 
@@ -139,6 +202,18 @@ Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
   }
 
   result.segments = std::move(filtered);
+  if (cache_capacity_ > 0) {
+    // Record the event version AFTER execution, so the bump from our own
+    // dynamic extraction does not invalidate this entry.
+    lru_.push_front(
+        CacheEntry{cache_key, result.segments, catalog_->event_version()});
+    cache_map_[cache_key] = lru_.begin();
+    while (lru_.size() > cache_capacity_) {
+      cache_map_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++cache_evictions_;
+    }
+  }
   return result;
 }
 

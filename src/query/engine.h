@@ -1,7 +1,10 @@
 #ifndef COBRA_QUERY_ENGINE_H_
 #define COBRA_QUERY_ENGINE_H_
 
+#include <cstdint>
+#include <list>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
@@ -20,6 +23,18 @@ struct QueryResult {
   /// Extensions invoked by the preprocessor (empty when metadata existed).
   std::vector<std::string> methods_invoked;
   bool extracted_dynamically = false;
+  /// True when the segments were served from the engine's result cache —
+  /// neither dynamic extraction nor algebra evaluation ran.
+  bool cache_hit = false;
+};
+
+/// Counters of the engine's extraction/result cache.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;  // capacity-driven only (not staleness drops)
+  size_t entries = 0;
+  size_t capacity = 0;
 };
 
 /// The conceptual layer: parses a retrieval query, runs the query
@@ -44,6 +59,15 @@ class QueryEngine {
   const kernel::ExecContext& exec() const { return exec_; }
   void set_exec(const kernel::ExecContext& exec) { exec_ = exec; }
 
+  /// LRU result cache keyed by (video, event type, normalized predicate,
+  /// temporal clause, preference). Entries record the VideoCatalog event
+  /// version at store time; any event-layer mutation invalidates stale
+  /// entries transparently on the next lookup. Capacity 0 disables caching.
+  CacheStats cache_stats() const;
+  size_t cache_capacity() const { return cache_capacity_; }
+  void set_cache_capacity(size_t capacity);
+  void ClearCache();
+
  private:
   /// Ensures events of `type` exist for `video`; dynamically extracts when
   /// missing, selecting the provider per `preference`.
@@ -58,9 +82,25 @@ class QueryEngine {
   static bool TemporalMatch(TemporalOp op, const model::EventRecord& primary,
                             const model::EventRecord& secondary);
 
+  /// Deterministic serialization of a parsed query — the predicate is
+  /// already normalized by the parser (uppercased values, sorted attr map).
+  static std::string CacheKey(const ParsedQuery& query);
+
   model::VideoCatalog* catalog_;
   extensions::ExtensionRegistry* registry_;
   kernel::ExecContext exec_;
+
+  struct CacheEntry {
+    std::string key;
+    std::vector<model::EventRecord> segments;
+    uint64_t event_version = 0;
+  };
+  std::list<CacheEntry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_;
+  size_t cache_capacity_ = 64;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t cache_evictions_ = 0;
 };
 
 }  // namespace cobra::query

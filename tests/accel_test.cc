@@ -1,0 +1,245 @@
+// Tests for the self-organizing acceleration layer: persistent hash
+// indexes (lazy build, version-counter invalidation, accretion policy),
+// dictionary-encoded string tails, and the catalog's stats surface.
+//
+// The concurrency tests double as the TSAN workload required for probes on
+// a shared BAT (run via the tsan preset).
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+
+namespace cobra::kernel {
+namespace {
+
+Bat SmallStrBat() {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(1, "alpha");
+  bat.AppendStr(2, "beta");
+  bat.AppendStr(3, "alpha");
+  bat.AppendStr(4, "gamma");
+  return bat;
+}
+
+TEST(DictTest, InterningDeduplicates) {
+  Bat bat = SmallStrBat();
+  EXPECT_EQ(bat.size(), 4u);
+  EXPECT_EQ(bat.DictSize(), 3u);  // alpha, beta, gamma
+  EXPECT_EQ(bat.StrAt(0), "alpha");
+  EXPECT_EQ(bat.StrAt(2), "alpha");
+  EXPECT_EQ(bat.TailKeyAt(0), bat.TailKeyAt(2));
+  EXPECT_NE(bat.TailKeyAt(0), bat.TailKeyAt(1));
+}
+
+TEST(DictTest, ConcatRemapsCodes) {
+  Bat a = SmallStrBat();
+  Bat b(TailType::kStr);
+  b.AppendStr(10, "gamma");  // code 0 in b, code 2 in a
+  b.AppendStr(11, "delta");  // new to a
+  a.Concat(b);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a.DictSize(), 4u);
+  EXPECT_EQ(a.StrAt(4), "gamma");
+  EXPECT_EQ(a.StrAt(5), "delta");
+  EXPECT_EQ(a.TailKeyAt(3), a.TailKeyAt(4));  // both "gamma"
+}
+
+TEST(DictTest, CopyAndMovePreserveStrings) {
+  Bat a = SmallStrBat();
+  Bat copy(a);
+  ASSERT_EQ(copy.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(copy.StrAt(i), a.StrAt(i));
+  // The copy's dictionary is independent of the original's.
+  copy.AppendStr(9, "epsilon");
+  EXPECT_EQ(copy.DictSize(), 4u);
+  EXPECT_EQ(a.DictSize(), 3u);
+  Bat moved(std::move(copy));
+  EXPECT_EQ(moved.size(), 5u);
+  EXPECT_EQ(moved.StrAt(4), "epsilon");
+}
+
+TEST(HashIndexTest, LazyBuildFollowsAccretionPolicy) {
+  // Small BATs never auto-build on probe...
+  Bat small = SmallStrBat();
+  EXPECT_EQ(small.TailIndex(/*force=*/false), nullptr);
+  EXPECT_FALSE(small.accel_info().tail_index_built);
+  // ...but a forced build accretes one that later probes reuse.
+  small.BuildTailIndex();
+  EXPECT_NE(small.TailIndex(/*force=*/false), nullptr);
+  EXPECT_TRUE(small.accel_info().tail_index_fresh);
+  EXPECT_EQ(small.accel_info().tail_builds, 1u);
+
+  // Large BATs auto-build on the first probe.
+  Bat large(TailType::kInt);
+  for (size_t i = 0; i < Bat::kAutoIndexMinRows; ++i) {
+    large.AppendInt(static_cast<Oid>(i), static_cast<int64_t>(i % 5));
+  }
+  EXPECT_FALSE(large.accel_info().tail_index_built);
+  ASSERT_TRUE(large.SelectEq(Value::Int(3)).ok());
+  EXPECT_TRUE(large.accel_info().tail_index_fresh);
+}
+
+TEST(HashIndexTest, MutationInvalidatesAndProbeRebuilds) {
+  Bat bat = SmallStrBat();
+  bat.BuildTailIndex();
+  const uint64_t v0 = bat.version();
+  ASSERT_TRUE(bat.accel_info().tail_index_fresh);
+
+  bat.AppendStr(5, "beta");
+  EXPECT_GT(bat.version(), v0);
+  EXPECT_TRUE(bat.accel_info().tail_index_built);
+  EXPECT_FALSE(bat.accel_info().tail_index_fresh);
+
+  // The next probe rebuilds transparently and sees the appended row.
+  auto selected = bat.SelectStr("beta");
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 2u);
+  EXPECT_EQ(selected->HeadAt(0), 2u);
+  EXPECT_EQ(selected->HeadAt(1), 5u);
+  EXPECT_TRUE(bat.accel_info().tail_index_fresh);
+  EXPECT_EQ(bat.accel_info().tail_builds, 2u);
+
+  // Concat invalidates the same way.
+  bat.Concat(SmallStrBat());
+  EXPECT_FALSE(bat.accel_info().tail_index_fresh);
+  selected = bat.SelectStr("alpha");
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 4u);
+  EXPECT_TRUE(bat.accel_info().tail_index_fresh);
+}
+
+TEST(HashIndexTest, IndexedSelectMatchesScan) {
+  // Duplicate-heavy int BAT, large enough to auto-index.
+  Bat bat(TailType::kInt);
+  for (size_t i = 0; i < 4096; ++i) {
+    bat.AppendInt(static_cast<Oid>(i * 3), static_cast<int64_t>(i % 17));
+  }
+  ExecContext cold;
+  cold.auto_index = false;
+  for (int64_t probe : {0, 5, 16, 99}) {
+    auto scan = bat.SelectEq(Value::Int(probe), cold);
+    auto indexed = bat.SelectEq(Value::Int(probe));
+    ASSERT_TRUE(scan.ok());
+    ASSERT_TRUE(indexed.ok());
+    ASSERT_EQ(scan->size(), indexed->size());
+    for (size_t i = 0; i < scan->size(); ++i) {
+      EXPECT_EQ(scan->HeadAt(i), indexed->HeadAt(i));
+      EXPECT_EQ(scan->IntAt(i), indexed->IntAt(i));
+    }
+  }
+}
+
+TEST(HashIndexTest, FloatZeroesCompareEqualAndNanMatchesNothing) {
+  Bat bat(TailType::kFloat);
+  bat.AppendFloat(1, 0.0);
+  bat.AppendFloat(2, -0.0);
+  bat.AppendFloat(3, 1.5);
+  bat.BuildTailIndex();
+  // 0.0 == -0.0 on the scan path, so the index must agree.
+  auto pos = bat.SelectEq(Value::Float(0.0));
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos->size(), 2u);
+  auto neg = bat.SelectEq(Value::Float(-0.0));
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->size(), 2u);
+  auto nan = bat.SelectEq(Value::Float(std::nan("")));
+  ASSERT_TRUE(nan.ok());
+  EXPECT_TRUE(nan->empty());
+}
+
+TEST(HashIndexTest, HeadIndexAcceleratesJoinFamily) {
+  Bat b(TailType::kStr);
+  b.AppendStr(100, "x");
+  b.AppendStr(200, "y");
+  b.AppendStr(100, "z");  // duplicate head
+  Bat a(TailType::kOid);
+  a.AppendOid(1, 100);
+  a.AppendOid(2, 300);
+  a.AppendOid(3, 200);
+  auto joined = Join(a, b);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), 3u);
+  EXPECT_EQ(joined->StrAt(0), "x");
+  EXPECT_EQ(joined->StrAt(1), "z");
+  EXPECT_EQ(joined->StrAt(2), "y");
+  EXPECT_TRUE(b.accel_info().head_index_built);
+  EXPECT_GE(b.accel_info().head_probes, 1u);
+
+  Bat filter(TailType::kOid);
+  filter.AppendOid(100, 0);
+  const Bat kept = Semijoin(b, filter);
+  EXPECT_EQ(kept.size(), 2u);
+  const Bat dropped = Diff(b, filter);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped.StrAt(0), "y");
+}
+
+TEST(HashIndexTest, CopiesStartWithFreshAccelState) {
+  Bat bat = SmallStrBat();
+  bat.BuildTailIndex();
+  Bat copy(bat);
+  EXPECT_FALSE(copy.accel_info().tail_index_built);
+  // The copy still answers probes correctly (scan or rebuilt index).
+  auto selected = copy.SelectStr("alpha");
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+}
+
+TEST(HashIndexTest, ConcurrentProbesOnSharedBat) {
+  // One shared BAT, many reader threads: first-probe index construction
+  // races must be internally serialized (TSAN-verified via the preset).
+  Bat bat(TailType::kInt);
+  for (size_t i = 0; i < 10000; ++i) {
+    bat.AppendInt(static_cast<Oid>(i), static_cast<int64_t>(i % 23));
+  }
+  Bat probe_side(TailType::kOid);
+  for (size_t i = 0; i < 500; ++i) {
+    probe_side.AppendOid(static_cast<Oid>(i), static_cast<Oid>(i * 20));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&bat, &probe_side, &failures, t] {
+      for (int rep = 0; rep < 20; ++rep) {
+        auto selected = bat.SelectEq(Value::Int((t + rep) % 23));
+        if (!selected.ok() || selected->empty()) failures.fetch_add(1);
+        auto joined = Join(probe_side, bat);
+        if (!joined.ok() || joined->empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(bat.accel_info().tail_index_fresh);
+  EXPECT_TRUE(bat.accel_info().head_index_fresh);
+  EXPECT_EQ(bat.accel_info().tail_builds, 1u);
+  EXPECT_EQ(bat.accel_info().head_builds, 1u);
+}
+
+TEST(CatalogStatsTest, ReportsAccelStatePerBat) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Create("names", TailType::kStr).ok());
+  ASSERT_TRUE(catalog.Create("values", TailType::kFloat).ok());
+  Bat* names = *catalog.Get("names");
+  names->AppendStr(1, "alpha");
+  names->AppendStr(2, "beta");
+  names->BuildTailIndex();
+  auto stats = catalog.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "names");
+  EXPECT_EQ(stats[0].tail_type, TailType::kStr);
+  EXPECT_EQ(stats[0].rows, 2u);
+  EXPECT_EQ(stats[0].accel.dict_entries, 2u);
+  EXPECT_TRUE(stats[0].accel.tail_index_fresh);
+  EXPECT_EQ(stats[1].name, "values");
+  EXPECT_FALSE(stats[1].accel.tail_index_built);
+}
+
+}  // namespace
+}  // namespace cobra::kernel

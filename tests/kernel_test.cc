@@ -18,9 +18,19 @@ TEST(ValueTest, TypedAccessors) {
 }
 
 TEST(ValueTest, NumericView) {
-  EXPECT_DOUBLE_EQ(Value::Int(3).Numeric(), 3.0);
-  EXPECT_DOUBLE_EQ(Value::Float(2.5).Numeric(), 2.5);
-  EXPECT_DOUBLE_EQ(Value::Str("x").Numeric(), 0.0);
+  ASSERT_TRUE(Value::Int(3).Numeric().ok());
+  EXPECT_DOUBLE_EQ(*Value::Int(3).Numeric(), 3.0);
+  ASSERT_TRUE(Value::Float(2.5).Numeric().ok());
+  EXPECT_DOUBLE_EQ(*Value::Float(2.5).Numeric(), 2.5);
+}
+
+TEST(ValueTest, NumericViewRejectsNonNumeric) {
+  auto str = Value::Str("x").Numeric();
+  ASSERT_FALSE(str.ok());
+  EXPECT_EQ(str.status().code(), StatusCode::kInvalidArgument);
+  auto oid = Value::OfOid(9).Numeric();
+  ASSERT_FALSE(oid.ok());
+  EXPECT_EQ(oid.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(BatTest, AppendTypeChecked) {

@@ -187,6 +187,34 @@ TEST_F(MilTest, ParallelSelectAndAggregatesMatchSerialOutput) {
   EXPECT_EQ(*serial, "7\n4.5\n0.9\n2\n");
 }
 
+TEST_F(MilTest, InfoReportsAccelerationState) {
+  // Fresh catalog BAT: no indexes yet, dictionary populated for str tails.
+  auto out = session_->Execute("PRINT info('names');");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("BAT[oid,str] #3"), std::string::npos);
+  EXPECT_NE(out->find("dict=2"), std::string::npos);  // alpha, beta
+  EXPECT_NE(out->find("tail_index[built=0"), std::string::npos);
+
+  // A forced build on the catalog BAT shows up — info('name') inspects the
+  // BAT in place, not a session copy.
+  auto bat = catalog_.Get("names");
+  ASSERT_TRUE(bat.ok());
+  (*bat)->BuildTailIndex();
+  out = session_->Execute("PRINT info('names');");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("tail_index[built=1 fresh=1 builds=1"),
+            std::string::npos);
+
+  // The expression form works on session values too.
+  out = session_->Execute("PRINT info(slice(bat('names'), 0, 2));");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("info(<expr>): BAT[oid,str] #2"), std::string::npos);
+
+  // Unknown catalog names and bad arity are errors.
+  EXPECT_FALSE(session_->Execute("PRINT info('nope');").ok());
+  EXPECT_FALSE(session_->Execute("PRINT info();").ok());
+}
+
 TEST_F(MilTest, BatPrintFormat) {
   auto out = session_->Execute("PRINT slice(bat('names'), 0, 2);");
   ASSERT_TRUE(out.ok());

@@ -227,6 +227,78 @@ TEST_P(ParallelKernelTest, JoinMatchesSerial) {
   EXPECT_FALSE(Join(Bat(TailType::kInt), a, ctx()).ok());
 }
 
+TEST_P(ParallelKernelTest, SemijoinMatchesSerial) {
+  for (TailType type : kAllTypes) {
+    for (size_t n : kSizes) {
+      for (bool all_equal : {false, true}) {
+        const Bat a = RandomBat(type, n, 83 + n, all_equal);
+        // Filter side sharing part of a's head space (heads are < 1000).
+        Bat b(TailType::kOid);
+        Rng rng(89 + n);
+        for (size_t i = 0; i < 150; ++i) {
+          b.AppendOid(static_cast<Oid>(rng.UniformInt(uint64_t{500})), i);
+        }
+        const Bat serial = Semijoin(a, b);
+        const Bat parallel = Semijoin(a, b, ctx());
+        ExpectSameBat(serial, parallel);
+        // The pre-index plan (auto_index off) is byte-identical too.
+        ExecContext cold = ctx();
+        cold.auto_index = false;
+        ExpectSameBat(serial, Semijoin(a, b, cold));
+      }
+    }
+  }
+  // Empty filter side keeps nothing.
+  const Bat a = RandomBat(TailType::kInt, 5000, 97);
+  EXPECT_TRUE(Semijoin(a, Bat(TailType::kOid), ctx()).empty());
+}
+
+TEST_P(ParallelKernelTest, DiffMatchesSerial) {
+  for (TailType type : kAllTypes) {
+    for (size_t n : kSizes) {
+      for (bool all_equal : {false, true}) {
+        const Bat a = RandomBat(type, n, 101 + n, all_equal);
+        Bat b(TailType::kOid);
+        Rng rng(103 + n);
+        for (size_t i = 0; i < 150; ++i) {
+          b.AppendOid(static_cast<Oid>(rng.UniformInt(uint64_t{500})), i);
+        }
+        const Bat serial = Diff(a, b);
+        const Bat parallel = Diff(a, b, ctx());
+        ExpectSameBat(serial, parallel);
+        ExecContext cold = ctx();
+        cold.auto_index = false;
+        ExpectSameBat(serial, Diff(a, b, cold));
+      }
+    }
+  }
+  // Empty filter side keeps everything.
+  const Bat a = RandomBat(TailType::kFloat, 5000, 107);
+  ExpectSameBat(a, Diff(a, Bat(TailType::kOid), ctx()));
+}
+
+TEST_P(ParallelKernelTest, IndexedOperatorsMatchColdPlans) {
+  // Warm every persistent index up front, then re-run the probe-shaped
+  // operators against cold (auto_index=false) plans: identical bytes.
+  ExecContext cold = ctx();
+  cold.auto_index = false;
+  for (TailType type : kAllTypes) {
+    const Bat bat = RandomBat(type, 5000, 113);
+    bat.BuildTailIndex();
+    bat.BuildHeadIndex();
+    const Value probe = RandomBat(type, 1, 113).TailAt(0);
+    ASSERT_TRUE(bat.SelectEq(probe, cold).ok());
+    ExpectSameBat(*bat.SelectEq(probe, cold), *bat.SelectEq(probe, ctx()));
+    Bat a(TailType::kOid);
+    Rng rng(127);
+    for (size_t i = 0; i < 2000; ++i) {
+      a.AppendOid(static_cast<Oid>(i),
+                  static_cast<Oid>(rng.UniformInt(uint64_t{1500})));
+    }
+    ExpectSameBat(*Join(a, bat, cold), *Join(a, bat, ctx()));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Threadcnt, ParallelKernelTest,
                          ::testing::Values(1, 2, 7));
 

@@ -193,6 +193,77 @@ TEST_F(QueryEngineTest, MethodSelectionByPreference) {
   EXPECT_EQ(cheap->methods_invoked[0], "cheap-method");
 }
 
+TEST_F(QueryEngineTest, CachedPathSkipsExtractionAndReevaluation) {
+  int calls = 0;
+  registry_.Register(std::make_unique<extensions::CallbackExtension>(
+      "test-extension",
+      std::vector<extensions::CallbackExtension::Provided>{
+          {"flyout", 1.0, 0.9}},
+      [&calls](model::VideoId id, const std::string&,
+               model::VideoCatalog* catalog) {
+        ++calls;
+        model::EventRecord e;
+        e.type = "flyout";
+        e.begin_sec = 50;
+        e.end_sec = 57;
+        return catalog->StoreEvent(id, e);
+      }));
+  auto first = engine_.Execute("RETRIEVE flyout FROM 'race'");
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->extracted_dynamically);
+  EXPECT_FALSE(first->cache_hit);
+  // The second identical query is served entirely from the cache.
+  auto second = engine_.Execute("RETRIEVE flyout FROM 'race'");
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->extracted_dynamically);
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_TRUE(second->methods_invoked.empty());
+  ASSERT_EQ(second->segments.size(), first->segments.size());
+  EXPECT_DOUBLE_EQ(second->segments[0].begin_sec, 50.0);
+  EXPECT_EQ(calls, 1);
+  const CacheStats stats = engine_.cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST_F(QueryEngineTest, CacheInvalidatedByEventMutation) {
+  auto first = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->segments.size(), 2u);
+  auto hit = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  // An event-layer mutation invalidates the entry; the next run re-evaluates
+  // and sees the new event.
+  StoreEvent("highlight", 500, 510, {});
+  auto refreshed = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_FALSE(refreshed->cache_hit);
+  EXPECT_EQ(refreshed->segments.size(), 3u);
+}
+
+TEST_F(QueryEngineTest, CacheCapacityEvictsAndZeroDisables) {
+  engine_.set_cache_capacity(1);
+  ASSERT_TRUE(engine_.Execute("RETRIEVE highlight FROM 'race'").ok());
+  ASSERT_TRUE(engine_.Execute("RETRIEVE caption FROM 'race'").ok());
+  CacheStats stats = engine_.cache_stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.evictions, 1u);
+  // The evicted query re-misses.
+  auto evicted = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_FALSE(evicted->cache_hit);
+
+  engine_.set_cache_capacity(0);
+  EXPECT_EQ(engine_.cache_stats().entries, 0u);
+  auto uncached = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_FALSE(uncached->cache_hit);
+  auto still_uncached = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(still_uncached.ok());
+  EXPECT_FALSE(still_uncached->cache_hit);
+}
+
 TEST(ExtensionRegistryTest, ProvidersFiltersByType) {
   extensions::ExtensionRegistry registry;
   registry.Register(std::make_unique<extensions::CallbackExtension>(
