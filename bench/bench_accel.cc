@@ -21,6 +21,7 @@
 
 #include "base/logging.h"
 #include "base/rng.h"
+#include "base/trace.h"
 #include "kernel/bat.h"
 #include "kernel/exec_context.h"
 
@@ -66,13 +67,14 @@ void RunPair(const std::string& op, size_t rows,
   out->push_back({op, "warm", rows, warm_s, cold_s / warm_s});
 }
 
-void WriteJson(const std::vector<Row>& rows, const char* path) {
+void WriteJson(const std::vector<Row>& rows, const std::string& trace_json,
+               const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -81,7 +83,7 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  r.op.c_str(), r.variant.c_str(), r.rows, r.seconds,
                  r.speedup, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "],\n\"trace\": %s}\n", trace_json.c_str());
   std::fclose(f);
   std::printf("wrote %s (%zu rows)\n", path, rows.size());
 }
@@ -158,7 +160,23 @@ int Main() {
       },
       &results);
 
-  WriteJson(results, "BENCH_accel.json");
+  // One traced pass per operator, outside the timed loops: the span tree
+  // (row counts, index and dictionary counters) rides along in the JSON
+  // artifact so a perf regression can be read next to the plan that ran.
+  trace::TraceSink sink;
+  ExecContext traced;
+  traced.trace = &sink;
+  COBRA_CHECK(ints.SelectEq(Value::Int(512), traced).ok());
+  COBRA_CHECK(strs.SelectStr("team7", traced).ok());
+  COBRA_CHECK(Join(probe, ints, traced).ok());
+  {
+    std::vector<size_t> reps;
+    Bat out = Group(strs, &reps, traced);
+    COBRA_CHECK(out.size() == strs.size());
+  }
+  COBRA_CHECK(trace::ValidateJson(sink.ToJson()).ok());
+
+  WriteJson(results, sink.ToJson(), "BENCH_accel.json");
   return 0;
 }
 

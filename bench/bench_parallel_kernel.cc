@@ -14,6 +14,7 @@
 
 #include "base/logging.h"
 #include "base/rng.h"
+#include "base/trace.h"
 #include "kernel/bat.h"
 #include "kernel/exec_context.h"
 
@@ -70,13 +71,14 @@ void RunOp(const std::string& op, size_t rows,
   }
 }
 
-void WriteJson(const std::vector<Row>& rows, const char* path) {
+void WriteJson(const std::vector<Row>& rows, const std::string& trace_json,
+               const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -87,7 +89,7 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  r.rows / r.seconds, r.speedup,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "],\n\"trace\": %s}\n", trace_json.c_str());
   std::fclose(f);
   std::printf("wrote %s (%zu rows)\n", path, rows.size());
 }
@@ -143,7 +145,24 @@ int Main() {
     COBRA_CHECK(!out.empty());
   }, &results);
 
-  WriteJson(results, "BENCH_kernel.json");
+  // One traced pass per operator at the top threadcnt, outside the timed
+  // loops: the span tree (rows, morsel counts) is embedded in the artifact
+  // next to the timings.
+  trace::TraceSink sink;
+  ExecContext traced = Ctx(8);
+  traced.trace = &sink;
+  COBRA_CHECK(floats.SelectRange(0.25, 0.75, traced).ok());
+  COBRA_CHECK(floats.Sum(traced).ok());
+  COBRA_CHECK(floats.Max(traced).ok());
+  COBRA_CHECK(Join(probe, build, traced).ok());
+  {
+    std::vector<size_t> reps;
+    Bat out = Group(groups, &reps, traced);
+    COBRA_CHECK(!out.empty());
+  }
+  COBRA_CHECK(trace::ValidateJson(sink.ToJson()).ok());
+
+  WriteJson(results, sink.ToJson(), "BENCH_kernel.json");
   return 0;
 }
 

@@ -1,0 +1,42 @@
+# Runs the full test matrix: each preset (default, tsan, asan) is
+# configured, built, and ctest-run in sequence; the first failure aborts.
+# Usage:
+#   cmake -DSOURCE_DIR=<repo root> [-DPRESETS=default\;tsan\;asan] \
+#         -P cmake/check_all.cmake
+# or, from a configured build tree, the `check-all` target.
+if(NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "pass -DSOURCE_DIR=<repo root>")
+endif()
+if(NOT DEFINED PRESETS)
+  set(PRESETS default tsan asan)
+endif()
+
+# Script mode does not define CMAKE_CTEST_COMMAND; ctest lives next to cmake.
+get_filename_component(_cmake_bindir "${CMAKE_COMMAND}" DIRECTORY)
+set(_ctest "${_cmake_bindir}/ctest")
+
+foreach(_preset IN LISTS PRESETS)
+  message(STATUS "==== preset ${_preset}: configure ====")
+  execute_process(COMMAND "${CMAKE_COMMAND}" --preset ${_preset}
+                  WORKING_DIRECTORY "${SOURCE_DIR}" RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "configure failed for preset ${_preset}")
+  endif()
+
+  message(STATUS "==== preset ${_preset}: build ====")
+  execute_process(COMMAND "${CMAKE_COMMAND}" --build --preset ${_preset}
+                          --parallel
+                  WORKING_DIRECTORY "${SOURCE_DIR}" RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "build failed for preset ${_preset}")
+  endif()
+
+  message(STATUS "==== preset ${_preset}: test ====")
+  execute_process(COMMAND "${_ctest}" --preset ${_preset}
+                  WORKING_DIRECTORY "${SOURCE_DIR}" RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "tests failed for preset ${_preset}")
+  endif()
+endforeach()
+
+message(STATUS "check-all: every preset is green")

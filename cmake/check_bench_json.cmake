@@ -1,6 +1,7 @@
 # Validates a benchmark JSON artifact: the file must exist, parse as JSON,
-# and contain a non-empty array — keeping the BENCH_*.json perf trajectory
-# machine-readable. Usage:
+# and contain a non-empty array — or an object whose "results" member is a
+# non-empty array (the kernel benches also embed a "trace" span tree) —
+# keeping the BENCH_*.json perf trajectory machine-readable. Usage:
 #   cmake -DJSON_FILE=<path> -P check_bench_json.cmake
 if(NOT DEFINED JSON_FILE)
   message(FATAL_ERROR "pass -DJSON_FILE=<path>")
@@ -13,7 +14,14 @@ string(JSON _len ERROR_VARIABLE _err LENGTH "${_content}")
 if(_err)
   message(FATAL_ERROR "malformed JSON in ${JSON_FILE}: ${_err}")
 endif()
+string(JSON _results ERROR_VARIABLE _no_results GET "${_content}" "results")
+if(NOT _no_results)
+  string(JSON _len ERROR_VARIABLE _err LENGTH "${_content}" "results")
+  if(_err)
+    message(FATAL_ERROR "bad \"results\" member in ${JSON_FILE}: ${_err}")
+  endif()
+endif()
 if(_len LESS 1)
   message(FATAL_ERROR "empty benchmark array in ${JSON_FILE}")
 endif()
-message(STATUS "${JSON_FILE}: valid JSON array with ${_len} entries")
+message(STATUS "${JSON_FILE}: valid JSON with ${_len} result entries")

@@ -1,0 +1,156 @@
+#ifndef COBRA_BASE_TRACE_H_
+#define COBRA_BASE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace cobra::trace {
+
+/// One node of an execution profile: an operator (kernel, Moa, or query
+/// layer) with its timing and row/acceleration counters, plus the child
+/// operators it invoked. A query run under `PROFILE` (or a MIL session with
+/// `trace on`) yields a tree of these shaped like the executed plan.
+///
+/// Write discipline: the thread that opened a span owns its scalar fields
+/// until the span ends; `children` is only ever mutated through
+/// TraceSink::StartSpan, which serializes on the sink mutex. Concurrent
+/// sibling spans (parallel operators sharing a parent) are therefore safe.
+struct Span {
+  std::string name;    // operator, e.g. "kernel.select_eq", "query.execute"
+  std::string detail;  // free-form context: BAT/attr name, predicate, plan
+  double seconds = 0.0;
+  /// Input rows. Binary operators (join/semijoin/diff/concat) count both
+  /// operands; the split is spelled out in `detail`.
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  /// Morsels scheduled: N for a morsel-parallel run, 1 for a serial scan,
+  /// 0 when an index probe answered without scanning.
+  uint64_t morsels = 0;
+  uint64_t index_probes = 0;
+  uint64_t index_builds = 0;
+  /// Rebuilds forced by a stale index (mutation bumped the BAT version).
+  uint64_t index_invalidations = 0;
+  /// Equality probes / group keys resolved through a string dictionary.
+  uint64_t dict_hits = 0;
+  /// The result was served from a cache; timings below this span were not
+  /// re-measured (a cached profile is never replayed).
+  bool from_cache = false;
+  std::vector<std::unique_ptr<Span>> children;
+};
+
+/// Collects span trees. Install a sink on an ExecContext (`ctx.trace`) to
+/// record; leave it null for the zero-cost default — instrumented operators
+/// then allocate nothing and take no locks (see SpansAllocated()).
+///
+/// Tree mutation (StartSpan) is thread-safe; reading (`roots`, ToText,
+/// ToJson) is safe once every guard recording into the sink has closed.
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Appends a child under `parent` (or a new root when null) and returns
+  /// it. The pointer stays stable for the sink's lifetime.
+  Span* StartSpan(Span* parent, std::string_view name);
+
+  /// Drops every recorded span.
+  void Clear();
+
+  size_t root_count() const;
+  const std::vector<std::unique_ptr<Span>>& roots() const { return roots_; }
+
+  /// Indented human-readable tree, one span per line.
+  std::string ToText() const;
+
+  /// JSON array of root span objects. Stable schema: every span object
+  /// carries exactly the keys name, detail, seconds, rows_in, rows_out,
+  /// morsels, index_probes, index_builds, index_invalidations, dict_hits,
+  /// from_cache, children (in that order); `children` is a nested array of
+  /// the same shape. Output always satisfies ValidateJson().
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Span>> roots_;
+};
+
+/// Process-wide count of spans ever allocated — a diagnostic the
+/// disabled-path tests pin: running instrumented operators with no sink
+/// installed must not move it.
+uint64_t SpansAllocated();
+
+/// Strict JSON syntax validator (objects, arrays, strings with escapes,
+/// numbers, true/false/null; rejects trailing garbage). Used to validate
+/// exported profiles and the BENCH_*.json artifacts in tests.
+Status ValidateJson(std::string_view text);
+
+/// RAII span recorder. With a null sink every member is an inlineable no-op
+/// — no allocation, no clock read, no lock. Callers building expensive
+/// detail strings must guard on enabled():
+///
+///   SpanGuard span(ctx.trace, ctx.trace_parent, "kernel.join");
+///   if (span.enabled()) span.Detail(StrFormat(...));
+class SpanGuard {
+ public:
+  SpanGuard(TraceSink* sink, Span* parent, std::string_view name) {
+    if (sink == nullptr) return;
+    span_ = sink->StartSpan(parent, name);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~SpanGuard() {
+    if (span_ == nullptr) return;
+    span_->seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  bool enabled() const { return span_ != nullptr; }
+  /// The open span (null when disabled); children attach under it.
+  Span* span() const { return span_; }
+
+  void Detail(std::string detail) {
+    if (span_ != nullptr) span_->detail = std::move(detail);
+  }
+  void RowsIn(uint64_t n) {
+    if (span_ != nullptr) span_->rows_in += n;
+  }
+  void RowsOut(uint64_t n) {
+    if (span_ != nullptr) span_->rows_out += n;
+  }
+  void Morsels(uint64_t n) {
+    if (span_ != nullptr) span_->morsels += n;
+  }
+  void IndexProbes(uint64_t n) {
+    if (span_ != nullptr) span_->index_probes += n;
+  }
+  void IndexBuilds(uint64_t n) {
+    if (span_ != nullptr) span_->index_builds += n;
+  }
+  void IndexInvalidations(uint64_t n) {
+    if (span_ != nullptr) span_->index_invalidations += n;
+  }
+  void DictHits(uint64_t n) {
+    if (span_ != nullptr) span_->dict_hits += n;
+  }
+  void FromCache() {
+    if (span_ != nullptr) span_->from_cache = true;
+  }
+
+ private:
+  Span* span_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cobra::trace
+
+#endif  // COBRA_BASE_TRACE_H_

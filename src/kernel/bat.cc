@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <mutex>
@@ -10,8 +11,64 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "base/trace.h"
 
 namespace cobra::kernel {
+
+namespace {
+
+/// Opens the operator span for a context form; a null context (serial form)
+/// or a context with no sink installed records nothing.
+trace::SpanGuard OpSpan(const ExecContext* ctx, const char* op) {
+  return trace::SpanGuard(ctx != nullptr ? ctx->trace : nullptr,
+                          ctx != nullptr ? ctx->trace_parent : nullptr, op);
+}
+
+/// NaN-skipping aggregate comparisons: the candidate replaces the best when
+/// strictly better, or when the best so far is NaN and the candidate is not.
+/// NaN tails therefore never win unless every tail is NaN — and, crucially,
+/// the serial scan and the morsel-combined scan agree for any NaN placement
+/// (a plain `v > best` poisons whichever range happens to start on a NaN).
+bool BetterMax(double v, double best) {
+  return std::isnan(best) ? !std::isnan(v) : v > best;
+}
+bool BetterMin(double v, double best) {
+  return std::isnan(best) ? !std::isnan(v) : v < best;
+}
+
+/// Head/tail index lifecycle accounting around a probe: snapshot before,
+/// then record the probe plus any build (and whether a stale index forced
+/// it) after. All accel_info() calls are gated on the span being live.
+struct IndexProbeScope {
+  IndexProbeScope(trace::SpanGuard& span, const Bat& bat, bool head)
+      : span_(span), bat_(bat), head_(head) {
+    if (!span_.enabled()) return;
+    const Bat::AccelInfo before = bat_.accel_info();
+    builds_before_ = head_ ? before.head_builds : before.tail_builds;
+    was_stale_ = head_ ? (before.head_index_built && !before.head_index_fresh)
+                       : (before.tail_index_built && !before.tail_index_fresh);
+  }
+
+  /// Call once the probe (index lookup attempt) has happened.
+  void Record() {
+    if (!span_.enabled()) return;
+    span_.IndexProbes(1);
+    const Bat::AccelInfo after = bat_.accel_info();
+    const uint64_t built =
+        (head_ ? after.head_builds : after.tail_builds) - builds_before_;
+    span_.IndexBuilds(built);
+    if (was_stale_ && built > 0) span_.IndexInvalidations(1);
+  }
+
+ private:
+  trace::SpanGuard& span_;
+  const Bat& bat_;
+  bool head_;
+  uint64_t builds_before_ = 0;
+  bool was_stale_ = false;
+};
+
+}  // namespace
 
 std::string_view TailTypeName(TailType t) {
   switch (t) {
@@ -358,6 +415,13 @@ void Bat::Concat(const Bat& other) {
   Bump();
 }
 
+void Bat::Concat(const Bat& other, const ExecContext& ctx) {
+  trace::SpanGuard span = OpSpan(&ctx, "kernel.concat");
+  span.RowsIn(size() + other.size());
+  Concat(other);
+  span.RowsOut(size());
+}
+
 Bat Bat::FromOidColumns(std::vector<Oid> heads, std::vector<Oid> tails) {
   COBRA_CHECK(heads.size() == tails.size());
   Bat out(TailType::kOid);
@@ -435,7 +499,10 @@ Bat Bat::EmitEqHits(const std::vector<uint32_t>& hits, const Value& v) const {
   return out;
 }
 
-Result<Bat> Bat::SelectEqImpl(const Value& v, const ExecContext* ctx) const {
+Result<Bat> Bat::SelectEqImpl(const Value& v, const ExecContext* ctx,
+                              const char* op) const {
+  trace::SpanGuard span = OpSpan(ctx, op);
+  span.RowsIn(size());
   if (v.type() != tail_type_) {
     return Status::InvalidArgument("SelectEq value type mismatch");
   }
@@ -456,6 +523,7 @@ Result<Bat> Bat::SelectEqImpl(const Value& v, const ExecContext* ctx) const {
     }
     case TailType::kStr:
       if (!LookupStrCode(v.AsStr(), &str_code)) return Bat(tail_type_);
+      span.DictHits(1);
       key = str_code;
       break;
     case TailType::kOid:
@@ -463,14 +531,19 @@ Result<Bat> Bat::SelectEqImpl(const Value& v, const ExecContext* ctx) const {
       break;
   }
   if (ctx == nullptr || ctx->auto_index) {
+    IndexProbeScope probe(span, *this, /*head=*/false);
     if (auto idx = TailIndex(/*force=*/false)) {
+      probe.Record();
       auto it = idx->map.find(key);
       if (it == idx->map.end()) return Bat(tail_type_);
-      return EmitEqHits(it->second, v);
+      Bat out = EmitEqHits(it->second, v);
+      span.RowsOut(out.size());
+      return out;
     }
   }
   if (ctx == nullptr || !ctx->UseParallel(size())) {
     // Serial scan over the typed column (codes, never string bytes).
+    span.Morsels(1);
     Bat out(tail_type_);
     switch (tail_type_) {
       case TailType::kInt: {
@@ -503,6 +576,7 @@ Result<Bat> Bat::SelectEqImpl(const Value& v, const ExecContext* ctx) const {
         break;
       }
     }
+    span.RowsOut(out.size());
     return out;
   }
   std::vector<Bat> parts(ctx->NumMorsels(size()), Bat(tail_type_));
@@ -540,15 +614,18 @@ Result<Bat> Bat::SelectEqImpl(const Value& v, const ExecContext* ctx) const {
       }
     }
   });
-  return MergeParts(tail_type_, parts);
+  span.Morsels(parts.size());
+  Bat out = MergeParts(tail_type_, parts);
+  span.RowsOut(out.size());
+  return out;
 }
 
 Result<Bat> Bat::SelectEq(const Value& v) const {
-  return SelectEqImpl(v, nullptr);
+  return SelectEqImpl(v, nullptr, "kernel.select_eq");
 }
 
 Result<Bat> Bat::SelectEq(const Value& v, const ExecContext& ctx) const {
-  return SelectEqImpl(v, &ctx);
+  return SelectEqImpl(v, &ctx, "kernel.select_eq");
 }
 
 Result<Bat> Bat::SelectRange(double lo, double hi) const {
@@ -573,10 +650,17 @@ Result<Bat> Bat::SelectRange(double lo, double hi) const {
 
 Result<Bat> Bat::SelectRange(double lo, double hi,
                              const ExecContext& ctx) const {
+  trace::SpanGuard span = OpSpan(&ctx, "kernel.select_range");
+  span.RowsIn(size());
   if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
     return Status::InvalidArgument("SelectRange requires a numeric tail");
   }
-  if (!ctx.UseParallel(size())) return SelectRange(lo, hi);
+  if (!ctx.UseParallel(size())) {
+    COBRA_ASSIGN_OR_RETURN(Bat out, SelectRange(lo, hi));
+    span.Morsels(1);
+    span.RowsOut(out.size());
+    return out;
+  }
   std::vector<Bat> parts(ctx.NumMorsels(size()), Bat(tail_type_));
   ForEachMorsel(ctx, size(), [&](size_t m, size_t begin, size_t end) {
     Bat& out = parts[m];
@@ -593,21 +677,24 @@ Result<Bat> Bat::SelectRange(double lo, double hi,
       }
     }
   });
-  return MergeParts(tail_type_, parts);
+  span.Morsels(parts.size());
+  Bat out = MergeParts(tail_type_, parts);
+  span.RowsOut(out.size());
+  return out;
 }
 
 Result<Bat> Bat::SelectStr(const std::string& s) const {
   if (tail_type_ != TailType::kStr) {
     return Status::InvalidArgument("SelectStr requires a str tail");
   }
-  return SelectEqImpl(Value::Str(s), nullptr);
+  return SelectEqImpl(Value::Str(s), nullptr, "kernel.select_str");
 }
 
 Result<Bat> Bat::SelectStr(const std::string& s, const ExecContext& ctx) const {
   if (tail_type_ != TailType::kStr) {
     return Status::InvalidArgument("SelectStr requires a str tail");
   }
-  return SelectEqImpl(Value::Str(s), &ctx);
+  return SelectEqImpl(Value::Str(s), &ctx, "kernel.select_str");
 }
 
 Result<Bat> Bat::Reverse() const {
@@ -648,6 +735,8 @@ Result<double> Bat::Sum() const {
 }
 
 Result<double> Bat::Sum(const ExecContext& ctx) const {
+  trace::SpanGuard span = OpSpan(&ctx, "kernel.sum");
+  span.RowsIn(size());
   if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
     return Status::InvalidArgument("Sum requires a numeric tail");
   }
@@ -667,6 +756,8 @@ Result<double> Bat::Sum(const ExecContext& ctx) const {
   });
   double acc = 0.0;
   for (double p : partial) acc += p;
+  span.Morsels(num);
+  span.RowsOut(1);
   return acc;
 }
 
@@ -677,7 +768,12 @@ Result<double> Bat::Max() const {
 }
 
 Result<double> Bat::Max(const ExecContext& ctx) const {
-  COBRA_ASSIGN_OR_RETURN(size_t pos, ArgMax(ctx));
+  trace::SpanGuard span = OpSpan(&ctx, "kernel.max");
+  span.RowsIn(size());
+  // Delegates to ArgMax; nest its span so the delegation shows in profiles.
+  COBRA_ASSIGN_OR_RETURN(size_t pos,
+                         ArgMax(ctx.WithTraceParent(span.span())));
+  span.RowsOut(1);
   return tail_type_ == TailType::kInt ? static_cast<double>(ints_[pos])
                                       : floats_[pos];
 }
@@ -693,12 +789,14 @@ Result<double> Bat::Min() const {
     const double v = tail_type_ == TailType::kInt
                          ? static_cast<double>(ints_[i])
                          : floats_[i];
-    best = std::min(best, v);
+    if (BetterMin(v, best)) best = v;
   }
   return best;
 }
 
 Result<double> Bat::Min(const ExecContext& ctx) const {
+  trace::SpanGuard span = OpSpan(&ctx, "kernel.min");
+  span.RowsIn(size());
   if (empty()) return Status::FailedPrecondition("Min of empty BAT");
   if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
     return Status::InvalidArgument("Min requires a numeric tail");
@@ -713,12 +811,16 @@ Result<double> Bat::Min(const ExecContext& ctx) const {
       const double v = tail_type_ == TailType::kInt
                            ? static_cast<double>(ints_[i])
                            : floats_[i];
-      best = std::min(best, v);
+      if (BetterMin(v, best)) best = v;
     }
     partial[m] = best;
   });
   double best = partial[0];
-  for (size_t m = 1; m < num; ++m) best = std::min(best, partial[m]);
+  for (size_t m = 1; m < num; ++m) {
+    if (BetterMin(partial[m], best)) best = partial[m];
+  }
+  span.Morsels(num);
+  span.RowsOut(1);
   return best;
 }
 
@@ -734,7 +836,7 @@ Result<size_t> Bat::ArgMax() const {
     const double v = tail_type_ == TailType::kInt
                          ? static_cast<double>(ints_[i])
                          : floats_[i];
-    if (v > best_v) {
+    if (BetterMax(v, best_v)) {
       best_v = v;
       best = i;
     }
@@ -743,6 +845,8 @@ Result<size_t> Bat::ArgMax() const {
 }
 
 Result<size_t> Bat::ArgMax(const ExecContext& ctx) const {
+  trace::SpanGuard span = OpSpan(&ctx, "kernel.arg_max");
+  span.RowsIn(size());
   if (empty()) return Status::FailedPrecondition("ArgMax of empty BAT");
   if (tail_type_ != TailType::kInt && tail_type_ != TailType::kFloat) {
     return Status::InvalidArgument("ArgMax requires a numeric tail");
@@ -759,7 +863,7 @@ Result<size_t> Bat::ArgMax(const ExecContext& ctx) const {
       const double v = tail_type_ == TailType::kInt
                            ? static_cast<double>(ints_[i])
                            : floats_[i];
-      if (v > bv) {
+      if (BetterMax(v, bv)) {
         bv = v;
         best = i;
       }
@@ -767,16 +871,18 @@ Result<size_t> Bat::ArgMax(const ExecContext& ctx) const {
     best_pos[m] = best;
     best_val[m] = bv;
   });
-  // Combine strictly-greater in morsel order: resolves ties to the lowest
+  // Combine strictly-better in morsel order: resolves ties to the lowest
   // position, matching the serial scan.
   size_t best = best_pos[0];
   double bv = best_val[0];
   for (size_t m = 1; m < num; ++m) {
-    if (best_val[m] > bv) {
+    if (BetterMax(best_val[m], bv)) {
       bv = best_val[m];
       best = best_pos[m];
     }
   }
+  span.Morsels(num);
+  span.RowsOut(1);
   return best;
 }
 
@@ -889,19 +995,33 @@ Bat FilterByHead(const Bat& a, const ExecContext* ctx, bool keep_present,
 }
 
 Bat FilterByHeadOf(const Bat& a, const Bat& b, const ExecContext* ctx,
-                   bool keep_present) {
+                   bool keep_present, const char* op) {
+  trace::SpanGuard span = OpSpan(ctx, op);
+  span.RowsIn(a.size() + b.size());
+  if (span.enabled()) {
+    span.Detail(StrFormat("left=%zu right=%zu", a.size(), b.size()));
+    span.Morsels(ctx != nullptr && ctx->UseParallel(a.size())
+                     ? ctx->NumMorsels(a.size())
+                     : 1);
+  }
   const bool use_index = ctx == nullptr || ctx->auto_index;
   if (use_index) {
+    IndexProbeScope probe(span, b, /*head=*/true);
     if (auto idx = b.HeadIndex(/*force=*/true)) {
-      return FilterByHead(a, ctx, keep_present, [&idx](Oid h) {
+      probe.Record();
+      Bat out = FilterByHead(a, ctx, keep_present, [&idx](Oid h) {
         return idx->map.count(h) != 0;
       });
+      span.RowsOut(out.size());
+      return out;
     }
   }
   const std::unordered_set<Oid> heads = HeadSet(b);
-  return FilterByHead(a, ctx, keep_present, [&heads](Oid h) {
+  Bat out = FilterByHead(a, ctx, keep_present, [&heads](Oid h) {
     return heads.count(h) != 0;
   });
+  span.RowsOut(out.size());
+  return out;
 }
 
 }  // namespace
@@ -916,13 +1036,45 @@ Result<Bat> Join(const Bat& a, const Bat& b) {
 }
 
 Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx) {
+  trace::SpanGuard span = OpSpan(&ctx, "kernel.join");
+  span.RowsIn(a.size() + b.size());
+  if (span.enabled()) {
+    span.Detail(StrFormat("probe=%zu build=%zu", a.size(), b.size()));
+  }
   if (a.tail_type() != TailType::kOid) {
     return Status::InvalidArgument("Join needs an oid tail on the left BAT");
   }
-  if (!ctx.auto_index) return JoinPartitioned(a, b, ctx);
+  if (!ctx.auto_index) {
+    COBRA_ASSIGN_OR_RETURN(Bat out, JoinPartitioned(a, b, ctx));
+    if (span.enabled()) {
+      span.Detail(StrFormat("probe=%zu build=%zu plan=partitioned", a.size(),
+                            b.size()));
+    }
+    span.RowsOut(out.size());
+    return out;
+  }
+  IndexProbeScope probe(span, b, /*head=*/true);
   auto idx = b.HeadIndex(/*force=*/true);
-  if (idx == nullptr) return JoinScan(a, b);
-  if (!ctx.UseParallel(a.size())) return JoinProbeSerial(a, b, *idx);
+  probe.Record();
+  if (idx == nullptr) {
+    COBRA_ASSIGN_OR_RETURN(Bat out, JoinScan(a, b));
+    if (span.enabled()) {
+      span.Detail(
+          StrFormat("probe=%zu build=%zu plan=scan", a.size(), b.size()));
+    }
+    span.RowsOut(out.size());
+    return out;
+  }
+  if (span.enabled()) {
+    span.Detail(StrFormat("probe=%zu build=%zu plan=index_probe", a.size(),
+                          b.size()));
+  }
+  if (!ctx.UseParallel(a.size())) {
+    Bat out = JoinProbeSerial(a, b, *idx);
+    span.Morsels(1);
+    span.RowsOut(out.size());
+    return out;
+  }
   std::vector<Bat> parts(ctx.NumMorsels(a.size()), Bat(b.tail_type()));
   ForEachMorsel(ctx, a.size(), [&](size_t m, size_t begin, size_t end) {
     Bat& out = parts[m];
@@ -932,23 +1084,27 @@ Result<Bat> Join(const Bat& a, const Bat& b, const ExecContext& ctx) {
       for (uint32_t j : it->second) out.AppendRowFrom(a.HeadAt(i), b, j);
     }
   });
-  return MergeParts(b.tail_type(), parts);
+  span.Morsels(parts.size());
+  Bat out = MergeParts(b.tail_type(), parts);
+  span.RowsOut(out.size());
+  return out;
 }
 
 Bat Semijoin(const Bat& a, const Bat& b) {
-  return FilterByHeadOf(a, b, nullptr, /*keep_present=*/true);
+  return FilterByHeadOf(a, b, nullptr, /*keep_present=*/true,
+                        "kernel.semijoin");
 }
 
 Bat Semijoin(const Bat& a, const Bat& b, const ExecContext& ctx) {
-  return FilterByHeadOf(a, b, &ctx, /*keep_present=*/true);
+  return FilterByHeadOf(a, b, &ctx, /*keep_present=*/true, "kernel.semijoin");
 }
 
 Bat Diff(const Bat& a, const Bat& b) {
-  return FilterByHeadOf(a, b, nullptr, /*keep_present=*/false);
+  return FilterByHeadOf(a, b, nullptr, /*keep_present=*/false, "kernel.diff");
 }
 
 Bat Diff(const Bat& a, const Bat& b, const ExecContext& ctx) {
-  return FilterByHeadOf(a, b, &ctx, /*keep_present=*/false);
+  return FilterByHeadOf(a, b, &ctx, /*keep_present=*/false, "kernel.diff");
 }
 
 Bat Group(const Bat& a, std::vector<size_t>* representatives) {
@@ -969,7 +1125,16 @@ Bat Group(const Bat& a, std::vector<size_t>* representatives) {
 
 Bat Group(const Bat& a, std::vector<size_t>* representatives,
           const ExecContext& ctx) {
-  if (!ctx.UseParallel(a.size())) return Group(a, representatives);
+  trace::SpanGuard span = OpSpan(&ctx, "kernel.group");
+  span.RowsIn(a.size());
+  // Grouping a string tail resolves every row through the dictionary codes.
+  if (a.tail_type() == TailType::kStr) span.DictHits(a.size());
+  if (!ctx.UseParallel(a.size())) {
+    Bat out = Group(a, representatives);
+    span.Morsels(1);
+    span.RowsOut(out.size());
+    return out;
+  }
   const size_t num = ctx.NumMorsels(a.size());
   // Phase 1 (parallel): per-morsel tables in local first-occurrence order,
   // keyed by the canonical 64-bit tail key (dictionary code for strings).
@@ -1019,7 +1184,10 @@ Bat Group(const Bat& a, std::vector<size_t>* representatives,
       gids[i] = local_to_global[m][t.row_ids[i - begin]];
     }
   });
-  return Bat::FromOidColumns(a.heads(), std::move(gids));
+  span.Morsels(num);
+  Bat out = Bat::FromOidColumns(a.heads(), std::move(gids));
+  span.RowsOut(out.size());
+  return out;
 }
 
 }  // namespace cobra::kernel

@@ -140,8 +140,10 @@ class Bat {
 
   /// Appends every pair of `other` (same tail type) — bulk column concat,
   /// used to merge per-morsel operator outputs in morsel order. String
-  /// codes are remapped through this BAT's dictionary.
+  /// codes are remapped through this BAT's dictionary. The context form is
+  /// identical but records a trace span when a sink is installed.
   void Concat(const Bat& other);
+  void Concat(const Bat& other, const ExecContext& ctx);
 
   /// Adopts pre-built head/tail columns (must be the same length) as a
   /// BAT[oid, oid].
@@ -189,7 +191,10 @@ class Bat {
   // ctx.UseParallel(size()) holds, and is equivalence-tested to produce
   // byte-identical output (values and order) at every threadcnt. Equality
   // selects probe the persistent tail index when the policy allows
-  // (ctx.auto_index gates it on the context forms).
+  // (ctx.auto_index gates it on the context forms). When the context
+  // carries a trace sink (ctx.trace), the context forms record a
+  // trace::Span — rows in/out, morsel count, index probe/build/invalidation
+  // events, dictionary hits — and are strict no-ops on that path otherwise.
 
   /// select(v): pairs whose tail equals v.
   Result<Bat> SelectEq(const Value& v) const;
@@ -212,7 +217,10 @@ class Bat {
   /// Numeric aggregates over int/float tails. The ExecContext forms reduce
   /// per fixed-size morsel and combine partials in morsel order, so the
   /// floating-point result is identical at every threadcnt (and to the
-  /// serial form whenever the input fits one morsel).
+  /// serial form whenever the input fits one morsel). Min/Max/ArgMax skip
+  /// NaN tails (a NaN is the result only when every tail is NaN), which
+  /// keeps the serial and morsel scans equivalent for any NaN placement;
+  /// Sum propagates NaN as IEEE addition does.
   Result<double> Sum() const;
   Result<double> Sum(const ExecContext& ctx) const;
   Result<double> Max() const;
@@ -232,8 +240,10 @@ class Bat {
   /// Lazily-created shared acceleration state (atomic CAS publication, so
   /// concurrent const probes race safely on first touch).
   Accel& accel() const;
-  /// Common select-equal body; `ctx` may be null (serial form).
-  Result<Bat> SelectEqImpl(const Value& v, const ExecContext* ctx) const;
+  /// Common select-equal body; `ctx` may be null (serial form). `op` names
+  /// the span recorded when the context carries a trace sink.
+  Result<Bat> SelectEqImpl(const Value& v, const ExecContext* ctx,
+                           const char* op) const;
   /// Interns `v`, returning its dictionary code.
   uint32_t InternStr(std::string v);
   /// Looks up a string's code without interning; false when absent (the

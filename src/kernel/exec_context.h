@@ -4,6 +4,11 @@
 #include <cstddef>
 #include <functional>
 
+namespace cobra::trace {
+class TraceSink;
+struct Span;
+}  // namespace cobra::trace
+
 namespace cobra::kernel {
 
 /// Execution parameters for the kernel's parallel operators — the repo's
@@ -35,10 +40,26 @@ struct ExecContext {
   /// either way.
   bool auto_index = true;
 
+  /// Profiling sink. Null (the default) keeps instrumented operators
+  /// zero-cost: no span allocation, no clock reads, no locks. Installing a
+  /// sink makes every operator record a trace::Span (rows in/out, morsels,
+  /// index and dictionary events) under `trace_parent`.
+  ::cobra::trace::TraceSink* trace = nullptr;
+  /// Span the next operator nests under; null records a new root span.
+  ::cobra::trace::Span* trace_parent = nullptr;
+
   /// A strictly serial context (the default).
   static ExecContext Serial() { return ExecContext{}; }
   /// threadcnt = hardware concurrency (>= 2).
   static ExecContext Hardware();
+
+  /// This context with spans parented under `parent` — how a layer wraps
+  /// the kernel operators it invokes into its own span.
+  ExecContext WithTraceParent(::cobra::trace::Span* parent) const {
+    ExecContext child = *this;
+    child.trace_parent = parent;
+    return child;
+  }
 
   /// Whether an operator over `rows` rows should go parallel.
   bool UseParallel(size_t rows) const {

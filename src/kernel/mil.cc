@@ -143,7 +143,10 @@ Result<std::string> MilSession::Execute(const std::string& script) {
   std::string output;
 
   // Recursive-descent expression evaluation over the token stream. The
-  // parser is LL(1) with one pushed-back token.
+  // parser is LL(1) with one pushed-back token. Nesting is bounded so a
+  // pathological script ("f(f(f(...")) yields a typed error instead of
+  // exhausting the call stack.
+  constexpr int kMaxExprDepth = 200;
   std::vector<Token> pushed;
   auto next = [&]() -> Result<Token> {
     if (!pushed.empty()) {
@@ -155,7 +158,11 @@ Result<std::string> MilSession::Execute(const std::string& script) {
   };
   auto push_back = [&](Token tok) { pushed.push_back(std::move(tok)); };
 
-  std::function<Result<MilValue>()> parse_expr = [&]() -> Result<MilValue> {
+  std::function<Result<MilValue>(int)> parse_expr =
+      [&](int depth) -> Result<MilValue> {
+    if (depth > kMaxExprDepth) {
+      return Status::InvalidArgument("MIL expression nested too deeply");
+    }
     COBRA_ASSIGN_OR_RETURN(Token tok, next());
     if (tok.kind == Token::Kind::kNumber) return MilValue(tok.number);
     if (tok.kind == Token::Kind::kString) return MilValue(tok.text);
@@ -179,7 +186,7 @@ Result<std::string> MilSession::Execute(const std::string& script) {
     if (peek.kind != Token::Kind::kRParen) {
       push_back(peek);
       for (;;) {
-        COBRA_ASSIGN_OR_RETURN(MilValue arg, parse_expr());
+        COBRA_ASSIGN_OR_RETURN(MilValue arg, parse_expr(depth + 1));
         args.push_back(std::move(arg));
         COBRA_ASSIGN_OR_RETURN(Token sep, next());
         if (sep.kind == Token::Kind::kRParen) break;
@@ -304,6 +311,17 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       if (name == "semijoin") return MilValue(Semijoin(*a, *b, exec_));
       return MilValue(Diff(*a, *b, exec_));
     }
+    if (name == "concat") {
+      COBRA_RETURN_IF_ERROR(arity(2));
+      COBRA_ASSIGN_OR_RETURN(const Bat* a, AsBat(args[0], "concat"));
+      COBRA_ASSIGN_OR_RETURN(const Bat* b, AsBat(args[1], "concat"));
+      if (a->tail_type() != b->tail_type()) {
+        return Status::InvalidArgument("concat requires matching tail types");
+      }
+      Bat copy(*a);
+      copy.Concat(*b, exec_);
+      return MilValue(std::move(copy));
+    }
     if (name == "info") {
       COBRA_RETURN_IF_ERROR(arity(1));
       // With a name string, inspect the catalog BAT in place — bat() hands
@@ -381,14 +399,45 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       if (assign.kind != Token::Kind::kAssign) {
         return Status::InvalidArgument("expected ':=' after VAR " + name.text);
       }
-      COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr());
+      COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr(0));
       variables_.insert_or_assign(name.text, std::move(value));
       continue;
     }
     if (tok.kind == Token::Kind::kWord && tok.text == "PRINT") {
-      COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr());
+      COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr(0));
       output += ValueToString(value);
       output += "\n";
+      continue;
+    }
+    if (tok.kind == Token::Kind::kWord && tok.text == "trace") {
+      COBRA_ASSIGN_OR_RETURN(Token mode, next());
+      if (mode.kind != Token::Kind::kWord) {
+        return Status::InvalidArgument("trace expects on|off|dump|json");
+      }
+      if (mode.text == "on") {
+        // A fresh sink per `trace on`: spans accumulate across statements
+        // (and Execute calls) until the next `trace on`.
+        trace_sink_ = std::make_unique<trace::TraceSink>();
+        exec_.trace = trace_sink_.get();
+        exec_.trace_parent = nullptr;
+      } else if (mode.text == "off") {
+        exec_.trace = nullptr;
+        exec_.trace_parent = nullptr;
+      } else if (mode.text == "dump" || mode.text == "json") {
+        if (trace_sink_ == nullptr) {
+          return Status::FailedPrecondition(
+              "trace has not been enabled; run 'trace on' first");
+        }
+        if (mode.text == "dump") {
+          output += trace_sink_->ToText();
+        } else {
+          output += trace_sink_->ToJson();
+          output += "\n";
+        }
+      } else {
+        return Status::InvalidArgument("trace expects on|off|dump|json, got '" +
+                                       mode.text + "'");
+      }
       continue;
     }
     // Either an assignment to an existing variable or a bare expression.
@@ -399,14 +448,14 @@ Result<std::string> MilSession::Execute(const std::string& script) {
           return Status::NotFound("assignment to undeclared variable " +
                                   tok.text);
         }
-        COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr());
+        COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr(0));
         variables_.insert_or_assign(tok.text, std::move(value));
         continue;
       }
       push_back(after);
     }
     push_back(tok);
-    COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr());
+    COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr(0));
     (void)value;
   }
   return output;

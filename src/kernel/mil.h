@@ -2,11 +2,13 @@
 #define COBRA_KERNEL_MIL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "base/status.h"
+#include "base/trace.h"
 #include "kernel/bat.h"
 #include "kernel/catalog.h"
 
@@ -24,6 +26,11 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///   VAR name := <expr>;      declare a session variable
 ///   name := <expr>;          reassign
 ///   PRINT <expr>;            append the value to the output log
+///   trace on|off|dump|json;  session profiling: `on` records a span for
+///                            every traced operator the session runs, `dump`
+///                            appends the indented span tree to the output,
+///                            `json` appends the JSON export, `off` stops
+///                            recording (collected spans are kept)
 ///   <expr>;                  evaluate for effect
 ///
 /// Expressions:
@@ -34,6 +41,7 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///   select(e, lo, hi)               numeric range select
 ///   select(e, "s")                  string equality select
 ///   join(e1, e2) / semijoin(e1, e2) / diff(e1, e2)
+///   concat(e1, e2)                  e1 with e2's rows appended
 ///   reverse(e) / mirror(e) / slice(e, begin, end)
 ///   sum(e) / max(e) / min(e) / count(e)       scalar aggregates
 ///   threadcnt(n)                    degree of parallelism for subsequent
@@ -59,10 +67,15 @@ class MilSession {
   const ExecContext& exec() const { return exec_; }
   void set_exec(const ExecContext& exec) { exec_ = exec; }
 
+  /// The session's trace sink; null until `trace on` has run. Spans persist
+  /// across Execute() calls until the next `trace on`.
+  const trace::TraceSink* trace_sink() const { return trace_sink_.get(); }
+
  private:
   Catalog* catalog_;
   std::map<std::string, MilValue> variables_;
   ExecContext exec_;
+  std::unique_ptr<trace::TraceSink> trace_sink_;
 };
 
 }  // namespace cobra::kernel

@@ -4,8 +4,19 @@
 #include <unordered_set>
 
 #include "base/logging.h"
+#include "base/trace.h"
 
 namespace cobra::moa {
+
+namespace {
+
+/// Opens the span of a Moa algebra operator under the session context's
+/// current parent. No sink installed -> records nothing.
+trace::SpanGuard MoaSpan(const kernel::ExecContext& exec, const char* op) {
+  return trace::SpanGuard(exec.trace, exec.trace_parent, op);
+}
+
+}  // namespace
 
 MoaSession::MoaSession(kernel::Catalog* catalog) : catalog_(catalog) {
   COBRA_CHECK(catalog != nullptr);
@@ -103,28 +114,51 @@ Result<OidSet> MoaSession::Extent(const std::string& cls) const {
 Result<OidSet> MoaSession::SelectEq(const std::string& cls,
                                     const std::string& attr,
                                     const kernel::Value& value) const {
+  trace::SpanGuard span = MoaSpan(exec_, "moa.select_eq");
+  if (span.enabled()) span.Detail(cls + "." + attr);
   COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
-  COBRA_ASSIGN_OR_RETURN(kernel::Bat selected, bat->SelectEq(value, exec_));
+  span.RowsIn(bat->size());
+  COBRA_ASSIGN_OR_RETURN(
+      kernel::Bat selected,
+      bat->SelectEq(value, exec_.WithTraceParent(span.span())));
+  span.RowsOut(selected.size());
   return HeadsOf(selected);
 }
 
 Result<OidSet> MoaSession::SelectRange(const std::string& cls,
                                        const std::string& attr, double lo,
                                        double hi) const {
+  trace::SpanGuard span = MoaSpan(exec_, "moa.select_range");
+  if (span.enabled()) span.Detail(cls + "." + attr);
   COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
-  COBRA_ASSIGN_OR_RETURN(kernel::Bat selected,
-                         bat->SelectRange(lo, hi, exec_));
+  span.RowsIn(bat->size());
+  COBRA_ASSIGN_OR_RETURN(
+      kernel::Bat selected,
+      bat->SelectRange(lo, hi, exec_.WithTraceParent(span.span())));
+  span.RowsOut(selected.size());
   return HeadsOf(selected);
 }
 
 Result<kernel::Bat> MoaSession::Project(const std::string& cls,
                                         const OidSet& set,
                                         const std::string& attr) const {
+  return ProjectImpl(cls, set, attr, exec_);
+}
+
+Result<kernel::Bat> MoaSession::ProjectImpl(
+    const std::string& cls, const OidSet& set, const std::string& attr,
+    const kernel::ExecContext& exec) const {
+  trace::SpanGuard span = MoaSpan(exec, "moa.project");
+  if (span.enabled()) span.Detail(cls + "." + attr);
   COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
+  span.RowsIn(bat->size());
   // semijoin(attr_bat, set-as-bat): rewrite through the kernel operator.
   kernel::Bat set_bat(kernel::TailType::kOid);
   for (kernel::Oid oid : set.oids) set_bat.AppendOid(oid, oid);
-  return kernel::Semijoin(*bat, set_bat, exec_);
+  kernel::Bat out =
+      kernel::Semijoin(*bat, set_bat, exec.WithTraceParent(span.span()));
+  span.RowsOut(out.size());
+  return out;
 }
 
 Result<kernel::Bat> MoaSession::Map(
@@ -171,30 +205,48 @@ OidSet MoaSession::Minus(const OidSet& a, const OidSet& b) {
 Result<OidSet> MoaSession::JoinInto(const std::string& cls, const OidSet& set,
                                     const std::string& attr,
                                     const OidSet& targets) const {
+  trace::SpanGuard span = MoaSpan(exec_, "moa.join_into");
+  if (span.enabled()) span.Detail(cls + "." + attr);
   COBRA_ASSIGN_OR_RETURN(const kernel::Bat* bat, AttrBat(cls, attr));
   if (bat->tail_type() != kernel::TailType::kOid) {
     return Status::InvalidArgument("JoinInto requires an oid attribute");
   }
+  span.RowsIn(set.size() + targets.size());
   kernel::Bat target_bat(kernel::TailType::kOid);
   for (kernel::Oid oid : targets.oids) target_bat.AppendOid(oid, oid);
-  COBRA_ASSIGN_OR_RETURN(kernel::Bat joined,
-                         kernel::Join(*bat, target_bat, exec_));
+  COBRA_ASSIGN_OR_RETURN(
+      kernel::Bat joined,
+      kernel::Join(*bat, target_bat, exec_.WithTraceParent(span.span())));
   OidSet joined_heads = HeadsOf(joined);
-  return Intersect(set, joined_heads);
+  OidSet out = Intersect(set, joined_heads);
+  span.RowsOut(out.size());
+  return out;
 }
 
 Result<double> MoaSession::AggregateSum(const std::string& cls,
                                         const OidSet& set,
                                         const std::string& attr) const {
-  COBRA_ASSIGN_OR_RETURN(kernel::Bat column, Project(cls, set, attr));
-  return column.Sum(exec_);
+  trace::SpanGuard span = MoaSpan(exec_, "moa.aggregate_sum");
+  if (span.enabled()) span.Detail(cls + "." + attr);
+  const kernel::ExecContext child = exec_.WithTraceParent(span.span());
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat column,
+                         ProjectImpl(cls, set, attr, child));
+  span.RowsIn(column.size());
+  span.RowsOut(1);
+  return column.Sum(child);
 }
 
 Result<double> MoaSession::AggregateMax(const std::string& cls,
                                         const OidSet& set,
                                         const std::string& attr) const {
-  COBRA_ASSIGN_OR_RETURN(kernel::Bat column, Project(cls, set, attr));
-  return column.Max(exec_);
+  trace::SpanGuard span = MoaSpan(exec_, "moa.aggregate_max");
+  if (span.enabled()) span.Detail(cls + "." + attr);
+  const kernel::ExecContext child = exec_.WithTraceParent(span.span());
+  COBRA_ASSIGN_OR_RETURN(kernel::Bat column,
+                         ProjectImpl(cls, set, attr, child));
+  span.RowsIn(column.size());
+  span.RowsOut(1);
+  return column.Max(child);
 }
 
 }  // namespace cobra::moa

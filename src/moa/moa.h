@@ -114,6 +114,11 @@ class MoaSession {
   }
   Result<const kernel::Bat*> AttrBat(const std::string& cls,
                                      const std::string& attr) const;
+  /// Project under an explicit context — lets the aggregates nest the
+  /// projection's span under their own instead of the session root.
+  Result<kernel::Bat> ProjectImpl(const std::string& cls, const OidSet& set,
+                                  const std::string& attr,
+                                  const kernel::ExecContext& exec) const;
   /// Converts a selection result (BAT) into the oid set of its heads,
   /// restricted to `set` when provided.
   static OidSet HeadsOf(const kernel::Bat& bat);

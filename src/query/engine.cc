@@ -6,8 +6,31 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "base/trace.h"
 
 namespace cobra::query {
+
+namespace {
+
+const char* TemporalOpName(TemporalOp op) {
+  switch (op) {
+    case TemporalOp::kNone:
+      return "none";
+    case TemporalOp::kDuring:
+      return "during";
+    case TemporalOp::kOverlapping:
+      return "overlapping";
+    case TemporalOp::kBefore:
+      return "before";
+    case TemporalOp::kAfter:
+      return "after";
+    case TemporalOp::kContaining:
+      return "containing";
+  }
+  return "?";
+}
+
+}  // namespace
 
 QueryEngine::QueryEngine(model::VideoCatalog* catalog,
                          extensions::ExtensionRegistry* registry)
@@ -149,59 +172,139 @@ void QueryEngine::ClearCache() {
 }
 
 Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
+  if (!query.profile) return ExecuteImpl(query, exec_);
+  // PROFILE: run under a per-query sink and attach its exports. The sink
+  // lives on the stack — profiles are never stored in the result cache.
+  trace::TraceSink sink;
+  kernel::ExecContext exec = exec_;
+  exec.trace = &sink;
+  exec.trace_parent = nullptr;
+  COBRA_ASSIGN_OR_RETURN(QueryResult result, ExecuteImpl(query, exec));
+  result.profile_text = sink.ToText();
+  result.profile_json = sink.ToJson();
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
+                                             const kernel::ExecContext& exec) {
+  trace::SpanGuard span(exec.trace, exec.trace_parent, "query.execute");
+  if (span.enabled()) {
+    span.Detail(StrFormat("type=%s video=%s", query.primary.type.c_str(),
+                          query.video.c_str()));
+  }
+  const kernel::ExecContext qctx = exec.WithTraceParent(span.span());
+
   QueryResult result;
   const std::string cache_key = CacheKey(query);
   if (cache_capacity_ > 0) {
     auto it = cache_map_.find(cache_key);
-    if (it != cache_map_.end() &&
-        it->second->event_version == catalog_->event_version()) {
+    const bool found = it != cache_map_.end();
+    if (found && it->second->event_version == catalog_->event_version()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++cache_hits_;
       result.segments = it->second->segments;
       result.cache_hit = true;
+      // Served from the cache: the profile states so instead of replaying
+      // the timings recorded when the entry was originally computed.
+      span.FromCache();
+      span.RowsOut(result.segments.size());
+      if (span.enabled()) {
+        trace::SpanGuard lookup(qctx.trace, qctx.trace_parent,
+                                "query.cache_lookup");
+        lookup.Detail("hit");
+        lookup.FromCache();
+        lookup.RowsOut(result.segments.size());
+      }
       return result;
     }
-    if (it != cache_map_.end()) {
+    if (found) {
       // Stale under the current event version: drop and re-evaluate.
       lru_.erase(it->second);
       cache_map_.erase(it);
     }
     ++cache_misses_;
+    if (span.enabled()) {
+      trace::SpanGuard lookup(qctx.trace, qctx.trace_parent,
+                              "query.cache_lookup");
+      lookup.Detail(found ? "stale" : "miss");
+    }
   }
   COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
                          catalog_->FindVideo(query.video));
 
-  COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.primary.type,
-                                        query.preference, &result));
+  {
+    trace::SpanGuard prep(qctx.trace, qctx.trace_parent, "query.preprocess");
+    COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.primary.type,
+                                          query.preference, &result));
+    if (prep.enabled()) {
+      prep.Detail("type=" + query.primary.type +
+                  (result.extracted_dynamically
+                       ? " extracted_by=" + result.methods_invoked.back()
+                       : " metadata=present"));
+    }
+  }
   COBRA_ASSIGN_OR_RETURN(auto primary_events,
                          catalog_->Events(video.id, query.primary.type));
 
-  std::vector<model::EventRecord> filtered =
-      FilterEvents(exec_, primary_events, [&query](const auto& e) {
-        return MatchesPattern(e, query.primary);
-      });
+  std::vector<model::EventRecord> filtered;
+  {
+    trace::SpanGuard filter(qctx.trace, qctx.trace_parent, "query.filter");
+    if (filter.enabled()) filter.Detail("type=" + query.primary.type);
+    filter.RowsIn(primary_events.size());
+    filter.Morsels(exec.NumMorsels(primary_events.size()));
+    filtered = FilterEvents(qctx, primary_events, [&query](const auto& e) {
+      return MatchesPattern(e, query.primary);
+    });
+    filter.RowsOut(filtered.size());
+  }
 
   if (query.temporal_op != TemporalOp::kNone) {
-    COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.secondary.type,
-                                          query.preference, &result));
+    const size_t methods_before = result.methods_invoked.size();
+    {
+      trace::SpanGuard prep(qctx.trace, qctx.trace_parent, "query.preprocess");
+      COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.secondary.type,
+                                            query.preference, &result));
+      if (prep.enabled()) {
+        prep.Detail("type=" + query.secondary.type +
+                    (result.methods_invoked.size() > methods_before
+                         ? " extracted_by=" + result.methods_invoked.back()
+                         : " metadata=present"));
+      }
+    }
     COBRA_ASSIGN_OR_RETURN(auto secondary_events,
                            catalog_->Events(video.id, query.secondary.type));
-    std::vector<model::EventRecord> secondary =
-        FilterEvents(exec_, secondary_events, [&query](const auto& e) {
-          return MatchesPattern(e, query.secondary);
-        });
+    std::vector<model::EventRecord> secondary;
+    {
+      trace::SpanGuard filter(qctx.trace, qctx.trace_parent, "query.filter");
+      if (filter.enabled()) filter.Detail("type=" + query.secondary.type);
+      filter.RowsIn(secondary_events.size());
+      filter.Morsels(exec.NumMorsels(secondary_events.size()));
+      secondary = FilterEvents(qctx, secondary_events, [&query](const auto& e) {
+        return MatchesPattern(e, query.secondary);
+      });
+      filter.RowsOut(secondary.size());
+    }
     // Temporal semijoin: keep primaries with at least one temporal match.
+    trace::SpanGuard join(qctx.trace, qctx.trace_parent,
+                          "query.temporal_join");
+    if (join.enabled()) {
+      join.Detail(std::string("op=") + TemporalOpName(query.temporal_op));
+    }
+    join.RowsIn(filtered.size() + secondary.size());
+    join.Morsels(exec.NumMorsels(filtered.size()));
     std::vector<model::EventRecord> joined =
-        FilterEvents(exec_, filtered, [&](const auto& p) {
+        FilterEvents(qctx, filtered, [&](const auto& p) {
           for (const auto& s : secondary) {
             if (TemporalMatch(query.temporal_op, p, s)) return true;
           }
           return false;
         });
+    join.RowsOut(joined.size());
     filtered = std::move(joined);
   }
 
   result.segments = std::move(filtered);
+  span.RowsOut(result.segments.size());
   if (cache_capacity_ > 0) {
     // Record the event version AFTER execution, so the bump from our own
     // dynamic extraction does not invalidate this entry.

@@ -26,6 +26,12 @@ struct QueryResult {
   /// True when the segments were served from the engine's result cache —
   /// neither dynamic extraction nor algebra evaluation ran.
   bool cache_hit = false;
+  /// Set for PROFILE queries only: the span tree of this execution, as the
+  /// indented text rendering and the stable-schema JSON export. A cache hit
+  /// yields a minimal tree whose root is marked from_cache — the timings of
+  /// the original (cached) execution are never replayed.
+  std::string profile_text;
+  std::string profile_json;
 };
 
 /// Counters of the engine's extraction/result cache.
@@ -69,6 +75,12 @@ class QueryEngine {
   void ClearCache();
 
  private:
+  /// The evaluator under an explicit context. PROFILE runs pass a context
+  /// with a fresh trace sink; plain runs pass exec_ through unchanged (which
+  /// may itself carry a host-installed sink).
+  Result<QueryResult> ExecuteImpl(const ParsedQuery& query,
+                                  const kernel::ExecContext& exec);
+
   /// Ensures events of `type` exist for `video`; dynamically extracts when
   /// missing, selecting the provider per `preference`.
   Status EnsureAvailable(model::VideoId video, const std::string& type,

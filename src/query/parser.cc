@@ -105,8 +105,14 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
   ParsedQuery query;
 
   COBRA_ASSIGN_OR_RETURN(Token tok, lexer.Next());
+  if (IsKeyword(tok, "PROFILE")) {
+    query.profile = true;
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  }
   if (!IsKeyword(tok, "RETRIEVE")) {
-    return Status::InvalidArgument("query must start with RETRIEVE");
+    return Status::InvalidArgument(query.profile
+                                       ? "expected RETRIEVE after PROFILE"
+                                       : "query must start with RETRIEVE");
   }
   COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
   if (tok.kind != Token::Kind::kWord) {

@@ -32,7 +32,7 @@ struct EventPattern {
 
 /// Parsed form of the retrieval language:
 ///
-///   RETRIEVE <type> FROM '<video>'
+///   [PROFILE] RETRIEVE <type> FROM '<video>'
 ///     [WHERE <key> = '<value>' {AND <key> = '<value>'}]
 ///     [DURING|OVERLAPPING|BEFORE|AFTER|CONTAINING <type2>
 ///        [WHERE <key> = '<value>' {AND ...}]]
@@ -40,12 +40,17 @@ struct EventPattern {
 ///
 /// e.g.  RETRIEVE highlight FROM 'german-gp' WHERE driver = 'SCHUMACHER'
 ///       RETRIEVE pitstop FROM 'usa-gp' DURING highlight PREFER COST
+///       PROFILE RETRIEVE highlight FROM 'german-gp'
 struct ParsedQuery {
   EventPattern primary;
   std::string video;
   TemporalOp temporal_op = TemporalOp::kNone;
   EventPattern secondary;
   MethodPreference preference = MethodPreference::kQuality;
+  /// PROFILE prefix: execute normally AND return the execution's span tree
+  /// (QueryResult::profile_text / profile_json). Not part of the plan — a
+  /// profiled query shares its result-cache entry with the plain form.
+  bool profile = false;
 };
 
 /// Parses the retrieval language; returns InvalidArgument with a pointed

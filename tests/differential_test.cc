@@ -1,0 +1,255 @@
+// Randomized differential harness proving plan equivalence of the kernel
+// operators.
+//
+// Every case draws seeded random inputs — ints, doubles (including -0.0 and
+// NaN), duplicate-heavy dictionary strings, empty and 1-row BATs — and runs
+// each kernel operator under the full plan matrix
+//
+//   {threadcnt 1, 2, 7} x {auto_index on, off}
+//
+// plus one traced plan (a live TraceSink), asserting the result is
+// byte-identical to the serial reference operator. "Byte-identical" is
+// literal: doubles compare by bit pattern, so -0.0 vs +0.0 or differing NaN
+// payloads fail. Each seed is one ctest case (240 total); a failure prints
+// the seed so the case can be replayed alone:
+//
+//   ./differential_test --gtest_filter='*/DifferentialTest.*/137'
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/trace.h"
+#include "kernel/bat.h"
+#include "kernel/exec_context.h"
+
+namespace cobra::kernel {
+namespace {
+
+struct PlanCase {
+  int threadcnt;
+  bool auto_index;
+};
+
+// The plan matrix every operator runs under. Small morsels and a unit
+// serial cutoff engage the parallel machinery at test sizes.
+constexpr PlanCase kPlans[] = {{1, true},  {1, false}, {2, true},
+                               {2, false}, {7, true},  {7, false}};
+
+ExecContext PlanCtx(const PlanCase& plan) {
+  ExecContext ctx;
+  ctx.threadcnt = plan.threadcnt;
+  ctx.morsel_rows = 32;
+  ctx.serial_cutoff = 1;
+  ctx.auto_index = plan.auto_index;
+  return ctx;
+}
+
+std::string PlanName(const PlanCase& plan) {
+  return "threadcnt=" + std::to_string(plan.threadcnt) +
+         (plan.auto_index ? " auto_index=on" : " auto_index=off");
+}
+
+/// Bitwise double equality: NaN == NaN (same payload), -0.0 != +0.0.
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+void ExpectSameBat(const Bat& expected, const Bat& actual) {
+  ASSERT_EQ(expected.tail_type(), actual.tail_type());
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected.HeadAt(i), actual.HeadAt(i)) << "head at " << i;
+    switch (expected.tail_type()) {
+      case TailType::kInt:
+        ASSERT_EQ(expected.IntAt(i), actual.IntAt(i)) << "int tail at " << i;
+        break;
+      case TailType::kFloat:
+        ASSERT_TRUE(SameBits(expected.FloatAt(i), actual.FloatAt(i)))
+            << "float tail differs at " << i << ": " << expected.FloatAt(i)
+            << " vs " << actual.FloatAt(i);
+        break;
+      case TailType::kStr:
+        ASSERT_EQ(expected.StrAt(i), actual.StrAt(i)) << "str tail at " << i;
+        break;
+      case TailType::kOid:
+        ASSERT_EQ(expected.OidAt(i), actual.OidAt(i)) << "oid tail at " << i;
+        break;
+    }
+  }
+}
+
+constexpr TailType kAllTypes[] = {TailType::kInt, TailType::kFloat,
+                                  TailType::kStr, TailType::kOid};
+
+/// Seeded input generator. Tails are duplicate-heavy (small palettes) so
+/// selects, joins, and grouping hit real collisions across morsel
+/// boundaries; the float palette always contains +0.0, -0.0, NaN, and the
+/// infinities.
+Bat GenBat(Rng& rng, TailType type, size_t n) {
+  constexpr double kSpecials[] = {
+      0.0, -0.0, std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity()};
+  Bat bat(type);
+  for (size_t i = 0; i < n; ++i) {
+    const Oid head = static_cast<Oid>(rng.UniformInt(uint64_t{200}));
+    switch (type) {
+      case TailType::kInt:
+        bat.AppendInt(head, rng.UniformInt(int64_t{-20}, 20));
+        break;
+      case TailType::kFloat:
+        if (rng.Bernoulli(0.3)) {
+          bat.AppendFloat(head, kSpecials[rng.UniformInt(uint64_t{5})]);
+        } else {
+          // Quantized so duplicates occur by construction.
+          bat.AppendFloat(head,
+                          static_cast<double>(rng.UniformInt(int64_t{-8}, 8)) /
+                              4.0);
+        }
+        break;
+      case TailType::kStr: {
+        std::string s;
+        if (!rng.Bernoulli(0.1)) {  // ~10% empty strings
+          s = "s" + std::to_string(rng.UniformInt(uint64_t{13}));
+        }
+        bat.AppendStr(head, std::move(s));
+        break;
+      }
+      case TailType::kOid:
+        bat.AppendOid(head, static_cast<Oid>(rng.UniformInt(uint64_t{64})));
+        break;
+    }
+  }
+  return bat;
+}
+
+/// A probe value drawn from the same distribution as the data (so both
+/// present and absent keys occur across seeds).
+Value GenProbe(Rng& rng, TailType type) {
+  Bat one = GenBat(rng, type, 1);
+  return one.TailAt(0);
+}
+
+/// One seed = one ctest case. The fixture parameter is the seed; every
+/// assertion runs under a SCOPED_TRACE naming it.
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, OperatorsBytewiseEqualAcrossPlans) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("failing seed: " + std::to_string(seed) +
+               " (replay with --gtest_filter='*/" +
+               std::to_string(seed) + "')");
+  // Size schedule guarantees the degenerate shapes appear: every 8th seed
+  // is empty, every 8th is a single row; the rest straddle the morsel size.
+  constexpr size_t kSizeSchedule[] = {0, 1, 31, 32, 33, 97, 256, 523};
+  const size_t n = kSizeSchedule[seed % 8];
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+
+  // One traced plan per case: instrumentation must not perturb results.
+  trace::TraceSink sink;
+
+  for (TailType type : kAllTypes) {
+    SCOPED_TRACE(std::string("tail type: ") + std::string(TailTypeName(type)));
+    const Bat bat = GenBat(rng, type, n);
+    const Value probe = GenProbe(rng, type);
+
+    // Serial reference results (context-free operator forms).
+    auto ref_select = bat.SelectEq(probe);
+    ASSERT_TRUE(ref_select.ok());
+    std::vector<size_t> ref_reps;
+    const Bat ref_group = Group(bat, &ref_reps);
+
+    // Binary-operator partners.
+    Bat left(TailType::kOid);  // oid tails pointing into bat's head space
+    for (size_t i = 0; i < n; ++i) {
+      left.AppendOid(static_cast<Oid>(i),
+                     static_cast<Oid>(rng.UniformInt(uint64_t{300})));
+    }
+    const Bat filter = GenBat(rng, TailType::kOid, n / 2);
+    const Bat other = GenBat(rng, type, 57);
+    auto ref_join = Join(left, bat);
+    ASSERT_TRUE(ref_join.ok());
+    const Bat ref_semi = Semijoin(bat, filter);
+    const Bat ref_diff = Diff(bat, filter);
+    Bat ref_concat(bat);
+    ref_concat.Concat(other);
+
+    // Aggregate references come from the threadcnt=1 context form: Sum's
+    // morsel-order reduction is the contract, not the unmorseled fold.
+    const ExecContext base = PlanCtx(kPlans[0]);
+
+    for (const PlanCase& plan : kPlans) {
+      SCOPED_TRACE("plan: " + PlanName(plan));
+      for (bool traced : {false, true}) {
+        ExecContext ctx = PlanCtx(plan);
+        if (traced) {
+          ctx.trace = &sink;
+          if (!plan.auto_index) continue;  // one traced run per threadcnt
+        }
+        SCOPED_TRACE(traced ? "traced: yes" : "traced: no");
+
+        auto select = bat.SelectEq(probe, ctx);
+        ASSERT_TRUE(select.ok());
+        ExpectSameBat(*ref_select, *select);
+
+        if (type == TailType::kStr) {
+          auto ref_str = bat.SelectStr("s3");
+          auto str = bat.SelectStr("s3", ctx);
+          ASSERT_TRUE(ref_str.ok());
+          ASSERT_TRUE(str.ok());
+          ExpectSameBat(*ref_str, *str);
+        }
+
+        if (type == TailType::kInt || type == TailType::kFloat) {
+          auto ref_range = bat.SelectRange(-1.5, 1.0);
+          auto range = bat.SelectRange(-1.5, 1.0, ctx);
+          ASSERT_TRUE(ref_range.ok());
+          ASSERT_TRUE(range.ok());
+          ExpectSameBat(*ref_range, *range);
+
+          if (n == 0) {
+            EXPECT_FALSE(bat.Max(ctx).ok());
+            EXPECT_FALSE(bat.Min(ctx).ok());
+            EXPECT_FALSE(bat.ArgMax(ctx).ok());
+            EXPECT_TRUE(SameBits(*bat.Sum(base), *bat.Sum(ctx)));
+          } else {
+            EXPECT_TRUE(SameBits(*bat.Sum(base), *bat.Sum(ctx)));
+            EXPECT_TRUE(SameBits(*bat.Max(), *bat.Max(ctx)));
+            EXPECT_TRUE(SameBits(*bat.Min(), *bat.Min(ctx)));
+            EXPECT_EQ(*bat.ArgMax(), *bat.ArgMax(ctx));
+          }
+        }
+
+        auto join = Join(left, bat, ctx);
+        ASSERT_TRUE(join.ok());
+        ExpectSameBat(*ref_join, *join);
+
+        ExpectSameBat(ref_semi, Semijoin(bat, filter, ctx));
+        ExpectSameBat(ref_diff, Diff(bat, filter, ctx));
+
+        std::vector<size_t> reps;
+        ExpectSameBat(ref_group, Group(bat, &reps, ctx));
+        EXPECT_EQ(ref_reps, reps);
+
+        Bat concat(bat);
+        concat.Concat(other, ctx);
+        ExpectSameBat(ref_concat, concat);
+      }
+    }
+  }
+}
+
+// 240 seeded cases; the seed doubles as the ctest case name so a failure
+// (which prints the seed via SCOPED_TRACE) maps straight to a filter.
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{240}));
+
+}  // namespace
+}  // namespace cobra::kernel

@@ -149,6 +149,36 @@ TEST_F(MilTest, TypeMismatchedInsertIsRejected) {
   EXPECT_FALSE(session_->Execute("PRINT insert(7, 0, 1);").ok());
 }
 
+TEST_F(MilTest, DeeplyNestedExpressionIsRejected) {
+  // "mirror(mirror(...(bat('values'))...))" past the depth bound must be a
+  // typed error, not a stack overflow.
+  std::string script = "PRINT ";
+  for (int i = 0; i < 500; ++i) script += "mirror(";
+  script += "bat('values')";
+  script += std::string(500, ')');
+  script += ";";
+  auto out = session_->Execute(script);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().ToString().find("nested too deeply"),
+            std::string::npos)
+      << out.status().ToString();
+}
+
+TEST_F(MilTest, ConcatMergesAndChecksTypes) {
+  auto out = session_->Execute(
+      "VAR both := concat(bat('values'), bat('values'));\n"
+      "PRINT count(both);\n"
+      "PRINT sum(both);");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "20\n9\n");
+  auto bad = session_->Execute("PRINT concat(bat('values'), bat('names'));");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("matching tail types"),
+            std::string::npos);
+  EXPECT_FALSE(session_->Execute("PRINT concat(bat('values'));").ok());
+  EXPECT_FALSE(session_->Execute("PRINT concat(1, 2);").ok());
+}
+
 TEST_F(MilTest, ThreadcntValidatesItsArgument) {
   for (const char* script :
        {"threadcnt(0);", "threadcnt(-3);", "threadcnt(2.5);",

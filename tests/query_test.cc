@@ -58,6 +58,61 @@ TEST(ParserTest, SyntaxErrors) {
   EXPECT_FALSE(ParseQuery("RETRIEVE h FROM 'unterminated").ok());
 }
 
+TEST(ParserTest, ProfilePrefix) {
+  auto q = ParseQuery("PROFILE RETRIEVE highlight FROM 'german-gp'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->profile);
+  EXPECT_EQ(q->primary.type, "highlight");
+  auto plain = ParseQuery("retrieve highlight from 'german-gp'");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->profile);
+}
+
+// Fuzz-ish corpus of malformed queries. Every entry must come back as a
+// typed InvalidArgument — truncated clauses, doubled tokens, unterminated
+// strings, and stray bytes never crash the parser.
+TEST(ParserTest, MalformedInputCorpus) {
+  const char* corpus[] = {
+      "PROFILE",
+      "PROFILE PROFILE RETRIEVE h FROM 'x'",
+      "RETRIEVE",
+      "RETRIEVE 'quoted' FROM 'x'",
+      "RETRIEVE h FROM",
+      "RETRIEVE h FROM =",
+      "RETRIEVE h FROM 'x' WHERE",
+      "RETRIEVE h FROM 'x' WHERE driver",
+      "RETRIEVE h FROM 'x' WHERE driver =",
+      "RETRIEVE h FROM 'x' WHERE driver = = 'a'",
+      "RETRIEVE h FROM 'x' WHERE driver = 'a' AND",
+      "RETRIEVE h FROM 'x' DURING",
+      "RETRIEVE h FROM 'x' DURING 'caption'",
+      "RETRIEVE h FROM 'x' OVERLAPPING c WHERE",
+      "RETRIEVE h FROM 'x' PREFER",
+      "RETRIEVE h FROM 'x' PREFER QUALITY COST",
+      "RETRIEVE h FROM \"unterminated",
+      "RETRIEVE h FROM 'x' WHERE driver = 'unterminated",
+      "RETRIEVE h FROM 'x' %",
+      "??",
+  };
+  for (const char* text : corpus) {
+    auto q = ParseQuery(text);
+    EXPECT_FALSE(q.ok()) << text;
+    if (!q.ok()) {
+      EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(ParserTest, LongConjunctChainParses) {
+  std::string text = "RETRIEVE h FROM 'x' WHERE a0 = 'v'";
+  for (int i = 1; i < 500; ++i) {
+    text += " AND a" + std::to_string(i) + " = 'v'";
+  }
+  auto q = ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->primary.attr_equals.size(), 500u);
+}
+
 class QueryEngineTest : public ::testing::Test {
  protected:
   void SetUp() override {
