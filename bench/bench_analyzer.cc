@@ -1,0 +1,154 @@
+// Overhead of the pre-execution verifiers.
+//
+// Every MIL Execute() and every QueryEngine::Execute(text) now runs a static
+// analysis pass before the first operator; this bench pins that tax as
+// analysis-seconds next to full execution-seconds for representative inputs:
+//
+//   mil_pipeline   — the Fig. 4-shaped select/join/aggregate script
+//   mil_wide       — a long straight-line script (500 statements)
+//   mil_deep       — an expression near the nesting limit
+//   query_text     — a RETRIEVE with WHERE + temporal clause
+//
+// `overhead` is analyze-seconds / execute-seconds of the same input (for
+// query_text the denominator is ParseQuery, the smallest downstream stage).
+// Results go to BENCH_analyzer.json for the perf trajectory.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/diag.h"
+#include "base/logging.h"
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+#include "kernel/mil.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace cobra::kernel {
+namespace {
+
+double BestOfSeconds(int reps, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string op;
+  std::string variant;  // "analyze" or "execute"
+  double seconds;
+  double overhead;  // analyze seconds / execute seconds
+};
+
+void RunPair(const std::string& op, const std::function<void()>& analyze,
+             const std::function<void()>& execute, std::vector<Row>* out) {
+  const double analyze_s = BestOfSeconds(20, analyze);
+  const double execute_s = BestOfSeconds(20, execute);
+  std::printf("  %-12s analyze %9.6fs   execute %9.6fs   %6.3fx\n", op.c_str(),
+              analyze_s, execute_s, analyze_s / execute_s);
+  out->push_back({op, "analyze", analyze_s, analyze_s / execute_s});
+  out->push_back({op, "execute", execute_s, analyze_s / execute_s});
+}
+
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"variant\": \"%s\", \"seconds\": %.8f, "
+                 "\"analyze_over_execute\": %.4f}%s\n",
+                 r.op.c_str(), r.variant.c_str(), r.seconds, r.overhead,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::printf("wrote %s (%zu rows)\n", path, rows.size());
+}
+
+int Main() {
+  std::printf("=== pre-execution verifier overhead ===\n");
+
+  Catalog catalog;
+  {
+    auto values = catalog.Create("values", TailType::kFloat);
+    COBRA_CHECK(values.ok());
+    for (int i = 0; i < 10'000; ++i) {
+      (*values)->AppendFloat(static_cast<Oid>(i), i * 0.001);
+    }
+    auto links = catalog.Create("links", TailType::kOid);
+    COBRA_CHECK(links.ok());
+    for (int i = 0; i < 1'000; ++i) {
+      (*links)->AppendOid(static_cast<Oid>(i), static_cast<Oid>(i * 7 % 999));
+    }
+  }
+  MilAnalysisContext actx;
+  actx.catalog = &catalog;
+
+  std::vector<Row> results;
+
+  const std::string pipeline =
+      "VAR hits := select(bat('values'), 0.25, 0.65);\n"
+      "VAR joined := join(bat('links'), bat('values'));\n"
+      "PRINT count(hits);\nPRINT sum(joined);\n";
+  RunPair(
+      "mil_pipeline",
+      [&] { COBRA_CHECK(AnalyzeMilScript(pipeline, actx).ok()); },
+      [&] {
+        MilSession session(&catalog);
+        COBRA_CHECK(session.Execute(pipeline).ok());
+      },
+      &results);
+
+  std::string wide = "VAR x := 1;\n";
+  for (int i = 0; i < 500; ++i) {
+    wide += "x := x;\nPRINT count(select(bat('values'), 0.1, 0.2));\n";
+  }
+  RunPair(
+      "mil_wide", [&] { COBRA_CHECK(AnalyzeMilScript(wide, actx).ok()); },
+      [&] {
+        MilSession session(&catalog);
+        COBRA_CHECK(session.Execute(wide).ok());
+      },
+      &results);
+
+  std::string deep = "PRINT count(";
+  for (int i = 0; i < 150; ++i) deep += "mirror(";
+  deep += "bat('links')";
+  for (int i = 0; i < 150; ++i) deep += ")";
+  deep += ");";
+  RunPair(
+      "mil_deep", [&] { COBRA_CHECK(AnalyzeMilScript(deep, actx).ok()); },
+      [&] {
+        MilSession session(&catalog);
+        COBRA_CHECK(session.Execute(deep).ok());
+      },
+      &results);
+
+  const std::string query_text =
+      "RETRIEVE highlight FROM 'german-gp' OVERLAPPING caption "
+      "WHERE driver = 'Montoya' AND kind = 'pitstop' PREFER QUALITY";
+  RunPair(
+      "query_text",
+      [&] { COBRA_CHECK(query::AnalyzeQueryText(query_text).ok()); },
+      [&] { COBRA_CHECK(query::ParseQuery(query_text).ok()); }, &results);
+
+  WriteJson(results, "BENCH_analyzer.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cobra::kernel
+
+int main() { return cobra::kernel::Main(); }

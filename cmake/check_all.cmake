@@ -1,14 +1,23 @@
-# Runs the full test matrix: each preset (default, tsan, asan) is
-# configured, built, and ctest-run in sequence; the first failure aborts.
+# Runs the full test matrix: each preset (default, tsan, asan, ubsan — plus
+# lint when clang++ is installed) is configured, built, and ctest-run in
+# sequence; the first failure aborts.
 # Usage:
-#   cmake -DSOURCE_DIR=<repo root> [-DPRESETS=default\;tsan\;asan] \
+#   cmake -DSOURCE_DIR=<repo root> [-DPRESETS=default\;tsan\;asan\;ubsan] \
 #         -P cmake/check_all.cmake
 # or, from a configured build tree, the `check-all` target.
 if(NOT DEFINED SOURCE_DIR)
   message(FATAL_ERROR "pass -DSOURCE_DIR=<repo root>")
 endif()
 if(NOT DEFINED PRESETS)
-  set(PRESETS default tsan asan)
+  set(PRESETS default tsan asan ubsan)
+  # The lint preset compiles with clang++ (-Wthread-safety promoted to
+  # errors); it only joins the default matrix when that compiler exists.
+  find_program(_clangxx clang++)
+  if(_clangxx)
+    list(APPEND PRESETS lint)
+  else()
+    message(STATUS "check-all: clang++ not found, skipping the lint preset")
+  endif()
 endif()
 
 # Script mode does not define CMAKE_CTEST_COMMAND; ctest lives next to cmake.
@@ -29,6 +38,19 @@ foreach(_preset IN LISTS PRESETS)
                   WORKING_DIRECTORY "${SOURCE_DIR}" RESULT_VARIABLE _rc)
   if(NOT _rc EQUAL 0)
     message(FATAL_ERROR "build failed for preset ${_preset}")
+  endif()
+
+  # The lint preset additionally runs clang-tidy (the `lint` build target);
+  # its concurrency-* checks are promoted to errors, so any diagnostic fails
+  # the matrix here just like a thread-safety error fails the build above.
+  if(_preset STREQUAL "lint")
+    message(STATUS "==== preset ${_preset}: clang-tidy ====")
+    execute_process(COMMAND "${CMAKE_COMMAND}" --build --preset ${_preset}
+                            --target lint
+                    WORKING_DIRECTORY "${SOURCE_DIR}" RESULT_VARIABLE _rc)
+    if(NOT _rc EQUAL 0)
+      message(FATAL_ERROR "clang-tidy failed for preset ${_preset}")
+    endif()
   endif()
 
   message(STATUS "==== preset ${_preset}: test ====")

@@ -1,0 +1,65 @@
+#include "base/diag.h"
+
+#include "base/strings.h"
+
+namespace cobra {
+
+std::string FormatDiagnostic(const Diagnostic& diag, std::string_view label) {
+  return StrFormat(
+      "%s:%d:%d: %s: %s", std::string(label).c_str(), diag.line, diag.col,
+      diag.severity == Diagnostic::Severity::kError ? "error" : "warning",
+      diag.message.c_str());
+}
+
+void DiagnosticList::Add(Diagnostic diag) { diags_.push_back(std::move(diag)); }
+
+void DiagnosticList::Error(int line, int col, std::string message,
+                           StatusCode code) {
+  Diagnostic diag;
+  diag.severity = Diagnostic::Severity::kError;
+  diag.line = line;
+  diag.col = col;
+  diag.code = code;
+  diag.message = std::move(message);
+  diags_.push_back(std::move(diag));
+}
+
+void DiagnosticList::Warning(int line, int col, std::string message) {
+  Diagnostic diag;
+  diag.severity = Diagnostic::Severity::kWarning;
+  diag.line = line;
+  diag.col = col;
+  diag.code = StatusCode::kOk;
+  diag.message = std::move(message);
+  diags_.push_back(std::move(diag));
+}
+
+bool DiagnosticList::ok() const { return error_count() == 0; }
+
+size_t DiagnosticList::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& diag : diags_) {
+    if (diag.severity == Diagnostic::Severity::kError) ++n;
+  }
+  return n;
+}
+
+Status DiagnosticList::ToStatus(std::string_view label) const {
+  for (const Diagnostic& diag : diags_) {
+    if (diag.severity == Diagnostic::Severity::kError) {
+      return Status(diag.code, FormatDiagnostic(diag, label));
+    }
+  }
+  return Status::OK();
+}
+
+std::string DiagnosticList::ToString(std::string_view label) const {
+  std::string out;
+  for (const Diagnostic& diag : diags_) {
+    out += FormatDiagnostic(diag, label);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cobra

@@ -1,0 +1,60 @@
+#ifndef COBRA_BASE_DIAG_H_
+#define COBRA_BASE_DIAG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace cobra {
+
+/// One finding from a static analysis pass (the MIL script analyzer, the
+/// query-text analyzer, the plan verifier). Positions are 1-based and point
+/// at the first character of the offending token.
+struct Diagnostic {
+  enum class Severity { kWarning, kError };
+
+  Severity severity = Severity::kError;
+  int line = 1;
+  int col = 1;
+  /// The Status code execution would have failed with; preserved so a
+  /// pre-execution rejection is indistinguishable (code-wise) from the
+  /// runtime error it front-runs.
+  StatusCode code = StatusCode::kInvalidArgument;
+  std::string message;
+};
+
+/// "label:LINE:COL: error|warning: message" — the classic compiler shape.
+std::string FormatDiagnostic(const Diagnostic& diag, std::string_view label);
+
+/// Ordered findings of one analysis run. Warnings never fail a script;
+/// errors reject it before any operator executes.
+class DiagnosticList {
+ public:
+  void Add(Diagnostic diag);
+  void Error(int line, int col, std::string message,
+             StatusCode code = StatusCode::kInvalidArgument);
+  void Warning(int line, int col, std::string message);
+
+  /// True when no error-severity entry exists (warnings allowed).
+  bool ok() const;
+  bool empty() const { return diags_.empty(); }
+  size_t error_count() const;
+  size_t warning_count() const { return diags_.size() - error_count(); }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// OK when ok(); otherwise the first error, formatted with `label` and
+  /// carrying that error's StatusCode.
+  Status ToStatus(std::string_view label) const;
+
+  /// Every diagnostic, one per line (each newline-terminated).
+  std::string ToString(std::string_view label) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_BASE_DIAG_H_

@@ -23,43 +23,45 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Schedule(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(std::move(task));
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && active_ == 0)) cv_idle_.Wait(lock);
 }
 
 bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
 
+void ThreadPool::FinishTask() {
+  MutexLock lock(mu_);
+  --active_;
+  if (queue_.empty() && active_ == 0) cv_idle_.NotifyAll();
+}
+
 bool ThreadPool::RunOneQueuedTask() {
   std::function<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();
     ++active_;
   }
   task();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    --active_;
-    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
-  }
+  FinishTask();
   return true;
 }
 
@@ -86,19 +88,15 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_task_.Wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
       ++active_;
     }
     task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
-    }
+    FinishTask();
   }
 }
 
@@ -110,13 +108,13 @@ TaskGroup::~TaskGroup() { Wait(); }
 
 void TaskGroup::Run(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Schedule([this, task = std::move(task)] {
     task();
-    std::unique_lock<std::mutex> lock(mu_);
-    if (--pending_ == 0) cv_.notify_all();
+    MutexLock lock(mu_);
+    if (--pending_ == 0) cv_.NotifyAll();
   });
 }
 
@@ -130,18 +128,18 @@ void TaskGroup::Wait() {
     // group while its owner sits in Wait()).
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (pending_ == 0) return;
       }
       if (!pool_->RunOneQueuedTask()) {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return pending_ == 0; });
+        MutexLock lock(mu_);
+        while (pending_ != 0) cv_.Wait(lock);
         return;
       }
     }
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) cv_.Wait(lock);
 }
 
 }  // namespace cobra

@@ -1,13 +1,14 @@
 #ifndef COBRA_BASE_THREAD_POOL_H_
 #define COBRA_BASE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace cobra {
 
@@ -19,6 +20,10 @@ namespace cobra {
 /// the tasks scheduled through it — two callers sharing one pool never wait
 /// on each other's work. WaitIdle() remains for whole-pool barriers (e.g.
 /// tests and shutdown) and blocks until *every* scheduled task is done.
+///
+/// Lock discipline (checked by the `lint` preset): `mu_` guards the task
+/// queue, the active-task count, and the stop flag; both condition variables
+/// are signalled under it.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>= 1).
@@ -29,11 +34,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution on a worker thread.
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task) COBRA_EXCLUDES(mu_);
 
   /// Blocks until all scheduled tasks (from every caller) have completed.
   /// Prefer TaskGroup when other threads may be using the same pool.
-  void WaitIdle();
+  void WaitIdle() COBRA_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -53,17 +58,21 @@ class ThreadPool {
 
   /// Pops and runs one queued task on the calling thread. Returns false if
   /// the queue was empty. Used by TaskGroup waits on worker threads.
-  bool RunOneQueuedTask();
+  bool RunOneQueuedTask() COBRA_EXCLUDES(mu_);
 
-  void WorkerLoop();
+  void WorkerLoop() COBRA_EXCLUDES(mu_);
+
+  /// Bookkeeping after a task ran: drops the active count and signals
+  /// whole-pool idleness when nothing is queued or running.
+  void FinishTask() COBRA_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> queue_ COBRA_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  size_t active_ COBRA_GUARDED_BY(mu_) = 0;
+  bool stop_ COBRA_GUARDED_BY(mu_) = false;
 };
 
 /// A per-caller completion latch over a shared ThreadPool. Run() schedules a
@@ -73,7 +82,8 @@ class ThreadPool {
 /// pool tasks instead of blocking, so nesting cannot deadlock the pool.
 ///
 /// Run() and Wait() must be called from the owning thread only; the executed
-/// tasks themselves may run anywhere.
+/// tasks themselves may run anywhere. `mu_` guards the pending-task count;
+/// task completions signal `cv_` under it.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool* pool);
@@ -84,16 +94,16 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Schedules `task` on the pool and tracks it in this group.
-  void Run(std::function<void()> task);
+  void Run(std::function<void()> task) COBRA_EXCLUDES(mu_);
 
   /// Blocks until every task Run() through this group has completed.
-  void Wait();
+  void Wait() COBRA_EXCLUDES(mu_);
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  size_t pending_ COBRA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cobra

@@ -111,7 +111,7 @@ Span* TraceSink::StartSpan(Span* parent, std::string_view name) {
   span->name.assign(name.data(), name.size());
   Span* raw = span.get();
   g_spans_allocated.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (parent == nullptr) {
     roots_.push_back(std::move(span));
   } else {
@@ -121,24 +121,24 @@ Span* TraceSink::StartSpan(Span* parent, std::string_view name) {
 }
 
 void TraceSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   roots_.clear();
 }
 
 size_t TraceSink::root_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return roots_.size();
 }
 
 std::string TraceSink::ToText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& root : roots_) AppendIndented(*root, 0, &out);
   return out;
 }
 
 std::string TraceSink::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "[";
   for (size_t i = 0; i < roots_.size(); ++i) {
     if (i > 0) out += ',';

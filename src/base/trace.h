@@ -4,12 +4,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 
 namespace cobra::trace {
 
@@ -59,27 +60,35 @@ class TraceSink {
 
   /// Appends a child under `parent` (or a new root when null) and returns
   /// it. The pointer stays stable for the sink's lifetime.
-  Span* StartSpan(Span* parent, std::string_view name);
+  Span* StartSpan(Span* parent, std::string_view name) COBRA_EXCLUDES(mu_);
 
   /// Drops every recorded span.
-  void Clear();
+  void Clear() COBRA_EXCLUDES(mu_);
 
-  size_t root_count() const;
-  const std::vector<std::unique_ptr<Span>>& roots() const { return roots_; }
+  size_t root_count() const COBRA_EXCLUDES(mu_);
+
+  /// Unlocked read of the span tree. Only valid once every SpanGuard
+  /// recording into this sink has closed (the sink's documented read
+  /// contract); at that point no thread can mutate `roots_`, an invariant
+  /// the static analysis cannot see.
+  const std::vector<std::unique_ptr<Span>>& roots() const
+      COBRA_NO_THREAD_SAFETY_ANALYSIS {
+    return roots_;
+  }
 
   /// Indented human-readable tree, one span per line.
-  std::string ToText() const;
+  std::string ToText() const COBRA_EXCLUDES(mu_);
 
   /// JSON array of root span objects. Stable schema: every span object
   /// carries exactly the keys name, detail, seconds, rows_in, rows_out,
   /// morsels, index_probes, index_builds, index_invalidations, dict_hits,
   /// from_cache, children (in that order); `children` is a nested array of
   /// the same shape. Output always satisfies ValidateJson().
-  std::string ToJson() const;
+  std::string ToJson() const COBRA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Span>> roots_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Span>> roots_ COBRA_GUARDED_BY(mu_);
 };
 
 /// Process-wide count of spans ever allocated — a diagnostic the

@@ -5,12 +5,13 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "base/logging.h"
+#include "base/mutex.h"
 #include "base/strings.h"
+#include "base/thread_annotations.h"
 #include "base/trace.h"
 
 namespace cobra::kernel {
@@ -115,11 +116,12 @@ std::string Value::ToString() const {
 
 /// Shared per-BAT acceleration state. Index builds and lookups are
 /// serialized on `mu`; the published indexes are immutable, so probes use
-/// them outside the lock. Counters are relaxed atomics (diagnostics only).
+/// the returned shared_ptr snapshots outside the lock. Counters are relaxed
+/// atomics (diagnostics only).
 struct Bat::Accel {
-  std::mutex mu;
-  std::shared_ptr<const HashIndex> tail;
-  std::shared_ptr<const HashIndex> head;
+  Mutex mu;
+  std::shared_ptr<const HashIndex> tail COBRA_GUARDED_BY(mu);
+  std::shared_ptr<const HashIndex> head COBRA_GUARDED_BY(mu);
   std::atomic<uint64_t> tail_builds{0};
   std::atomic<uint64_t> tail_probes{0};
   std::atomic<uint64_t> head_builds{0};
@@ -223,7 +225,7 @@ uint64_t Bat::TailKeyAt(size_t i) const {
 std::shared_ptr<const Bat::HashIndex> Bat::TailIndex(bool force) const {
   if (size() > std::numeric_limits<uint32_t>::max()) return nullptr;
   Accel& a = accel();
-  std::lock_guard<std::mutex> lock(a.mu);
+  MutexLock lock(a.mu);
   if (a.tail != nullptr && a.tail->built_version == version_) {
     a.tail_probes.fetch_add(1, std::memory_order_relaxed);
     return a.tail;
@@ -248,7 +250,7 @@ std::shared_ptr<const Bat::HashIndex> Bat::TailIndex(bool force) const {
 std::shared_ptr<const Bat::HashIndex> Bat::HeadIndex(bool force) const {
   if (size() > std::numeric_limits<uint32_t>::max()) return nullptr;
   Accel& a = accel();
-  std::lock_guard<std::mutex> lock(a.mu);
+  MutexLock lock(a.mu);
   if (a.head != nullptr && a.head->built_version == version_) {
     a.head_probes.fetch_add(1, std::memory_order_relaxed);
     return a.head;
@@ -274,7 +276,7 @@ Bat::AccelInfo Bat::accel_info() const {
   info.dict_entries = dict_order_.size();
   Accel* a = accel_.load(std::memory_order_acquire);
   if (a == nullptr) return info;
-  std::lock_guard<std::mutex> lock(a->mu);
+  MutexLock lock(a->mu);
   info.tail_index_built = a->tail != nullptr;
   info.tail_index_fresh =
       a->tail != nullptr && a->tail->built_version == version_;

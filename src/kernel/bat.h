@@ -266,6 +266,10 @@ class Bat {
   std::unordered_map<std::string, uint32_t> dict_;
   std::vector<const std::string*> dict_order_;
 
+  // Bumped only by mutations, which require exclusive access to the BAT
+  // (the container contract above); concurrent const probes read it under
+  // Accel::mu, whose critical sections order the reads against the bump
+  // made by the last pre-publication mutation.
   uint64_t version_ = 0;
   mutable std::atomic<Accel*> accel_{nullptr};
 };

@@ -3,7 +3,7 @@
 namespace cobra::kernel {
 
 Result<Bat*> Catalog::Create(const std::string& name, TailType tail_type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = bats_.emplace(name, nullptr);
   if (!inserted) {
     return Status::AlreadyExists("BAT already exists: " + name);
@@ -13,14 +13,14 @@ Result<Bat*> Catalog::Create(const std::string& name, TailType tail_type) {
 }
 
 Result<Bat*> Catalog::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = bats_.find(name);
   if (it == bats_.end()) return Status::NotFound("no BAT named " + name);
   return it->second.get();
 }
 
 Result<const Bat*> Catalog::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = bats_.find(name);
   if (it == bats_.end()) {
     return Status::NotFound("no BAT named " + name);
@@ -29,14 +29,14 @@ Result<const Bat*> Catalog::Get(const std::string& name) const {
 }
 
 Bat* Catalog::Put(const std::string& name, Bat bat) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = bats_[name];
   slot = std::make_unique<Bat>(std::move(bat));
   return slot.get();
 }
 
 Status Catalog::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (bats_.erase(name) == 0) {
     return Status::NotFound("no BAT named " + name);
   }
@@ -44,12 +44,12 @@ Status Catalog::Drop(const std::string& name) {
 }
 
 bool Catalog::Exists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bats_.count(name) != 0;
 }
 
 std::vector<Catalog::BatStats> Catalog::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<BatStats> out;
   out.reserve(bats_.size());
   for (const auto& [name, bat] : bats_) {
@@ -60,7 +60,7 @@ std::vector<Catalog::BatStats> Catalog::Stats() const {
 }
 
 std::vector<std::string> Catalog::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(bats_.size());
   for (const auto& [name, bat] : bats_) out.push_back(name);

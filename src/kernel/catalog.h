@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "kernel/bat.h"
 
 namespace cobra::kernel {
@@ -16,6 +17,10 @@ namespace cobra::kernel {
 /// operator programs address their operand columns through it, and the Cobra
 /// metadata layers (feature/object/event) store their decomposed relations
 /// here.
+///
+/// `mu_` guards the name -> BAT map only; the returned Bat pointers are
+/// handed out unlocked (a binding stays alive until Drop/Put replaces it,
+/// and Bat itself documents its own concurrency contract).
 class Catalog {
  public:
   Catalog() = default;
@@ -23,22 +28,23 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Creates an empty BAT under `name`; error if the name exists.
-  Result<Bat*> Create(const std::string& name, TailType tail_type);
+  Result<Bat*> Create(const std::string& name, TailType tail_type)
+      COBRA_EXCLUDES(mu_);
 
   /// Returns the BAT registered under `name`, or NotFound.
-  Result<Bat*> Get(const std::string& name);
-  Result<const Bat*> Get(const std::string& name) const;
+  Result<Bat*> Get(const std::string& name) COBRA_EXCLUDES(mu_);
+  Result<const Bat*> Get(const std::string& name) const COBRA_EXCLUDES(mu_);
 
   /// Registers (moves) an existing BAT; overwrites any previous binding.
-  Bat* Put(const std::string& name, Bat bat);
+  Bat* Put(const std::string& name, Bat bat) COBRA_EXCLUDES(mu_);
 
   /// Drops a binding; error if absent.
-  Status Drop(const std::string& name);
+  Status Drop(const std::string& name) COBRA_EXCLUDES(mu_);
 
-  bool Exists(const std::string& name) const;
+  bool Exists(const std::string& name) const COBRA_EXCLUDES(mu_);
 
   /// All registered names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const COBRA_EXCLUDES(mu_);
 
   /// Per-BAT acceleration snapshot (index lifecycle + dictionary state).
   struct BatStats {
@@ -51,11 +57,11 @@ class Catalog {
   /// Stats for every registered BAT, in name order. Reads the live BATs in
   /// place, so accreted indexes show up (catalog copies would not carry
   /// them).
-  std::vector<BatStats> Stats() const;
+  std::vector<BatStats> Stats() const COBRA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Bat>> bats_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Bat>> bats_ COBRA_GUARDED_BY(mu_);
 };
 
 }  // namespace cobra::kernel

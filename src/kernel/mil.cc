@@ -5,96 +5,12 @@
 #include <cmath>
 
 #include "base/strings.h"
+#include "kernel/mil_lexer.h"
 
 namespace cobra::kernel {
 namespace {
 
-struct Token {
-  enum class Kind { kWord, kNumber, kString, kAssign, kLParen, kRParen,
-                    kComma, kSemi, kEnd };
-  Kind kind = Kind::kEnd;
-  std::string text;
-  double number = 0.0;
-};
-
-class Lexer {
- public:
-  explicit Lexer(const std::string& input) : input_(input) {}
-
-  Result<Token> Next() {
-    SkipSpaceAndComments();
-    if (pos_ >= input_.size()) return Token{Token::Kind::kEnd, "", 0};
-    const char c = input_[pos_];
-    if (c == '(') { ++pos_; return Token{Token::Kind::kLParen, "(", 0}; }
-    if (c == ')') { ++pos_; return Token{Token::Kind::kRParen, ")", 0}; }
-    if (c == ',') { ++pos_; return Token{Token::Kind::kComma, ",", 0}; }
-    if (c == ';') { ++pos_; return Token{Token::Kind::kSemi, ";", 0}; }
-    if (c == ':' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
-      pos_ += 2;
-      return Token{Token::Kind::kAssign, ":=", 0};
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++pos_;
-      std::string text;
-      while (pos_ < input_.size() && input_[pos_] != quote) {
-        text += input_[pos_++];
-      }
-      if (pos_ >= input_.size()) {
-        return Status::InvalidArgument("unterminated string in MIL script");
-      }
-      ++pos_;
-      return Token{Token::Kind::kString, text, 0};
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
-      size_t end = pos_;
-      std::string text;
-      while (end < input_.size() &&
-             (std::isdigit(static_cast<unsigned char>(input_[end])) ||
-              input_[end] == '.' || input_[end] == '-' ||
-              input_[end] == 'e' || input_[end] == 'E' ||
-              input_[end] == '+')) {
-        text += input_[end++];
-      }
-      char* parse_end = nullptr;
-      const double v = std::strtod(text.c_str(), &parse_end);
-      if (parse_end == text.c_str()) {
-        return Status::InvalidArgument("bad numeric literal: " + text);
-      }
-      pos_ += static_cast<size_t>(parse_end - text.c_str());
-      return Token{Token::Kind::kNumber, text, v};
-    }
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::string text;
-      while (pos_ < input_.size() &&
-             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
-              input_[pos_] == '_')) {
-        text += input_[pos_++];
-      }
-      return Token{Token::Kind::kWord, text, 0};
-    }
-    return Status::InvalidArgument(std::string("unexpected character '") + c +
-                                   "' in MIL script");
-  }
-
- private:
-  void SkipSpaceAndComments() {
-    for (;;) {
-      while (pos_ < input_.size() &&
-             std::isspace(static_cast<unsigned char>(input_[pos_]))) {
-        ++pos_;
-      }
-      if (pos_ < input_.size() && input_[pos_] == '#') {
-        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
-        continue;
-      }
-      break;
-    }
-  }
-
-  const std::string& input_;
-  size_t pos_ = 0;
-};
+using Token = MilToken;
 
 Result<double> AsNumber(const MilValue& v, const char* context) {
   if (const double* d = std::get_if<double>(&v)) return *d;
@@ -139,7 +55,19 @@ Result<const MilValue*> MilSession::Get(const std::string& name) const {
 }
 
 Result<std::string> MilSession::Execute(const std::string& script) {
-  Lexer lexer(script);
+  // Compile-time verification first: a script that cannot execute cleanly
+  // is rejected with a positioned diagnostic before ANY operator runs, so a
+  // failing script never leaves partial side effects behind.
+  {
+    MilAnalysisContext actx;
+    actx.catalog = catalog_;
+    actx.variables = &variables_;
+    actx.trace_ready = trace_sink_ != nullptr;
+    DiagnosticList diags = AnalyzeMilScript(script, actx);
+    COBRA_RETURN_IF_ERROR(diags.ToStatus("mil"));
+  }
+
+  MilLexer lexer(script);
   std::string output;
 
   // Recursive-descent expression evaluation over the token stream. The
@@ -407,6 +335,26 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       COBRA_ASSIGN_OR_RETURN(MilValue value, parse_expr(0));
       output += ValueToString(value);
       output += "\n";
+      continue;
+    }
+    if (tok.kind == Token::Kind::kWord && tok.text == "check") {
+      COBRA_ASSIGN_OR_RETURN(Token arg, next());
+      if (arg.kind != Token::Kind::kString) {
+        return Status::InvalidArgument("check expects a quoted MIL script");
+      }
+      // Strict static analysis of the quoted script against the session's
+      // current environment; findings become output, nothing executes.
+      MilAnalysisContext actx;
+      actx.catalog = catalog_;
+      actx.variables = &variables_;
+      actx.trace_ready = trace_sink_ != nullptr;
+      actx.strict = true;
+      const DiagnosticList diags = AnalyzeMilScript(arg.text, actx);
+      if (diags.empty()) {
+        output += "check: ok\n";
+      } else {
+        output += diags.ToString("mil");
+      }
       continue;
     }
     if (tok.kind == Token::Kind::kWord && tok.text == "trace") {

@@ -7,6 +7,7 @@
 #include <variant>
 #include <vector>
 
+#include "base/diag.h"
 #include "base/status.h"
 #include "base/trace.h"
 #include "kernel/bat.h"
@@ -31,6 +32,11 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///                            appends the indented span tree to the output,
 ///                            `json` appends the JSON export, `off` stops
 ///                            recording (collected spans are kept)
+///   check '<script>';        static analysis only: runs AnalyzeMilScript in
+///                            strict mode over the quoted script (in the
+///                            session's variable/trace environment) and
+///                            appends its findings — or "check: ok" — to the
+///                            output without executing anything
 ///   <expr>;                  evaluate for effect
 ///
 /// Expressions:
@@ -57,6 +63,12 @@ class MilSession {
   explicit MilSession(Catalog* catalog);
 
   /// Runs a script; returns the PRINT output (one line per PRINT).
+  ///
+  /// Every script is first verified by AnalyzeMilScript: type, arity,
+  /// use-before-define, and catalog errors are rejected with a positioned
+  /// "mil:LINE:COL: error: ..." diagnostic BEFORE any operator executes, so
+  /// a failing script never leaves partial side effects (no variables
+  /// assigned, no BATs persisted, threadcnt unchanged).
   Result<std::string> Execute(const std::string& script);
 
   /// Reads a session variable (for host code after Execute).
@@ -77,6 +89,34 @@ class MilSession {
   ExecContext exec_;
   std::unique_ptr<trace::TraceSink> trace_sink_;
 };
+
+/// Environment a MIL script is analyzed against: the catalog its bat()/
+/// persist()/info() calls resolve in, the session variables already bound
+/// (their static types seed the analysis), and whether `trace on` has
+/// already run (so `trace dump` in a later Execute is legal).
+struct MilAnalysisContext {
+  const Catalog* catalog = nullptr;
+  const std::map<std::string, MilValue>* variables = nullptr;
+  bool trace_ready = false;
+  /// Strict (`check` statement) mode: stale-snapshot hazards — a variable
+  /// bound by bat('x') used after persist('x', ...) replaced the catalog
+  /// BAT — are errors. In engine mode they are warnings, because MIL's
+  /// value semantics make the read well-defined (merely stale).
+  bool strict = false;
+};
+
+/// Static "compile-time" verification of a MIL script: infers the static
+/// type (number / string / BAT-with-tail-type) of every expression through
+/// the script and reports use-before-define, arity and argument-type
+/// mismatches, string ops on numeric tails (and vice versa), unknown
+/// catalog/function names, out-of-range threadcnt literals, trace-state
+/// violations, and aggregate calls on provably empty BATs — each with the
+/// 1-based line/column of the offending token and the StatusCode execution
+/// would have failed with. Conservative by construction: anything whose
+/// type or value is not statically known passes, so a script the
+/// interpreter would execute successfully is never rejected.
+DiagnosticList AnalyzeMilScript(const std::string& script,
+                                const MilAnalysisContext& context);
 
 }  // namespace cobra::kernel
 

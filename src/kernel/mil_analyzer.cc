@@ -1,0 +1,648 @@
+// Static verification of MIL scripts (AnalyzeMilScript, declared in mil.h).
+//
+// The analyzer is a mirror of the interpreter in mil.cc over an abstract
+// value domain: instead of BATs/doubles/strings it propagates static types
+// (plus literal values and provable row counts where available) through the
+// same LL(1) grammar, driven by the same MilLexer, in the same evaluation
+// order. Because MIL is straight-line — no control flow — the abstract walk
+// visits exactly the states the interpreter would, which gives the two key
+// properties:
+//
+//  * soundness of rejection: every error reported here is an error the
+//    interpreter would also have raised (same message, same StatusCode),
+//    except that the analyzer raises it before ANY operator has run;
+//  * zero false rejections: whenever a type or value is not statically
+//    known (kAny), every check involving it passes.
+//
+// The one assumption is single-writer catalog access during a script: a
+// bat('x') name resolved at analysis time is assumed to still resolve the
+// same way moments later at execution time.
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/diag.h"
+#include "base/strings.h"
+#include "kernel/mil.h"
+#include "kernel/mil_lexer.h"
+
+namespace cobra::kernel {
+namespace {
+
+constexpr int kMaxExprDepth = 200;  // keep in sync with mil.cc
+
+/// Static approximation of a MilValue.
+struct SType {
+  enum class Kind { kNumber, kString, kBat, kAny };
+  Kind kind = Kind::kAny;
+
+  // kBat: tail type and row count when provable.
+  bool tail_known = false;
+  TailType tail = TailType::kInt;
+  bool rows_known = false;
+  size_t rows = 0;
+  /// Catalog name this BAT is a snapshot of (set by bat('x')); used for the
+  /// stale-snapshot hazard when persist('x', ...) later replaces the BAT.
+  std::string snapshot_of;
+
+  // kNumber / kString: literal value when statically known.
+  bool value_known = false;
+  double number = 0.0;
+  std::string str;
+
+  static SType Any() { return SType{}; }
+  static SType Num() {
+    SType t;
+    t.kind = Kind::kNumber;
+    return t;
+  }
+  static SType NumVal(double v) {
+    SType t = Num();
+    t.value_known = true;
+    t.number = v;
+    return t;
+  }
+  static SType Str() {
+    SType t;
+    t.kind = Kind::kString;
+    return t;
+  }
+  static SType StrVal(std::string s) {
+    SType t = Str();
+    t.value_known = true;
+    t.str = std::move(s);
+    return t;
+  }
+  static SType BatAny() {
+    SType t;
+    t.kind = Kind::kBat;
+    return t;
+  }
+  static SType BatOf(TailType tail) {
+    SType t = BatAny();
+    t.tail_known = true;
+    t.tail = tail;
+    return t;
+  }
+
+  bool IsNumericTail() const {
+    return tail == TailType::kInt || tail == TailType::kFloat;
+  }
+};
+
+class MilAnalyzer {
+ public:
+  MilAnalyzer(const std::string& script, const MilAnalysisContext& ctx)
+      : lexer_(script), ctx_(ctx), trace_ready_(ctx.trace_ready) {
+    SeedSessionVariables();
+  }
+
+  DiagnosticList Run() {
+    for (;;) {
+      MilToken tok;
+      if (!Next(&tok)) break;
+      if (tok.kind == MilToken::Kind::kEnd) break;
+      if (tok.kind == MilToken::Kind::kSemi) continue;
+
+      if (tok.kind == MilToken::Kind::kWord && tok.text == "VAR") {
+        MilToken name;
+        if (!Next(&name)) break;
+        if (name.kind != MilToken::Kind::kWord) {
+          Error(name, "expected variable name after VAR");
+          break;
+        }
+        MilToken assign;
+        if (!Next(&assign)) break;
+        if (assign.kind != MilToken::Kind::kAssign) {
+          Error(assign, "expected ':=' after VAR " + name.text);
+          break;
+        }
+        std::optional<SType> value = ParseExpr(0);
+        if (!value) break;
+        vars_.insert_or_assign(name.text, *value);
+        continue;
+      }
+      if (tok.kind == MilToken::Kind::kWord && tok.text == "PRINT") {
+        if (!ParseExpr(0)) break;
+        continue;
+      }
+      if (tok.kind == MilToken::Kind::kWord && tok.text == "trace") {
+        if (!AnalyzeTrace()) break;
+        continue;
+      }
+      if (tok.kind == MilToken::Kind::kWord && tok.text == "check") {
+        // Strict-mode analysis of the quoted script happens at runtime; its
+        // findings are output, not errors, so they do not invalidate the
+        // enclosing script. Only the statement's own shape is checked here.
+        MilToken arg;
+        if (!Next(&arg)) break;
+        if (arg.kind != MilToken::Kind::kString) {
+          Error(arg, "check expects a quoted MIL script");
+          break;
+        }
+        continue;
+      }
+      if (tok.kind == MilToken::Kind::kWord) {
+        MilToken after;
+        if (!Next(&after)) break;
+        if (after.kind == MilToken::Kind::kAssign) {
+          if (vars_.count(tok.text) == 0) {
+            Error(tok, "assignment to undeclared variable " + tok.text,
+                  StatusCode::kNotFound);
+            break;
+          }
+          std::optional<SType> value = ParseExpr(0);
+          if (!value) break;
+          vars_.insert_or_assign(tok.text, *value);
+          continue;
+        }
+        PushBack(std::move(after));
+      }
+      PushBack(std::move(tok));
+      if (!ParseExpr(0)) break;
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  // -- Token plumbing (mirrors mil.cc's pushback stack) --------------------
+
+  bool Next(MilToken* tok) {
+    if (!pushed_.empty()) {
+      *tok = std::move(pushed_.back());
+      pushed_.pop_back();
+      cur_line_ = tok->line;
+      cur_col_ = tok->col;
+      return true;
+    }
+    Result<MilToken> next = lexer_.Next();
+    if (!next.ok()) {
+      diags_.Error(lexer_.token_line(), lexer_.token_col(),
+                   next.status().message(), next.status().code());
+      return false;
+    }
+    *tok = std::move(next).value();
+    cur_line_ = tok->line;
+    cur_col_ = tok->col;
+    return true;
+  }
+
+  void PushBack(MilToken tok) { pushed_.push_back(std::move(tok)); }
+
+  void Error(const MilToken& at, std::string message,
+             StatusCode code = StatusCode::kInvalidArgument) {
+    diags_.Error(at.line, at.col, std::move(message), code);
+  }
+
+  // -- Environment ---------------------------------------------------------
+
+  void SeedSessionVariables() {
+    if (ctx_.variables == nullptr) return;
+    for (const auto& [name, value] : *ctx_.variables) {
+      if (const double* d = std::get_if<double>(&value)) {
+        vars_[name] = SType::NumVal(*d);
+      } else if (const std::string* s = std::get_if<std::string>(&value)) {
+        vars_[name] = SType::StrVal(*s);
+      } else {
+        const Bat& bat = std::get<Bat>(value);
+        SType t = SType::BatOf(bat.tail_type());
+        t.rows_known = true;
+        t.rows = bat.size();
+        vars_[name] = t;
+      }
+    }
+  }
+
+  /// Resolves a catalog BAT name through the in-script persist() overlay,
+  /// then the real catalog. Returns false after recording a NotFound
+  /// diagnostic; on success *tail is the tail type when known.
+  bool LookupCatalog(const std::string& name, const MilToken& at,
+                     std::optional<TailType>* tail) {
+    auto overlay = overlay_.find(name);
+    if (overlay != overlay_.end()) {
+      *tail = overlay->second;
+      return true;
+    }
+    if (ctx_.catalog == nullptr) {
+      tail->reset();
+      return true;
+    }
+    Result<const Bat*> bat = ctx_.catalog->Get(name);
+    if (!bat.ok()) {
+      // A persist() whose target name was not statically known could have
+      // created this binding by execution time — stay conservative then.
+      if (overlay_wildcard_) {
+        tail->reset();
+        return true;
+      }
+      Error(at, bat.status().message(), bat.status().code());
+      return false;
+    }
+    *tail = (*bat)->tail_type();
+    return true;
+  }
+
+  // -- Statements ----------------------------------------------------------
+
+  bool AnalyzeTrace() {
+    MilToken mode;
+    if (!Next(&mode)) return false;
+    if (mode.kind != MilToken::Kind::kWord) {
+      Error(mode, "trace expects on|off|dump|json");
+      return false;
+    }
+    if (mode.text == "on") {
+      trace_ready_ = true;
+    } else if (mode.text == "off") {
+      // The sink is kept, so a later dump/json stays legal.
+    } else if (mode.text == "dump" || mode.text == "json") {
+      if (!trace_ready_) {
+        Error(mode, "trace has not been enabled; run 'trace on' first",
+              StatusCode::kFailedPrecondition);
+        return false;
+      }
+    } else {
+      Error(mode, "trace expects on|off|dump|json, got '" + mode.text + "'");
+      return false;
+    }
+    return true;
+  }
+
+  // -- Expressions ---------------------------------------------------------
+
+  std::optional<SType> ParseExpr(int depth) {
+    if (depth > kMaxExprDepth) {
+      diags_.Error(cur_line_, cur_col_, "MIL expression nested too deeply");
+      return std::nullopt;
+    }
+    MilToken tok;
+    if (!Next(&tok)) return std::nullopt;
+    if (tok.kind == MilToken::Kind::kNumber) return SType::NumVal(tok.number);
+    if (tok.kind == MilToken::Kind::kString) return SType::StrVal(tok.text);
+    if (tok.kind != MilToken::Kind::kWord) {
+      Error(tok, "expected expression, got '" + tok.text + "'");
+      return std::nullopt;
+    }
+    const MilToken name_tok = tok;
+    const std::string name = tok.text;
+    MilToken after;
+    if (!Next(&after)) return std::nullopt;
+    if (after.kind != MilToken::Kind::kLParen) {
+      PushBack(std::move(after));
+      auto it = vars_.find(name);
+      if (it == vars_.end()) {
+        Error(name_tok, "unknown MIL variable " + name, StatusCode::kNotFound);
+        return std::nullopt;
+      }
+      const SType& value = it->second;
+      if (!value.snapshot_of.empty() &&
+          persisted_.count(value.snapshot_of) != 0) {
+        const std::string message =
+            "variable '" + name + "' reads a snapshot of BAT '" +
+            value.snapshot_of + "' taken before persist('" +
+            value.snapshot_of + "', ...) replaced it";
+        if (ctx_.strict) {
+          Error(name_tok, message, StatusCode::kFailedPrecondition);
+          return std::nullopt;
+        }
+        diags_.Warning(name_tok.line, name_tok.col, message);
+      }
+      return value;
+    }
+    // Function call: parse comma-separated arguments.
+    std::vector<SType> args;
+    std::vector<MilToken> arg_toks;
+    MilToken peek;
+    if (!Next(&peek)) return std::nullopt;
+    if (peek.kind != MilToken::Kind::kRParen) {
+      PushBack(std::move(peek));
+      for (;;) {
+        MilToken first;
+        if (!Next(&first)) return std::nullopt;
+        arg_toks.push_back(first);
+        PushBack(std::move(first));
+        std::optional<SType> arg = ParseExpr(depth + 1);
+        if (!arg) return std::nullopt;
+        args.push_back(*arg);
+        MilToken sep;
+        if (!Next(&sep)) return std::nullopt;
+        if (sep.kind == MilToken::Kind::kRParen) break;
+        if (sep.kind != MilToken::Kind::kComma) {
+          Error(sep, "expected ',' or ')' in call to " + name);
+          return std::nullopt;
+        }
+      }
+    }
+    return CheckCall(name_tok, name, args, arg_toks);
+  }
+
+  std::optional<SType> CheckCall(const MilToken& name_tok,
+                                 const std::string& name,
+                                 const std::vector<SType>& args,
+                                 const std::vector<MilToken>& arg_toks) {
+    auto arity = [&](size_t n) -> bool {
+      if (args.size() != n) {
+        Error(name_tok, StrFormat("%s expects %zu arguments, got %zu",
+                                  name.c_str(), n, args.size()));
+        return false;
+      }
+      return true;
+    };
+    // Definitely-wrong checks only: kAny always passes.
+    auto require_bat = [&](size_t i, const std::string& context) -> bool {
+      if (args[i].kind == SType::Kind::kNumber ||
+          args[i].kind == SType::Kind::kString) {
+        Error(arg_toks[i], "expected a BAT for " + context);
+        return false;
+      }
+      return true;
+    };
+    auto require_number = [&](size_t i, const std::string& context) -> bool {
+      if (args[i].kind == SType::Kind::kString ||
+          args[i].kind == SType::Kind::kBat) {
+        Error(arg_toks[i], "expected a number for " + context);
+        return false;
+      }
+      return true;
+    };
+    auto definitely_not_string = [&](size_t i) -> bool {
+      return args[i].kind == SType::Kind::kNumber ||
+             args[i].kind == SType::Kind::kBat;
+    };
+
+    if (name == "bat") {
+      if (!arity(1)) return std::nullopt;
+      if (definitely_not_string(0)) {
+        Error(arg_toks[0], "bat() expects a name string");
+        return std::nullopt;
+      }
+      SType out = SType::BatAny();
+      if (args[0].value_known) {
+        std::optional<TailType> tail;
+        if (!LookupCatalog(args[0].str, arg_toks[0], &tail)) {
+          return std::nullopt;
+        }
+        if (tail) {
+          out.tail_known = true;
+          out.tail = *tail;
+        }
+        out.snapshot_of = args[0].str;
+      }
+      return out;
+    }
+    if (name == "persist") {
+      if (!arity(2)) return std::nullopt;
+      if (definitely_not_string(0)) {
+        Error(arg_toks[0], "persist() expects a name string");
+        return std::nullopt;
+      }
+      if (!require_bat(1, "persist")) return std::nullopt;
+      if (args[0].value_known) {
+        overlay_[args[0].str] =
+            args[1].tail_known ? std::optional<TailType>(args[1].tail)
+                               : std::nullopt;
+        persisted_.insert(args[0].str);
+      } else {
+        overlay_wildcard_ = true;
+      }
+      SType out = args[1];
+      out.kind = SType::Kind::kBat;
+      return out;
+    }
+    if (name == "new") {
+      if (!arity(1)) return std::nullopt;
+      if (definitely_not_string(0)) {
+        Error(arg_toks[0], "new() expects a type string");
+        return std::nullopt;
+      }
+      SType out = SType::BatAny();
+      if (args[0].value_known) {
+        const std::string& type = args[0].str;
+        if (type == "int") {
+          out = SType::BatOf(TailType::kInt);
+        } else if (type == "dbl") {
+          out = SType::BatOf(TailType::kFloat);
+        } else if (type == "str") {
+          out = SType::BatOf(TailType::kStr);
+        } else if (type == "oid") {
+          out = SType::BatOf(TailType::kOid);
+        } else {
+          Error(arg_toks[0], "unknown BAT type " + type);
+          return std::nullopt;
+        }
+        out.rows_known = true;
+        out.rows = 0;
+      }
+      return out;
+    }
+    if (name == "insert") {
+      if (!arity(3)) return std::nullopt;
+      if (!require_bat(0, "insert")) return std::nullopt;
+      if (!require_number(1, "insert head")) return std::nullopt;
+      if (args[0].tail_known) {
+        if (args[0].tail == TailType::kStr) {
+          if (args[2].kind == SType::Kind::kNumber ||
+              args[2].kind == SType::Kind::kBat) {
+            Error(arg_toks[2], "insert tail must be a string");
+            return std::nullopt;
+          }
+        } else if (args[2].kind == SType::Kind::kString ||
+                   args[2].kind == SType::Kind::kBat) {
+          Error(arg_toks[2], "expected a number for insert tail");
+          return std::nullopt;
+        }
+      }
+      SType out = args[0];
+      out.kind = SType::Kind::kBat;
+      if (out.rows_known) ++out.rows;
+      return out;
+    }
+    if (name == "select") {
+      if (args.size() == 2) {
+        if (!require_bat(0, "select")) return std::nullopt;
+        if (definitely_not_string(1)) {
+          Error(arg_toks[1], "two-argument select expects a string");
+          return std::nullopt;
+        }
+        if (args[0].tail_known && args[0].tail != TailType::kStr) {
+          Error(arg_toks[0], "SelectStr requires a str tail");
+          return std::nullopt;
+        }
+        // On the success path the input tail was str, so the output is too.
+        SType out = SType::BatOf(TailType::kStr);
+        out.snapshot_of = args[0].snapshot_of;
+        return out;
+      }
+      if (!arity(3)) return std::nullopt;
+      if (!require_bat(0, "select")) return std::nullopt;
+      if (!require_number(1, "select lo")) return std::nullopt;
+      if (!require_number(2, "select hi")) return std::nullopt;
+      if (args[0].tail_known && !args[0].IsNumericTail()) {
+        Error(arg_toks[0], "SelectRange requires a numeric tail");
+        return std::nullopt;
+      }
+      SType out = args[0].tail_known ? SType::BatOf(args[0].tail)
+                                     : SType::BatAny();
+      out.snapshot_of = args[0].snapshot_of;
+      return out;
+    }
+    if (name == "threadcnt") {
+      if (!arity(1)) return std::nullopt;
+      if (!require_number(0, "threadcnt")) return std::nullopt;
+      if (args[0].value_known) {
+        const double n = args[0].number;
+        if (n < 1.0 || n != std::floor(n) || n > 1024.0) {
+          Error(arg_toks[0],
+                StrFormat("threadcnt expects an integer in [1, 1024], got %g",
+                          n));
+          return std::nullopt;
+        }
+        return SType::NumVal(n);
+      }
+      return SType::Num();
+    }
+    if (name == "join" || name == "semijoin" || name == "diff") {
+      if (!arity(2)) return std::nullopt;
+      if (!require_bat(0, name)) return std::nullopt;
+      if (!require_bat(1, name)) return std::nullopt;
+      if (name == "join") {
+        if (args[0].tail_known && args[0].tail != TailType::kOid) {
+          Error(arg_toks[0], "Join needs an oid tail on the left BAT");
+          return std::nullopt;
+        }
+        SType out = args[1].tail_known ? SType::BatOf(args[1].tail)
+                                       : SType::BatAny();
+        return out;
+      }
+      SType out = args[0].tail_known ? SType::BatOf(args[0].tail)
+                                     : SType::BatAny();
+      out.snapshot_of = args[0].snapshot_of;
+      return out;
+    }
+    if (name == "concat") {
+      if (!arity(2)) return std::nullopt;
+      if (!require_bat(0, "concat")) return std::nullopt;
+      if (!require_bat(1, "concat")) return std::nullopt;
+      if (args[0].tail_known && args[1].tail_known &&
+          args[0].tail != args[1].tail) {
+        Error(name_tok, "concat requires matching tail types");
+        return std::nullopt;
+      }
+      SType out;
+      if (args[0].tail_known) {
+        out = SType::BatOf(args[0].tail);
+      } else if (args[1].tail_known) {
+        out = SType::BatOf(args[1].tail);
+      } else {
+        out = SType::BatAny();
+      }
+      if (args[0].rows_known && args[1].rows_known) {
+        out.rows_known = true;
+        out.rows = args[0].rows + args[1].rows;
+      }
+      out.snapshot_of = args[0].snapshot_of;
+      return out;
+    }
+    if (name == "info") {
+      if (!arity(1)) return std::nullopt;
+      if (args[0].kind == SType::Kind::kString) {
+        if (args[0].value_known) {
+          std::optional<TailType> tail;
+          if (!LookupCatalog(args[0].str, arg_toks[0], &tail)) {
+            return std::nullopt;
+          }
+        }
+      } else if (args[0].kind == SType::Kind::kNumber) {
+        Error(arg_toks[0], "expected a BAT for info");
+        return std::nullopt;
+      }
+      return SType::Str();
+    }
+    if (name == "reverse" || name == "mirror") {
+      if (!arity(1)) return std::nullopt;
+      if (!require_bat(0, name)) return std::nullopt;
+      if (name == "reverse" && args[0].tail_known &&
+          args[0].tail != TailType::kOid) {
+        Error(arg_toks[0], "Reverse requires an oid tail");
+        return std::nullopt;
+      }
+      SType out = SType::BatOf(TailType::kOid);
+      out.rows_known = args[0].rows_known;
+      out.rows = args[0].rows;
+      out.snapshot_of = args[0].snapshot_of;
+      return out;
+    }
+    if (name == "slice") {
+      if (!arity(3)) return std::nullopt;
+      if (!require_bat(0, "slice")) return std::nullopt;
+      if (!require_number(1, "slice begin")) return std::nullopt;
+      if (!require_number(2, "slice end")) return std::nullopt;
+      SType out = args[0].tail_known ? SType::BatOf(args[0].tail)
+                                     : SType::BatAny();
+      out.snapshot_of = args[0].snapshot_of;
+      return out;
+    }
+    if (name == "sum" || name == "max" || name == "min" || name == "count") {
+      if (!arity(1)) return std::nullopt;
+      if (!require_bat(0, name)) return std::nullopt;
+      if (name == "count") {
+        if (args[0].rows_known) {
+          return SType::NumVal(static_cast<double>(args[0].rows));
+        }
+        return SType::Num();
+      }
+      // Mirror the runtime check order: Min/ArgMax test emptiness before
+      // the tail type (Max delegates to ArgMax, hence its messages).
+      if (name != "sum" && args[0].rows_known && args[0].rows == 0) {
+        Error(name_tok,
+              name == "min" ? "Min of empty BAT" : "ArgMax of empty BAT",
+              StatusCode::kFailedPrecondition);
+        return std::nullopt;
+      }
+      if (args[0].tail_known && !args[0].IsNumericTail()) {
+        if (name == "sum") {
+          Error(arg_toks[0], "Sum requires a numeric tail");
+        } else if (name == "min") {
+          Error(arg_toks[0], "Min requires a numeric tail");
+        } else {
+          Error(arg_toks[0], "ArgMax requires a numeric tail");
+        }
+        return std::nullopt;
+      }
+      return SType::Num();
+    }
+    Error(name_tok, "unknown MIL function " + name);
+    return std::nullopt;
+  }
+
+  MilLexer lexer_;
+  const MilAnalysisContext& ctx_;
+  DiagnosticList diags_;
+  std::vector<MilToken> pushed_;
+  int cur_line_ = 1;
+  int cur_col_ = 1;
+
+  std::map<std::string, SType> vars_;
+  /// Names persist()ed by this script (shadowing the catalog), with their
+  /// tail type when statically known.
+  std::map<std::string, std::optional<TailType>> overlay_;
+  /// True after a persist() whose target name was not statically known: any
+  /// catalog-miss after that point may be satisfied at runtime.
+  bool overlay_wildcard_ = false;
+  std::set<std::string> persisted_;
+  bool trace_ready_ = false;
+};
+
+}  // namespace
+
+DiagnosticList AnalyzeMilScript(const std::string& script,
+                                const MilAnalysisContext& context) {
+  return MilAnalyzer(script, context).Run();
+}
+
+}  // namespace cobra::kernel

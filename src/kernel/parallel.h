@@ -14,6 +14,8 @@ namespace cobra::kernel {
 /// model servers) funnel their concurrency through this single operator.
 /// Waiting is scoped to the caller's own tasks (TaskGroup), so concurrent
 /// ParallelExec calls on the shared pool never block on each other's work.
+/// The pool/group lock discipline is capability-annotated in
+/// base/thread_pool.h and checked by the `lint` preset.
 void ParallelExec(const std::vector<std::function<void()>>& tasks);
 
 /// The pool used by ParallelExec; sized to the hardware concurrency, created

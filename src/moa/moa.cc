@@ -52,13 +52,28 @@ Result<kernel::Oid> MoaSession::NewObject(const std::string& cls) {
   return oid;
 }
 
+Result<kernel::TailType> MoaSession::AttrType(const std::string& cls,
+                                              const std::string& attr) const {
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) return Status::NotFound("no class " + cls);
+  auto attr_it = it->second.attributes.find(attr);
+  if (attr_it == it->second.attributes.end()) {
+    return Status::NotFound("no attribute " + attr + " on " + cls);
+  }
+  return attr_it->second;
+}
+
 Status MoaSession::SetAttr(const std::string& cls, kernel::Oid oid,
                            const std::string& attr,
                            const kernel::Value& value) {
-  auto it = classes_.find(cls);
-  if (it == classes_.end()) return Status::NotFound("no class " + cls);
-  if (it->second.attributes.count(attr) == 0) {
-    return Status::NotFound("no attribute " + attr + " on " + cls);
+  COBRA_ASSIGN_OR_RETURN(const kernel::TailType declared, AttrType(cls, attr));
+  // Schema pre-check: a mistyped value is rejected here, before the catalog
+  // lookup, instead of by Bat::Append mid-write.
+  if (value.type() != declared) {
+    return Status::InvalidArgument(
+        "attribute " + cls + "." + attr + " is " +
+        std::string(kernel::TailTypeName(declared)) + ", got " +
+        std::string(kernel::TailTypeName(value.type())));
   }
   COBRA_ASSIGN_OR_RETURN(kernel::Bat * bat,
                          catalog_->Get(AttrName(cls, attr)));

@@ -48,7 +48,14 @@ class MoaSession {
   /// Allocates a fresh object of `cls`, appending to the extent.
   Result<kernel::Oid> NewObject(const std::string& cls);
 
-  /// Sets an attribute value (appends to the attribute BAT).
+  /// Declared tail type of a class attribute — the schema probe used by
+  /// static pre-checks (SetAttr's type validation, the analyzer layer).
+  Result<kernel::TailType> AttrType(const std::string& cls,
+                                    const std::string& attr) const;
+
+  /// Sets an attribute value (appends to the attribute BAT). The value's
+  /// type is validated against the declared schema BEFORE any catalog
+  /// access, so a mistyped write is rejected without touching storage.
   Status SetAttr(const std::string& cls, kernel::Oid oid,
                  const std::string& attr, const kernel::Value& value);
 

@@ -1,0 +1,267 @@
+// Static analysis for the retrieval language (AnalyzeQueryText) and the
+// pre-execution plan verifier (VerifyPlan), declared in analyzer.h.
+//
+// AnalyzeQueryText is a positioned mirror of ParseQuery: same lexer rules,
+// same grammar walk, same error strings — plus the line/column of the token
+// each error points at. Keeping the two in lockstep is what makes the
+// accept-parity guarantee testable (see analyzer_test.cc): for every input,
+// AnalyzeQueryText(text).ok() == ParseQuery(text).ok().
+
+#include "query/analyzer.h"
+
+#include <cctype>
+#include <map>
+
+#include "base/strings.h"
+
+namespace cobra::query {
+namespace {
+
+/// A retrieval-language token with the 1-based position of its first
+/// character. Token rules are identical to parser.cc's Lexer.
+struct QToken {
+  enum class Kind { kWord, kString, kEquals, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 1;
+  int col = 1;
+};
+
+class QLexer {
+ public:
+  explicit QLexer(const std::string& input) : input_(input) {}
+
+  Result<QToken> Next() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      Bump();
+    }
+    token_line_ = line_;
+    token_col_ = col_;
+    if (pos_ >= input_.size()) return Make(QToken::Kind::kEnd, "");
+    const char c = input_[pos_];
+    if (c == '=') {
+      Bump();
+      return Make(QToken::Kind::kEquals, "=");
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      Bump();
+      std::string text;
+      while (pos_ < input_.size() && input_[pos_] != quote) {
+        text += input_[pos_];
+        Bump();
+      }
+      if (pos_ >= input_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      Bump();  // closing quote
+      return Make(QToken::Kind::kString, std::move(text));
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+        c == '.') {
+      std::string text;
+      while (pos_ < input_.size()) {
+        const char d = input_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '-' || d == '.') {
+          text += d;
+          Bump();
+        } else {
+          break;
+        }
+      }
+      return Make(QToken::Kind::kWord, std::move(text));
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in query");
+  }
+
+  int token_line() const { return token_line_; }
+  int token_col() const { return token_col_; }
+
+ private:
+  QToken Make(QToken::Kind kind, std::string text) const {
+    QToken tok;
+    tok.kind = kind;
+    tok.text = std::move(text);
+    tok.line = token_line_;
+    tok.col = token_col_;
+    return tok;
+  }
+
+  void Bump() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int token_line_ = 1;
+  int token_col_ = 1;
+};
+
+bool IsKeyword(const QToken& tok, const char* kw) {
+  return tok.kind == QToken::Kind::kWord && ToUpperAscii(tok.text) == kw;
+}
+
+/// Grammar mirror of ParseQuery. Records at most one diagnostic (the walk
+/// stops at the first error, exactly where the parser would).
+class QueryAnalyzer {
+ public:
+  explicit QueryAnalyzer(const std::string& text) : lexer_(text) {}
+
+  DiagnosticList Run() {
+    QToken tok;
+    if (!Next(&tok)) return std::move(diags_);
+    bool profile = false;
+    if (IsKeyword(tok, "PROFILE")) {
+      profile = true;
+      if (!Next(&tok)) return std::move(diags_);
+    }
+    if (!IsKeyword(tok, "RETRIEVE")) {
+      Error(tok, profile ? "expected RETRIEVE after PROFILE"
+                         : "query must start with RETRIEVE");
+      return std::move(diags_);
+    }
+    if (!Next(&tok)) return std::move(diags_);
+    if (tok.kind != QToken::Kind::kWord) {
+      Error(tok, "expected event type after RETRIEVE");
+      return std::move(diags_);
+    }
+    if (!Next(&tok)) return std::move(diags_);
+    if (!IsKeyword(tok, "FROM")) {
+      Error(tok, "expected FROM after event type");
+      return std::move(diags_);
+    }
+    if (!Next(&tok)) return std::move(diags_);
+    if (tok.kind != QToken::Kind::kString && tok.kind != QToken::Kind::kWord) {
+      Error(tok, "expected video name after FROM");
+      return std::move(diags_);
+    }
+    if (!Next(&tok)) return std::move(diags_);
+    if (IsKeyword(tok, "WHERE")) {
+      if (!AnalyzeWhere(&tok)) return std::move(diags_);
+    }
+
+    static const std::map<std::string, TemporalOp> kTemporalOps = {
+        {"DURING", TemporalOp::kDuring},
+        {"OVERLAPPING", TemporalOp::kOverlapping},
+        {"BEFORE", TemporalOp::kBefore},
+        {"AFTER", TemporalOp::kAfter},
+        {"CONTAINING", TemporalOp::kContaining},
+    };
+    if (tok.kind == QToken::Kind::kWord &&
+        kTemporalOps.count(ToUpperAscii(tok.text)) != 0) {
+      if (!Next(&tok)) return std::move(diags_);
+      if (tok.kind != QToken::Kind::kWord) {
+        Error(tok, "expected event type after temporal operator");
+        return std::move(diags_);
+      }
+      if (!Next(&tok)) return std::move(diags_);
+      if (IsKeyword(tok, "WHERE")) {
+        if (!AnalyzeWhere(&tok)) return std::move(diags_);
+      }
+    }
+
+    if (IsKeyword(tok, "PREFER")) {
+      if (!Next(&tok)) return std::move(diags_);
+      if (!IsKeyword(tok, "QUALITY") && !IsKeyword(tok, "COST")) {
+        Error(tok, "expected QUALITY or COST after PREFER");
+        return std::move(diags_);
+      }
+      if (!Next(&tok)) return std::move(diags_);
+    }
+
+    if (tok.kind != QToken::Kind::kEnd) {
+      Error(tok, "unexpected trailing token: " + tok.text);
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  bool Next(QToken* tok) {
+    Result<QToken> next = lexer_.Next();
+    if (!next.ok()) {
+      diags_.Error(lexer_.token_line(), lexer_.token_col(),
+                   next.status().message(), next.status().code());
+      return false;
+    }
+    *tok = std::move(next).value();
+    return true;
+  }
+
+  void Error(const QToken& at, std::string message) {
+    diags_.Error(at.line, at.col, std::move(message),
+                 StatusCode::kInvalidArgument);
+  }
+
+  /// WHERE clause mirror: on entry *tok is the WHERE keyword; on true
+  /// return, *tok is the first token past the clause.
+  bool AnalyzeWhere(QToken* tok) {
+    if (!Next(tok)) return false;
+    for (;;) {
+      if (tok->kind != QToken::Kind::kWord) {
+        Error(*tok, "expected attribute name in WHERE");
+        return false;
+      }
+      const std::string key = ToLowerAscii(tok->text);
+      QToken eq;
+      if (!Next(&eq)) return false;
+      if (eq.kind != QToken::Kind::kEquals) {
+        Error(eq, "expected '=' after attribute " + key);
+        return false;
+      }
+      QToken value;
+      if (!Next(&value)) return false;
+      if (value.kind != QToken::Kind::kString &&
+          value.kind != QToken::Kind::kWord) {
+        Error(value, "expected value after '='");
+        return false;
+      }
+      if (!Next(tok)) return false;
+      if (!IsKeyword(*tok, "AND")) break;
+      if (!Next(tok)) return false;
+    }
+    return true;
+  }
+
+  QLexer lexer_;
+  DiagnosticList diags_;
+};
+
+}  // namespace
+
+DiagnosticList AnalyzeQueryText(const std::string& text) {
+  return QueryAnalyzer(text).Run();
+}
+
+Status VerifyPlan(const ParsedQuery& query, const model::VideoCatalog& catalog,
+                  const extensions::ExtensionRegistry& registry) {
+  COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
+                         catalog.FindVideo(query.video));
+  auto satisfiable = [&](const std::string& type) {
+    return catalog.HasEvents(video.id, type) ||
+           !registry.Providers(type).empty();
+  };
+  // Mirrors EnsureAvailable's failure exactly, minus its side effects.
+  if (!satisfiable(query.primary.type)) {
+    return Status::NotFound("no metadata and no extraction method for '" +
+                            query.primary.type + "'");
+  }
+  if (query.temporal_op != TemporalOp::kNone &&
+      !satisfiable(query.secondary.type)) {
+    return Status::NotFound("no metadata and no extraction method for '" +
+                            query.secondary.type + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace cobra::query

@@ -1,0 +1,34 @@
+#ifndef COBRA_QUERY_ANALYZER_H_
+#define COBRA_QUERY_ANALYZER_H_
+
+#include <string>
+
+#include "base/diag.h"
+#include "base/status.h"
+#include "cobra/video_model.h"
+#include "extensions/extension.h"
+#include "query/parser.h"
+
+namespace cobra::query {
+
+/// Static verification of retrieval-query text: walks the exact grammar
+/// ParseQuery accepts (mirroring its error messages) and reports every
+/// syntax error with the 1-based line/column of the offending token. A text
+/// this returns ok() for always parses; a rejected text never reaches the
+/// parser, let alone an operator. Used by QueryEngine::Execute(text) to
+/// front-run the parser with positioned diagnostics.
+DiagnosticList AnalyzeQueryText(const std::string& text);
+
+/// Pre-execution plan verification (the preprocessor's contract, checked
+/// statically): the plan's video must be registered, and both its event
+/// patterns must be satisfiable — existing event metadata OR at least one
+/// registered extension able to extract the type. Returns the exact Status
+/// execution would have failed with, but before the result cache is
+/// consulted or any extraction engine fires. Read-only: verification never
+/// mutates the catalog.
+Status VerifyPlan(const ParsedQuery& query, const model::VideoCatalog& catalog,
+                  const extensions::ExtensionRegistry& registry);
+
+}  // namespace cobra::query
+
+#endif  // COBRA_QUERY_ANALYZER_H_

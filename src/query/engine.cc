@@ -7,6 +7,7 @@
 #include "base/logging.h"
 #include "base/strings.h"
 #include "base/trace.h"
+#include "query/analyzer.h"
 
 namespace cobra::query {
 
@@ -39,6 +40,11 @@ QueryEngine::QueryEngine(model::VideoCatalog* catalog,
 }
 
 Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
+  // Static analysis first: malformed text is rejected here with
+  // line:column diagnostics, before the parser (let alone any operator)
+  // runs. A text the analyzer accepts always parses (analyzer_test pins
+  // accept-parity over the fuzz corpora).
+  COBRA_RETURN_IF_ERROR(AnalyzeQueryText(query_text).ToStatus("query"));
   COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
   return Execute(parsed);
 }
@@ -148,6 +154,7 @@ std::string QueryEngine::CacheKey(const ParsedQuery& query) {
 }
 
 CacheStats QueryEngine::cache_stats() const {
+  MutexLock lock(cache_mu_);
   CacheStats stats;
   stats.hits = cache_hits_;
   stats.misses = cache_misses_;
@@ -157,18 +164,61 @@ CacheStats QueryEngine::cache_stats() const {
   return stats;
 }
 
-void QueryEngine::set_cache_capacity(size_t capacity) {
-  cache_capacity_ = capacity;
-  while (lru_.size() > cache_capacity_) {
+size_t QueryEngine::cache_capacity() const {
+  MutexLock lock(cache_mu_);
+  return cache_capacity_;
+}
+
+void QueryEngine::EvictToCapacity(size_t capacity) {
+  while (lru_.size() > capacity) {
     cache_map_.erase(lru_.back().key);
     lru_.pop_back();
     ++cache_evictions_;
   }
 }
 
+void QueryEngine::set_cache_capacity(size_t capacity) {
+  MutexLock lock(cache_mu_);
+  cache_capacity_ = capacity;
+  EvictToCapacity(cache_capacity_);
+}
+
 void QueryEngine::ClearCache() {
+  MutexLock lock(cache_mu_);
   lru_.clear();
   cache_map_.clear();
+}
+
+QueryEngine::CacheOutcome QueryEngine::CacheLookup(
+    const std::string& key, std::vector<model::EventRecord>* segments) {
+  MutexLock lock(cache_mu_);
+  if (cache_capacity_ == 0) return CacheOutcome::kDisabled;
+  auto it = cache_map_.find(key);
+  const bool found = it != cache_map_.end();
+  if (found && it->second->event_version == catalog_->event_version()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++cache_hits_;
+    *segments = it->second->segments;
+    return CacheOutcome::kHit;
+  }
+  if (found) {
+    // Stale under the current event version: drop and re-evaluate.
+    lru_.erase(it->second);
+    cache_map_.erase(it);
+  }
+  ++cache_misses_;
+  return found ? CacheOutcome::kStale : CacheOutcome::kMiss;
+}
+
+void QueryEngine::CacheStore(const std::string& key,
+                             const std::vector<model::EventRecord>& segments) {
+  MutexLock lock(cache_mu_);
+  if (cache_capacity_ == 0) return;
+  // Record the event version AFTER execution, so the bump from our own
+  // dynamic extraction does not invalidate this entry.
+  lru_.push_front(CacheEntry{key, segments, catalog_->event_version()});
+  cache_map_[key] = lru_.begin();
+  EvictToCapacity(cache_capacity_);
 }
 
 Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
@@ -195,39 +245,44 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
   const kernel::ExecContext qctx = exec.WithTraceParent(span.span());
 
   QueryResult result;
+
+  // Pre-execution plan verification (the paper's preprocessor contract):
+  // reject a plan whose video is unknown or whose event types have neither
+  // metadata nor a registered extraction method, BEFORE the cache is
+  // consulted or any extraction engine fires. Verification has no side
+  // effects, so it is safe (and cheap) on the cached path too.
+  {
+    trace::SpanGuard verify(qctx.trace, qctx.trace_parent, "query.verify");
+    const Status verdict = VerifyPlan(query, *catalog_, *registry_);
+    if (verify.enabled()) {
+      verify.Detail(verdict.ok() ? "ok" : verdict.message());
+    }
+    COBRA_RETURN_IF_ERROR(verdict);
+  }
+
   const std::string cache_key = CacheKey(query);
-  if (cache_capacity_ > 0) {
-    auto it = cache_map_.find(cache_key);
-    const bool found = it != cache_map_.end();
-    if (found && it->second->event_version == catalog_->event_version()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++cache_hits_;
-      result.segments = it->second->segments;
-      result.cache_hit = true;
-      // Served from the cache: the profile states so instead of replaying
-      // the timings recorded when the entry was originally computed.
-      span.FromCache();
-      span.RowsOut(result.segments.size());
-      if (span.enabled()) {
-        trace::SpanGuard lookup(qctx.trace, qctx.trace_parent,
-                                "query.cache_lookup");
-        lookup.Detail("hit");
-        lookup.FromCache();
-        lookup.RowsOut(result.segments.size());
-      }
-      return result;
-    }
-    if (found) {
-      // Stale under the current event version: drop and re-evaluate.
-      lru_.erase(it->second);
-      cache_map_.erase(it);
-    }
-    ++cache_misses_;
+  std::vector<model::EventRecord> cached;
+  const CacheOutcome outcome = CacheLookup(cache_key, &cached);
+  if (outcome == CacheOutcome::kHit) {
+    result.segments = std::move(cached);
+    result.cache_hit = true;
+    // Served from the cache: the profile states so instead of replaying
+    // the timings recorded when the entry was originally computed.
+    span.FromCache();
+    span.RowsOut(result.segments.size());
     if (span.enabled()) {
       trace::SpanGuard lookup(qctx.trace, qctx.trace_parent,
                               "query.cache_lookup");
-      lookup.Detail(found ? "stale" : "miss");
+      lookup.Detail("hit");
+      lookup.FromCache();
+      lookup.RowsOut(result.segments.size());
     }
+    return result;
+  }
+  if (outcome != CacheOutcome::kDisabled && span.enabled()) {
+    trace::SpanGuard lookup(qctx.trace, qctx.trace_parent,
+                            "query.cache_lookup");
+    lookup.Detail(outcome == CacheOutcome::kStale ? "stale" : "miss");
   }
   COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
                          catalog_->FindVideo(query.video));
@@ -305,18 +360,7 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
 
   result.segments = std::move(filtered);
   span.RowsOut(result.segments.size());
-  if (cache_capacity_ > 0) {
-    // Record the event version AFTER execution, so the bump from our own
-    // dynamic extraction does not invalidate this entry.
-    lru_.push_front(
-        CacheEntry{cache_key, result.segments, catalog_->event_version()});
-    cache_map_[cache_key] = lru_.begin();
-    while (lru_.size() > cache_capacity_) {
-      cache_map_.erase(lru_.back().key);
-      lru_.pop_back();
-      ++cache_evictions_;
-    }
-  }
+  CacheStore(cache_key, result.segments);
   return result;
 }
 

@@ -7,7 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "cobra/video_model.h"
 #include "extensions/extension.h"
 #include "kernel/exec_context.h"
@@ -69,10 +71,12 @@ class QueryEngine {
   /// temporal clause, preference). Entries record the VideoCatalog event
   /// version at store time; any event-layer mutation invalidates stale
   /// entries transparently on the next lookup. Capacity 0 disables caching.
-  CacheStats cache_stats() const;
-  size_t cache_capacity() const { return cache_capacity_; }
-  void set_cache_capacity(size_t capacity);
-  void ClearCache();
+  /// All cache bookkeeping is guarded by `cache_mu_`, so concurrent
+  /// Execute() calls share the cache safely.
+  CacheStats cache_stats() const COBRA_EXCLUDES(cache_mu_);
+  size_t cache_capacity() const COBRA_EXCLUDES(cache_mu_);
+  void set_cache_capacity(size_t capacity) COBRA_EXCLUDES(cache_mu_);
+  void ClearCache() COBRA_EXCLUDES(cache_mu_);
 
  private:
   /// The evaluator under an explicit context. PROFILE runs pass a context
@@ -98,6 +102,22 @@ class QueryEngine {
   /// already normalized by the parser (uppercased values, sorted attr map).
   static std::string CacheKey(const ParsedQuery& query);
 
+  /// Cache lookup outcome; kHit fills `segments`.
+  enum class CacheOutcome { kDisabled, kHit, kStale, kMiss };
+
+  /// Single locked lookup: promotes and copies out on a fresh hit, drops a
+  /// stale entry, counts hit/miss.
+  CacheOutcome CacheLookup(const std::string& key,
+                           std::vector<model::EventRecord>* segments)
+      COBRA_EXCLUDES(cache_mu_);
+
+  /// Stores a computed result under the CURRENT catalog event version (so
+  /// the bump from our own dynamic extraction does not invalidate it) and
+  /// evicts past capacity.
+  void CacheStore(const std::string& key,
+                  const std::vector<model::EventRecord>& segments)
+      COBRA_EXCLUDES(cache_mu_);
+
   model::VideoCatalog* catalog_;
   extensions::ExtensionRegistry* registry_;
   kernel::ExecContext exec_;
@@ -107,12 +127,17 @@ class QueryEngine {
     std::vector<model::EventRecord> segments;
     uint64_t event_version = 0;
   };
-  std::list<CacheEntry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_;
-  size_t cache_capacity_ = 64;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t cache_evictions_ = 0;
+  /// Evicts the LRU tail until the cache fits `capacity`.
+  void EvictToCapacity(size_t capacity) COBRA_REQUIRES(cache_mu_);
+
+  mutable Mutex cache_mu_;
+  std::list<CacheEntry> lru_ COBRA_GUARDED_BY(cache_mu_);  // front = MRU
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_
+      COBRA_GUARDED_BY(cache_mu_);
+  size_t cache_capacity_ COBRA_GUARDED_BY(cache_mu_) = 64;
+  uint64_t cache_hits_ COBRA_GUARDED_BY(cache_mu_) = 0;
+  uint64_t cache_misses_ COBRA_GUARDED_BY(cache_mu_) = 0;
+  uint64_t cache_evictions_ COBRA_GUARDED_BY(cache_mu_) = 0;
 };
 
 }  // namespace cobra::query

@@ -1,0 +1,548 @@
+// Tests for the static pre-execution verifiers: the MIL script analyzer
+// (kernel/mil_analyzer.cc), the query-text analyzer, and the plan verifier
+// (query/analyzer.cc). The two properties pinned here are the verifier
+// contract:
+//
+//   1. Soundness of rejection — every malformed input (reusing the fuzz
+//      corpora from query_test.cc and mil_test.cc) is rejected BEFORE any
+//      operator runs, with a diagnostic carrying a 1-based line/column and
+//      the StatusCode execution would have failed with.
+//   2. Zero false rejections — accept-parity with the interpreter/parser on
+//      every valid input (the randomized side of this property runs in
+//      differential_test.cc across the full seed range).
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/diag.h"
+#include "cobra/video_model.h"
+#include "extensions/extension.h"
+#include "kernel/catalog.h"
+#include "kernel/mil.h"
+#include "query/analyzer.h"
+#include "query/engine.h"
+#include "query/parser.h"
+
+namespace cobra::kernel {
+namespace {
+
+/// First error in a list (fails the test when there is none).
+Diagnostic FirstError(const DiagnosticList& diags) {
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.severity == Diagnostic::Severity::kError) return d;
+  }
+  ADD_FAILURE() << "no error diagnostic";
+  return Diagnostic{};
+}
+
+class MilAnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto values = catalog_.Create("values", TailType::kFloat);
+    ASSERT_TRUE(values.ok());
+    for (int i = 0; i < 10; ++i) {
+      (*values)->AppendFloat(static_cast<Oid>(i), i * 0.1);
+    }
+    auto names = catalog_.Create("names", TailType::kStr);
+    ASSERT_TRUE(names.ok());
+    (*names)->AppendStr(0, "alpha");
+    (*names)->AppendStr(1, "beta");
+    ctx_.catalog = &catalog_;
+  }
+
+  DiagnosticList Analyze(const std::string& script) {
+    return AnalyzeMilScript(script, ctx_);
+  }
+
+  Catalog catalog_;
+  MilAnalysisContext ctx_;
+};
+
+TEST_F(MilAnalyzerTest, ValidScriptsPass) {
+  const char* scripts[] = {
+      "PRINT 42;",
+      "VAR f := bat('values'); PRINT sum(f); PRINT count(f);",
+      "VAR hits := select(bat('values'), 0.25, 0.65); PRINT count(hits);",
+      "PRINT count(select(bat('names'), 'alpha'));",
+      "VAR links := insert(insert(new('oid'), 100, 2), 101, 4);\n"
+      "PRINT sum(join(links, bat('values')));",
+      "PRINT count(reverse(insert(new('oid'), 7, 3)));\n"
+      "PRINT count(mirror(bat('values')));\n"
+      "PRINT count(slice(bat('values'), 2, 5));",
+      "persist('top', select(bat('values'), 0.75, 1.0));",
+      "# comment only\nPRINT 1;  # trailing\n",
+      "threadcnt(2); PRINT sum(bat('values'));",
+      "trace on; PRINT count(bat('values')); trace dump;",
+      "PRINT concat(bat('values'), bat('values'));",
+      "PRINT info('values'); PRINT info(bat('names'));",
+      "PRINT min(bat('values')); PRINT max(bat('values'));",
+  };
+  for (const char* script : scripts) {
+    DiagnosticList diags = Analyze(script);
+    EXPECT_TRUE(diags.ok()) << script << "\n" << diags.ToString("mil");
+  }
+}
+
+TEST_F(MilAnalyzerTest, UseBeforeDefineHasExactPosition) {
+  DiagnosticList diags = Analyze("PRINT nope;");
+  ASSERT_FALSE(diags.ok());
+  const Diagnostic d = FirstError(diags);
+  EXPECT_EQ(d.line, 1);
+  EXPECT_EQ(d.col, 7);
+  EXPECT_EQ(d.code, StatusCode::kNotFound);
+  EXPECT_NE(d.message.find("unknown MIL variable nope"), std::string::npos);
+}
+
+TEST_F(MilAnalyzerTest, PositionsTrackLines) {
+  DiagnosticList diags = Analyze("PRINT 1;\nPRINT nope;");
+  ASSERT_FALSE(diags.ok());
+  const Diagnostic d = FirstError(diags);
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 7);
+}
+
+// The malformed-script corpus (superset of mil_test's ErrorsAreReported
+// inputs): every entry must be rejected statically with a positioned
+// diagnostic — and, through MilSession, before anything executes.
+TEST_F(MilAnalyzerTest, MalformedCorpusRejectedWithPositions) {
+  const char* corpus[] = {
+      "PRINT bat('missing');",
+      "PRINT frobnicate(1);",
+      "PRINT sum(1);",
+      "PRINT select(bat('values'));",
+      "PRINT 'unterminated;",
+      "x := 1;",
+      "VAR := 1;",
+      "VAR x;",
+      "PRINT insert(new('int'), 0, 'x');",
+      "PRINT insert(new('str'), 0, 1);",
+      "PRINT min(new('dbl'));",
+      "PRINT max(new('int'));",
+      "trace dump;",
+      "trace sideways;",
+      "PRINT threadcnt(0);",
+      "PRINT threadcnt(1.5);",
+      "PRINT new('quux');",
+      "check 42;",
+      "PRINT .;",
+      "PRINT @;",
+      "PRINT sum(bat('names'));",
+      "PRINT select(bat('values'), 'alpha');",
+      "PRINT select(bat('names'), 0, 1);",
+      "PRINT count(reverse(bat('values')));",
+      "PRINT join(bat('values'), bat('values'));",
+      "PRINT concat(bat('values'), bat('names'));",
+  };
+  for (const char* script : corpus) {
+    DiagnosticList diags = Analyze(script);
+    ASSERT_FALSE(diags.ok()) << script;
+    const Diagnostic d = FirstError(diags);
+    EXPECT_GE(d.line, 1) << script;
+    EXPECT_GE(d.col, 1) << script;
+    EXPECT_FALSE(d.message.empty()) << script;
+    // The session path must agree (and refuse to execute anything).
+    MilSession session(&catalog_);
+    EXPECT_FALSE(session.Execute(script).ok()) << script;
+  }
+}
+
+TEST_F(MilAnalyzerTest, DiagnosticsCarryTheRuntimeStatusCode) {
+  EXPECT_EQ(FirstError(Analyze("PRINT bat('missing');")).code,
+            StatusCode::kNotFound);
+  EXPECT_EQ(FirstError(Analyze("trace dump;")).code,
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(FirstError(Analyze("PRINT min(new('int'));")).code,
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(FirstError(Analyze("PRINT sum(bat('names'));")).code,
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MilAnalyzerTest, MirrorsRuntimeMessages) {
+  EXPECT_NE(FirstError(Analyze("PRINT sum(bat('names'));"))
+                .message.find("Sum requires a numeric tail"),
+            std::string::npos);
+  EXPECT_NE(FirstError(Analyze("PRINT select(bat('values'), 'a');"))
+                .message.find("SelectStr requires a str tail"),
+            std::string::npos);
+  EXPECT_NE(FirstError(Analyze("PRINT min(new('int'));"))
+                .message.find("Min of empty BAT"),
+            std::string::npos);
+  // max() delegates to ArgMax internally, so the runtime (and therefore the
+  // analyzer) names ArgMax.
+  EXPECT_NE(FirstError(Analyze("PRINT max(new('int'));"))
+                .message.find("ArgMax of empty BAT"),
+            std::string::npos);
+  EXPECT_NE(FirstError(Analyze("PRINT new('quux');"))
+                .message.find("unknown BAT type quux"),
+            std::string::npos);
+  EXPECT_NE(FirstError(Analyze("PRINT frobnicate(1);"))
+                .message.find("unknown MIL function frobnicate"),
+            std::string::npos);
+  EXPECT_NE(FirstError(Analyze("PRINT threadcnt(0);"))
+                .message.find("threadcnt expects an integer in [1, 1024]"),
+            std::string::npos);
+  EXPECT_NE(FirstError(Analyze("PRINT bat('missing');"))
+                .message.find("no BAT named missing"),
+            std::string::npos);
+}
+
+TEST_F(MilAnalyzerTest, DeeplyNestedExpressionIsRejected) {
+  std::string script = "PRINT ";
+  for (int i = 0; i < 500; ++i) script += "mirror(";
+  script += "bat('values')";
+  for (int i = 0; i < 500; ++i) script += ")";
+  script += ";";
+  DiagnosticList diags = Analyze(script);
+  ASSERT_FALSE(diags.ok());
+  EXPECT_NE(FirstError(diags).message.find("nested too deeply"),
+            std::string::npos);
+}
+
+TEST_F(MilAnalyzerTest, ConservativeOnStaticallyUnknownValues) {
+  // Literal tracking flows through variables: this persist name is known,
+  // so the binding it creates is visible to the following lookup — and a
+  // lookup of anything else is still a (true) rejection.
+  EXPECT_TRUE(Analyze("VAR n := 'dyn';\n"
+                      "persist(n, bat('values'));\n"
+                      "PRINT count(bat('dyn'));")
+                  .ok());
+  EXPECT_FALSE(Analyze("VAR n := 'dyn';\n"
+                       "persist(n, bat('values'));\n"
+                       "PRINT count(bat('anything'));")
+                   .ok());
+  // A persist whose name only exists at runtime (info() output) could create
+  // any catalog binding, so later lookups of unknown names must pass.
+  EXPECT_TRUE(Analyze("persist(info('values'), bat('values'));\n"
+                      "PRINT count(bat('anything'));")
+                  .ok());
+  // A literal persist introduces the binding for later statements.
+  EXPECT_TRUE(Analyze("persist('derived', select(bat('values'), 0.0, 1.0));\n"
+                      "PRINT sum(bat('derived'));")
+                  .ok());
+}
+
+TEST_F(MilAnalyzerTest, SessionVariablesSeedTheAnalysis) {
+  std::map<std::string, MilValue> vars;
+  vars.emplace("x", 3.0);
+  vars.emplace("s", std::string("hello"));
+  ctx_.variables = &vars;
+  EXPECT_TRUE(Analyze("PRINT x; PRINT s;").ok());
+  // A seeded scalar is still a scalar: aggregate calls on it are rejected.
+  DiagnosticList diags = Analyze("PRINT sum(x);");
+  ASSERT_FALSE(diags.ok());
+  EXPECT_NE(FirstError(diags).message.find("expected a BAT"),
+            std::string::npos);
+}
+
+TEST_F(MilAnalyzerTest, TraceStateMachine) {
+  EXPECT_FALSE(Analyze("trace dump;").ok());
+  EXPECT_FALSE(Analyze("trace json;").ok());
+  EXPECT_TRUE(Analyze("trace on; trace dump;").ok());
+  // `off` keeps the sink: a later dump is still legal.
+  EXPECT_TRUE(Analyze("trace on; trace off; trace dump;").ok());
+  // A sink carried over from a previous Execute satisfies dump.
+  ctx_.trace_ready = true;
+  EXPECT_TRUE(Analyze("trace dump;").ok());
+}
+
+TEST_F(MilAnalyzerTest, StaleSnapshotIsWarningUnlessStrict) {
+  const std::string script =
+      "VAR v := bat('values');\n"
+      "persist('values', slice(v, 0, 2));\n"
+      "PRINT count(v);";
+  DiagnosticList lax = Analyze(script);
+  EXPECT_TRUE(lax.ok());  // warnings only: the engine must not reject this
+  EXPECT_GE(lax.warning_count(), 1u);
+
+  ctx_.strict = true;
+  DiagnosticList strict = Analyze(script);
+  ASSERT_FALSE(strict.ok());
+  const Diagnostic d = FirstError(strict);
+  EXPECT_EQ(d.code, StatusCode::kFailedPrecondition);
+  EXPECT_NE(d.message.find("snapshot"), std::string::npos);
+}
+
+// -- MilSession integration: the verifier gates execution -------------------
+
+class MilSessionVerifyTest : public MilAnalyzerTest {
+ protected:
+  void SetUp() override {
+    MilAnalyzerTest::SetUp();
+    session_ = std::make_unique<MilSession>(&catalog_);
+  }
+  std::unique_ptr<MilSession> session_;
+};
+
+TEST_F(MilSessionVerifyTest, FailingScriptLeavesNoSideEffects) {
+  const int threadcnt_before = session_->exec().threadcnt;
+  auto out = session_->Execute(
+      "VAR a := 1;\n"
+      "persist('p1', bat('values'));\n"
+      "threadcnt(8);\n"
+      "PRINT nope;");
+  ASSERT_FALSE(out.ok());
+  // The error is positioned at the failing statement (line 4, 'nope').
+  EXPECT_EQ(out.status().message().rfind("mil:4:7: error:", 0), 0u);
+  // Nothing before it ran: no variable, no persisted BAT, threadcnt intact.
+  EXPECT_FALSE(session_->Get("a").ok());
+  EXPECT_FALSE(catalog_.Get("p1").ok());
+  EXPECT_EQ(session_->exec().threadcnt, threadcnt_before);
+}
+
+TEST_F(MilSessionVerifyTest, ErrorMessagesCarryPositionPrefix) {
+  auto out = session_->Execute("PRINT 1;\nPRINT sum(bat('names'));");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().message().rfind("mil:2:", 0), 0u);
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MilSessionVerifyTest, TraceStatePersistsAcrossExecutes) {
+  ASSERT_TRUE(session_->Execute("trace on;").ok());
+  // The analyzer must know the sink survives into the next Execute.
+  EXPECT_TRUE(session_->Execute("trace dump;").ok());
+}
+
+TEST_F(MilSessionVerifyTest, CheckStatementReportsWithoutExecuting) {
+  auto ok = session_->Execute("check 'PRINT 1;';");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok->find("check: ok"), std::string::npos);
+
+  // Findings inside the checked script are output, not errors of the outer
+  // script (EXPLAIN-like semantics), and nothing in it executes.
+  auto findings = session_->Execute("check 'persist(\"p2\", nope);';");
+  ASSERT_TRUE(findings.ok());
+  EXPECT_NE(findings->find("unknown MIL variable nope"), std::string::npos);
+  EXPECT_NE(findings->find("mil:1:"), std::string::npos);
+  EXPECT_FALSE(catalog_.Get("p2").ok());
+}
+
+TEST_F(MilSessionVerifyTest, CheckIsStrictAboutSnapshotHazards) {
+  auto out = session_->Execute(
+      "check 'VAR x := bat(\"values\"); persist(\"values\", x); "
+      "PRINT count(x);';");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("snapshot"), std::string::npos);
+  // check only analyzes: the catalog BAT was not replaced.
+  auto values = catalog_.Get("values");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ((*values)->size(), 10u);
+}
+
+}  // namespace
+}  // namespace cobra::kernel
+
+namespace cobra::query {
+namespace {
+
+// The valid-query corpus: everything the parser tests accept.
+const char* kValidQueries[] = {
+    "RETRIEVE highlight FROM 'german-gp'",
+    "RETRIEVE caption FROM 'usa-gp' WHERE driver = 'Montoya' AND kind = "
+    "'pitstop'",
+    "RETRIEVE highlight FROM 'b' OVERLAPPING caption WHERE driver = 'X'",
+    "RETRIEVE excited_speech FROM 'b' PREFER COST",
+    "retrieve pitstop from 'x' where driver = 'alesi'",
+    "PROFILE RETRIEVE highlight FROM 'german-gp'",
+    "RETRIEVE h FROM 'x' DURING caption PREFER QUALITY",
+};
+
+// The malformed corpus from query_test.cc's MalformedInputCorpus.
+const char* kMalformedQueries[] = {
+    "PROFILE",
+    "PROFILE PROFILE RETRIEVE h FROM 'x'",
+    "RETRIEVE",
+    "RETRIEVE 'quoted' FROM 'x'",
+    "RETRIEVE h FROM",
+    "RETRIEVE h FROM =",
+    "RETRIEVE h FROM 'x' WHERE",
+    "RETRIEVE h FROM 'x' WHERE driver",
+    "RETRIEVE h FROM 'x' WHERE driver =",
+    "RETRIEVE h FROM 'x' WHERE driver = = 'a'",
+    "RETRIEVE h FROM 'x' WHERE driver = 'a' AND",
+    "RETRIEVE h FROM 'x' DURING",
+    "RETRIEVE h FROM 'x' DURING 'caption'",
+    "RETRIEVE h FROM 'x' OVERLAPPING c WHERE",
+    "RETRIEVE h FROM 'x' PREFER",
+    "RETRIEVE h FROM 'x' PREFER QUALITY COST",
+    "RETRIEVE h FROM \"unterminated",
+    "RETRIEVE h FROM 'x' WHERE driver = 'unterminated",
+    "RETRIEVE h FROM 'x' %",
+    "??",
+};
+
+TEST(QueryAnalyzerTest, ValidQueriesPass) {
+  for (const char* text : kValidQueries) {
+    DiagnosticList diags = AnalyzeQueryText(text);
+    EXPECT_TRUE(diags.ok()) << text << "\n" << diags.ToString("query");
+  }
+}
+
+TEST(QueryAnalyzerTest, MalformedCorpusRejectedWithPositions) {
+  for (const char* text : kMalformedQueries) {
+    DiagnosticList diags = AnalyzeQueryText(text);
+    ASSERT_FALSE(diags.ok()) << text;
+    ASSERT_FALSE(diags.diagnostics().empty()) << text;
+    const Diagnostic& d = diags.diagnostics().front();
+    EXPECT_GE(d.line, 1) << text;
+    EXPECT_GE(d.col, 1) << text;
+    EXPECT_EQ(d.code, StatusCode::kInvalidArgument) << text;
+    EXPECT_FALSE(d.message.empty()) << text;
+  }
+}
+
+// Accept-parity: the analyzer agrees with the parser on every input, and on
+// rejections it reproduces the parser's message (plus the position prefix).
+TEST(QueryAnalyzerTest, AcceptParityWithParser) {
+  auto check = [](const char* text) {
+    DiagnosticList diags = AnalyzeQueryText(text);
+    auto parsed = ParseQuery(text);
+    EXPECT_EQ(diags.ok(), parsed.ok()) << text;
+    if (!parsed.ok() && !diags.ok()) {
+      const Status status = diags.ToStatus("query");
+      EXPECT_EQ(status.code(), parsed.status().code()) << text;
+      EXPECT_NE(status.message().find(parsed.status().message()),
+                std::string::npos)
+          << text << "\n  analyzer: " << status.message()
+          << "\n  parser:   " << parsed.status().message();
+    }
+  };
+  for (const char* text : kValidQueries) check(text);
+  for (const char* text : kMalformedQueries) check(text);
+}
+
+TEST(QueryAnalyzerTest, PositionsAreExact) {
+  {
+    // Error at end-of-input: one past the last character of line 1.
+    DiagnosticList diags = AnalyzeQueryText("RETRIEVE h FROM");
+    ASSERT_FALSE(diags.ok());
+    EXPECT_EQ(diags.diagnostics().front().line, 1);
+    EXPECT_EQ(diags.diagnostics().front().col, 16);
+  }
+  {
+    // Multi-line query: the missing value is reported on line 2.
+    DiagnosticList diags =
+        AnalyzeQueryText("RETRIEVE h\nFROM 'x' WHERE driver =");
+    ASSERT_FALSE(diags.ok());
+    EXPECT_EQ(diags.diagnostics().front().line, 2);
+    EXPECT_EQ(diags.diagnostics().front().col, 24);
+  }
+}
+
+// -- VerifyPlan + engine wiring ---------------------------------------------
+
+class PlanVerifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto id = videos_.RegisterVideo("race", 600.0);
+    ASSERT_TRUE(id.ok());
+    video_ = *id;
+    model::EventRecord record;
+    record.type = "highlight";
+    record.begin_sec = 30;
+    record.end_sec = 40;
+    ASSERT_TRUE(videos_.StoreEvent(video_, record).ok());
+    record.type = "caption";
+    record.begin_sec = 102;
+    record.end_sec = 106;
+    ASSERT_TRUE(videos_.StoreEvent(video_, record).ok());
+  }
+
+  Status Verify(const std::string& text) {
+    auto query = ParseQuery(text);
+    EXPECT_TRUE(query.ok()) << text;
+    if (!query.ok()) return query.status();
+    return VerifyPlan(*query, videos_, registry_);
+  }
+
+  void RegisterProvider(const std::string& type) {
+    registry_.Register(std::make_unique<extensions::CallbackExtension>(
+        "provider-" + type,
+        std::vector<extensions::CallbackExtension::Provided>{{type, 1.0, 0.9}},
+        [type](model::VideoId id, const std::string&,
+               model::VideoCatalog* catalog) {
+          model::EventRecord e;
+          e.type = type;
+          e.begin_sec = 50;
+          e.end_sec = 57;
+          return catalog->StoreEvent(id, e);
+        }));
+  }
+
+  kernel::Catalog catalog_;
+  model::VideoCatalog videos_{&catalog_};
+  extensions::ExtensionRegistry registry_;
+  model::VideoId video_ = 0;
+};
+
+TEST_F(PlanVerifyTest, SatisfiablePlansPass) {
+  EXPECT_TRUE(Verify("RETRIEVE highlight FROM 'race'").ok());
+  EXPECT_TRUE(
+      Verify("RETRIEVE highlight FROM 'race' OVERLAPPING caption").ok());
+}
+
+TEST_F(PlanVerifyTest, UnknownVideoIsRejected) {
+  const Status status = Verify("RETRIEVE highlight FROM 'nope'");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlanVerifyTest, UnsatisfiableEventTypeIsRejected) {
+  const Status status = Verify("RETRIEVE flyout FROM 'race'");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find(
+                "no metadata and no extraction method for 'flyout'"),
+            std::string::npos);
+}
+
+TEST_F(PlanVerifyTest, ProviderMakesTypeSatisfiable) {
+  RegisterProvider("flyout");
+  EXPECT_TRUE(Verify("RETRIEVE flyout FROM 'race'").ok());
+}
+
+TEST_F(PlanVerifyTest, SecondaryPatternIsVerifiedToo) {
+  const Status status =
+      Verify("RETRIEVE highlight FROM 'race' OVERLAPPING flyout");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("'flyout'"), std::string::npos);
+  RegisterProvider("flyout");
+  EXPECT_TRUE(
+      Verify("RETRIEVE highlight FROM 'race' OVERLAPPING flyout").ok());
+}
+
+class EngineVerifyTest : public PlanVerifyTest {
+ protected:
+  QueryEngine engine_{&videos_, &registry_};
+};
+
+TEST_F(EngineVerifyTest, SyntaxErrorsCarryPositionPrefix) {
+  auto result = engine_.Execute("RETRIEVE h FROM");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message().rfind("query:1:16: error:", 0), 0u);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineVerifyTest, RejectedQueriesNeverTouchTheCache) {
+  EXPECT_FALSE(engine_.Execute("RETRIEVE h FROM").ok());
+  EXPECT_FALSE(engine_.Execute("RETRIEVE highlight FROM 'nope'").ok());
+  EXPECT_FALSE(engine_.Execute("RETRIEVE flyout FROM 'race'").ok());
+  const CacheStats stats = engine_.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(EngineVerifyTest, VerifiedQueriesStillExecuteAndCache) {
+  auto first = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->segments.size(), 1u);
+  auto second = engine_.Execute("RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+}
+
+}  // namespace
+}  // namespace cobra::query

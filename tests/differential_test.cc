@@ -14,6 +14,11 @@
 // the seed so the case can be replayed alone:
 //
 //   ./differential_test --gtest_filter='*/DifferentialTest.*/137'
+//
+// A second per-seed case drives the same property through the MIL layer: a
+// seeded random — but always well-typed — MIL pipeline must pass the static
+// verifier (zero false rejections), execute under every plan, and print
+// byte-identical output.
 
 #include <bit>
 #include <cstdint>
@@ -24,10 +29,13 @@
 
 #include <gtest/gtest.h>
 
+#include "base/diag.h"
 #include "base/rng.h"
 #include "base/trace.h"
 #include "kernel/bat.h"
+#include "kernel/catalog.h"
 #include "kernel/exec_context.h"
+#include "kernel/mil.h"
 
 namespace cobra::kernel {
 namespace {
@@ -246,8 +254,87 @@ TEST_P(DifferentialTest, OperatorsBytewiseEqualAcrossPlans) {
   }
 }
 
-// 240 seeded cases; the seed doubles as the ctest case name so a failure
-// (which prints the seed via SCOPED_TRACE) maps straight to a filter.
+// The verifier side of the harness: per seed, generate a random — but by
+// construction well-typed — MIL pipeline over seeded catalog BATs. The
+// static analyzer must accept it (zero false rejections), and execution
+// (which re-runs the verifier before the first operator) must succeed under
+// every plan with byte-identical PRINT output.
+TEST_P(DifferentialTest, MilScriptsVerifyAndAgreeAcrossPlans) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("failing seed: " + std::to_string(seed) +
+               " (replay with --gtest_filter='*/" + std::to_string(seed) +
+               "')");
+  constexpr size_t kSizeSchedule[] = {0, 1, 31, 32, 33, 97, 256, 523};
+  const size_t n = kSizeSchedule[seed % 8];
+  Rng rng(seed * 0xA24BAED4963EE407ull + 0x9FB21C651E98DF25ull);
+
+  Catalog catalog;
+  const std::pair<const char*, TailType> sources[] = {
+      {"ints", TailType::kInt},
+      {"floats", TailType::kFloat},
+      {"strs", TailType::kStr},
+      {"oids", TailType::kOid}};
+  for (const auto& [name, type] : sources) {
+    auto created = catalog.Create(name, type);
+    ASSERT_TRUE(created.ok());
+    const Bat src = GenBat(rng, type, n);
+    for (size_t i = 0; i < src.size(); ++i) {
+      ASSERT_TRUE((*created)->Append(src.HeadAt(i), src.TailAt(i)).ok());
+    }
+  }
+
+  std::string script;
+  script += "VAR f := bat('floats');\n";
+  script += "VAR i := bat('ints');\n";
+  const int64_t lo = rng.UniformInt(int64_t{-8}, 0);
+  const int64_t hi = lo + rng.UniformInt(int64_t{0}, 8);
+  script += "VAR r := select(f, " + std::to_string(lo) + ", " +
+            std::to_string(hi) + ");\n";
+  script += "PRINT count(r);\nPRINT sum(r);\n";
+  if (rng.Bernoulli(0.7)) {
+    script += "PRINT count(select(bat('strs'), 's" +
+              std::to_string(rng.UniformInt(uint64_t{13})) + "'));\n";
+  }
+  if (rng.Bernoulli(0.7)) {
+    script += "VAR j := join(bat('oids'), f);\n";
+    script += "PRINT count(j);\nPRINT sum(j);\n";
+  }
+  if (rng.Bernoulli(0.5)) {
+    script += "PRINT count(semijoin(i, bat('oids')));\n";
+  }
+  if (rng.Bernoulli(0.5)) script += "PRINT count(diff(f, bat('oids')));\n";
+  if (rng.Bernoulli(0.5)) {
+    script += "PRINT count(slice(f, 0, " +
+              std::to_string(rng.UniformInt(uint64_t{40})) + "));\n";
+  }
+  if (rng.Bernoulli(0.5)) script += "PRINT count(mirror(bat('strs')));\n";
+  if (rng.Bernoulli(0.5)) script += "PRINT sum(concat(i, bat('ints')));\n";
+  script += "PRINT count(i);\n";
+
+  MilAnalysisContext actx;
+  actx.catalog = &catalog;
+  DiagnosticList diags = AnalyzeMilScript(script, actx);
+  EXPECT_TRUE(diags.ok()) << script << "\n" << diags.ToString("mil");
+
+  std::string reference;
+  bool have_reference = false;
+  for (const PlanCase& plan : kPlans) {
+    SCOPED_TRACE("plan: " + PlanName(plan));
+    MilSession session(&catalog);
+    session.set_exec(PlanCtx(plan));
+    auto out = session.Execute(script);
+    ASSERT_TRUE(out.ok()) << script << "\n" << out.status().message();
+    if (!have_reference) {
+      reference = *out;
+      have_reference = true;
+    }
+    EXPECT_EQ(reference, *out);
+  }
+}
+
+// 240 seeded cases per property; the seed doubles as the ctest case name so
+// a failure (which prints the seed via SCOPED_TRACE) maps straight to a
+// filter.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range(uint64_t{0}, uint64_t{240}));
 
