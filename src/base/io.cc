@@ -1,0 +1,547 @@
+#include "base/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace cobra::io {
+
+namespace {
+
+/// splitmix64 step, matching base/rng.h's seeding discipline, used to derive
+/// deterministic torn-write / short-read prefix lengths from a fault seed.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Status IoError(std::string_view what, const std::string& path, int err) {
+  return Status(StatusCode::kIoError,
+                StrFormat("%.*s %s: %s", static_cast<int>(what.size()),
+                          what.data(), path.c_str(), std::strerror(err)));
+}
+
+}  // namespace
+
+// -- Encoding -----------------------------------------------------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool ByteReader::Take(size_t n, const char** p) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  *p = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *v = r;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *v = r;
+  return true;
+}
+
+bool ByteReader::ReadI64(int64_t* v) {
+  uint64_t u = 0;
+  if (!ReadU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool ByteReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteReader::ReadBytes(size_t n, std::string* v) {
+  const char* p = nullptr;
+  if (!Take(n, &p)) return false;
+  v->assign(p, n);
+  return true;
+}
+
+bool ByteReader::ReadStr(std::string* v) {
+  uint32_t len = 0;
+  if (!ReadU32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) return false;
+  v->assign(p, len);
+  return true;
+}
+
+uint32_t Crc32(std::string_view data) {
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int j = 0; j < 8; ++j) {
+        c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char ch : data) {
+    crc = kTable[(crc ^ ch) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// -- POSIX filesystem ---------------------------------------------------------
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status(StatusCode::kIoError, "append to closed file: " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoError("write", path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status(StatusCode::kIoError, "sync of closed file: " + path_);
+    if (::fsync(fd_) != 0) return IoError("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return IoError("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class RealFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return IoError("open", path, errno);
+    return Result<std::unique_ptr<WritableFile>>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) const override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return IoError("open", path, errno);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return IoError("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return Result<std::string>(std::move(out));
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) const override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return IoError("stat", path, errno);
+    return Result<uint64_t>(static_cast<uint64_t>(st.st_size));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return IoError("rename", from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return IoError("unlink", path, errno);
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& path) const override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) const override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return IoError("opendir", dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return Result<std::vector<std::string>>(std::move(names));
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    // mkdir -p: create each path component, tolerating ones that exist.
+    std::string partial;
+    size_t i = 0;
+    while (i <= dir.size()) {
+      if (i == dir.size() || dir[i] == '/') {
+        if (!partial.empty() && ::mkdir(partial.c_str(), 0755) != 0 &&
+            errno != EEXIST) {
+          return IoError("mkdir", partial, errno);
+        }
+      }
+      if (i < dir.size()) partial.push_back(dir[i]);
+      ++i;
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Fs* RealFilesystem() {
+  static RealFs* fs = new RealFs;
+  return fs;
+}
+
+// -- MemFs --------------------------------------------------------------------
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+}  // namespace
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemFs* fs, std::shared_ptr<MemFs::File> file)
+      : fs_(fs), file_(std::move(file)) {}
+
+  Status Append(std::string_view data) override {
+    if (closed_) return Status(StatusCode::kIoError, "append to closed file");
+    return fs_->AppendTo(file_, data);
+  }
+
+  Status Sync() override {
+    if (closed_) return Status(StatusCode::kIoError, "sync of closed file");
+    return fs_->SyncFile(file_);
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return Status::OK();
+  }
+
+ private:
+  MemFs* fs_;
+  std::shared_ptr<MemFs::File> file_;  // stays valid across renames
+  bool closed_ = false;
+};
+
+Result<std::unique_ptr<WritableFile>> MemFs::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::shared_ptr<File> file;
+  {
+    MutexLock lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      it = files_.emplace(path, std::make_shared<File>()).first;
+      dirs_.insert(ParentDir(path));
+    }
+    file = it->second;
+    if (truncate) {
+      file->data.clear();
+      file->synced = 0;
+    }
+  }
+  return Result<std::unique_ptr<WritableFile>>(
+      std::make_unique<MemWritableFile>(this, std::move(file)));
+}
+
+Result<std::string> MemFs::ReadFile(const std::string& path) const {
+  MutexLock lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status(StatusCode::kIoError, "no such file: " + path);
+  }
+  return Result<std::string>(std::string(it->second->data));
+}
+
+Result<uint64_t> MemFs::FileSize(const std::string& path) const {
+  MutexLock lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status(StatusCode::kIoError, "no such file: " + path);
+  }
+  return Result<uint64_t>(static_cast<uint64_t>(it->second->data.size()));
+}
+
+Status MemFs::Rename(const std::string& from, const std::string& to) {
+  MutexLock lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status(StatusCode::kIoError, "rename: no such file: " + from);
+  }
+  std::shared_ptr<File> file = it->second;
+  files_.erase(it);
+  files_[to] = std::move(file);
+  dirs_.insert(ParentDir(to));
+  return Status::OK();
+}
+
+Status MemFs::DeleteFile(const std::string& path) {
+  MutexLock lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status(StatusCode::kIoError, "unlink: no such file: " + path);
+  }
+  return Status::OK();
+}
+
+bool MemFs::Exists(const std::string& path) const {
+  MutexLock lock(mu_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Result<std::vector<std::string>> MemFs::ListDir(const std::string& dir) const {
+  MutexLock lock(mu_);
+  if (dirs_.count(dir) == 0) {
+    return Status(StatusCode::kIoError, "no such directory: " + dir);
+  }
+  std::vector<std::string> names;
+  const std::string prefix = dir + "/";
+  for (const auto& [path, file] : files_) {
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(path.substr(prefix.size()));
+    }
+  }
+  return Result<std::vector<std::string>>(std::move(names));  // map order: sorted
+}
+
+Status MemFs::CreateDir(const std::string& dir) {
+  MutexLock lock(mu_);
+  dirs_.insert(dir);
+  return Status::OK();
+}
+
+void MemFs::DropUnsynced() {
+  MutexLock lock(mu_);
+  for (auto& [path, file] : files_) {
+    file->data.resize(file->synced);
+  }
+}
+
+Status MemFs::AppendTo(const std::shared_ptr<File>& file, std::string_view data) {
+  MutexLock lock(mu_);
+  file->data.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status MemFs::SyncFile(const std::shared_ptr<File>& file) {
+  MutexLock lock(mu_);
+  file->synced = file->data.size();
+  return Status::OK();
+}
+
+// -- FaultFs ------------------------------------------------------------------
+
+void FaultFs::Arm(const FaultPlan& plan) {
+  MutexLock lock(fault_mu_);
+  plan_ = plan;
+  crashed_ = false;
+  counts_ = OpCounts{};
+}
+
+void FaultFs::Crash() {
+  {
+    MutexLock lock(fault_mu_);
+    plan_ = FaultPlan{};
+    crashed_ = false;
+    counts_ = OpCounts{};
+  }
+  DropUnsynced();
+}
+
+bool FaultFs::crashed() const {
+  MutexLock lock(fault_mu_);
+  return crashed_;
+}
+
+FaultFs::OpCounts FaultFs::counts() const {
+  MutexLock lock(fault_mu_);
+  return counts_;
+}
+
+FaultFs::TripOutcome FaultFs::Trip(FaultPlan::Mode a, FaultPlan::Mode b,
+                                   int* counter) {
+  MutexLock lock(fault_mu_);
+  const bool is_read = a == FaultPlan::Mode::kShortRead;
+  TripOutcome out;
+  if (crashed_ && !is_read) {
+    out.fail = true;
+    return out;
+  }
+  ++*counter;
+  if ((plan_.mode == a || plan_.mode == b) && *counter == plan_.k) {
+    out.fail = true;
+    out.armed_fault = true;
+    out.mode = plan_.mode;
+    out.seed = Mix64(plan_.seed + static_cast<uint64_t>(plan_.k));
+    if (!is_read) crashed_ = true;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultFs::NewWritableFile(
+    const std::string& path, bool truncate) {
+  {
+    MutexLock lock(fault_mu_);
+    if (crashed_) {
+      return Status(StatusCode::kIoError, "injected crash: open " + path);
+    }
+  }
+  return MemFs::NewWritableFile(path, truncate);
+}
+
+Result<std::string> FaultFs::ReadFile(const std::string& path) const {
+  // Trip needs mutable counters; reads are counted even on a const fs.
+  TripOutcome trip = const_cast<FaultFs*>(this)->Trip(
+      FaultPlan::Mode::kShortRead, FaultPlan::Mode::kShortRead, &counts_.reads);
+  auto full = MemFs::ReadFile(path);
+  if (!trip.armed_fault || !full.ok()) return full;
+  const std::string& data = full.value();
+  // Strict prefix: the short read must lose at least one byte to matter.
+  size_t keep = data.empty() ? 0 : trip.seed % data.size();
+  return Result<std::string>(data.substr(0, keep));
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  TripOutcome trip = Trip(FaultPlan::Mode::kFailRename,
+                          FaultPlan::Mode::kFailRename, &counts_.renames);
+  if (trip.fail) {
+    return Status(StatusCode::kIoError, "injected fault: rename " + from);
+  }
+  return MemFs::Rename(from, to);
+}
+
+Status FaultFs::DeleteFile(const std::string& path) {
+  {
+    MutexLock lock(fault_mu_);
+    if (crashed_) {
+      return Status(StatusCode::kIoError, "injected crash: unlink " + path);
+    }
+  }
+  return MemFs::DeleteFile(path);
+}
+
+Status FaultFs::AppendTo(const std::shared_ptr<File>& file,
+                         std::string_view data) {
+  TripOutcome trip = Trip(FaultPlan::Mode::kFailWrite,
+                          FaultPlan::Mode::kTornWrite, &counts_.writes);
+  if (trip.fail) {
+    if (trip.armed_fault && trip.mode == FaultPlan::Mode::kTornWrite) {
+      // Persist a seeded prefix of the write and mark it durable: real disks
+      // can flush partial sectors that survive the crash.
+      size_t keep = data.empty() ? 0 : trip.seed % data.size();
+      (void)MemFs::AppendTo(file, data.substr(0, keep));
+      (void)MemFs::SyncFile(file);
+    }
+    return Status(StatusCode::kIoError, "injected fault: write");
+  }
+  return MemFs::AppendTo(file, data);
+}
+
+Status FaultFs::SyncFile(const std::shared_ptr<File>& file) {
+  TripOutcome trip = Trip(FaultPlan::Mode::kFailSync,
+                          FaultPlan::Mode::kFailSync, &counts_.syncs);
+  if (trip.fail) {
+    return Status(StatusCode::kIoError, "injected fault: fsync");
+  }
+  return MemFs::SyncFile(file);
+}
+
+}  // namespace cobra::io

@@ -1,0 +1,218 @@
+#ifndef COBRA_BASE_IO_H_
+#define COBRA_BASE_IO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+
+namespace cobra::io {
+
+// -- Byte-order-stable encoding helpers ---------------------------------------
+//
+// Every on-disk structure (snapshot pages, WAL records, the model payload)
+// is encoded with these little-endian primitives, so files written on one
+// platform parse on any other and a torn byte is caught by the CRC, never by
+// undefined behaviour in the reader.
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+/// Doubles travel as their IEEE-754 bit pattern (u64), so -0.0 and every NaN
+/// payload round-trip exactly.
+void PutF64(std::string* out, double v);
+/// u32 length prefix + raw bytes.
+void PutStr(std::string* out, std::string_view s);
+
+/// Bounds-checked reader over an encoded byte string. Every Read* returns
+/// false (and poisons the reader) instead of running past the end, so a
+/// truncated or corrupted buffer yields a clean parse failure.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadI64(int64_t* v);
+  bool ReadF64(double* v);
+  bool ReadStr(std::string* v);
+  /// Exactly `n` raw bytes (no length prefix), e.g. a magic marker.
+  bool ReadBytes(size_t n, std::string* v);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+  bool failed() const { return failed_; }
+
+ private:
+  bool Take(size_t n, const char** p);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`.
+uint32_t Crc32(std::string_view data);
+
+// -- Filesystem abstraction ---------------------------------------------------
+
+/// Append-only output file. The durability contract mirrors POSIX: bytes
+/// handed to Append are not crash-durable until Sync returns OK.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The filesystem surface the persistence layer is written against. Keeping
+/// it this narrow is what makes deterministic fault injection possible: the
+/// recovery tests swap in FaultFs and fail the k-th write/fsync/rename
+/// without touching the persistence code.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Opens `path` for writing; `truncate` starts empty, otherwise existing
+  /// bytes are kept and writes append.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+  virtual Result<std::string> ReadFile(const std::string& path) const = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) const = 0;
+  /// Atomic replace: `to` is either its old content or `from`'s, never a mix.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+  /// Plain file names (not paths) directly under `dir`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) const = 0;
+  /// Creates `dir` (and missing parents); OK when it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX filesystem.
+Fs* RealFilesystem();
+
+/// In-memory filesystem for hermetic tests. Tracks, per file, how much of
+/// the content has been Sync'd so DropUnsynced() can simulate the
+/// bytes-in-flight loss of a crash. Thread-safe.
+class MemFs : public Fs {
+ public:
+  MemFs() = default;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override COBRA_EXCLUDES(mu_);
+  Result<std::string> ReadFile(const std::string& path) const override
+      COBRA_EXCLUDES(mu_);
+  Result<uint64_t> FileSize(const std::string& path) const override
+      COBRA_EXCLUDES(mu_);
+  Status Rename(const std::string& from, const std::string& to) override
+      COBRA_EXCLUDES(mu_);
+  Status DeleteFile(const std::string& path) override COBRA_EXCLUDES(mu_);
+  bool Exists(const std::string& path) const override COBRA_EXCLUDES(mu_);
+  Result<std::vector<std::string>> ListDir(const std::string& dir) const
+      override COBRA_EXCLUDES(mu_);
+  Status CreateDir(const std::string& dir) override COBRA_EXCLUDES(mu_);
+
+  /// Crash simulation: discards every byte not covered by a successful
+  /// Sync, exactly what a power loss does to the page cache.
+  void DropUnsynced() COBRA_EXCLUDES(mu_);
+
+ protected:
+  struct File {
+    std::string data;
+    size_t synced = 0;  // prefix length guaranteed durable
+  };
+
+  /// Low-level hooks the write handles call; FaultFs overrides these to
+  /// inject write/fsync failures.
+  virtual Status AppendTo(const std::shared_ptr<File>& file,
+                          std::string_view data) COBRA_EXCLUDES(mu_);
+  virtual Status SyncFile(const std::shared_ptr<File>& file)
+      COBRA_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<File>> files_ COBRA_GUARDED_BY(mu_);
+  std::set<std::string> dirs_ COBRA_GUARDED_BY(mu_);
+
+ private:
+  friend class MemWritableFile;
+};
+
+/// Deterministic fault-injection filesystem: MemFs plus a one-shot fault
+/// plan. The k-th mutating operation of the armed kind fails with kIoError,
+/// after which the "process" is considered crashed — every further mutation
+/// fails — until Crash() drops unsynced bytes and revives the filesystem for
+/// recovery. Counters let a harness size an exhaustive crash-point matrix.
+class FaultFs : public MemFs {
+ public:
+  struct FaultPlan {
+    enum class Mode {
+      kNone,
+      kFailWrite,   // k-th Append fails, nothing of it is written
+      kTornWrite,   // k-th Append persists a seeded prefix, then fails
+      kFailSync,    // k-th Sync fails (appended bytes stay volatile)
+      kFailRename,  // k-th Rename fails, no replace happens
+      kShortRead,   // k-th ReadFile returns a seeded strict prefix
+    };
+    Mode mode = Mode::kNone;
+    int k = 0;          // 1-based index of the faulted operation
+    uint64_t seed = 0;  // derives torn-write / short-read prefix lengths
+  };
+
+  struct OpCounts {
+    int writes = 0;
+    int syncs = 0;
+    int renames = 0;
+    int reads = 0;
+  };
+
+  void Arm(const FaultPlan& plan) COBRA_EXCLUDES(fault_mu_);
+  /// Simulates the machine dying and restarting: unsynced bytes are lost,
+  /// the crashed flag clears, the fault plan disarms, counters reset.
+  void Crash() COBRA_EXCLUDES(fault_mu_);
+  bool crashed() const COBRA_EXCLUDES(fault_mu_);
+  OpCounts counts() const COBRA_EXCLUDES(fault_mu_);
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+
+ protected:
+  Status AppendTo(const std::shared_ptr<File>& file,
+                  std::string_view data) override;
+  Status SyncFile(const std::shared_ptr<File>& file) override;
+
+ private:
+  struct TripOutcome {
+    bool fail = false;         // the operation must return kIoError
+    bool armed_fault = false;  // this call is the armed k-th (not post-crash)
+    FaultPlan::Mode mode = FaultPlan::Mode::kNone;  // armed mode that fired
+    uint64_t seed = 0;         // derived prefix seed for torn/short modes
+  };
+
+  /// Bumps `counter` and decides this operation's fate: the armed k-th op of
+  /// a matching mode fails (and, for mutating modes, crashes the fs); any
+  /// mutating op after a crash fails; reads are never blocked by a crash.
+  TripOutcome Trip(FaultPlan::Mode a, FaultPlan::Mode b, int* counter)
+      COBRA_EXCLUDES(fault_mu_);
+
+  mutable Mutex fault_mu_;
+  FaultPlan plan_ COBRA_GUARDED_BY(fault_mu_);
+  bool crashed_ COBRA_GUARDED_BY(fault_mu_) = false;
+  mutable OpCounts counts_ COBRA_GUARDED_BY(fault_mu_);
+};
+
+}  // namespace cobra::io
+
+#endif  // COBRA_BASE_IO_H_

@@ -1,9 +1,12 @@
 #include "cobra/video_model.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "base/io.h"
 #include "base/logging.h"
 #include "base/strings.h"
+#include "kernel/persist.h"
 
 namespace cobra::model {
 
@@ -44,6 +47,7 @@ VideoCatalog::VideoCatalog(kernel::Catalog* catalog)
 
 Result<VideoId> VideoCatalog::RegisterVideo(const std::string& name,
                                             double duration_sec, double fps) {
+  MutexLock lock(mu_);
   for (const auto& v : videos_) {
     if (v.name == name) return Status::AlreadyExists("video exists: " + name);
   }
@@ -64,6 +68,7 @@ Result<VideoId> VideoCatalog::RegisterVideo(const std::string& name,
 }
 
 Result<VideoDescriptor> VideoCatalog::GetVideo(VideoId id) const {
+  MutexLock lock(mu_);
   for (const auto& v : videos_) {
     if (v.id == id) return v;
   }
@@ -71,13 +76,17 @@ Result<VideoDescriptor> VideoCatalog::GetVideo(VideoId id) const {
 }
 
 Result<VideoDescriptor> VideoCatalog::FindVideo(const std::string& name) const {
+  MutexLock lock(mu_);
   for (const auto& v : videos_) {
     if (v.name == name) return v;
   }
   return Status::NotFound("no video named " + name);
 }
 
-std::vector<VideoDescriptor> VideoCatalog::Videos() const { return videos_; }
+std::vector<VideoDescriptor> VideoCatalog::Videos() const {
+  MutexLock lock(mu_);
+  return videos_;
+}
 
 std::string VideoCatalog::FeatureBatName(VideoId video,
                                          const std::string& feature) const {
@@ -97,6 +106,7 @@ Status VideoCatalog::StoreFeatureSeries(VideoId video,
     bat.AppendFloat(static_cast<kernel::Oid>(i), values[i]);
   }
   catalog_->Put(bat_name, std::move(bat));
+  MutexLock lock(mu_);
   auto& names = feature_names_[video];
   if (std::find(names.begin(), names.end(), feature) == names.end()) {
     names.push_back(feature);
@@ -118,6 +128,7 @@ bool VideoCatalog::HasFeature(VideoId video, const std::string& feature) const {
 }
 
 std::vector<std::string> VideoCatalog::FeatureNames(VideoId video) const {
+  MutexLock lock(mu_);
   auto it = feature_names_.find(video);
   return it == feature_names_.end() ? std::vector<std::string>{} : it->second;
 }
@@ -134,12 +145,14 @@ Status VideoCatalog::StoreObject(VideoId video, const ObjectRecord& object) {
   for (const auto& [k, v] : object.attrs) kv.push_back(k + "=" + v);
   COBRA_RETURN_IF_ERROR(session_.SetAttr("object", oid, "attrs",
                                          kernel::Value::Str(StrJoin(kv, ";"))));
+  MutexLock lock(mu_);
   objects_[video].push_back(object);
   return Status::OK();
 }
 
 Result<std::vector<ObjectRecord>> VideoCatalog::Objects(
     VideoId video, const std::string& cls) const {
+  MutexLock lock(mu_);
   auto it = objects_.find(video);
   std::vector<ObjectRecord> out;
   if (it == objects_.end()) return out;
@@ -165,8 +178,15 @@ Status VideoCatalog::StoreEvent(VideoId video, const EventRecord& event) {
   for (const auto& [k, v] : event.attrs) kv.push_back(k + "=" + v);
   COBRA_RETURN_IF_ERROR(session_.SetAttr("event", oid, "attrs",
                                          kernel::Value::Str(StrJoin(kv, ";"))));
+  MutexLock lock(mu_);
   events_[video].push_back(event);
   ++event_version_;
+  if (store_ != nullptr) {
+    // Logged under the lock so version records reach the WAL in bump order
+    // (replay keeps the last one). Lock order model -> store is the only
+    // direction either mutex pair is ever taken in.
+    return store_->LogEventVersion(event_version_);
+  }
   return Status::OK();
 }
 
@@ -180,6 +200,7 @@ Status VideoCatalog::StoreEvents(VideoId video,
 
 Result<std::vector<EventRecord>> VideoCatalog::Events(
     VideoId video, const std::string& type) const {
+  MutexLock lock(mu_);
   auto it = events_.find(video);
   std::vector<EventRecord> out;
   if (it != events_.end()) {
@@ -195,6 +216,7 @@ Result<std::vector<EventRecord>> VideoCatalog::Events(
 }
 
 bool VideoCatalog::HasEvents(VideoId video, const std::string& type) const {
+  MutexLock lock(mu_);
   auto it = events_.find(video);
   if (it == events_.end()) return false;
   for (const auto& e : it->second) {
@@ -204,6 +226,7 @@ bool VideoCatalog::HasEvents(VideoId video, const std::string& type) const {
 }
 
 Status VideoCatalog::DropEvents(VideoId video, const std::string& type) {
+  MutexLock lock(mu_);
   auto it = events_.find(video);
   if (it == events_.end()) return Status::OK();
   auto& vec = it->second;
@@ -213,6 +236,176 @@ Status VideoCatalog::DropEvents(VideoId video, const std::string& type) {
                            }),
             vec.end());
   ++event_version_;
+  if (store_ != nullptr) return store_->LogEventVersion(event_version_);
+  return Status::OK();
+}
+
+uint64_t VideoCatalog::event_version() const {
+  MutexLock lock(mu_);
+  return event_version_;
+}
+
+void VideoCatalog::AttachStore(kernel::PersistentStore* store) {
+  MutexLock lock(mu_);
+  store_ = store;
+}
+
+namespace {
+
+/// Leading magic of a serialized model payload (bump on layout changes).
+constexpr char kStateMagic[] = "CBRAVID1";
+
+void PutAttrs(std::string* out,
+              const std::map<std::string, std::string>& attrs) {
+  io::PutU32(out, static_cast<uint32_t>(attrs.size()));
+  for (const auto& [k, v] : attrs) {
+    io::PutStr(out, k);
+    io::PutStr(out, v);
+  }
+}
+
+bool ReadAttrs(io::ByteReader* r, std::map<std::string, std::string>* attrs) {
+  uint32_t n = 0;
+  if (!r->ReadU32(&n) || n > r->remaining()) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string k;
+    std::string v;
+    if (!r->ReadStr(&k) || !r->ReadStr(&v)) return false;
+    (*attrs)[std::move(k)] = std::move(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string VideoCatalog::SerializeState() const {
+  MutexLock lock(mu_);
+  std::string out(kStateMagic);
+  io::PutU64(&out, event_version_);
+  io::PutU64(&out, session_.next_oid());
+  io::PutU32(&out, static_cast<uint32_t>(videos_.size()));
+  for (const auto& v : videos_) {
+    io::PutU64(&out, v.id);
+    io::PutStr(&out, v.name);
+    io::PutF64(&out, v.duration_sec);
+    io::PutF64(&out, v.fps);
+  }
+  io::PutU32(&out, static_cast<uint32_t>(feature_names_.size()));
+  for (const auto& [video, names] : feature_names_) {
+    io::PutU64(&out, video);
+    io::PutU32(&out, static_cast<uint32_t>(names.size()));
+    for (const auto& name : names) io::PutStr(&out, name);
+  }
+  io::PutU32(&out, static_cast<uint32_t>(objects_.size()));
+  for (const auto& [video, objects] : objects_) {
+    io::PutU64(&out, video);
+    io::PutU32(&out, static_cast<uint32_t>(objects.size()));
+    for (const auto& o : objects) {
+      io::PutStr(&out, o.cls);
+      io::PutStr(&out, o.name);
+      PutAttrs(&out, o.attrs);
+    }
+  }
+  io::PutU32(&out, static_cast<uint32_t>(events_.size()));
+  for (const auto& [video, events] : events_) {
+    io::PutU64(&out, video);
+    io::PutU32(&out, static_cast<uint32_t>(events.size()));
+    for (const auto& e : events) {
+      io::PutStr(&out, e.type);
+      io::PutF64(&out, e.begin_sec);
+      io::PutF64(&out, e.end_sec);
+      io::PutF64(&out, e.confidence);
+      PutAttrs(&out, e.attrs);
+    }
+  }
+  return out;
+}
+
+Status VideoCatalog::RestoreState(const std::string& payload,
+                                  uint64_t wal_event_version) {
+  const Status corrupt(StatusCode::kIoError, "corrupt video-model payload");
+  io::ByteReader r(payload);
+  std::string magic;
+  if (!r.ReadBytes(sizeof(kStateMagic) - 1, &magic) || magic != kStateMagic) {
+    return corrupt;
+  }
+  uint64_t event_version = 0;
+  uint64_t next_oid = 0;
+  if (!r.ReadU64(&event_version) || !r.ReadU64(&next_oid)) return corrupt;
+
+  // Decode into locals first: a corrupt payload must not leave the catalog
+  // half-replaced.
+  std::vector<VideoDescriptor> videos;
+  uint32_t n = 0;
+  if (!r.ReadU32(&n) || n > r.remaining()) return corrupt;
+  for (uint32_t i = 0; i < n; ++i) {
+    VideoDescriptor v;
+    if (!r.ReadU64(&v.id) || !r.ReadStr(&v.name) ||
+        !r.ReadF64(&v.duration_sec) || !r.ReadF64(&v.fps)) {
+      return corrupt;
+    }
+    videos.push_back(std::move(v));
+  }
+  std::map<VideoId, std::vector<std::string>> feature_names;
+  if (!r.ReadU32(&n) || n > r.remaining()) return corrupt;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t video = 0;
+    uint32_t count = 0;
+    if (!r.ReadU64(&video) || !r.ReadU32(&count) || count > r.remaining()) {
+      return corrupt;
+    }
+    auto& names = feature_names[video];
+    for (uint32_t j = 0; j < count; ++j) {
+      std::string name;
+      if (!r.ReadStr(&name)) return corrupt;
+      names.push_back(std::move(name));
+    }
+  }
+  std::map<VideoId, std::vector<ObjectRecord>> objects;
+  if (!r.ReadU32(&n) || n > r.remaining()) return corrupt;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t video = 0;
+    uint32_t count = 0;
+    if (!r.ReadU64(&video) || !r.ReadU32(&count) || count > r.remaining()) {
+      return corrupt;
+    }
+    auto& list = objects[video];
+    for (uint32_t j = 0; j < count; ++j) {
+      ObjectRecord o;
+      if (!r.ReadStr(&o.cls) || !r.ReadStr(&o.name) || !ReadAttrs(&r, &o.attrs)) {
+        return corrupt;
+      }
+      list.push_back(std::move(o));
+    }
+  }
+  std::map<VideoId, std::vector<EventRecord>> events;
+  if (!r.ReadU32(&n) || n > r.remaining()) return corrupt;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t video = 0;
+    uint32_t count = 0;
+    if (!r.ReadU64(&video) || !r.ReadU32(&count) || count > r.remaining()) {
+      return corrupt;
+    }
+    auto& list = events[video];
+    for (uint32_t j = 0; j < count; ++j) {
+      EventRecord e;
+      if (!r.ReadStr(&e.type) || !r.ReadF64(&e.begin_sec) ||
+          !r.ReadF64(&e.end_sec) || !r.ReadF64(&e.confidence) ||
+          !ReadAttrs(&r, &e.attrs)) {
+        return corrupt;
+      }
+      list.push_back(std::move(e));
+    }
+  }
+  if (!r.exhausted()) return corrupt;
+
+  MutexLock lock(mu_);
+  videos_ = std::move(videos);
+  feature_names_ = std::move(feature_names);
+  objects_ = std::move(objects);
+  events_ = std::move(events);
+  event_version_ = std::max(event_version, wal_event_version);
+  session_.set_next_oid(next_oid);
   return Status::OK();
 }
 

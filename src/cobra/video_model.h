@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "kernel/catalog.h"
 #include "moa/moa.h"
 #include "rules/engine.h"
@@ -45,6 +47,11 @@ struct ObjectRecord {
 /// ordinary database content that queries (and the preprocessor's
 /// availability checks) can reach. Features are per-0.1 s-clip time series;
 /// events are attributed intervals.
+///
+/// Thread-safe for concurrent readers against a single writer: the layer
+/// mirrors and the event version are guarded by an internal mutex (the
+/// kernel catalog beneath has its own), so query threads may read while a
+/// writer stores events and checkpoints.
 class VideoCatalog {
  public:
   explicit VideoCatalog(kernel::Catalog* catalog);
@@ -87,7 +94,27 @@ class VideoCatalog {
   /// Monotonic counter bumped by every event-layer mutation (StoreEvent,
   /// StoreEvents, DropEvents). The query layer's result cache records it
   /// per entry, so any event change invalidates stale cached results.
-  uint64_t event_version() const { return event_version_; }
+  uint64_t event_version() const COBRA_EXCLUDES(mu_);
+
+  // -- Durability ---------------------------------------------------------
+
+  /// Attaches a persistent store: every event-version bump is WAL-logged
+  /// (kEventVersion) in bump order, so the invalidation counter — and with
+  /// it the staleness of any cached result — survives a crash. Pass null to
+  /// detach; the store must outlive the attachment.
+  void AttachStore(kernel::PersistentStore* store) COBRA_EXCLUDES(mu_);
+
+  /// Serializes the model mirrors (videos, feature/object/event indexes,
+  /// event version, next Moa oid) — the opaque `extra` payload a checkpoint
+  /// carries alongside the BAT image.
+  std::string SerializeState() const COBRA_EXCLUDES(mu_);
+
+  /// Replaces the mirrors with a SerializeState image (as returned in
+  /// RecoveryInfo::extra). `wal_event_version` is the newest replayed
+  /// kEventVersion record; the restored counter is the max of the two, so a
+  /// result cached before the crash can never read as fresh afterwards.
+  Status RestoreState(const std::string& payload, uint64_t wal_event_version)
+      COBRA_EXCLUDES(mu_);
 
   /// Bridges the event layer to the rule engine.
   static rules::EventFact ToFact(const EventRecord& event);
@@ -100,12 +127,17 @@ class VideoCatalog {
 
   kernel::Catalog* catalog_;
   moa::MoaSession session_;
-  std::vector<VideoDescriptor> videos_;
+
+  mutable Mutex mu_;
+  std::vector<VideoDescriptor> videos_ COBRA_GUARDED_BY(mu_);
   // Event storage: in-memory index mirroring the BAT-backed store.
-  std::map<VideoId, std::vector<EventRecord>> events_;
-  std::map<VideoId, std::vector<ObjectRecord>> objects_;
-  std::map<VideoId, std::vector<std::string>> feature_names_;
-  uint64_t event_version_ = 0;
+  std::map<VideoId, std::vector<EventRecord>> events_ COBRA_GUARDED_BY(mu_);
+  std::map<VideoId, std::vector<ObjectRecord>> objects_ COBRA_GUARDED_BY(mu_);
+  std::map<VideoId, std::vector<std::string>> feature_names_
+      COBRA_GUARDED_BY(mu_);
+  uint64_t event_version_ COBRA_GUARDED_BY(mu_) = 0;
+  /// WAL target for event-version bumps; null when durability is off.
+  kernel::PersistentStore* store_ COBRA_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace cobra::model

@@ -161,6 +161,13 @@ class Bat {
   const std::vector<Oid>& heads() const { return head_; }
   const std::vector<double>& float_tails() const { return floats_; }
   const std::vector<int64_t>& int_tails() const { return ints_; }
+  const std::vector<Oid>& oid_tails() const { return oids_; }
+  /// Per-row dictionary codes of a string tail (parallel to heads()).
+  const std::vector<uint32_t>& str_codes() const { return str_codes_; }
+  /// The interned string for a dictionary code (codes are dense, insertion
+  /// ordered: 0 .. DictSize()-1). Used by the persistence layer to walk the
+  /// dictionary heap in its canonical order.
+  const std::string& DictAt(uint32_t code) const { return *dict_order_[code]; }
 
   // -- Acceleration layer ---------------------------------------------------
 

@@ -13,6 +13,8 @@
 
 namespace cobra::kernel {
 
+class PersistentStore;
+
 /// Named-BAT catalog — the kernel's persistent variable environment. Moa
 /// operator programs address their operand columns through it, and the Cobra
 /// metadata layers (feature/object/event) store their decomposed relations
@@ -41,10 +43,21 @@ class Catalog {
   /// Drops a binding; error if absent.
   Status Drop(const std::string& name) COBRA_EXCLUDES(mu_);
 
+  /// Renames a binding; NotFound if `from` is absent, AlreadyExists if `to`
+  /// is taken. The Bat object (and its accreted indexes) moves untouched.
+  Status Rename(const std::string& from, const std::string& to)
+      COBRA_EXCLUDES(mu_);
+
   bool Exists(const std::string& name) const COBRA_EXCLUDES(mu_);
 
   /// All registered names, sorted.
   std::vector<std::string> Names() const COBRA_EXCLUDES(mu_);
+
+  /// Associates a persistence store with this catalog, purely for Stats()
+  /// reporting (on-disk footprint, checkpoint LSN). The catalog never calls
+  /// mutating store methods; pass nullptr to detach. Not owned; the store
+  /// must outlive the attachment.
+  void AttachStore(const PersistentStore* store) COBRA_EXCLUDES(mu_);
 
   /// Per-BAT acceleration snapshot (index lifecycle + dictionary state).
   struct BatStats {
@@ -54,14 +67,35 @@ class Catalog {
     Bat::AccelInfo accel;
   };
 
-  /// Stats for every registered BAT, in name order. Reads the live BATs in
-  /// place, so accreted indexes show up (catalog copies would not carry
-  /// them).
-  std::vector<BatStats> Stats() const COBRA_EXCLUDES(mu_);
+  /// Durability snapshot of the attached store (zeros when detached).
+  struct StoreStats {
+    bool attached = false;
+    uint64_t checkpoint_lsn = 0;  // generation of the newest snapshot
+    uint64_t last_lsn = 0;        // newest durable log sequence number
+    uint64_t on_disk_bytes = 0;   // snapshot + WAL footprint
+    uint64_t snapshot_files = 0;
+    uint64_t wal_files = 0;
+  };
+
+  struct CatalogStats {
+    std::vector<BatStats> bats;  // name order
+    StoreStats store;
+  };
+
+  /// Stats for every registered BAT, in name order, plus the durability
+  /// state of the attached store. Reads the live BATs in place, so accreted
+  /// indexes show up (catalog copies would not carry them).
+  CatalogStats Stats() const COBRA_EXCLUDES(mu_);
+
+  /// Stats() rendered as a JSON object (strict: passes trace::ValidateJson):
+  /// {"bats": [{name, tail_type, rows, dict_entries, ...} ...],
+  ///  "store": {attached, checkpoint_lsn, last_lsn, on_disk_bytes, ...}}.
+  std::string StatsJson() const COBRA_EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Bat>> bats_ COBRA_GUARDED_BY(mu_);
+  const PersistentStore* store_ COBRA_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace cobra::kernel

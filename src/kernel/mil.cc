@@ -1,11 +1,13 @@
 #include "kernel/mil.h"
 
 #include <cctype>
+#include <cstdlib>
 #include <functional>
 #include <cmath>
 
 #include "base/strings.h"
 #include "kernel/mil_lexer.h"
+#include "kernel/persist.h"
 
 namespace cobra::kernel {
 namespace {
@@ -44,7 +46,19 @@ std::string ValueToString(const MilValue& v) {
 
 }  // namespace
 
-MilSession::MilSession(Catalog* catalog) : catalog_(catalog) {}
+MilSession::MilSession(Catalog* catalog, std::string data_dir)
+    : catalog_(catalog),
+      fs_(io::RealFilesystem()),
+      data_dir_(std::move(data_dir)) {
+  if (data_dir_.empty()) {
+    if (const char* env = std::getenv("COBRA_DATA_DIR")) data_dir_ = env;
+  }
+}
+
+MilSession::~MilSession() {
+  // The catalog outlives the session; drop its pointer to our store.
+  if (store_ != nullptr) catalog_->AttachStore(nullptr);
+}
 
 Result<const MilValue*> MilSession::Get(const std::string& name) const {
   auto it = variables_.find(name);
@@ -63,6 +77,8 @@ Result<std::string> MilSession::Execute(const std::string& script) {
     actx.catalog = catalog_;
     actx.variables = &variables_;
     actx.trace_ready = trace_sink_ != nullptr;
+    actx.fs = fs_;
+    actx.data_dir_attached = !data_dir_.empty();
     DiagnosticList diags = AnalyzeMilScript(script, actx);
     COBRA_RETURN_IF_ERROR(diags.ToStatus("mil"));
   }
@@ -348,6 +364,8 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       actx.catalog = catalog_;
       actx.variables = &variables_;
       actx.trace_ready = trace_sink_ != nullptr;
+      actx.fs = fs_;
+      actx.data_dir_attached = !data_dir_.empty();
       actx.strict = true;
       const DiagnosticList diags = AnalyzeMilScript(arg.text, actx);
       if (diags.empty()) {
@@ -355,6 +373,51 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       } else {
         output += diags.ToString("mil");
       }
+      continue;
+    }
+    if (tok.kind == Token::Kind::kWord &&
+        (tok.text == "save" || tok.text == "load")) {
+      const bool saving = tok.text == "save";
+      COBRA_ASSIGN_OR_RETURN(Token arg, next());
+      if (arg.kind != Token::Kind::kString) {
+        return Status::InvalidArgument(tok.text +
+                                       " expects a quoted directory path");
+      }
+      if (saving) {
+        PersistentStore store(fs_, arg.text);
+        COBRA_RETURN_IF_ERROR(store.Open());
+        COBRA_RETURN_IF_ERROR(store.Checkpoint(*catalog_));
+        output += StrFormat(
+            "save: %zu bats (lsn %llu)\n", catalog_->Names().size(),
+            static_cast<unsigned long long>(store.last_lsn()));
+      } else {
+        if (!PersistentStore::Exists(*fs_, arg.text)) {
+          return Status::NotFound("no persistent store at " + arg.text);
+        }
+        PersistentStore store(fs_, arg.text);
+        COBRA_ASSIGN_OR_RETURN(PersistentStore::RecoveryInfo info,
+                               store.Recover(catalog_));
+        output += StrFormat(
+            "load: %zu bats (lsn %llu)\n", info.bat_count,
+            static_cast<unsigned long long>(info.lsn));
+      }
+      continue;
+    }
+    if (tok.kind == Token::Kind::kWord && tok.text == "checkpoint") {
+      if (data_dir_.empty()) {
+        return Status::FailedPrecondition(
+            "checkpoint requires an attached data directory; construct the "
+            "session with one or set COBRA_DATA_DIR");
+      }
+      if (store_ == nullptr) {
+        store_ = std::make_unique<PersistentStore>(fs_, data_dir_);
+        COBRA_RETURN_IF_ERROR(store_->Open());
+        catalog_->AttachStore(store_.get());
+      }
+      COBRA_RETURN_IF_ERROR(store_->Checkpoint(*catalog_));
+      output += StrFormat(
+          "checkpoint: %zu bats (lsn %llu)\n", catalog_->Names().size(),
+          static_cast<unsigned long long>(store_->last_lsn()));
       continue;
     }
     if (tok.kind == Token::Kind::kWord && tok.text == "trace") {

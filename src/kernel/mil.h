@@ -8,12 +8,15 @@
 #include <vector>
 
 #include "base/diag.h"
+#include "base/io.h"
 #include "base/status.h"
 #include "base/trace.h"
 #include "kernel/bat.h"
 #include "kernel/catalog.h"
 
 namespace cobra::kernel {
+
+class PersistentStore;
 
 /// A value in a MIL script: a BAT, a scalar, or a string.
 using MilValue = std::variant<Bat, double, std::string>;
@@ -37,6 +40,16 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///                            session's variable/trace environment) and
 ///                            appends its findings — or "check: ok" — to the
 ///                            output without executing anything
+///   save '<dir>';            checkpoint the whole catalog into a persistent
+///                            store at <dir> (snapshot + WAL rotation)
+///   load '<dir>';            replace the catalog with the recovered state
+///                            of the store at <dir> (NotFound if none);
+///                            session variables bound before the load keep
+///                            their old snapshots (value semantics)
+///   checkpoint;              checkpoint into the session's attached data
+///                            directory (constructor argument or the
+///                            COBRA_DATA_DIR environment variable);
+///                            FailedPrecondition when neither is set
 ///   <expr>;                  evaluate for effect
 ///
 /// Expressions:
@@ -60,7 +73,11 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///   numeric literals, "string" literals, variables
 class MilSession {
  public:
-  explicit MilSession(Catalog* catalog);
+  /// `data_dir` is the `checkpoint` statement's target; when empty it
+  /// defaults to the COBRA_DATA_DIR environment variable (and `checkpoint`
+  /// is a FailedPrecondition when neither names a directory).
+  explicit MilSession(Catalog* catalog, std::string data_dir = "");
+  ~MilSession();
 
   /// Runs a script; returns the PRINT output (one line per PRINT).
   ///
@@ -83,11 +100,20 @@ class MilSession {
   /// across Execute() calls until the next `trace on`.
   const trace::TraceSink* trace_sink() const { return trace_sink_.get(); }
 
+  /// Filesystem save/load/checkpoint run against; defaults to the real one.
+  /// Tests inject MemFs/FaultFs here.
+  void set_fs(io::Fs* fs) { fs_ = fs; }
+  const std::string& data_dir() const { return data_dir_; }
+
  private:
   Catalog* catalog_;
   std::map<std::string, MilValue> variables_;
   ExecContext exec_;
   std::unique_ptr<trace::TraceSink> trace_sink_;
+  io::Fs* fs_;
+  std::string data_dir_;
+  /// Store bound to data_dir_, created lazily by the first `checkpoint`.
+  std::unique_ptr<PersistentStore> store_;
 };
 
 /// Environment a MIL script is analyzed against: the catalog its bat()/
@@ -98,6 +124,12 @@ struct MilAnalysisContext {
   const Catalog* catalog = nullptr;
   const std::map<std::string, MilValue>* variables = nullptr;
   bool trace_ready = false;
+  /// Filesystem `load` existence checks run against; when null the analyzer
+  /// assumes every directory exists (conservative: never a false rejection).
+  const io::Fs* fs = nullptr;
+  /// Whether the session has a data directory attached, so `checkpoint` has
+  /// a target. Mirrors MilSession's constructor/COBRA_DATA_DIR state.
+  bool data_dir_attached = false;
   /// Strict (`check` statement) mode: stale-snapshot hazards — a variable
   /// bound by bat('x') used after persist('x', ...) replaced the catalog
   /// BAT — are errors. In engine mode they are warnings, because MIL's

@@ -30,6 +30,7 @@
 #include "base/strings.h"
 #include "kernel/mil.h"
 #include "kernel/mil_lexer.h"
+#include "kernel/persist.h"
 
 namespace cobra::kernel {
 namespace {
@@ -147,6 +148,21 @@ class MilAnalyzer {
         }
         continue;
       }
+      if (tok.kind == MilToken::Kind::kWord &&
+          (tok.text == "save" || tok.text == "load")) {
+        if (!AnalyzeSaveLoad(tok)) break;
+        continue;
+      }
+      if (tok.kind == MilToken::Kind::kWord && tok.text == "checkpoint") {
+        if (!ctx_.data_dir_attached) {
+          Error(tok,
+                "checkpoint requires an attached data directory; construct "
+                "the session with one or set COBRA_DATA_DIR",
+                StatusCode::kFailedPrecondition);
+          break;
+        }
+        continue;
+      }
       if (tok.kind == MilToken::Kind::kWord) {
         MilToken after;
         if (!Next(&after)) break;
@@ -228,6 +244,13 @@ class MilAnalyzer {
       *tail = overlay->second;
       return true;
     }
+    // After a `load` the catalog the script will see is the recovered one,
+    // not the one we can inspect — every lookup becomes fully conservative
+    // (unknown tail, misses allowed), preserving zero false rejections.
+    if (catalog_unknown_) {
+      tail->reset();
+      return true;
+    }
     if (ctx_.catalog == nullptr) {
       tail->reset();
       return true;
@@ -273,6 +296,33 @@ class MilAnalyzer {
     return true;
   }
 
+  /// `save '<dir>'` / `load '<dir>'`. Mirrors the interpreter: load of a
+  /// directory with no store is a NotFound (unless this script saved into
+  /// it first, or no filesystem was provided to check against). After a
+  /// load the inspectable catalog is stale, so lookups go conservative and
+  /// pre-load BAT snapshots become stale-read hazards.
+  bool AnalyzeSaveLoad(const MilToken& stmt) {
+    MilToken arg;
+    if (!Next(&arg)) return false;
+    if (arg.kind != MilToken::Kind::kString) {
+      Error(arg, stmt.text + " expects a quoted directory path");
+      return false;
+    }
+    if (stmt.text == "save") {
+      saved_dirs_.insert(arg.text);
+      return true;
+    }
+    if (ctx_.fs != nullptr && saved_dirs_.count(arg.text) == 0 &&
+        !PersistentStore::Exists(*ctx_.fs, arg.text)) {
+      Error(arg, "no persistent store at " + arg.text, StatusCode::kNotFound);
+      return false;
+    }
+    catalog_unknown_ = true;
+    overlay_wildcard_ = true;
+    reloaded_ = true;
+    return true;
+  }
+
   // -- Expressions ---------------------------------------------------------
 
   std::optional<SType> ParseExpr(int depth) {
@@ -301,11 +351,15 @@ class MilAnalyzer {
       }
       const SType& value = it->second;
       if (!value.snapshot_of.empty() &&
-          persisted_.count(value.snapshot_of) != 0) {
+          (persisted_.count(value.snapshot_of) != 0 || reloaded_)) {
         const std::string message =
-            "variable '" + name + "' reads a snapshot of BAT '" +
-            value.snapshot_of + "' taken before persist('" +
-            value.snapshot_of + "', ...) replaced it";
+            persisted_.count(value.snapshot_of) != 0
+                ? "variable '" + name + "' reads a snapshot of BAT '" +
+                      value.snapshot_of + "' taken before persist('" +
+                      value.snapshot_of + "', ...) replaced it"
+                : "variable '" + name + "' reads a snapshot of BAT '" +
+                      value.snapshot_of +
+                      "' taken before load replaced the catalog";
         if (ctx_.strict) {
           Error(name_tok, message, StatusCode::kFailedPrecondition);
           return std::nullopt;
@@ -636,6 +690,15 @@ class MilAnalyzer {
   bool overlay_wildcard_ = false;
   std::set<std::string> persisted_;
   bool trace_ready_ = false;
+  /// Directories this script has saved into (a later `load` of one is
+  /// known-good even if the directory does not exist yet at analysis time).
+  std::set<std::string> saved_dirs_;
+  /// True after a `load`: the catalog visible at analysis time no longer
+  /// predicts execution time, so catalog lookups stop reporting misses.
+  bool catalog_unknown_ = false;
+  /// True after a `load`: pre-load bat() snapshots held in variables are
+  /// stale-read hazards (errors in strict mode, warnings otherwise).
+  bool reloaded_ = false;
 };
 
 }  // namespace

@@ -1,0 +1,772 @@
+#include "kernel/persist.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace cobra::kernel {
+
+namespace {
+
+constexpr std::string_view kSnapshotMagic = "CBRASNP1";
+constexpr std::string_view kSnapshotTrailer = "CBRAEND1";
+constexpr size_t kPageDataSize = 64 * 1024;
+
+std::string SnapshotName(uint64_t gen) {
+  return StrFormat("snapshot-%020llu.cobra",
+                   static_cast<unsigned long long>(gen));
+}
+
+std::string WalName(uint64_t gen) {
+  return StrFormat("wal-%020llu.log", static_cast<unsigned long long>(gen));
+}
+
+std::string TmpSnapshotName(uint64_t gen) {
+  return StrFormat("snap-%020llu.tmp", static_cast<unsigned long long>(gen));
+}
+
+/// Parses `<prefix><20 digits><suffix>` into the generation number.
+bool ParseGen(const std::string& name, std::string_view prefix,
+              std::string_view suffix, uint64_t* gen) {
+  if (name.size() != prefix.size() + 20 + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t g = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 20; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    g = g * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *gen = g;
+  return true;
+}
+
+void PutValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case TailType::kInt:
+      io::PutI64(out, v.AsInt());
+      break;
+    case TailType::kFloat:
+      io::PutF64(out, v.AsFloat());
+      break;
+    case TailType::kStr:
+      io::PutStr(out, v.AsStr());
+      break;
+    case TailType::kOid:
+      io::PutU64(out, v.AsOid());
+      break;
+  }
+}
+
+bool ReadValue(io::ByteReader& r, Value* out) {
+  std::string type_byte;
+  if (!r.ReadBytes(1, &type_byte)) return false;
+  auto raw = static_cast<unsigned char>(type_byte[0]);
+  if (raw > static_cast<unsigned char>(TailType::kOid)) return false;
+  switch (static_cast<TailType>(raw)) {
+    case TailType::kInt: {
+      int64_t v = 0;
+      if (!r.ReadI64(&v)) return false;
+      *out = Value::Int(v);
+      return true;
+    }
+    case TailType::kFloat: {
+      double v = 0;
+      if (!r.ReadF64(&v)) return false;
+      *out = Value::Float(v);
+      return true;
+    }
+    case TailType::kStr: {
+      std::string v;
+      if (!r.ReadStr(&v)) return false;
+      *out = Value::Str(std::move(v));
+      return true;
+    }
+    case TailType::kOid: {
+      Oid v = 0;
+      if (!r.ReadU64(&v)) return false;
+      *out = Value::OfOid(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Columns of one BAT: tail type byte, row count, heads, typed tails.
+/// String tails serialize the dictionary heap in code order followed by the
+/// per-row codes; replaying appends through the dictionary reproduces the
+/// interning heap byte-identically (codes are assigned in first-occurrence
+/// order and rows are never deleted).
+void SerializeBat(const Bat& bat, std::string* out) {
+  out->push_back(static_cast<char>(bat.tail_type()));
+  const size_t rows = bat.size();
+  io::PutU64(out, rows);
+  for (Oid h : bat.heads()) io::PutU64(out, h);
+  switch (bat.tail_type()) {
+    case TailType::kInt:
+      for (int64_t v : bat.int_tails()) io::PutI64(out, v);
+      break;
+    case TailType::kFloat:
+      for (double v : bat.float_tails()) io::PutF64(out, v);
+      break;
+    case TailType::kOid:
+      for (Oid v : bat.oid_tails()) io::PutU64(out, v);
+      break;
+    case TailType::kStr: {
+      const auto dict_count = static_cast<uint32_t>(bat.DictSize());
+      io::PutU32(out, dict_count);
+      for (uint32_t code = 0; code < dict_count; ++code) {
+        io::PutStr(out, bat.DictAt(code));
+      }
+      for (uint32_t code : bat.str_codes()) io::PutU32(out, code);
+      break;
+    }
+  }
+}
+
+Result<Bat> DeserializeBat(io::ByteReader& r) {
+  const Status corrupt(StatusCode::kIoError, "corrupt BAT image");
+  std::string type_byte;
+  if (!r.ReadBytes(1, &type_byte)) return corrupt;
+  auto raw = static_cast<unsigned char>(type_byte[0]);
+  if (raw > static_cast<unsigned char>(TailType::kOid)) return corrupt;
+  const auto type = static_cast<TailType>(raw);
+  uint64_t rows = 0;
+  if (!r.ReadU64(&rows)) return corrupt;
+  // A row costs at least 5 encoded bytes; reject counts the buffer cannot
+  // hold before reserving memory for them.
+  if (rows > r.remaining()) return corrupt;
+  std::vector<Oid> heads(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    if (!r.ReadU64(&heads[i])) return corrupt;
+  }
+  Bat bat(type);
+  bat.Reserve(rows);
+  switch (type) {
+    case TailType::kInt:
+      for (uint64_t i = 0; i < rows; ++i) {
+        int64_t v = 0;
+        if (!r.ReadI64(&v)) return corrupt;
+        bat.AppendInt(heads[i], v);
+      }
+      break;
+    case TailType::kFloat:
+      for (uint64_t i = 0; i < rows; ++i) {
+        double v = 0;
+        if (!r.ReadF64(&v)) return corrupt;
+        bat.AppendFloat(heads[i], v);
+      }
+      break;
+    case TailType::kOid:
+      for (uint64_t i = 0; i < rows; ++i) {
+        Oid v = 0;
+        if (!r.ReadU64(&v)) return corrupt;
+        bat.AppendOid(heads[i], v);
+      }
+      break;
+    case TailType::kStr: {
+      uint32_t dict_count = 0;
+      if (!r.ReadU32(&dict_count)) return corrupt;
+      if (dict_count > r.remaining()) return corrupt;
+      std::vector<std::string> dict(dict_count);
+      for (uint32_t c = 0; c < dict_count; ++c) {
+        if (!r.ReadStr(&dict[c])) return corrupt;
+      }
+      for (uint64_t i = 0; i < rows; ++i) {
+        uint32_t code = 0;
+        if (!r.ReadU32(&code)) return corrupt;
+        if (code >= dict_count) return corrupt;
+        bat.AppendStr(heads[i], dict[code]);
+      }
+      break;
+    }
+  }
+  return bat;
+}
+
+/// Splits `logical` into CRC-guarded pages and writes them, one Append per
+/// page, then makes the file durable. Page framing (not one big write)
+/// bounds the blast radius of a torn sector to one page's checksum.
+Status WritePaged(io::Fs* fs, const std::string& path,
+                  std::string_view logical) {
+  COBRA_ASSIGN_OR_RETURN(std::unique_ptr<io::WritableFile> file,
+                         fs->NewWritableFile(path, /*truncate=*/true));
+  size_t pos = 0;
+  do {
+    const size_t len = std::min(kPageDataSize, logical.size() - pos);
+    std::string page;
+    page.reserve(len + 8);
+    io::PutU32(&page, static_cast<uint32_t>(len));
+    io::PutU32(&page, io::Crc32(logical.substr(pos, len)));
+    page.append(logical.data() + pos, len);
+    COBRA_RETURN_IF_ERROR(file->Append(page));
+    pos += len;
+  } while (pos < logical.size());
+  COBRA_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+/// Reassembles the logical stream of a paged file, verifying every page
+/// checksum; any framing or CRC violation is an error, never a partial
+/// result.
+Result<std::string> ReadPaged(const io::Fs& fs, const std::string& path) {
+  COBRA_ASSIGN_OR_RETURN(std::string raw, fs.ReadFile(path));
+  const Status corrupt(StatusCode::kIoError, "corrupt page in " + path);
+  std::string logical;
+  io::ByteReader r(raw);
+  while (!r.exhausted()) {
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    if (!r.ReadU32(&len) || !r.ReadU32(&crc)) return corrupt;
+    if (len > kPageDataSize) return corrupt;
+    std::string payload;
+    if (!r.ReadBytes(len, &payload)) return corrupt;
+    if (io::Crc32(payload) != crc) return corrupt;
+    logical.append(payload);
+  }
+  return logical;
+}
+
+struct ParsedSnapshot {
+  uint64_t lsn = 0;
+  std::string extra;
+  std::vector<std::pair<std::string, Bat>> bats;
+};
+
+Result<ParsedSnapshot> ParseSnapshot(const std::string& logical) {
+  const Status corrupt(StatusCode::kIoError, "corrupt snapshot stream");
+  io::ByteReader r(logical);
+  std::string magic;
+  if (!r.ReadBytes(kSnapshotMagic.size(), &magic) || magic != kSnapshotMagic) {
+    return corrupt;
+  }
+  ParsedSnapshot snap;
+  if (!r.ReadU64(&snap.lsn)) return corrupt;
+  if (!r.ReadStr(&snap.extra)) return corrupt;
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) return corrupt;
+  snap.bats.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!r.ReadStr(&name)) return corrupt;
+    COBRA_ASSIGN_OR_RETURN(Bat bat, DeserializeBat(r));
+    snap.bats.emplace_back(std::move(name), std::move(bat));
+  }
+  std::string trailer;
+  if (!r.ReadBytes(kSnapshotTrailer.size(), &trailer) ||
+      trailer != kSnapshotTrailer || !r.exhausted()) {
+    return corrupt;
+  }
+  return snap;
+}
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint8_t op = 0;
+  std::string operands;
+};
+
+/// Scans `data` for the longest valid record prefix: framing and CRC intact
+/// and LSNs strictly sequential from `prev_lsn`+1. Returns the byte length
+/// of that prefix and appends the records to `out`.
+size_t ScanWal(std::string_view data, uint64_t prev_lsn,
+               std::vector<WalRecord>* out) {
+  size_t valid = 0;
+  io::ByteReader r(data);
+  while (!r.exhausted()) {
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    if (!r.ReadU32(&len) || !r.ReadU32(&crc)) break;
+    std::string payload;
+    if (!r.ReadBytes(len, &payload)) break;
+    if (io::Crc32(payload) != crc) break;
+    io::ByteReader pr(payload);
+    WalRecord rec;
+    std::string op_byte;
+    if (!pr.ReadU64(&rec.lsn) || !pr.ReadBytes(1, &op_byte)) break;
+    if (rec.lsn != prev_lsn + 1) break;
+    rec.op = static_cast<uint8_t>(op_byte[0]);
+    rec.operands.assign(payload, 9, payload.size() - 9);
+    prev_lsn = rec.lsn;
+    valid += 8 + len;
+    if (out != nullptr) out->push_back(std::move(rec));
+  }
+  return valid;
+}
+
+/// Applies one replayed WAL record to the catalog. kEventVersion records
+/// only update `event_version` (the model layer re-syncs from it).
+Status ApplyRecord(Catalog* catalog, const WalRecord& rec,
+                   uint64_t* event_version) {
+  const Status corrupt(StatusCode::kIoError, "corrupt wal operands");
+  io::ByteReader r(rec.operands);
+  switch (static_cast<PersistentStore::WalOp>(rec.op)) {
+    case PersistentStore::WalOp::kCreate: {
+      std::string name;
+      std::string type_byte;
+      if (!r.ReadStr(&name) || !r.ReadBytes(1, &type_byte)) return corrupt;
+      auto raw = static_cast<unsigned char>(type_byte[0]);
+      if (raw > static_cast<unsigned char>(TailType::kOid)) return corrupt;
+      return catalog->Create(name, static_cast<TailType>(raw)).status();
+    }
+    case PersistentStore::WalOp::kAppend: {
+      std::string name;
+      Oid head = 0;
+      Value value;
+      if (!r.ReadStr(&name) || !r.ReadU64(&head) || !ReadValue(r, &value)) {
+        return corrupt;
+      }
+      COBRA_ASSIGN_OR_RETURN(Bat * bat, catalog->Get(name));
+      return bat->Append(head, value);
+    }
+    case PersistentStore::WalOp::kDrop: {
+      std::string name;
+      if (!r.ReadStr(&name)) return corrupt;
+      return catalog->Drop(name);
+    }
+    case PersistentStore::WalOp::kRename: {
+      std::string from;
+      std::string to;
+      if (!r.ReadStr(&from) || !r.ReadStr(&to)) return corrupt;
+      return catalog->Rename(from, to);
+    }
+    case PersistentStore::WalOp::kEventVersion: {
+      uint64_t v = 0;
+      if (!r.ReadU64(&v)) return corrupt;
+      *event_version = v;
+      return Status::OK();
+    }
+    case PersistentStore::WalOp::kPut: {
+      std::string name;
+      if (!r.ReadStr(&name)) return corrupt;
+      COBRA_ASSIGN_OR_RETURN(Bat bat, DeserializeBat(r));
+      catalog->Put(name, std::move(bat));
+      return Status::OK();
+    }
+  }
+  return Status(StatusCode::kIoError,
+                StrFormat("unknown wal op %u", rec.op));
+}
+
+}  // namespace
+
+PersistentStore::PersistentStore(io::Fs* fs, std::string dir)
+    : fs_(fs), dir_(std::move(dir)) {}
+
+PersistentStore::~PersistentStore() {
+  MutexLock lock(mu_);
+  if (wal_ != nullptr) (void)wal_->Close();
+}
+
+Status PersistentStore::Open() {
+  MutexLock lock(mu_);
+  return OpenLocked();
+}
+
+Status PersistentStore::OpenLocked() {
+  if (opened_) return Status::OK();
+  COBRA_RETURN_IF_ERROR(fs_->CreateDir(dir_));
+  COBRA_ASSIGN_OR_RETURN(std::vector<std::string> names, fs_->ListDir(dir_));
+  uint64_t newest_snapshot = 0;
+  std::vector<uint64_t> wal_gens;
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    if (ParseGen(name, "snapshot-", ".cobra", &gen)) {
+      newest_snapshot = std::max(newest_snapshot, gen);
+    } else if (ParseGen(name, "wal-", ".log", &gen)) {
+      wal_gens.push_back(gen);
+    }
+  }
+  std::sort(wal_gens.begin(), wal_gens.end());
+  checkpoint_lsn_ = newest_snapshot;
+  wal_gen_ = newest_snapshot;
+  uint64_t last_lsn = newest_snapshot;
+  // Scan the WAL chain for the newest durable LSN so new records continue
+  // the sequence. Files are scanned in generation order; the chain's last
+  // valid record wins.
+  for (uint64_t gen : wal_gens) {
+    if (gen < newest_snapshot) continue;
+    auto raw = fs_->ReadFile(dir_ + "/" + WalName(gen));
+    if (!raw.ok()) continue;
+    std::vector<WalRecord> records;
+    ScanWal(raw.value(), gen, &records);
+    if (!records.empty()) {
+      last_lsn = std::max(last_lsn, records.back().lsn);
+      wal_gen_ = gen;
+    } else if (gen > wal_gen_) {
+      wal_gen_ = gen;
+    }
+  }
+  next_lsn_ = last_lsn + 1;
+  wal_.reset();
+  wal_records_ = 0;
+  broken_ = Status::OK();
+  opened_ = true;
+  return Status::OK();
+}
+
+Status PersistentStore::EnsureWalLocked() {
+  if (wal_ != nullptr) return Status::OK();
+  const std::string path = dir_ + "/" + WalName(wal_gen_);
+  if (fs_->Exists(path)) {
+    // A previous crash can leave a torn record at the tail; appending after
+    // it would make every new record unreachable to replay. Truncate the
+    // file back to its longest valid prefix first.
+    COBRA_ASSIGN_OR_RETURN(std::string raw, fs_->ReadFile(path));
+    const size_t valid = ScanWal(raw, wal_gen_, nullptr);
+    if (valid < raw.size()) {
+      COBRA_ASSIGN_OR_RETURN(std::unique_ptr<io::WritableFile> rewrite,
+                             fs_->NewWritableFile(path, /*truncate=*/true));
+      COBRA_RETURN_IF_ERROR(rewrite->Append(std::string_view(raw).substr(0, valid)));
+      COBRA_RETURN_IF_ERROR(rewrite->Sync());
+      COBRA_RETURN_IF_ERROR(rewrite->Close());
+    }
+  }
+  COBRA_ASSIGN_OR_RETURN(wal_, fs_->NewWritableFile(path, /*truncate=*/false));
+  return Status::OK();
+}
+
+Status PersistentStore::AppendRecordLocked(WalOp op,
+                                           std::string_view operands) {
+  COBRA_RETURN_IF_ERROR(OpenLocked());
+  if (!broken_.ok()) {
+    return Status(StatusCode::kIoError,
+                  "store is fail-stop after: " + broken_.message());
+  }
+  Status status = EnsureWalLocked();
+  if (status.ok()) {
+    std::string payload;
+    payload.reserve(operands.size() + 9);
+    io::PutU64(&payload, next_lsn_);
+    payload.push_back(static_cast<char>(op));
+    payload.append(operands);
+    std::string record;
+    record.reserve(payload.size() + 8);
+    io::PutU32(&record, static_cast<uint32_t>(payload.size()));
+    io::PutU32(&record, io::Crc32(payload));
+    record.append(payload);
+    status = wal_->Append(record);
+    if (status.ok()) status = wal_->Sync();  // the commit point
+  }
+  if (!status.ok()) {
+    // Fail-stop: the WAL tail state is unknown (and a failed fsync must not
+    // be retried), so refuse further mutations until reopened/recovered.
+    broken_ = status;
+    wal_.reset();
+    return status;
+  }
+  ++next_lsn_;
+  ++wal_records_;
+  return Status::OK();
+}
+
+Status PersistentStore::LogCreate(const std::string& name, TailType tail_type) {
+  std::string operands;
+  io::PutStr(&operands, name);
+  operands.push_back(static_cast<char>(tail_type));
+  MutexLock lock(mu_);
+  return AppendRecordLocked(WalOp::kCreate, operands);
+}
+
+Status PersistentStore::LogAppend(const std::string& name, Oid head,
+                                  const Value& tail) {
+  std::string operands;
+  io::PutStr(&operands, name);
+  io::PutU64(&operands, head);
+  PutValue(&operands, tail);
+  MutexLock lock(mu_);
+  return AppendRecordLocked(WalOp::kAppend, operands);
+}
+
+Status PersistentStore::LogDrop(const std::string& name) {
+  std::string operands;
+  io::PutStr(&operands, name);
+  MutexLock lock(mu_);
+  return AppendRecordLocked(WalOp::kDrop, operands);
+}
+
+Status PersistentStore::LogRename(const std::string& from,
+                                  const std::string& to) {
+  std::string operands;
+  io::PutStr(&operands, from);
+  io::PutStr(&operands, to);
+  MutexLock lock(mu_);
+  return AppendRecordLocked(WalOp::kRename, operands);
+}
+
+Status PersistentStore::LogEventVersion(uint64_t version) {
+  std::string operands;
+  io::PutU64(&operands, version);
+  MutexLock lock(mu_);
+  return AppendRecordLocked(WalOp::kEventVersion, operands);
+}
+
+Status PersistentStore::LogPut(const std::string& name, const Bat& bat) {
+  std::string operands;
+  io::PutStr(&operands, name);
+  SerializeBat(bat, &operands);
+  MutexLock lock(mu_);
+  return AppendRecordLocked(WalOp::kPut, operands);
+}
+
+Status PersistentStore::Checkpoint(const Catalog& catalog,
+                                   std::string_view extra) {
+  MutexLock lock(mu_);
+  COBRA_RETURN_IF_ERROR(OpenLocked());
+  if (!broken_.ok()) {
+    return Status(StatusCode::kIoError,
+                  "store is fail-stop after: " + broken_.message());
+  }
+  const uint64_t gen = next_lsn_ - 1;
+
+  // Build the logical snapshot stream. Reads the catalog through its locked
+  // API while holding the store lock; Catalog::Stats reads store stats
+  // without its lock held, so this order never inverts.
+  std::string logical;
+  logical.append(kSnapshotMagic);
+  io::PutU64(&logical, gen);
+  io::PutStr(&logical, extra);
+  const std::vector<std::string> names = catalog.Names();
+  io::PutU32(&logical, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    COBRA_ASSIGN_OR_RETURN(const Bat* bat, catalog.Get(name));
+    io::PutStr(&logical, name);
+    SerializeBat(*bat, &logical);
+  }
+  logical.append(kSnapshotTrailer);
+
+  // Temp-write, sync, then atomic rename: until the rename lands the
+  // previous snapshot stays authoritative, so a crash anywhere in here
+  // loses nothing. A failed checkpoint is NOT fail-stop — disk state is
+  // untouched and WAL logging can continue.
+  const std::string tmp = dir_ + "/" + TmpSnapshotName(gen);
+  COBRA_RETURN_IF_ERROR(WritePaged(fs_, tmp, logical));
+  COBRA_RETURN_IF_ERROR(fs_->Rename(tmp, dir_ + "/" + SnapshotName(gen)));
+
+  // The snapshot is durable: rotate the WAL and prune old generations,
+  // always retaining the previous snapshot (and the WAL chain from it) as a
+  // fallback should the new file turn out unreadable.
+  if (wal_ != nullptr) {
+    (void)wal_->Close();
+    wal_.reset();
+  }
+  const uint64_t previous = checkpoint_lsn_;
+  checkpoint_lsn_ = gen;
+  wal_gen_ = gen;
+  auto names_or = fs_->ListDir(dir_);
+  if (names_or.ok()) {
+    for (const std::string& name : names_or.value()) {
+      uint64_t g = 0;
+      if (ParseGen(name, "snapshot-", ".cobra", &g)) {
+        if (g != previous && g != gen) (void)fs_->DeleteFile(dir_ + "/" + name);
+      } else if (ParseGen(name, "wal-", ".log", &g)) {
+        if (g < previous) (void)fs_->DeleteFile(dir_ + "/" + name);
+      } else if (ParseGen(name, "snap-", ".tmp", &g)) {
+        // Leftover from a checkpoint that crashed before its rename.
+        (void)fs_->DeleteFile(dir_ + "/" + name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<PersistentStore::RecoveryInfo> PersistentStore::Recover(
+    Catalog* catalog) {
+  MutexLock lock(mu_);
+  if (!fs_->Exists(dir_)) {
+    return Status::NotFound("no persistent store at " + dir_);
+  }
+  COBRA_ASSIGN_OR_RETURN(std::vector<std::string> names, fs_->ListDir(dir_));
+  std::vector<uint64_t> snapshot_gens;
+  std::vector<uint64_t> wal_gens;
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    if (ParseGen(name, "snapshot-", ".cobra", &gen)) {
+      snapshot_gens.push_back(gen);
+    } else if (ParseGen(name, "wal-", ".log", &gen)) {
+      wal_gens.push_back(gen);
+    }
+  }
+  if (snapshot_gens.empty() && wal_gens.empty()) {
+    return Status::NotFound("no persistent store at " + dir_);
+  }
+  std::sort(snapshot_gens.rbegin(), snapshot_gens.rend());
+  std::sort(wal_gens.begin(), wal_gens.end());
+
+  // Newest snapshot that actually parses wins; provably corrupt newer ones
+  // are deleted (best effort) so a later recovery cannot regress to them.
+  ParsedSnapshot base;
+  bool have_base = false;
+  bool fell_back = false;
+  uint64_t base_gen = 0;
+  for (size_t i = 0; i < snapshot_gens.size(); ++i) {
+    const std::string path = dir_ + "/" + SnapshotName(snapshot_gens[i]);
+    auto logical = ReadPaged(*fs_, path);
+    if (logical.ok()) {
+      auto parsed = ParseSnapshot(logical.value());
+      if (parsed.ok()) {
+        base = std::move(parsed).value();
+        base_gen = snapshot_gens[i];
+        have_base = true;
+        fell_back = i > 0;
+        break;
+      }
+    }
+    (void)fs_->DeleteFile(path);
+  }
+  if (!have_base) {
+    if (!snapshot_gens.empty() || (!wal_gens.empty() && wal_gens.front() > 0)) {
+      return Status(StatusCode::kIoError,
+                    "no valid snapshot in " + dir_ +
+                        " and the WAL chain does not reach back to genesis");
+    }
+    base_gen = 0;  // empty catalog + full replay of wal-0
+  }
+
+  // Rebuild the catalog in place: recovered state replaces whatever the
+  // caller had. Acceleration state is not restored — indexes re-accrete
+  // lazily, exactly as documented.
+  for (const std::string& name : catalog->Names()) {
+    COBRA_RETURN_IF_ERROR(catalog->Drop(name));
+  }
+  RecoveryInfo info;
+  info.used_fallback_snapshot = fell_back;
+  info.extra = base.extra;
+  for (auto& [name, bat] : base.bats) {
+    catalog->Put(name, std::move(bat));
+  }
+
+  // Replay the WAL chain from the snapshot forward. Records must advance
+  // the LSN strictly sequentially; the first checksum or sequence break
+  // ends replay — everything before it was committed, everything after it
+  // never was.
+  uint64_t applied_lsn = have_base ? base.lsn : 0;
+  uint64_t active_wal_gen = base_gen;
+  for (uint64_t gen : wal_gens) {
+    if (gen < base_gen) continue;
+    if (gen > applied_lsn) break;  // chain gap: later files are unreachable
+    auto raw = fs_->ReadFile(dir_ + "/" + WalName(gen));
+    if (!raw.ok()) break;
+    std::vector<WalRecord> records;
+    ScanWal(raw.value(), gen, &records);
+    active_wal_gen = gen;
+    bool stop = false;
+    for (const WalRecord& rec : records) {
+      if (rec.lsn <= applied_lsn) continue;  // already in the snapshot
+      if (rec.lsn != applied_lsn + 1) {
+        stop = true;
+        break;
+      }
+      if (!ApplyRecord(catalog, rec, &info.event_version).ok()) {
+        stop = true;
+        break;
+      }
+      applied_lsn = rec.lsn;
+      ++info.wal_records_applied;
+    }
+    if (stop) break;
+  }
+
+  info.lsn = applied_lsn;
+  info.bat_count = catalog->Names().size();
+
+  checkpoint_lsn_ = base_gen;
+  wal_gen_ = active_wal_gen;
+  next_lsn_ = applied_lsn + 1;
+  wal_.reset();
+  wal_records_ = 0;
+  broken_ = Status::OK();
+  opened_ = true;
+  return info;
+}
+
+PersistentStore::DiskStats PersistentStore::Stats() const {
+  MutexLock lock(mu_);
+  DiskStats stats;
+  stats.checkpoint_lsn = checkpoint_lsn_;
+  stats.last_lsn = next_lsn_ - 1;
+  stats.wal_records = wal_records_;
+  auto names = fs_->ListDir(dir_);
+  if (!names.ok()) return stats;
+  for (const std::string& name : names.value()) {
+    uint64_t gen = 0;
+    const bool is_snapshot = ParseGen(name, "snapshot-", ".cobra", &gen);
+    const bool is_wal = !is_snapshot && ParseGen(name, "wal-", ".log", &gen);
+    if (!is_snapshot && !is_wal) continue;
+    stats.snapshot_files += is_snapshot ? 1 : 0;
+    stats.wal_files += is_wal ? 1 : 0;
+    auto size = fs_->FileSize(dir_ + "/" + name);
+    if (size.ok()) stats.on_disk_bytes += size.value();
+  }
+  return stats;
+}
+
+uint64_t PersistentStore::last_lsn() const {
+  MutexLock lock(mu_);
+  return next_lsn_ - 1;
+}
+
+bool PersistentStore::Exists(const io::Fs& fs, const std::string& dir) {
+  auto names = fs.ListDir(dir);
+  if (!names.ok()) return false;
+  for (const std::string& name : names.value()) {
+    uint64_t gen = 0;
+    if (ParseGen(name, "snapshot-", ".cobra", &gen) ||
+        ParseGen(name, "wal-", ".log", &gen)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string PersistentStore::DumpCatalog(const Catalog& catalog) {
+  std::string out;
+  for (const std::string& name : catalog.Names()) {
+    auto bat_or = catalog.Get(name);
+    if (!bat_or.ok()) continue;  // racing drop; dumps are single-threaded
+    const Bat& bat = *bat_or.value();
+    out += StrFormat("bat %s type=%s rows=%llu\n", name.c_str(),
+                     std::string(TailTypeName(bat.tail_type())).c_str(),
+                     static_cast<unsigned long long>(bat.size()));
+    if (bat.tail_type() == TailType::kStr) {
+      out += StrFormat(" dict %llu:",
+                       static_cast<unsigned long long>(bat.DictSize()));
+      for (uint32_t code = 0; code < bat.DictSize(); ++code) {
+        out += StrFormat(" %u=\"%s\"", code, bat.DictAt(code).c_str());
+      }
+      out += "\n";
+    }
+    for (size_t i = 0; i < bat.size(); ++i) {
+      out += StrFormat(" %llu:", static_cast<unsigned long long>(bat.HeadAt(i)));
+      switch (bat.tail_type()) {
+        case TailType::kInt:
+          out += StrFormat("%lld", static_cast<long long>(bat.IntAt(i)));
+          break;
+        case TailType::kFloat: {
+          // Bit pattern, so -0.0 vs 0.0 and NaN payloads are distinguished.
+          uint64_t bits = 0;
+          double v = bat.FloatAt(i);
+          std::memcpy(&bits, &v, sizeof(bits));
+          out += StrFormat("f%016llx", static_cast<unsigned long long>(bits));
+          break;
+        }
+        case TailType::kStr:
+          out += StrFormat("s\"%s\"", bat.StrAt(i).c_str());
+          break;
+        case TailType::kOid:
+          out += StrFormat("o%llu",
+                           static_cast<unsigned long long>(bat.OidAt(i)));
+          break;
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::kernel

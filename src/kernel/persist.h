@@ -1,0 +1,161 @@
+#ifndef COBRA_KERNEL_PERSIST_H_
+#define COBRA_KERNEL_PERSIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/io.h"
+#include "base/mutex.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+
+namespace cobra::kernel {
+
+/// Crash-safe durability for a BAT catalog: page-checksummed snapshot files
+/// plus a write-ahead log, glued by an LSN handshake.
+///
+/// On-disk layout inside the store directory:
+///
+///   snapshot-<gen>.cobra   full catalog image; <gen> is the last LSN the
+///                          image covers (20-digit zero padded)
+///   wal-<gen>.log          mutations after snapshot <gen>; records carry
+///                          strictly increasing LSNs starting at <gen>+1
+///
+/// A snapshot is a sequence of pages `[u32 len][u32 crc32][payload]`
+/// (payload <= 64 KiB) whose concatenated payloads form one logical stream:
+/// magic, snapshot LSN, an opaque `extra` blob (the video-model state), and
+/// per-BAT columns — typed tails, dictionary heap in code order for string
+/// tails — closed by a trailer magic. It is written to a temp file, synced,
+/// then atomically renamed, so a crash mid-checkpoint leaves the previous
+/// snapshot authoritative.
+///
+/// WAL records are `[u32 len][u32 crc32][u64 lsn][u8 op][operands]`,
+/// appended and fsync'd per logical mutation; the sync is the commit point.
+/// Recovery loads the newest snapshot that parses (falling back to the
+/// previous generation if the newest is corrupt), then replays WAL records
+/// in LSN order, stopping at the first checksum/sequence break — a torn
+/// tail rolls back to the last durable mutation, never to a hybrid.
+///
+/// Acceleration state (hash indexes, result caches) is deliberately never
+/// serialized: it is rebuilt lazily on first probe after recovery.
+///
+/// Thread-safe: all methods lock the store; Checkpoint reads the catalog
+/// through its own locked API while holding the store lock (no path takes
+/// the two locks in the opposite order).
+class PersistentStore {
+ public:
+  /// WAL operation tags (stable on-disk values).
+  enum class WalOp : uint8_t {
+    kCreate = 1,        // str name, u8 tail_type
+    kAppend = 2,        // str name, u64 head, typed value
+    kDrop = 3,          // str name
+    kRename = 4,        // str from, str to
+    kEventVersion = 5,  // u64 version (VideoCatalog invalidation counter)
+    kPut = 6,           // str name, full BAT image (replaces binding)
+  };
+
+  PersistentStore(io::Fs* fs, std::string dir);
+  ~PersistentStore();
+
+  PersistentStore(const PersistentStore&) = delete;
+  PersistentStore& operator=(const PersistentStore&) = delete;
+
+  /// Scans the directory (creating it if absent) and positions the LSN
+  /// cursor after the newest durable record. Must be called before any
+  /// other method; idempotent.
+  Status Open() COBRA_EXCLUDES(mu_);
+
+  /// Writes a full snapshot of `catalog` (plus the opaque `extra` model
+  /// payload) at the current LSN, rotates the WAL, and prunes generations
+  /// older than the previous snapshot (two generations are always kept, so
+  /// a corrupt newest snapshot still recovers).
+  Status Checkpoint(const Catalog& catalog, std::string_view extra = "")
+      COBRA_EXCLUDES(mu_);
+
+  struct RecoveryInfo {
+    uint64_t lsn = 0;            // state is exact as of this LSN
+    uint64_t event_version = 0;  // newest kEventVersion record (0 if none)
+    std::string extra;           // model payload from the loaded snapshot
+    size_t bat_count = 0;        // BATs in the recovered catalog
+    uint64_t wal_records_applied = 0;
+    bool used_fallback_snapshot = false;  // newest snapshot was corrupt
+  };
+
+  /// Rebuilds `catalog` (any existing bindings are dropped) from the newest
+  /// valid snapshot plus WAL replay. Read-only on disk except that corrupt
+  /// newer snapshots are deleted once an older one recovers, and a torn WAL
+  /// tail is truncated away so the log can be appended to again.
+  Result<RecoveryInfo> Recover(Catalog* catalog) COBRA_EXCLUDES(mu_);
+
+  // -- WAL append API (one fsync'd record per call; the commit point) ------
+
+  Status LogCreate(const std::string& name, TailType tail_type)
+      COBRA_EXCLUDES(mu_);
+  Status LogAppend(const std::string& name, Oid head, const Value& tail)
+      COBRA_EXCLUDES(mu_);
+  Status LogDrop(const std::string& name) COBRA_EXCLUDES(mu_);
+  Status LogRename(const std::string& from, const std::string& to)
+      COBRA_EXCLUDES(mu_);
+  Status LogEventVersion(uint64_t version) COBRA_EXCLUDES(mu_);
+  /// Logs a full-BAT replacement (used when a binding is rebuilt wholesale,
+  /// e.g. Catalog::Put). Heavyweight; prefer LogAppend for row growth.
+  Status LogPut(const std::string& name, const Bat& bat) COBRA_EXCLUDES(mu_);
+
+  struct DiskStats {
+    uint64_t checkpoint_lsn = 0;
+    uint64_t last_lsn = 0;
+    uint64_t on_disk_bytes = 0;
+    uint64_t snapshot_files = 0;
+    uint64_t wal_files = 0;
+    uint64_t wal_records = 0;  // records logged through this store instance
+  };
+
+  DiskStats Stats() const COBRA_EXCLUDES(mu_);
+
+  uint64_t last_lsn() const COBRA_EXCLUDES(mu_);
+  const std::string& dir() const { return dir_; }
+
+  /// True when `dir` holds at least one snapshot or WAL file.
+  static bool Exists(const io::Fs& fs, const std::string& dir);
+
+  /// Canonical text image of every BAT in `catalog` (sorted names, typed
+  /// rows with floats as bit patterns, dictionary heap listing). Two
+  /// catalogs with equal dumps are byte-identical for every kernel
+  /// operation; the recovery tests compare these.
+  static std::string DumpCatalog(const Catalog& catalog);
+
+ private:
+  Status OpenLocked() COBRA_REQUIRES(mu_);
+  /// Appends one WAL record (next LSN, fsync'd) — the durable commit point.
+  Status AppendRecordLocked(WalOp op, std::string_view operands)
+      COBRA_REQUIRES(mu_);
+  /// Opens (and, if its tail is torn, truncates) the active WAL file.
+  Status EnsureWalLocked() COBRA_REQUIRES(mu_);
+
+  io::Fs* const fs_;
+  const std::string dir_;
+
+  mutable Mutex mu_;
+  bool opened_ COBRA_GUARDED_BY(mu_) = false;
+  uint64_t next_lsn_ COBRA_GUARDED_BY(mu_) = 1;
+  uint64_t checkpoint_lsn_ COBRA_GUARDED_BY(mu_) = 0;
+  /// Generation of the WAL file new records append to. Equal to
+  /// checkpoint_lsn_ except after a fallback recovery, where appends must
+  /// continue in the newest WAL so LSNs stay sequential per file.
+  uint64_t wal_gen_ COBRA_GUARDED_BY(mu_) = 0;
+  uint64_t wal_records_ COBRA_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<io::WritableFile> wal_ COBRA_GUARDED_BY(mu_);
+  /// Fail-stop latch: after a WAL write/fsync error the store refuses all
+  /// further mutations (an fsync failure must never be retried — the kernel
+  /// may have dropped the dirty pages). Cleared by Open()/Recover().
+  Status broken_ COBRA_GUARDED_BY(mu_);
+};
+
+}  // namespace cobra::kernel
+
+#endif  // COBRA_KERNEL_PERSIST_H_

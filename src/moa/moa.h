@@ -106,6 +106,11 @@ class MoaSession {
 
   kernel::Catalog* catalog() { return catalog_; }
 
+  /// The next fresh object id. Serialized by the durability layer so a
+  /// recovered session keeps allocating ids no live object uses.
+  kernel::Oid next_oid() const { return next_oid_; }
+  void set_next_oid(kernel::Oid oid) { next_oid_ = oid; }
+
   /// Execution parameters forwarded to the kernel operators the algebra
   /// rewrites into (select/join/aggregate go morsel-parallel past the
   /// cutoff). Defaults to the serial context.

@@ -1,12 +1,16 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <functional>
 #include <iterator>
+#include <utility>
 
 #include "base/logging.h"
 #include "base/strings.h"
 #include "base/trace.h"
+#include "kernel/persist.h"
 #include "query/analyzer.h"
 
 namespace cobra::query {
@@ -34,12 +38,41 @@ const char* TemporalOpName(TemporalOp op) {
 }  // namespace
 
 QueryEngine::QueryEngine(model::VideoCatalog* catalog,
-                         extensions::ExtensionRegistry* registry)
-    : catalog_(catalog), registry_(registry) {
+                         extensions::ExtensionRegistry* registry,
+                         std::string data_dir)
+    : catalog_(catalog),
+      registry_(registry),
+      fs_(io::RealFilesystem()),
+      data_dir_(std::move(data_dir)) {
   COBRA_CHECK(catalog != nullptr && registry != nullptr);
+  if (data_dir_.empty()) {
+    const char* env = std::getenv("COBRA_DATA_DIR");
+    if (env != nullptr) data_dir_ = env;
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  if (store_ != nullptr) {
+    catalog_->AttachStore(nullptr);
+    catalog_->session().catalog()->AttachStore(nullptr);
+  }
 }
 
 Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
+  // PERSIST / RECOVER are storage commands, not retrieval queries: they
+  // are dispatched before the analyzer/parser, so the retrieval grammar —
+  // and the accept-parity the analyzer tests pin over it — is untouched.
+  const std::string_view text = StrTrim(query_text);
+  size_t verb_len = 0;
+  while (verb_len < text.size() &&
+         std::isalpha(static_cast<unsigned char>(text[verb_len])) != 0) {
+    ++verb_len;
+  }
+  const std::string verb = ToUpperAscii(text.substr(0, verb_len));
+  if (verb == "PERSIST" || verb == "RECOVER") {
+    return ExecuteStorageCommand(verb == "PERSIST",
+                                 StrTrim(text.substr(verb_len)));
+  }
   // Static analysis first: malformed text is rejected here with
   // line:column diagnostics, before the parser (let alone any operator)
   // runs. A text the analyzer accepts always parses (analyzer_test pins
@@ -47,6 +80,99 @@ Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
   COBRA_RETURN_IF_ERROR(AnalyzeQueryText(query_text).ToStatus("query"));
   COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
   return Execute(parsed);
+}
+
+Result<kernel::PersistentStore*> QueryEngine::EnsureStore(
+    const std::string& dir) {
+  if (store_ == nullptr || store_->dir() != dir) {
+    if (store_ != nullptr) {
+      catalog_->AttachStore(nullptr);
+      catalog_->session().catalog()->AttachStore(nullptr);
+    }
+    auto store = std::make_unique<kernel::PersistentStore>(fs_, dir);
+    COBRA_RETURN_IF_ERROR(store->Open());
+    store_ = std::move(store);
+    // From here on, event-version bumps are WAL-logged and the kernel
+    // catalog reports the store in its stats.
+    catalog_->AttachStore(store_.get());
+    catalog_->session().catalog()->AttachStore(store_.get());
+  }
+  return store_.get();
+}
+
+Result<QueryResult> QueryEngine::ExecuteStorageCommand(bool persist,
+                                                       std::string_view rest) {
+  const char* verb = persist ? "PERSIST" : "RECOVER";
+  std::string dir;
+  if (rest.empty()) {
+    if (data_dir_.empty()) {
+      return Status::FailedPrecondition(StrFormat(
+          "%s needs a target: say %s '<dir>' or set COBRA_DATA_DIR", verb,
+          persist ? "PERSIST INTO" : "RECOVER FROM"));
+    }
+    dir = data_dir_;
+  } else {
+    std::string_view arg = rest;
+    size_t kw = 0;
+    while (kw < arg.size() &&
+           std::isalpha(static_cast<unsigned char>(arg[kw])) != 0) {
+      ++kw;
+    }
+    if (kw > 0) {
+      const std::string keyword = ToUpperAscii(arg.substr(0, kw));
+      if (keyword != (persist ? "INTO" : "FROM")) {
+        return Status::InvalidArgument(
+            StrFormat("%s: unexpected '%s' (expected %s '<dir>')", verb,
+                      std::string(arg.substr(0, kw)).c_str(),
+                      persist ? "INTO" : "FROM"));
+      }
+      arg = StrTrim(arg.substr(kw));
+    }
+    if (arg.size() < 2 || arg.front() != '\'' || arg.back() != '\'') {
+      return Status::InvalidArgument(
+          StrFormat("%s expects a quoted '<dir>'", verb));
+    }
+    dir = std::string(arg.substr(1, arg.size() - 2));
+    if (dir.empty() || dir.find('\'') != std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("%s: malformed directory path", verb));
+    }
+  }
+
+  QueryResult result;
+  kernel::Catalog* kcat = catalog_->session().catalog();
+  if (persist) {
+    COBRA_ASSIGN_OR_RETURN(kernel::PersistentStore * store, EnsureStore(dir));
+    COBRA_RETURN_IF_ERROR(
+        store->Checkpoint(*kcat, catalog_->SerializeState()));
+    result.info = StrFormat(
+        "persisted %zu videos, %zu bats into %s (lsn %llu)",
+        catalog_->Videos().size(), kcat->Names().size(), dir.c_str(),
+        static_cast<unsigned long long>(store->last_lsn()));
+    return result;
+  }
+  if (!kernel::PersistentStore::Exists(*fs_, dir)) {
+    return Status::NotFound("no persistent store at " + dir);
+  }
+  COBRA_ASSIGN_OR_RETURN(kernel::PersistentStore * store, EnsureStore(dir));
+  COBRA_ASSIGN_OR_RETURN(kernel::PersistentStore::RecoveryInfo info,
+                         store->Recover(kcat));
+  // A store written through this engine always carries the model payload;
+  // one written by a bare kernel client (MIL `save`) restores BATs only.
+  if (!info.extra.empty()) {
+    COBRA_RETURN_IF_ERROR(
+        catalog_->RestoreState(info.extra, info.event_version));
+  }
+  // Cached results describe the pre-recovery catalog: drop them all.
+  // Acceleration indexes were never serialized — they rebuild lazily on
+  // first probe.
+  ClearCache();
+  result.info = StrFormat(
+      "recovered %zu bats from %s (lsn %llu, %llu wal records%s)",
+      info.bat_count, dir.c_str(), static_cast<unsigned long long>(info.lsn),
+      static_cast<unsigned long long>(info.wal_records_applied),
+      info.used_fallback_snapshot ? ", fallback snapshot" : "");
+  return result;
 }
 
 Status QueryEngine::EnsureAvailable(model::VideoId video,
@@ -211,12 +337,11 @@ QueryEngine::CacheOutcome QueryEngine::CacheLookup(
 }
 
 void QueryEngine::CacheStore(const std::string& key,
-                             const std::vector<model::EventRecord>& segments) {
+                             const std::vector<model::EventRecord>& segments,
+                             uint64_t event_version) {
   MutexLock lock(cache_mu_);
   if (cache_capacity_ == 0) return;
-  // Record the event version AFTER execution, so the bump from our own
-  // dynamic extraction does not invalidate this entry.
-  lru_.push_front(CacheEntry{key, segments, catalog_->event_version()});
+  lru_.push_front(CacheEntry{key, segments, event_version});
   cache_map_[key] = lru_.begin();
   EvictToCapacity(cache_capacity_);
 }
@@ -298,6 +423,13 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
                        : " metadata=present"));
     }
   }
+  // Version the eventual cache entry at the moment the event lists are
+  // read: a writer bumping the version after this point leaves the stored
+  // entry already-stale (re-evaluated on next lookup), never wrongly
+  // fresh. Captured after the primary extraction so our own extraction's
+  // bump is inside the entry's version; a dynamic secondary extraction
+  // self-invalidates the entry, which merely costs one recomputation.
+  const uint64_t version_at_read = catalog_->event_version();
   COBRA_ASSIGN_OR_RETURN(auto primary_events,
                          catalog_->Events(video.id, query.primary.type));
 
@@ -360,7 +492,7 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
 
   result.segments = std::move(filtered);
   span.RowsOut(result.segments.size());
-  CacheStore(cache_key, result.segments);
+  CacheStore(cache_key, result.segments, version_at_read);
   return result;
 }
 

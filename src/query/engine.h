@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "base/io.h"
 #include "base/mutex.h"
 #include "base/status.h"
 #include "base/thread_annotations.h"
@@ -34,6 +37,9 @@ struct QueryResult {
   /// the original (cached) execution are never replayed.
   std::string profile_text;
   std::string profile_json;
+  /// Outcome line of a PERSIST/RECOVER storage command (empty for
+  /// retrieval queries).
+  std::string info;
 };
 
 /// Counters of the engine's extraction/result cache.
@@ -52,10 +58,27 @@ struct CacheStats {
 /// extraction), then evaluates the algebra over the event layer.
 class QueryEngine {
  public:
+  /// `data_dir` is the default target of the PERSIST/RECOVER storage
+  /// commands; when empty it falls back to the COBRA_DATA_DIR environment
+  /// variable (and a dir-less PERSIST is a FailedPrecondition when neither
+  /// is set).
   QueryEngine(model::VideoCatalog* catalog,
-              extensions::ExtensionRegistry* registry);
+              extensions::ExtensionRegistry* registry,
+              std::string data_dir = "");
+  ~QueryEngine();
 
-  /// Parses and executes a query string.
+  /// Parses and executes a query string. Two storage commands are
+  /// dispatched ahead of the retrieval grammar (parser and analyzer are
+  /// untouched by them):
+  ///
+  ///   PERSIST [INTO '<dir>']   checkpoint the catalog — BAT image plus the
+  ///                            video-model state — into the store at <dir>
+  ///   RECOVER [FROM '<dir>']   replace the catalog with the store's
+  ///                            recovered state; the result cache is
+  ///                            cleared and acceleration indexes rebuild
+  ///                            lazily (neither is ever serialized)
+  ///
+  /// Both report via QueryResult::info and return no segments.
   Result<QueryResult> Execute(const std::string& query_text);
 
   /// Executes an already-parsed query.
@@ -77,6 +100,11 @@ class QueryEngine {
   size_t cache_capacity() const COBRA_EXCLUDES(cache_mu_);
   void set_cache_capacity(size_t capacity) COBRA_EXCLUDES(cache_mu_);
   void ClearCache() COBRA_EXCLUDES(cache_mu_);
+
+  /// Filesystem the storage commands run against; defaults to the real
+  /// one. Tests inject MemFs/FaultFs here (before the first command).
+  void set_fs(io::Fs* fs) { fs_ = fs; }
+  const std::string& data_dir() const { return data_dir_; }
 
  private:
   /// The evaluator under an explicit context. PROFILE runs pass a context
@@ -111,16 +139,30 @@ class QueryEngine {
                            std::vector<model::EventRecord>* segments)
       COBRA_EXCLUDES(cache_mu_);
 
-  /// Stores a computed result under the CURRENT catalog event version (so
-  /// the bump from our own dynamic extraction does not invalidate it) and
-  /// evicts past capacity.
+  /// Stores a computed result under `event_version` — the catalog version
+  /// captured when the event lists were read, so an entry computed against
+  /// state a concurrent writer has since replaced stores as already-stale
+  /// (re-evaluated on the next lookup), never as wrongly fresh. Evicts past
+  /// capacity.
   void CacheStore(const std::string& key,
-                  const std::vector<model::EventRecord>& segments)
-      COBRA_EXCLUDES(cache_mu_);
+                  const std::vector<model::EventRecord>& segments,
+                  uint64_t event_version) COBRA_EXCLUDES(cache_mu_);
+
+  /// `PERSIST [INTO '<dir>']` / `RECOVER [FROM '<dir>']`; `rest` is the
+  /// command text after the verb.
+  Result<QueryResult> ExecuteStorageCommand(bool persist,
+                                            std::string_view rest);
+  /// Opens (or re-targets) the engine's store and attaches it to the model
+  /// and kernel catalogs.
+  Result<kernel::PersistentStore*> EnsureStore(const std::string& dir);
 
   model::VideoCatalog* catalog_;
   extensions::ExtensionRegistry* registry_;
   kernel::ExecContext exec_;
+  io::Fs* fs_;
+  std::string data_dir_;
+  /// Store bound to the last PERSIST/RECOVER target, created lazily.
+  std::unique_ptr<kernel::PersistentStore> store_;
 
   struct CacheEntry {
     std::string key;

@@ -231,14 +231,17 @@ TEST(CatalogStatsTest, ReportsAccelStatePerBat) {
   names->AppendStr(2, "beta");
   names->BuildTailIndex();
   auto stats = catalog.Stats();
-  ASSERT_EQ(stats.size(), 2u);
-  EXPECT_EQ(stats[0].name, "names");
-  EXPECT_EQ(stats[0].tail_type, TailType::kStr);
-  EXPECT_EQ(stats[0].rows, 2u);
-  EXPECT_EQ(stats[0].accel.dict_entries, 2u);
-  EXPECT_TRUE(stats[0].accel.tail_index_fresh);
-  EXPECT_EQ(stats[1].name, "values");
-  EXPECT_FALSE(stats[1].accel.tail_index_built);
+  ASSERT_EQ(stats.bats.size(), 2u);
+  EXPECT_EQ(stats.bats[0].name, "names");
+  EXPECT_EQ(stats.bats[0].tail_type, TailType::kStr);
+  EXPECT_EQ(stats.bats[0].rows, 2u);
+  EXPECT_EQ(stats.bats[0].accel.dict_entries, 2u);
+  EXPECT_TRUE(stats.bats[0].accel.tail_index_fresh);
+  EXPECT_EQ(stats.bats[1].name, "values");
+  EXPECT_FALSE(stats.bats[1].accel.tail_index_built);
+  // No store attached: the durability block reports zeros.
+  EXPECT_FALSE(stats.store.attached);
+  EXPECT_EQ(stats.store.checkpoint_lsn, 0u);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //      every valid input (the randomized side of this property runs in
 //      differential_test.cc across the full seed range).
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,10 +19,12 @@
 #include <gtest/gtest.h>
 
 #include "base/diag.h"
+#include "base/io.h"
 #include "cobra/video_model.h"
 #include "extensions/extension.h"
 #include "kernel/catalog.h"
 #include "kernel/mil.h"
+#include "kernel/persist.h"
 #include "query/analyzer.h"
 #include "query/engine.h"
 #include "query/parser.h"
@@ -79,6 +82,8 @@ TEST_F(MilAnalyzerTest, ValidScriptsPass) {
       "PRINT concat(bat('values'), bat('values'));",
       "PRINT info('values'); PRINT info(bat('names'));",
       "PRINT min(bat('values')); PRINT max(bat('values'));",
+      "save 'd1';",
+      "save 'd1'; load 'd1';",
   };
   for (const char* script : scripts) {
     DiagnosticList diags = Analyze(script);
@@ -135,6 +140,8 @@ TEST_F(MilAnalyzerTest, MalformedCorpusRejectedWithPositions) {
       "PRINT count(reverse(bat('values')));",
       "PRINT join(bat('values'), bat('values'));",
       "PRINT concat(bat('values'), bat('names'));",
+      "save 42;",
+      "load;",
   };
   for (const char* script : corpus) {
     DiagnosticList diags = Analyze(script);
@@ -263,6 +270,77 @@ TEST_F(MilAnalyzerTest, StaleSnapshotIsWarningUnlessStrict) {
   const Diagnostic d = FirstError(strict);
   EXPECT_EQ(d.code, StatusCode::kFailedPrecondition);
   EXPECT_NE(d.message.find("snapshot"), std::string::npos);
+}
+
+TEST_F(MilAnalyzerTest, PersistenceStatements) {
+  // With no filesystem in the context the analyzer assumes every store
+  // exists (conservative: never a false rejection).
+  EXPECT_TRUE(Analyze("load 'anywhere';").ok());
+
+  // With one attached, a load of a missing store is a static NotFound
+  // carrying the runtime's exact message...
+  io::MemFs fs;
+  ctx_.fs = &fs;
+  DiagnosticList missing = Analyze("load 'nowhere';");
+  ASSERT_FALSE(missing.ok());
+  const Diagnostic d = FirstError(missing);
+  EXPECT_EQ(d.code, StatusCode::kNotFound);
+  EXPECT_NE(d.message.find("no persistent store at nowhere"),
+            std::string::npos);
+
+  // ...a save earlier in the same script satisfies the lookup...
+  EXPECT_TRUE(Analyze("save 'fresh'; load 'fresh';").ok());
+
+  // ...and so does a store that is really on disk.
+  Catalog empty;
+  PersistentStore store(&fs, "real");
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Checkpoint(empty).ok());
+  EXPECT_TRUE(Analyze("load 'real';").ok());
+}
+
+TEST_F(MilAnalyzerTest, CheckpointRequiresAnAttachedDataDir) {
+  ::unsetenv("COBRA_DATA_DIR");
+  DiagnosticList diags = Analyze("checkpoint;");
+  ASSERT_FALSE(diags.ok());
+  const Diagnostic d = FirstError(diags);
+  EXPECT_EQ(d.code, StatusCode::kFailedPrecondition);
+  EXPECT_NE(d.message.find("attached data directory"), std::string::npos);
+  ctx_.data_dir_attached = true;
+  EXPECT_TRUE(Analyze("checkpoint;").ok());
+
+  // The session agrees at runtime: without a constructor dir (and with the
+  // environment variable cleared above) checkpoint has no target.
+  MilSession session(&catalog_);
+  auto out = session.Execute("checkpoint;");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MilAnalyzerTest, LoadMakesTheCatalogConservative) {
+  // After a load the analyzer cannot know the catalog contents, so unknown
+  // bat() lookups must pass rather than falsely reject.
+  EXPECT_FALSE(Analyze("PRINT count(bat('anything'));").ok());
+  EXPECT_TRUE(Analyze("load 'd'; PRINT count(bat('anything'));").ok());
+
+  // Variables bound before the load keep snapshots of the replaced
+  // catalog: a warning in engine mode, an error under check/strict.
+  const std::string script =
+      "VAR v := bat('values');\n"
+      "save 'd';\n"
+      "load 'd';\n"
+      "PRINT count(v);";
+  DiagnosticList lax = Analyze(script);
+  EXPECT_TRUE(lax.ok()) << lax.ToString("mil");
+  EXPECT_GE(lax.warning_count(), 1u);
+
+  ctx_.strict = true;
+  DiagnosticList strict = Analyze(script);
+  ASSERT_FALSE(strict.ok());
+  const Diagnostic d = FirstError(strict);
+  EXPECT_EQ(d.code, StatusCode::kFailedPrecondition);
+  EXPECT_NE(d.message.find("before load replaced the catalog"),
+            std::string::npos);
 }
 
 // -- MilSession integration: the verifier gates execution -------------------

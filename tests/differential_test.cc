@@ -30,12 +30,14 @@
 #include <gtest/gtest.h>
 
 #include "base/diag.h"
+#include "base/io.h"
 #include "base/rng.h"
 #include "base/trace.h"
 #include "kernel/bat.h"
 #include "kernel/catalog.h"
 #include "kernel/exec_context.h"
 #include "kernel/mil.h"
+#include "kernel/persist.h"
 
 namespace cobra::kernel {
 namespace {
@@ -330,6 +332,25 @@ TEST_P(DifferentialTest, MilScriptsVerifyAndAgreeAcrossPlans) {
     }
     EXPECT_EQ(reference, *out);
   }
+
+  // Durability leg: a checkpoint→recover round-trip of the catalog must be
+  // byte-identical (canonical dump), and the same script over the recovered
+  // catalog must print exactly the never-persisted reference.
+  io::MemFs fs;
+  PersistentStore writer(&fs, "store");
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.Checkpoint(catalog).ok());
+  Catalog recovered;
+  PersistentStore reader(&fs, "store");
+  auto info = reader.Recover(&recovered);
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_EQ(PersistentStore::DumpCatalog(catalog),
+            PersistentStore::DumpCatalog(recovered));
+  MilSession session(&recovered);
+  session.set_exec(PlanCtx(kPlans[0]));
+  auto replay = session.Execute(script);
+  ASSERT_TRUE(replay.ok()) << script << "\n" << replay.status().message();
+  EXPECT_EQ(reference, *replay);
 }
 
 // 240 seeded cases per property; the seed doubles as the ctest case name so

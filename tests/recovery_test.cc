@@ -1,0 +1,806 @@
+// Crash-safety proofs for the persistence layer (snapshot + WAL), driven by
+// the deterministic FaultFs shim:
+//
+//   * round-trip tests — snapshot, WAL replay, fallback to the previous
+//     generation, fail-stop discipline after a WAL error
+//   * an exhaustive crash-point matrix — for EVERY k, fail the k-th write /
+//     sync / rename (and torn-write the k-th append) of a fixed workload,
+//     simulate the machine dying, and assert recovery restores exactly the
+//     state before or after the interrupted mutation — never a torn hybrid
+//   * a short-read sweep — a prefix-truncated read of any snapshot or WAL
+//     file during recovery still yields some committed workload state, and a
+//     clean re-recovery converges to the final one
+//   * MIL save/load/checkpoint and engine PERSIST/RECOVER integration, the
+//     video-model state round-trip, and the TSAN reader/writer hammer over
+//     the result cache while a writer checkpoints and appends
+//
+// State equality is PersistentStore::DumpCatalog: two catalogs with equal
+// dumps are byte-identical for every kernel operation.
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/io.h"
+#include "base/rng.h"
+#include "base/trace.h"
+#include "cobra/video_model.h"
+#include "extensions/extension.h"
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+#include "kernel/mil.h"
+#include "kernel/persist.h"
+#include "query/engine.h"
+
+namespace cobra {
+namespace {
+
+using kernel::Bat;
+using kernel::Catalog;
+using kernel::Oid;
+using kernel::PersistentStore;
+using kernel::TailType;
+using kernel::Value;
+using Mode = io::FaultFs::FaultPlan::Mode;
+
+constexpr char kDir[] = "store";
+
+std::string Dump(const Catalog& catalog) {
+  return PersistentStore::DumpCatalog(catalog);
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic workload: a fixed op sequence covering every WAL record
+// kind (create of all four tail types, appends including duplicate/empty
+// strings and -0.0/NaN floats, rename, drop, event-version, full-BAT put),
+// plus two checkpoints whose snapshots span multiple pages (a >64 KiB
+// string rides in the bulk BAT). Each op WAL-logs first — the commit point
+// — and applies to the live catalog only when the log record landed.
+
+using WorkloadOp = std::function<Status(PersistentStore&, Catalog&)>;
+
+WorkloadOp CreateOp(const std::string& name, TailType type) {
+  return [name, type](PersistentStore& store, Catalog& cat) -> Status {
+    COBRA_RETURN_IF_ERROR(store.LogCreate(name, type));
+    return cat.Create(name, type).status();
+  };
+}
+
+WorkloadOp AppendOp(const std::string& name, Oid head, const Value& tail) {
+  return [name, head, tail](PersistentStore& store, Catalog& cat) -> Status {
+    COBRA_RETURN_IF_ERROR(store.LogAppend(name, head, tail));
+    COBRA_ASSIGN_OR_RETURN(Bat * bat, cat.Get(name));
+    return bat->Append(head, tail);
+  };
+}
+
+WorkloadOp RenameOp(const std::string& from, const std::string& to) {
+  return [from, to](PersistentStore& store, Catalog& cat) -> Status {
+    COBRA_RETURN_IF_ERROR(store.LogRename(from, to));
+    return cat.Rename(from, to);
+  };
+}
+
+WorkloadOp DropOp(const std::string& name) {
+  return [name](PersistentStore& store, Catalog& cat) -> Status {
+    COBRA_RETURN_IF_ERROR(store.LogDrop(name));
+    return cat.Drop(name);
+  };
+}
+
+WorkloadOp EventVersionOp(uint64_t version) {
+  return [version](PersistentStore& store, Catalog&) -> Status {
+    return store.LogEventVersion(version);
+  };
+}
+
+WorkloadOp PutOp(const std::string& name, const Bat& image) {
+  return [name, image](PersistentStore& store, Catalog& cat) -> Status {
+    COBRA_RETURN_IF_ERROR(store.LogPut(name, image));
+    cat.Put(name, image);
+    return Status::OK();
+  };
+}
+
+WorkloadOp CheckpointOp(const std::string& extra) {
+  return [extra](PersistentStore& store, Catalog& cat) -> Status {
+    return store.Checkpoint(cat, extra);
+  };
+}
+
+Bat BulkStrBat() {
+  Bat bat(TailType::kStr);
+  bat.AppendStr(1, std::string(70 * 1024, 'x'));  // forces multi-page pages
+  bat.AppendStr(2, "");
+  for (Oid i = 3; i < 40; ++i) {
+    bat.AppendStr(i, i % 2 == 0 ? "dup-even" : "dup-odd");
+  }
+  return bat;
+}
+
+std::vector<WorkloadOp> BuildWorkload() {
+  std::vector<WorkloadOp> ops;
+  ops.push_back(CreateOp("ints", TailType::kInt));
+  ops.push_back(CreateOp("strs", TailType::kStr));
+  ops.push_back(CreateOp("floats", TailType::kFloat));
+  ops.push_back(CreateOp("oids", TailType::kOid));
+  ops.push_back(AppendOp("ints", 1, Value::Int(42)));
+  ops.push_back(AppendOp("ints", 2, Value::Int(-7)));
+  ops.push_back(AppendOp("strs", 1, Value::Str("alpha")));
+  ops.push_back(AppendOp("strs", 2, Value::Str("")));
+  ops.push_back(AppendOp("strs", 3, Value::Str("alpha")));
+  ops.push_back(AppendOp("floats", 1, Value::Float(-0.0)));
+  ops.push_back(AppendOp("floats", 2, Value::Float(std::nan(""))));
+  ops.push_back(AppendOp("oids", 1, Value::OfOid(99)));
+  ops.push_back(EventVersionOp(1));
+  ops.push_back(CheckpointOp("model-state-1"));
+  ops.push_back(PutOp("bulk", BulkStrBat()));
+  ops.push_back(AppendOp("ints", 3, Value::Int(1000000)));
+  ops.push_back(RenameOp("ints", "laps"));
+  ops.push_back(DropOp("floats"));
+  ops.push_back(CheckpointOp("model-state-2"));
+  // Logged after the last checkpoint, so recovery must surface it from the
+  // WAL (pre-checkpoint bumps ride inside the snapshot's extra payload).
+  ops.push_back(EventVersionOp(2));
+  ops.push_back(CreateOp("post", TailType::kStr));
+  ops.push_back(AppendOp("post", 1, Value::Str("tail")));
+  return ops;
+}
+
+/// Runs the workload against a fresh store+catalog on `fs`, stopping at the
+/// first failing op. Returns that op's 1-based index, or 0 when all ran.
+/// When `dumps` is non-null, records the catalog image before any op and
+/// after each one: dumps[j] is the state with exactly j ops applied.
+size_t RunWorkload(io::Fs* fs, const std::vector<WorkloadOp>& ops,
+                   std::vector<std::string>* dumps) {
+  PersistentStore store(fs, kDir);
+  if (!store.Open().ok()) return 1;
+  Catalog catalog;
+  if (dumps != nullptr) dumps->push_back(Dump(catalog));
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i](store, catalog).ok()) return i + 1;
+    if (dumps != nullptr) dumps->push_back(Dump(catalog));
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(PersistTest, SnapshotAndWalRoundTrip) {
+  io::MemFs fs;
+  const std::vector<WorkloadOp> ops = BuildWorkload();
+  std::vector<std::string> dumps;
+  ASSERT_EQ(RunWorkload(&fs, ops, &dumps), 0u);
+
+  Catalog recovered;
+  PersistentStore reader(&fs, kDir);
+  auto info = reader.Recover(&recovered);
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_EQ(Dump(recovered), dumps.back());
+  EXPECT_FALSE(info->used_fallback_snapshot);
+  // The last checkpoint's extra payload is the one recovery hands back,
+  // and the WAL bumped the event version after it was taken.
+  EXPECT_EQ(info->extra, "model-state-2");
+  EXPECT_EQ(info->event_version, 2u);
+  // Only the records after the last checkpoint replay.
+  EXPECT_EQ(info->wal_records_applied, 3u);
+  EXPECT_EQ(info->bat_count, recovered.Names().size());
+
+  // Recovery is idempotent: a second pass lands on the same image.
+  Catalog again;
+  PersistentStore reader2(&fs, kDir);
+  ASSERT_TRUE(reader2.Recover(&again).ok());
+  EXPECT_EQ(Dump(again), dumps.back());
+}
+
+TEST(PersistTest, WalOnlyRecoveryReplaysFromGenesis) {
+  // No checkpoint ever ran: wal-0 alone must rebuild the catalog.
+  io::MemFs fs;
+  Catalog catalog;
+  PersistentStore store(&fs, kDir);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(CreateOp("ints", TailType::kInt)(store, catalog).ok());
+  ASSERT_TRUE(AppendOp("ints", 7, Value::Int(7))(store, catalog).ok());
+
+  Catalog recovered;
+  PersistentStore reader(&fs, kDir);
+  auto info = reader.Recover(&recovered);
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_EQ(info->wal_records_applied, 2u);
+  EXPECT_EQ(Dump(recovered), Dump(catalog));
+}
+
+TEST(PersistTest, RecoverWithoutStoreIsNotFound) {
+  io::MemFs fs;
+  EXPECT_FALSE(PersistentStore::Exists(fs, "nothing"));
+  Catalog catalog;
+  PersistentStore store(&fs, "nothing");
+  auto info = store.Recover(&catalog);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PersistTest, FallbackToPreviousSnapshotWhenNewestIsCorrupt) {
+  io::MemFs fs;
+  const std::vector<WorkloadOp> ops = BuildWorkload();
+  std::vector<std::string> dumps;
+  ASSERT_EQ(RunWorkload(&fs, ops, &dumps), 0u);
+
+  // Scribble over the newest snapshot. The previous generation plus the
+  // retained WAL chain must replay to the exact same final state.
+  auto names = fs.ListDir(kDir);
+  ASSERT_TRUE(names.ok());
+  std::string newest;
+  for (const std::string& name : names.value()) {
+    if (name.rfind("snapshot-", 0) == 0 && name > newest) newest = name;
+  }
+  ASSERT_FALSE(newest.empty());
+  {
+    auto file = fs.NewWritableFile(std::string(kDir) + "/" + newest,
+                                   /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append("not a snapshot").ok());
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+
+  Catalog recovered;
+  PersistentStore reader(&fs, kDir);
+  auto info = reader.Recover(&recovered);
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_TRUE(info->used_fallback_snapshot);
+  EXPECT_EQ(info->extra, "model-state-1");
+  EXPECT_EQ(Dump(recovered), dumps.back());
+
+  // The provably corrupt newer snapshot was deleted, so a later recovery
+  // cannot regress to it.
+  names = fs.ListDir(kDir);
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : names.value()) EXPECT_NE(name, newest);
+}
+
+TEST(PersistTest, WalErrorIsFailStop) {
+  io::FaultFs fs;
+  Catalog catalog;
+  PersistentStore store(&fs, kDir);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.LogCreate("a", TailType::kInt).ok());
+
+  fs.Arm({Mode::kFailSync, 1, 0});
+  EXPECT_FALSE(store.LogCreate("b", TailType::kInt).ok());
+
+  // Even with the filesystem healthy again, the store refuses to mutate: an
+  // fsync failure must never be retried. Only Open()/Recover() clear it.
+  fs.Arm({Mode::kNone, 0, 0});
+  auto latched = store.LogCreate("c", TailType::kInt);
+  ASSERT_FALSE(latched.ok());
+  EXPECT_NE(latched.message().find("fail-stop"), std::string::npos);
+  EXPECT_FALSE(store.Checkpoint(catalog).ok());
+
+  Catalog recovered;
+  ASSERT_TRUE(store.Recover(&recovered).ok());
+  EXPECT_TRUE(store.LogCreate("c", TailType::kInt).ok());
+}
+
+TEST(PersistTest, DiskStatsReportFootprint) {
+  io::MemFs fs;
+  const std::vector<WorkloadOp> ops = BuildWorkload();
+  ASSERT_EQ(RunWorkload(&fs, ops, nullptr), 0u);
+
+  PersistentStore store(&fs, kDir);
+  ASSERT_TRUE(store.Open().ok());
+  const PersistentStore::DiskStats stats = store.Stats();
+  EXPECT_GT(stats.checkpoint_lsn, 0u);
+  EXPECT_GT(stats.last_lsn, stats.checkpoint_lsn);
+  EXPECT_GT(stats.on_disk_bytes, 70u * 1024);  // the bulk string is in there
+  EXPECT_EQ(stats.snapshot_files, 2u);         // two generations retained
+  EXPECT_GE(stats.wal_files, 1u);
+}
+
+TEST(PersistTest, CatalogStatsReportTheAttachedStore) {
+  io::MemFs fs;
+  Catalog catalog;
+  catalog.Put("tricky", BulkStrBat());
+  PersistentStore store(&fs, kDir);
+  ASSERT_TRUE(store.Open().ok());
+  catalog.AttachStore(&store);
+  ASSERT_TRUE(store.Checkpoint(catalog).ok());
+  ASSERT_TRUE(store.LogCreate("later", TailType::kInt).ok());
+
+  const Catalog::CatalogStats stats = catalog.Stats();
+  ASSERT_EQ(stats.bats.size(), 1u);
+  EXPECT_EQ(stats.bats[0].name, "tricky");
+  EXPECT_TRUE(stats.store.attached);
+  EXPECT_EQ(stats.store.checkpoint_lsn, store.Stats().checkpoint_lsn);
+  EXPECT_EQ(stats.store.last_lsn, store.last_lsn());
+  EXPECT_GT(stats.store.last_lsn, stats.store.checkpoint_lsn);
+  EXPECT_GT(stats.store.on_disk_bytes, 70u * 1024);
+  EXPECT_EQ(stats.store.snapshot_files, 1u);
+  EXPECT_GE(stats.store.wal_files, 1u);
+
+  // The JSON rendering is strict (machine-readable) and carries the
+  // durability block next to the per-BAT acceleration state.
+  const std::string json = catalog.StatsJson();
+  EXPECT_TRUE(trace::ValidateJson(json).ok()) << json;
+  for (const char* key :
+       {"\"bats\"", "\"store\"", "\"attached\"", "\"checkpoint_lsn\"",
+        "\"last_lsn\"", "\"on_disk_bytes\"", "\"snapshot_files\"",
+        "\"wal_files\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+
+  // Detaching zeroes the block again (accel_test pins the detached shape).
+  catalog.AttachStore(nullptr);
+  EXPECT_FALSE(catalog.Stats().store.attached);
+}
+
+// ---------------------------------------------------------------------------
+// The crash-point matrix. Fault seeds are drawn from the same RNG the
+// differential harness uses, so every run of the suite exercises the same
+// deterministic plans.
+
+TEST(CrashMatrixTest, EveryWriteSyncAndRenameCrashPoint) {
+  const std::vector<WorkloadOp> ops = BuildWorkload();
+
+  // Reference run: the per-op state images and the op-count ceilings that
+  // size the matrix.
+  io::FaultFs ref;
+  std::vector<std::string> dumps;
+  ASSERT_EQ(RunWorkload(&ref, ops, &dumps), 0u);
+  const io::FaultFs::OpCounts totals = ref.counts();
+  ASSERT_GT(totals.writes, 15);
+  ASSERT_GT(totals.syncs, 15);
+  ASSERT_EQ(totals.renames, 2);  // one per checkpoint
+
+  struct Axis {
+    Mode mode;
+    int count;
+    const char* name;
+  };
+  const Axis axes[] = {
+      {Mode::kFailWrite, totals.writes, "fail-write"},
+      {Mode::kTornWrite, totals.writes, "torn-write"},
+      {Mode::kFailSync, totals.syncs, "fail-sync"},
+      {Mode::kFailRename, totals.renames, "fail-rename"},
+  };
+
+  Rng rng(0xD1FFE7);
+  int cases = 0;
+  for (const Axis& axis : axes) {
+    for (int k = 1; k <= axis.count; ++k) {
+      SCOPED_TRACE(std::string(axis.name) + " k=" + std::to_string(k));
+      io::FaultFs fs;
+      fs.Arm({axis.mode, k, rng.UniformInt(uint64_t{1} << 62)});
+
+      // The fault fires inside exactly one op (counts are deterministic),
+      // which fails; the workload stops there, as a dying process would.
+      const size_t failed_at = RunWorkload(&fs, ops, nullptr);
+      ASSERT_NE(failed_at, 0u) << "armed fault never fired";
+      fs.Crash();  // unsynced bytes vanish, the machine restarts
+
+      // Recovery must land exactly on the state before or after the
+      // interrupted mutation — never on a torn hybrid of the two.
+      Catalog recovered;
+      PersistentStore reader(&fs, kDir);
+      auto info = reader.Recover(&recovered);
+      ASSERT_TRUE(info.ok()) << info.status().message();
+      const std::string dump = Dump(recovered);
+      EXPECT_TRUE(dump == dumps[failed_at - 1] || dump == dumps[failed_at])
+          << "hybrid state after crashing op " << failed_at << ":\n"
+          << dump;
+
+      // The store is writable again — a torn WAL tail is truncated away by
+      // the next append — and the new record survives another recovery.
+      ASSERT_TRUE(reader.LogCreate("after-crash", TailType::kInt).ok());
+      ASSERT_TRUE(recovered.Create("after-crash", TailType::kInt).ok());
+      Catalog again;
+      PersistentStore reader2(&fs, kDir);
+      ASSERT_TRUE(reader2.Recover(&again).ok());
+      EXPECT_EQ(Dump(again), Dump(recovered));
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 60);  // the matrix really is exhaustive, not sampled
+}
+
+TEST(CrashMatrixTest, ShortReadsNeverYieldHybridState) {
+  const std::vector<WorkloadOp> ops = BuildWorkload();
+  std::vector<std::string> dumps;
+  {
+    io::FaultFs probe;
+    ASSERT_EQ(RunWorkload(&probe, ops, &dumps), 0u);
+  }
+
+  Rng rng(0x5EED5);
+  for (int drop_newest = 0; drop_newest < 2; ++drop_newest) {
+    // Scenario 1 removes the newest snapshot (as if its rename never
+    // landed), so the sweep also short-reads the fallback snapshot and the
+    // full WAL chain. k = 1 would truncate the only remaining snapshot —
+    // genuine data loss, not a recoverable crash — so it starts at 2.
+    for (int k = drop_newest == 0 ? 1 : 2; k <= 5; ++k) {
+      SCOPED_TRACE("drop_newest=" + std::to_string(drop_newest) +
+                   " k=" + std::to_string(k));
+      io::FaultFs fs;
+      ASSERT_EQ(RunWorkload(&fs, ops, nullptr), 0u);
+      if (drop_newest == 1) {
+        auto names = fs.ListDir(kDir);
+        ASSERT_TRUE(names.ok());
+        std::string newest;
+        for (const std::string& name : names.value()) {
+          if (name.rfind("snapshot-", 0) == 0 && name > newest) newest = name;
+        }
+        ASSERT_FALSE(newest.empty());
+        ASSERT_TRUE(fs.DeleteFile(std::string(kDir) + "/" + newest).ok());
+      }
+
+      fs.Arm({Mode::kShortRead, k, rng.UniformInt(uint64_t{1} << 62)});
+      Catalog recovered;
+      PersistentStore reader(&fs, kDir);
+      auto info = reader.Recover(&recovered);
+      ASSERT_TRUE(info.ok()) << info.status().message();
+
+      // Whatever file the prefix-truncated read hit, the result is SOME
+      // committed workload state — a consistent prefix, never a hybrid.
+      const std::string dump = Dump(recovered);
+      bool is_known_state = false;
+      for (const std::string& d : dumps) is_known_state |= (dump == d);
+      EXPECT_TRUE(is_known_state) << "hybrid state:\n" << dump;
+
+      // With reads healthy again, recovery converges to the full final
+      // state: a corrupt-looking newest snapshot was deleted, but the
+      // retained fallback chain replays to the same LSN.
+      fs.Arm({Mode::kNone, 0, 0});
+      Catalog again;
+      PersistentStore reader2(&fs, kDir);
+      ASSERT_TRUE(reader2.Recover(&again).ok());
+      EXPECT_EQ(Dump(again), dumps.back());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Video-model state: the opaque `extra` payload a checkpoint carries.
+
+model::EventRecord MakeEvent(const std::string& type, double b, double e,
+                             std::map<std::string, std::string> attrs = {}) {
+  model::EventRecord record;
+  record.type = type;
+  record.begin_sec = b;
+  record.end_sec = e;
+  record.attrs = std::move(attrs);
+  return record;
+}
+
+TEST(VideoModelPersistTest, SerializeRestoreRoundTrip) {
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  auto id = videos.RegisterVideo("german-gp", 5400.0, 30.0);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(videos.StoreFeatureSeries(*id, "audio_rms", {0.1, 0.9}).ok());
+  model::ObjectRecord car;
+  car.cls = "car";
+  car.name = "FERRARI";
+  car.attrs["color"] = "red";
+  ASSERT_TRUE(videos.StoreObject(*id, car).ok());
+  ASSERT_TRUE(
+      videos.StoreEvent(*id, MakeEvent("highlight", 10, 20, {{"driver", "X"}}))
+          .ok());
+  ASSERT_TRUE(videos.StoreEvent(*id, MakeEvent("caption", 12, 14)).ok());
+
+  const std::string blob = videos.SerializeState();
+  kernel::Catalog kcat2;
+  model::VideoCatalog other(&kcat2);
+  ASSERT_TRUE(other.RestoreState(blob, 0).ok());
+
+  auto video = other.FindVideo("german-gp");
+  ASSERT_TRUE(video.ok());
+  EXPECT_EQ(video->id, *id);
+  EXPECT_DOUBLE_EQ(video->duration_sec, 5400.0);
+  EXPECT_DOUBLE_EQ(video->fps, 30.0);
+  EXPECT_EQ(other.FeatureNames(*id), videos.FeatureNames(*id));
+  auto objects = other.Objects(*id, "car");
+  ASSERT_TRUE(objects.ok());
+  ASSERT_EQ(objects->size(), 1u);
+  EXPECT_EQ((*objects)[0].name, "FERRARI");
+  EXPECT_EQ((*objects)[0].attrs.at("color"), "red");
+  auto events = other.Events(*id);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].type, "highlight");
+  EXPECT_EQ((*events)[0].attrs.at("driver"), "X");
+  EXPECT_EQ(other.event_version(), videos.event_version());
+
+  // The WAL's newest event-version record wins when it is ahead of the
+  // serialized counter, so pre-crash cached results can never read fresh.
+  ASSERT_TRUE(other.RestoreState(blob, 999).ok());
+  EXPECT_EQ(other.event_version(), 999u);
+}
+
+TEST(VideoModelPersistTest, CorruptPayloadIsRejectedAtomically) {
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  auto id = videos.RegisterVideo("race", 60.0);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(videos.StoreEvent(*id, MakeEvent("highlight", 1, 2)).ok());
+  const std::string blob = videos.SerializeState();
+
+  kernel::Catalog kcat2;
+  model::VideoCatalog other(&kcat2);
+  ASSERT_TRUE(other.RestoreState(blob, 0).ok());
+  // A truncated or scribbled payload fails without touching the mirrors.
+  EXPECT_FALSE(other.RestoreState(blob.substr(0, blob.size() - 1), 0).ok());
+  EXPECT_FALSE(other.RestoreState("CBRAVID1 garbage", 0).ok());
+  EXPECT_FALSE(other.RestoreState("", 0).ok());
+  auto events = other.Events(*id);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MIL statements: save / load / checkpoint.
+
+TEST(MilPersistTest, SaveLoadRoundTrip) {
+  io::MemFs fs;
+  kernel::Catalog a;
+  kernel::MilSession sa(&a);
+  sa.set_fs(&fs);
+  auto saved = sa.Execute(
+      "VAR names := new(\"str\");\n"
+      "names := insert(names, 1, \"alpha\");\n"
+      "names := insert(names, 2, \"\");\n"
+      "names := insert(names, 3, \"alpha\");\n"
+      "persist(\"names\", names);\n"
+      "persist(\"empty\", new(\"int\"));\n"
+      "save 'd1';\n");
+  ASSERT_TRUE(saved.ok()) << saved.status().message();
+  ASSERT_TRUE(PersistentStore::Exists(fs, "d1"));
+
+  kernel::Catalog b;
+  kernel::MilSession sb(&b);
+  sb.set_fs(&fs);
+  auto loaded = sb.Execute("load 'd1';\nPRINT count(bat(\"names\"));\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_NE(loaded->find("3"), std::string::npos);
+  EXPECT_EQ(Dump(b), Dump(a));
+}
+
+TEST(MilPersistTest, LoadMissingStoreIsNotFound) {
+  io::MemFs fs;
+  kernel::Catalog catalog;
+  kernel::MilSession session(&catalog);
+  session.set_fs(&fs);
+  auto r = session.Execute("load 'nowhere';");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("no persistent store at nowhere"),
+            std::string::npos);
+}
+
+TEST(MilPersistTest, CheckpointNeedsAnAttachedDataDir) {
+  ::unsetenv("COBRA_DATA_DIR");
+  io::MemFs fs;
+  kernel::Catalog catalog;
+  kernel::MilSession bare(&catalog);
+  bare.set_fs(&fs);
+  auto r = bare.Execute("checkpoint;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+
+  kernel::MilSession attached(&catalog, "d2");
+  attached.set_fs(&fs);
+  auto ok = attached.Execute("persist(\"x\", new(\"int\"));\ncheckpoint;");
+  ASSERT_TRUE(ok.ok()) << ok.status().message();
+  EXPECT_TRUE(PersistentStore::Exists(fs, "d2"));
+
+  kernel::Catalog recovered;
+  kernel::MilSession other(&recovered);
+  other.set_fs(&fs);
+  ASSERT_TRUE(other.Execute("load 'd2';").ok());
+  EXPECT_EQ(Dump(recovered), Dump(catalog));
+}
+
+// ---------------------------------------------------------------------------
+// Engine storage commands and the recovered-catalog differential.
+
+class EnginePersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("COBRA_DATA_DIR");
+    auto id = videos_.RegisterVideo("race", 600.0);
+    ASSERT_TRUE(id.ok());
+    video_ = *id;
+    ASSERT_TRUE(videos_.StoreEvent(video_, MakeEvent("highlight", 30, 40)).ok());
+    ASSERT_TRUE(videos_
+                    .StoreEvent(video_, MakeEvent("highlight", 100, 110,
+                                                  {{"driver", "ALESI"}}))
+                    .ok());
+    ASSERT_TRUE(videos_
+                    .StoreEvent(video_, MakeEvent("caption", 102, 106,
+                                                  {{"driver", "ALESI"}}))
+                    .ok());
+    ASSERT_TRUE(videos_.StoreFeatureSeries(video_, "rms", {0.5, 0.7}).ok());
+    engine_.set_fs(&fs_);
+  }
+
+  io::MemFs fs_;
+  kernel::Catalog catalog_;
+  model::VideoCatalog videos_{&catalog_};
+  extensions::ExtensionRegistry registry_;
+  query::QueryEngine engine_{&videos_, &registry_, "qstore"};
+  model::VideoId video_ = 0;
+};
+
+TEST_F(EnginePersistTest, PersistRecoverRoundTrip) {
+  auto persisted = engine_.Execute("PERSIST");
+  ASSERT_TRUE(persisted.ok()) << persisted.status().message();
+  EXPECT_TRUE(persisted->segments.empty());
+  EXPECT_NE(persisted->info.find("persisted 1 videos"), std::string::npos);
+  EXPECT_NE(persisted->info.find("into qstore"), std::string::npos);
+
+  // A second engine over an empty catalog recovers the full four-layer
+  // state and answers the same queries with the same segments.
+  kernel::Catalog kcat2;
+  model::VideoCatalog videos2(&kcat2);
+  query::QueryEngine engine2(&videos2, &registry_);
+  engine2.set_fs(&fs_);
+  auto recovered = engine2.Execute("RECOVER FROM 'qstore'");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_NE(recovered->info.find("recovered"), std::string::npos);
+
+  EXPECT_EQ(Dump(kcat2), Dump(catalog_));
+  EXPECT_EQ(videos2.event_version(), videos_.event_version());
+  auto series = videos2.LoadFeatureSeries(video_, "rms");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(*series, (std::vector<double>{0.5, 0.7}));
+
+  const std::string q =
+      "RETRIEVE highlight FROM 'race' OVERLAPPING caption WHERE driver = "
+      "'ALESI'";
+  auto original = engine_.Execute(q);
+  auto replayed = engine2.Execute(q);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  ASSERT_EQ(replayed->segments.size(), original->segments.size());
+  for (size_t i = 0; i < original->segments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(replayed->segments[i].begin_sec,
+                     original->segments[i].begin_sec);
+    EXPECT_DOUBLE_EQ(replayed->segments[i].end_sec,
+                     original->segments[i].end_sec);
+  }
+}
+
+TEST_F(EnginePersistTest, StorageCommandErrors) {
+  query::QueryEngine bare(&videos_, &registry_);
+  bare.set_fs(&fs_);
+  auto no_target = bare.Execute("PERSIST");
+  ASSERT_FALSE(no_target.ok());
+  EXPECT_EQ(no_target.status().code(), StatusCode::kFailedPrecondition);
+
+  auto missing = engine_.Execute("RECOVER FROM 'missing'");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  for (const char* bad :
+       {"PERSIST INTO unquoted", "PERSIST FROM 'd'", "RECOVER INTO 'd'",
+        "PERSIST INTO ''", "RECOVER FROM 'a'b'"}) {
+    auto r = engine_.Execute(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST_F(EnginePersistTest, RecoverClearsTheResultCache) {
+  const std::string q = "RETRIEVE highlight FROM 'race'";
+  auto first = engine_.Execute(q);
+  ASSERT_TRUE(first.ok());
+  auto second = engine_.Execute(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+
+  ASSERT_TRUE(engine_.Execute("PERSIST").ok());
+  auto recovered = engine_.Execute("RECOVER");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+
+  // Same state, but recomputed: the cache was dropped wholesale.
+  auto third = engine_.Execute(q);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->cache_hit);
+  EXPECT_EQ(third->segments.size(), first->segments.size());
+}
+
+// ---------------------------------------------------------------------------
+// The hammer: reader threads on the result cache while one writer appends
+// events and checkpoints. Run under the tsan preset, this is the data-race
+// proof for the model-mutex / store-mutex / kernel-mutex lock order; the
+// assertions pin the event_version invalidation ordering (no reader ever
+// sees a cached result from before a bump it could observe).
+
+TEST(PersistConcurrencyTest, QueriesRaceCheckpointsAndAppends) {
+  io::MemFs fs;
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  extensions::ExtensionRegistry registry;
+  query::QueryEngine engine(&videos, &registry, "hammer");
+  engine.set_fs(&fs);
+  auto id = videos.RegisterVideo("race", 600.0);
+  ASSERT_TRUE(id.ok());
+  constexpr size_t kSeedEvents = 8;
+  constexpr size_t kWriterEvents = 40;
+  for (size_t i = 0; i < kSeedEvents; ++i) {
+    ASSERT_TRUE(videos
+                    .StoreEvent(*id, MakeEvent("highlight", 10.0 + i,
+                                               11.0 + i, {{"driver", "ALPHA"}}))
+                    .ok());
+  }
+
+  const std::string q =
+      "RETRIEVE highlight FROM 'race' WHERE driver = 'ALPHA'";
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = engine.Execute(q);
+        // Every result — cached or computed — is a consistent snapshot
+        // between the seed state and the writer's final state.
+        if (!r.ok() || r->segments.size() < kSeedEvents ||
+            r->segments.size() > kSeedEvents + kWriterEvents) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (size_t i = 0; i < kWriterEvents; ++i) {
+      if (!videos
+               .StoreEvent(*id, MakeEvent("highlight", 100.0 + i, 101.0 + i,
+                                          {{"driver", "ALPHA"}}))
+               .ok()) {
+        failures.fetch_add(1);
+      }
+      if (i % 8 == 0 && !engine.Execute("PERSIST").ok()) {
+        failures.fetch_add(1);
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  writer.join();
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Deterministic invalidation ordering: a bump after a cached read makes
+  // the next identical query recompute and observe the new event.
+  auto before = engine.Execute(q);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(
+      videos.StoreEvent(*id, MakeEvent("highlight", 500, 501,
+                                       {{"driver", "ALPHA"}}))
+          .ok());
+  auto after = engine.Execute(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_EQ(after->segments.size(), before->segments.size() + 1);
+
+  // And the whole battered state round-trips through a final checkpoint.
+  ASSERT_TRUE(engine.Execute("PERSIST").ok());
+  kernel::Catalog kcat2;
+  model::VideoCatalog videos2(&kcat2);
+  query::QueryEngine engine2(&videos2, &registry);
+  engine2.set_fs(&fs);
+  ASSERT_TRUE(engine2.Execute("RECOVER FROM 'hammer'").ok());
+  EXPECT_EQ(videos2.event_version(), videos.event_version());
+  auto replayed = videos2.Events(*id, "highlight");
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->size(), kSeedEvents + kWriterEvents + 1);
+}
+
+}  // namespace
+}  // namespace cobra
