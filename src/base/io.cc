@@ -260,6 +260,18 @@ class RealFs : public Fs {
     return Result<std::vector<std::string>>(std::move(names));
   }
 
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return IoError("open", dir, errno);
+    if (::fsync(fd) != 0) {
+      int err = errno;
+      ::close(fd);
+      return IoError("fsync", dir, err);
+    }
+    if (::close(fd) != 0) return IoError("close", dir, errno);
+    return Status::OK();
+  }
+
   Status CreateDir(const std::string& dir) override {
     // mkdir -p: create each path component, tolerating ones that exist.
     std::string partial;
@@ -408,8 +420,39 @@ Status MemFs::CreateDir(const std::string& dir) {
   return Status::OK();
 }
 
+Status MemFs::SyncDir(const std::string& dir) {
+  MutexLock lock(mu_);
+  if (dirs_.count(dir) == 0) {
+    return Status(StatusCode::kIoError, "no such directory: " + dir);
+  }
+  // Publish the live namespace of `dir` into the durable view: creates and
+  // renames become crash-visible, unlinked entries become crash-invisible.
+  const std::string prefix = dir + "/";
+  auto in_dir = [&prefix](const std::string& path) {
+    return path.size() > prefix.size() &&
+           path.compare(0, prefix.size(), prefix) == 0 &&
+           path.find('/', prefix.size()) == std::string::npos;
+  };
+  for (auto it = durable_files_.begin(); it != durable_files_.end();) {
+    if (in_dir(it->first) && files_.count(it->first) == 0) {
+      it = durable_files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, file] : files_) {
+    if (in_dir(path)) durable_files_[path] = file;
+  }
+  return Status::OK();
+}
+
 void MemFs::DropUnsynced() {
   MutexLock lock(mu_);
+  // The crash view: only SyncDir-published entries survive, each truncated
+  // to its fsync'd prefix. A file whose entry was never published vanishes
+  // even if its bytes were fsync'd (the inode is unreachable), and
+  // unpublished renames/deletes roll back.
+  files_ = durable_files_;
   for (auto& [path, file] : files_) {
     file->data.resize(file->synced);
   }
@@ -516,6 +559,15 @@ Status FaultFs::DeleteFile(const std::string& path) {
     }
   }
   return MemFs::DeleteFile(path);
+}
+
+Status FaultFs::SyncDir(const std::string& dir) {
+  TripOutcome trip = Trip(FaultPlan::Mode::kFailSync,
+                          FaultPlan::Mode::kFailSync, &counts_.syncs);
+  if (trip.fail) {
+    return Status(StatusCode::kIoError, "injected fault: dir fsync " + dir);
+  }
+  return MemFs::SyncDir(dir);
 }
 
 Status FaultFs::AppendTo(const std::shared_ptr<File>& file,

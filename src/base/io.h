@@ -96,14 +96,24 @@ class Fs {
       const std::string& dir) const = 0;
   /// Creates `dir` (and missing parents); OK when it already exists.
   virtual Status CreateDir(const std::string& dir) = 0;
+  /// Makes `dir`'s entries crash-durable. On POSIX, fsync of a file covers
+  /// its bytes but NOT its directory entry: a file created, renamed, or
+  /// unlinked under `dir` is only guaranteed to survive power loss after
+  /// the directory itself is fsynced. Callers publishing via
+  /// NewWritableFile/Rename/DeleteFile must SyncDir before treating the
+  /// namespace change as committed.
+  virtual Status SyncDir(const std::string& dir) = 0;
 };
 
 /// The process-wide POSIX filesystem.
 Fs* RealFilesystem();
 
 /// In-memory filesystem for hermetic tests. Tracks, per file, how much of
-/// the content has been Sync'd so DropUnsynced() can simulate the
-/// bytes-in-flight loss of a crash. Thread-safe.
+/// the content has been Sync'd, and keeps a second, durable view of the
+/// namespace that only SyncDir advances — so DropUnsynced() simulates both
+/// the bytes-in-flight loss of a crash AND the loss of directory entries
+/// (created/renamed/deleted files) that were never published with a
+/// directory fsync. Thread-safe.
 class MemFs : public Fs {
  public:
   MemFs() = default;
@@ -121,9 +131,12 @@ class MemFs : public Fs {
   Result<std::vector<std::string>> ListDir(const std::string& dir) const
       override COBRA_EXCLUDES(mu_);
   Status CreateDir(const std::string& dir) override COBRA_EXCLUDES(mu_);
+  Status SyncDir(const std::string& dir) override COBRA_EXCLUDES(mu_);
 
-  /// Crash simulation: discards every byte not covered by a successful
-  /// Sync, exactly what a power loss does to the page cache.
+  /// Crash simulation: rolls the namespace back to the last SyncDir-durable
+  /// view (unpublished creates/renames/deletes revert), then discards every
+  /// byte not covered by a successful Sync — exactly what a power loss does
+  /// to the page cache and to unjournaled directory entries.
   void DropUnsynced() COBRA_EXCLUDES(mu_);
 
  protected:
@@ -141,6 +154,10 @@ class MemFs : public Fs {
 
   mutable Mutex mu_;
   std::map<std::string, std::shared_ptr<File>> files_ COBRA_GUARDED_BY(mu_);
+  /// The namespace as a crash would reveal it: entries published by the
+  /// last SyncDir of their parent directory. Values alias `files_` objects.
+  std::map<std::string, std::shared_ptr<File>> durable_files_
+      COBRA_GUARDED_BY(mu_);
   std::set<std::string> dirs_ COBRA_GUARDED_BY(mu_);
 
  private:
@@ -187,6 +204,8 @@ class FaultFs : public MemFs {
   Result<std::string> ReadFile(const std::string& path) const override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status DeleteFile(const std::string& path) override;
+  /// Counted on the sync axis: the k-th fsync may be a directory fsync.
+  Status SyncDir(const std::string& dir) override;
 
  protected:
   Status AppendTo(const std::shared_ptr<File>& file,

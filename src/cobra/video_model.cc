@@ -45,6 +45,46 @@ VideoCatalog::VideoCatalog(kernel::Catalog* catalog)
   COBRA_CHECK(session_.DefineClass(object_class).ok());
 }
 
+namespace {
+
+/// Leading magic of a serialized model payload (bump on layout changes).
+constexpr char kStateMagic[] = "CBRAVID1";
+
+/// Operation tags of the opaque kModel WAL records (stable on-disk values).
+/// Each record is the tag byte followed by the operands listed; replay
+/// re-executes the public mutation method, so oid allocation and mirror
+/// updates reproduce the original run exactly.
+enum class ModelOp : uint8_t {
+  kVideo = 1,       // str name, f64 duration, f64 fps
+  kFeature = 2,     // u64 video, str feature, u32 n, f64 value * n
+  kObject = 3,      // u64 video, str class, str name, attrs
+  kEvent = 4,       // u64 video, str type, f64 begin/end/conf, attrs, u64 ver
+  kDropEvents = 5,  // u64 video, str type, u64 ver
+};
+
+void PutAttrs(std::string* out,
+              const std::map<std::string, std::string>& attrs) {
+  io::PutU32(out, static_cast<uint32_t>(attrs.size()));
+  for (const auto& [k, v] : attrs) {
+    io::PutStr(out, k);
+    io::PutStr(out, v);
+  }
+}
+
+bool ReadAttrs(io::ByteReader* r, std::map<std::string, std::string>* attrs) {
+  uint32_t n = 0;
+  if (!r->ReadU32(&n) || n > r->remaining()) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string k;
+    std::string v;
+    if (!r->ReadStr(&k) || !r->ReadStr(&v)) return false;
+    (*attrs)[std::move(k)] = std::move(v);
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<VideoId> VideoCatalog::RegisterVideo(const std::string& name,
                                             double duration_sec, double fps) {
   MutexLock lock(mu_);
@@ -64,6 +104,18 @@ Result<VideoId> VideoCatalog::RegisterVideo(const std::string& name,
   desc.duration_sec = duration_sec;
   desc.fps = fps;
   videos_.push_back(desc);
+  if (store_ != nullptr && !replaying_) {
+    // Logged under the lock so records reach the WAL in mutation order;
+    // replay re-executes them in that order, so the oid allocated above
+    // comes out identical. Lock order model -> store is the only direction
+    // either mutex pair is ever taken in.
+    std::string rec;
+    rec.push_back(static_cast<char>(ModelOp::kVideo));
+    io::PutStr(&rec, name);
+    io::PutF64(&rec, duration_sec);
+    io::PutF64(&rec, fps);
+    COBRA_RETURN_IF_ERROR(store_->LogModel(rec));
+  }
   return oid;
 }
 
@@ -111,6 +163,15 @@ Status VideoCatalog::StoreFeatureSeries(VideoId video,
   if (std::find(names.begin(), names.end(), feature) == names.end()) {
     names.push_back(feature);
   }
+  if (store_ != nullptr && !replaying_) {
+    std::string rec;
+    rec.push_back(static_cast<char>(ModelOp::kFeature));
+    io::PutU64(&rec, video);
+    io::PutStr(&rec, feature);
+    io::PutU32(&rec, static_cast<uint32_t>(values.size()));
+    for (double v : values) io::PutF64(&rec, v);
+    COBRA_RETURN_IF_ERROR(store_->LogModel(rec));
+  }
   return Status::OK();
 }
 
@@ -147,6 +208,15 @@ Status VideoCatalog::StoreObject(VideoId video, const ObjectRecord& object) {
                                          kernel::Value::Str(StrJoin(kv, ";"))));
   MutexLock lock(mu_);
   objects_[video].push_back(object);
+  if (store_ != nullptr && !replaying_) {
+    std::string rec;
+    rec.push_back(static_cast<char>(ModelOp::kObject));
+    io::PutU64(&rec, video);
+    io::PutStr(&rec, object.cls);
+    io::PutStr(&rec, object.name);
+    PutAttrs(&rec, object.attrs);
+    COBRA_RETURN_IF_ERROR(store_->LogModel(rec));
+  }
   return Status::OK();
 }
 
@@ -181,11 +251,19 @@ Status VideoCatalog::StoreEvent(VideoId video, const EventRecord& event) {
   MutexLock lock(mu_);
   events_[video].push_back(event);
   ++event_version_;
-  if (store_ != nullptr) {
-    // Logged under the lock so version records reach the WAL in bump order
-    // (replay keeps the last one). Lock order model -> store is the only
-    // direction either mutex pair is ever taken in.
-    return store_->LogEventVersion(event_version_);
+  if (store_ != nullptr && !replaying_) {
+    // The record carries the bumped version, so the cache-invalidation
+    // counter recovers alongside the event itself.
+    std::string rec;
+    rec.push_back(static_cast<char>(ModelOp::kEvent));
+    io::PutU64(&rec, video);
+    io::PutStr(&rec, event.type);
+    io::PutF64(&rec, event.begin_sec);
+    io::PutF64(&rec, event.end_sec);
+    io::PutF64(&rec, event.confidence);
+    PutAttrs(&rec, event.attrs);
+    io::PutU64(&rec, event_version_);
+    return store_->LogModel(rec);
   }
   return Status::OK();
 }
@@ -236,7 +314,14 @@ Status VideoCatalog::DropEvents(VideoId video, const std::string& type) {
                            }),
             vec.end());
   ++event_version_;
-  if (store_ != nullptr) return store_->LogEventVersion(event_version_);
+  if (store_ != nullptr && !replaying_) {
+    std::string rec;
+    rec.push_back(static_cast<char>(ModelOp::kDropEvents));
+    io::PutU64(&rec, video);
+    io::PutStr(&rec, type);
+    io::PutU64(&rec, event_version_);
+    return store_->LogModel(rec);
+  }
   return Status::OK();
 }
 
@@ -250,33 +335,98 @@ void VideoCatalog::AttachStore(kernel::PersistentStore* store) {
   store_ = store;
 }
 
-namespace {
+Status VideoCatalog::ApplyModelRecord(const std::string& record) {
+  const Status corrupt(StatusCode::kIoError, "corrupt model wal record");
+  io::ByteReader r(record);
+  std::string op_byte;
+  if (!r.ReadBytes(1, &op_byte)) return corrupt;
 
-/// Leading magic of a serialized model payload (bump on layout changes).
-constexpr char kStateMagic[] = "CBRAVID1";
-
-void PutAttrs(std::string* out,
-              const std::map<std::string, std::string>& attrs) {
-  io::PutU32(out, static_cast<uint32_t>(attrs.size()));
-  for (const auto& [k, v] : attrs) {
-    io::PutStr(out, k);
-    io::PutStr(out, v);
+  // Recovery runs single-threaded, so flipping the flag around the
+  // re-executed mutation cannot race another writer.
+  {
+    MutexLock lock(mu_);
+    replaying_ = true;
   }
-}
-
-bool ReadAttrs(io::ByteReader* r, std::map<std::string, std::string>* attrs) {
-  uint32_t n = 0;
-  if (!r->ReadU32(&n) || n > r->remaining()) return false;
-  for (uint32_t i = 0; i < n; ++i) {
-    std::string k;
-    std::string v;
-    if (!r->ReadStr(&k) || !r->ReadStr(&v)) return false;
-    (*attrs)[std::move(k)] = std::move(v);
+  Status status;
+  uint64_t version = 0;
+  bool has_version = false;
+  switch (static_cast<ModelOp>(static_cast<uint8_t>(op_byte[0]))) {
+    case ModelOp::kVideo: {
+      std::string name;
+      double duration = 0;
+      double fps = 0;
+      if (!r.ReadStr(&name) || !r.ReadF64(&duration) || !r.ReadF64(&fps)) {
+        status = corrupt;
+        break;
+      }
+      status = RegisterVideo(name, duration, fps).status();
+      break;
+    }
+    case ModelOp::kFeature: {
+      uint64_t video = 0;
+      std::string feature;
+      uint32_t n = 0;
+      if (!r.ReadU64(&video) || !r.ReadStr(&feature) || !r.ReadU32(&n) ||
+          n > r.remaining()) {
+        status = corrupt;
+        break;
+      }
+      std::vector<double> values(n);
+      bool ok = true;
+      for (uint32_t i = 0; i < n && ok; ++i) ok = r.ReadF64(&values[i]);
+      status = ok ? StoreFeatureSeries(video, feature, values) : corrupt;
+      break;
+    }
+    case ModelOp::kObject: {
+      uint64_t video = 0;
+      ObjectRecord object;
+      if (!r.ReadU64(&video) || !r.ReadStr(&object.cls) ||
+          !r.ReadStr(&object.name) || !ReadAttrs(&r, &object.attrs)) {
+        status = corrupt;
+        break;
+      }
+      status = StoreObject(video, object);
+      break;
+    }
+    case ModelOp::kEvent: {
+      uint64_t video = 0;
+      EventRecord event;
+      if (!r.ReadU64(&video) || !r.ReadStr(&event.type) ||
+          !r.ReadF64(&event.begin_sec) || !r.ReadF64(&event.end_sec) ||
+          !r.ReadF64(&event.confidence) || !ReadAttrs(&r, &event.attrs) ||
+          !r.ReadU64(&version)) {
+        status = corrupt;
+        break;
+      }
+      has_version = true;
+      status = StoreEvent(video, event);
+      break;
+    }
+    case ModelOp::kDropEvents: {
+      uint64_t video = 0;
+      std::string type;
+      if (!r.ReadU64(&video) || !r.ReadStr(&type) || !r.ReadU64(&version)) {
+        status = corrupt;
+        break;
+      }
+      has_version = true;
+      status = DropEvents(video, type);
+      break;
+    }
+    default:
+      status = corrupt;
+      break;
   }
-  return true;
+  MutexLock lock(mu_);
+  replaying_ = false;
+  // The re-executed mutation bumped the counter from the restored base, which
+  // normally lands exactly on the logged value; taking the max guards against
+  // ever recovering to a version older than one a cached result has seen.
+  if (status.ok() && has_version && version > event_version_) {
+    event_version_ = version;
+  }
+  return status;
 }
-
-}  // namespace
 
 std::string VideoCatalog::SerializeState() const {
   MutexLock lock(mu_);

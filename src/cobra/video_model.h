@@ -98,11 +98,22 @@ class VideoCatalog {
 
   // -- Durability ---------------------------------------------------------
 
-  /// Attaches a persistent store: every event-version bump is WAL-logged
-  /// (kEventVersion) in bump order, so the invalidation counter — and with
-  /// it the staleness of any cached result — survives a crash. Pass null to
-  /// detach; the store must outlive the attachment.
+  /// Attaches a persistent store: every model mutation (RegisterVideo,
+  /// StoreFeatureSeries, StoreObject, StoreEvent, DropEvents) is WAL-logged
+  /// as an opaque kModel record — fsync'd before this layer's state is
+  /// considered committed — so work done after the last checkpoint survives
+  /// a crash. Event-layer records carry the bumped event version, so the
+  /// cache-invalidation counter recovers too. Pass null to detach; the
+  /// store must outlive the attachment.
   void AttachStore(kernel::PersistentStore* store) COBRA_EXCLUDES(mu_);
+
+  /// Re-executes one WAL-replayed kModel record (as handed back in
+  /// RecoveryInfo::model_records) on top of the restored snapshot state.
+  /// Replay is deterministic: records are applied in commit order and oid
+  /// allocation resumes from the snapshot's serialized cursor, so ids come
+  /// out identical to the original run. Mutations are not re-logged while a
+  /// record is being applied.
+  Status ApplyModelRecord(const std::string& record) COBRA_EXCLUDES(mu_);
 
   /// Serializes the model mirrors (videos, feature/object/event indexes,
   /// event version, next Moa oid) — the opaque `extra` payload a checkpoint
@@ -136,8 +147,11 @@ class VideoCatalog {
   std::map<VideoId, std::vector<std::string>> feature_names_
       COBRA_GUARDED_BY(mu_);
   uint64_t event_version_ COBRA_GUARDED_BY(mu_) = 0;
-  /// WAL target for event-version bumps; null when durability is off.
+  /// WAL target for model mutation records; null when durability is off.
   kernel::PersistentStore* store_ COBRA_GUARDED_BY(mu_) = nullptr;
+  /// True while ApplyModelRecord re-executes a replayed mutation, which must
+  /// not be logged again.
+  bool replaying_ COBRA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cobra::model

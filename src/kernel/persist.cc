@@ -27,6 +27,10 @@ std::string TmpSnapshotName(uint64_t gen) {
   return StrFormat("snap-%020llu.tmp", static_cast<unsigned long long>(gen));
 }
 
+std::string TmpWalName(uint64_t gen) {
+  return StrFormat("wal-%020llu.tmp", static_cast<unsigned long long>(gen));
+}
+
 /// Parses `<prefix><20 digits><suffix>` into the generation number.
 bool ParseGen(const std::string& name, std::string_view prefix,
               std::string_view suffix, uint64_t* gen) {
@@ -300,9 +304,12 @@ size_t ScanWal(std::string_view data, uint64_t prev_lsn,
 }
 
 /// Applies one replayed WAL record to the catalog. kEventVersion records
-/// only update `event_version` (the model layer re-syncs from it).
+/// only update `event_version` (the model layer re-syncs from it); kModel
+/// records are opaque here and are collected into `model_records` for the
+/// model layer to re-execute in commit order.
 Status ApplyRecord(Catalog* catalog, const WalRecord& rec,
-                   uint64_t* event_version) {
+                   uint64_t* event_version,
+                   std::vector<std::string>* model_records) {
   const Status corrupt(StatusCode::kIoError, "corrupt wal operands");
   io::ByteReader r(rec.operands);
   switch (static_cast<PersistentStore::WalOp>(rec.op)) {
@@ -348,6 +355,11 @@ Status ApplyRecord(Catalog* catalog, const WalRecord& rec,
       catalog->Put(name, std::move(bat));
       return Status::OK();
     }
+    case PersistentStore::WalOp::kModel:
+      if (model_records != nullptr) model_records->push_back(rec.operands);
+      return Status::OK();
+    case PersistentStore::WalOp::kNoop:
+      return Status::OK();
   }
   return Status(StatusCode::kIoError,
                 StrFormat("unknown wal op %u", rec.op));
@@ -413,21 +425,39 @@ Status PersistentStore::OpenLocked() {
 Status PersistentStore::EnsureWalLocked() {
   if (wal_ != nullptr) return Status::OK();
   const std::string path = dir_ + "/" + WalName(wal_gen_);
-  if (fs_->Exists(path)) {
+  const bool existed = fs_->Exists(path);
+  if (existed) {
     // A previous crash can leave a torn record at the tail; appending after
-    // it would make every new record unreachable to replay. Truncate the
-    // file back to its longest valid prefix first.
+    // it would make every new record unreachable to replay. Repair by
+    // rewriting the valid prefix to a temp file and atomically renaming it
+    // over the log: an in-place truncate-and-rewrite would destroy every
+    // committed record in the file if a crash hit between the truncation
+    // and the sync.
     COBRA_ASSIGN_OR_RETURN(std::string raw, fs_->ReadFile(path));
     const size_t valid = ScanWal(raw, wal_gen_, nullptr);
     if (valid < raw.size()) {
+      const std::string tmp = dir_ + "/" + TmpWalName(wal_gen_);
       COBRA_ASSIGN_OR_RETURN(std::unique_ptr<io::WritableFile> rewrite,
-                             fs_->NewWritableFile(path, /*truncate=*/true));
-      COBRA_RETURN_IF_ERROR(rewrite->Append(std::string_view(raw).substr(0, valid)));
+                             fs_->NewWritableFile(tmp, /*truncate=*/true));
+      COBRA_RETURN_IF_ERROR(
+          rewrite->Append(std::string_view(raw).substr(0, valid)));
       COBRA_RETURN_IF_ERROR(rewrite->Sync());
       COBRA_RETURN_IF_ERROR(rewrite->Close());
+      COBRA_RETURN_IF_ERROR(fs_->Rename(tmp, path));
+      COBRA_RETURN_IF_ERROR(fs_->SyncDir(dir_));
     }
   }
   COBRA_ASSIGN_OR_RETURN(wal_, fs_->NewWritableFile(path, /*truncate=*/false));
+  if (!existed) {
+    // A just-created log file is unreachable after a crash until its
+    // directory entry is durable; publish it before the first record's
+    // fsync can count as a commit.
+    Status status = fs_->SyncDir(dir_);
+    if (!status.ok()) {
+      wal_.reset();
+      return status;
+    }
+  }
   return Status::OK();
 }
 
@@ -514,6 +544,11 @@ Status PersistentStore::LogPut(const std::string& name, const Bat& bat) {
   return AppendRecordLocked(WalOp::kPut, operands);
 }
 
+Status PersistentStore::LogModel(std::string_view record) {
+  MutexLock lock(mu_);
+  return AppendRecordLocked(WalOp::kModel, record);
+}
+
 Status PersistentStore::Checkpoint(const Catalog& catalog,
                                    std::string_view extra) {
   MutexLock lock(mu_);
@@ -522,7 +557,17 @@ Status PersistentStore::Checkpoint(const Catalog& catalog,
     return Status(StatusCode::kIoError,
                   "store is fail-stop after: " + broken_.message());
   }
-  const uint64_t gen = next_lsn_ - 1;
+  uint64_t gen = next_lsn_ - 1;
+  // Data-plane-only churn between checkpoints leaves the LSN where it was,
+  // which would reuse the previous snapshot's filename: the rename would
+  // replace that generation in place and pruning would collapse the
+  // two-generation fallback to one file. Burn an LSN so every snapshot gets
+  // a fresh generation.
+  if (gen == checkpoint_lsn_ &&
+      fs_->Exists(dir_ + "/" + SnapshotName(gen))) {
+    COBRA_RETURN_IF_ERROR(AppendRecordLocked(WalOp::kNoop, ""));
+    gen = next_lsn_ - 1;
+  }
 
   // Build the logical snapshot stream. Reads the catalog through its locked
   // API while holding the store lock; Catalog::Stats reads store stats
@@ -547,6 +592,8 @@ Status PersistentStore::Checkpoint(const Catalog& catalog,
   const std::string tmp = dir_ + "/" + TmpSnapshotName(gen);
   COBRA_RETURN_IF_ERROR(WritePaged(fs_, tmp, logical));
   COBRA_RETURN_IF_ERROR(fs_->Rename(tmp, dir_ + "/" + SnapshotName(gen)));
+  // The rename is only crash-durable once the directory entry is journaled.
+  COBRA_RETURN_IF_ERROR(fs_->SyncDir(dir_));
 
   // The snapshot is durable: rotate the WAL and prune old generations,
   // always retaining the previous snapshot (and the WAL chain from it) as a
@@ -566,11 +613,16 @@ Status PersistentStore::Checkpoint(const Catalog& catalog,
         if (g != previous && g != gen) (void)fs_->DeleteFile(dir_ + "/" + name);
       } else if (ParseGen(name, "wal-", ".log", &g)) {
         if (g < previous) (void)fs_->DeleteFile(dir_ + "/" + name);
-      } else if (ParseGen(name, "snap-", ".tmp", &g)) {
-        // Leftover from a checkpoint that crashed before its rename.
+      } else if (ParseGen(name, "snap-", ".tmp", &g) ||
+                 ParseGen(name, "wal-", ".tmp", &g)) {
+        // Leftover from a checkpoint or WAL repair that crashed before its
+        // rename.
         (void)fs_->DeleteFile(dir_ + "/" + name);
       }
     }
+    // Pruning is best effort, and so is making the unlinks durable: a
+    // resurrected old generation is ignored by recovery anyway.
+    (void)fs_->SyncDir(dir_);
   }
   return Status::OK();
 }
@@ -662,7 +714,8 @@ Result<PersistentStore::RecoveryInfo> PersistentStore::Recover(
         stop = true;
         break;
       }
-      if (!ApplyRecord(catalog, rec, &info.event_version).ok()) {
+      if (!ApplyRecord(catalog, rec, &info.event_version, &info.model_records)
+               .ok()) {
         stop = true;
         break;
       }

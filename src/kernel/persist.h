@@ -36,10 +36,16 @@ namespace cobra::kernel {
 ///
 /// WAL records are `[u32 len][u32 crc32][u64 lsn][u8 op][operands]`,
 /// appended and fsync'd per logical mutation; the sync is the commit point.
-/// Recovery loads the newest snapshot that parses (falling back to the
-/// previous generation if the newest is corrupt), then replays WAL records
-/// in LSN order, stopping at the first checksum/sequence break — a torn
-/// tail rolls back to the last durable mutation, never to a hybrid.
+/// Directory entries are part of that contract: a newly created WAL file
+/// and every snapshot rename are published with a directory fsync
+/// (io::Fs::SyncDir) before the change counts as committed. Recovery loads
+/// the newest snapshot that parses (falling back to the previous
+/// generation if the newest is corrupt), then replays WAL records in LSN
+/// order, stopping at the first checksum/sequence break — a torn tail
+/// rolls back to the last durable mutation, never to a hybrid. A torn tail
+/// is repaired before the next append by rewriting the valid prefix to a
+/// temp file and atomically renaming it over the log, so committed records
+/// are never exposed to an in-place truncation.
 ///
 /// Acceleration state (hash indexes, result caches) is deliberately never
 /// serialized: it is rebuilt lazily on first probe after recovery.
@@ -57,6 +63,8 @@ class PersistentStore {
     kRename = 4,        // str from, str to
     kEventVersion = 5,  // u64 version (VideoCatalog invalidation counter)
     kPut = 6,           // str name, full BAT image (replaces binding)
+    kModel = 7,         // opaque video-model mutation record (see LogModel)
+    kNoop = 8,          // no operands; burns an LSN (checkpoint collision)
   };
 
   PersistentStore(io::Fs* fs, std::string dir);
@@ -84,12 +92,17 @@ class PersistentStore {
     size_t bat_count = 0;        // BATs in the recovered catalog
     uint64_t wal_records_applied = 0;
     bool used_fallback_snapshot = false;  // newest snapshot was corrupt
+    /// Replayed kModel records, in commit (LSN) order. The kernel treats
+    /// them as opaque; the model layer re-executes each one
+    /// (VideoCatalog::ApplyModelRecord) on top of the restored snapshot.
+    std::vector<std::string> model_records;
   };
 
   /// Rebuilds `catalog` (any existing bindings are dropped) from the newest
   /// valid snapshot plus WAL replay. Read-only on disk except that corrupt
-  /// newer snapshots are deleted once an older one recovers, and a torn WAL
-  /// tail is truncated away so the log can be appended to again.
+  /// newer snapshots are deleted once an older one recovers; a torn WAL
+  /// tail is ignored here and repaired (copy-and-rename, never in place) by
+  /// the next append.
   Result<RecoveryInfo> Recover(Catalog* catalog) COBRA_EXCLUDES(mu_);
 
   // -- WAL append API (one fsync'd record per call; the commit point) ------
@@ -105,6 +118,10 @@ class PersistentStore {
   /// Logs a full-BAT replacement (used when a binding is rebuilt wholesale,
   /// e.g. Catalog::Put). Heavyweight; prefer LogAppend for row growth.
   Status LogPut(const std::string& name, const Bat& bat) COBRA_EXCLUDES(mu_);
+  /// Logs an opaque model-layer mutation record. The store never parses
+  /// it; recovery hands the records back in commit order
+  /// (RecoveryInfo::model_records) for the model layer to re-execute.
+  Status LogModel(std::string_view record) COBRA_EXCLUDES(mu_);
 
   struct DiskStats {
     uint64_t checkpoint_lsn = 0;
@@ -134,7 +151,10 @@ class PersistentStore {
   /// Appends one WAL record (next LSN, fsync'd) — the durable commit point.
   Status AppendRecordLocked(WalOp op, std::string_view operands)
       COBRA_REQUIRES(mu_);
-  /// Opens (and, if its tail is torn, truncates) the active WAL file.
+  /// Opens the active WAL file. A torn tail is first repaired by rewriting
+  /// the valid prefix to a temp file and atomically renaming it over the
+  /// log (never an in-place truncation, which would destroy every
+  /// committed record in the file if the rewrite itself crashed).
   Status EnsureWalLocked() COBRA_REQUIRES(mu_);
 
   io::Fs* const fs_;

@@ -92,8 +92,8 @@ Result<kernel::PersistentStore*> QueryEngine::EnsureStore(
     auto store = std::make_unique<kernel::PersistentStore>(fs_, dir);
     COBRA_RETURN_IF_ERROR(store->Open());
     store_ = std::move(store);
-    // From here on, event-version bumps are WAL-logged and the kernel
-    // catalog reports the store in its stats.
+    // From here on, model mutations are WAL-logged as they commit and the
+    // kernel catalog reports the store in its stats.
     catalog_->AttachStore(store_.get());
     catalog_->session().catalog()->AttachStore(store_.get());
   }
@@ -162,6 +162,11 @@ Result<QueryResult> QueryEngine::ExecuteStorageCommand(bool persist,
   if (!info.extra.empty()) {
     COBRA_RETURN_IF_ERROR(
         catalog_->RestoreState(info.extra, info.event_version));
+  }
+  // Model mutations committed after the snapshot come back as opaque WAL
+  // records; re-execute them in commit order on top of the restored state.
+  for (const std::string& record : info.model_records) {
+    COBRA_RETURN_IF_ERROR(catalog_->ApplyModelRecord(record));
   }
   // Cached results describe the pre-recovery catalog: drop them all.
   // Acceleration indexes were never serialized — they rebuild lazily on
