@@ -1,0 +1,227 @@
+// Query-server serving capacity: latency percentiles and aggregate
+// throughput against connection count, cold and warm, plus the headline
+// isolation scenario — read throughput while a writer mutates and
+// checkpoints concurrently.
+//
+// Scenarios (all over the in-process LocalConnection transport, so the
+// numbers are serving + snapshot + query-evaluation cost, not sockets):
+//   cold  — first pass per session count: includes snapshot publication
+//           and allocator warm-up
+//   warm  — second pass over the same server
+//   checkpointing-writer — 16 sessions reading while one writer stores
+//           events and runs PERSIST checkpoints into a MemFs store; the
+//           reported qps_ratio_vs_1 compares against the warm single-client
+//           run — snapshot isolation means reads must NOT collapse (the
+//           acceptance bar is > 0.5x)
+//
+// Per-session request count defaults scale with the session count;
+// override the base with COBRA_BENCH_SERVER_REQS. Results land in
+// BENCH_server.json for machine consumption.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/io.h"
+#include "base/logging.h"
+#include "cobra/video_model.h"
+#include "extensions/extension.h"
+#include "kernel/catalog.h"
+#include "query/engine.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace cobra::server {
+namespace {
+
+const char* kQueries[] = {
+    "RETRIEVE highlight FROM 'race'",
+    "RETRIEVE highlight FROM 'race' WHERE driver = 'ALESI'",
+    "RETRIEVE highlight FROM 'race' OVERLAPPING caption WHERE driver = "
+    "'ALESI'",
+};
+constexpr size_t kQueryMix = sizeof(kQueries) / sizeof(kQueries[0]);
+
+size_t BaseRequests() {
+  const char* env = std::getenv("COBRA_BENCH_SERVER_REQS");
+  if (env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v >= 16) return static_cast<size_t>(v);
+  }
+  return 512;
+}
+
+struct Row {
+  std::string scenario;
+  size_t sessions;
+  size_t requests;
+  double qps;
+  double p50_ms;
+  double p99_ms;
+  double qps_ratio_vs_1;  // 0 when the scenario has no baseline
+};
+
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"scenario\": \"%s\", \"sessions\": %zu, "
+                 "\"requests\": %zu, \"qps\": %.0f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"qps_ratio_vs_1\": %.3f}%s\n",
+                 r.scenario.c_str(), r.sessions, r.requests, r.qps, r.p50_ms,
+                 r.p99_ms, r.qps_ratio_vs_1, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path, rows.size());
+}
+
+double Percentile(std::vector<double>* sorted_ms, double p) {
+  std::sort(sorted_ms->begin(), sorted_ms->end());
+  const size_t idx = std::min(
+      sorted_ms->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms->size())));
+  return (*sorted_ms)[idx];
+}
+
+/// Drives `sessions` concurrent LocalConnections, `per_session` blocking
+/// queries each; fills the row's qps and latency percentiles.
+Row RunScenario(QueryServer* server, const std::string& scenario,
+                size_t sessions, size_t per_session) {
+  std::vector<std::vector<double>> latencies_ms(sessions);
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (size_t s = 0; s < sessions; ++s) {
+    threads.emplace_back([server, s, per_session, &latencies_ms] {
+      LocalConnection conn(server);
+      latencies_ms[s].reserve(per_session);
+      for (size_t j = 0; j < per_session; ++j) {
+        const auto t0 = std::chrono::steady_clock::now();
+        protocol::Response response = conn.Query(kQueries[j % kQueryMix]);
+        const auto t1 = std::chrono::steady_clock::now();
+        COBRA_CHECK(response.ok);
+        latencies_ms[s].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall0)
+                            .count();
+
+  std::vector<double> all_ms;
+  for (const auto& per : latencies_ms) {
+    all_ms.insert(all_ms.end(), per.begin(), per.end());
+  }
+  Row row;
+  row.scenario = scenario;
+  row.sessions = sessions;
+  row.requests = all_ms.size();
+  row.qps = static_cast<double>(all_ms.size()) / wall_s;
+  row.p50_ms = Percentile(&all_ms, 0.50);
+  row.p99_ms = Percentile(&all_ms, 0.99);
+  row.qps_ratio_vs_1 = 0.0;
+  return row;
+}
+
+int Main() {
+  const size_t base = BaseRequests();
+  std::printf("=== query server, base %zu requests/scenario ===\n", base);
+
+  io::MemFs fs;
+  kernel::Catalog catalog;
+  model::VideoCatalog videos(&catalog);
+  extensions::ExtensionRegistry registry;
+  query::QueryEngine engine(&videos, &registry, "bench-store");
+  engine.set_fs(&fs);
+  auto id = videos.RegisterVideo("race", 5400.0);
+  COBRA_CHECK(id.ok());
+  // A result set big enough that evaluation dominates dispatch.
+  for (size_t i = 0; i < 512; ++i) {
+    model::EventRecord e;
+    e.type = (i % 4 == 0) ? "caption" : "highlight";
+    e.begin_sec = static_cast<double>(i * 10);
+    e.end_sec = e.begin_sec + 6.0;
+    e.confidence = 0.8;
+    e.attrs["driver"] = (i % 3 == 0) ? "ALESI" : "BERGER";
+    COBRA_CHECK(videos.StoreEvent(*id, e).ok());
+  }
+
+  ServerConfig config;
+  config.workers = 4;
+  config.max_queue = 128;  // blocking clients: admission never rejects here
+  QueryServer server(&engine, &videos, &catalog, config);
+
+  std::vector<Row> results;
+  const size_t session_counts[] = {1, 4, 16, 64};
+  double warm_single_qps = 0.0;
+  for (const char* scenario : {"cold", "warm"}) {
+    for (size_t sessions : session_counts) {
+      const size_t per_session = std::max<size_t>(8, base / sessions);
+      Row row = RunScenario(&server, scenario, sessions, per_session);
+      if (std::string(scenario) == "warm" && sessions == 1) {
+        warm_single_qps = row.qps;
+      }
+      std::printf("  %-6s %3zu sessions  %6zu reqs  %8.0f qps  "
+                  "p50 %7.3f ms  p99 %7.3f ms\n",
+                  scenario, sessions, row.requests, row.qps, row.p50_ms,
+                  row.p99_ms);
+      results.push_back(std::move(row));
+    }
+  }
+
+  // The isolation scenario: 16 readers while a writer stores events and
+  // checkpoints. Reads pin immutable snapshot epochs, so they must keep
+  // flowing while the writer holds catalog/store locks.
+  {
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      size_t n = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        model::EventRecord e;
+        e.type = "pit";
+        e.begin_sec = static_cast<double>(10000 + n);
+        e.end_sec = e.begin_sec + 1.0;
+        COBRA_CHECK(videos.StoreEvent(*id, e).ok());
+        if (++n % 16 == 0) {
+          COBRA_CHECK(engine.Execute("PERSIST").ok());
+        }
+      }
+    });
+    Row row = RunScenario(&server, "checkpointing-writer", 16,
+                          std::max<size_t>(8, base / 16));
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    row.qps_ratio_vs_1 = warm_single_qps > 0.0 ? row.qps / warm_single_qps : 0;
+    std::printf("  writer  16 sessions  %6zu reqs  %8.0f qps  "
+                "p50 %7.3f ms  p99 %7.3f ms  ratio-vs-1 %.2fx\n",
+                row.requests, row.qps, row.p50_ms, row.p99_ms,
+                row.qps_ratio_vs_1);
+    if (row.qps_ratio_vs_1 <= 0.5) {
+      std::printf("  WARNING: read throughput collapsed under the "
+                  "checkpointing writer (<= 0.5x single-client)\n");
+    }
+    results.push_back(std::move(row));
+  }
+
+  WriteJson(results, "BENCH_server.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cobra::server
+
+int main() { return cobra::server::Main(); }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIoError,
+  kResourceExhausted,  // admission control: a bounded queue is full
+  kUnavailable,        // the serving endpoint is shutting down / not serving
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -64,6 +66,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -104,6 +104,7 @@ Result<VideoId> VideoCatalog::RegisterVideo(const std::string& name,
   desc.duration_sec = duration_sec;
   desc.fps = fps;
   videos_.push_back(desc);
+  model_version_.fetch_add(1, std::memory_order_acq_rel);
   if (store_ != nullptr && !replaying_) {
     // Logged under the lock so records reach the WAL in mutation order;
     // replay re-executes them in that order, so the oid allocated above
@@ -163,6 +164,7 @@ Status VideoCatalog::StoreFeatureSeries(VideoId video,
   if (std::find(names.begin(), names.end(), feature) == names.end()) {
     names.push_back(feature);
   }
+  model_version_.fetch_add(1, std::memory_order_acq_rel);
   if (store_ != nullptr && !replaying_) {
     std::string rec;
     rec.push_back(static_cast<char>(ModelOp::kFeature));
@@ -208,6 +210,7 @@ Status VideoCatalog::StoreObject(VideoId video, const ObjectRecord& object) {
                                          kernel::Value::Str(StrJoin(kv, ";"))));
   MutexLock lock(mu_);
   objects_[video].push_back(object);
+  model_version_.fetch_add(1, std::memory_order_acq_rel);
   if (store_ != nullptr && !replaying_) {
     std::string rec;
     rec.push_back(static_cast<char>(ModelOp::kObject));
@@ -251,6 +254,7 @@ Status VideoCatalog::StoreEvent(VideoId video, const EventRecord& event) {
   MutexLock lock(mu_);
   events_[video].push_back(event);
   ++event_version_;
+  model_version_.fetch_add(1, std::memory_order_acq_rel);
   if (store_ != nullptr && !replaying_) {
     // The record carries the bumped version, so the cache-invalidation
     // counter recovers alongside the event itself.
@@ -314,6 +318,7 @@ Status VideoCatalog::DropEvents(VideoId video, const std::string& type) {
                            }),
             vec.end());
   ++event_version_;
+  model_version_.fetch_add(1, std::memory_order_acq_rel);
   if (store_ != nullptr && !replaying_) {
     std::string rec;
     rec.push_back(static_cast<char>(ModelOp::kDropEvents));
@@ -328,6 +333,16 @@ Status VideoCatalog::DropEvents(VideoId video, const std::string& type) {
 uint64_t VideoCatalog::event_version() const {
   MutexLock lock(mu_);
   return event_version_;
+}
+
+VideoCatalog::SnapshotState VideoCatalog::CaptureSnapshotState() const {
+  MutexLock lock(mu_);
+  SnapshotState state;
+  state.event_version = event_version_;
+  state.model_version = model_version_.load(std::memory_order_acquire);
+  state.videos = videos_;
+  state.events = events_;
+  return state;
 }
 
 void VideoCatalog::AttachStore(kernel::PersistentStore* store) {
@@ -555,6 +570,9 @@ Status VideoCatalog::RestoreState(const std::string& payload,
   objects_ = std::move(objects);
   events_ = std::move(events);
   event_version_ = std::max(event_version, wal_event_version);
+  // RECOVER replaces the whole queryable state: every published snapshot is
+  // stale, whatever it was built from.
+  model_version_.fetch_add(1, std::memory_order_acq_rel);
   session_.set_next_oid(next_oid);
   return Status::OK();
 }

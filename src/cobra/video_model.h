@@ -1,6 +1,8 @@
 #ifndef COBRA_COBRA_VIDEO_MODEL_H_
 #define COBRA_COBRA_VIDEO_MODEL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -96,6 +98,34 @@ class VideoCatalog {
   /// per entry, so any event change invalidates stale cached results.
   uint64_t event_version() const COBRA_EXCLUDES(mu_);
 
+  /// Monotonic counter bumped by EVERY model mutation (RegisterVideo,
+  /// StoreFeatureSeries, StoreObject, and all event-layer mutations) — the
+  /// staleness signal for snapshot publication. Lock-free read, so heavy
+  /// read traffic polling it never contends with a writer.
+  uint64_t model_version() const {
+    return model_version_.load(std::memory_order_acquire);
+  }
+
+  // -- Snapshot capture ----------------------------------------------------
+
+  /// A point-in-time copy of everything a retrieval query reads, taken
+  /// atomically under the model mutex: the raw layer (videos), the event
+  /// layer, and the versions that state corresponds to. The query layer's
+  /// SnapshotManager wraps this in epoch-pinned immutable snapshots so
+  /// readers never touch the live mirrors (or this catalog's mutex) again.
+  struct SnapshotState {
+    uint64_t event_version = 0;
+    uint64_t model_version = 0;
+    std::vector<VideoDescriptor> videos;
+    std::map<VideoId, std::vector<EventRecord>> events;
+  };
+
+  /// Copies the queryable state and its versions under one lock acquisition,
+  /// so the returned versions exactly describe the returned data (a
+  /// concurrent writer lands entirely before or entirely after the capture,
+  /// never inside it).
+  SnapshotState CaptureSnapshotState() const COBRA_EXCLUDES(mu_);
+
   // -- Durability ---------------------------------------------------------
 
   /// Attaches a persistent store: every model mutation (RegisterVideo,
@@ -147,6 +177,8 @@ class VideoCatalog {
   std::map<VideoId, std::vector<std::string>> feature_names_
       COBRA_GUARDED_BY(mu_);
   uint64_t event_version_ COBRA_GUARDED_BY(mu_) = 0;
+  /// Bumped (under mu_) by every model mutation; read lock-free.
+  std::atomic<uint64_t> model_version_{0};
   /// WAL target for model mutation records; null when durability is off.
   kernel::PersistentStore* store_ COBRA_GUARDED_BY(mu_) = nullptr;
   /// True while ApplyModelRecord re-executes a replayed mutation, which must

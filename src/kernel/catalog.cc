@@ -46,6 +46,7 @@ Result<Bat*> Catalog::Create(const std::string& name, TailType tail_type) {
     return Status::AlreadyExists("BAT already exists: " + name);
   }
   it->second = std::make_unique<Bat>(tail_type);
+  Bump();
   return it->second.get();
 }
 
@@ -69,6 +70,7 @@ Bat* Catalog::Put(const std::string& name, Bat bat) {
   MutexLock lock(mu_);
   auto& slot = bats_[name];
   slot = std::make_unique<Bat>(std::move(bat));
+  Bump();
   return slot.get();
 }
 
@@ -77,6 +79,7 @@ Status Catalog::Drop(const std::string& name) {
   if (bats_.erase(name) == 0) {
     return Status::NotFound("no BAT named " + name);
   }
+  Bump();
   return Status::OK();
 }
 
@@ -90,6 +93,7 @@ Status Catalog::Rename(const std::string& from, const std::string& to) {
   }
   bats_[to] = std::move(it->second);
   bats_.erase(from);
+  Bump();
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #ifndef COBRA_KERNEL_CATALOG_H_
 #define COBRA_KERNEL_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,6 +52,14 @@ class Catalog {
 
   bool Exists(const std::string& name) const COBRA_EXCLUDES(mu_);
 
+  /// Catalog-wide mutation counter — the namespace analogue of a BAT's
+  /// per-object version. Bumped by every successful Create/Put/Drop/Rename,
+  /// so snapshot/epoch machinery can detect "some binding changed" with one
+  /// lock-free load instead of walking every BAT. Per-row appends do NOT
+  /// bump it (they bump the owning BAT's version); layers that snapshot row
+  /// data combine this with their own mutation counters.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
   /// All registered names, sorted.
   std::vector<std::string> Names() const COBRA_EXCLUDES(mu_);
 
@@ -93,9 +103,13 @@ class Catalog {
   std::string StatsJson() const COBRA_EXCLUDES(mu_);
 
  private:
+  void Bump() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Bat>> bats_ COBRA_GUARDED_BY(mu_);
   const PersistentStore* store_ COBRA_GUARDED_BY(mu_) = nullptr;
+  /// Mutated only under mu_, read lock-free by version().
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace cobra::kernel

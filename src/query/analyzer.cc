@@ -10,6 +10,7 @@
 #include "query/analyzer.h"
 
 #include <cctype>
+#include <functional>
 #include <map>
 
 #include "base/strings.h"
@@ -243,13 +244,16 @@ DiagnosticList AnalyzeQueryText(const std::string& text) {
   return QueryAnalyzer(text).Run();
 }
 
-Status VerifyPlan(const ParsedQuery& query, const model::VideoCatalog& catalog,
-                  const extensions::ExtensionRegistry& registry) {
-  COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
-                         catalog.FindVideo(query.video));
+namespace {
+
+/// Shared body of both VerifyPlan overloads: `has_events` answers "does the
+/// read surface already hold metadata of this type for the plan's video".
+Status VerifyPlanOver(
+    const ParsedQuery& query, const model::VideoDescriptor& video,
+    const extensions::ExtensionRegistry& registry,
+    const std::function<bool(model::VideoId, const std::string&)>& has_events) {
   auto satisfiable = [&](const std::string& type) {
-    return catalog.HasEvents(video.id, type) ||
-           !registry.Providers(type).empty();
+    return has_events(video.id, type) || !registry.Providers(type).empty();
   };
   // Mirrors EnsureAvailable's failure exactly, minus its side effects.
   if (!satisfiable(query.primary.type)) {
@@ -262,6 +266,29 @@ Status VerifyPlan(const ParsedQuery& query, const model::VideoCatalog& catalog,
                             query.secondary.type + "'");
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyPlan(const ParsedQuery& query, const model::VideoCatalog& catalog,
+                  const extensions::ExtensionRegistry& registry) {
+  COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
+                         catalog.FindVideo(query.video));
+  return VerifyPlanOver(query, video, registry,
+                        [&catalog](model::VideoId id, const std::string& type) {
+                          return catalog.HasEvents(id, type);
+                        });
+}
+
+Status VerifyPlan(const ParsedQuery& query, const CatalogSnapshot& snapshot,
+                  const extensions::ExtensionRegistry& registry) {
+  COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
+                         snapshot.FindVideo(query.video));
+  return VerifyPlanOver(query, video, registry,
+                        [&snapshot](model::VideoId id,
+                                    const std::string& type) {
+                          return snapshot.HasEvents(id, type);
+                        });
 }
 
 }  // namespace cobra::query

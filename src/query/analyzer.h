@@ -8,6 +8,7 @@
 #include "cobra/video_model.h"
 #include "extensions/extension.h"
 #include "query/parser.h"
+#include "query/snapshot.h"
 
 namespace cobra::query {
 
@@ -27,6 +28,14 @@ DiagnosticList AnalyzeQueryText(const std::string& text);
 /// consulted or any extraction engine fires. Read-only: verification never
 /// mutates the catalog.
 Status VerifyPlan(const ParsedQuery& query, const model::VideoCatalog& catalog,
+                  const extensions::ExtensionRegistry& registry);
+
+/// Snapshot-read variant: the same verification (identical error messages)
+/// evaluated against an immutable CatalogSnapshot instead of the live
+/// catalog. Extraction providers still count as satisfiable so that a
+/// snapshot read fails with the execution layer's typed "extraction needs a
+/// live query" error, not a misleading NotFound.
+Status VerifyPlan(const ParsedQuery& query, const CatalogSnapshot& snapshot,
                   const extensions::ExtensionRegistry& registry);
 
 }  // namespace cobra::query

@@ -12,6 +12,7 @@
 #include "base/trace.h"
 #include "kernel/persist.h"
 #include "query/analyzer.h"
+#include "query/snapshot.h"
 
 namespace cobra::query {
 
@@ -36,6 +37,72 @@ const char* TemporalOpName(TemporalOp op) {
 }
 
 }  // namespace
+
+/// Read-surface interface the shared evaluator executes against. The two
+/// implementations are below; both are stateless beyond the pointers they
+/// hold, so a source is constructed on the stack per execution.
+struct QueryEngine::EventSource {
+  virtual ~EventSource() = default;
+  virtual Result<model::VideoDescriptor> FindVideo(
+      const std::string& name) = 0;
+  virtual Result<std::vector<model::EventRecord>> Events(
+      model::VideoId video, const std::string& type) = 0;
+  /// Preprocessor step: make events of `type` available, or fail the same
+  /// way VerifyPlan predicted.
+  virtual Status Ensure(model::VideoId video, const std::string& type,
+                        MethodPreference preference, QueryResult* result) = 0;
+  virtual uint64_t EventVersion() const = 0;
+};
+
+/// Live catalog: reads under the catalog's own locks, extracts dynamically.
+struct QueryEngine::LiveSource final : QueryEngine::EventSource {
+  explicit LiveSource(QueryEngine* e) : engine(e) {}
+  Result<model::VideoDescriptor> FindVideo(const std::string& name) override {
+    return engine->catalog_->FindVideo(name);
+  }
+  Result<std::vector<model::EventRecord>> Events(
+      model::VideoId video, const std::string& type) override {
+    return engine->catalog_->Events(video, type);
+  }
+  Status Ensure(model::VideoId video, const std::string& type,
+                MethodPreference preference, QueryResult* result) override {
+    return engine->EnsureAvailable(video, type, preference, result);
+  }
+  uint64_t EventVersion() const override {
+    return engine->catalog_->event_version();
+  }
+  QueryEngine* engine;
+};
+
+/// Immutable snapshot: lock-free reads, no extraction (a snapshot cannot be
+/// mutated — a missing-but-extractable type is a typed FailedPrecondition).
+struct QueryEngine::SnapshotSource final : QueryEngine::EventSource {
+  SnapshotSource(const CatalogSnapshot& snap,
+                 const extensions::ExtensionRegistry& reg)
+      : snapshot(snap), registry(reg) {}
+  Result<model::VideoDescriptor> FindVideo(const std::string& name) override {
+    return snapshot.FindVideo(name);
+  }
+  Result<std::vector<model::EventRecord>> Events(
+      model::VideoId video, const std::string& type) override {
+    return snapshot.Events(video, type);
+  }
+  Status Ensure(model::VideoId video, const std::string& type,
+                MethodPreference /*preference*/,
+                QueryResult* /*result*/) override {
+    if (snapshot.HasEvents(video, type)) return Status::OK();
+    if (!registry.Providers(type).empty()) {
+      return Status::FailedPrecondition(
+          "snapshot read: no metadata for '" + type +
+          "' — dynamic extraction requires a live read-write query");
+    }
+    return Status::NotFound("no metadata and no extraction method for '" +
+                            type + "'");
+  }
+  uint64_t EventVersion() const override { return snapshot.event_version(); }
+  const CatalogSnapshot& snapshot;
+  const extensions::ExtensionRegistry& registry;
+};
 
 QueryEngine::QueryEngine(model::VideoCatalog* catalog,
                          extensions::ExtensionRegistry* registry,
@@ -414,17 +481,30 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
                             "query.cache_lookup");
     lookup.Detail(outcome == CacheOutcome::kStale ? "stale" : "miss");
   }
+  LiveSource source(this);
+  uint64_t version_at_read = 0;
+  COBRA_ASSIGN_OR_RETURN(
+      result.segments,
+      EvaluateOver(query, qctx, source, &result, &version_at_read));
+  span.RowsOut(result.segments.size());
+  CacheStore(cache_key, result.segments, version_at_read);
+  return result;
+}
+
+Result<std::vector<model::EventRecord>> QueryEngine::EvaluateOver(
+    const ParsedQuery& query, const kernel::ExecContext& qctx,
+    EventSource& source, QueryResult* result, uint64_t* version_at_read) {
   COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
-                         catalog_->FindVideo(query.video));
+                         source.FindVideo(query.video));
 
   {
     trace::SpanGuard prep(qctx.trace, qctx.trace_parent, "query.preprocess");
-    COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.primary.type,
-                                          query.preference, &result));
+    COBRA_RETURN_IF_ERROR(source.Ensure(video.id, query.primary.type,
+                                        query.preference, result));
     if (prep.enabled()) {
       prep.Detail("type=" + query.primary.type +
-                  (result.extracted_dynamically
-                       ? " extracted_by=" + result.methods_invoked.back()
+                  (result->extracted_dynamically
+                       ? " extracted_by=" + result->methods_invoked.back()
                        : " metadata=present"));
     }
   }
@@ -434,16 +514,16 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
   // fresh. Captured after the primary extraction so our own extraction's
   // bump is inside the entry's version; a dynamic secondary extraction
   // self-invalidates the entry, which merely costs one recomputation.
-  const uint64_t version_at_read = catalog_->event_version();
+  *version_at_read = source.EventVersion();
   COBRA_ASSIGN_OR_RETURN(auto primary_events,
-                         catalog_->Events(video.id, query.primary.type));
+                         source.Events(video.id, query.primary.type));
 
   std::vector<model::EventRecord> filtered;
   {
     trace::SpanGuard filter(qctx.trace, qctx.trace_parent, "query.filter");
     if (filter.enabled()) filter.Detail("type=" + query.primary.type);
     filter.RowsIn(primary_events.size());
-    filter.Morsels(exec.NumMorsels(primary_events.size()));
+    filter.Morsels(qctx.NumMorsels(primary_events.size()));
     filtered = FilterEvents(qctx, primary_events, [&query](const auto& e) {
       return MatchesPattern(e, query.primary);
     });
@@ -451,26 +531,26 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
   }
 
   if (query.temporal_op != TemporalOp::kNone) {
-    const size_t methods_before = result.methods_invoked.size();
+    const size_t methods_before = result->methods_invoked.size();
     {
       trace::SpanGuard prep(qctx.trace, qctx.trace_parent, "query.preprocess");
-      COBRA_RETURN_IF_ERROR(EnsureAvailable(video.id, query.secondary.type,
-                                            query.preference, &result));
+      COBRA_RETURN_IF_ERROR(source.Ensure(video.id, query.secondary.type,
+                                          query.preference, result));
       if (prep.enabled()) {
         prep.Detail("type=" + query.secondary.type +
-                    (result.methods_invoked.size() > methods_before
-                         ? " extracted_by=" + result.methods_invoked.back()
+                    (result->methods_invoked.size() > methods_before
+                         ? " extracted_by=" + result->methods_invoked.back()
                          : " metadata=present"));
       }
     }
     COBRA_ASSIGN_OR_RETURN(auto secondary_events,
-                           catalog_->Events(video.id, query.secondary.type));
+                           source.Events(video.id, query.secondary.type));
     std::vector<model::EventRecord> secondary;
     {
       trace::SpanGuard filter(qctx.trace, qctx.trace_parent, "query.filter");
       if (filter.enabled()) filter.Detail("type=" + query.secondary.type);
       filter.RowsIn(secondary_events.size());
-      filter.Morsels(exec.NumMorsels(secondary_events.size()));
+      filter.Morsels(qctx.NumMorsels(secondary_events.size()));
       secondary = FilterEvents(qctx, secondary_events, [&query](const auto& e) {
         return MatchesPattern(e, query.secondary);
       });
@@ -483,7 +563,7 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
       join.Detail(std::string("op=") + TemporalOpName(query.temporal_op));
     }
     join.RowsIn(filtered.size() + secondary.size());
-    join.Morsels(exec.NumMorsels(filtered.size()));
+    join.Morsels(qctx.NumMorsels(filtered.size()));
     std::vector<model::EventRecord> joined =
         FilterEvents(qctx, filtered, [&](const auto& p) {
           for (const auto& s : secondary) {
@@ -495,9 +575,72 @@ Result<QueryResult> QueryEngine::ExecuteImpl(const ParsedQuery& query,
     filtered = std::move(joined);
   }
 
-  result.segments = std::move(filtered);
+  return filtered;
+}
+
+Result<QueryResult> QueryEngine::ExecuteSnapshot(
+    const std::string& query_text, const CatalogSnapshot& snapshot) const {
+  // Storage commands mutate; a snapshot read rejects them with a typed
+  // error instead of silently parsing them as retrieval text.
+  const std::string_view text = StrTrim(query_text);
+  size_t verb_len = 0;
+  while (verb_len < text.size() &&
+         std::isalpha(static_cast<unsigned char>(text[verb_len])) != 0) {
+    ++verb_len;
+  }
+  const std::string verb = ToUpperAscii(text.substr(0, verb_len));
+  if (verb == "PERSIST" || verb == "RECOVER") {
+    return Status::FailedPrecondition(
+        verb + " is a storage command — snapshot reads are read-only");
+  }
+  COBRA_RETURN_IF_ERROR(AnalyzeQueryText(query_text).ToStatus("query"));
+  COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  return ExecuteSnapshot(parsed, snapshot);
+}
+
+Result<QueryResult> QueryEngine::ExecuteSnapshot(
+    const ParsedQuery& query, const CatalogSnapshot& snapshot) const {
+  if (!query.profile) return ExecuteSnapshot(query, snapshot, exec_);
+  // PROFILE under a per-query sink, exactly like the live path.
+  trace::TraceSink sink;
+  kernel::ExecContext exec = exec_;
+  exec.trace = &sink;
+  exec.trace_parent = nullptr;
+  COBRA_ASSIGN_OR_RETURN(QueryResult result,
+                         ExecuteSnapshot(query, snapshot, exec));
+  result.profile_text = sink.ToText();
+  result.profile_json = sink.ToJson();
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteSnapshot(
+    const ParsedQuery& query, const CatalogSnapshot& snapshot,
+    const kernel::ExecContext& exec) const {
+  trace::SpanGuard span(exec.trace, exec.trace_parent, "query.execute");
+  if (span.enabled()) {
+    span.Detail(StrFormat("type=%s video=%s", query.primary.type.c_str(),
+                          query.video.c_str()));
+  }
+  const kernel::ExecContext qctx = exec.WithTraceParent(span.span());
+
+  QueryResult result;
+  {
+    trace::SpanGuard verify(qctx.trace, qctx.trace_parent, "query.verify");
+    const Status verdict = VerifyPlan(query, snapshot, *registry_);
+    if (verify.enabled()) {
+      verify.Detail(verdict.ok() ? "ok" : verdict.message());
+    }
+    COBRA_RETURN_IF_ERROR(verdict);
+  }
+  // No cache consult — matches the live span shape with cache capacity 0
+  // (no query.cache_lookup span). The snapshot IS the consistency story:
+  // identical epochs always yield identical bytes.
+  SnapshotSource source(snapshot, *registry_);
+  uint64_t version_at_read = 0;
+  COBRA_ASSIGN_OR_RETURN(
+      result.segments,
+      EvaluateOver(query, qctx, source, &result, &version_at_read));
   span.RowsOut(result.segments.size());
-  CacheStore(cache_key, result.segments, version_at_read);
   return result;
 }
 

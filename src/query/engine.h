@@ -20,6 +20,8 @@
 
 namespace cobra::query {
 
+class CatalogSnapshot;
+
 /// Result of a query: matching event-layer segments plus preprocessor
 /// diagnostics (which methods ran, and whether extraction happened
 /// dynamically at query time).
@@ -84,6 +86,32 @@ class QueryEngine {
   /// Executes an already-parsed query.
   Result<QueryResult> Execute(const ParsedQuery& query);
 
+  /// Snapshot-isolated read: evaluates a retrieval query against an
+  /// immutable CatalogSnapshot instead of the live catalog — the serving
+  /// layer's read path. Same grammar, same algebra, same span shapes as the
+  /// live path, with two deliberate differences:
+  ///
+  ///   * no result cache (a snapshot read is versioned by its epoch; the
+  ///     shared cache is keyed by live state), matching the span shape of a
+  ///     live engine with cache capacity 0;
+  ///   * no dynamic extraction (a snapshot is immutable): a type with no
+  ///     metadata in the snapshot but a registered provider fails with a
+  ///     typed FailedPrecondition pointing at the live read-write path.
+  ///
+  /// Storage commands (PERSIST/RECOVER) are writes and are rejected with
+  /// FailedPrecondition. Const and lock-free over catalog state: any number
+  /// of threads may call this concurrently with a mutating writer.
+  Result<QueryResult> ExecuteSnapshot(const std::string& query_text,
+                                      const CatalogSnapshot& snapshot) const;
+  Result<QueryResult> ExecuteSnapshot(const ParsedQuery& query,
+                                      const CatalogSnapshot& snapshot) const;
+  /// Explicit-context variant: the caller owns tracing (PROFILE queries do
+  /// NOT get a private sink here — the server nests query spans under its
+  /// own request span and exports the profile itself).
+  Result<QueryResult> ExecuteSnapshot(const ParsedQuery& query,
+                                      const CatalogSnapshot& snapshot,
+                                      const kernel::ExecContext& exec) const;
+
   /// Execution parameters for the evaluator: pattern filtering and the
   /// temporal join run morsel-parallel over the event lists past the serial
   /// cutoff. Defaults to the serial context.
@@ -107,11 +135,27 @@ class QueryEngine {
   const std::string& data_dir() const { return data_dir_; }
 
  private:
+  /// The read surface EvaluateOver executes against: the live catalog (with
+  /// dynamic extraction) or an immutable snapshot. Defined in engine.cc.
+  struct EventSource;
+  struct LiveSource;
+  struct SnapshotSource;
+
   /// The evaluator under an explicit context. PROFILE runs pass a context
   /// with a fresh trace sink; plain runs pass exec_ through unchanged (which
   /// may itself carry a host-installed sink).
   Result<QueryResult> ExecuteImpl(const ParsedQuery& query,
                                   const kernel::ExecContext& exec);
+
+  /// Shared evaluation body of the live and snapshot paths: find video →
+  /// preprocess (ensure availability) → read + filter → optional secondary
+  /// preprocess/filter + temporal semijoin — with identical span shapes on
+  /// both paths. Returns the matching segments; `version_at_read` receives
+  /// the source's event version sampled after the primary preprocess (the
+  /// live path's cache-entry version; see CacheStore).
+  static Result<std::vector<model::EventRecord>> EvaluateOver(
+      const ParsedQuery& query, const kernel::ExecContext& qctx,
+      EventSource& source, QueryResult* result, uint64_t* version_at_read);
 
   /// Ensures events of `type` exist for `video`; dynamically extracts when
   /// missing, selecting the provider per `preference`.

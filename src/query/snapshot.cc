@@ -1,0 +1,156 @@
+#include "query/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cobra::query {
+
+Result<model::VideoDescriptor> CatalogSnapshot::FindVideo(
+    const std::string& name) const {
+  for (const auto& v : state_.videos) {
+    if (v.name == name) return v;
+  }
+  return Status::NotFound("no video named " + name);
+}
+
+std::vector<model::EventRecord> CatalogSnapshot::Events(
+    model::VideoId video, const std::string& type) const {
+  auto it = state_.events.find(video);
+  std::vector<model::EventRecord> out;
+  if (it != state_.events.end()) {
+    for (const auto& e : it->second) {
+      if (type.empty() || e.type == type) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const model::EventRecord& a, const model::EventRecord& b) {
+              return a.begin_sec < b.begin_sec;
+            });
+  return out;
+}
+
+bool CatalogSnapshot::HasEvents(model::VideoId video,
+                                const std::string& type) const {
+  auto it = state_.events.find(video);
+  if (it == state_.events.end()) return false;
+  for (const auto& e : it->second) {
+    if (e.type == type) return true;
+  }
+  return false;
+}
+
+SnapshotManager::SnapshotManager(model::VideoCatalog* videos,
+                                 kernel::Catalog* kernel)
+    : videos_(videos), kernel_(kernel) {}
+
+SnapshotManager::~SnapshotManager() = default;
+
+SnapshotManager::Pin::Pin(Pin&& other) noexcept
+    : manager_(other.manager_), snapshot_(std::move(other.snapshot_)) {
+  other.manager_ = nullptr;
+  other.snapshot_ = nullptr;
+}
+
+SnapshotManager::Pin& SnapshotManager::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    if (snapshot_ != nullptr && manager_ != nullptr) {
+      manager_->Unpin(snapshot_->epoch());
+    }
+    manager_ = other.manager_;
+    snapshot_ = std::move(other.snapshot_);
+    other.manager_ = nullptr;
+    other.snapshot_ = nullptr;
+  }
+  return *this;
+}
+
+SnapshotManager::Pin::~Pin() {
+  if (snapshot_ != nullptr && manager_ != nullptr) {
+    manager_->Unpin(snapshot_->epoch());
+  }
+}
+
+SnapshotManager::Pin SnapshotManager::Acquire() {
+  MutexLock lock(mu_);
+  RefreshLocked();
+  EpochEntry& entry = epochs_.at(current_epoch_);
+  ++entry.pins;
+  return Pin(this, entry.snapshot);
+}
+
+void SnapshotManager::Refresh() {
+  MutexLock lock(mu_);
+  RefreshLocked();
+}
+
+void SnapshotManager::RefreshLocked() {
+  // Lock-free staleness probe: no contact with the catalog mutexes unless
+  // something actually changed since the last publication.
+  const uint64_t model_now = videos_->model_version();
+  const uint64_t kernel_now = kernel_ != nullptr ? kernel_->version() : 0;
+  if (current_epoch_ != 0) {
+    const CatalogSnapshot& current = *epochs_.at(current_epoch_).snapshot;
+    if (current.model_version() == model_now &&
+        current.kernel_version() == kernel_now) {
+      return;
+    }
+  }
+  model::VideoCatalog::SnapshotState state = videos_->CaptureSnapshotState();
+  // Versions that move between the probe above and the capture are caught by
+  // the next Acquire(); the snapshot's own stamps always describe its data.
+  uint64_t checkpoint_lsn = 0;
+  uint64_t last_lsn = 0;
+  if (kernel_ != nullptr) {
+    kernel::Catalog::StoreStats store = kernel_->Stats().store;
+    checkpoint_lsn = store.checkpoint_lsn;
+    last_lsn = store.last_lsn;
+  }
+  const uint64_t epoch = ++current_epoch_;
+  ++published_;
+  epochs_[epoch] = EpochEntry{
+      std::make_shared<const CatalogSnapshot>(epoch, std::move(state),
+                                              kernel_now, checkpoint_lsn,
+                                              last_lsn),
+      /*pins=*/0};
+  ReclaimLocked();
+}
+
+void SnapshotManager::Unpin(uint64_t epoch) {
+  MutexLock lock(mu_);
+  auto it = epochs_.find(epoch);
+  if (it == epochs_.end() || it->second.pins == 0) return;
+  --it->second.pins;
+  if (it->second.pins == 0 && epoch != current_epoch_) {
+    epochs_.erase(it);
+    ++reclaimed_;
+  }
+}
+
+void SnapshotManager::ReclaimLocked() {
+  for (auto it = epochs_.begin(); it != epochs_.end();) {
+    if (it->first != current_epoch_ && it->second.pins == 0) {
+      it = epochs_.erase(it);
+      ++reclaimed_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+SnapshotManager::Stats SnapshotManager::stats() const {
+  MutexLock lock(mu_);
+  Stats out;
+  out.current_epoch = current_epoch_;
+  out.published = published_;
+  out.reclaimed = reclaimed_;
+  out.live_epochs = epochs_.size();
+  for (const auto& [epoch, entry] : epochs_) {
+    out.pinned_readers += entry.pins;
+    if (entry.pins > 0 && out.oldest_pinned_epoch == 0) {
+      out.oldest_pinned_epoch = epoch;
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::query

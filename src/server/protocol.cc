@@ -1,0 +1,241 @@
+#include "server/protocol.h"
+
+#include <bit>
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace cobra::server::protocol {
+
+namespace {
+
+/// Percent-escapes the bytes the line format reserves: control/space
+/// characters, '%', '=', and DEL. Deterministic and reversible.
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b <= 0x20 || b == 0x7f || c == '%' || c == '=') {
+      out.append(StrFormat("%%%02x", b));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Splits `line` on single spaces (the format never emits runs of spaces —
+/// they are escaped inside fields).
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t space = line.find(' ', start);
+    if (space == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return out;
+}
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Parses "key=<u64>" into `out`; false on any mismatch.
+bool ParseKeyU64(std::string_view field, std::string_view key, uint64_t* out) {
+  if (field.size() <= key.size() + 1) return false;
+  if (field.substr(0, key.size()) != key || field[key.size()] != '=') {
+    return false;
+  }
+  return ParseU64(field.substr(key.size() + 1), out);
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  const auto len = static_cast<uint32_t>(payload.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.append(payload);
+  return out;
+}
+
+bool FrameDecoder::Next(std::string* payload) {
+  if (poisoned_ || buffer_.size() < 4) return false;
+  const auto b = [this](size_t i) {
+    return static_cast<uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const uint32_t len = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (len > kMaxFrameBytes) {
+    poisoned_ = true;
+    return false;
+  }
+  if (buffer_.size() < 4 + static_cast<size_t>(len)) return false;
+  *payload = buffer_.substr(4, len);
+  buffer_.erase(0, 4 + static_cast<size_t>(len));
+  return true;
+}
+
+std::string EncodeRequest(const Request& request) {
+  return StrFormat("Q %llu %llu\n",
+                   static_cast<unsigned long long>(request.session),
+                   static_cast<unsigned long long>(request.seq)) +
+         request.query;
+}
+
+Result<Request> ParseRequest(std::string_view payload) {
+  const size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) {
+    return Status::InvalidArgument("request: missing header line");
+  }
+  const std::vector<std::string_view> fields =
+      SplitFields(payload.substr(0, nl));
+  Request request;
+  if (fields.size() != 3 || fields[0] != "Q" ||
+      !ParseU64(fields[1], &request.session) ||
+      !ParseU64(fields[2], &request.seq)) {
+    return Status::InvalidArgument(
+        "request: malformed header (want 'Q <session> <seq>')");
+  }
+  request.query = std::string(payload.substr(nl + 1));
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string out;
+  if (response.ok) {
+    out = StrFormat(
+        "OK session=%llu seq=%llu epoch=%llu version=%llu lsn=%llu "
+        "rows=%zu\n",
+        static_cast<unsigned long long>(response.session),
+        static_cast<unsigned long long>(response.seq),
+        static_cast<unsigned long long>(response.epoch),
+        static_cast<unsigned long long>(response.version),
+        static_cast<unsigned long long>(response.lsn),
+        response.segments.size());
+    for (const std::string& line : response.segments) {
+      out += line;
+      out.push_back('\n');
+    }
+    if (!response.profile.empty()) {
+      out += StrFormat("P %zu\n", response.profile.size());
+      out += response.profile;
+    }
+  } else {
+    out = StrFormat("ERR %s session=%llu seq=%llu\n",
+                    std::string(StatusCodeName(response.code)).c_str(),
+                    static_cast<unsigned long long>(response.session),
+                    static_cast<unsigned long long>(response.seq));
+    out += response.message;
+  }
+  return out;
+}
+
+Result<Response> ParseResponse(std::string_view payload) {
+  const size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) {
+    return Status::InvalidArgument("response: missing header line");
+  }
+  const std::vector<std::string_view> fields =
+      SplitFields(payload.substr(0, nl));
+  Response response;
+  std::string_view rest = payload.substr(nl + 1);
+  if (!fields.empty() && fields[0] == "OK") {
+    uint64_t rows = 0;
+    if (fields.size() != 7 ||
+        !ParseKeyU64(fields[1], "session", &response.session) ||
+        !ParseKeyU64(fields[2], "seq", &response.seq) ||
+        !ParseKeyU64(fields[3], "epoch", &response.epoch) ||
+        !ParseKeyU64(fields[4], "version", &response.version) ||
+        !ParseKeyU64(fields[5], "lsn", &response.lsn) ||
+        !ParseKeyU64(fields[6], "rows", &rows)) {
+      return Status::InvalidArgument("response: malformed OK header");
+    }
+    response.ok = true;
+    for (uint64_t i = 0; i < rows; ++i) {
+      const size_t line_end = rest.find('\n');
+      if (line_end == std::string_view::npos) {
+        return Status::InvalidArgument("response: truncated segment list");
+      }
+      response.segments.emplace_back(rest.substr(0, line_end));
+      rest = rest.substr(line_end + 1);
+    }
+    if (!rest.empty()) {
+      const size_t p_end = rest.find('\n');
+      uint64_t bytes = 0;
+      if (p_end == std::string_view::npos || rest.substr(0, 2) != "P " ||
+          !ParseU64(rest.substr(2, p_end - 2), &bytes) ||
+          rest.size() - p_end - 1 != bytes) {
+        return Status::InvalidArgument("response: malformed profile section");
+      }
+      response.profile = std::string(rest.substr(p_end + 1));
+    }
+    return response;
+  }
+  if (fields.size() == 4 && fields[0] == "ERR") {
+    bool known = false;
+    for (StatusCode code :
+         {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+          StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+          StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
+          StatusCode::kInternal, StatusCode::kIoError,
+          StatusCode::kResourceExhausted, StatusCode::kUnavailable}) {
+      if (StatusCodeName(code) == fields[1]) {
+        response.code = code;
+        known = true;
+        break;
+      }
+    }
+    if (!known || !ParseKeyU64(fields[2], "session", &response.session) ||
+        !ParseKeyU64(fields[3], "seq", &response.seq)) {
+      return Status::InvalidArgument("response: malformed ERR header");
+    }
+    response.ok = false;
+    response.message = std::string(rest);
+    return response;
+  }
+  return Status::InvalidArgument("response: unknown header");
+}
+
+std::string EncodeSegment(const model::EventRecord& event) {
+  std::string out = "S " + Escape(event.type);
+  out += StrFormat(
+      " b=%016llx e=%016llx c=%016llx",
+      static_cast<unsigned long long>(std::bit_cast<uint64_t>(event.begin_sec)),
+      static_cast<unsigned long long>(std::bit_cast<uint64_t>(event.end_sec)),
+      static_cast<unsigned long long>(
+          std::bit_cast<uint64_t>(event.confidence)));
+  for (const auto& [key, value] : event.attrs) {
+    out.push_back(' ');
+    out += Escape(key);
+    out.push_back('=');
+    out += Escape(value);
+  }
+  return out;
+}
+
+std::vector<std::string> EncodeSegments(
+    const std::vector<model::EventRecord>& events) {
+  std::vector<std::string> out;
+  out.reserve(events.size());
+  for (const auto& event : events) out.push_back(EncodeSegment(event));
+  return out;
+}
+
+}  // namespace cobra::server::protocol

@@ -1,0 +1,107 @@
+#ifndef COBRA_SERVER_PROTOCOL_H_
+#define COBRA_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "cobra/video_model.h"
+
+namespace cobra::server::protocol {
+
+/// Wire protocol of the query server: length-prefixed text frames.
+///
+/// A frame is a little-endian u32 payload length followed by that many
+/// payload bytes. Payloads are line-oriented ASCII:
+///
+///   request   := "Q <session> <seq>\n<query text>"
+///   response  := ok-response | err-response
+///   ok-response :=
+///       "OK session=<s> seq=<q> epoch=<e> version=<v> lsn=<l> rows=<n>\n"
+///       n segment lines ("S ...")
+///       optional "P <bytes>\n<profile text>"  (PROFILE queries only)
+///   err-response := "ERR <CodeName> session=<s> seq=<q>\n<message>"
+///
+/// A segment line is the canonical rendering of one result event:
+///
+///   "S <type> b=<hex64> e=<hex64> c=<hex64> <key>=<value>..."
+///
+/// where the three hex64 fields are the raw IEEE-754 bit patterns of
+/// begin/end/confidence — responses compare BYTE-IDENTICAL across machines
+/// and replays, with no decimal-formatting slop — and type/key/value are
+/// percent-escaped (every byte <= 0x20, '%', '=', 0x7f). Attrs follow the
+/// event's already-sorted attribute map, so the rendering is deterministic.
+///
+/// `epoch` is the snapshot publication the response was served at,
+/// `version` the VideoCatalog event version of that snapshot (the replay
+/// key of the consistency harness), `lsn` its durable log sequence number.
+
+/// One parsed request frame payload.
+struct Request {
+  uint64_t session = 0;
+  uint64_t seq = 0;
+  std::string query;
+};
+
+/// One parsed response frame payload.
+struct Response {
+  bool ok = false;
+  // Error case: the Status the execution failed with.
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  // Echoed request identity.
+  uint64_t session = 0;
+  uint64_t seq = 0;
+  // Snapshot identity the result was served at (0s for errors).
+  uint64_t epoch = 0;
+  uint64_t version = 0;
+  uint64_t lsn = 0;
+  /// Canonical segment lines, in result order.
+  std::vector<std::string> segments;
+  /// PROFILE queries: the span-tree text rendering, verbatim.
+  std::string profile;
+};
+
+// -- Framing ---------------------------------------------------------------
+
+/// Wraps a payload in a length-prefixed frame.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder for a byte stream (TCP reads land here).
+class FrameDecoder {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+  /// Extracts the next complete frame's payload; false when none is
+  /// buffered yet. Oversized declared lengths poison the decoder.
+  bool Next(std::string* payload);
+  bool poisoned() const { return poisoned_; }
+
+  /// Frames larger than this are a protocol violation (poisons the stream).
+  static constexpr uint32_t kMaxFrameBytes = 1u << 24;
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+// -- Payload encoding ------------------------------------------------------
+
+std::string EncodeRequest(const Request& request);
+Result<Request> ParseRequest(std::string_view payload);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> ParseResponse(std::string_view payload);
+
+/// Canonical segment line of one event record (see format above).
+std::string EncodeSegment(const model::EventRecord& event);
+
+/// EncodeSegment over a result list — the byte string the consistency
+/// harness compares against serial re-evaluation.
+std::vector<std::string> EncodeSegments(
+    const std::vector<model::EventRecord>& events);
+
+}  // namespace cobra::server::protocol
+
+#endif  // COBRA_SERVER_PROTOCOL_H_

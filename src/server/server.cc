@@ -1,0 +1,393 @@
+#include "server/server.h"
+
+#include <atomic>
+#include <cctype>
+#include <memory>
+#include <utility>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "base/trace.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cobra::server {
+
+QueryServer::QueryServer(const query::QueryEngine* engine,
+                         model::VideoCatalog* videos, kernel::Catalog* kernel,
+                         ServerConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      snapshots_(videos, kernel),
+      pool_(std::make_unique<ThreadPool>(
+          config_.workers > 0 ? config_.workers : 1)) {
+  COBRA_CHECK(engine != nullptr && videos != nullptr);
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+uint64_t QueryServer::OpenSession() {
+  MutexLock lock(mu_);
+  const uint64_t id = next_session_++;
+  sessions_[id] = SessionState{};
+  ++sessions_opened_;
+  return id;
+}
+
+Status QueryServer::CloseSession(uint64_t session) {
+  MutexLock lock(mu_);
+  if (sessions_.erase(session) == 0) {
+    return Status::NotFound(
+        StrFormat("no session %llu", static_cast<unsigned long long>(session)));
+  }
+  ++sessions_closed_;
+  return Status::OK();
+}
+
+Status QueryServer::Submit(uint64_t session, uint64_t seq, std::string query,
+                           std::function<void(protocol::Response)> done) {
+  // Admission control on the caller's thread: typed rejections, never a
+  // hang. The snapshot is pinned inside the admission lock, so the data an
+  // accepted request sees is fixed here — a writer landing while the
+  // request waits in the queue moves later epochs, not this one.
+  {
+    MutexLock lock(mu_);
+    if (shutting_down_) {
+      ++rejected_shutdown_;
+      return Status::Unavailable("server is shutting down");
+    }
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return Status::NotFound(StrFormat(
+          "no session %llu", static_cast<unsigned long long>(session)));
+    }
+    if (in_flight_ >= config_.workers + config_.max_queue) {
+      ++rejected_busy_;
+      return Status::ResourceExhausted(
+          StrFormat("server busy: %zu requests in flight (limit %zu)",
+                    in_flight_, config_.workers + config_.max_queue));
+    }
+    ++it->second.requests;
+    ++in_flight_;
+    ++accepted_;
+  }
+  // shared_ptr because ThreadPool tasks are copyable std::functions; the
+  // pin itself is move-only.
+  auto pin = std::make_shared<query::SnapshotManager::Pin>(
+      snapshots_.Acquire());
+  auto done_ptr =
+      std::make_shared<std::function<void(protocol::Response)>>(
+          std::move(done));
+  auto query_ptr = std::make_shared<std::string>(std::move(query));
+  pool_->Schedule([this, session, seq, pin, done_ptr, query_ptr]() {
+    protocol::Response response =
+        ExecuteAdmitted(session, seq, *query_ptr, *pin);
+    {
+      MutexLock lock(mu_);
+      --in_flight_;
+      if (response.ok) {
+        ++completed_;
+      } else {
+        ++errors_;
+      }
+    }
+    (*done_ptr)(std::move(response));
+  });
+  return Status::OK();
+}
+
+protocol::Response QueryServer::ExecuteAdmitted(
+    uint64_t session, uint64_t seq, const std::string& query,
+    const query::SnapshotManager::Pin& pin) {
+  if (config_.pre_execute_hook) config_.pre_execute_hook();
+
+  protocol::Response response;
+  response.session = session;
+  response.seq = seq;
+  // The response claims the ADMISSION-time snapshot identity.
+  response.epoch = pin->epoch();
+  response.version = pin->event_version();
+  response.lsn = pin->last_lsn();
+
+  // Seeded isolation defect (test only): evaluate against a snapshot taken
+  // NOW instead of the pinned one, while still claiming the admission-time
+  // identity. A write landing between admission and execution makes the
+  // claim a lie — exactly what the consistency harness must detect.
+  query::SnapshotManager::Pin unsafe_pin;
+  const query::CatalogSnapshot* snapshot = pin.get();
+  if (config_.unsafe_unpinned_reads) {
+    unsafe_pin = snapshots_.Acquire();
+    snapshot = unsafe_pin.get();
+  }
+
+  auto fail = [&response](const Status& status) {
+    response.ok = false;
+    response.code = status.code();
+    response.message = status.message();
+    return response;
+  };
+
+  // Storage commands mutate; served reads reject them with the same typed
+  // error as QueryEngine::ExecuteSnapshot(text) — before the analyzer,
+  // which would call them a grammar error.
+  {
+    const std::string_view text = StrTrim(query);
+    size_t verb_len = 0;
+    while (verb_len < text.size() &&
+           std::isalpha(static_cast<unsigned char>(text[verb_len])) != 0) {
+      ++verb_len;
+    }
+    const std::string verb = ToUpperAscii(text.substr(0, verb_len));
+    if (verb == "PERSIST" || verb == "RECOVER") {
+      return fail(Status::FailedPrecondition(
+          verb + " is a storage command — snapshot reads are read-only"));
+    }
+  }
+
+  // Analyzer first — positioned diagnostics identical to the direct engine
+  // path — then parse; both also run inside ExecuteSnapshot(text), but the
+  // server needs the parsed form up front to own PROFILE tracing.
+  if (Status verdict = query::AnalyzeQueryText(query).ToStatus("query");
+      !verdict.ok()) {
+    return fail(verdict);
+  }
+  Result<query::ParsedQuery> parsed = query::ParseQuery(query);
+  if (!parsed.ok()) return fail(parsed.status());
+
+  kernel::ExecContext exec = config_.exec;
+  exec.trace = nullptr;
+  exec.trace_parent = nullptr;
+
+  if (parsed->profile) {
+    // PROFILE through the server: the request root span carries the serving
+    // attributes (session, snapshot identity); the engine's query.execute
+    // subtree underneath is identical to a direct engine call.
+    trace::TraceSink sink;
+    Result<query::QueryResult> result = [&]() {
+      trace::SpanGuard root(&sink, nullptr, "server.request");
+      root.Detail(StrFormat("session=%llu epoch=%llu version=%llu",
+                            static_cast<unsigned long long>(session),
+                            static_cast<unsigned long long>(response.epoch),
+                            static_cast<unsigned long long>(response.version)));
+      exec.trace = &sink;
+      exec.trace_parent = root.span();
+      return engine_->ExecuteSnapshot(*parsed, *snapshot, exec);
+    }();
+    if (!result.ok()) return fail(result.status());
+    response.profile = sink.ToText();
+    response.ok = true;
+    response.segments = protocol::EncodeSegments(result->segments);
+    return response;
+  }
+
+  Result<query::QueryResult> result =
+      engine_->ExecuteSnapshot(*parsed, *snapshot, exec);
+  if (!result.ok()) return fail(result.status());
+  response.ok = true;
+  response.segments = protocol::EncodeSegments(result->segments);
+  return response;
+}
+
+protocol::Response QueryServer::Call(uint64_t session, uint64_t seq,
+                                     const std::string& query) {
+  // One-shot completion latch; Submit errors become ERR responses so every
+  // caller sees uniform typed results.
+  struct CallState {
+    Mutex mu;
+    CondVar cv;
+    bool ready COBRA_GUARDED_BY(mu) = false;
+    protocol::Response response COBRA_GUARDED_BY(mu);
+  };
+  auto state = std::make_shared<CallState>();
+  Status admitted =
+      Submit(session, seq, query, [state](protocol::Response response) {
+        MutexLock lock(state->mu);
+        state->response = std::move(response);
+        state->ready = true;
+        state->cv.NotifyAll();
+      });
+  if (!admitted.ok()) {
+    protocol::Response response;
+    response.ok = false;
+    response.code = admitted.code();
+    response.message = admitted.message();
+    response.session = session;
+    response.seq = seq;
+    return response;
+  }
+  MutexLock lock(state->mu);
+  while (!state->ready) state->cv.Wait(lock);
+  return state->response;
+}
+
+std::string QueryServer::HandleFrame(const std::string& payload) {
+  Result<protocol::Request> request = protocol::ParseRequest(payload);
+  if (!request.ok()) {
+    protocol::Response response;
+    response.ok = false;
+    response.code = request.status().code();
+    response.message = request.status().message();
+    return protocol::EncodeResponse(response);
+  }
+  return protocol::EncodeResponse(
+      Call(request->session, request->seq, request->query));
+}
+
+void QueryServer::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    shutting_down_ = true;
+  }
+  if (pool_ != nullptr) {
+    // Every admitted request drains to its response before the workers go
+    // away; new Submits have been bouncing with Unavailable since the flag
+    // flipped above.
+    pool_->WaitIdle();
+    pool_.reset();
+  }
+}
+
+ServerStats QueryServer::stats() const {
+  MutexLock lock(mu_);
+  ServerStats out;
+  out.accepted = accepted_;
+  out.rejected_busy = rejected_busy_;
+  out.rejected_shutdown = rejected_shutdown_;
+  out.completed = completed_;
+  out.errors = errors_;
+  out.sessions_opened = sessions_opened_;
+  out.sessions_closed = sessions_closed_;
+  out.in_flight = in_flight_;
+  out.snapshots = snapshots_.stats();
+  return out;
+}
+
+protocol::Response LocalConnection::Query(const std::string& text) {
+  protocol::Request request;
+  request.session = session_;
+  request.seq = next_seq_++;
+  request.query = text;
+  // Full wire round-trip, frames included: what a socket client would send
+  // and read, minus the socket.
+  protocol::FrameDecoder decoder;
+  decoder.Feed(protocol::EncodeFrame(
+      server_->HandleFrame(protocol::EncodeRequest(request))));
+  std::string payload;
+  COBRA_CHECK(decoder.Next(&payload));
+  Result<protocol::Response> response = protocol::ParseResponse(payload);
+  COBRA_CHECK(response.ok());
+  return *response;
+}
+
+// -- TCP transport ---------------------------------------------------------
+
+Status TcpServer::Start(uint16_t port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 16) < 0) {
+    ::close(listen_fd);
+    return Status::IoError("bind/listen on 127.0.0.1 failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_.store(listen_fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  // The fd value is fixed for the thread's lifetime; Stop() only shuts the
+  // socket down (which unblocks accept) and closes it after joining us.
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed by Stop()
+    MutexLock lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  // Connection-implicit session: requests with session id 0 are rewritten
+  // to it, so a plain client needs no handshake.
+  const uint64_t session = server_->OpenSession();
+  protocol::FrameDecoder decoder;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    if (decoder.poisoned()) break;
+    std::string payload;
+    while (decoder.Next(&payload)) {
+      Result<protocol::Request> request = protocol::ParseRequest(payload);
+      std::string out;
+      if (!request.ok()) {
+        protocol::Response response;
+        response.ok = false;
+        response.code = request.status().code();
+        response.message = request.status().message();
+        out = protocol::EncodeFrame(protocol::EncodeResponse(response));
+      } else {
+        const uint64_t sid = request->session == 0 ? session : request->session;
+        out = protocol::EncodeFrame(protocol::EncodeResponse(
+            server_->Call(sid, request->seq, request->query)));
+      }
+      size_t sent = 0;
+      while (sent < out.size()) {
+        const ssize_t w = ::write(fd, out.data() + sent, out.size() - sent);
+        if (w <= 0) break;
+        sent += static_cast<size_t>(w);
+      }
+      if (sent < out.size()) break;
+    }
+  }
+  ::close(fd);
+  (void)server_->CloseSession(session);
+}
+
+void TcpServer::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    // shutdown() unblocks accept(); close() alone does not on all kernels.
+    // Closing waits until the accept thread is joined so the fd number
+    // cannot be recycled under a still-running accept().
+    ::shutdown(listen_fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd >= 0) ::close(listen_fd);
+  std::vector<std::thread> connections;
+  {
+    MutexLock lock(mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace cobra::server

@@ -1,0 +1,211 @@
+#ifndef COBRA_SERVER_SERVER_H_
+#define COBRA_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+#include "base/thread_pool.h"
+#include "kernel/exec_context.h"
+#include "query/engine.h"
+#include "query/snapshot.h"
+#include "server/protocol.h"
+
+namespace cobra::server {
+
+/// Tuning and test knobs of a QueryServer.
+struct ServerConfig {
+  /// Worker threads executing queries (>= 1).
+  size_t workers = 2;
+  /// Admission bound: requests may wait in the queue beyond the `workers`
+  /// executing ones; past that Submit returns ResourceExhausted instantly
+  /// (backpressure, never a hang).
+  size_t max_queue = 16;
+  /// Base execution parameters (morsel sizing etc.). Trace fields are
+  /// ignored — the server installs per-request sinks for PROFILE queries.
+  kernel::ExecContext exec;
+  /// TEST ONLY — runs on the worker thread after admission (snapshot
+  /// already pinned) and before evaluation. Lets tests wedge workers to
+  /// fill the queue, or mutate the catalog inside the pin/execute window.
+  std::function<void()> pre_execute_hook;
+  /// TEST ONLY — seeded isolation defect: stamp the response with the
+  /// admission-time snapshot identity but evaluate against a fresh snapshot
+  /// taken at execution time (i.e. skip the pin). The consistency harness
+  /// must catch this; it exists to prove the harness can.
+  bool unsafe_unpinned_reads = false;
+};
+
+/// Aggregate serving counters (monotonic unless noted).
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_busy = 0;      // admission bound hit
+  uint64_t rejected_shutdown = 0;  // submitted during/after Shutdown
+  uint64_t completed = 0;          // executed, OK response
+  uint64_t errors = 0;             // executed, ERR response
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  size_t in_flight = 0;  // currently admitted and not yet responded
+  query::SnapshotManager::Stats snapshots;
+};
+
+/// Multi-client query server over a QueryEngine: a bounded worker pool
+/// executing snapshot-isolated reads.
+///
+/// Every request is admitted (or rejected with typed backpressure) on the
+/// caller's thread; admission pins the current snapshot epoch, so the data a
+/// request will see is fixed the moment the server accepts it, no matter
+/// how long it queues. Execution happens on the worker pool against that
+/// pinned immutable snapshot — read traffic never takes the catalog locks,
+/// so a mutating/checkpointing writer is never blocked by readers (and
+/// vice versa). Responses carry the snapshot identity (epoch, event
+/// version, LSN) they were served at; the consistency harness replays the
+/// write log to those versions and demands byte-identical segments.
+///
+/// Sessions are lightweight server-side state (id, counters); requests
+/// reference them by id. The transports below (LocalConnection, TcpServer)
+/// manage session lifecycle for their callers.
+class QueryServer {
+ public:
+  /// The engine/catalogs must outlive the server. `engine` is used for its
+  /// snapshot execution path only — the server never calls the mutating or
+  /// storage paths.
+  QueryServer(const query::QueryEngine* engine, model::VideoCatalog* videos,
+              kernel::Catalog* kernel, ServerConfig config = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // -- Sessions ------------------------------------------------------------
+
+  uint64_t OpenSession() COBRA_EXCLUDES(mu_);
+  Status CloseSession(uint64_t session) COBRA_EXCLUDES(mu_);
+
+  // -- Request paths -------------------------------------------------------
+
+  /// Asynchronous submit: admission control runs here (typed errors, never
+  /// a hang); on admission the request executes on a worker and `done` is
+  /// invoked on that worker thread with the response. A Submit error means
+  /// `done` will NOT be called.
+  Status Submit(uint64_t session, uint64_t seq, std::string query,
+                std::function<void(protocol::Response)> done)
+      COBRA_EXCLUDES(mu_);
+
+  /// Synchronous round-trip: Submit + wait. Admission failures come back as
+  /// ERR responses (code ResourceExhausted/Unavailable/...).
+  protocol::Response Call(uint64_t session, uint64_t seq,
+                          const std::string& query) COBRA_EXCLUDES(mu_);
+
+  /// Full wire round-trip: parses a request frame payload, executes it, and
+  /// returns the encoded response payload. The transports' entry point.
+  std::string HandleFrame(const std::string& payload) COBRA_EXCLUDES(mu_);
+
+  /// Stops admitting (further Submits return Unavailable), drains every
+  /// in-flight request to its response, and joins the workers. Idempotent.
+  void Shutdown() COBRA_EXCLUDES(mu_);
+
+  ServerStats stats() const COBRA_EXCLUDES(mu_);
+  /// The snapshot publication/pinning machinery (tests assert reclamation).
+  query::SnapshotManager& snapshots() { return snapshots_; }
+
+ private:
+  struct SessionState {
+    uint64_t requests = 0;
+  };
+
+  /// Executes one admitted request on a worker thread.
+  protocol::Response ExecuteAdmitted(uint64_t session, uint64_t seq,
+                                     const std::string& query,
+                                     const query::SnapshotManager::Pin& pin)
+      COBRA_EXCLUDES(mu_);
+
+  const query::QueryEngine* const engine_;
+  const ServerConfig config_;
+  query::SnapshotManager snapshots_;
+  /// Created before and destroyed after the pool so tasks can always use it.
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable Mutex mu_;
+  std::map<uint64_t, SessionState> sessions_ COBRA_GUARDED_BY(mu_);
+  uint64_t next_session_ COBRA_GUARDED_BY(mu_) = 1;
+  bool shutting_down_ COBRA_GUARDED_BY(mu_) = false;
+  size_t in_flight_ COBRA_GUARDED_BY(mu_) = 0;
+  uint64_t accepted_ COBRA_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_busy_ COBRA_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_shutdown_ COBRA_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ COBRA_GUARDED_BY(mu_) = 0;
+  uint64_t errors_ COBRA_GUARDED_BY(mu_) = 0;
+  uint64_t sessions_opened_ COBRA_GUARDED_BY(mu_) = 0;
+  uint64_t sessions_closed_ COBRA_GUARDED_BY(mu_) = 0;
+};
+
+/// In-process client transport: the full wire protocol (frame encoding,
+/// request/response payloads) round-tripped through QueryServer::HandleFrame
+/// with no real socket — what the deterministic tests and the benchmark
+/// drive. Owns one session. Not thread-safe; use one per client thread.
+class LocalConnection {
+ public:
+  explicit LocalConnection(QueryServer* server)
+      : server_(server), session_(server->OpenSession()) {}
+  ~LocalConnection() { (void)server_->CloseSession(session_); }
+
+  LocalConnection(const LocalConnection&) = delete;
+  LocalConnection& operator=(const LocalConnection&) = delete;
+
+  /// Sends one query through the wire encoding and decodes the response.
+  protocol::Response Query(const std::string& text);
+
+  uint64_t session() const { return session_; }
+
+ private:
+  QueryServer* const server_;
+  const uint64_t session_;
+  uint64_t next_seq_ = 1;
+};
+
+/// Thread-per-connection TCP front end over a QueryServer: an accept loop
+/// plus one reader thread per connection, each framing bytes through
+/// FrameDecoder and answering via HandleFrame. A request's session id 0 is
+/// rewritten to the connection's implicit session (opened at accept, closed
+/// at disconnect). Environments without loopback sockets simply fail
+/// Start(); everything above the transport is testable via LocalConnection.
+class TcpServer {
+ public:
+  explicit TcpServer(QueryServer* server) : server_(server) {}
+  ~TcpServer() { Stop(); }
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port; see port()).
+  Status Start(uint16_t port) COBRA_EXCLUDES(mu_);
+  /// Stops accepting, closes every connection, joins all threads.
+  void Stop() COBRA_EXCLUDES(mu_);
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  QueryServer* const server_;
+  uint16_t port_ = 0;
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+
+  Mutex mu_;
+  std::vector<std::thread> connections_ COBRA_GUARDED_BY(mu_);
+  bool stopping_ COBRA_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace cobra::server
+
+#endif  // COBRA_SERVER_SERVER_H_

@@ -18,6 +18,7 @@
 // dumps are byte-identical for every kernel operation.
 
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <functional>
@@ -29,7 +30,9 @@
 #include <gtest/gtest.h>
 
 #include "base/io.h"
+#include "base/logging.h"
 #include "base/rng.h"
+#include "base/strings.h"
 #include "base/trace.h"
 #include "cobra/video_model.h"
 #include "extensions/extension.h"
@@ -38,6 +41,7 @@
 #include "kernel/mil.h"
 #include "kernel/persist.h"
 #include "query/engine.h"
+#include "query/snapshot.h"
 
 namespace cobra {
 namespace {
@@ -957,6 +961,183 @@ TEST_F(EnginePersistTest, PostCheckpointMutationsSurviveACrash) {
   auto highlights = videos2.Events(*race, "highlight");
   ASSERT_TRUE(highlights.ok());
   EXPECT_EQ(highlights->size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix over a checkpoint WITH PINNED READERS: a snapshot epoch is
+// pinned across the second PERSIST, and every write/sync/rename of that
+// checkpoint is crashed in turn. Three invariants per crash point:
+//
+//   * the pinned reader's results are byte-identical before the failed
+//     checkpoint, after it, and after the simulated machine death — an
+//     epoch, once pinned, is immune to storage-layer outcomes;
+//   * recovery lands exactly on the pre-checkpoint committed state (a
+//     checkpoint is logically a no-op: exactly-before and exactly-after the
+//     interrupted compaction are the same model state), never a torn hybrid;
+//   * the recovered catalog republishes a fresh snapshot whose evaluation
+//     matches the pinned one — the pre-crash epoch was not a private fork.
+
+TEST(CrashMatrixTest, CheckpointCrashPointsWithPinnedReaders) {
+  const std::string kQuery = "RETRIEVE highlight FROM 'race'";
+  // Canonical bit-exact rendering: equality means byte-identical results.
+  auto canon = [](const std::vector<model::EventRecord>& events) {
+    std::string out;
+    for (const auto& e : events) {
+      out += e.type;
+      out += StrFormat(
+          " %016llx %016llx %016llx",
+          static_cast<unsigned long long>(std::bit_cast<uint64_t>(e.begin_sec)),
+          static_cast<unsigned long long>(std::bit_cast<uint64_t>(e.end_sec)),
+          static_cast<unsigned long long>(
+              std::bit_cast<uint64_t>(e.confidence)));
+      for (const auto& [k, v] : e.attrs) out += " " + k + "=" + v;
+      out.push_back('\n');
+    }
+    return out;
+  };
+  // Deterministic rebuild: seed, first checkpoint, post-checkpoint writes.
+  // Returns the registered video id.
+  auto build = [](model::VideoCatalog* videos,
+                  query::QueryEngine* engine) -> model::VideoId {
+    auto id = videos->RegisterVideo("race", 600.0);
+    COBRA_CHECK(id.ok());
+    COBRA_CHECK(
+        videos->StoreEvent(*id, MakeEvent("highlight", 30, 40)).ok());
+    COBRA_CHECK(videos
+                    ->StoreEvent(*id, MakeEvent("highlight", 100, 110,
+                                                {{"driver", "ALESI"}}))
+                    .ok());
+    COBRA_CHECK(engine->Execute("PERSIST").ok());
+    // WAL-only tail the interrupted second checkpoint must not lose.
+    COBRA_CHECK(
+        videos->StoreEvent(*id, MakeEvent("highlight", 200, 210)).ok());
+    COBRA_CHECK(videos
+                    ->StoreEvent(*id, MakeEvent("caption", 202, 206,
+                                                {{"driver", "BERGER"}}))
+                    .ok());
+    return *id;
+  };
+
+  // Reference run: the op-count window of the second checkpoint.
+  io::FaultFs ref;
+  io::FaultFs::OpCounts before_ckpt;
+  io::FaultFs::OpCounts after_ckpt;
+  std::string reference_canon;
+  {
+    kernel::Catalog kcat;
+    model::VideoCatalog videos(&kcat);
+    extensions::ExtensionRegistry registry;
+    query::QueryEngine engine(&videos, &registry, "pstore");
+    engine.set_fs(&ref);
+    build(&videos, &engine);
+    before_ckpt = ref.counts();
+    ASSERT_TRUE(engine.Execute("PERSIST").ok());
+    after_ckpt = ref.counts();
+    auto result = engine.Execute(kQuery);
+    ASSERT_TRUE(result.ok());
+    reference_canon = canon(result->segments);
+  }
+  ASSERT_GT(after_ckpt.writes, before_ckpt.writes);
+  ASSERT_GT(after_ckpt.syncs, before_ckpt.syncs);
+  ASSERT_EQ(after_ckpt.renames, before_ckpt.renames + 1);
+
+  struct Axis {
+    Mode mode;
+    int first;
+    int last;
+    const char* name;
+  };
+  const Axis axes[] = {
+      {Mode::kFailWrite, before_ckpt.writes + 1, after_ckpt.writes,
+       "fail-write"},
+      {Mode::kTornWrite, before_ckpt.writes + 1, after_ckpt.writes,
+       "torn-write"},
+      {Mode::kFailSync, before_ckpt.syncs + 1, after_ckpt.syncs, "fail-sync"},
+      {Mode::kFailRename, before_ckpt.renames + 1, after_ckpt.renames,
+       "fail-rename"},
+  };
+
+  Rng rng(0x5EED5);
+  int cases = 0;
+  for (const Axis& axis : axes) {
+    for (int k = axis.first; k <= axis.last; ++k) {
+      SCOPED_TRACE(std::string(axis.name) + " k=" + std::to_string(k));
+      io::FaultFs fs;
+      fs.Arm({axis.mode, k, rng.UniformInt(uint64_t{1} << 62)});
+
+      kernel::Catalog kcat;
+      model::VideoCatalog videos(&kcat);
+      extensions::ExtensionRegistry registry;
+      query::QueryEngine engine(&videos, &registry, "pstore");
+      engine.set_fs(&fs);
+      build(&videos, &engine);
+      const std::string committed_dump = Dump(kcat);
+      const uint64_t committed_version = videos.event_version();
+
+      // The reader pins an epoch BEFORE the checkpoint and holds it across
+      // the crash.
+      query::SnapshotManager snapshots(&videos, &kcat);
+      auto pin = snapshots.Acquire();
+      ASSERT_EQ(snapshots.stats().pinned_readers, 1u);
+      auto pinned_before = engine.ExecuteSnapshot(kQuery, *pin);
+      ASSERT_TRUE(pinned_before.ok());
+      const std::string pinned_canon = canon(pinned_before->segments);
+      ASSERT_EQ(pinned_canon, reference_canon);
+
+      // The armed fault fires inside this checkpoint (counts are
+      // deterministic). Almost every crash point fails the PERSIST; the
+      // exception is the best-effort post-prune directory sync, which a
+      // checkpoint tolerates by design — either way the committed model
+      // state is unchanged, so the invariants below hold unconditionally.
+      const bool persist_failed = !engine.Execute("PERSIST").ok();
+      if (!persist_failed) {
+        ASSERT_EQ(axis.mode, Mode::kFailSync)
+            << "only a best-effort sync may be survived";
+      }
+
+      // The pinned reader is oblivious to the failed checkpoint...
+      auto pinned_after = engine.ExecuteSnapshot(kQuery, *pin);
+      ASSERT_TRUE(pinned_after.ok());
+      EXPECT_EQ(canon(pinned_after->segments), pinned_canon);
+
+      fs.Crash();  // unsynced bytes vanish, the machine restarts
+
+      // ...and to the machine death: the epoch is an in-memory immutable.
+      auto pinned_postcrash = engine.ExecuteSnapshot(kQuery, *pin);
+      ASSERT_TRUE(pinned_postcrash.ok());
+      EXPECT_EQ(canon(pinned_postcrash->segments), pinned_canon);
+
+      // Recovery: exactly the committed pre-checkpoint state — the old
+      // snapshot generation + WAL tail, or the new snapshot if its rename
+      // already published; both decode to the same model state.
+      kernel::Catalog kcat2;
+      model::VideoCatalog videos2(&kcat2);
+      extensions::ExtensionRegistry registry2;
+      query::QueryEngine engine2(&videos2, &registry2);
+      engine2.set_fs(&fs);
+      auto recovered = engine2.Execute("RECOVER FROM 'pstore'");
+      ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+      EXPECT_EQ(Dump(kcat2), committed_dump);
+      EXPECT_EQ(videos2.event_version(), committed_version);
+
+      // A fresh epoch over the recovered catalog serves the same bytes the
+      // pinned reader has been serving all along.
+      query::SnapshotManager snapshots2(&videos2, &kcat2);
+      auto pin2 = snapshots2.Acquire();
+      EXPECT_EQ(pin2->event_version(), pin->event_version());
+      auto replayed = engine2.ExecuteSnapshot(kQuery, *pin2);
+      ASSERT_TRUE(replayed.ok());
+      EXPECT_EQ(canon(replayed->segments), pinned_canon);
+      ++cases;
+    }
+  }
+  // Every crash point of the checkpoint, across all four axes — exact, so
+  // a silently shrunken window can't hollow out the matrix.
+  const int expected_cases = 2 * (after_ckpt.writes - before_ckpt.writes) +
+                             (after_ckpt.syncs - before_ckpt.syncs) +
+                             (after_ckpt.renames - before_ckpt.renames);
+  EXPECT_EQ(cases, expected_cases);
+  EXPECT_GE(cases, 5);
 }
 
 // ---------------------------------------------------------------------------
