@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cctype>
+#include <limits>
 
 #include "base/strings.h"
 
@@ -47,7 +48,12 @@ bool ParseU64(std::string_view s, uint64_t* out) {
   uint64_t value = 0;
   for (char c : s) {
     if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<uint64_t>(c - '0');
+    const auto digit = static_cast<uint64_t>(c - '0');
+    // Reject overflow instead of silently wrapping modulo 2^64.
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
   }
   *out = value;
   return true;

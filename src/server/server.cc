@@ -54,6 +54,7 @@ Status QueryServer::Submit(uint64_t session, uint64_t seq, std::string query,
   // hang. The snapshot is pinned inside the admission lock, so the data an
   // accepted request sees is fixed here — a writer landing while the
   // request waits in the queue moves later epochs, not this one.
+  query::SnapshotManager::Pin admitted_pin;
   {
     MutexLock lock(mu_);
     if (shutting_down_) {
@@ -74,11 +75,16 @@ Status QueryServer::Submit(uint64_t session, uint64_t seq, std::string query,
     ++it->second.requests;
     ++in_flight_;
     ++accepted_;
+    admitted_pin = snapshots_.Acquire();
   }
+  // While in_flight_ counts this request, Shutdown cannot pass its drain
+  // wait, so pool_ is guaranteed alive for the Schedule call below even if
+  // shutting_down_ flipped the instant the admission lock was released.
+  //
   // shared_ptr because ThreadPool tasks are copyable std::functions; the
   // pin itself is move-only.
   auto pin = std::make_shared<query::SnapshotManager::Pin>(
-      snapshots_.Acquire());
+      std::move(admitted_pin));
   auto done_ptr =
       std::make_shared<std::function<void(protocol::Response)>>(
           std::move(done));
@@ -94,6 +100,7 @@ Status QueryServer::Submit(uint64_t session, uint64_t seq, std::string query,
       } else {
         ++errors_;
       }
+      if (in_flight_ == 0) drained_cv_.NotifyAll();
     }
     (*done_ptr)(std::move(response));
   });
@@ -238,16 +245,25 @@ std::string QueryServer::HandleFrame(const std::string& payload) {
 }
 
 void QueryServer::Shutdown() {
+  std::unique_ptr<ThreadPool> pool;
   {
     MutexLock lock(mu_);
     shutting_down_ = true;
+    // Drain to zero in-flight before touching pool_: in_flight_ covers the
+    // window between admission and Schedule, so a Submit racing this
+    // Shutdown keeps the wait alive until its task has been enqueued AND
+    // executed — the pool is never torn down under a pending Schedule, and
+    // every admitted request reaches a worker. Taking the pool under the
+    // lock also makes concurrent Shutdowns safe (one wins, the rest no-op).
+    while (in_flight_ > 0) drained_cv_.Wait(lock);
+    pool = std::move(pool_);
   }
-  if (pool_ != nullptr) {
-    // Every admitted request drains to its response before the workers go
-    // away; new Submits have been bouncing with Unavailable since the flag
-    // flipped above.
-    pool_->WaitIdle();
-    pool_.reset();
+  if (pool != nullptr) {
+    // The workers may still be inside the done callbacks that follow the
+    // in_flight_ decrement; WaitIdle sees those tasks through before the
+    // pool goes away. New Submits have been bouncing with Unavailable
+    // since the flag flipped above.
+    pool->WaitIdle();
   }
 }
 
@@ -317,16 +333,46 @@ void TcpServer::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) return;  // listener closed by Stop()
-    MutexLock lock(mu_);
-    if (stopping_) {
-      ::close(fd);
-      return;
+    std::vector<Connection> reaped;
+    bool admitted = false;
+    {
+      MutexLock lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      // Reap connections whose serving thread already returned, so a
+      // long-lived server does not accumulate dead std::thread objects.
+      for (uint64_t id : finished_) {
+        auto it = connections_.find(id);
+        if (it != connections_.end()) {
+          reaped.push_back(std::move(it->second));
+          connections_.erase(it);
+        }
+      }
+      finished_.clear();
+      if (connections_.size() < kMaxConnections) {
+        const uint64_t id = next_connection_++;
+        Connection& conn = connections_[id];
+        conn.fd = fd;
+        conn.thread = std::thread([this, fd, id] { ServeConnection(fd, id); });
+        admitted = true;
+      }
     }
-    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+    // Past the cap the connection is refused by an immediate close — the
+    // worker pool behind HandleFrame stays protected by its own admission
+    // bound either way.
+    if (!admitted) ::close(fd);
+    for (Connection& conn : reaped) {
+      // These threads have already returned (they marked themselves
+      // finished), so the joins cannot block on a live connection.
+      if (conn.thread.joinable()) conn.thread.join();
+      ::close(conn.fd);
+    }
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
+void TcpServer::ServeConnection(int fd, uint64_t id) {
   // Connection-implicit session: requests with session id 0 are rewritten
   // to it, so a plain client needs no handshake.
   const uint64_t session = server_->OpenSession();
@@ -361,8 +407,11 @@ void TcpServer::ServeConnection(int fd) {
       if (sent < out.size()) break;
     }
   }
-  ::close(fd);
+  // The fd stays open (whoever joins us closes it — see Connection); only
+  // mark the connection reapable.
   (void)server_->CloseSession(session);
+  MutexLock lock(mu_);
+  finished_.push_back(id);
 }
 
 void TcpServer::Stop() {
@@ -380,13 +429,18 @@ void TcpServer::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd >= 0) ::close(listen_fd);
-  std::vector<std::thread> connections;
+  std::map<uint64_t, Connection> connections;
   {
     MutexLock lock(mu_);
     connections.swap(connections_);
+    finished_.clear();
   }
-  for (std::thread& t : connections) {
-    if (t.joinable()) t.join();
+  // First unblock every reader still inside read() (shutdown on an
+  // already-disconnected fd is a harmless ENOTCONN), then join and close.
+  for (auto& [id, conn] : connections) ::shutdown(conn.fd, SHUT_RDWR);
+  for (auto& [id, conn] : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+    ::close(conn.fd);
   }
 }
 

@@ -134,6 +134,9 @@ class QueryServer {
   std::unique_ptr<ThreadPool> pool_;
 
   mutable Mutex mu_;
+  /// Signalled when in_flight_ drops to zero; Shutdown waits on it so no
+  /// Submit can still be between admission and Schedule when the pool dies.
+  CondVar drained_cv_;
   std::map<uint64_t, SessionState> sessions_ COBRA_GUARDED_BY(mu_);
   uint64_t next_session_ COBRA_GUARDED_BY(mu_) = 1;
   bool shutting_down_ COBRA_GUARDED_BY(mu_) = false;
@@ -175,10 +178,16 @@ class LocalConnection {
 /// plus one reader thread per connection, each framing bytes through
 /// FrameDecoder and answering via HandleFrame. A request's session id 0 is
 /// rewritten to the connection's implicit session (opened at accept, closed
-/// at disconnect). Environments without loopback sockets simply fail
-/// Start(); everything above the transport is testable via LocalConnection.
+/// at disconnect). At most kMaxConnections are served concurrently (excess
+/// accepts are closed immediately), and threads of finished connections are
+/// reaped by the accept loop, so a long-lived server holds bounded state.
+/// Environments without loopback sockets simply fail Start(); everything
+/// above the transport is testable via LocalConnection.
 class TcpServer {
  public:
+  /// Concurrent-connection cap: accepts past it are closed on arrival.
+  static constexpr size_t kMaxConnections = 64;
+
   explicit TcpServer(QueryServer* server) : server_(server) {}
   ~TcpServer() { Stop(); }
 
@@ -193,8 +202,16 @@ class TcpServer {
   uint16_t port() const { return port_; }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  /// One live or finished connection. The serving thread never closes the
+  /// fd itself — whoever joins the thread (reaper or Stop) closes it, so the
+  /// fd number cannot be recycled under a thread that still holds it.
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+  };
+
+  void AcceptLoop() COBRA_EXCLUDES(mu_);
+  void ServeConnection(int fd, uint64_t id) COBRA_EXCLUDES(mu_);
 
   QueryServer* const server_;
   uint16_t port_ = 0;
@@ -202,7 +219,11 @@ class TcpServer {
   std::thread accept_thread_;
 
   Mutex mu_;
-  std::vector<std::thread> connections_ COBRA_GUARDED_BY(mu_);
+  std::map<uint64_t, Connection> connections_ COBRA_GUARDED_BY(mu_);
+  /// Ids whose serving thread has returned; the accept loop joins these and
+  /// closes their fds before admitting the next connection.
+  std::vector<uint64_t> finished_ COBRA_GUARDED_BY(mu_);
+  uint64_t next_connection_ COBRA_GUARDED_BY(mu_) = 1;
   bool stopping_ COBRA_GUARDED_BY(mu_) = false;
 };
 
