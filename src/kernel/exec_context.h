@@ -30,6 +30,12 @@ struct ExecContext {
 
   /// Number of concurrent workers an operator may occupy (>= 1).
   int threadcnt = 1;
+  /// Number of shards scatter-gather execution fans out over (>= 1). 1 is
+  /// the single-catalog plan. The MIL `shards(n)` statement sets it and the
+  /// exchange operators of kernel/shard.h consume it; each shard's inner
+  /// kernel call receives threadcnt / shards workers. Like threadcnt,
+  /// results are byte-identical at every value.
+  int shards = 1;
   /// Rows per morsel; the unit of scheduling and of deterministic reduction.
   size_t morsel_rows = kDefaultMorselRows;
   /// Inputs with fewer rows than this always take the serial path.

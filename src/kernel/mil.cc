@@ -8,6 +8,7 @@
 #include "base/strings.h"
 #include "kernel/mil_lexer.h"
 #include "kernel/persist.h"
+#include "kernel/shard.h"
 
 namespace cobra::kernel {
 namespace {
@@ -79,12 +80,26 @@ Result<std::string> MilSession::Execute(const std::string& script) {
     actx.trace_ready = trace_sink_ != nullptr;
     actx.fs = fs_;
     actx.data_dir_attached = !data_dir_.empty();
+    actx.shards = exec_.shards;
     DiagnosticList diags = AnalyzeMilScript(script, actx);
     COBRA_RETURN_IF_ERROR(diags.ToStatus("mil"));
   }
 
   MilLexer lexer(script);
   std::string output;
+
+  // Sharded operator routing: with shards(n) > 1 in effect, the operand is
+  // partitioned on the context's morsel grid (so even Sum's float fold is
+  // byte-identical) and the exchange operators scatter/merge it.
+  const auto exchange_opts = [this]() {
+    ExchangeOptions opts;
+    opts.unsafe_unordered_merge = unsafe_unordered_merge_;
+    return opts;
+  };
+  const auto partitioned = [this](const Bat& bat) {
+    return PartitionedBat(bat, static_cast<size_t>(exec_.shards),
+                          exec_.MorselRows());
+  };
 
   // Recursive-descent expression evaluation over the token stream. The
   // parser is LL(1) with one pushed-back token. Nesting is bounded so a
@@ -224,6 +239,13 @@ Result<std::string> MilSession::Execute(const std::string& script) {
           return Status::InvalidArgument(
               "two-argument select expects a string");
         }
+        if (exec_.shards > 1) {
+          const PartitionedBat part = partitioned(*bat);
+          COBRA_ASSIGN_OR_RETURN(
+              Bat selected,
+              ShardedSelectStr(part.View(), *s, exec_, exchange_opts()));
+          return MilValue(std::move(selected));
+        }
         COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectStr(*s, exec_));
         return MilValue(std::move(selected));
       }
@@ -231,6 +253,13 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "select"));
       COBRA_ASSIGN_OR_RETURN(double lo, AsNumber(args[1], "select lo"));
       COBRA_ASSIGN_OR_RETURN(double hi, AsNumber(args[2], "select hi"));
+      if (exec_.shards > 1) {
+        const PartitionedBat part = partitioned(*bat);
+        COBRA_ASSIGN_OR_RETURN(
+            Bat selected,
+            ShardedSelectRange(part.View(), lo, hi, exec_, exchange_opts()));
+        return MilValue(std::move(selected));
+      }
       COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectRange(lo, hi, exec_));
       return MilValue(std::move(selected));
     }
@@ -244,10 +273,32 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       exec_.threadcnt = static_cast<int>(n);
       return MilValue(n);
     }
+    if (name == "shards") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      COBRA_ASSIGN_OR_RETURN(double n, AsNumber(args[0], "shards"));
+      if (n < 1.0 || n != std::floor(n) || n > 64.0) {
+        return Status::InvalidArgument(
+            StrFormat("shards expects an integer in [1, 64], got %g", n));
+      }
+      exec_.shards = static_cast<int>(n);
+      return MilValue(n);
+    }
     if (name == "join" || name == "semijoin" || name == "diff") {
       COBRA_RETURN_IF_ERROR(arity(2));
       COBRA_ASSIGN_OR_RETURN(const Bat* a, AsBat(args[0], name.c_str()));
       COBRA_ASSIGN_OR_RETURN(const Bat* b, AsBat(args[1], name.c_str()));
+      if (exec_.shards > 1) {
+        // Left operand sharded, right operand broadcast to every shard.
+        const PartitionedBat part = partitioned(*a);
+        Result<Bat> out =
+            name == "join"
+                ? ShardedJoin(part.View(), *b, exec_, exchange_opts())
+            : name == "semijoin"
+                ? ShardedSemijoin(part.View(), *b, exec_, exchange_opts())
+                : ShardedDiff(part.View(), *b, exec_, exchange_opts());
+        COBRA_RETURN_IF_ERROR(out.status());
+        return MilValue(std::move(out).value());
+      }
       if (name == "join") {
         COBRA_ASSIGN_OR_RETURN(Bat joined, Join(*a, *b, exec_));
         return MilValue(std::move(joined));
@@ -315,6 +366,17 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       COBRA_RETURN_IF_ERROR(arity(1));
       COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], name.c_str()));
       if (name == "count") return MilValue(static_cast<double>(bat->Count()));
+      if (exec_.shards > 1) {
+        const PartitionedBat part = partitioned(*bat);
+        Result<double> v = name == "sum"
+                               ? ShardedSum(part.View(), exec_, exchange_opts())
+                           : name == "max"
+                               ? ShardedMax(part.View(), exec_, exchange_opts())
+                               : ShardedMin(part.View(), exec_,
+                                            exchange_opts());
+        COBRA_RETURN_IF_ERROR(v.status());
+        return MilValue(v.value());
+      }
       if (name == "sum") {
         COBRA_ASSIGN_OR_RETURN(double v, bat->Sum(exec_));
         return MilValue(v);
@@ -366,6 +428,7 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       actx.trace_ready = trace_sink_ != nullptr;
       actx.fs = fs_;
       actx.data_dir_attached = !data_dir_.empty();
+      actx.shards = exec_.shards;
       actx.strict = true;
       const DiagnosticList diags = AnalyzeMilScript(arg.text, actx);
       if (diags.empty()) {
@@ -377,6 +440,15 @@ Result<std::string> MilSession::Execute(const std::string& script) {
     }
     if (tok.kind == Token::Kind::kWord &&
         (tok.text == "save" || tok.text == "load")) {
+      if (exec_.shards > 1) {
+        // Storage of a sharded deployment is per-shard (ShardedCatalog
+        // checkpoints into dir/shard-<k>); a single-directory save/load
+        // would silently capture one node's view of a cluster.
+        return Status::FailedPrecondition(StrFormat(
+            "%s illegal while the session is sharded (shards(%d) in "
+            "effect); storage is per-shard — reset with shards(1)",
+            tok.text.c_str(), exec_.shards));
+      }
       const bool saving = tok.text == "save";
       COBRA_ASSIGN_OR_RETURN(Token arg, next());
       if (arg.kind != Token::Kind::kString) {
@@ -404,6 +476,12 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       continue;
     }
     if (tok.kind == Token::Kind::kWord && tok.text == "checkpoint") {
+      if (exec_.shards > 1) {
+        return Status::FailedPrecondition(StrFormat(
+            "checkpoint illegal while the session is sharded (shards(%d) in "
+            "effect); storage is per-shard — reset with shards(1)",
+            exec_.shards));
+      }
       if (data_dir_.empty()) {
         return Status::FailedPrecondition(
             "checkpoint requires an attached data directory; construct the "

@@ -66,6 +66,18 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///   threadcnt(n)                    degree of parallelism for subsequent
 ///                                   select/join/aggregate calls (paper
 ///                                   Fig. 4); n >= 1, returns n
+///   shards(n)                       shard count for subsequent select/join/
+///                                   aggregate calls: n > 1 partitions the
+///                                   operand on the morsel grid and runs the
+///                                   scatter-gather exchange operators
+///                                   (kernel/shard.h), byte-identical to the
+///                                   single-catalog plan; n in [1, 64],
+///                                   returns n. While n > 1 the storage
+///                                   statements (save/load/checkpoint) are a
+///                                   FailedPrecondition — storage of a
+///                                   sharded deployment is per-shard
+///                                   (ShardedCatalog), not a single
+///                                   directory; reset with shards(1)
 ///   info("name") / info(e)          one-line acceleration report (index
 ///                                   lifecycle, version, dictionary size);
 ///                                   the name form inspects the catalog BAT
@@ -105,6 +117,14 @@ class MilSession {
   void set_fs(io::Fs* fs) { fs_ = fs; }
   const std::string& data_dir() const { return data_dir_; }
 
+  /// TEST SEAM — never enable outside tests. Forwards to
+  /// ExchangeOptions::unsafe_unordered_merge on every sharded operator this
+  /// session runs, skipping the deterministic shard-order merge. The
+  /// differential harness proves it can catch the bug class.
+  void set_unsafe_unordered_merge(bool unsafe) {
+    unsafe_unordered_merge_ = unsafe;
+  }
+
  private:
   Catalog* catalog_;
   std::map<std::string, MilValue> variables_;
@@ -114,6 +134,7 @@ class MilSession {
   std::string data_dir_;
   /// Store bound to data_dir_, created lazily by the first `checkpoint`.
   std::unique_ptr<PersistentStore> store_;
+  bool unsafe_unordered_merge_ = false;
 };
 
 /// Environment a MIL script is analyzed against: the catalog its bat()/
@@ -130,6 +151,12 @@ struct MilAnalysisContext {
   /// Whether the session has a data directory attached, so `checkpoint` has
   /// a target. Mirrors MilSession's constructor/COBRA_DATA_DIR state.
   bool data_dir_attached = false;
+  /// Shard count in effect when the script starts (the session's
+  /// ExecContext::shards). The analyzer tracks `shards(n)` literals from
+  /// here; while the statically-known count exceeds 1, storage statements
+  /// are positioned FailedPrecondition errors (mirroring the interpreter).
+  /// An unknown count (set from a non-literal) passes conservatively.
+  int shards = 1;
   /// Strict (`check` statement) mode: stale-snapshot hazards — a variable
   /// bound by bat('x') used after persist('x', ...) replaced the catalog
   /// BAT — are errors. In engine mode they are warnings, because MIL's
@@ -141,7 +168,8 @@ struct MilAnalysisContext {
 /// type (number / string / BAT-with-tail-type) of every expression through
 /// the script and reports use-before-define, arity and argument-type
 /// mismatches, string ops on numeric tails (and vice versa), unknown
-/// catalog/function names, out-of-range threadcnt literals, trace-state
+/// catalog/function names, out-of-range threadcnt/shards literals, storage
+/// statements while the statically-known shard count exceeds 1, trace-state
 /// violations, and aggregate calls on provably empty BATs — each with the
 /// 1-based line/column of the offending token and the StatusCode execution
 /// would have failed with. Conservative by construction: anything whose

@@ -99,7 +99,10 @@ struct SType {
 class MilAnalyzer {
  public:
   MilAnalyzer(const std::string& script, const MilAnalysisContext& ctx)
-      : lexer_(script), ctx_(ctx), trace_ready_(ctx.trace_ready) {
+      : lexer_(script),
+        ctx_(ctx),
+        trace_ready_(ctx.trace_ready),
+        shards_(ctx.shards) {
     SeedSessionVariables();
   }
 
@@ -150,10 +153,12 @@ class MilAnalyzer {
       }
       if (tok.kind == MilToken::Kind::kWord &&
           (tok.text == "save" || tok.text == "load")) {
+        if (!CheckNotSharded(tok)) break;
         if (!AnalyzeSaveLoad(tok)) break;
         continue;
       }
       if (tok.kind == MilToken::Kind::kWord && tok.text == "checkpoint") {
+        if (!CheckNotSharded(tok)) break;
         if (!ctx_.data_dir_attached) {
           Error(tok,
                 "checkpoint requires an attached data directory; construct "
@@ -271,6 +276,20 @@ class MilAnalyzer {
   }
 
   // -- Statements ----------------------------------------------------------
+
+  /// Storage statements are FailedPrecondition while the statically-known
+  /// shard count exceeds 1 (mirroring the interpreter; see the shards(n)
+  /// grammar notes in mil.h). A count set from a non-literal is unknown and
+  /// passes conservatively — the zero-false-rejection contract.
+  bool CheckNotSharded(const MilToken& stmt) {
+    if (!shards_known_ || shards_ <= 1) return true;
+    Error(stmt,
+          StrFormat("%s illegal while the session is sharded (shards(%d) in "
+                    "effect); storage is per-shard — reset with shards(1)",
+                    stmt.text.c_str(), shards_),
+          StatusCode::kFailedPrecondition);
+    return false;
+  }
 
   bool AnalyzeTrace() {
     MilToken mode;
@@ -560,6 +579,23 @@ class MilAnalyzer {
       }
       return SType::Num();
     }
+    if (name == "shards") {
+      if (!arity(1)) return std::nullopt;
+      if (!require_number(0, "shards")) return std::nullopt;
+      if (args[0].value_known) {
+        const double n = args[0].number;
+        if (n < 1.0 || n != std::floor(n) || n > 64.0) {
+          Error(arg_toks[0],
+                StrFormat("shards expects an integer in [1, 64], got %g", n));
+          return std::nullopt;
+        }
+        shards_known_ = true;
+        shards_ = static_cast<int>(n);
+        return SType::NumVal(n);
+      }
+      shards_known_ = false;
+      return SType::Num();
+    }
     if (name == "join" || name == "semijoin" || name == "diff") {
       if (!arity(2)) return std::nullopt;
       if (!require_bat(0, name)) return std::nullopt;
@@ -690,6 +726,10 @@ class MilAnalyzer {
   bool overlay_wildcard_ = false;
   std::set<std::string> persisted_;
   bool trace_ready_ = false;
+  /// Statically-tracked shard count: seeded from the session, updated by
+  /// shards(<literal>); a non-literal argument makes it unknown.
+  bool shards_known_ = true;
+  int shards_ = 1;
   /// Directories this script has saved into (a later `load` of one is
   /// known-good even if the directory does not exist yet at analysis time).
   std::set<std::string> saved_dirs_;

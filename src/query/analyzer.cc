@@ -291,4 +291,14 @@ Status VerifyPlan(const ParsedQuery& query, const CatalogSnapshot& snapshot,
                         });
 }
 
+Status VerifyPlan(const ParsedQuery& query, const ShardedSnapshotSet& snapshots,
+                  const extensions::ExtensionRegistry& registry) {
+  if (snapshots.empty()) {
+    return Status::InvalidArgument(
+        "sharded plan verification needs at least one shard snapshot");
+  }
+  return VerifyPlan(query, snapshots.shard(snapshots.OwnerOf(query.video)),
+                    registry);
+}
+
 }  // namespace cobra::query

@@ -38,6 +38,14 @@ Status VerifyPlan(const ParsedQuery& query, const model::VideoCatalog& catalog,
 Status VerifyPlan(const ParsedQuery& query, const CatalogSnapshot& snapshot,
                   const extensions::ExtensionRegistry& registry);
 
+/// Sharded-read variant: verifies the plan against the shard of `snapshots`
+/// owning the plan's video (shard 0 when no shard holds it, so the NotFound
+/// is byte-identical to single-catalog). The verdict — message and code —
+/// always equals VerifyPlan over the owning shard's CatalogSnapshot.
+/// InvalidArgument when `snapshots` is empty.
+Status VerifyPlan(const ParsedQuery& query, const ShardedSnapshotSet& snapshots,
+                  const extensions::ExtensionRegistry& registry);
+
 }  // namespace cobra::query
 
 #endif  // COBRA_QUERY_ANALYZER_H_

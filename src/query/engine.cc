@@ -614,6 +614,43 @@ Result<QueryResult> QueryEngine::ExecuteSnapshot(
 }
 
 Result<QueryResult> QueryEngine::ExecuteSnapshot(
+    const std::string& query_text, const ShardedSnapshotSet& snapshots) const {
+  // Same storage-command rejection as the unsharded text path, before the
+  // retrieval grammar touches the text.
+  const std::string_view text = StrTrim(query_text);
+  size_t verb_len = 0;
+  while (verb_len < text.size() &&
+         std::isalpha(static_cast<unsigned char>(text[verb_len])) != 0) {
+    ++verb_len;
+  }
+  const std::string verb = ToUpperAscii(text.substr(0, verb_len));
+  if (verb == "PERSIST" || verb == "RECOVER") {
+    return Status::FailedPrecondition(
+        verb + " is a storage command — snapshot reads are read-only");
+  }
+  COBRA_RETURN_IF_ERROR(AnalyzeQueryText(query_text).ToStatus("query"));
+  COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  return ExecuteSnapshot(parsed, snapshots);
+}
+
+Result<QueryResult> QueryEngine::ExecuteSnapshot(
+    const ParsedQuery& query, const ShardedSnapshotSet& snapshots) const {
+  if (snapshots.empty()) {
+    return Status::InvalidArgument(
+        "sharded snapshot read needs at least one shard snapshot");
+  }
+  // Videos are partitioned across shards, so the whole plan (primary and
+  // secondary event reads alike) evaluates on the one shard owning the
+  // video; scatter below the per-shard catalog is the kernel exchange
+  // layer's job. OwnerOf falls back to shard 0 when no shard holds the
+  // name, keeping the NotFound message byte-identical to single-catalog.
+  const CatalogSnapshot& owner = snapshots.shard(snapshots.OwnerOf(query.video));
+  COBRA_ASSIGN_OR_RETURN(QueryResult result, ExecuteSnapshot(query, owner));
+  result.info = snapshots.EpochStamp();
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteSnapshot(
     const ParsedQuery& query, const CatalogSnapshot& snapshot,
     const kernel::ExecContext& exec) const {
   trace::SpanGuard span(exec.trace, exec.trace_parent, "query.execute");

@@ -21,6 +21,7 @@
 namespace cobra::query {
 
 class CatalogSnapshot;
+class ShardedSnapshotSet;
 
 /// Result of a query: matching event-layer segments plus preprocessor
 /// diagnostics (which methods ran, and whether extraction happened
@@ -39,8 +40,9 @@ struct QueryResult {
   /// the original (cached) execution are never replayed.
   std::string profile_text;
   std::string profile_json;
-  /// Outcome line of a PERSIST/RECOVER storage command (empty for
-  /// retrieval queries).
+  /// Outcome line of a PERSIST/RECOVER storage command, or — for a sharded
+  /// snapshot read — the epoch-vector stamp of the read set ("shards=N
+  /// epochs=[...] coherent=..."). Empty for unsharded retrieval queries.
   std::string info;
 };
 
@@ -111,6 +113,23 @@ class QueryEngine {
   Result<QueryResult> ExecuteSnapshot(const ParsedQuery& query,
                                       const CatalogSnapshot& snapshot,
                                       const kernel::ExecContext& exec) const;
+
+  /// Sharded snapshot read: evaluates the query against the shard of
+  /// `snapshots` that owns the plan's video (videos are partitioned across
+  /// shards, so exactly one shard holds a given name; a name no shard holds
+  /// routes to shard 0 for a NotFound byte-identical to the single-catalog
+  /// deployment). Segments, errors and span shapes match the unsharded
+  /// ExecuteSnapshot over the owning shard exactly; in addition
+  /// QueryResult::info is stamped with the read set's epoch vector
+  /// ("shards=N epochs=[...] coherent=..."), so a response states the exact
+  /// per-shard cut it was served from. InvalidArgument when `snapshots` is
+  /// empty.
+  Result<QueryResult> ExecuteSnapshot(const std::string& query_text,
+                                      const ShardedSnapshotSet& snapshots)
+      const;
+  Result<QueryResult> ExecuteSnapshot(const ParsedQuery& query,
+                                      const ShardedSnapshotSet& snapshots)
+      const;
 
   /// Execution parameters for the evaluator: pattern filtering and the
   /// temporal join run morsel-parallel over the event lists past the serial

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "base/strings.h"
+
 namespace cobra::query {
 
 Result<model::VideoDescriptor> CatalogSnapshot::FindVideo(
@@ -135,6 +137,62 @@ void SnapshotManager::ReclaimLocked() {
       ++it;
     }
   }
+}
+
+size_t ShardedSnapshotSet::OwnerOf(const std::string& video) const {
+  for (size_t k = 0; k < pins_.size(); ++k) {
+    if (shard(k).FindVideo(video).ok()) return k;
+  }
+  return 0;
+}
+
+std::string ShardedSnapshotSet::EpochStamp() const {
+  std::string epochs;
+  for (size_t k = 0; k < epochs_.size(); ++k) {
+    if (k != 0) epochs += ",";
+    epochs += StrFormat("%llu", static_cast<unsigned long long>(epochs_[k]));
+  }
+  return StrFormat("shards=%zu epochs=[%s] coherent=%s", pins_.size(),
+                   epochs.c_str(), coherent_ ? "true" : "false");
+}
+
+Result<ShardedSnapshotSet> AcquireShardedSnapshots(
+    const std::vector<SnapshotManager*>& managers) {
+  if (managers.empty()) {
+    return Status::InvalidArgument(
+        "sharded snapshot acquisition needs at least one manager");
+  }
+  for (const SnapshotManager* m : managers) {
+    if (m == nullptr) {
+      return Status::InvalidArgument(
+          "sharded snapshot acquisition got a null manager");
+    }
+  }
+  // Bounded coherence loop: pin every shard, then confirm no shard moved on
+  // while the later pins were being taken. A retry drops the whole round's
+  // pins (RAII) and starts over against the newer epochs.
+  constexpr int kMaxRounds = 4;
+  ShardedSnapshotSet set;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    set.pins_.clear();
+    set.epochs_.clear();
+    set.pins_.reserve(managers.size());
+    set.epochs_.reserve(managers.size());
+    for (SnapshotManager* m : managers) {
+      SnapshotManager::Pin pin = m->Acquire();
+      set.epochs_.push_back(pin->epoch());
+      set.pins_.push_back(std::move(pin));
+    }
+    set.coherent_ = true;
+    for (size_t k = 0; k < managers.size(); ++k) {
+      if (managers[k]->stats().current_epoch != set.epochs_[k]) {
+        set.coherent_ = false;
+        break;
+      }
+    }
+    if (set.coherent_) break;
+  }
+  return set;
 }
 
 SnapshotManager::Stats SnapshotManager::stats() const {

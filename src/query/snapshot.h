@@ -168,6 +168,61 @@ class SnapshotManager {
   uint64_t reclaimed_ COBRA_GUARDED_BY(mu_) = 0;
 };
 
+/// One pinned CatalogSnapshot per shard of a sharded deployment, stamped
+/// with the epoch vector the pins were taken at — the read set a sharded
+/// scatter-gather query executes over. Each shard's snapshot is individually
+/// immutable and snapshot-isolated; the set additionally records whether the
+/// acquisition converged to a *coherent* cross-shard cut (no shard published
+/// a newer epoch while the other pins were being taken). Movable, not
+/// copyable (it owns the pins).
+class ShardedSnapshotSet {
+ public:
+  ShardedSnapshotSet() = default;
+  ShardedSnapshotSet(ShardedSnapshotSet&&) = default;
+  ShardedSnapshotSet& operator=(ShardedSnapshotSet&&) = default;
+
+  size_t size() const { return pins_.size(); }
+  bool empty() const { return pins_.empty(); }
+  const CatalogSnapshot& shard(size_t k) const { return *pins_[k]; }
+
+  /// Epoch of each shard's pinned snapshot, in shard order — the identity a
+  /// sharded response claims (stamped into QueryResult::info).
+  const std::vector<uint64_t>& epochs() const { return epochs_; }
+
+  /// Whether the bounded acquisition loop observed every shard still at its
+  /// pinned epoch after all pins were taken. False means some shard kept
+  /// publishing during acquisition; each pin is still a valid isolated
+  /// snapshot, but the vector is not a single cross-shard instant.
+  bool coherent() const { return coherent_; }
+
+  /// Shard whose snapshot holds `video`. Falls back to shard 0 when no
+  /// shard holds it, so the NotFound diagnostic the plan verifier and the
+  /// engine raise is byte-identical to the single-catalog deployment's.
+  size_t OwnerOf(const std::string& video) const;
+
+  /// One-line stamp of the read set, e.g.
+  /// "shards=2 epochs=[3,5] coherent=true".
+  std::string EpochStamp() const;
+
+ private:
+  friend Result<ShardedSnapshotSet> AcquireShardedSnapshots(
+      const std::vector<SnapshotManager*>& managers);
+
+  std::vector<SnapshotManager::Pin> pins_;
+  std::vector<uint64_t> epochs_;
+  bool coherent_ = true;
+};
+
+/// Pins the current snapshot of every shard's SnapshotManager (in shard
+/// order) and re-validates that no manager published a newer epoch while the
+/// rest were being pinned, retrying the whole round a bounded number of
+/// times. On convergence the returned set is a coherent cross-shard cut; if
+/// writers outpace every retry the LAST round's pins are returned with
+/// coherent() == false — still per-shard snapshot-isolated, never an error.
+/// InvalidArgument when `managers` is empty or contains a null.
+Result<ShardedSnapshotSet> AcquireShardedSnapshots(
+    const std::vector<SnapshotManager*>& managers);
+
 }  // namespace cobra::query
 
 #endif  // COBRA_QUERY_SNAPSHOT_H_

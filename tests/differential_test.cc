@@ -19,6 +19,16 @@
 // seeded random — but always well-typed — MIL pipeline must pass the static
 // verifier (zero false rejections), execute under every plan, and print
 // byte-identical output.
+//
+// Both properties additionally sweep sharded deployments: every plan also
+// runs through the scatter-gather exchange operators (kernel/shard.h) at 2
+// and 7 shards — and, on the MIL side, under a `shards(2|7)` prologue — and
+// must produce the same bytes and the same analyzer verdicts as the
+// single-catalog plan. A final deterministic case proves the harness has
+// teeth: with the ExchangeOptions::unsafe_unordered_merge seam enabled
+// (merge in reversed shard order — the stand-in for a completion-order
+// exchange), the byte-equality assertions fail on row order, on a -0.0/0.0
+// Min tie, and on Sum's fold order.
 
 #include <bit>
 #include <cstdint>
@@ -38,6 +48,7 @@
 #include "kernel/exec_context.h"
 #include "kernel/mil.h"
 #include "kernel/persist.h"
+#include "kernel/shard.h"
 
 namespace cobra::kernel {
 namespace {
@@ -251,6 +262,76 @@ TEST_P(DifferentialTest, OperatorsBytewiseEqualAcrossPlans) {
         Bat concat(bat);
         concat.Concat(other, ctx);
         ExpectSameBat(ref_concat, concat);
+
+        // Sharded leg: the same operators through the scatter-gather
+        // exchange at 2 and 7 shards must merge to exactly the same bytes
+        // (and fail with exactly the same messages).
+        for (const size_t shard_count : {size_t{2}, size_t{7}}) {
+          SCOPED_TRACE("shards: " + std::to_string(shard_count));
+          const PartitionedBat part(bat, shard_count, ctx.MorselRows());
+          const ShardedBat sb = part.View();
+
+          ExpectSameBat(bat, GatherShards(sb, ctx));
+
+          auto ssel = ShardedSelectEq(sb, probe, ctx);
+          ASSERT_TRUE(ssel.ok());
+          ExpectSameBat(*ref_select, *ssel);
+
+          if (type == TailType::kStr) {
+            auto sstr = ShardedSelectStr(sb, "s3", ctx);
+            ASSERT_TRUE(sstr.ok());
+            ExpectSameBat(*bat.SelectStr("s3"), *sstr);
+          }
+
+          if (type == TailType::kInt || type == TailType::kFloat) {
+            auto ref_range = bat.SelectRange(-1.5, 1.0);
+            ASSERT_TRUE(ref_range.ok());
+            auto srange = ShardedSelectRange(sb, -1.5, 1.0, ctx);
+            ASSERT_TRUE(srange.ok());
+            ExpectSameBat(*ref_range, *srange);
+
+            // The pruned plan (zone maps) must not change a single byte.
+            const std::vector<ShardStats> stats = ComputeShardStats(sb, ctx);
+            ExchangeOptions pruned;
+            pruned.scan_stats = &stats;
+            auto spruned = ShardedSelectRange(sb, -1.5, 1.0, ctx, pruned);
+            ASSERT_TRUE(spruned.ok());
+            ExpectSameBat(*ref_range, *spruned);
+
+            if (n == 0) {
+              EXPECT_EQ(bat.Min(ctx).status().message(),
+                        ShardedMin(sb, ctx).status().message());
+              EXPECT_EQ(bat.Max(ctx).status().message(),
+                        ShardedMax(sb, ctx).status().message());
+              EXPECT_EQ(bat.ArgMax(ctx).status().message(),
+                        ShardedArgMax(sb, ctx).status().message());
+              EXPECT_TRUE(SameBits(*bat.Sum(base), *ShardedSum(sb, ctx)));
+            } else {
+              EXPECT_TRUE(SameBits(*bat.Sum(base), *ShardedSum(sb, ctx)));
+              EXPECT_TRUE(SameBits(*bat.Max(), *ShardedMax(sb, ctx)));
+              EXPECT_TRUE(SameBits(*bat.Min(), *ShardedMin(sb, ctx)));
+              EXPECT_EQ(*bat.ArgMax(), *ShardedArgMax(sb, ctx));
+            }
+          }
+
+          const PartitionedBat left_part(left, shard_count, ctx.MorselRows());
+          auto sjoin = ShardedJoin(left_part.View(), bat, ctx);
+          ASSERT_TRUE(sjoin.ok());
+          ExpectSameBat(*ref_join, *sjoin);
+
+          auto ssemi = ShardedSemijoin(sb, filter, ctx);
+          ASSERT_TRUE(ssemi.ok());
+          ExpectSameBat(ref_semi, *ssemi);
+          auto sdiff = ShardedDiff(sb, filter, ctx);
+          ASSERT_TRUE(sdiff.ok());
+          ExpectSameBat(ref_diff, *sdiff);
+
+          std::vector<size_t> sreps;
+          auto sgroup = ShardedGroup(sb, &sreps, ctx);
+          ASSERT_TRUE(sgroup.ok());
+          ExpectSameBat(ref_group, *sgroup);
+          EXPECT_EQ(ref_reps, sreps);
+        }
       }
     }
   }
@@ -333,6 +414,29 @@ TEST_P(DifferentialTest, MilScriptsVerifyAndAgreeAcrossPlans) {
     EXPECT_EQ(reference, *out);
   }
 
+  // Sharded deployments: the same script under a shards(2|7) prologue must
+  // pass the analyzer (verdict parity with the unsharded script) and print
+  // exactly the unsharded reference under every plan.
+  for (const int shard_count : {2, 7}) {
+    SCOPED_TRACE("shards: " + std::to_string(shard_count));
+    const std::string sharded_script =
+        "shards(" + std::to_string(shard_count) + ");\n" + script;
+    MilAnalysisContext sctx;
+    sctx.catalog = &catalog;
+    DiagnosticList sdiags = AnalyzeMilScript(sharded_script, sctx);
+    EXPECT_TRUE(sdiags.ok()) << sharded_script << "\n"
+                             << sdiags.ToString("mil");
+    for (const PlanCase& plan : kPlans) {
+      SCOPED_TRACE("plan: " + PlanName(plan));
+      MilSession session(&catalog);
+      session.set_exec(PlanCtx(plan));
+      auto out = session.Execute(sharded_script);
+      ASSERT_TRUE(out.ok()) << sharded_script << "\n"
+                            << out.status().message();
+      EXPECT_EQ(reference, *out);
+    }
+  }
+
   // Durability leg: a checkpoint→recover round-trip of the catalog must be
   // byte-identical (canonical dump), and the same script over the recovered
   // catalog must print exactly the never-persisted reference.
@@ -351,6 +455,89 @@ TEST_P(DifferentialTest, MilScriptsVerifyAndAgreeAcrossPlans) {
   auto replay = session.Execute(script);
   ASSERT_TRUE(replay.ok()) << script << "\n" << replay.status().message();
   EXPECT_EQ(reference, *replay);
+}
+
+// The harness has teeth: with the unsafe_unordered_merge seam enabled the
+// exchange merges in reversed shard order — the deterministic stand-in for
+// "merge whichever shard finishes first" — and every byte-equality the
+// sharded legs above assert must be violable. Each sub-case pins one way
+// the bug class corrupts results; the clean plan passes alongside to show
+// the divergence is the seam's doing, not the inputs'.
+TEST(ShardMergeDefectTest, HarnessCatchesUnorderedMerge) {
+  ExecContext ctx;
+  ctx.morsel_rows = 1;  // every row its own morsel: fold order fully exposed
+  ctx.serial_cutoff = 1;
+  ExchangeOptions unsafe;
+  unsafe.unsafe_unordered_merge = true;
+
+  // Row order: a select with matches in both shards comes back transposed.
+  Bat strs(TailType::kStr);
+  strs.AppendStr(1, "x");
+  strs.AppendStr(2, "x");
+  const PartitionedBat sparts(strs, 2, 1);
+  auto clean = ShardedSelectStr(sparts.View(), "x", ctx);
+  auto broken = ShardedSelectStr(sparts.View(), "x", ctx, unsafe);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(broken.ok());
+  ASSERT_EQ(clean->size(), size_t{2});
+  ASSERT_EQ(broken->size(), size_t{2});
+  EXPECT_EQ(clean->HeadAt(0), Oid{1});   // shard order
+  EXPECT_EQ(broken->HeadAt(0), Oid{2});  // ExpectSameBat would fail here
+
+  // Min tie on -0.0 vs 0.0 across shards: shard order decides which zero's
+  // bit pattern survives the leftmost-winner combine.
+  Bat zeros(TailType::kFloat);
+  zeros.AppendFloat(1, 0.0);
+  zeros.AppendFloat(2, -0.0);
+  const PartitionedBat zparts(zeros, 2, 1);
+  EXPECT_TRUE(SameBits(*zeros.Min(), *ShardedMin(zparts.View(), ctx)));
+  EXPECT_FALSE(
+      SameBits(*zeros.Min(), *ShardedMin(zparts.View(), ctx, unsafe)));
+
+  // Sum: refolding the per-morsel partials in any other order reassociates
+  // the float additions and changes the rounding.
+  Bat sums(TailType::kFloat);
+  sums.AppendFloat(1, 1.0);
+  sums.AppendFloat(2, 1e16);
+  sums.AppendFloat(3, -1e16);
+  const PartitionedBat fparts(sums, 2, 1);
+  EXPECT_TRUE(SameBits(*sums.Sum(ctx), *ShardedSum(fparts.View(), ctx)));
+  EXPECT_FALSE(
+      SameBits(*sums.Sum(ctx), *ShardedSum(fparts.View(), ctx, unsafe)));
+}
+
+// The same defect caught end-to-end through the MIL layer: a session with
+// the seam enabled prints different bytes than the clean sharded session —
+// which itself matches the unsharded reference.
+TEST(ShardMergeDefectTest, MilHarnessCatchesUnorderedMerge) {
+  Catalog catalog;
+  auto created = catalog.Create("f", TailType::kFloat);
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE((*created)->Append(1, Value::Float(0.0)).ok());
+  ASSERT_TRUE((*created)->Append(2, Value::Float(-0.0)).ok());
+
+  ExecContext ctx;
+  ctx.morsel_rows = 1;
+  ctx.serial_cutoff = 1;
+
+  MilSession unsharded(&catalog);
+  unsharded.set_exec(ctx);
+  auto reference = unsharded.Execute("PRINT min(bat('f'));");
+  ASSERT_TRUE(reference.ok());
+
+  const std::string script = "shards(2);\nPRINT min(bat('f'));";
+  MilSession sharded(&catalog);
+  sharded.set_exec(ctx);
+  auto ordered = sharded.Execute(script);
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_EQ(*reference, *ordered);
+
+  MilSession seamed(&catalog);
+  seamed.set_exec(ctx);
+  seamed.set_unsafe_unordered_merge(true);
+  auto unordered = seamed.Execute(script);
+  ASSERT_TRUE(unordered.ok());
+  EXPECT_NE(*reference, *unordered);  // -0 vs 0: the harness catches it
 }
 
 // 240 seeded cases per property; the seed doubles as the ctest case name so

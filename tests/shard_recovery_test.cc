@@ -1,0 +1,311 @@
+// Per-shard crash-safety proofs for ShardedCatalog's fanned-out persistence
+// (kernel/shard.h), driven by the deterministic FaultFs shim:
+//
+//   * an exhaustive crash-point matrix over a full sharded checkpoint — for
+//     EVERY k, fail the k-th write / sync / rename (and torn-write the k-th
+//     append) of the second checkpoint, simulate the machine dying, and
+//     assert every shard recovers to exactly its before-commit or its
+//     after-commit image — never a torn hybrid — and that the outcome
+//     pattern is a prefix of committed shards (shards checkpoint in shard
+//     order; the crash stops the fan-out at one shard and leaves every
+//     later shard's files untouched);
+//   * per-shard independence — corrupting one shard's newest snapshot makes
+//     only THAT shard fall back a generation; the other shards recover
+//     their newest commit byte-identically;
+//   * shard-count discovery over the on-disk layout.
+//
+// State equality is PersistentStore::DumpCatalog per shard: equal dumps are
+// byte-identical for every kernel operation.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/io.h"
+#include "base/rng.h"
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+#include "kernel/exec_context.h"
+#include "kernel/persist.h"
+#include "kernel/shard.h"
+
+namespace cobra::kernel {
+namespace {
+
+using Mode = io::FaultFs::FaultPlan::Mode;
+
+constexpr size_t kShards = 3;
+constexpr size_t kAlign = 2;
+constexpr char kDir[] = "sharded";
+
+std::string Dump(const Catalog& catalog) {
+  return PersistentStore::DumpCatalog(catalog);
+}
+
+// Deterministic fixtures. The float BAT carries -0.0 and NaN (the bit
+// patterns recovery must preserve exactly); the string BAT is
+// duplicate-heavy so per-shard dictionaries have real sharing.
+Bat FloatBat(size_t n) {
+  Bat bat(TailType::kFloat);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = i % 5 == 0   ? -0.0
+                     : i % 5 == 1 ? std::numeric_limits<double>::quiet_NaN()
+                                  : static_cast<double>(i) / 4.0;
+    bat.AppendFloat(static_cast<Oid>(i), v);
+  }
+  return bat;
+}
+
+Bat StrBat(size_t n) {
+  Bat bat(TailType::kStr);
+  for (size_t i = 0; i < n; ++i) {
+    bat.AppendStr(static_cast<Oid>(i),
+                  i % 3 == 0 ? "" : (i % 2 == 0 ? "dup-even" : "dup-odd"));
+  }
+  return bat;
+}
+
+Bat IntBat(size_t n) {
+  Bat bat(TailType::kInt);
+  for (size_t i = 0; i < n; ++i) {
+    bat.AppendInt(static_cast<Oid>(i), static_cast<int64_t>(i) - 3);
+  }
+  return bat;
+}
+
+Bat OidBat(size_t n) {
+  Bat bat(TailType::kOid);
+  for (size_t i = 0; i < n; ++i) {
+    bat.AppendOid(static_cast<Oid>(i), static_cast<Oid>(i * 7 % 5));
+  }
+  return bat;
+}
+
+// Commit A: the state the first checkpoint makes durable.
+void BuildPhaseA(ShardedCatalog* cat) {
+  ASSERT_TRUE(cat->Put("speeds", FloatBat(6)).ok());
+  ASSERT_TRUE(cat->Put("drivers", StrBat(6)).ok());
+  ASSERT_TRUE(cat->Put("laps", IntBat(6)).ok());
+  ASSERT_TRUE(cat->Put("frames", OidBat(4)).ok());
+}
+
+// Commit B: re-partitioning Puts (every shard's slice changes), an append
+// (routed to the last shard), a drop and a create (touch every shard's
+// namespace) — chosen so EVERY shard's image differs between the commits.
+void MutatePhaseB(ShardedCatalog* cat) {
+  ASSERT_TRUE(cat->Put("speeds", FloatBat(12)).ok());
+  ASSERT_TRUE(cat->Put("drivers", StrBat(10)).ok());
+  ASSERT_TRUE(cat->Append("laps", 99, Value::Int(7)).ok());
+  ASSERT_TRUE(cat->Drop("frames").ok());
+  ASSERT_TRUE(cat->Create("post", TailType::kStr).ok());
+  ASSERT_TRUE(cat->Append("post", 1, Value::Str("tail")).ok());
+}
+
+TEST(ShardCrashMatrixTest, EveryCrashPointRecoversACommittedCut) {
+  const ExecContext ctx = ExecContext::Serial();  // shard order, no races
+
+  // Reference run: the two per-shard commit images and the op-count window
+  // of the second checkpoint that the matrix below sweeps.
+  io::FaultFs ref;
+  std::vector<std::string> before(kShards);
+  std::vector<std::string> after(kShards);
+  io::FaultFs::OpCounts c1;
+  io::FaultFs::OpCounts c2;
+  {
+    ShardedCatalog cat(kShards, kAlign);
+    BuildPhaseA(&cat);
+    ASSERT_TRUE(cat.AttachStores(&ref, kDir).ok());
+    ASSERT_TRUE(cat.Checkpoint(ctx, "commit-a").ok());
+    for (size_t j = 0; j < kShards; ++j) before[j] = Dump(*cat.shard(j));
+    MutatePhaseB(&cat);
+    for (size_t j = 0; j < kShards; ++j) after[j] = Dump(*cat.shard(j));
+    c1 = ref.counts();
+    ASSERT_TRUE(cat.Checkpoint(ctx, "commit-b").ok());
+    c2 = ref.counts();
+  }
+  // The matrix's before/after discrimination is real on every shard.
+  for (size_t j = 0; j < kShards; ++j) EXPECT_NE(before[j], after[j]) << j;
+  ASSERT_GT(c2.writes, c1.writes);
+  ASSERT_GT(c2.syncs, c1.syncs);
+  ASSERT_EQ(c2.renames, c1.renames + static_cast<int>(kShards));
+
+  // Clean recovery sanity: a fresh deployment discovers the shard count and
+  // lands on commit B everywhere.
+  EXPECT_EQ(ShardedCatalog::DiscoverShardCount(ref, kDir), kShards);
+  {
+    ShardedCatalog rec(kShards, kAlign);
+    ASSERT_TRUE(rec.AttachStores(&ref, kDir).ok());
+    auto infos = rec.Recover(ctx);
+    ASSERT_TRUE(infos.ok()) << infos.status().message();
+    ASSERT_EQ(infos->size(), kShards);
+    for (size_t j = 0; j < kShards; ++j) {
+      EXPECT_EQ(Dump(*rec.shard(j)), after[j]) << j;
+      EXPECT_EQ((*infos)[j].extra, "commit-b") << j;
+    }
+  }
+
+  struct Axis {
+    Mode mode;
+    int first;
+    int last;
+    const char* name;
+  };
+  // Arm() zeroes the op counters, so a plan's k counts from the Arm call:
+  // arming right before the second checkpoint makes [1, delta] the exact
+  // op window of that checkpoint on each axis.
+  const Axis axes[] = {
+      {Mode::kFailWrite, 1, c2.writes - c1.writes, "fail-write"},
+      {Mode::kTornWrite, 1, c2.writes - c1.writes, "torn-write"},
+      {Mode::kFailSync, 1, c2.syncs - c1.syncs, "fail-sync"},
+      {Mode::kFailRename, 1, c2.renames - c1.renames, "fail-rename"},
+  };
+
+  Rng rng(0x5AAD5);
+  int cases = 0;
+  for (const Axis& axis : axes) {
+    for (int k = axis.first; k <= axis.last; ++k) {
+      SCOPED_TRACE(std::string(axis.name) + " k=" + std::to_string(k));
+      io::FaultFs fs;
+      ShardedCatalog cat(kShards, kAlign);
+      BuildPhaseA(&cat);
+      ASSERT_TRUE(cat.AttachStores(&fs, kDir).ok());
+      ASSERT_TRUE(cat.Checkpoint(ctx, "commit-a").ok());
+      MutatePhaseB(&cat);
+
+      fs.Arm({axis.mode, k, rng.UniformInt(uint64_t{1} << 62)});
+      // The fault fires inside exactly one shard's checkpoint; FaultFs then
+      // fails every later mutating op, so the fan-out dies there — as a
+      // machine would. (A best-effort post-prune directory sync is the one
+      // crash point a checkpoint survives by design.)
+      const bool committed = cat.Checkpoint(ctx, "commit-b").ok();
+      if (committed) {
+        ASSERT_EQ(axis.mode, Mode::kFailSync)
+            << "only a best-effort sync may be survived";
+      }
+      fs.Crash();  // unsynced bytes vanish, the machine restarts
+
+      // Every shard recovers to exactly one of its committed images...
+      ShardedCatalog rec(kShards, kAlign);
+      ASSERT_TRUE(rec.AttachStores(&fs, kDir).ok());
+      auto infos = rec.Recover(ctx);
+      ASSERT_TRUE(infos.ok()) << infos.status().message();
+      std::vector<bool> at_b(kShards);
+      for (size_t j = 0; j < kShards; ++j) {
+        const std::string dump = Dump(*rec.shard(j));
+        ASSERT_TRUE(dump == before[j] || dump == after[j])
+            << "hybrid state on shard " << j << ":\n"
+            << dump;
+        at_b[j] = dump == after[j];
+      }
+      // ...and the committed shards form a prefix: the crash point stopped
+      // the shard-order fan-out at one shard and every later shard's files
+      // were never touched.
+      for (size_t j = 1; j < kShards; ++j) {
+        EXPECT_LE(at_b[j], at_b[j - 1]) << "non-prefix commit pattern";
+      }
+      if (committed) {
+        for (size_t j = 0; j < kShards; ++j) EXPECT_TRUE(at_b[j]) << j;
+      }
+
+      // The deployment is writable again: a fresh checkpoint of the
+      // recovered cut commits on every shard and round-trips.
+      ASSERT_TRUE(rec.Checkpoint(ctx, "commit-c").ok());
+      ShardedCatalog again(kShards, kAlign);
+      ASSERT_TRUE(again.AttachStores(&fs, kDir).ok());
+      auto infos2 = again.Recover(ctx);
+      ASSERT_TRUE(infos2.ok()) << infos2.status().message();
+      for (size_t j = 0; j < kShards; ++j) {
+        EXPECT_EQ(Dump(*again.shard(j)), Dump(*rec.shard(j))) << j;
+        EXPECT_EQ((*infos2)[j].extra, "commit-c") << j;
+      }
+      ++cases;
+    }
+  }
+  // Exhaustive over the checkpoint window on all four axes, not sampled.
+  const int expected = 2 * (c2.writes - c1.writes) + (c2.syncs - c1.syncs) +
+                       (c2.renames - c1.renames);
+  EXPECT_EQ(cases, expected);
+  EXPECT_GE(cases, 3 * static_cast<int>(kShards));
+}
+
+TEST(ShardRecoveryTest, ShardRecoveryIsIndependent) {
+  // Corrupt ONE shard's newest snapshot: that shard falls back a generation
+  // (commit A); every other shard still recovers commit B byte-identically.
+  const ExecContext ctx = ExecContext::Serial();
+  io::FaultFs fs;
+  std::vector<std::string> before(kShards);
+  std::vector<std::string> after(kShards);
+  {
+    ShardedCatalog cat(kShards, kAlign);
+    BuildPhaseA(&cat);
+    ASSERT_TRUE(cat.AttachStores(&fs, kDir).ok());
+    ASSERT_TRUE(cat.Checkpoint(ctx, "commit-a").ok());
+    for (size_t j = 0; j < kShards; ++j) before[j] = Dump(*cat.shard(j));
+    MutatePhaseB(&cat);
+    for (size_t j = 0; j < kShards; ++j) after[j] = Dump(*cat.shard(j));
+    ASSERT_TRUE(cat.Checkpoint(ctx, "commit-b").ok());
+  }
+
+  const std::string victim_dir = ShardedCatalog::ShardDir(kDir, 1);
+  auto names = fs.ListDir(victim_dir);
+  ASSERT_TRUE(names.ok());
+  std::string newest;
+  for (const std::string& name : names.value()) {
+    if (name.rfind("snapshot-", 0) == 0 && name > newest) newest = name;
+  }
+  ASSERT_FALSE(newest.empty());
+  {
+    auto file = fs.NewWritableFile(victim_dir + "/" + newest,
+                                   /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append("not a snapshot").ok());
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+
+  ShardedCatalog rec(kShards, kAlign);
+  ASSERT_TRUE(rec.AttachStores(&fs, kDir).ok());
+  auto infos = rec.Recover(ctx);
+  ASSERT_TRUE(infos.ok()) << infos.status().message();
+  for (size_t j = 0; j < kShards; ++j) {
+    if (j == 1) {
+      EXPECT_TRUE((*infos)[j].used_fallback_snapshot);
+      EXPECT_EQ((*infos)[j].extra, "commit-a");
+      EXPECT_EQ(Dump(*rec.shard(j)), before[j]);
+    } else {
+      EXPECT_FALSE((*infos)[j].used_fallback_snapshot) << j;
+      EXPECT_EQ((*infos)[j].extra, "commit-b") << j;
+      EXPECT_EQ(Dump(*rec.shard(j)), after[j]) << j;
+    }
+  }
+}
+
+TEST(ShardRecoveryTest, DiscoverShardCountProbesConsecutiveDirs) {
+  io::MemFs fs;
+  EXPECT_EQ(ShardedCatalog::DiscoverShardCount(fs, kDir), 0u);
+
+  const ExecContext ctx = ExecContext::Serial();
+  ShardedCatalog cat(4, kAlign);
+  ASSERT_TRUE(cat.Create("x", TailType::kInt).ok());
+  ASSERT_TRUE(cat.AttachStores(&fs, kDir).ok());
+  ASSERT_TRUE(cat.Checkpoint(ctx).ok());
+  EXPECT_EQ(ShardedCatalog::DiscoverShardCount(fs, kDir), 4u);
+
+  // A parallel (larger-context) recovery of the discovered deployment is
+  // byte-identical to the serial one.
+  ExecContext par;
+  par.threadcnt = 4;
+  ShardedCatalog a(4, kAlign);
+  ASSERT_TRUE(a.AttachStores(&fs, kDir).ok());
+  ASSERT_TRUE(a.Recover(ctx).ok());
+  ShardedCatalog b(4, kAlign);
+  ASSERT_TRUE(b.AttachStores(&fs, kDir).ok());
+  ASSERT_TRUE(b.Recover(par).ok());
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(Dump(*a.shard(j)), Dump(*b.shard(j))) << j;
+  }
+}
+
+}  // namespace
+}  // namespace cobra::kernel
