@@ -11,16 +11,28 @@
 //
 // `overhead` is analyze-seconds / execute-seconds of the same input (for
 // query_text the denominator is ParseQuery, the smallest downstream stage).
-// Results go to BENCH_analyzer.json for the perf trajectory.
+//
+// A second section measures the ACCURACY of the abstract interpreter's
+// static cardinality intervals against observed execution: a traced plan
+// matrix (selects of swept selectivity, joins, groups, at 1/2/7 shards)
+// runs and every stamped span contributes (static_lo, static_hi, rows_out).
+// Reported per shard count: containment rate (the soundness invariant —
+// must be 1.0), finite-bound rate, exact rate (lo == hi), and the mean
+// interval width relative to the input size (tightness; lower is better).
+//
+// Results go to BENCH_analyzer.json (schema-validated) for the trajectory.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "base/diag.h"
 #include "base/logging.h"
+#include "base/strings.h"
+#include "base/trace.h"
 #include "kernel/bat.h"
 #include "kernel/catalog.h"
 #include "kernel/mil.h"
@@ -58,23 +70,87 @@ void RunPair(const std::string& op, const std::function<void()>& analyze,
   out->push_back({op, "execute", execute_s, analyze_s / execute_s});
 }
 
-void WriteJson(const std::vector<Row>& rows, const char* path) {
+// Aggregate over every span the abstract interpreter stamped with a
+// static cardinality interval during a traced execution.
+struct AccuracyStats {
+  int shards = 0;
+  size_t spans = 0;      // spans carrying has_static_card
+  size_t contained = 0;  // static_lo <= rows_out <= static_hi
+  size_t finite = 0;     // static_hi != kCardUnbounded
+  size_t exact = 0;      // finite and static_lo == static_hi
+  double width_sum = 0;  // sum of (static_hi - static_lo) over finite spans
+};
+
+void AccumulateSpan(const trace::Span& span, AccuracyStats* acc) {
+  if (span.has_static_card) {
+    ++acc->spans;
+    if (span.static_lo <= span.rows_out && span.rows_out <= span.static_hi) {
+      ++acc->contained;
+    }
+    if (span.static_hi != kCardUnbounded) {
+      ++acc->finite;
+      if (span.static_lo == span.static_hi) ++acc->exact;
+      acc->width_sum += static_cast<double>(span.static_hi - span.static_lo);
+    }
+  }
+  for (const auto& child : span.children) AccumulateSpan(*child, acc);
+}
+
+AccuracyStats MeasureAccuracy(Catalog* catalog, int shards,
+                              const std::vector<std::string>& scripts) {
+  AccuracyStats acc;
+  acc.shards = shards;
+  for (const std::string& script : scripts) {
+    MilSession session(catalog);
+    std::string traced = "trace on;\n";
+    if (shards > 1) traced += StrFormat("shards(%d);\n", shards);
+    traced += script;
+    COBRA_CHECK(session.Execute(traced).ok());
+    COBRA_CHECK(session.trace_sink() != nullptr);
+    for (const auto& root : session.trace_sink()->roots()) {
+      AccumulateSpan(*root, &acc);
+    }
+  }
+  return acc;
+}
+
+void WriteJson(const std::vector<Row>& rows,
+               const std::vector<AccuracyStats>& accuracy, const char* path) {
+  std::string json = "{\"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json += StrFormat(
+        "  {\"op\": \"%s\", \"variant\": \"%s\", \"seconds\": %.8f, "
+        "\"analyze_over_execute\": %.4f}%s\n",
+        r.op.c_str(), r.variant.c_str(), r.seconds, r.overhead,
+        i + 1 < rows.size() ? "," : "");
+  }
+  json += "],\n\"accuracy\": [\n";
+  for (size_t i = 0; i < accuracy.size(); ++i) {
+    const AccuracyStats& a = accuracy[i];
+    const double spans = static_cast<double>(a.spans);
+    json += StrFormat(
+        "  {\"shards\": %d, \"spans\": %zu, \"containment_rate\": %.4f, "
+        "\"finite_rate\": %.4f, \"exact_rate\": %.4f, "
+        "\"mean_finite_width_rows\": %.2f}%s\n",
+        a.shards, a.spans,
+        a.spans == 0 ? 0.0 : static_cast<double>(a.contained) / spans,
+        a.spans == 0 ? 0.0 : static_cast<double>(a.finite) / spans,
+        a.spans == 0 ? 0.0 : static_cast<double>(a.exact) / spans,
+        a.finite == 0 ? 0.0 : a.width_sum / static_cast<double>(a.finite),
+        i + 1 < accuracy.size() ? "," : "");
+  }
+  json += "]}\n";
+  COBRA_CHECK(trace::ValidateJson(json).ok());
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\"results\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "  {\"op\": \"%s\", \"variant\": \"%s\", \"seconds\": %.8f, "
-                 "\"analyze_over_execute\": %.4f}%s\n",
-                 r.op.c_str(), r.variant.c_str(), r.seconds, r.overhead,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "]}\n");
-  std::printf("wrote %s (%zu rows)\n", path, rows.size());
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows, %zu accuracy rows)\n", path, rows.size(),
+              accuracy.size());
 }
 
 int Main() {
@@ -144,7 +220,37 @@ int Main() {
       [&] { COBRA_CHECK(query::AnalyzeQueryText(query_text).ok()); },
       [&] { COBRA_CHECK(query::ParseQuery(query_text).ok()); }, &results);
 
-  WriteJson(results, "BENCH_analyzer.json");
+  std::printf("=== static interval accuracy (traced plan matrix) ===\n");
+  const std::vector<std::string> accuracy_scripts = {
+      // selects swept from very selective to full-range to provably dead
+      "PRINT count(select(bat('values'), 0.0, 0.1));",
+      "PRINT count(select(bat('values'), 0.25, 0.65));",
+      "PRINT count(select(bat('values'), -1.0, 100.0));",
+      "PRINT count(select(bat('values'), 20.0, 30.0));",
+      "PRINT count(select(select(bat('values'), 0.0, 5.0), 1.0, 2.0));",
+      "PRINT sum(select(bat('values'), 0.1, 0.2));",
+      "VAR g := group(bat('links'));\nPRINT count(g);",
+      "VAR j := join(bat('links'), bat('values'));\nPRINT count(j);",
+  };
+  std::vector<AccuracyStats> accuracy;
+  for (int shards : {1, 2, 7}) {
+    AccuracyStats acc = MeasureAccuracy(&catalog, shards, accuracy_scripts);
+    // Containment is the soundness invariant, not a tuning knob: every
+    // stamped span must bracket its observed cardinality.
+    COBRA_CHECK(acc.contained == acc.spans);
+    std::printf(
+        "  shards=%d  spans %3zu   contained %.4f   finite %.4f   "
+        "exact %.4f   mean width %8.2f rows\n",
+        acc.shards, acc.spans,
+        static_cast<double>(acc.contained) / static_cast<double>(acc.spans),
+        static_cast<double>(acc.finite) / static_cast<double>(acc.spans),
+        static_cast<double>(acc.exact) / static_cast<double>(acc.spans),
+        acc.finite == 0 ? 0.0
+                        : acc.width_sum / static_cast<double>(acc.finite));
+    accuracy.push_back(acc);
+  }
+
+  WriteJson(results, accuracy, "BENCH_analyzer.json");
   return 0;
 }
 

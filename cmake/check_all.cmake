@@ -40,6 +40,18 @@ foreach(_preset IN LISTS PRESETS)
     message(FATAL_ERROR "build failed for preset ${_preset}")
   endif()
 
+  # The repo-invariant linter needs only a compiler, so it runs once per
+  # matrix — on the default preset, right after its build.
+  if(_preset STREQUAL "default")
+    message(STATUS "==== preset ${_preset}: lint-invariants ====")
+    execute_process(COMMAND "${CMAKE_COMMAND}" --build --preset ${_preset}
+                            --target lint-invariants
+                    WORKING_DIRECTORY "${SOURCE_DIR}" RESULT_VARIABLE _rc)
+    if(NOT _rc EQUAL 0)
+      message(FATAL_ERROR "lint-invariants failed for preset ${_preset}")
+    endif()
+  endif()
+
   # The lint preset additionally runs clang-tidy (the `lint` build target);
   # its concurrency-* checks are promoted to errors, so any diagnostic fails
   # the matrix here just like a thread-safety error fails the build above.

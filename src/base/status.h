@@ -29,8 +29,11 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// Result of an operation that can fail. The library does not throw across
 /// public API boundaries; every fallible operation returns a Status or a
-/// Result<T>.
-class Status {
+/// Result<T>. [[nodiscard]] at class level: silently dropping a Status is a
+/// bug by definition here (a crash-safe store cannot shrug off a failed
+/// fsync); the rare intentional drop is written `(void)expr` so the reader
+/// sees the decision. tools/cobra_lint.cc re-checks the attribute stays.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -94,9 +97,10 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result aborts the process (programming error), mirroring
-/// absl::StatusOr semantics.
+/// absl::StatusOr semantics. [[nodiscard]] like Status: an ignored Result is
+/// an ignored error path.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or from an error status keeps call
   /// sites terse (`return value;` / `return Status::NotFound(...)`).

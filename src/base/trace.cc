@@ -23,6 +23,16 @@ void AppendIndented(const Span& span, int depth, std::string* out) {
   *out += StrFormat(" rows_in=%llu rows_out=%llu",
                     static_cast<unsigned long long>(span.rows_in),
                     static_cast<unsigned long long>(span.rows_out));
+  if (span.has_static_card) {
+    if (span.static_hi == UINT64_MAX) {
+      *out += StrFormat(" static=[%llu,*]",
+                        static_cast<unsigned long long>(span.static_lo));
+    } else {
+      *out += StrFormat(" static=[%llu,%llu]",
+                        static_cast<unsigned long long>(span.static_lo),
+                        static_cast<unsigned long long>(span.static_hi));
+    }
+  }
   if (span.morsels != 0) {
     *out += StrFormat(" morsels=%llu",
                       static_cast<unsigned long long>(span.morsels));
@@ -85,6 +95,18 @@ void AppendJson(const Span& span, std::string* out) {
                     static_cast<unsigned long long>(span.rows_in));
   *out += StrFormat(",\"rows_out\":%llu",
                     static_cast<unsigned long long>(span.rows_out));
+  if (span.has_static_card) {
+    // static_hi of UINT64_MAX (unbounded above) exports as -1 so consumers
+    // never mistake the sentinel for a real bound.
+    *out += StrFormat(",\"static_lo\":%llu",
+                      static_cast<unsigned long long>(span.static_lo));
+    if (span.static_hi == UINT64_MAX) {
+      *out += ",\"static_hi\":-1";
+    } else {
+      *out += StrFormat(",\"static_hi\":%llu",
+                        static_cast<unsigned long long>(span.static_hi));
+    }
+  }
   *out += StrFormat(",\"morsels\":%llu",
                     static_cast<unsigned long long>(span.morsels));
   *out += StrFormat(",\"index_probes\":%llu",

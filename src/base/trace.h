@@ -43,6 +43,15 @@ struct Span {
   /// The result was served from a cache; timings below this span were not
   /// re-measured (a cached profile is never replayed).
   bool from_cache = false;
+  /// Static cardinality interval attached by the plan analyzer before
+  /// execution: when `has_static_card` is set, the analyzer proved
+  /// static_lo <= rows_out <= static_hi for this operator. static_hi of
+  /// UINT64_MAX means "unbounded above" (rendered as `*`). The differential
+  /// harness asserts containment of the observed rows_out on every traced
+  /// plan.
+  bool has_static_card = false;
+  uint64_t static_lo = 0;
+  uint64_t static_hi = 0;
   std::vector<std::unique_ptr<Span>> children;
 };
 
@@ -82,8 +91,11 @@ class TraceSink {
   /// JSON array of root span objects. Stable schema: every span object
   /// carries exactly the keys name, detail, seconds, rows_in, rows_out,
   /// morsels, index_probes, index_builds, index_invalidations, dict_hits,
-  /// from_cache, children (in that order); `children` is a nested array of
-  /// the same shape. Output always satisfies ValidateJson().
+  /// from_cache, children (in that order); spans carrying a static
+  /// cardinality interval additionally emit static_lo, static_hi between
+  /// rows_out and morsels (static_hi is -1 for "unbounded above").
+  /// `children` is a nested array of the same shape. Output always
+  /// satisfies ValidateJson().
   std::string ToJson() const COBRA_EXCLUDES(mu_);
 
  private:
@@ -153,6 +165,14 @@ class SpanGuard {
   }
   void FromCache() {
     if (span_ != nullptr) span_->from_cache = true;
+  }
+  /// Attaches the analyzer's static cardinality interval [lo, hi] (hi of
+  /// UINT64_MAX = unbounded above). Text form renders `static=[lo,hi]`.
+  void StaticCard(uint64_t lo, uint64_t hi) {
+    if (span_ == nullptr) return;
+    span_->has_static_card = true;
+    span_->static_lo = lo;
+    span_->static_hi = hi;
   }
 
  private:

@@ -41,7 +41,7 @@ class Value {
 
   /// Numeric view: ints and floats convert; str/oid values are a typed
   /// InvalidArgument error (never silently 0).
-  Result<double> Numeric() const;
+  [[nodiscard]] Result<double> Numeric() const;
 
   std::string ToString() const;
 

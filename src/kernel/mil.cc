@@ -72,7 +72,12 @@ Result<const MilValue*> MilSession::Get(const std::string& name) const {
 Result<std::string> MilSession::Execute(const std::string& script) {
   // Compile-time verification first: a script that cannot execute cleanly
   // is rejected with a positioned diagnostic before ANY operator runs, so a
-  // failing script never leaves partial side effects behind.
+  // failing script never leaves partial side effects behind. The same
+  // abstract-interpretation pass yields per-call-site PlanFacts — static
+  // cardinality intervals and provable-empty / single-shard proofs — keyed
+  // by the 1-based line/column of each call's name token; the operator
+  // branches below attach them to trace spans and apply the rewrites.
+  std::map<std::pair<int, int>, PlanFact> facts;
   {
     MilAnalysisContext actx;
     actx.catalog = catalog_;
@@ -81,8 +86,13 @@ Result<std::string> MilSession::Execute(const std::string& script) {
     actx.fs = fs_;
     actx.data_dir_attached = !data_dir_.empty();
     actx.shards = exec_.shards;
-    DiagnosticList diags = AnalyzeMilScript(script, actx);
-    COBRA_RETURN_IF_ERROR(diags.ToStatus("mil"));
+    actx.morsel_rows = exec_.MorselRows();
+    actx.unsafe_narrow_intervals = unsafe_narrow_intervals_;
+    MilAnalysis analysis = AnalyzeMilScriptWithFacts(script, actx);
+    COBRA_RETURN_IF_ERROR(analysis.diags.ToStatus("mil"));
+    for (PlanFact& fact : analysis.facts) {
+      facts.emplace(std::make_pair(fact.line, fact.col), std::move(fact));
+    }
   }
 
   MilLexer lexer(script);
@@ -99,6 +109,10 @@ Result<std::string> MilSession::Execute(const std::string& script) {
   const auto partitioned = [this](const Bat& bat) {
     return PartitionedBat(bat, static_cast<size_t>(exec_.shards),
                           exec_.MorselRows());
+  };
+  const auto find_fact = [&facts](const Token& name_tok) -> const PlanFact* {
+    const auto it = facts.find(std::make_pair(name_tok.line, name_tok.col));
+    return it == facts.end() ? nullptr : &it->second;
   };
 
   // Recursive-descent expression evaluation over the token stream. The
@@ -130,6 +144,8 @@ Result<std::string> MilSession::Execute(const std::string& script) {
                                      "'");
     }
     const std::string name = tok.text;
+    // The analyzer keys PlanFacts on the name token's position; keep it.
+    const Token name_tok = tok;
     COBRA_ASSIGN_OR_RETURN(Token after, next());
     if (after.kind != Token::Kind::kLParen) {
       push_back(after);
@@ -232,6 +248,11 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       return MilValue(std::move(copy));
     }
     if (name == "select") {
+      const PlanFact* fact = find_fact(name_tok);
+      trace::SpanGuard mspan(exec_.trace, exec_.trace_parent, "mil.select");
+      if (fact != nullptr) mspan.StaticCard(fact->rows_lo, fact->rows_hi);
+      ExecContext sub = exec_;
+      sub.trace_parent = mspan.span();
       if (args.size() == 2) {
         COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "select"));
         const std::string* s = std::get_if<std::string>(&args[1]);
@@ -239,28 +260,87 @@ Result<std::string> MilSession::Execute(const std::string& script) {
           return Status::InvalidArgument(
               "two-argument select expects a string");
         }
+        mspan.RowsIn(bat->size());
+        // Provable-empty rewrite: the analyzer proved zero rows can match
+        // (empty input or dictionary miss), so skip the kernel entirely.
+        // Applied only once the kernel's own precondition (a string tail)
+        // holds, so a would-be type error is never masked; the kernel's
+        // result for such a plan is a fresh empty str BAT, byte-identical
+        // to this one.
+        if (fact != nullptr && fact->provably_empty &&
+            !disable_static_rewrites_ &&
+            bat->tail_type() == TailType::kStr) {
+          mspan.Detail("rewrite=provably_empty");
+          return MilValue(Bat(TailType::kStr));
+        }
         if (exec_.shards > 1) {
           const PartitionedBat part = partitioned(*bat);
           COBRA_ASSIGN_OR_RETURN(
               Bat selected,
-              ShardedSelectStr(part.View(), *s, exec_, exchange_opts()));
+              ShardedSelectStr(part.View(), *s, sub, exchange_opts()));
+          mspan.RowsOut(selected.size());
           return MilValue(std::move(selected));
         }
-        COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectStr(*s, exec_));
+        COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectStr(*s, sub));
+        mspan.RowsOut(selected.size());
         return MilValue(std::move(selected));
       }
       COBRA_RETURN_IF_ERROR(arity(3));
       COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "select"));
       COBRA_ASSIGN_OR_RETURN(double lo, AsNumber(args[1], "select lo"));
       COBRA_ASSIGN_OR_RETURN(double hi, AsNumber(args[2], "select hi"));
+      mspan.RowsIn(bat->size());
+      const bool numeric_tail = bat->tail_type() == TailType::kInt ||
+                                bat->tail_type() == TailType::kFloat;
+      if (fact != nullptr && fact->provably_empty &&
+          !disable_static_rewrites_ && numeric_tail) {
+        mspan.Detail("rewrite=provably_empty");
+        return MilValue(Bat(bat->tail_type()));
+      }
       if (exec_.shards > 1) {
         const PartitionedBat part = partitioned(*bat);
+        // Provable-single-shard rewrite: every other slice's zone map
+        // misses [lo, hi], so the scatter-gather collapses to one serial
+        // kernel call over that slice. The fact's slice boundaries are
+        // revalidated against the runtime partition first, so an analysis
+        // computed on a different morsel grid merely fails to apply —
+        // never misapplies. Byte-identity holds because Slice preserves
+        // global heads and every matching row provably lives in slice k.
+        if (fact != nullptr && fact->single_shard >= 0 &&
+            !disable_static_rewrites_ && numeric_tail &&
+            fact->single_shard_of == static_cast<size_t>(exec_.shards)) {
+          const std::vector<ShardRange> ranges =
+              ShardRanges(bat->size(), static_cast<size_t>(exec_.shards),
+                          exec_.MorselRows());
+          const size_t k = static_cast<size_t>(fact->single_shard);
+          if (k < ranges.size() && ranges[k].begin == fact->shard_begin &&
+              ranges[k].end == fact->shard_end) {
+            if (mspan.enabled()) {
+              mspan.Detail(StrFormat("rewrite=single_shard k=%zu of %zu", k,
+                                     ranges.size()));
+            }
+            const Bat slice = bat->Slice(fact->shard_begin, fact->shard_end);
+            COBRA_ASSIGN_OR_RETURN(Bat selected,
+                                   slice.SelectRange(lo, hi, sub));
+            mspan.RowsOut(selected.size());
+            return MilValue(std::move(selected));
+          }
+        }
+        // Zone-map stats let the exchange prune shards that cannot match
+        // even when more than one shard survives analysis.
+        ExchangeOptions opts = exchange_opts();
+        std::vector<ShardStats> stats;
+        if (numeric_tail) {
+          stats = ComputeShardStats(part.View(), sub);
+          opts.scan_stats = &stats;
+        }
         COBRA_ASSIGN_OR_RETURN(
-            Bat selected,
-            ShardedSelectRange(part.View(), lo, hi, exec_, exchange_opts()));
+            Bat selected, ShardedSelectRange(part.View(), lo, hi, sub, opts));
+        mspan.RowsOut(selected.size());
         return MilValue(std::move(selected));
       }
-      COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectRange(lo, hi, exec_));
+      COBRA_ASSIGN_OR_RETURN(Bat selected, bat->SelectRange(lo, hi, sub));
+      mspan.RowsOut(selected.size());
       return MilValue(std::move(selected));
     }
     if (name == "threadcnt") {
@@ -287,24 +367,36 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       COBRA_RETURN_IF_ERROR(arity(2));
       COBRA_ASSIGN_OR_RETURN(const Bat* a, AsBat(args[0], name.c_str()));
       COBRA_ASSIGN_OR_RETURN(const Bat* b, AsBat(args[1], name.c_str()));
+      const PlanFact* fact = find_fact(name_tok);
+      trace::SpanGuard mspan(exec_.trace, exec_.trace_parent,
+                             name == "join"       ? "mil.join"
+                             : name == "semijoin" ? "mil.semijoin"
+                                                  : "mil.diff");
+      if (fact != nullptr) mspan.StaticCard(fact->rows_lo, fact->rows_hi);
+      mspan.RowsIn(a->size() + b->size());
+      ExecContext sub = exec_;
+      sub.trace_parent = mspan.span();
       if (exec_.shards > 1) {
         // Left operand sharded, right operand broadcast to every shard.
         const PartitionedBat part = partitioned(*a);
         Result<Bat> out =
             name == "join"
-                ? ShardedJoin(part.View(), *b, exec_, exchange_opts())
+                ? ShardedJoin(part.View(), *b, sub, exchange_opts())
             : name == "semijoin"
-                ? ShardedSemijoin(part.View(), *b, exec_, exchange_opts())
-                : ShardedDiff(part.View(), *b, exec_, exchange_opts());
+                ? ShardedSemijoin(part.View(), *b, sub, exchange_opts())
+                : ShardedDiff(part.View(), *b, sub, exchange_opts());
         COBRA_RETURN_IF_ERROR(out.status());
+        mspan.RowsOut(out.value().size());
         return MilValue(std::move(out).value());
       }
       if (name == "join") {
-        COBRA_ASSIGN_OR_RETURN(Bat joined, Join(*a, *b, exec_));
+        COBRA_ASSIGN_OR_RETURN(Bat joined, Join(*a, *b, sub));
+        mspan.RowsOut(joined.size());
         return MilValue(std::move(joined));
       }
-      if (name == "semijoin") return MilValue(Semijoin(*a, *b, exec_));
-      return MilValue(Diff(*a, *b, exec_));
+      Bat out = name == "semijoin" ? Semijoin(*a, *b, sub) : Diff(*a, *b, sub);
+      mspan.RowsOut(out.size());
+      return MilValue(std::move(out));
     }
     if (name == "concat") {
       COBRA_RETURN_IF_ERROR(arity(2));
@@ -313,9 +405,49 @@ Result<std::string> MilSession::Execute(const std::string& script) {
       if (a->tail_type() != b->tail_type()) {
         return Status::InvalidArgument("concat requires matching tail types");
       }
+      const PlanFact* fact = find_fact(name_tok);
+      trace::SpanGuard mspan(exec_.trace, exec_.trace_parent, "mil.concat");
+      if (fact != nullptr) mspan.StaticCard(fact->rows_lo, fact->rows_hi);
+      mspan.RowsIn(a->size() + b->size());
+      ExecContext sub = exec_;
+      sub.trace_parent = mspan.span();
       Bat copy(*a);
-      copy.Concat(*b, exec_);
+      copy.Concat(*b, sub);
+      mspan.RowsOut(copy.size());
       return MilValue(std::move(copy));
+    }
+    if (name == "group") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "group"));
+      const PlanFact* fact = find_fact(name_tok);
+      trace::SpanGuard mspan(exec_.trace, exec_.trace_parent, "mil.group");
+      if (fact != nullptr) mspan.StaticCard(fact->rows_lo, fact->rows_hi);
+      mspan.RowsIn(bat->size());
+      ExecContext sub = exec_;
+      sub.trace_parent = mspan.span();
+      if (exec_.shards > 1) {
+        const PartitionedBat part = partitioned(*bat);
+        COBRA_ASSIGN_OR_RETURN(
+            Bat ids,
+            ShardedGroup(part.View(), nullptr, sub, exchange_opts()));
+        mspan.RowsOut(ids.size());
+        return MilValue(std::move(ids));
+      }
+      Bat ids = Group(*bat, nullptr, sub);
+      mspan.RowsOut(ids.size());
+      return MilValue(std::move(ids));
+    }
+    if (name == "argmax") {
+      COBRA_RETURN_IF_ERROR(arity(1));
+      COBRA_ASSIGN_OR_RETURN(const Bat* bat, AsBat(args[0], "argmax"));
+      if (exec_.shards > 1) {
+        const PartitionedBat part = partitioned(*bat);
+        COBRA_ASSIGN_OR_RETURN(
+            size_t pos, ShardedArgMax(part.View(), exec_, exchange_opts()));
+        return MilValue(static_cast<double>(pos));
+      }
+      COBRA_ASSIGN_OR_RETURN(size_t pos, bat->ArgMax(exec_));
+      return MilValue(static_cast<double>(pos));
     }
     if (name == "info") {
       COBRA_RETURN_IF_ERROR(arity(1));

@@ -1,6 +1,7 @@
 #ifndef COBRA_KERNEL_MIL_H_
 #define COBRA_KERNEL_MIL_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -62,7 +63,11 @@ using MilValue = std::variant<Bat, double, std::string>;
 ///   join(e1, e2) / semijoin(e1, e2) / diff(e1, e2)
 ///   concat(e1, e2)                  e1 with e2's rows appended
 ///   reverse(e) / mirror(e) / slice(e, begin, end)
+///   group(e)                        dense group ids per row (oid tail, same
+///                                   row count as e)
 ///   sum(e) / max(e) / min(e) / count(e)       scalar aggregates
+///   argmax(e)                       position of the max (numeric tails;
+///                                   FailedPrecondition on an empty BAT)
 ///   threadcnt(n)                    degree of parallelism for subsequent
 ///                                   select/join/aggregate calls (paper
 ///                                   Fig. 4); n >= 1, returns n
@@ -125,6 +130,24 @@ class MilSession {
     unsafe_unordered_merge_ = unsafe;
   }
 
+  /// TEST SEAM — disables the analyzer-driven plan rewrites (provably-empty
+  /// select skipping the kernel, provably-single-shard select skipping the
+  /// scatter) so the differential harness can compare rewritten vs
+  /// unrewritten plans byte for byte. Static intervals are still attached
+  /// to trace spans.
+  void set_disable_static_rewrites(bool disable) {
+    disable_static_rewrites_ = disable;
+  }
+
+  /// TEST SEAM — never enable outside tests. Forwards
+  /// MilAnalysisContext::unsafe_narrow_intervals into the analysis run
+  /// before every Execute: static cardinality upper bounds come out too
+  /// narrow (unsound). The differential harness's containment walk must
+  /// catch this defect.
+  void set_unsafe_narrow_intervals(bool unsafe) {
+    unsafe_narrow_intervals_ = unsafe;
+  }
+
  private:
   Catalog* catalog_;
   std::map<std::string, MilValue> variables_;
@@ -135,6 +158,8 @@ class MilSession {
   /// Store bound to data_dir_, created lazily by the first `checkpoint`.
   std::unique_ptr<PersistentStore> store_;
   bool unsafe_unordered_merge_ = false;
+  bool disable_static_rewrites_ = false;
+  bool unsafe_narrow_intervals_ = false;
 };
 
 /// Environment a MIL script is analyzed against: the catalog its bat()/
@@ -162,7 +187,75 @@ struct MilAnalysisContext {
   /// BAT — are errors. In engine mode they are warnings, because MIL's
   /// value semantics make the read well-defined (merely stale).
   bool strict = false;
+  /// Morsel row count of the executing session (ExecContext::MorselRows()).
+  /// The abstract interpreter partitions catalog BATs on exactly this grid
+  /// when computing per-shard zone maps for single-shard proofs; a mismatch
+  /// with the runtime grid only costs precision, never soundness, because
+  /// shard facts carry their slice boundaries and the rewrite revalidates
+  /// them against the runtime partition before applying.
+  size_t morsel_rows = size_t{1} << 16;
+  /// TEST SEAM — never enable outside tests. Deliberately unsound: halves
+  /// every finite static cardinality upper bound the analyzer derives (and
+  /// clamps unbounded ones), so observed row counts can exceed their
+  /// interval. Exists to prove the differential harness's containment walk
+  /// has teeth.
+  bool unsafe_narrow_intervals = false;
 };
+
+/// Sentinel for "no static upper bound" in a PlanFact / cardinality
+/// interval.
+inline constexpr uint64_t kCardUnbounded = ~uint64_t{0};
+
+/// One statically-proven fact about an operator call site, keyed by the
+/// 1-based line/column of the call's name token (MIL scripts are
+/// straight-line, so a call site executes at most once per run and the key
+/// is unambiguous). Produced by the abstract interpreter alongside the
+/// diagnostics; consumed by MilSession to attach `static=[lo,hi]` intervals
+/// to trace spans and to apply the provable-empty / provable-single-shard
+/// rewrites.
+struct PlanFact {
+  int line = 0;
+  int col = 0;
+  /// MIL function name at the call site ("select", "join", "group", ...).
+  std::string op;
+  /// Static cardinality interval of the operator's output rows. Soundness
+  /// contract: every execution of this call site over the analyzed catalog
+  /// state produces rows_out with rows_lo <= rows_out <= rows_hi.
+  uint64_t rows_lo = 0;
+  uint64_t rows_hi = kCardUnbounded;
+  /// The output is statically proven empty (predicate outside the value
+  /// hull, empty input, or a string probe absent from a fully-known
+  /// dictionary): execution can skip the operator and return an empty BAT.
+  bool provably_empty = false;
+  /// When >= 0 and the plan is sharded: every row of the output provably
+  /// originates in this shard slice (zone maps of all other slices miss the
+  /// predicate), so the scatter can run that one slice serially.
+  int single_shard = -1;
+  /// Shard count the single_shard proof was computed against; the rewrite
+  /// only applies when the runtime partitioning matches.
+  size_t single_shard_of = 0;
+  /// Global row range [shard_begin, shard_end) of the proven shard slice.
+  /// The rewrite revalidates these against the runtime partition before
+  /// applying, so a grid mismatch costs precision, never soundness.
+  size_t shard_begin = 0;
+  size_t shard_end = 0;
+  /// The operator's direct catalog input had a built tail hash index at
+  /// analysis time (advisory catalog fact; not load-bearing for rewrites).
+  bool index_present = false;
+};
+
+/// Full result of the abstract interpretation: the diagnostics (exactly
+/// AnalyzeMilScript's) plus the per-call-site facts in script order.
+struct MilAnalysis {
+  DiagnosticList diags;
+  std::vector<PlanFact> facts;
+};
+
+/// Abstract-interpretation entry point: everything AnalyzeMilScript checks,
+/// plus the PlanFact list (static cardinality intervals, provable-empty and
+/// single-shard proofs). AnalyzeMilScript is this, minus the facts.
+MilAnalysis AnalyzeMilScriptWithFacts(const std::string& script,
+                                      const MilAnalysisContext& context);
 
 /// Static "compile-time" verification of a MIL script: infers the static
 /// type (number / string / BAT-with-tail-type) of every expression through

@@ -1,25 +1,40 @@
-// Static verification of MIL scripts (AnalyzeMilScript, declared in mil.h).
+// Static verification of MIL scripts (AnalyzeMilScript / the abstract
+// interpreter AnalyzeMilScriptWithFacts, declared in mil.h).
 //
 // The analyzer is a mirror of the interpreter in mil.cc over an abstract
-// value domain: instead of BATs/doubles/strings it propagates static types
-// (plus literal values and provable row counts where available) through the
-// same LL(1) grammar, driven by the same MilLexer, in the same evaluation
-// order. Because MIL is straight-line — no control flow — the abstract walk
-// visits exactly the states the interpreter would, which gives the two key
-// properties:
+// value domain: instead of BATs/doubles/strings it propagates a lattice of
+// static facts — type, cardinality interval, numeric value hull,
+// NaN-possibility, dictionary contents, sortedness — through the same LL(1)
+// grammar, driven by the same MilLexer, in the same evaluation order.
+// Because MIL is straight-line — no control flow — the abstract walk visits
+// exactly the states the interpreter would, which gives the key properties:
 //
 //  * soundness of rejection: every error reported here is an error the
 //    interpreter would also have raised (same message, same StatusCode),
 //    except that the analyzer raises it before ANY operator has run;
 //  * zero false rejections: whenever a type or value is not statically
-//    known (kAny), every check involving it passes.
+//    known, every check involving it passes;
+//  * soundness of facts: every PlanFact interval [rows_lo, rows_hi]
+//    contains the row count the call site produces at execution time, every
+//    provably_empty call site produces zero rows, and every single_shard
+//    proof names the only shard slice whose zone map can match.
 //
-// The one assumption is single-writer catalog access during a script: a
-// bat('x') name resolved at analysis time is assumed to still resolve the
-// same way moments later at execution time.
+// The lattice is seeded from REAL catalog state: bat('x') resolved against
+// the live catalog records the exact row count, scans a zone map (min/max
+// over non-NaN tails, in the same double domain the runtime compares in —
+// int tails are cast per row exactly like Bat::SelectRange), copies the
+// string dictionary, checks sortedness, and notes index presence. The one
+// assumption making this sound is single-writer catalog access during a
+// script: a bat('x') resolved at analysis time is assumed to still resolve
+// to the same value moments later at execution time. Within the script,
+// mutations (persist/load/insert/assignment) are tracked by the abstract
+// walk itself, so facts always describe the state at their program point.
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -31,22 +46,75 @@
 #include "kernel/mil.h"
 #include "kernel/mil_lexer.h"
 #include "kernel/persist.h"
+#include "kernel/shard.h"
 
 namespace cobra::kernel {
 namespace {
 
 constexpr int kMaxExprDepth = 200;  // keep in sync with mil.cc
 
-/// Static approximation of a MilValue.
+/// Cardinality arithmetic saturating at kCardUnbounded ("no upper bound").
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a == kCardUnbounded || b == kCardUnbounded) return kCardUnbounded;
+  const uint64_t s = a + b;
+  return s < a ? kCardUnbounded : s;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kCardUnbounded || b == kCardUnbounded) return kCardUnbounded;
+  if (a > kCardUnbounded / b) return kCardUnbounded;
+  return a * b;
+}
+
+/// Static approximation of a MilValue: the abstract-interpretation lattice.
 struct SType {
   enum class Kind { kNumber, kString, kBat, kAny };
   Kind kind = Kind::kAny;
 
-  // kBat: tail type and row count when provable.
+  // kBat: tail type when provable.
   bool tail_known = false;
   TailType tail = TailType::kInt;
-  bool rows_known = false;
-  size_t rows = 0;
+
+  /// kBat: static cardinality interval — every execution of the expression
+  /// produces a row count n with rows_lo <= n <= rows_hi. rows_hi of
+  /// kCardUnbounded means no static upper bound; lo == hi is the exact case.
+  uint64_t rows_lo = 0;
+  uint64_t rows_hi = kCardUnbounded;
+
+  /// kBat numeric tails: the value hull. When hull_known, every non-NaN
+  /// tail value v satisfies hull_min <= v <= hull_max, compared in the
+  /// double domain the runtime compares in (int tails cast per row);
+  /// hull_empty strengthens that to "there are no non-NaN values at all".
+  /// maybe_nan records whether a NaN tail value may be present (a range
+  /// select never matches NaN, so its output clears it).
+  bool hull_known = false;
+  bool hull_empty = false;
+  double hull_min = 0.0;
+  double hull_max = 0.0;
+  bool maybe_nan = true;
+
+  /// kBat str tails: a superset of the distinct tail strings (the BAT's
+  /// dictionary). Null when unknown. A probe absent from a known dictionary
+  /// proves the equality select empty.
+  std::shared_ptr<const std::set<std::string>> dict;
+
+  /// kBat: tails provably sorted ascending (non-strict, no NaN). Currently
+  /// advisory — it survives order-preserving operators and is seeded from
+  /// the catalog scan; a binary-search select rewrite could consume it.
+  bool sorted = false;
+
+  /// kBat: the BAT had a built tail hash index at analysis time (catalog
+  /// fact, surfaced in PlanFact::index_present).
+  bool tail_index = false;
+
+  /// Direct catalog/session seed: the analyzed Bat this expression is a
+  /// byte-identical copy of. Set only by bat('x') resolving in the REAL
+  /// catalog (not the persist overlay) and by session-variable seeding;
+  /// cleared by every deriving operator. Valid for the analysis pass only —
+  /// analysis never mutates the catalog. Enables per-shard zone-map proofs.
+  const Bat* concrete = nullptr;
+
   /// Catalog name this BAT is a snapshot of (set by bat('x')); used for the
   /// stale-snapshot hazard when persist('x', ...) later replaces the BAT.
   std::string snapshot_of;
@@ -55,6 +123,13 @@ struct SType {
   bool value_known = false;
   double number = 0.0;
   std::string str;
+
+  /// kNumber: numeric interval [num_lo, num_hi] when the exact value is not
+  /// known (aggregate results; INFINITY bounds are legal). Sound the same
+  /// way the row interval is.
+  bool num_bounds_known = false;
+  double num_lo = 0.0;
+  double num_hi = 0.0;
 
   static SType Any() { return SType{}; }
   static SType Num() {
@@ -88,13 +163,72 @@ struct SType {
     SType t = BatAny();
     t.tail_known = true;
     t.tail = tail;
+    // NaN can only live in a float tail.
+    t.maybe_nan = tail == TailType::kFloat;
     return t;
   }
 
   bool IsNumericTail() const {
     return tail == TailType::kInt || tail == TailType::kFloat;
   }
+  bool RowsExact() const { return rows_lo == rows_hi; }
+  bool ProvablyEmpty() const { return rows_hi == 0; }
+  void SetExactRows(uint64_t n) {
+    rows_lo = n;
+    rows_hi = n;
+  }
 };
+
+/// Widens t's hull to admit the value v (NaN folds into maybe_nan).
+void ExtendHull(SType* t, double v) {
+  if (std::isnan(v)) {
+    t->maybe_nan = true;
+    return;
+  }
+  if (!t->hull_known) return;
+  if (t->hull_empty) {
+    t->hull_min = v;
+    t->hull_max = v;
+    t->hull_empty = false;
+    return;
+  }
+  t->hull_min = std::min(t->hull_min, v);
+  t->hull_max = std::max(t->hull_max, v);
+}
+
+/// Zone-map test for one shard slice: false only when the slice PROVABLY
+/// produces no row for select(lo, hi) — exactly the pruning rule
+/// ShardedSelectRange applies (`!has_non_nan || max < lo || min > hi`),
+/// computed in the runtime's double domain.
+bool SliceMayMatch(const Bat& bat, const ShardRange& r, double lo, double hi) {
+  bool has = false;
+  double mn = 0.0, mx = 0.0;
+  auto fold = [&](double v) {
+    if (std::isnan(v)) return;
+    if (!has) {
+      mn = v;
+      mx = v;
+      has = true;
+      return;
+    }
+    if (v < mn) mn = v;
+    if (v > mx) mx = v;
+  };
+  if (bat.tail_type() == TailType::kInt) {
+    const auto& ints = bat.int_tails();
+    for (size_t i = r.begin; i < r.end && i < ints.size(); ++i) {
+      fold(static_cast<double>(ints[i]));
+    }
+  } else if (bat.tail_type() == TailType::kFloat) {
+    const auto& floats = bat.float_tails();
+    for (size_t i = r.begin; i < r.end && i < floats.size(); ++i) {
+      fold(floats[i]);
+    }
+  } else {
+    return true;  // non-numeric tails carry no zone map: never prunable
+  }
+  return has && !(mx < lo || mn > hi);
+}
 
 class MilAnalyzer {
  public:
@@ -190,6 +324,8 @@ class MilAnalyzer {
     return std::move(diags_);
   }
 
+  std::vector<PlanFact> TakeFacts() { return std::move(facts_); }
+
  private:
   // -- Token plumbing (mirrors mil.cc's pushback stack) --------------------
 
@@ -220,7 +356,84 @@ class MilAnalyzer {
     diags_.Error(at.line, at.col, std::move(message), code);
   }
 
+  void Warn(const MilToken& at, std::string message) {
+    diags_.Warning(at.line, at.col, std::move(message));
+  }
+
   // -- Environment ---------------------------------------------------------
+
+  /// Seeds the lattice from a real Bat the execution will start from (a
+  /// catalog resolution or a session variable): exact row count, zone-map
+  /// hull over non-NaN tails, NaN presence, dictionary contents, sortedness
+  /// and index state — one O(rows) scan, the same per-row double casts the
+  /// runtime's SelectRange applies.
+  void SeedFromBat(SType* t, const Bat& bat) {
+    t->SetExactRows(bat.size());
+    t->concrete = &bat;
+    t->tail_index = bat.accel_info().tail_index_built;
+    switch (bat.tail_type()) {
+      case TailType::kInt: {
+        t->maybe_nan = false;
+        t->hull_known = true;
+        t->hull_empty = true;
+        t->sorted = true;
+        double prev = 0.0;
+        for (const int64_t raw : bat.int_tails()) {
+          const double v = static_cast<double>(raw);
+          if (t->hull_empty) {
+            t->hull_min = v;
+            t->hull_max = v;
+            t->hull_empty = false;
+          } else {
+            if (v < prev) t->sorted = false;
+            t->hull_min = std::min(t->hull_min, v);
+            t->hull_max = std::max(t->hull_max, v);
+          }
+          prev = v;
+        }
+        break;
+      }
+      case TailType::kFloat: {
+        t->maybe_nan = false;
+        t->hull_known = true;
+        t->hull_empty = true;
+        t->sorted = true;
+        bool first = true;
+        double prev = 0.0;
+        for (const double v : bat.float_tails()) {
+          if (std::isnan(v)) {
+            t->maybe_nan = true;
+            t->sorted = false;
+            continue;
+          }
+          if (!first && v < prev) t->sorted = false;
+          if (t->hull_empty) {
+            t->hull_min = v;
+            t->hull_max = v;
+            t->hull_empty = false;
+          } else {
+            t->hull_min = std::min(t->hull_min, v);
+            t->hull_max = std::max(t->hull_max, v);
+          }
+          prev = v;
+          first = false;
+        }
+        break;
+      }
+      case TailType::kStr: {
+        t->maybe_nan = false;
+        auto dict = std::make_shared<std::set<std::string>>();
+        for (size_t c = 0; c < bat.DictSize(); ++c) {
+          dict->insert(bat.DictAt(static_cast<uint32_t>(c)));
+        }
+        t->dict = std::move(dict);
+        break;
+      }
+      case TailType::kOid:
+        t->maybe_nan = false;
+        break;
+    }
+  }
 
   void SeedSessionVariables() {
     if (ctx_.variables == nullptr) return;
@@ -232,8 +445,7 @@ class MilAnalyzer {
       } else {
         const Bat& bat = std::get<Bat>(value);
         SType t = SType::BatOf(bat.tail_type());
-        t.rows_known = true;
-        t.rows = bat.size();
+        SeedFromBat(&t, bat);
         vars_[name] = t;
       }
     }
@@ -241,9 +453,13 @@ class MilAnalyzer {
 
   /// Resolves a catalog BAT name through the in-script persist() overlay,
   /// then the real catalog. Returns false after recording a NotFound
-  /// diagnostic; on success *tail is the tail type when known.
+  /// diagnostic; on success *tail is the tail type when known and
+  /// *concrete, when non-null, is the live catalog Bat (set ONLY for a real
+  /// catalog hit — the abstract overlay has no bytes to seed from).
   bool LookupCatalog(const std::string& name, const MilToken& at,
-                     std::optional<TailType>* tail) {
+                     std::optional<TailType>* tail,
+                     const Bat** concrete = nullptr) {
+    if (concrete != nullptr) *concrete = nullptr;
     auto overlay = overlay_.find(name);
     if (overlay != overlay_.end()) {
       *tail = overlay->second;
@@ -272,7 +488,36 @@ class MilAnalyzer {
       return false;
     }
     *tail = (*bat)->tail_type();
+    if (concrete != nullptr) *concrete = *bat;
     return true;
+  }
+
+  /// Records one abstract-interpretation fact for the call site at
+  /// `name_tok`, applying the unsound-narrowing test seam when armed (the
+  /// seam narrows ONLY the upper bound — provable-empty and shard proofs
+  /// stay genuine, so outputs stay byte-identical and only the containment
+  /// walk of the differential harness can catch the defect).
+  void EmitFact(const MilToken& name_tok, const std::string& op,
+                const SType& out, bool provably_empty, int single_shard = -1,
+                size_t single_of = 0, size_t shard_begin = 0,
+                size_t shard_end = 0, bool index_present = false) {
+    PlanFact f;
+    f.line = name_tok.line;
+    f.col = name_tok.col;
+    f.op = op;
+    f.rows_lo = out.rows_lo;
+    f.rows_hi = out.rows_hi;
+    f.provably_empty = provably_empty;
+    f.single_shard = single_shard;
+    f.single_shard_of = single_of;
+    f.shard_begin = shard_begin;
+    f.shard_end = shard_end;
+    f.index_present = index_present;
+    if (ctx_.unsafe_narrow_intervals && f.rows_hi > 0) {
+      f.rows_hi = f.rows_hi == kCardUnbounded ? 1 : f.rows_hi / 2;
+      f.rows_lo = std::min(f.rows_lo, f.rows_hi);
+    }
+    facts_.push_back(std::move(f));
   }
 
   // -- Statements ----------------------------------------------------------
@@ -457,13 +702,16 @@ class MilAnalyzer {
       SType out = SType::BatAny();
       if (args[0].value_known) {
         std::optional<TailType> tail;
-        if (!LookupCatalog(args[0].str, arg_toks[0], &tail)) {
+        const Bat* concrete = nullptr;
+        if (!LookupCatalog(args[0].str, arg_toks[0], &tail, &concrete)) {
           return std::nullopt;
         }
         if (tail) {
           out.tail_known = true;
           out.tail = *tail;
+          out.maybe_nan = *tail == TailType::kFloat;
         }
+        if (concrete != nullptr) SeedFromBat(&out, *concrete);
         out.snapshot_of = args[0].str;
       }
       return out;
@@ -485,6 +733,7 @@ class MilAnalyzer {
       }
       SType out = args[1];
       out.kind = SType::Kind::kBat;
+      out.concrete = nullptr;
       return out;
     }
     if (name == "new") {
@@ -508,9 +757,15 @@ class MilAnalyzer {
           Error(arg_toks[0], "unknown BAT type " + type);
           return std::nullopt;
         }
-        out.rows_known = true;
-        out.rows = 0;
+        if (type == "str") {
+          out.dict = std::make_shared<std::set<std::string>>();
+        }
       }
+      out.SetExactRows(0);
+      out.hull_known = true;
+      out.hull_empty = true;
+      out.maybe_nan = false;
+      out.sorted = true;
       return out;
     }
     if (name == "insert") {
@@ -532,7 +787,42 @@ class MilAnalyzer {
       }
       SType out = args[0];
       out.kind = SType::Kind::kBat;
-      if (out.rows_known) ++out.rows;
+      out.concrete = nullptr;
+      out.rows_lo = SatAdd(out.rows_lo, 1);
+      out.rows_hi = SatAdd(out.rows_hi, 1);
+      out.sorted = false;
+      // Fold the appended tail value into the hull / dictionary.
+      if (!args[0].tail_known) {
+        out.hull_known = false;
+        out.maybe_nan = true;
+        out.dict = nullptr;
+      } else if (args[0].tail == TailType::kStr) {
+        if (args[2].value_known && args[2].kind == SType::Kind::kString &&
+            out.dict != nullptr) {
+          auto dict = std::make_shared<std::set<std::string>>(*out.dict);
+          dict->insert(args[2].str);
+          out.dict = std::move(dict);
+        } else {
+          out.dict = nullptr;
+        }
+      } else if (args[0].tail == TailType::kFloat) {
+        if (args[2].value_known && args[2].kind == SType::Kind::kNumber) {
+          ExtendHull(&out, args[2].number);
+        } else {
+          out.hull_known = false;
+          out.maybe_nan = true;
+        }
+      } else if (args[0].tail == TailType::kInt) {
+        const double v = args[2].number;
+        // Only integral literals small enough for the double<->int64 round
+        // trip to be exact extend the hull; anything else drops it.
+        if (args[2].value_known && args[2].kind == SType::Kind::kNumber &&
+            std::isfinite(v) && v == std::floor(v) && std::abs(v) <= 9.0e15) {
+          ExtendHull(&out, v);
+        } else {
+          out.hull_known = false;
+        }
+      }
       return out;
     }
     if (name == "select") {
@@ -546,9 +836,34 @@ class MilAnalyzer {
           Error(arg_toks[0], "SelectStr requires a str tail");
           return std::nullopt;
         }
+        const SType& in = args[0];
         // On the success path the input tail was str, so the output is too.
         SType out = SType::BatOf(TailType::kStr);
-        out.snapshot_of = args[0].snapshot_of;
+        out.snapshot_of = in.snapshot_of;
+        out.rows_lo = 0;
+        out.rows_hi = in.rows_hi;
+        out.sorted = in.sorted;
+        bool empty = in.ProvablyEmpty();
+        if (empty) {
+          Warn(name_tok, "select over a provably empty BAT is statically "
+                         "empty");
+        } else if (args[1].value_known && in.dict != nullptr &&
+                   in.dict->count(args[1].str) == 0) {
+          empty = true;
+          Warn(name_tok,
+               StrFormat("statically dead predicate: select \"%s\" misses "
+                         "the input dictionary (%zu entries)",
+                         args[1].str.c_str(), in.dict->size()));
+        }
+        if (args[1].value_known) {
+          auto dict = std::make_shared<std::set<std::string>>();
+          dict->insert(args[1].str);
+          out.dict = std::move(dict);
+        } else {
+          out.dict = in.dict;
+        }
+        if (empty) out.rows_hi = 0;
+        EmitFact(name_tok, "select", out, empty, -1, 0, 0, 0, in.tail_index);
         return out;
       }
       if (!arity(3)) return std::nullopt;
@@ -559,83 +874,217 @@ class MilAnalyzer {
         Error(arg_toks[0], "SelectRange requires a numeric tail");
         return std::nullopt;
       }
-      SType out = args[0].tail_known ? SType::BatOf(args[0].tail)
-                                     : SType::BatAny();
-      out.snapshot_of = args[0].snapshot_of;
+      const SType& in = args[0];
+      SType out = in;
+      out.kind = SType::Kind::kBat;
+      out.concrete = nullptr;
+      out.tail_index = false;
+      out.dict = nullptr;
+      out.rows_lo = 0;          // rows_hi inherited: output is a subset
+      out.maybe_nan = false;    // NaN rows never match a range
+      const bool bounds_known = args[1].value_known && args[2].value_known;
+      const double lo = args[1].number;
+      const double hi = args[2].number;
+      // Output hull: every surviving value lies in the predicate range
+      // intersected with the input hull.
+      if (bounds_known) {
+        out.hull_known = true;
+        out.hull_empty = false;
+        out.hull_min = lo;
+        out.hull_max = hi;
+        if (in.hull_known && !in.hull_empty) {
+          out.hull_min = std::max(lo, in.hull_min);
+          out.hull_max = std::min(hi, in.hull_max);
+        }
+        if ((in.hull_known && in.hull_empty) || std::isnan(lo) ||
+            std::isnan(hi) || out.hull_min > out.hull_max) {
+          out.hull_empty = true;
+        }
+      }
+      bool empty = in.ProvablyEmpty();
+      if (empty) {
+        Warn(name_tok, "select over a provably empty BAT is statically "
+                       "empty");
+      } else if (bounds_known) {
+        if (std::isnan(lo) || std::isnan(hi) || lo > hi) {
+          empty = true;
+          Warn(name_tok,
+               StrFormat("statically dead predicate: select range [%g, %g] "
+                         "never matches",
+                         lo, hi));
+        } else if (in.hull_known) {
+          if (in.hull_empty) {
+            empty = true;
+            Warn(name_tok,
+                 "statically dead predicate: the input has no non-NaN "
+                 "values for the range to match");
+          } else if (lo > in.hull_max || hi < in.hull_min) {
+            empty = true;
+            Warn(name_tok,
+                 StrFormat("statically dead predicate: select range "
+                           "[%g, %g] misses the input value hull [%g, %g]",
+                           lo, hi, in.hull_min, in.hull_max));
+          }
+        }
+      }
+      // Per-shard zone maps over the concrete input: prove which slices of
+      // the runtime partition can produce rows at all.
+      int single_shard = -1;
+      size_t single_of = 0, shard_begin = 0, shard_end = 0;
+      if (!empty && bounds_known && in.concrete != nullptr &&
+          in.IsNumericTail() && shards_known_ && shards_ > 1) {
+        const Bat& bat = *in.concrete;
+        const std::vector<ShardRange> ranges = ShardRanges(
+            bat.size(), static_cast<size_t>(shards_), ctx_.morsel_rows);
+        int candidates = 0;
+        int last = -1;
+        for (size_t k = 0; k < ranges.size(); ++k) {
+          if (SliceMayMatch(bat, ranges[k], lo, hi)) {
+            ++candidates;
+            last = static_cast<int>(k);
+          }
+        }
+        if (candidates == 0) {
+          empty = true;
+          Warn(name_tok,
+               "statically dead predicate: every shard's zone map misses "
+               "the select range");
+        } else if (candidates == 1) {
+          single_shard = last;
+          single_of = ranges.size();
+          shard_begin = ranges[static_cast<size_t>(last)].begin;
+          shard_end = ranges[static_cast<size_t>(last)].end;
+        }
+      }
+      if (empty) {
+        out.rows_hi = 0;
+        out.hull_known = true;
+        out.hull_empty = true;
+      }
+      EmitFact(name_tok, "select", out, empty, single_shard, single_of,
+               shard_begin, shard_end, in.tail_index);
       return out;
     }
-    if (name == "threadcnt") {
+    if (name == "threadcnt" || name == "shards") {
+      const bool is_shards = name == "shards";
+      const double limit = is_shards ? 64.0 : 1024.0;
       if (!arity(1)) return std::nullopt;
-      if (!require_number(0, "threadcnt")) return std::nullopt;
+      if (!require_number(0, name)) return std::nullopt;
       if (args[0].value_known) {
         const double n = args[0].number;
-        if (n < 1.0 || n != std::floor(n) || n > 1024.0) {
+        if (n < 1.0 || n != std::floor(n) || n > limit) {
           Error(arg_toks[0],
-                StrFormat("threadcnt expects an integer in [1, 1024], got %g",
-                          n));
+                StrFormat("%s expects an integer in [1, %g], got %g",
+                          name.c_str(), limit, n));
           return std::nullopt;
+        }
+        if (is_shards) {
+          shards_known_ = true;
+          shards_ = static_cast<int>(n);
         }
         return SType::NumVal(n);
       }
-      return SType::Num();
-    }
-    if (name == "shards") {
-      if (!arity(1)) return std::nullopt;
-      if (!require_number(0, "shards")) return std::nullopt;
-      if (args[0].value_known) {
-        const double n = args[0].number;
-        if (n < 1.0 || n != std::floor(n) || n > 64.0) {
-          Error(arg_toks[0],
-                StrFormat("shards expects an integer in [1, 64], got %g", n));
-          return std::nullopt;
-        }
-        shards_known_ = true;
-        shards_ = static_cast<int>(n);
-        return SType::NumVal(n);
+      // Abstract-value consumer: a scalar whose static interval lies
+      // entirely outside the legal range fails at runtime for every
+      // possible value, so reject it now (still zero false rejections).
+      if (args[0].num_bounds_known &&
+          (args[0].num_hi < 1.0 || args[0].num_lo > limit)) {
+        Error(arg_toks[0],
+              StrFormat("%s expects an integer in [1, %g]; the argument is "
+                        "statically in [%g, %g]",
+                        name.c_str(), limit, args[0].num_lo,
+                        args[0].num_hi));
+        return std::nullopt;
       }
-      shards_known_ = false;
+      if (is_shards) shards_known_ = false;
       return SType::Num();
     }
     if (name == "join" || name == "semijoin" || name == "diff") {
       if (!arity(2)) return std::nullopt;
       if (!require_bat(0, name)) return std::nullopt;
       if (!require_bat(1, name)) return std::nullopt;
+      const SType& a = args[0];
+      const SType& b = args[1];
       if (name == "join") {
-        if (args[0].tail_known && args[0].tail != TailType::kOid) {
+        if (a.tail_known && a.tail != TailType::kOid) {
           Error(arg_toks[0], "Join needs an oid tail on the left BAT");
           return std::nullopt;
         }
-        SType out = args[1].tail_known ? SType::BatOf(args[1].tail)
-                                       : SType::BatAny();
+        // Output tail values all come from b; each of a's rows matches at
+        // most every b row, hence the product upper bound.
+        SType out = b;
+        out.kind = SType::Kind::kBat;
+        out.concrete = nullptr;
+        out.tail_index = false;
+        out.snapshot_of.clear();
+        out.sorted = false;
+        out.rows_lo = 0;
+        out.rows_hi = SatMul(a.rows_hi, b.rows_hi);
+        const bool empty = a.ProvablyEmpty() || b.ProvablyEmpty();
+        if (empty) out.rows_hi = 0;
+        EmitFact(name_tok, "join", out, empty);
         return out;
       }
-      SType out = args[0].tail_known ? SType::BatOf(args[0].tail)
-                                     : SType::BatAny();
-      out.snapshot_of = args[0].snapshot_of;
+      // Semijoin/diff are order-preserving filters of a: tail facts, hull,
+      // dictionary and sortedness survive; the row count can only shrink.
+      SType out = a;
+      out.kind = SType::Kind::kBat;
+      out.concrete = nullptr;
+      out.tail_index = false;
+      out.rows_lo = 0;
+      bool empty = a.ProvablyEmpty();
+      if (name == "semijoin") {
+        empty = empty || b.ProvablyEmpty();
+      } else if (b.ProvablyEmpty()) {
+        out.rows_lo = a.rows_lo;  // diff against nothing passes a through
+      }
+      if (empty) out.rows_hi = 0;
+      EmitFact(name_tok, name, out, empty);
       return out;
     }
     if (name == "concat") {
       if (!arity(2)) return std::nullopt;
       if (!require_bat(0, "concat")) return std::nullopt;
       if (!require_bat(1, "concat")) return std::nullopt;
-      if (args[0].tail_known && args[1].tail_known &&
-          args[0].tail != args[1].tail) {
+      const SType& a = args[0];
+      const SType& b = args[1];
+      if (a.tail_known && b.tail_known && a.tail != b.tail) {
         Error(name_tok, "concat requires matching tail types");
         return std::nullopt;
       }
       SType out;
-      if (args[0].tail_known) {
-        out = SType::BatOf(args[0].tail);
-      } else if (args[1].tail_known) {
-        out = SType::BatOf(args[1].tail);
+      if (a.tail_known) {
+        out = SType::BatOf(a.tail);
+      } else if (b.tail_known) {
+        out = SType::BatOf(b.tail);
       } else {
         out = SType::BatAny();
       }
-      if (args[0].rows_known && args[1].rows_known) {
-        out.rows_known = true;
-        out.rows = args[0].rows + args[1].rows;
+      out.rows_lo = SatAdd(a.rows_lo, b.rows_lo);
+      out.rows_hi = SatAdd(a.rows_hi, b.rows_hi);
+      out.maybe_nan = a.maybe_nan || b.maybe_nan;
+      if (a.hull_known && b.hull_known) {
+        out.hull_known = true;
+        if (a.hull_empty && b.hull_empty) {
+          out.hull_empty = true;
+        } else if (a.hull_empty) {
+          out.hull_min = b.hull_min;
+          out.hull_max = b.hull_max;
+        } else if (b.hull_empty) {
+          out.hull_min = a.hull_min;
+          out.hull_max = a.hull_max;
+        } else {
+          out.hull_min = std::min(a.hull_min, b.hull_min);
+          out.hull_max = std::max(a.hull_max, b.hull_max);
+        }
       }
-      out.snapshot_of = args[0].snapshot_of;
+      if (a.dict != nullptr && b.dict != nullptr) {
+        auto dict = std::make_shared<std::set<std::string>>(*a.dict);
+        dict->insert(b.dict->begin(), b.dict->end());
+        out.dict = std::move(dict);
+      }
+      out.snapshot_of = a.snapshot_of;
+      EmitFact(name_tok, "concat", out, out.rows_hi == 0);
       return out;
     }
     if (name == "info") {
@@ -662,9 +1111,21 @@ class MilAnalyzer {
         return std::nullopt;
       }
       SType out = SType::BatOf(TailType::kOid);
-      out.rows_known = args[0].rows_known;
-      out.rows = args[0].rows;
+      out.rows_lo = args[0].rows_lo;
+      out.rows_hi = args[0].rows_hi;
       out.snapshot_of = args[0].snapshot_of;
+      return out;
+    }
+    if (name == "group") {
+      if (!arity(1)) return std::nullopt;
+      if (!require_bat(0, "group")) return std::nullopt;
+      // One dense group id per input row: the row count carries over
+      // exactly, whatever the tail type.
+      SType out = SType::BatOf(TailType::kOid);
+      out.rows_lo = args[0].rows_lo;
+      out.rows_hi = args[0].rows_hi;
+      out.snapshot_of = args[0].snapshot_of;
+      EmitFact(name_tok, "group", out, args[0].ProvablyEmpty());
       return out;
     }
     if (name == "slice") {
@@ -672,29 +1133,55 @@ class MilAnalyzer {
       if (!require_bat(0, "slice")) return std::nullopt;
       if (!require_number(1, "slice begin")) return std::nullopt;
       if (!require_number(2, "slice end")) return std::nullopt;
-      SType out = args[0].tail_known ? SType::BatOf(args[0].tail)
-                                     : SType::BatAny();
-      out.snapshot_of = args[0].snapshot_of;
+      SType out = args[0];
+      out.kind = SType::Kind::kBat;
+      out.concrete = nullptr;
+      out.tail_index = false;
+      out.rows_lo = 0;  // rows_hi inherited: a slice never grows
+      if (args[1].value_known && args[2].value_known) {
+        const double begin = args[1].number;
+        const double end = args[2].number;
+        // Mirror the runtime's clamp (end > size clamps, begin >= end is
+        // empty); only trust literals whose size_t round trip is exact.
+        if (begin >= 0 && end >= 0 && begin == std::floor(begin) &&
+            end == std::floor(end) && begin <= 9.0e15 && end <= 9.0e15) {
+          const uint64_t b = static_cast<uint64_t>(begin);
+          const uint64_t e = static_cast<uint64_t>(end);
+          out.rows_hi = std::min(out.rows_hi, e > b ? e - b : 0);
+          if (args[0].RowsExact()) {
+            const uint64_t clamped = std::min(e, args[0].rows_lo);
+            out.SetExactRows(b < clamped ? clamped - b : 0);
+          }
+        }
+      }
       return out;
     }
-    if (name == "sum" || name == "max" || name == "min" || name == "count") {
+    if (name == "sum" || name == "max" || name == "min" || name == "count" ||
+        name == "argmax") {
       if (!arity(1)) return std::nullopt;
       if (!require_bat(0, name)) return std::nullopt;
+      const SType& in = args[0];
       if (name == "count") {
-        if (args[0].rows_known) {
-          return SType::NumVal(static_cast<double>(args[0].rows));
+        if (in.RowsExact()) {
+          return SType::NumVal(static_cast<double>(in.rows_lo));
         }
-        return SType::Num();
+        SType out = SType::Num();
+        out.num_bounds_known = true;
+        out.num_lo = static_cast<double>(in.rows_lo);
+        out.num_hi = in.rows_hi == kCardUnbounded
+                         ? INFINITY
+                         : static_cast<double>(in.rows_hi);
+        return out;
       }
       // Mirror the runtime check order: Min/ArgMax test emptiness before
       // the tail type (Max delegates to ArgMax, hence its messages).
-      if (name != "sum" && args[0].rows_known && args[0].rows == 0) {
+      if (name != "sum" && in.ProvablyEmpty()) {
         Error(name_tok,
               name == "min" ? "Min of empty BAT" : "ArgMax of empty BAT",
               StatusCode::kFailedPrecondition);
         return std::nullopt;
       }
-      if (args[0].tail_known && !args[0].IsNumericTail()) {
+      if (in.tail_known && !in.IsNumericTail()) {
         if (name == "sum") {
           Error(arg_toks[0], "Sum requires a numeric tail");
         } else if (name == "min") {
@@ -704,7 +1191,41 @@ class MilAnalyzer {
         }
         return std::nullopt;
       }
-      return SType::Num();
+      SType out = SType::Num();
+      if (name == "min" || name == "max") {
+        // The result is one of the non-NaN tail values unless the BAT is
+        // all-NaN (then it is NaN) — bounds only when NaN is impossible.
+        if (in.hull_known && !in.hull_empty && !in.maybe_nan) {
+          out.num_bounds_known = true;
+          out.num_lo = in.hull_min;
+          out.num_hi = in.hull_max;
+        }
+      } else if (name == "sum") {
+        if (in.ProvablyEmpty()) return SType::NumVal(0.0);
+        // A sum of c values each inside the hull lies between the extreme
+        // products; one NaN poisons the fold, so bounds need !maybe_nan.
+        if (in.hull_known && !in.hull_empty && !in.maybe_nan &&
+            in.rows_hi != kCardUnbounded) {
+          const double n_lo = static_cast<double>(in.rows_lo);
+          const double n_hi = static_cast<double>(in.rows_hi);
+          double lo = std::min(n_lo * in.hull_min, n_hi * in.hull_min);
+          double hi = std::max(n_lo * in.hull_max, n_hi * in.hull_max);
+          if (in.rows_lo == 0) {
+            lo = std::min(lo, 0.0);
+            hi = std::max(hi, 0.0);
+          }
+          out.num_bounds_known = true;
+          out.num_lo = lo;
+          out.num_hi = hi;
+        }
+      } else {  // argmax: a global row position of the input
+        if (in.rows_hi != kCardUnbounded && in.rows_hi > 0) {
+          out.num_bounds_known = true;
+          out.num_lo = 0.0;
+          out.num_hi = static_cast<double>(in.rows_hi - 1);
+        }
+      }
+      return out;
     }
     Error(name_tok, "unknown MIL function " + name);
     return std::nullopt;
@@ -713,6 +1234,7 @@ class MilAnalyzer {
   MilLexer lexer_;
   const MilAnalysisContext& ctx_;
   DiagnosticList diags_;
+  std::vector<PlanFact> facts_;
   std::vector<MilToken> pushed_;
   int cur_line_ = 1;
   int cur_col_ = 1;
@@ -743,9 +1265,18 @@ class MilAnalyzer {
 
 }  // namespace
 
+MilAnalysis AnalyzeMilScriptWithFacts(const std::string& script,
+                                      const MilAnalysisContext& context) {
+  MilAnalyzer analyzer(script, context);
+  MilAnalysis out;
+  out.diags = analyzer.Run();
+  out.facts = analyzer.TakeFacts();
+  return out;
+}
+
 DiagnosticList AnalyzeMilScript(const std::string& script,
                                 const MilAnalysisContext& context) {
-  return MilAnalyzer(script, context).Run();
+  return AnalyzeMilScriptWithFacts(script, context).diags;
 }
 
 }  // namespace cobra::kernel

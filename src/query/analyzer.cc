@@ -119,37 +119,42 @@ class QueryAnalyzer {
  public:
   explicit QueryAnalyzer(const std::string& text) : lexer_(text) {}
 
-  DiagnosticList Run() {
+  QueryAnalysis Run() {
     QToken tok;
-    if (!Next(&tok)) return std::move(diags_);
+    if (!Next(&tok)) return Finish();
     bool profile = false;
+    bool explain = false;
     if (IsKeyword(tok, "PROFILE")) {
       profile = true;
-      if (!Next(&tok)) return std::move(diags_);
+      if (!Next(&tok)) return Finish();
+    } else if (IsKeyword(tok, "EXPLAIN")) {
+      explain = true;
+      if (!Next(&tok)) return Finish();
     }
     if (!IsKeyword(tok, "RETRIEVE")) {
-      Error(tok, profile ? "expected RETRIEVE after PROFILE"
-                         : "query must start with RETRIEVE");
-      return std::move(diags_);
+      Error(tok, profile   ? "expected RETRIEVE after PROFILE"
+                 : explain ? "expected RETRIEVE after EXPLAIN"
+                           : "query must start with RETRIEVE");
+      return Finish();
     }
-    if (!Next(&tok)) return std::move(diags_);
+    if (!Next(&tok)) return Finish();
     if (tok.kind != QToken::Kind::kWord) {
       Error(tok, "expected event type after RETRIEVE");
-      return std::move(diags_);
+      return Finish();
     }
-    if (!Next(&tok)) return std::move(diags_);
+    if (!Next(&tok)) return Finish();
     if (!IsKeyword(tok, "FROM")) {
       Error(tok, "expected FROM after event type");
-      return std::move(diags_);
+      return Finish();
     }
-    if (!Next(&tok)) return std::move(diags_);
+    if (!Next(&tok)) return Finish();
     if (tok.kind != QToken::Kind::kString && tok.kind != QToken::Kind::kWord) {
       Error(tok, "expected video name after FROM");
-      return std::move(diags_);
+      return Finish();
     }
-    if (!Next(&tok)) return std::move(diags_);
+    if (!Next(&tok)) return Finish();
     if (IsKeyword(tok, "WHERE")) {
-      if (!AnalyzeWhere(&tok)) return std::move(diags_);
+      if (!AnalyzeWhere(&tok, /*secondary=*/false)) return Finish();
     }
 
     static const std::map<std::string, TemporalOp> kTemporalOps = {
@@ -161,33 +166,40 @@ class QueryAnalyzer {
     };
     if (tok.kind == QToken::Kind::kWord &&
         kTemporalOps.count(ToUpperAscii(tok.text)) != 0) {
-      if (!Next(&tok)) return std::move(diags_);
+      if (!Next(&tok)) return Finish();
       if (tok.kind != QToken::Kind::kWord) {
         Error(tok, "expected event type after temporal operator");
-        return std::move(diags_);
+        return Finish();
       }
-      if (!Next(&tok)) return std::move(diags_);
+      if (!Next(&tok)) return Finish();
       if (IsKeyword(tok, "WHERE")) {
-        if (!AnalyzeWhere(&tok)) return std::move(diags_);
+        if (!AnalyzeWhere(&tok, /*secondary=*/true)) return Finish();
       }
     }
 
     if (IsKeyword(tok, "PREFER")) {
-      if (!Next(&tok)) return std::move(diags_);
+      if (!Next(&tok)) return Finish();
       if (!IsKeyword(tok, "QUALITY") && !IsKeyword(tok, "COST")) {
         Error(tok, "expected QUALITY or COST after PREFER");
-        return std::move(diags_);
+        return Finish();
       }
-      if (!Next(&tok)) return std::move(diags_);
+      if (!Next(&tok)) return Finish();
     }
 
     if (tok.kind != QToken::Kind::kEnd) {
       Error(tok, "unexpected trailing token: " + tok.text);
     }
-    return std::move(diags_);
+    return Finish();
   }
 
  private:
+  QueryAnalysis Finish() {
+    QueryAnalysis analysis;
+    analysis.diags = std::move(diags_);
+    analysis.attr_sites = std::move(sites_);
+    return analysis;
+  }
+
   bool Next(QToken* tok) {
     Result<QToken> next = lexer_.Next();
     if (!next.ok()) {
@@ -205,14 +217,16 @@ class QueryAnalyzer {
   }
 
   /// WHERE clause mirror: on entry *tok is the WHERE keyword; on true
-  /// return, *tok is the first token past the clause.
-  bool AnalyzeWhere(QToken* tok) {
+  /// return, *tok is the first token past the clause. Each well-formed
+  /// predicate is recorded as an AttrSite anchored at its attribute token.
+  bool AnalyzeWhere(QToken* tok, bool secondary) {
     if (!Next(tok)) return false;
     for (;;) {
       if (tok->kind != QToken::Kind::kWord) {
         Error(*tok, "expected attribute name in WHERE");
         return false;
       }
+      const QToken attr = *tok;
       const std::string key = ToLowerAscii(tok->text);
       QToken eq;
       if (!Next(&eq)) return false;
@@ -227,6 +241,13 @@ class QueryAnalyzer {
         Error(value, "expected value after '='");
         return false;
       }
+      AttrSite site;
+      site.line = attr.line;
+      site.col = attr.col;
+      site.secondary = secondary;
+      site.key = key;
+      site.value = ToUpperAscii(value.text);
+      sites_.push_back(std::move(site));
       if (!Next(tok)) return false;
       if (!IsKeyword(*tok, "AND")) break;
       if (!Next(tok)) return false;
@@ -236,11 +257,16 @@ class QueryAnalyzer {
 
   QLexer lexer_;
   DiagnosticList diags_;
+  std::vector<AttrSite> sites_;
 };
 
 }  // namespace
 
 DiagnosticList AnalyzeQueryText(const std::string& text) {
+  return QueryAnalyzer(text).Run().diags;
+}
+
+QueryAnalysis AnalyzeQueryTextWithFacts(const std::string& text) {
   return QueryAnalyzer(text).Run();
 }
 

@@ -2,6 +2,7 @@
 #define COBRA_QUERY_ANALYZER_H_
 
 #include <string>
+#include <vector>
 
 #include "base/diag.h"
 #include "base/status.h"
@@ -19,6 +20,28 @@ namespace cobra::query {
 /// parser, let alone an operator. Used by QueryEngine::Execute(text) to
 /// front-run the parser with positioned diagnostics.
 DiagnosticList AnalyzeQueryText(const std::string& text);
+
+/// One WHERE equality predicate with the 1-based position of its attribute
+/// token — the anchor for the plan analyzer's dead-predicate warnings
+/// ("query:L:C: warning: ..."). Key/value carry the parser's normalization
+/// (lowercased key, uppercased value) so EXPLAIN can compare them against
+/// catalog metadata exactly the way execution would.
+struct AttrSite {
+  int line = 1;
+  int col = 1;
+  bool secondary = false;  // predicate of the temporal clause's pattern
+  std::string key;
+  std::string value;
+};
+
+/// AnalyzeQueryText plus the analysis facts EXPLAIN consumes: the position
+/// of every WHERE predicate, in textual order. `attr_sites` is only
+/// meaningful when `diags` is empty (the walk stops at the first error).
+struct QueryAnalysis {
+  DiagnosticList diags;
+  std::vector<AttrSite> attr_sites;
+};
+QueryAnalysis AnalyzeQueryTextWithFacts(const std::string& text);
 
 /// Pre-execution plan verification (the preprocessor's contract, checked
 /// statically): the plan's video must be registered, and both its event

@@ -36,6 +36,222 @@ const char* TemporalOpName(TemporalOp op) {
   return "?";
 }
 
+/// Minimal JSON string escaper for the EXPLAIN export (video names and
+/// warning texts may carry quotes); output always satisfies ValidateJson.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Sentinel for "no static upper bound" (dynamic extraction may materialize
+/// any number of events). Rendered as `*` in text and -1 in JSON, matching
+/// the trace layer's convention.
+constexpr uint64_t kNoBound = ~uint64_t{0};
+
+std::string IntervalText(uint64_t lo, uint64_t hi) {
+  if (hi == kNoBound) {
+    return StrFormat("[%llu,*]", static_cast<unsigned long long>(lo));
+  }
+  return StrFormat("[%llu,%llu]", static_cast<unsigned long long>(lo),
+                   static_cast<unsigned long long>(hi));
+}
+
+/// Static analysis of one event pattern over the catalog's metadata for
+/// `video`: the scan cardinality, the post-filter interval, and one warning
+/// per statically-dead predicate. All facts are exact catalog state — the
+/// interval is sound because rows matching EVERY predicate are a subset of
+/// rows matching each predicate alone.
+struct PatternReport {
+  bool deferred = false;  // no metadata yet: extraction would run at query time
+  uint64_t scan_rows = 0;
+  uint64_t lo = 0;
+  uint64_t hi = kNoBound;
+  std::vector<std::string> warnings;
+};
+
+PatternReport AnalyzePattern(
+    const EventPattern& pattern, model::VideoId video, bool secondary,
+    const std::vector<AttrSite>& sites,
+    const std::function<bool(model::VideoId, const std::string&)>& has_events,
+    const std::function<Result<std::vector<model::EventRecord>>(
+        model::VideoId, const std::string&)>& events) {
+  PatternReport report;
+  if (!has_events(video, pattern.type)) {
+    // VerifyPlan already proved a provider exists; how many events it would
+    // materialize is unknowable statically.
+    report.deferred = true;
+    report.lo = 0;
+    report.hi = kNoBound;
+    return report;
+  }
+  Result<std::vector<model::EventRecord>> rows = events(video, pattern.type);
+  if (!rows.ok()) {
+    // Metadata raced away between has_events and the read; stay sound by
+    // claiming nothing.
+    report.deferred = true;
+    return report;
+  }
+  report.scan_rows = rows->size();
+  report.hi = rows->size();
+  report.lo = pattern.attr_equals.empty() ? rows->size() : 0;
+  for (const auto& [key, value] : pattern.attr_equals) {
+    uint64_t matches = 0;
+    for (const auto& event : *rows) {
+      auto it = event.attrs.find(key);
+      if (it != event.attrs.end() && ToUpperAscii(it->second) == value) {
+        ++matches;
+      }
+    }
+    report.hi = std::min(report.hi, matches);
+    if (matches == 0) {
+      std::string warning = StrFormat(
+          "statically dead predicate: %s = '%s' matches no '%s' event",
+          key.c_str(), value.c_str(), pattern.type.c_str());
+      for (const AttrSite& site : sites) {
+        if (site.secondary == secondary && site.key == key &&
+            site.value == value) {
+          warning = StrFormat("query:%d:%d: warning: %s", site.line, site.col,
+                              warning.c_str());
+          break;
+        }
+      }
+      report.warnings.push_back(std::move(warning));
+    }
+  }
+  return report;
+}
+
+/// Shared body of the three ExecuteExplain overloads; the callbacks abstract
+/// the read surface exactly like VerifyPlanOver.
+Result<QueryResult> ExplainOver(
+    const ParsedQuery& query, const std::vector<AttrSite>& sites,
+    const model::VideoDescriptor& video,
+    const std::function<bool(model::VideoId, const std::string&)>& has_events,
+    const std::function<Result<std::vector<model::EventRecord>>(
+        model::VideoId, const std::string&)>& events) {
+  QueryResult result;
+  std::string text =
+      StrFormat("explain: type=%s video=%s (static analysis only; nothing "
+                "executed)\n",
+                query.primary.type.c_str(), query.video.c_str());
+  std::string json = StrFormat("{\"explain\":{\"video\":\"%s\",\"operators\":[",
+                               JsonEscape(query.video).c_str());
+  std::vector<std::string> warnings;
+
+  auto emit = [&text, &json](const char* op, const std::string& type_or_detail,
+                             uint64_t lo, uint64_t hi, bool first) {
+    text += StrFormat("  %s %s static=%s\n", op, type_or_detail.c_str(),
+                      IntervalText(lo, hi).c_str());
+    if (!first) json += ',';
+    json += StrFormat("{\"op\":\"%s\",\"detail\":\"%s\",\"static_lo\":%llu,",
+                      op, JsonEscape(type_or_detail).c_str(),
+                      static_cast<unsigned long long>(lo));
+    json += hi == kNoBound
+                ? std::string("\"static_hi\":-1}")
+                : StrFormat("\"static_hi\":%llu}",
+                            static_cast<unsigned long long>(hi));
+  };
+
+  const PatternReport primary = AnalyzePattern(
+      query.primary, video.id, /*secondary=*/false, sites, has_events, events);
+  const std::string primary_scan =
+      primary.deferred
+          ? StrFormat("type=%s events=? (dynamic extraction deferred to a "
+                      "live query)",
+                      query.primary.type.c_str())
+          : StrFormat("type=%s events=%llu", query.primary.type.c_str(),
+                      static_cast<unsigned long long>(primary.scan_rows));
+  emit("scan", primary_scan, primary.deferred ? 0 : primary.scan_rows,
+       primary.deferred ? kNoBound : primary.scan_rows, /*first=*/true);
+  emit("filter", "type=" + query.primary.type, primary.lo, primary.hi,
+       /*first=*/false);
+  for (const std::string& w : primary.warnings) warnings.push_back(w);
+
+  uint64_t final_lo = primary.lo;
+  uint64_t final_hi = primary.hi;
+  if (query.temporal_op != TemporalOp::kNone) {
+    const PatternReport secondary =
+        AnalyzePattern(query.secondary, video.id, /*secondary=*/true, sites,
+                       has_events, events);
+    const std::string secondary_scan =
+        secondary.deferred
+            ? StrFormat("type=%s events=? (dynamic extraction deferred to a "
+                        "live query)",
+                        query.secondary.type.c_str())
+            : StrFormat("type=%s events=%llu", query.secondary.type.c_str(),
+                        static_cast<unsigned long long>(secondary.scan_rows));
+    emit("scan", secondary_scan, secondary.deferred ? 0 : secondary.scan_rows,
+         secondary.deferred ? kNoBound : secondary.scan_rows, /*first=*/false);
+    emit("filter", "type=" + query.secondary.type, secondary.lo, secondary.hi,
+         /*first=*/false);
+    for (const std::string& w : secondary.warnings) warnings.push_back(w);
+    // The temporal semijoin keeps a subset of the filtered primaries, and
+    // keeps none when the secondary side is provably empty.
+    final_lo = 0;
+    final_hi = secondary.hi == 0 ? 0 : primary.hi;
+    emit("temporal_join",
+         StrFormat("op=%s", TemporalOpName(query.temporal_op)), final_lo,
+         final_hi, /*first=*/false);
+  }
+
+  text += StrFormat("  result static=%s\n",
+                    IntervalText(final_lo, final_hi).c_str());
+  for (const std::string& w : warnings) {
+    text += w;
+    text += '\n';
+  }
+  if (final_hi == 0) {
+    text += "note: provably empty result — execution would return 0 "
+            "segments\n";
+  }
+
+  json += StrFormat("],\"result\":{\"static_lo\":%llu,",
+                    static_cast<unsigned long long>(final_lo));
+  json += final_hi == kNoBound
+              ? std::string("\"static_hi\":-1}")
+              : StrFormat("\"static_hi\":%llu}",
+                          static_cast<unsigned long long>(final_hi));
+  json += ",\"warnings\":[";
+  for (size_t i = 0; i < warnings.size(); ++i) {
+    if (i > 0) json += ',';
+    json += '"';
+    json += JsonEscape(warnings[i]);
+    json += '"';
+  }
+  json += StrFormat("],\"provably_empty\":%s}}",
+                    final_hi == 0 ? "true" : "false");
+
+  result.profile_text = std::move(text);
+  result.profile_json = std::move(json);
+  return result;
+}
+
 }  // namespace
 
 /// Read-surface interface the shared evaluator executes against. The two
@@ -144,8 +360,10 @@ Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
   // line:column diagnostics, before the parser (let alone any operator)
   // runs. A text the analyzer accepts always parses (analyzer_test pins
   // accept-parity over the fuzz corpora).
-  COBRA_RETURN_IF_ERROR(AnalyzeQueryText(query_text).ToStatus("query"));
+  const QueryAnalysis analysis = AnalyzeQueryTextWithFacts(query_text);
+  COBRA_RETURN_IF_ERROR(analysis.diags.ToStatus("query"));
   COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  if (parsed.explain) return ExecuteExplain(parsed, analysis.attr_sites);
   return Execute(parsed);
 }
 
@@ -419,6 +637,8 @@ void QueryEngine::CacheStore(const std::string& key,
 }
 
 Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
+  // EXPLAIN without source text: same static report, unpositioned warnings.
+  if (query.explain) return ExecuteExplain(query, {});
   if (!query.profile) return ExecuteImpl(query, exec_);
   // PROFILE: run under a per-query sink and attach its exports. The sink
   // lives on the stack — profiles are never stored in the result cache.
@@ -524,6 +744,12 @@ Result<std::vector<model::EventRecord>> QueryEngine::EvaluateOver(
     if (filter.enabled()) filter.Detail("type=" + query.primary.type);
     filter.RowsIn(primary_events.size());
     filter.Morsels(qctx.NumMorsels(primary_events.size()));
+    // Static interval from the scan cardinality (a catalog fact): exact
+    // with no predicates, [0, n] otherwise — PROFILE shows it next to the
+    // observed rows_out, and the differential harness pins containment.
+    filter.StaticCard(
+        query.primary.attr_equals.empty() ? primary_events.size() : 0,
+        primary_events.size());
     filtered = FilterEvents(qctx, primary_events, [&query](const auto& e) {
       return MatchesPattern(e, query.primary);
     });
@@ -551,6 +777,9 @@ Result<std::vector<model::EventRecord>> QueryEngine::EvaluateOver(
       if (filter.enabled()) filter.Detail("type=" + query.secondary.type);
       filter.RowsIn(secondary_events.size());
       filter.Morsels(qctx.NumMorsels(secondary_events.size()));
+      filter.StaticCard(
+          query.secondary.attr_equals.empty() ? secondary_events.size() : 0,
+          secondary_events.size());
       secondary = FilterEvents(qctx, secondary_events, [&query](const auto& e) {
         return MatchesPattern(e, query.secondary);
       });
@@ -564,6 +793,9 @@ Result<std::vector<model::EventRecord>> QueryEngine::EvaluateOver(
     }
     join.RowsIn(filtered.size() + secondary.size());
     join.Morsels(qctx.NumMorsels(filtered.size()));
+    // A semijoin keeps a subset of the filtered primaries; none survive
+    // when the secondary side is empty.
+    join.StaticCard(0, secondary.empty() ? 0 : filtered.size());
     std::vector<model::EventRecord> joined =
         FilterEvents(qctx, filtered, [&](const auto& p) {
           for (const auto& s : secondary) {
@@ -593,13 +825,18 @@ Result<QueryResult> QueryEngine::ExecuteSnapshot(
     return Status::FailedPrecondition(
         verb + " is a storage command — snapshot reads are read-only");
   }
-  COBRA_RETURN_IF_ERROR(AnalyzeQueryText(query_text).ToStatus("query"));
+  const QueryAnalysis analysis = AnalyzeQueryTextWithFacts(query_text);
+  COBRA_RETURN_IF_ERROR(analysis.diags.ToStatus("query"));
   COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  if (parsed.explain) {
+    return ExecuteExplain(parsed, analysis.attr_sites, snapshot);
+  }
   return ExecuteSnapshot(parsed, snapshot);
 }
 
 Result<QueryResult> QueryEngine::ExecuteSnapshot(
     const ParsedQuery& query, const CatalogSnapshot& snapshot) const {
+  if (query.explain) return ExecuteExplain(query, {}, snapshot);
   if (!query.profile) return ExecuteSnapshot(query, snapshot, exec_);
   // PROFILE under a per-query sink, exactly like the live path.
   trace::TraceSink sink;
@@ -628,13 +865,18 @@ Result<QueryResult> QueryEngine::ExecuteSnapshot(
     return Status::FailedPrecondition(
         verb + " is a storage command — snapshot reads are read-only");
   }
-  COBRA_RETURN_IF_ERROR(AnalyzeQueryText(query_text).ToStatus("query"));
+  const QueryAnalysis analysis = AnalyzeQueryTextWithFacts(query_text);
+  COBRA_RETURN_IF_ERROR(analysis.diags.ToStatus("query"));
   COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  if (parsed.explain) {
+    return ExecuteExplain(parsed, analysis.attr_sites, snapshots);
+  }
   return ExecuteSnapshot(parsed, snapshots);
 }
 
 Result<QueryResult> QueryEngine::ExecuteSnapshot(
     const ParsedQuery& query, const ShardedSnapshotSet& snapshots) const {
+  if (query.explain) return ExecuteExplain(query, {}, snapshots);
   if (snapshots.empty()) {
     return Status::InvalidArgument(
         "sharded snapshot read needs at least one shard snapshot");
@@ -646,6 +888,57 @@ Result<QueryResult> QueryEngine::ExecuteSnapshot(
   // name, keeping the NotFound message byte-identical to single-catalog.
   const CatalogSnapshot& owner = snapshots.shard(snapshots.OwnerOf(query.video));
   COBRA_ASSIGN_OR_RETURN(QueryResult result, ExecuteSnapshot(query, owner));
+  result.info = snapshots.EpochStamp();
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteExplain(
+    const ParsedQuery& query, const std::vector<AttrSite>& sites) const {
+  // Identical failure surface to execution: an unknown video or an
+  // unsatisfiable event type fails here exactly as Execute would.
+  COBRA_RETURN_IF_ERROR(VerifyPlan(query, *catalog_, *registry_));
+  COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
+                         catalog_->FindVideo(query.video));
+  return ExplainOver(
+      query, sites, video,
+      [this](model::VideoId id, const std::string& type) {
+        return catalog_->HasEvents(id, type);
+      },
+      [this](model::VideoId id, const std::string& type) {
+        return catalog_->Events(id, type);
+      });
+}
+
+Result<QueryResult> QueryEngine::ExecuteExplain(
+    const ParsedQuery& query, const std::vector<AttrSite>& sites,
+    const CatalogSnapshot& snapshot) const {
+  COBRA_RETURN_IF_ERROR(VerifyPlan(query, snapshot, *registry_));
+  COBRA_ASSIGN_OR_RETURN(model::VideoDescriptor video,
+                         snapshot.FindVideo(query.video));
+  return ExplainOver(
+      query, sites, video,
+      [&snapshot](model::VideoId id, const std::string& type) {
+        return snapshot.HasEvents(id, type);
+      },
+      [&snapshot](model::VideoId id, const std::string& type) {
+        return snapshot.Events(id, type);
+      });
+}
+
+Result<QueryResult> QueryEngine::ExecuteExplain(
+    const ParsedQuery& query, const std::vector<AttrSite>& sites,
+    const ShardedSnapshotSet& snapshots) const {
+  if (snapshots.empty()) {
+    return Status::InvalidArgument(
+        "sharded snapshot read needs at least one shard snapshot");
+  }
+  // Same routing as execution: the whole plan is analyzed on the one shard
+  // owning the video, and the response is stamped with the read set's epoch
+  // vector. The report itself is byte-identical to the unsharded snapshot.
+  const CatalogSnapshot& owner =
+      snapshots.shard(snapshots.OwnerOf(query.video));
+  COBRA_ASSIGN_OR_RETURN(QueryResult result,
+                         ExecuteExplain(query, sites, owner));
   result.info = snapshots.EpochStamp();
   return result;
 }

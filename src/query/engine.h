@@ -16,6 +16,7 @@
 #include "cobra/video_model.h"
 #include "extensions/extension.h"
 #include "kernel/exec_context.h"
+#include "query/analyzer.h"
 #include "query/parser.h"
 
 namespace cobra::query {
@@ -113,6 +114,28 @@ class QueryEngine {
   Result<QueryResult> ExecuteSnapshot(const ParsedQuery& query,
                                       const CatalogSnapshot& snapshot,
                                       const kernel::ExecContext& exec) const;
+
+  /// EXPLAIN: the plan analyzer's static report, built from catalog facts
+  /// only — per-operator cardinality intervals `static=[lo,hi]` (hi `*`
+  /// when dynamic extraction makes the bound unknowable), positioned
+  /// dead-predicate warnings, and a provably-empty note when the hull
+  /// proves zero result rows. NOTHING executes: no extraction, no result
+  /// cache, no algebra; `segments` is always empty and the report rides in
+  /// QueryResult::profile_text (with a stable-schema JSON rendering in
+  /// profile_json). `sites` — from AnalyzeQueryTextWithFacts — anchors each
+  /// warning at its predicate's line:column; pass {} when the query did not
+  /// come from text (warnings are then unpositioned but otherwise
+  /// identical). The three overloads differ only in the read surface, and
+  /// for identical catalog state produce byte-identical reports — the
+  /// parity the server tests pin across transports.
+  Result<QueryResult> ExecuteExplain(const ParsedQuery& query,
+                                     const std::vector<AttrSite>& sites) const;
+  Result<QueryResult> ExecuteExplain(const ParsedQuery& query,
+                                     const std::vector<AttrSite>& sites,
+                                     const CatalogSnapshot& snapshot) const;
+  Result<QueryResult> ExecuteExplain(const ParsedQuery& query,
+                                     const std::vector<AttrSite>& sites,
+                                     const ShardedSnapshotSet& snapshots) const;
 
   /// Sharded snapshot read: evaluates the query against the shard of
   /// `snapshots` that owns the plan's video (videos are partitioned across

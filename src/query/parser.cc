@@ -108,11 +108,18 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
   if (IsKeyword(tok, "PROFILE")) {
     query.profile = true;
     COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  } else if (IsKeyword(tok, "EXPLAIN")) {
+    query.explain = true;
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
   }
   if (!IsKeyword(tok, "RETRIEVE")) {
-    return Status::InvalidArgument(query.profile
-                                       ? "expected RETRIEVE after PROFILE"
-                                       : "query must start with RETRIEVE");
+    if (query.profile) {
+      return Status::InvalidArgument("expected RETRIEVE after PROFILE");
+    }
+    if (query.explain) {
+      return Status::InvalidArgument("expected RETRIEVE after EXPLAIN");
+    }
+    return Status::InvalidArgument("query must start with RETRIEVE");
   }
   COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
   if (tok.kind != Token::Kind::kWord) {

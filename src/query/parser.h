@@ -32,7 +32,7 @@ struct EventPattern {
 
 /// Parsed form of the retrieval language:
 ///
-///   [PROFILE] RETRIEVE <type> FROM '<video>'
+///   [PROFILE|EXPLAIN] RETRIEVE <type> FROM '<video>'
 ///     [WHERE <key> = '<value>' {AND <key> = '<value>'}]
 ///     [DURING|OVERLAPPING|BEFORE|AFTER|CONTAINING <type2>
 ///        [WHERE <key> = '<value>' {AND ...}]]
@@ -41,6 +41,7 @@ struct EventPattern {
 /// e.g.  RETRIEVE highlight FROM 'german-gp' WHERE driver = 'SCHUMACHER'
 ///       RETRIEVE pitstop FROM 'usa-gp' DURING highlight PREFER COST
 ///       PROFILE RETRIEVE highlight FROM 'german-gp'
+///       EXPLAIN RETRIEVE highlight FROM 'german-gp' WHERE driver = 'SENNA'
 struct ParsedQuery {
   EventPattern primary;
   std::string video;
@@ -51,6 +52,12 @@ struct ParsedQuery {
   /// (QueryResult::profile_text / profile_json). Not part of the plan — a
   /// profiled query shares its result-cache entry with the plain form.
   bool profile = false;
+  /// EXPLAIN prefix: do NOT execute — return the plan analyzer's static
+  /// report (per-operator cardinality intervals seeded from catalog facts,
+  /// dead-predicate warnings, provably-empty notes) in
+  /// QueryResult::profile_text / profile_json. No extraction runs, the
+  /// result cache is never consulted, and `segments` is always empty.
+  bool explain = false;
 };
 
 /// Parses the retrieval language; returns InvalidArgument with a pointed

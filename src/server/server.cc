@@ -169,6 +169,22 @@ protocol::Response QueryServer::ExecuteAdmitted(
   exec.trace = nullptr;
   exec.trace_parent = nullptr;
 
+  if (parsed->explain) {
+    // EXPLAIN through the server: the engine's static report — cardinality
+    // intervals and positioned dead-predicate warnings, byte-identical to a
+    // direct engine call over the same snapshot — rides the profile field.
+    // Nothing executes, so no request span tree is built around it.
+    const query::QueryAnalysis analysis =
+        query::AnalyzeQueryTextWithFacts(query);
+    Result<query::QueryResult> result =
+        engine_->ExecuteExplain(*parsed, analysis.attr_sites, *snapshot);
+    if (!result.ok()) return fail(result.status());
+    response.profile = result->profile_text;
+    response.ok = true;
+    response.segments = protocol::EncodeSegments(result->segments);
+    return response;
+  }
+
   if (parsed->profile) {
     // PROFILE through the server: the request root span carries the serving
     // attributes (session, snapshot identity); the engine's query.execute

@@ -11,6 +11,7 @@
 //      every valid input (the randomized side of this property runs in
 //      differential_test.cc across the full seed range).
 
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -343,6 +344,198 @@ TEST_F(MilAnalyzerTest, LoadMakesTheCatalogConservative) {
             std::string::npos);
 }
 
+// -- Abstract interpretation: PlanFacts and dead-predicate warnings ---------
+
+class MilFactsTest : public MilAnalyzerTest {
+ protected:
+  MilAnalysis AnalyzeFacts(const std::string& script) {
+    return AnalyzeMilScriptWithFacts(script, ctx_);
+  }
+
+  /// First fact for the given operator name (fails when absent).
+  PlanFact FactFor(const MilAnalysis& analysis, const std::string& op) {
+    for (const PlanFact& f : analysis.facts) {
+      if (f.op == op) return f;
+    }
+    ADD_FAILURE() << "no fact for op " << op;
+    return PlanFact{};
+  }
+};
+
+TEST_F(MilFactsTest, SelectIntervalIsBoundedByTheInput) {
+  // 'values' holds 10 rows: the select's output is a subset, so [0, 10].
+  MilAnalysis a = AnalyzeFacts("PRINT count(select(bat('values'), 0.0, 1.0));");
+  EXPECT_TRUE(a.diags.ok());
+  const PlanFact f = FactFor(a, "select");
+  EXPECT_EQ(f.rows_lo, 0u);
+  EXPECT_EQ(f.rows_hi, 10u);
+  EXPECT_FALSE(f.provably_empty);
+  EXPECT_GE(f.line, 1);
+  EXPECT_GE(f.col, 1);
+}
+
+TEST_F(MilFactsTest, HullMissIsProvablyEmptyWithWarning) {
+  // Hull of 'values' is [0, 0.9]; the range [5, 9] misses it entirely.
+  MilAnalysis a = AnalyzeFacts("PRINT count(select(bat('values'), 5.0, 9.0));");
+  EXPECT_TRUE(a.diags.ok());  // a dead predicate is a warning, not an error
+  EXPECT_GE(a.diags.warning_count(), 1u);
+  bool found = false;
+  for (const Diagnostic& d : a.diags.diagnostics()) {
+    if (d.message.find("misses the input value hull") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  const PlanFact f = FactFor(a, "select");
+  EXPECT_TRUE(f.provably_empty);
+  EXPECT_EQ(f.rows_hi, 0u);
+}
+
+TEST_F(MilFactsTest, EmptyRangeIsProvablyEmpty) {
+  MilAnalysis a = AnalyzeFacts("PRINT count(select(bat('values'), 2.0, 1.0));");
+  EXPECT_TRUE(a.diags.ok());
+  bool found = false;
+  for (const Diagnostic& d : a.diags.diagnostics()) {
+    if (d.message.find("never matches") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(FactFor(a, "select").provably_empty);
+}
+
+TEST_F(MilFactsTest, DictionaryMissIsProvablyEmpty) {
+  // 'names' holds {alpha, beta}: a probe outside the dictionary is dead.
+  MilAnalysis a = AnalyzeFacts("PRINT count(select(bat('names'), 'zzz'));");
+  EXPECT_TRUE(a.diags.ok());
+  bool found = false;
+  for (const Diagnostic& d : a.diags.diagnostics()) {
+    if (d.message.find("misses the input dictionary") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  const PlanFact f = FactFor(a, "select");
+  EXPECT_TRUE(f.provably_empty);
+  EXPECT_EQ(f.rows_hi, 0u);
+}
+
+TEST_F(MilFactsTest, SingleShardProofCarriesSliceBoundaries) {
+  // On a 2-shard grid with unit morsels, rows [0,5) hold 0.0..0.4 and rows
+  // [5,10) hold 0.5..0.9: the range [0, 0.05] can only match shard 0.
+  ctx_.morsel_rows = 1;
+  MilAnalysis a = AnalyzeFacts(
+      "shards(2);\nPRINT count(select(bat('values'), 0.0, 0.05));");
+  EXPECT_TRUE(a.diags.ok()) << a.diags.ToString("mil");
+  const PlanFact f = FactFor(a, "select");
+  EXPECT_FALSE(f.provably_empty);
+  EXPECT_EQ(f.single_shard, 0);
+  EXPECT_EQ(f.single_shard_of, 2u);
+  EXPECT_EQ(f.shard_begin, 0u);
+  EXPECT_EQ(f.shard_end, 5u);
+}
+
+TEST_F(MilFactsTest, ZoneMapGapProvesEmptyAcrossAllShards) {
+  // The range [0.42, 0.48] sits inside the global hull [0, 0.9] but in the
+  // gap between shard 0's zone map [0, 0.4] and shard 1's [0.5, 0.9] — only
+  // the per-shard analysis can prove it dead.
+  ctx_.morsel_rows = 1;
+  MilAnalysis a = AnalyzeFacts(
+      "shards(2);\nPRINT count(select(bat('values'), 0.42, 0.48));");
+  EXPECT_TRUE(a.diags.ok());
+  bool found = false;
+  for (const Diagnostic& d : a.diags.diagnostics()) {
+    if (d.message.find("every shard's zone map misses") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(FactFor(a, "select").provably_empty);
+}
+
+TEST_F(MilFactsTest, UnsafeNarrowIntervalsSeamHalvesUpperBounds) {
+  ctx_.unsafe_narrow_intervals = true;
+  MilAnalysis a = AnalyzeFacts("PRINT count(select(bat('values'), 0.0, 1.0));");
+  const PlanFact f = FactFor(a, "select");
+  EXPECT_EQ(f.rows_hi, 5u);  // 10 halved: deliberately unsound
+}
+
+TEST_F(MilFactsTest, FactsAndDiagnosticsMatchThePlainAnalyzer) {
+  // AnalyzeMilScript is AnalyzeMilScriptWithFacts minus the facts: the
+  // diagnostics must be identical on the same input.
+  const char* scripts[] = {
+      "PRINT count(select(bat('values'), 5.0, 9.0));",
+      "PRINT nope;",
+      "VAR f := bat('values'); PRINT sum(f);",
+  };
+  for (const char* script : scripts) {
+    const DiagnosticList plain = AnalyzeMilScript(script, ctx_);
+    const MilAnalysis facts = AnalyzeMilScriptWithFacts(script, ctx_);
+    EXPECT_EQ(plain.ToString("mil"), facts.diags.ToString("mil")) << script;
+  }
+}
+
+// Warning corpus for the new diagnostics: every entry must still be
+// accepted (warnings never reject) with at least one warning attached.
+TEST_F(MilFactsTest, WarningCorpusAcceptedWithWarnings) {
+  const char* corpus[] = {
+      "PRINT count(select(bat('values'), 5.0, 9.0));",   // hull miss
+      "PRINT count(select(bat('values'), 2.0, 1.0));",   // empty range
+      "PRINT count(select(bat('names'), 'zzz'));",       // dictionary miss
+      "PRINT count(select(new('dbl'), 0.0, 1.0));",      // empty input
+      "PRINT count(select(select(bat('values'), 5.0, 9.0), 0.0, 9.0));",
+  };
+  for (const char* script : corpus) {
+    DiagnosticList diags = Analyze(script);
+    EXPECT_TRUE(diags.ok()) << script << "\n" << diags.ToString("mil");
+    EXPECT_GE(diags.warning_count(), 1u) << script;
+    // And the session still executes the script (the rewrites only skip
+    // work, never fail it).
+    MilSession session(&catalog_);
+    EXPECT_TRUE(session.Execute(script).ok()) << script;
+  }
+}
+
+// Interval-overflow edge corpus: bounds at the INT64 extremes, a -0.0/0.0
+// hull boundary, and an all-NaN input hull. Every entry must be accepted,
+// warn exactly when the predicate is provably dead, and still execute.
+TEST_F(MilFactsTest, IntervalEdgeCorpusStaysSoundAtNumericExtremes) {
+  auto nans = catalog_.Create("nans", TailType::kFloat);
+  ASSERT_TRUE(nans.ok());
+  for (int i = 0; i < 4; ++i) {
+    (*nans)->AppendFloat(static_cast<Oid>(i), std::nan(""));
+  }
+
+  struct Case {
+    const char* script;
+    bool dead;  // a provably-dead warning is expected
+  };
+  const Case corpus[] = {
+      // The INT64 extremes contain any hull: selects everything, no warning.
+      {"PRINT count(select(bat('values'), -9223372036854775808.0, "
+       "9223372036854775807.0));",
+       false},
+      // A degenerate range at the upper extreme misses the hull entirely.
+      {"PRINT count(select(bat('values'), 9223372036854775807.0, "
+       "9223372036854775807.0));",
+       true},
+      // -0.0 == 0.0: the hull starts at 0.0, so this must NOT be flagged.
+      {"PRINT count(select(bat('values'), -0.0, 0.0));", false},
+      // An all-NaN input has an empty hull: any range select is dead.
+      {"PRINT count(select(bat('nans'), 0.0, 1.0));", true},
+  };
+  for (const Case& c : corpus) {
+    DiagnosticList diags = Analyze(c.script);
+    EXPECT_TRUE(diags.ok()) << c.script << "\n" << diags.ToString("mil");
+    EXPECT_EQ(diags.warning_count() >= 1, c.dead) << c.script;
+    if (c.dead) {
+      PlanFact fact = FactFor(AnalyzeFacts(c.script), "select");
+      EXPECT_TRUE(fact.provably_empty) << c.script;
+      EXPECT_EQ(fact.rows_hi, 0u) << c.script;
+    }
+    MilSession session(&catalog_);
+    EXPECT_TRUE(session.Execute(c.script).ok()) << c.script;
+  }
+}
+
 // -- MilSession integration: the verifier gates execution -------------------
 
 class MilSessionVerifyTest : public MilAnalyzerTest {
@@ -425,6 +618,9 @@ const char* kValidQueries[] = {
     "retrieve pitstop from 'x' where driver = 'alesi'",
     "PROFILE RETRIEVE highlight FROM 'german-gp'",
     "RETRIEVE h FROM 'x' DURING caption PREFER QUALITY",
+    "EXPLAIN RETRIEVE highlight FROM 'german-gp'",
+    "explain retrieve caption from 'usa-gp' where driver = 'Montoya'",
+    "EXPLAIN RETRIEVE h FROM 'x' DURING caption WHERE kind = 'pitstop'",
 };
 
 // The malformed corpus from query_test.cc's MalformedInputCorpus.
@@ -449,6 +645,10 @@ const char* kMalformedQueries[] = {
     "RETRIEVE h FROM 'x' WHERE driver = 'unterminated",
     "RETRIEVE h FROM 'x' %",
     "??",
+    "EXPLAIN",
+    "EXPLAIN EXPLAIN RETRIEVE h FROM 'x'",
+    "EXPLAIN PROFILE RETRIEVE h FROM 'x'",
+    "PROFILE EXPLAIN RETRIEVE h FROM 'x'",
 };
 
 TEST(QueryAnalyzerTest, ValidQueriesPass) {
@@ -507,6 +707,38 @@ TEST(QueryAnalyzerTest, PositionsAreExact) {
     EXPECT_EQ(diags.diagnostics().front().line, 2);
     EXPECT_EQ(diags.diagnostics().front().col, 24);
   }
+}
+
+TEST(QueryAnalyzerTest, AttrSitesCarryPositionsAndNormalizedText) {
+  const QueryAnalysis analysis = AnalyzeQueryTextWithFacts(
+      "RETRIEVE caption FROM 'x' WHERE Driver = 'Montoya' AND kind = pitstop\n"
+      "DURING highlight WHERE lap = '56'");
+  ASSERT_TRUE(analysis.diags.ok());
+  ASSERT_EQ(analysis.attr_sites.size(), 3u);
+
+  const AttrSite& driver = analysis.attr_sites[0];
+  EXPECT_EQ(driver.line, 1);
+  EXPECT_EQ(driver.col, 33);  // the attribute token, not the WHERE keyword
+  EXPECT_FALSE(driver.secondary);
+  EXPECT_EQ(driver.key, "driver");      // lowercased, as the parser stores it
+  EXPECT_EQ(driver.value, "MONTOYA");   // uppercased, as the matcher compares
+
+  EXPECT_EQ(analysis.attr_sites[1].key, "kind");
+  EXPECT_EQ(analysis.attr_sites[1].value, "PITSTOP");
+  EXPECT_FALSE(analysis.attr_sites[1].secondary);
+
+  const AttrSite& lap = analysis.attr_sites[2];
+  EXPECT_EQ(lap.line, 2);
+  EXPECT_TRUE(lap.secondary);
+  EXPECT_EQ(lap.key, "lap");
+  EXPECT_EQ(lap.value, "56");
+}
+
+TEST(QueryAnalyzerTest, RejectedQueriesYieldNoAttrSites) {
+  const QueryAnalysis analysis =
+      AnalyzeQueryTextWithFacts("RETRIEVE h FROM 'x' WHERE driver =");
+  EXPECT_FALSE(analysis.diags.ok());
+  EXPECT_TRUE(analysis.attr_sites.empty());
 }
 
 // -- VerifyPlan + engine wiring ---------------------------------------------
@@ -620,6 +852,76 @@ TEST_F(EngineVerifyTest, VerifiedQueriesStillExecuteAndCache) {
   auto second = engine_.Execute("RETRIEVE highlight FROM 'race'");
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->cache_hit);
+}
+
+// -- EXPLAIN: the static-only report ----------------------------------------
+
+TEST_F(EngineVerifyTest, ExplainReportsIntervalsWithoutExecuting) {
+  auto result = engine_.Execute("EXPLAIN RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result->segments.empty());  // nothing executed
+  EXPECT_FALSE(result->extracted_dynamically);
+  EXPECT_NE(result->profile_text.find("explain:"), std::string::npos);
+  EXPECT_NE(result->profile_text.find("static=["), std::string::npos);
+  EXPECT_NE(result->profile_json.find("\"explain\""), std::string::npos);
+  // Static analysis only: the result cache was never touched.
+  const CacheStats stats = engine_.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(EngineVerifyTest, ExplainFlagsDeadPredicatesWithPositions) {
+  // The stored highlight has no attributes, so driver='Bob' matches no
+  // event: the predicate is statically dead, positioned at its attribute
+  // token, and the result is provably empty.
+  auto result = engine_.Execute(
+      "EXPLAIN RETRIEVE highlight FROM 'race' WHERE driver = 'Bob'");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_NE(result->profile_text.find("query:1:46: warning:"),
+            std::string::npos)
+      << result->profile_text;
+  EXPECT_NE(result->profile_text.find("statically dead predicate"),
+            std::string::npos);
+  EXPECT_NE(result->profile_text.find("provably empty"), std::string::npos);
+  EXPECT_NE(result->profile_json.find("\"provably_empty\":true"),
+            std::string::npos)
+      << result->profile_json;
+}
+
+TEST_F(EngineVerifyTest, ExplainDefersUnextractedTypesWithUnboundedInterval) {
+  // flyout has a provider but no stored metadata: EXPLAIN must not trigger
+  // extraction, so the interval is unbounded and the report says why.
+  RegisterProvider("flyout");
+  auto result = engine_.Execute("EXPLAIN RETRIEVE flyout FROM 'race'");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_NE(result->profile_text.find("deferred"), std::string::npos);
+  EXPECT_NE(result->profile_text.find("static=[0,*]"), std::string::npos)
+      << result->profile_text;
+  // EXPLAIN never ran the provider: the catalog still has no flyout events.
+  EXPECT_FALSE(videos_.HasEvents(video_, "flyout"));
+}
+
+TEST_F(EngineVerifyTest, ExplainStillVerifiesThePlan) {
+  EXPECT_EQ(engine_.Execute("EXPLAIN RETRIEVE highlight FROM 'nope'")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      engine_.Execute("EXPLAIN RETRIEVE flyout FROM 'race'").status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(EngineVerifyTest, ExplainIsDeterministic) {
+  const char* text =
+      "EXPLAIN RETRIEVE highlight FROM 'race' DURING caption WHERE kind = "
+      "'pitstop'";
+  auto first = engine_.Execute(text);
+  auto second = engine_.Execute(text);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->profile_text, second->profile_text);
+  EXPECT_EQ(first->profile_json, second->profile_json);
 }
 
 }  // namespace

@@ -32,6 +32,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <utility>
@@ -108,6 +109,25 @@ void ExpectSameBat(const Bat& expected, const Bat& actual) {
 
 constexpr TailType kAllTypes[] = {TailType::kInt, TailType::kFloat,
                                   TailType::kStr, TailType::kOid};
+
+/// Containment walk: every span the plan analyzer stamped with a static
+/// cardinality interval must contain the observed row count. Returns the
+/// number of stamped spans so callers can assert the walk saw any.
+size_t ExpectStaticContainment(const trace::TraceSink& sink) {
+  size_t stamped = 0;
+  std::function<void(const trace::Span&)> walk = [&](const trace::Span& span) {
+    if (span.has_static_card) {
+      ++stamped;
+      EXPECT_LE(span.static_lo, span.rows_out)
+          << span.name << ": rows_out below its static interval";
+      EXPECT_GE(span.static_hi, span.rows_out)
+          << span.name << ": rows_out above its static interval";
+    }
+    for (const auto& child : span.children) walk(*child);
+  };
+  for (const auto& root : sink.roots()) walk(*root);
+  return stamped;
+}
 
 /// Seeded input generator. Tails are duplicate-heavy (small palettes) so
 /// selects, joins, and grouping hit real collisions across morsel
@@ -414,6 +434,29 @@ TEST_P(DifferentialTest, MilScriptsVerifyAndAgreeAcrossPlans) {
     EXPECT_EQ(reference, *out);
   }
 
+  // Static-analysis legs of the harness: (a) a session with the
+  // analyzer-driven rewrites disabled must print exactly the same bytes —
+  // the provable-empty and single-shard rewrites are pure optimizations;
+  // (b) a traced session must pass the containment walk — every static
+  // interval the abstract interpreter stamped on a span contains the
+  // observed row count.
+  {
+    MilSession norewrite(&catalog);
+    norewrite.set_exec(PlanCtx(kPlans[0]));
+    norewrite.set_disable_static_rewrites(true);
+    auto out = norewrite.Execute(script);
+    ASSERT_TRUE(out.ok()) << out.status().message();
+    EXPECT_EQ(reference, *out);
+
+    MilSession traced(&catalog);
+    traced.set_exec(PlanCtx(kPlans[0]));
+    auto tout = traced.Execute("trace on;\n" + script);
+    ASSERT_TRUE(tout.ok()) << tout.status().message();
+    EXPECT_EQ(reference, *tout);
+    ASSERT_NE(traced.trace_sink(), nullptr);
+    EXPECT_GT(ExpectStaticContainment(*traced.trace_sink()), size_t{0});
+  }
+
   // Sharded deployments: the same script under a shards(2|7) prologue must
   // pass the analyzer (verdict parity with the unsharded script) and print
   // exactly the unsharded reference under every plan.
@@ -435,6 +478,24 @@ TEST_P(DifferentialTest, MilScriptsVerifyAndAgreeAcrossPlans) {
                             << out.status().message();
       EXPECT_EQ(reference, *out);
     }
+
+    // Sharded static-analysis legs: rewrites disabled (no single-shard or
+    // provably-empty pruning) must still print the unsharded reference, and
+    // the traced sharded plan must pass the containment walk.
+    MilSession norewrite(&catalog);
+    norewrite.set_exec(PlanCtx(kPlans[2]));
+    norewrite.set_disable_static_rewrites(true);
+    auto nout = norewrite.Execute(sharded_script);
+    ASSERT_TRUE(nout.ok()) << nout.status().message();
+    EXPECT_EQ(reference, *nout);
+
+    MilSession traced(&catalog);
+    traced.set_exec(PlanCtx(kPlans[2]));
+    auto tout = traced.Execute("trace on;\n" + sharded_script);
+    ASSERT_TRUE(tout.ok()) << tout.status().message();
+    EXPECT_EQ(reference, *tout);
+    ASSERT_NE(traced.trace_sink(), nullptr);
+    EXPECT_GT(ExpectStaticContainment(*traced.trace_sink()), size_t{0});
   }
 
   // Durability leg: a checkpoint→recover round-trip of the catalog must be
@@ -538,6 +599,47 @@ TEST(ShardMergeDefectTest, MilHarnessCatchesUnorderedMerge) {
   auto unordered = seamed.Execute(script);
   ASSERT_TRUE(unordered.ok());
   EXPECT_NE(*reference, *unordered);  // -0 vs 0: the harness catches it
+}
+
+// The interval side of the harness has teeth too: with the
+// unsafe_narrow_intervals seam the abstract interpreter's upper bounds come
+// out halved — a deliberately unsound analysis. The PRINT output stays
+// byte-identical (the seam corrupts only the proofs, not the plan), so the
+// byte-equality legs are blind to it; ONLY the containment walk over the
+// traced spans catches the defect. This is the proof that the walk is a
+// load-bearing part of the soundness argument, not decoration.
+TEST(StaticIntervalDefectTest, ContainmentWalkCatchesNarrowIntervals) {
+  Catalog catalog;
+  auto created = catalog.Create("f", TailType::kFloat);
+  ASSERT_TRUE(created.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*created)->Append(static_cast<Oid>(i), Value::Float(i * 0.25))
+                    .ok());
+  }
+  // The select's hull is inside the predicate range, so all 8 rows match —
+  // the clean analysis proves [8, 8]; the seamed one claims hi = 4.
+  const std::string script =
+      "trace on;\nPRINT count(select(bat('f'), -100, 100));";
+
+  MilSession clean(&catalog);
+  auto reference = clean.Execute(script);
+  ASSERT_TRUE(reference.ok()) << reference.status().message();
+  ASSERT_NE(clean.trace_sink(), nullptr);
+  EXPECT_GT(ExpectStaticContainment(*clean.trace_sink()), size_t{0});
+
+  MilSession seamed(&catalog);
+  seamed.set_unsafe_narrow_intervals(true);
+  auto narrowed = seamed.Execute(script);
+  ASSERT_TRUE(narrowed.ok()) << narrowed.status().message();
+  EXPECT_EQ(*reference, *narrowed);  // bytes agree: equality legs are blind
+  ASSERT_NE(seamed.trace_sink(), nullptr);
+  size_t violations = 0;
+  std::function<void(const trace::Span&)> walk = [&](const trace::Span& span) {
+    if (span.has_static_card && span.rows_out > span.static_hi) ++violations;
+    for (const auto& child : span.children) walk(*child);
+  };
+  for (const auto& root : seamed.trace_sink()->roots()) walk(*root);
+  EXPECT_GT(violations, size_t{0});  // the walk catches the unsound bound
 }
 
 // 240 seeded cases per property; the seed doubles as the ctest case name so

@@ -245,6 +245,50 @@ TEST_F(MilTest, InfoReportsAccelerationState) {
   EXPECT_FALSE(session_->Execute("PRINT info();").ok());
 }
 
+TEST_F(MilTest, GroupAssignsDenseIds) {
+  // 'names' is alpha/beta/alpha: two groups, the first and third rows share
+  // an id. group() returns a BAT[oid,oid] with one row per input row.
+  auto out = session_->Execute(
+      "VAR g := group(bat('names'));\n"
+      "PRINT count(g);\n"
+      "PRINT g;");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("3"), std::string::npos);
+  EXPECT_NE(out->find("BAT[oid,oid] #3"), std::string::npos);
+  // Arity and type errors are static rejections.
+  EXPECT_FALSE(session_->Execute("PRINT group();").ok());
+  EXPECT_FALSE(session_->Execute("PRINT group(1);").ok());
+}
+
+TEST_F(MilTest, ArgmaxReturnsThePositionOfTheMax) {
+  auto out = session_->Execute("PRINT argmax(bat('values'));");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "9\n");  // 0.9 is the last of the 10 rows
+  // Empty input is the runtime's FailedPrecondition — and the analyzer
+  // rejects it statically with the same message.
+  auto empty = session_->Execute("PRINT argmax(new('dbl'));");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().ToString().find("ArgMax of empty BAT"),
+            std::string::npos);
+  // Non-numeric tails are rejected too.
+  EXPECT_FALSE(session_->Execute("PRINT argmax(bat('names'));").ok());
+}
+
+TEST_F(MilTest, GroupAndArgmaxAgreeAcrossShardedPlans) {
+  ExecContext exec;
+  exec.morsel_rows = 2;
+  exec.serial_cutoff = 1;
+  session_->set_exec(exec);
+  const std::string script =
+      "PRINT count(group(bat('names')));\n"
+      "PRINT argmax(bat('values'));\n";
+  auto serial = session_->Execute(script);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto sharded = session_->Execute("shards(2);\n" + script + "shards(1);\n");
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(*serial, *sharded);
+}
+
 TEST_F(MilTest, BatPrintFormat) {
   auto out = session_->Execute("PRINT slice(bat('names'), 0, 2);");
   ASSERT_TRUE(out.ok());

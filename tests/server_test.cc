@@ -620,6 +620,108 @@ TEST_F(ServerTest, ProfileSpanTreeMatchesDirectEngine) {
   }
 }
 
+// -- EXPLAIN parity ----------------------------------------------------------
+
+// The EXPLAIN report is a static artifact (no timings, nothing executed),
+// so parity across surfaces is byte-identity of the whole report: direct
+// engine == snapshot surface == LocalConnection == TCP.
+TEST_F(ServerTest, ExplainReportsAreByteIdenticalAcrossTransports) {
+  const std::string text =
+      "EXPLAIN RETRIEVE highlight FROM 'race' WHERE driver = 'nobody'";
+
+  auto direct = engine_.Execute(text);
+  ASSERT_TRUE(direct.ok()) << direct.status().message();
+  EXPECT_TRUE(direct->segments.empty());
+  ASSERT_FALSE(direct->profile_text.empty());
+  // No stored highlight has driver=NOBODY: positioned dead-predicate
+  // warning, provably-empty verdict.
+  EXPECT_NE(direct->profile_text.find("warning: statically dead predicate"),
+            std::string::npos)
+      << direct->profile_text;
+  EXPECT_NE(direct->profile_text.find("provably empty"), std::string::npos);
+
+  auto server = MakeServer();
+  auto pin = server->snapshots().Acquire();
+  auto snap = engine_.ExecuteSnapshot(text, *pin);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(direct->profile_text, snap->profile_text);
+  EXPECT_EQ(direct->profile_json, snap->profile_json);
+
+  LocalConnection conn(server.get());
+  auto response = conn.Query(text);
+  ASSERT_TRUE(response.ok) << response.message;
+  EXPECT_TRUE(response.segments.empty());
+  EXPECT_EQ(response.profile, direct->profile_text);
+
+  // TCP leg: the same report through a real socket, byte for byte.
+  TcpServer tcp(server.get());
+  Status started = tcp.Start(0);
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << started.message();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(tcp.port());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    tcp.Stop();
+    GTEST_SKIP() << "loopback connect refused";
+  }
+  protocol::Request request;
+  request.session = 0;
+  request.seq = 1;
+  request.query = text;
+  const std::string frame =
+      protocol::EncodeFrame(protocol::EncodeRequest(request));
+  ASSERT_EQ(::write(fd, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  protocol::FrameDecoder decoder;
+  std::string payload;
+  char buf[4096];
+  while (!decoder.Next(&payload)) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "connection closed before a response frame";
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  ::close(fd);
+  auto tcp_response = protocol::ParseResponse(payload);
+  ASSERT_TRUE(tcp_response.ok());
+  EXPECT_TRUE(tcp_response->ok) << tcp_response->message;
+  EXPECT_TRUE(tcp_response->segments.empty());
+  EXPECT_EQ(tcp_response->profile, direct->profile_text);
+  tcp.Stop();
+}
+
+TEST_F(ServerTest, ExplainNeverExtractsThroughTheServer) {
+  int calls = 0;
+  registry_.Register(std::make_unique<extensions::CallbackExtension>(
+      "test-extension",
+      std::vector<extensions::CallbackExtension::Provided>{
+          {"flyout", 1.0, 0.9}},
+      [&calls](model::VideoId id, const std::string&,
+               model::VideoCatalog* catalog) {
+        ++calls;
+        model::EventRecord e;
+        e.type = "flyout";
+        e.begin_sec = 50;
+        e.end_sec = 57;
+        return catalog->StoreEvent(id, e);
+      }));
+  auto server = MakeServer();
+  LocalConnection conn(server.get());
+  // EXPLAIN of an unextracted type succeeds (unlike a snapshot RETRIEVE,
+  // which is FailedPrecondition) because nothing needs to run: the report
+  // defers with an unbounded interval.
+  auto response = conn.Query("EXPLAIN RETRIEVE flyout FROM 'race'");
+  ASSERT_TRUE(response.ok) << response.message;
+  EXPECT_EQ(calls, 0);
+  EXPECT_NE(response.profile.find("deferred"), std::string::npos);
+  EXPECT_NE(response.profile.find("static=[0,*]"), std::string::npos);
+}
+
 // -- Seeded isolation violation --------------------------------------------
 
 // The response must describe the ADMISSION-time snapshot. A server built

@@ -476,6 +476,41 @@ TEST_F(ShardedSnapshotTest, ExecuteRoutesToTheOwningShard) {
   EXPECT_EQ(persist.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST_F(ShardedSnapshotTest, ExplainRoutesToTheOwningShardAndMatchesIt) {
+  auto set = AcquireShardedSnapshots({&mgr0_, &mgr1_});
+  ASSERT_TRUE(set.ok());
+
+  // EXPLAIN over the sharded read set routes to the owning shard and its
+  // report is byte-identical to the single-snapshot report of that shard;
+  // only the epoch-vector stamp is added.
+  auto sharded =
+      engine_.ExecuteSnapshot("EXPLAIN RETRIEVE highlight FROM 'quali'", *set);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  EXPECT_TRUE(sharded->segments.empty());  // static analysis only
+  EXPECT_EQ(sharded->info, set->EpochStamp());
+
+  auto pin1 = mgr1_.Acquire();
+  auto single =
+      engine_.ExecuteSnapshot("EXPLAIN RETRIEVE highlight FROM 'quali'", *pin1);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(sharded->profile_text, single->profile_text);
+  EXPECT_EQ(sharded->profile_json, single->profile_json);
+
+  // quali holds two highlights and the plan has no predicates: the static
+  // interval is exact.
+  EXPECT_NE(sharded->profile_text.find("static=[2,2]"), std::string::npos)
+      << sharded->profile_text;
+
+  // An empty read set fails like every other sharded read.
+  ShardedSnapshotSet no_shards;
+  EXPECT_EQ(engine_
+                .ExecuteSnapshot("EXPLAIN RETRIEVE highlight FROM 'quali'",
+                                 no_shards)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(ShardedSnapshotTest, VerifyPlanMatchesTheOwningShardVerdict) {
   auto set = AcquireShardedSnapshots({&mgr0_, &mgr1_});
   ASSERT_TRUE(set.ok());

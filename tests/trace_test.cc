@@ -96,6 +96,38 @@ TEST(TraceSinkTest, JsonExportValidatesAndEscapes) {
   EXPECT_TRUE(trace::ValidateJson(sink.ToJson()).ok());
 }
 
+TEST(TraceSinkTest, StaticCardinalityRendersInTextAndJson) {
+  trace::TraceSink sink;
+  trace::Span* bounded = sink.StartSpan(nullptr, "mil.select");
+  bounded->rows_out = 4;
+  bounded->has_static_card = true;
+  bounded->static_lo = 0;
+  bounded->static_hi = 10;
+  trace::Span* unbounded = sink.StartSpan(nullptr, "query.scan");
+  unbounded->has_static_card = true;
+  unbounded->static_lo = 0;
+  unbounded->static_hi = UINT64_MAX;
+  trace::Span* plain = sink.StartSpan(nullptr, "kernel.join");
+  plain->rows_out = 2;
+
+  const std::string text = sink.ToText();
+  EXPECT_NE(text.find("static=[0,10]"), std::string::npos) << text;
+  // An unbounded upper bound renders as `*`, not a number.
+  EXPECT_NE(text.find("static=[0,*]"), std::string::npos) << text;
+
+  const std::string json = sink.ToJson();
+  EXPECT_TRUE(trace::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"static_lo\":0,\"static_hi\":10"), std::string::npos)
+      << json;
+  // Unbounded exports as -1 (JSON has no UINT64_MAX); stamped spans only.
+  EXPECT_NE(json.find("\"static_hi\":-1"), std::string::npos) << json;
+  // The span without a static interval exports neither key nor the text tag.
+  const size_t first = json.find("\"static_lo\"");
+  const size_t second = json.find("\"static_lo\"", first + 1);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_EQ(json.find("\"static_lo\"", second + 1), std::string::npos);
+}
+
 TEST(TraceSinkTest, ValidateJsonRejectsMalformed) {
   EXPECT_TRUE(trace::ValidateJson("[{\"a\": [1, 2.5e3, null, true]}]").ok());
   EXPECT_FALSE(trace::ValidateJson("").ok());
