@@ -1,0 +1,75 @@
+#include "f1/replay_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace cobra::f1 {
+
+ReplayDriver::ReplayDriver(model::VideoCatalog* videos)
+    : ReplayDriver(videos, Options()) {}
+
+ReplayDriver::ReplayDriver(model::VideoCatalog* videos, Options options)
+    : videos_(videos), options_(options) {}
+
+Result<ReplayDriver::Progress> ReplayDriver::Replay(
+    model::VideoId video, const RaceTimeline& timeline,
+    const BatchHook& on_batch) {
+  // Begin-sorted with deterministic tie-breaks: the total write order must
+  // be a function of the timeline alone, never of generator emission order.
+  std::vector<const TimelineEvent*> ordered;
+  ordered.reserve(timeline.events.size());
+  for (const TimelineEvent& event : timeline.events) ordered.push_back(&event);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TimelineEvent* a, const TimelineEvent* b) {
+              if (a->begin != b->begin) return a->begin < b->begin;
+              if (a->end != b->end) return a->end < b->end;
+              if (a->type != b->type) return a->type < b->type;
+              return a->attrs < b->attrs;
+            });
+
+  Rng rng(options_.seed);
+  Progress progress;
+  const auto start = std::chrono::steady_clock::now();
+  size_t next = 0;
+  while (next < ordered.size()) {
+    const uint64_t want =
+        options_.batch_rows > 0
+            ? options_.batch_rows
+            : rng.UniformInt(std::max<uint64_t>(options_.max_batch, 1)) + 1;
+    const size_t take = std::min<size_t>(want, ordered.size() - next);
+    std::vector<model::EventRecord> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      const TimelineEvent& event = *ordered[next + i];
+      model::EventRecord record;
+      record.type = event.type;
+      record.begin_sec = event.begin;
+      record.end_sec = event.end;
+      record.attrs = event.attrs;
+      batch.push_back(std::move(record));
+    }
+    next += take;
+    if (options_.speedup > 0.0) {
+      // Pace against the broadcast clock: the batch lands when its newest
+      // event would have aired. Sleeping is pacing only — it never changes
+      // what is written, so accelerated and instant replays stay identical.
+      const double due_sec = batch.back().begin_sec / options_.speedup;
+      const auto due = start + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(due_sec));
+      std::this_thread::sleep_until(due);
+    }
+    progress.watermark_sec = batch.back().begin_sec;
+    COBRA_RETURN_IF_ERROR(videos_->StoreEvents(video, batch));
+    ++progress.batches;
+    progress.events += take;
+    if (on_batch) COBRA_RETURN_IF_ERROR(on_batch(progress));
+  }
+  return progress;
+}
+
+}  // namespace cobra::f1

@@ -126,6 +126,8 @@ struct Bat::Accel {
   std::atomic<uint64_t> tail_probes{0};
   std::atomic<uint64_t> head_builds{0};
   std::atomic<uint64_t> head_probes{0};
+  std::atomic<uint64_t> tail_extends{0};
+  std::atomic<uint64_t> head_extends{0};
 };
 
 Bat::Accel& Bat::accel() const {
@@ -150,7 +152,8 @@ Bat::Bat(const Bat& other)
       oids_(other.oids_),
       str_codes_(other.str_codes_),
       dict_(other.dict_),
-      version_(other.version_) {
+      version_(other.version_),
+      append_maintenance_(other.append_maintenance_) {
   dict_order_.assign(dict_.size(), nullptr);
   for (const auto& [s, code] : dict_) dict_order_[code] = &s;
 }
@@ -172,6 +175,7 @@ Bat::Bat(Bat&& other) noexcept
       dict_(std::move(other.dict_)),
       dict_order_(std::move(other.dict_order_)),
       version_(other.version_),
+      append_maintenance_(other.append_maintenance_),
       accel_(other.accel_.exchange(nullptr, std::memory_order_acq_rel)) {}
 
 Bat& Bat::operator=(Bat&& other) noexcept {
@@ -186,6 +190,7 @@ Bat& Bat::operator=(Bat&& other) noexcept {
   dict_ = std::move(other.dict_);
   dict_order_ = std::move(other.dict_order_);
   version_ = other.version_;
+  append_maintenance_ = other.append_maintenance_;
   accel_.store(other.accel_.exchange(nullptr, std::memory_order_acq_rel),
                std::memory_order_release);
   return *this;
@@ -237,6 +242,7 @@ std::shared_ptr<const Bat::HashIndex> Bat::TailIndex(bool force) const {
   }
   auto idx = std::make_shared<HashIndex>();
   idx->built_version = version_;
+  idx->built_rows = size();
   idx->map.reserve(size());
   for (size_t i = 0; i < size(); ++i) {
     idx->map[TailKeyAt(i)].push_back(static_cast<uint32_t>(i));
@@ -260,6 +266,7 @@ std::shared_ptr<const Bat::HashIndex> Bat::HeadIndex(bool force) const {
   }
   auto idx = std::make_shared<HashIndex>();
   idx->built_version = version_;
+  idx->built_rows = size();
   idx->map.reserve(size());
   for (size_t i = 0; i < size(); ++i) {
     idx->map[head_[i]].push_back(static_cast<uint32_t>(i));
@@ -287,7 +294,131 @@ Bat::AccelInfo Bat::accel_info() const {
   info.tail_probes = a->tail_probes.load(std::memory_order_relaxed);
   info.head_builds = a->head_builds.load(std::memory_order_relaxed);
   info.head_probes = a->head_probes.load(std::memory_order_relaxed);
+  info.tail_extends = a->tail_extends.load(std::memory_order_relaxed);
+  info.head_extends = a->head_extends.load(std::memory_order_relaxed);
+  info.tail_indexed_rows = a->tail != nullptr ? a->tail->built_rows : 0;
+  info.head_indexed_rows = a->head != nullptr ? a->head->built_rows : 0;
   return info;
+}
+
+// -- Streaming append maintenance -------------------------------------------
+
+namespace {
+
+/// Extends one index slot over rows [old_rows, size): in place when this
+/// BAT holds the only reference, on a clone otherwise (a reader's stashed
+/// snapshot is immutable). Extension applies only when the index covers
+/// exactly the pre-append prefix — anything else (stale from a
+/// non-maintained mutation) is left for the next probe's rebuild.
+template <typename KeyAt>
+bool ExtendIndexLocked(std::shared_ptr<const Bat::HashIndex>* slot,
+                       size_t old_rows, size_t new_rows, uint64_t version,
+                       const KeyAt& key_at) {
+  const Bat::HashIndex* idx = slot->get();
+  if (idx == nullptr || idx->built_rows != old_rows) return false;
+  std::shared_ptr<Bat::HashIndex> clone;
+  Bat::HashIndex* w;
+  if (slot->use_count() == 1) {
+    // Sole owner: mutation implies exclusive BAT access, so no probe can be
+    // copying the pointer concurrently — in-place extension is safe.
+    w = const_cast<Bat::HashIndex*>(idx);
+  } else {
+    clone = std::make_shared<Bat::HashIndex>(*idx);
+    w = clone.get();
+  }
+  for (size_t i = old_rows; i < new_rows; ++i) {
+    w->map[key_at(i)].push_back(static_cast<uint32_t>(i));
+  }
+  w->built_rows = new_rows;
+  w->built_version = version;
+  if (clone != nullptr) *slot = std::move(clone);
+  return true;
+}
+
+}  // namespace
+
+void Bat::MaintainAppendSlow(size_t old_rows) {
+  Accel* a = accel_.load(std::memory_order_acquire);
+  if (a == nullptr) return;
+  if (size() > std::numeric_limits<uint32_t>::max()) return;
+  MutexLock lock(a->mu);
+  if (ExtendIndexLocked(&a->tail, old_rows, size(), version_,
+                        [this](size_t i) { return TailKeyAt(i); })) {
+    a->tail_extends.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (ExtendIndexLocked(&a->head, old_rows, size(), version_,
+                        [this](size_t i) { return head_[i]; })) {
+    a->head_extends.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Bat::unsafe_stamp_indexes_fresh() {
+  Accel* a = accel_.load(std::memory_order_acquire);
+  if (a == nullptr) return;
+  MutexLock lock(a->mu);
+  // Stamp WITHOUT extending: built_rows is faked to the current size so the
+  // lie is internally consistent — only the map is missing rows.
+  auto stamp = [this](std::shared_ptr<const HashIndex>* slot) {
+    if (slot->get() == nullptr) return;
+    std::shared_ptr<HashIndex> w;
+    if (slot->use_count() == 1) {
+      w = std::const_pointer_cast<HashIndex>(*slot);
+    } else {
+      w = std::make_shared<HashIndex>(**slot);
+    }
+    w->built_version = version_;
+    w->built_rows = size();
+    *slot = std::move(w);
+  };
+  stamp(&a->tail);
+  stamp(&a->head);
+}
+
+Result<uint64_t> Bat::CountEq(const Value& v) const {
+  if (v.type() != tail_type_) {
+    return Status::InvalidArgument(
+        StrFormat("counting %s value in BAT[oid,%s]",
+                  std::string(TailTypeName(v.type())).c_str(),
+                  std::string(TailTypeName(tail_type_)).c_str()));
+  }
+  uint64_t key = 0;
+  switch (tail_type_) {
+    case TailType::kInt:
+      key = std::bit_cast<uint64_t>(v.AsInt());
+      break;
+    case TailType::kFloat: {
+      double d = v.AsFloat();
+      if (d == 0.0) d = 0.0;
+      key = std::bit_cast<uint64_t>(d);
+      break;
+    }
+    case TailType::kStr: {
+      uint32_t code = 0;
+      if (!LookupStrCode(v.AsStr(), &code)) return uint64_t{0};
+      key = code;
+      break;
+    }
+    case TailType::kOid:
+      key = v.AsOid();
+      break;
+  }
+  // Probe-only: serve a fresh index if one exists, else scan. Never builds,
+  // so a gating probe leaves the acceleration state untouched.
+  Accel* a = accel_.load(std::memory_order_acquire);
+  if (a != nullptr) {
+    MutexLock lock(a->mu);
+    if (a->tail != nullptr && a->tail->built_version == version_) {
+      a->tail_probes.fetch_add(1, std::memory_order_relaxed);
+      auto it = a->tail->map.find(key);
+      return it == a->tail->map.end() ? uint64_t{0}
+                                      : static_cast<uint64_t>(it->second.size());
+    }
+  }
+  uint64_t count = 0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (TailKeyAt(i) == key) ++count;
+  }
+  return count;
 }
 
 // -- Mutation ---------------------------------------------------------------
@@ -315,6 +446,7 @@ Status Bat::Append(Oid head, const Value& tail) {
       break;
   }
   Bump();
+  MaintainAppend(size() - 1);
   return Status::OK();
 }
 
@@ -323,6 +455,7 @@ void Bat::AppendInt(Oid head, int64_t v) {
   head_.push_back(head);
   ints_.push_back(v);
   Bump();
+  MaintainAppend(size() - 1);
 }
 
 void Bat::AppendFloat(Oid head, double v) {
@@ -330,6 +463,7 @@ void Bat::AppendFloat(Oid head, double v) {
   head_.push_back(head);
   floats_.push_back(v);
   Bump();
+  MaintainAppend(size() - 1);
 }
 
 void Bat::AppendStr(Oid head, std::string v) {
@@ -337,6 +471,7 @@ void Bat::AppendStr(Oid head, std::string v) {
   head_.push_back(head);
   str_codes_.push_back(InternStr(std::move(v)));
   Bump();
+  MaintainAppend(size() - 1);
 }
 
 void Bat::AppendOid(Oid head, Oid v) {
@@ -344,6 +479,7 @@ void Bat::AppendOid(Oid head, Oid v) {
   head_.push_back(head);
   oids_.push_back(v);
   Bump();
+  MaintainAppend(size() - 1);
 }
 
 void Bat::AppendRowFrom(Oid head, const Bat& src, size_t i) {
@@ -369,6 +505,7 @@ void Bat::AppendRowFrom(Oid head, const Bat& src, size_t i) {
       break;
   }
   Bump();
+  MaintainAppend(size() - 1);
 }
 
 void Bat::Reserve(size_t n) {
@@ -391,6 +528,7 @@ void Bat::Reserve(size_t n) {
 
 void Bat::Concat(const Bat& other) {
   COBRA_CHECK(tail_type_ == other.tail_type_);
+  const size_t old_rows = size();
   head_.insert(head_.end(), other.head_.begin(), other.head_.end());
   switch (tail_type_) {
     case TailType::kInt:
@@ -415,6 +553,9 @@ void Bat::Concat(const Bat& other) {
       break;
   }
   Bump();
+  // Other's codes were remapped through this dictionary above, so TailKeyAt
+  // over the new rows reads this BAT's (already consistent) codes.
+  MaintainAppend(old_rows);
 }
 
 void Bat::Concat(const Bat& other, const ExecContext& ctx) {

@@ -92,6 +92,11 @@ class Bat {
   /// treat as read-only.
   struct HashIndex {
     uint64_t built_version = 0;
+    /// Rows [0, built_rows) are reflected in `map`. Equal to the BAT size at
+    /// build time; incremental append maintenance advances it without a
+    /// rebuild. An index is only served when built_version matches, so a
+    /// fresh index always has built_rows == size().
+    uint64_t built_rows = 0;
     std::unordered_map<uint64_t, std::vector<uint32_t>> map;
   };
 
@@ -106,6 +111,13 @@ class Bat {
     uint64_t tail_probes = 0;
     uint64_t head_builds = 0;
     uint64_t head_probes = 0;
+    /// In-place index extensions performed by append maintenance (streaming
+    /// mode): each one kept an existing index fresh WITHOUT a rebuild.
+    uint64_t tail_extends = 0;
+    uint64_t head_extends = 0;
+    /// Rows covered by the current indexes (0 when absent).
+    size_t tail_indexed_rows = 0;
+    size_t head_indexed_rows = 0;
     size_t dict_entries = 0;  // distinct strings (kStr tails only)
   };
 
@@ -187,6 +199,33 @@ class Bat {
   std::shared_ptr<const HashIndex> TailIndex(bool force) const;
   std::shared_ptr<const HashIndex> HeadIndex(bool force) const;
 
+  /// Streaming append maintenance (default OFF): when enabled, every append
+  /// extends any existing hash index in place — new rows are added to the
+  /// published map and its built_version/built_rows are advanced — instead
+  /// of invalidating it for a full rebuild on the next probe. The default
+  /// mode keeps the classic Monet invalidate-on-mutation behavior
+  /// unchanged. Like all mutation state, toggle only with exclusive access.
+  ///
+  /// A shared_ptr still held by a reader (a stashed probe snapshot) is
+  /// never mutated: maintenance clones it, extends the clone, and publishes
+  /// that — the snapshot keeps describing exactly the rows it was taken
+  /// over.
+  bool append_maintenance() const { return append_maintenance_; }
+  void set_append_maintenance(bool on) { append_maintenance_ = on; }
+
+  /// TEST ONLY — the seeded defect seam for the streaming differential
+  /// harness: stamps any existing indexes as fresh (built_version/built_rows
+  /// advanced to current) WITHOUT adding the missing rows to the map. Probes
+  /// then silently miss every row appended since the last real build — the
+  /// exact latent staleness bug incremental maintenance must not have. Never
+  /// call outside a harness that asserts the corruption is caught.
+  void unsafe_stamp_indexes_fresh();
+
+  /// Rows whose tail equals `v`: probes the current tail index when one is
+  /// fresh, otherwise counts by scan; never builds or mutates acceleration
+  /// state (safe as a lightweight gating probe). Type-checked like SelectEq.
+  Result<uint64_t> CountEq(const Value& v) const;
+
   /// Canonical 64-bit key of the tail at `i` (dictionary code for strings,
   /// bit pattern for numerics with -0.0 normalized to 0.0).
   uint64_t TailKeyAt(size_t i) const;
@@ -260,6 +299,13 @@ class Bat {
   /// the indexed SelectEq/SelectStr output, byte-identical to the scan.
   Bat EmitEqHits(const std::vector<uint32_t>& hits, const Value& v) const;
   void Bump() { ++version_; }
+  /// Post-append hook: rows [old_rows, size()) were just appended. In
+  /// maintenance mode extends existing indexes in place (MaintainAppendSlow);
+  /// a disabled hook costs one predictable branch.
+  void MaintainAppend(size_t old_rows) {
+    if (append_maintenance_) MaintainAppendSlow(old_rows);
+  }
+  void MaintainAppendSlow(size_t old_rows);
 
   TailType tail_type_;
   std::vector<Oid> head_;
@@ -278,6 +324,9 @@ class Bat {
   // Accel::mu, whose critical sections order the reads against the bump
   // made by the last pre-publication mutation.
   uint64_t version_ = 0;
+  /// Streaming mode flag (see set_append_maintenance). Mutation-path state:
+  /// read on every append, so it follows the exclusive-access contract.
+  bool append_maintenance_ = false;
   mutable std::atomic<Accel*> accel_{nullptr};
 };
 

@@ -360,12 +360,32 @@ Status ApplyRecord(Catalog* catalog, const WalRecord& rec,
       return Status::OK();
     case PersistentStore::WalOp::kNoop:
       return Status::OK();
+    case PersistentStore::WalOp::kSegmentSeal: {
+      std::string name;
+      uint64_t end_row = 0;
+      if (!r.ReadStr(&name) || !r.ReadU64(&end_row)) return corrupt;
+      // Seal boundaries materialize in a sibling BAT so checkpoints carry
+      // them for free: head = seal ordinal, tail = end_row.
+      const std::string seals = SegmentSealBatName(name);
+      Bat* bat = nullptr;
+      if (auto existing = catalog->Get(seals); existing.ok()) {
+        bat = existing.value();
+      } else {
+        COBRA_ASSIGN_OR_RETURN(bat, catalog->Create(seals, TailType::kOid));
+      }
+      bat->AppendOid(static_cast<Oid>(bat->size()), end_row);
+      return Status::OK();
+    }
   }
   return Status(StatusCode::kIoError,
                 StrFormat("unknown wal op %u", rec.op));
 }
 
 }  // namespace
+
+std::string SegmentSealBatName(const std::string& bat) {
+  return bat + ".@seals";
+}
 
 PersistentStore::PersistentStore(io::Fs* fs, std::string dir)
     : fs_(fs), dir_(std::move(dir)) {}
@@ -547,6 +567,15 @@ Status PersistentStore::LogPut(const std::string& name, const Bat& bat) {
 Status PersistentStore::LogModel(std::string_view record) {
   MutexLock lock(mu_);
   return AppendRecordLocked(WalOp::kModel, record);
+}
+
+Status PersistentStore::LogSegmentSeal(const std::string& name,
+                                       uint64_t end_row) {
+  std::string operands;
+  io::PutStr(&operands, name);
+  io::PutU64(&operands, end_row);
+  MutexLock lock(mu_);
+  return AppendRecordLocked(WalOp::kSegmentSeal, operands);
 }
 
 Status PersistentStore::Checkpoint(const Catalog& catalog,

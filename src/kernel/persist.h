@@ -16,6 +16,12 @@
 
 namespace cobra::kernel {
 
+/// Catalog name of the sibling BAT holding `bat`'s streaming seal
+/// boundaries ("<bat>.@seals", BAT[oid,oid]: seal ordinal -> end_row).
+/// Written by WalOp::kSegmentSeal replay and by the live StreamBat; the '@'
+/// keeps it out of the way of attribute names ("class.attr").
+std::string SegmentSealBatName(const std::string& bat);
+
 /// Crash-safe durability for a BAT catalog: page-checksummed snapshot files
 /// plus a write-ahead log, glued by an LSN handshake.
 ///
@@ -65,6 +71,7 @@ class PersistentStore {
     kPut = 6,           // str name, full BAT image (replaces binding)
     kModel = 7,         // opaque video-model mutation record (see LogModel)
     kNoop = 8,          // no operands; burns an LSN (checkpoint collision)
+    kSegmentSeal = 9,   // str name, u64 end_row — streaming segment seal
   };
 
   PersistentStore(io::Fs* fs, std::string dir);
@@ -122,6 +129,13 @@ class PersistentStore {
   /// it; recovery hands the records back in commit order
   /// (RecoveryInfo::model_records) for the model layer to re-execute.
   Status LogModel(std::string_view record) COBRA_EXCLUDES(mu_);
+  /// Logs a streaming segment seal: rows [previous seal, end_row) of `name`
+  /// became an immutable segment (see kernel/stream.h). Replay appends the
+  /// boundary to the catalog's `<name>.@seals` BAT — created on first seal —
+  /// so segmentation recovers through both the WAL and any later snapshot,
+  /// and lands exactly-before or exactly-after a crash like every other op.
+  Status LogSegmentSeal(const std::string& name, uint64_t end_row)
+      COBRA_EXCLUDES(mu_);
 
   struct DiskStats {
     uint64_t checkpoint_lsn = 0;

@@ -1,0 +1,235 @@
+#include "kernel/stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/strings.h"
+#include "base/trace.h"
+#include "kernel/catalog.h"
+#include "kernel/persist.h"
+
+namespace cobra::kernel {
+
+StreamBat::StreamBat(Catalog* catalog, Bat* bat, std::string name,
+                     Options opts, PersistentStore* store)
+    : catalog_(catalog),
+      bat_(bat),
+      name_(std::move(name)),
+      opts_(opts),
+      store_(store) {
+  if (opts_.segment_rows == 0) opts_.segment_rows = 1;
+}
+
+Result<StreamBat> StreamBat::Attach(Catalog* catalog, const std::string& name,
+                                    const Options& opts,
+                                    PersistentStore* store) {
+  COBRA_ASSIGN_OR_RETURN(Bat * bat, catalog->Get(name));
+  StreamBat stream(catalog, bat, name, opts, store);
+  // Streaming mode: keep accreted indexes fresh per append instead of
+  // invalidate-and-rebuild. The defect seam leaves maintenance off so the
+  // stamped-fresh indexes really are stale.
+  bat->set_append_maintenance(opts.maintain_indexes &&
+                              !opts.unsafe_skip_tail_reindex);
+  // Restore the segmentation recorded by WalOp::kSegmentSeal replay (or by
+  // a previous attachment in this process).
+  if (auto seals = catalog->Get(SegmentSealBatName(name)); seals.ok()) {
+    const Bat& sb = *seals.value();
+    for (size_t i = 0; i < sb.size(); ++i) {
+      const uint64_t end_row = sb.OidAt(i);
+      if (end_row <= stream.sealed_rows_ || end_row > bat->size()) {
+        return Status::Internal(StrFormat(
+            "stream '%s': corrupt seal boundary %llu at ordinal %zu "
+            "(previous %llu, BAT has %zu rows)",
+            name.c_str(), static_cast<unsigned long long>(end_row), i,
+            static_cast<unsigned long long>(stream.sealed_rows_),
+            bat->size()));
+      }
+      Segment seg;
+      seg.begin_row = stream.sealed_rows_;
+      seg.end_row = end_row;
+      seg.sealed = true;
+      ExtendZone(*bat, seg.begin_row, seg.end_row, &seg);
+      stream.sealed_.push_back(seg);
+      stream.sealed_rows_ = end_row;
+    }
+  }
+  // Pre-existing unsealed rows start out in the mutable tail; no seals are
+  // written during attach (the next Append/Advance may seal).
+  stream.visible_rows_ = stream.sealed_rows_;
+  stream.tail_.begin_row = stream.sealed_rows_;
+  stream.tail_.end_row = stream.sealed_rows_;
+  const uint64_t size = bat->size();
+  if (size > stream.visible_rows_) {
+    ExtendZone(*bat, stream.visible_rows_, size, &stream.tail_);
+    stream.tail_.end_row = size;
+    stream.visible_rows_ = size;
+  }
+  return stream;
+}
+
+void StreamBat::ExtendZone(const Bat& bat, uint64_t begin, uint64_t end,
+                           Segment* seg) {
+  const TailType t = bat.tail_type();
+  if (t != TailType::kInt && t != TailType::kFloat) return;
+  for (uint64_t i = begin; i < end; ++i) {
+    const double v = t == TailType::kInt
+                         ? static_cast<double>(bat.IntAt(i))
+                         : bat.FloatAt(i);
+    if (!seg->has_zone) {
+      seg->has_zone = true;
+      seg->min_num = v;
+      seg->max_num = v;
+    } else {
+      seg->min_num = std::min(seg->min_num, v);
+      seg->max_num = std::max(seg->max_num, v);
+    }
+  }
+}
+
+Status StreamBat::Seal(uint64_t end_row) {
+  // WAL record first — the fsync'd kSegmentSeal is the commit point; the
+  // in-memory and catalog mutations below mirror exactly what its replay
+  // does, so recovery lands exactly-before or exactly-after this seal.
+  if (store_ != nullptr) {
+    COBRA_RETURN_IF_ERROR(store_->LogSegmentSeal(name_, end_row));
+  }
+  const std::string seals_name = SegmentSealBatName(name_);
+  Bat* seals = nullptr;
+  if (auto existing = catalog_->Get(seals_name); existing.ok()) {
+    seals = existing.value();
+  } else {
+    COBRA_ASSIGN_OR_RETURN(seals, catalog_->Create(seals_name, TailType::kOid));
+  }
+  seals->AppendOid(static_cast<Oid>(seals->size()), end_row);
+
+  Segment seg;
+  seg.begin_row = sealed_rows_;
+  seg.end_row = end_row;
+  seg.sealed = true;
+  ExtendZone(*bat_, seg.begin_row, seg.end_row, &seg);
+  sealed_.push_back(seg);
+  sealed_rows_ = end_row;
+  ++stats_.seals;
+  // Rebuild the tail zone over the remaining unsealed rows.
+  tail_ = Segment{};
+  tail_.begin_row = sealed_rows_;
+  tail_.end_row = visible_rows_;
+  ExtendZone(*bat_, sealed_rows_, visible_rows_, &tail_);
+  return Status::OK();
+}
+
+Status StreamBat::Fold(const ExecContext& ctx) {
+  (void)ctx;
+  const uint64_t size = bat_->size();
+  if (size < visible_rows_) {
+    return Status::Internal(StrFormat(
+        "stream '%s': backing BAT shrank (%zu rows, %llu folded)",
+        name_.c_str(), static_cast<size_t>(size),
+        static_cast<unsigned long long>(visible_rows_)));
+  }
+  if (size > visible_rows_) {
+    ExtendZone(*bat_, visible_rows_, size, &tail_);
+    tail_.end_row = size;
+    visible_rows_ = size;
+  }
+  while (visible_rows_ - sealed_rows_ >= opts_.segment_rows) {
+    COBRA_RETURN_IF_ERROR(Seal(sealed_rows_ + opts_.segment_rows));
+  }
+  return Status::OK();
+}
+
+Status StreamBat::Append(Oid head, const Value& tail, const ExecContext& ctx) {
+  trace::SpanGuard span(ctx.trace, ctx.trace_parent, "stream.append");
+  if (span.enabled()) span.Detail(name_);
+  span.RowsIn(1);
+  if (store_ != nullptr) {
+    COBRA_RETURN_IF_ERROR(store_->LogAppend(name_, head, tail));
+  }
+  COBRA_RETURN_IF_ERROR(bat_->Append(head, tail));
+  ++stats_.appends;
+  span.RowsOut(1);
+  COBRA_RETURN_IF_ERROR(Fold(ctx));
+  if (opts_.unsafe_skip_tail_reindex) bat_->unsafe_stamp_indexes_fresh();
+  return Status::OK();
+}
+
+Status StreamBat::Advance(const ExecContext& ctx) {
+  trace::SpanGuard span(ctx.trace, ctx.trace_parent, "stream.advance");
+  if (span.enabled()) span.Detail(name_);
+  const uint64_t before = visible_rows_;
+  COBRA_RETURN_IF_ERROR(Fold(ctx));
+  span.RowsIn(visible_rows_ - before);
+  span.RowsOut(visible_rows_ - before);
+  if (opts_.unsafe_skip_tail_reindex) bat_->unsafe_stamp_indexes_fresh();
+  return Status::OK();
+}
+
+Result<Bat> StreamBat::ScanWindow(double lo, double hi,
+                                  const ExecContext& ctx) const {
+  trace::SpanGuard span(ctx.trace, ctx.trace_parent, "stream.scan");
+  if (span.enabled()) {
+    span.Detail(StrFormat("%s [%g, %g]", name_.c_str(), lo, hi));
+  }
+  const TailType t = bat_->tail_type();
+  if (t != TailType::kInt && t != TailType::kFloat) {
+    return Status::InvalidArgument("ScanWindow requires a numeric tail");
+  }
+  ++stats_.scans;
+  Bat out(t);
+  // Walk the row space in order — sealed segments, tail, then any rows not
+  // yet folded — so the output is byte-identical to Bat::SelectRange over
+  // every row; only the zone-map pruning of sealed segments differs.
+  const auto scan = [&](uint64_t begin, uint64_t end) {
+    span.RowsIn(end - begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      if (t == TailType::kInt) {
+        const double v = static_cast<double>(bat_->IntAt(i));
+        if (v >= lo && v <= hi) out.AppendInt(bat_->HeadAt(i), bat_->IntAt(i));
+      } else {
+        const double v = bat_->FloatAt(i);
+        if (v >= lo && v <= hi) {
+          out.AppendFloat(bat_->HeadAt(i), bat_->FloatAt(i));
+        }
+      }
+    }
+  };
+  for (const Segment& seg : sealed_) {
+    if (seg.has_zone && (seg.max_num < lo || seg.min_num > hi)) {
+      ++stats_.segments_pruned;
+      continue;
+    }
+    ++stats_.segments_scanned;
+    span.Morsels(1);
+    scan(seg.begin_row, seg.end_row);
+  }
+  if (visible_rows_ > sealed_rows_) {
+    ++stats_.segments_scanned;
+    span.Morsels(1);
+    scan(sealed_rows_, visible_rows_);
+  }
+  if (bat_->size() > visible_rows_) scan(visible_rows_, bat_->size());
+  span.RowsOut(out.size());
+  return out;
+}
+
+Result<uint64_t> StreamBat::CountEq(const Value& v,
+                                    const ExecContext& ctx) const {
+  trace::SpanGuard span(ctx.trace, ctx.trace_parent, "stream.count");
+  if (span.enabled()) span.Detail(name_);
+  span.RowsIn(bat_->size());
+  Result<uint64_t> r = bat_->CountEq(v);
+  if (r.ok()) span.RowsOut(r.value());
+  return r;
+}
+
+std::vector<StreamBat::Segment> StreamBat::Segments() const {
+  std::vector<Segment> out = sealed_;
+  Segment tail = tail_;
+  tail.begin_row = sealed_rows_;
+  tail.end_row = visible_rows_;
+  tail.sealed = false;
+  out.push_back(tail);
+  return out;
+}
+
+}  // namespace cobra::kernel

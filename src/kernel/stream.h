@@ -1,0 +1,164 @@
+#ifndef COBRA_KERNEL_STREAM_H_
+#define COBRA_KERNEL_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kernel/bat.h"
+#include "kernel/exec_context.h"
+
+namespace cobra::kernel {
+
+class Catalog;
+class PersistentStore;
+
+/// Streaming ingestion view over a catalog BAT: the row space is split into
+/// sealed immutable segments plus one mutable tail, while the underlying
+/// storage stays the plain `Bat` every kernel operator already understands.
+/// Queries therefore need no streaming-aware operators — a StreamBat is a
+/// bookkeeping layer, not a second storage engine.
+///
+/// What the layer adds on top of raw appends:
+///
+///   * Incremental acceleration: the backing BAT is switched into append
+///     maintenance mode, so accreted hash indexes are extended in place per
+///     appended row (AccelInfo::tail_extends) and the string dictionary
+///     interns incrementally — no full invalidation/rebuild under a
+///     continuous-mutation workload.
+///   * Segment seals: every `segment_rows` appended rows the current tail is
+///     sealed into an immutable segment. Numeric tails get a per-segment
+///     zone map (min/max) that `ScanWindow` uses to skip whole segments;
+///     results stay byte-identical to `Bat::SelectRange` over all rows.
+///   * Durability: each appended row is WAL-logged through the attached
+///     PersistentStore *before* it is applied (the fsync'd record is the
+///     commit point, same contract as every other catalog mutation), and
+///     each seal writes a WalOp::kSegmentSeal record whose replay rebuilds
+///     the `<name>.@seals` catalog BAT — so `PERSIST`/`RECOVER` restore the
+///     exact segmentation, and a crash lands exactly-before or
+///     exactly-after any append or seal.
+///
+/// Not thread-safe: appends, Advance, and the stats-recording probes
+/// (ScanWindow/CountEq) require exclusive access to the StreamBat, like
+/// `Bat` mutation. Concurrent readers probe the backing BAT through
+/// snapshots as usual.
+class StreamBat {
+ public:
+  struct Options {
+    /// Rows per sealed segment (the seal threshold). >= 1.
+    uint64_t segment_rows = 256;
+    /// Keep accreted hash indexes fresh incrementally on every append.
+    bool maintain_indexes = true;
+    /// TEST-ONLY defect seam: skip the per-append index extension but stamp
+    /// the indexes fresh at every Advance anyway. Probes then silently miss
+    /// every row appended after the last honest build — exactly the bug the
+    /// streaming differential harness exists to catch.
+    bool unsafe_skip_tail_reindex = false;
+  };
+
+  /// One contiguous row range [begin_row, end_row) of the backing BAT.
+  struct Segment {
+    uint64_t begin_row = 0;
+    uint64_t end_row = 0;
+    bool sealed = false;
+    /// Zone map over the numeric tail values of the range (numeric tails
+    /// only; `has_zone` is false for str/oid tails and for empty ranges).
+    bool has_zone = false;
+    double min_num = 0.0;
+    double max_num = 0.0;
+  };
+
+  struct Stats {
+    uint64_t appends = 0;        // rows appended through this StreamBat
+    uint64_t seals = 0;          // segments sealed (this attachment)
+    uint64_t scans = 0;          // ScanWindow calls
+    uint64_t segments_pruned = 0;  // sealed segments skipped via zone map
+    uint64_t segments_scanned = 0;
+  };
+
+  /// Attaches a streaming view to the BAT registered under `name`.
+  /// `store` may be null (volatile stream: no WAL records). When the
+  /// sibling `<name>.@seals` BAT exists — e.g. after `RECOVER` replayed
+  /// kSegmentSeal records — the recorded seal boundaries are restored, so
+  /// the segmentation survives restarts; otherwise all pre-existing rows
+  /// start out in the mutable tail.
+  static Result<StreamBat> Attach(Catalog* catalog, const std::string& name,
+                                  const Options& opts,
+                                  PersistentStore* store = nullptr);
+
+  StreamBat(StreamBat&&) = default;
+  StreamBat& operator=(StreamBat&&) = default;
+  StreamBat(const StreamBat&) = delete;
+  StreamBat& operator=(const StreamBat&) = delete;
+
+  /// Appends one pair: WAL record first (when a store is attached), then
+  /// the in-memory append with incremental index maintenance, then segment
+  /// accounting (sealing when the tail crosses segment_rows). Records a
+  /// `stream.append` span.
+  Status Append(Oid head, const Value& tail, const ExecContext& ctx);
+  Status Append(Oid head, const Value& tail) {
+    return Append(head, tail, ExecContext::Serial());
+  }
+
+  /// Folds rows appended to the backing BAT *behind this view's back*
+  /// (e.g. by the video-model event path, which logs its own WAL records)
+  /// into the segmentation: extends the tail over the new rows and seals
+  /// any full segments. Call after every out-of-band batch.
+  Status Advance(const ExecContext& ctx);
+  Status Advance() { return Advance(ExecContext::Serial()); }
+
+  /// Rows with numeric tail value in [lo, hi], byte-identical to
+  /// `Bat::SelectRange(lo, hi)` over the whole backing BAT, but sealed
+  /// segments whose zone map excludes [lo, hi] are skipped without reading
+  /// a row. Records a `stream.scan` span (morsels = segments scanned).
+  Result<Bat> ScanWindow(double lo, double hi, const ExecContext& ctx) const;
+
+  /// Exact-match cardinality via `Bat::CountEq` (probe-only: serves a fresh
+  /// index, never builds one). Records a `stream.count` span.
+  Result<uint64_t> CountEq(const Value& v, const ExecContext& ctx) const;
+
+  /// Sealed segments followed by the mutable tail (tail present even when
+  /// empty). Row ranges partition [0, backing size at last Append/Advance).
+  std::vector<Segment> Segments() const;
+
+  const Bat& backing() const { return *bat_; }
+  const std::string& name() const { return name_; }
+  uint64_t sealed_rows() const { return sealed_rows_; }
+  /// Rows folded into the segmentation so far (sealed + tail).
+  uint64_t visible_rows() const { return visible_rows_; }
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  StreamBat(Catalog* catalog, Bat* bat, std::string name, Options opts,
+            PersistentStore* store);
+
+  /// Seals [sealed_rows_, end_row): WAL record first, then the mirror
+  /// append to the `<name>.@seals` catalog BAT (created on first seal,
+  /// exactly as WAL replay would), then the in-memory segment entry.
+  Status Seal(uint64_t end_row);
+  /// Extends segmentation to cover rows [visible_rows_, backing size).
+  Status Fold(const ExecContext& ctx);
+  static void ExtendZone(const Bat& bat, uint64_t begin, uint64_t end,
+                         Segment* seg);
+
+  Catalog* catalog_;
+  Bat* bat_;
+  std::string name_;
+  Options opts_;
+  PersistentStore* store_;
+  std::vector<Segment> sealed_;
+  /// Zone accumulator for the mutable tail (covers [sealed_rows_,
+  /// visible_rows_)).
+  Segment tail_;
+  uint64_t sealed_rows_ = 0;
+  uint64_t visible_rows_ = 0;
+  /// Probe counters recorded by const ScanWindow/CountEq (exclusive-access
+  /// contract above).
+  mutable Stats stats_;
+};
+
+}  // namespace cobra::kernel
+
+#endif  // COBRA_KERNEL_STREAM_H_

@@ -113,6 +113,45 @@ bool IsKeyword(const QToken& tok, const char* kw) {
   return tok.kind == QToken::Kind::kWord && ToUpperAscii(tok.text) == kw;
 }
 
+/// Duration-literal mirror of parser.cc's ParseWindowDuration — identical
+/// accepted shapes (`[-]digits[.digits]` + `s`/`S`), kept in lockstep for
+/// the accept-parity guarantee.
+bool ParseWindowDuration(const std::string& text, double* seconds) {
+  size_t i = 0;
+  bool negative = false;
+  if (i < text.size() && text[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  size_t digits = 0;
+  double value = 0.0;
+  while (i < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10.0 + (text[i] - '0');
+    ++digits;
+    ++i;
+  }
+  if (digits == 0) return false;
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    double scale = 0.1;
+    size_t frac = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value += (text[i] - '0') * scale;
+      scale *= 0.1;
+      ++frac;
+      ++i;
+    }
+    if (frac == 0) return false;
+  }
+  if (i + 1 != text.size() || (text[i] != 's' && text[i] != 'S')) {
+    return false;
+  }
+  *seconds = negative ? -value : value;
+  return true;
+}
+
 /// Grammar mirror of ParseQuery. Records at most one diagnostic (the walk
 /// stops at the first error, exactly where the parser would).
 class QueryAnalyzer {
@@ -124,7 +163,10 @@ class QueryAnalyzer {
     if (!Next(&tok)) return Finish();
     bool profile = false;
     bool explain = false;
-    if (IsKeyword(tok, "PROFILE")) {
+    if (IsKeyword(tok, "WATCH")) {
+      watch_ = true;
+      if (!Next(&tok)) return Finish();
+    } else if (IsKeyword(tok, "PROFILE")) {
       profile = true;
       if (!Next(&tok)) return Finish();
     } else if (IsKeyword(tok, "EXPLAIN")) {
@@ -132,7 +174,8 @@ class QueryAnalyzer {
       if (!Next(&tok)) return Finish();
     }
     if (!IsKeyword(tok, "RETRIEVE")) {
-      Error(tok, profile   ? "expected RETRIEVE after PROFILE"
+      Error(tok, watch_    ? "expected RETRIEVE after WATCH"
+                 : profile ? "expected RETRIEVE after PROFILE"
                  : explain ? "expected RETRIEVE after EXPLAIN"
                            : "query must start with RETRIEVE");
       return Finish();
@@ -152,6 +195,8 @@ class QueryAnalyzer {
       Error(tok, "expected video name after FROM");
       return Finish();
     }
+    video_line_ = tok.line;
+    video_col_ = tok.col;
     if (!Next(&tok)) return Finish();
     if (IsKeyword(tok, "WHERE")) {
       if (!AnalyzeWhere(&tok, /*secondary=*/false)) return Finish();
@@ -186,6 +231,26 @@ class QueryAnalyzer {
       if (!Next(&tok)) return Finish();
     }
 
+    if (IsKeyword(tok, "WINDOW")) {
+      if (!watch_) {
+        Error(tok, "WINDOW requires WATCH");
+        return Finish();
+      }
+      if (!Next(&tok)) return Finish();
+      double seconds = 0.0;
+      if (tok.kind != QToken::Kind::kWord ||
+          !ParseWindowDuration(tok.text, &seconds)) {
+        Error(tok, "expected window duration like '30s' after WINDOW");
+        return Finish();
+      }
+      if (seconds <= 0.0) {
+        Error(tok, "window duration must be positive");
+        return Finish();
+      }
+      window_sec_ = seconds;
+      if (!Next(&tok)) return Finish();
+    }
+
     if (tok.kind != QToken::Kind::kEnd) {
       Error(tok, "unexpected trailing token: " + tok.text);
     }
@@ -197,6 +262,10 @@ class QueryAnalyzer {
     QueryAnalysis analysis;
     analysis.diags = std::move(diags_);
     analysis.attr_sites = std::move(sites_);
+    analysis.watch = watch_;
+    analysis.window_sec = window_sec_;
+    analysis.video_line = video_line_;
+    analysis.video_col = video_col_;
     return analysis;
   }
 
@@ -258,6 +327,10 @@ class QueryAnalyzer {
   QLexer lexer_;
   DiagnosticList diags_;
   std::vector<AttrSite> sites_;
+  bool watch_ = false;
+  double window_sec_ = 0.0;
+  int video_line_ = 1;
+  int video_col_ = 1;
 };
 
 }  // namespace

@@ -34,12 +34,23 @@ struct AttrSite {
   std::string value;
 };
 
-/// AnalyzeQueryText plus the analysis facts EXPLAIN consumes: the position
-/// of every WHERE predicate, in textual order. `attr_sites` is only
-/// meaningful when `diags` is empty (the walk stops at the first error).
+/// AnalyzeQueryText plus the analysis facts EXPLAIN and the continuous-query
+/// layer consume: the position of every WHERE predicate in textual order,
+/// the WATCH/WINDOW facts, and the position of the video-name token. All
+/// facts are only meaningful when `diags` is empty (the walk stops at the
+/// first error).
 struct QueryAnalysis {
   DiagnosticList diags;
   std::vector<AttrSite> attr_sites;
+  /// The text carries the WATCH prefix (a continuous query).
+  bool watch = false;
+  /// WINDOW bound in seconds; 0 when absent (unbounded).
+  double window_sec = 0.0;
+  /// 1-based position of the video-name token after FROM — the anchor for
+  /// positioned watch-registration diagnostics ("query:L:C: ..." when a
+  /// watch names an unregistered video).
+  int video_line = 1;
+  int video_col = 1;
 };
 QueryAnalysis AnalyzeQueryTextWithFacts(const std::string& text);
 

@@ -363,6 +363,22 @@ Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
   const QueryAnalysis analysis = AnalyzeQueryTextWithFacts(query_text);
   COBRA_RETURN_IF_ERROR(analysis.diags.ToStatus("query"));
   COBRA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  if (parsed.watch) {
+    // Continuous query: hand it to the installed host instead of running
+    // the one-shot evaluator; matches arrive as notifications.
+    if (watch_handler_ == nullptr) {
+      return Status::FailedPrecondition(
+          "WATCH needs a continuous-query host — submit it through the "
+          "query server");
+    }
+    COBRA_ASSIGN_OR_RETURN(const uint64_t id,
+                           watch_handler_(parsed, analysis));
+    QueryResult result;
+    result.watch_id = id;
+    result.info = StrFormat("watch %llu registered",
+                            static_cast<unsigned long long>(id));
+    return result;
+  }
   if (parsed.explain) return ExecuteExplain(parsed, analysis.attr_sites);
   return Execute(parsed);
 }
@@ -637,6 +653,11 @@ void QueryEngine::CacheStore(const std::string& key,
 }
 
 Result<QueryResult> QueryEngine::Execute(const ParsedQuery& query) {
+  if (query.watch) {
+    return Status::FailedPrecondition(
+        "WATCH needs a continuous-query host — submit it through the "
+        "query server");
+  }
   // EXPLAIN without source text: same static report, unpositioned warnings.
   if (query.explain) return ExecuteExplain(query, {});
   if (!query.profile) return ExecuteImpl(query, exec_);
@@ -836,6 +857,10 @@ Result<QueryResult> QueryEngine::ExecuteSnapshot(
 
 Result<QueryResult> QueryEngine::ExecuteSnapshot(
     const ParsedQuery& query, const CatalogSnapshot& snapshot) const {
+  if (query.watch) {
+    return Status::FailedPrecondition(
+        "WATCH is a continuous query — a snapshot read is one-shot");
+  }
   if (query.explain) return ExecuteExplain(query, {}, snapshot);
   if (!query.profile) return ExecuteSnapshot(query, snapshot, exec_);
   // PROFILE under a per-query sink, exactly like the live path.
@@ -876,6 +901,10 @@ Result<QueryResult> QueryEngine::ExecuteSnapshot(
 
 Result<QueryResult> QueryEngine::ExecuteSnapshot(
     const ParsedQuery& query, const ShardedSnapshotSet& snapshots) const {
+  if (query.watch) {
+    return Status::FailedPrecondition(
+        "WATCH is a continuous query — a snapshot read is one-shot");
+  }
   if (query.explain) return ExecuteExplain(query, {}, snapshots);
   if (snapshots.empty()) {
     return Status::InvalidArgument(

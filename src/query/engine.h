@@ -2,6 +2,7 @@
 #define COBRA_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <string>
@@ -45,6 +46,10 @@ struct QueryResult {
   /// snapshot read — the epoch-vector stamp of the read set ("shards=N
   /// epochs=[...] coherent=..."). Empty for unsharded retrieval queries.
   std::string info;
+  /// Non-zero for a WATCH query: the id the continuous-query host assigned
+  /// to the registered watch. `segments` is empty — matches arrive as
+  /// notifications, not as a one-shot result.
+  uint64_t watch_id = 0;
 };
 
 /// Counters of the engine's extraction/result cache.
@@ -176,6 +181,18 @@ class QueryEngine {
   void set_fs(io::Fs* fs) { fs_ = fs; }
   const std::string& data_dir() const { return data_dir_; }
 
+  /// Hook a continuous-query host (query/continuous.h, installed by the
+  /// query server) uses to receive WATCH queries: Execute(text) hands a
+  /// parsed WATCH form plus its analysis facts here and reports the
+  /// returned id as QueryResult::watch_id. With no handler installed a
+  /// WATCH query is a FailedPrecondition. Not thread-safe: install before
+  /// serving queries.
+  using WatchHandler =
+      std::function<Result<uint64_t>(const ParsedQuery&, const QueryAnalysis&)>;
+  void set_watch_handler(WatchHandler handler) {
+    watch_handler_ = std::move(handler);
+  }
+
  private:
   /// The read surface EvaluateOver executes against: the live catalog (with
   /// dynamic extraction) or an immutable snapshot. Defined in engine.cc.
@@ -249,6 +266,7 @@ class QueryEngine {
   std::string data_dir_;
   /// Store bound to the last PERSIST/RECOVER target, created lazily.
   std::unique_ptr<kernel::PersistentStore> store_;
+  WatchHandler watch_handler_;
 
   struct CacheEntry {
     std::string key;

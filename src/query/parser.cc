@@ -69,6 +69,45 @@ bool IsKeyword(const Token& tok, const char* kw) {
   return tok.kind == Token::Kind::kWord && ToUpperAscii(tok.text) == kw;
 }
 
+/// Duration literal: `[-]digits[.digits]` followed by `s`/`S` ("30s",
+/// "2.5s", "-5s"). Returns false on any other shape; the sign is kept so
+/// the caller can report "must be positive" rather than a syntax error.
+bool ParseWindowDuration(const std::string& text, double* seconds) {
+  size_t i = 0;
+  bool negative = false;
+  if (i < text.size() && text[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  size_t digits = 0;
+  double value = 0.0;
+  while (i < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10.0 + (text[i] - '0');
+    ++digits;
+    ++i;
+  }
+  if (digits == 0) return false;
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    double scale = 0.1;
+    size_t frac = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value += (text[i] - '0') * scale;
+      scale *= 0.1;
+      ++frac;
+      ++i;
+    }
+    if (frac == 0) return false;
+  }
+  if (i + 1 != text.size() || (text[i] != 's' && text[i] != 'S')) {
+    return false;
+  }
+  *seconds = negative ? -value : value;
+  return true;
+}
+
 /// WHERE key = 'value' {AND key = 'value'} — `first` is the token after
 /// WHERE has been consumed; on return `next` holds the first token past the
 /// clause.
@@ -105,7 +144,10 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
   ParsedQuery query;
 
   COBRA_ASSIGN_OR_RETURN(Token tok, lexer.Next());
-  if (IsKeyword(tok, "PROFILE")) {
+  if (IsKeyword(tok, "WATCH")) {
+    query.watch = true;
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  } else if (IsKeyword(tok, "PROFILE")) {
     query.profile = true;
     COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
   } else if (IsKeyword(tok, "EXPLAIN")) {
@@ -113,6 +155,9 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
     COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
   }
   if (!IsKeyword(tok, "RETRIEVE")) {
+    if (query.watch) {
+      return Status::InvalidArgument("expected RETRIEVE after WATCH");
+    }
     if (query.profile) {
       return Status::InvalidArgument("expected RETRIEVE after PROFILE");
     }
@@ -177,6 +222,24 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
     } else {
       return Status::InvalidArgument("expected QUALITY or COST after PREFER");
     }
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+  }
+
+  if (IsKeyword(tok, "WINDOW")) {
+    if (!query.watch) {
+      return Status::InvalidArgument("WINDOW requires WATCH");
+    }
+    COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
+    double seconds = 0.0;
+    if (tok.kind != Token::Kind::kWord ||
+        !ParseWindowDuration(tok.text, &seconds)) {
+      return Status::InvalidArgument(
+          "expected window duration like '30s' after WINDOW");
+    }
+    if (seconds <= 0.0) {
+      return Status::InvalidArgument("window duration must be positive");
+    }
+    query.window_sec = seconds;
     COBRA_ASSIGN_OR_RETURN(tok, lexer.Next());
   }
 

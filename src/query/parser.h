@@ -32,16 +32,18 @@ struct EventPattern {
 
 /// Parsed form of the retrieval language:
 ///
-///   [PROFILE|EXPLAIN] RETRIEVE <type> FROM '<video>'
+///   [WATCH|PROFILE|EXPLAIN] RETRIEVE <type> FROM '<video>'
 ///     [WHERE <key> = '<value>' {AND <key> = '<value>'}]
 ///     [DURING|OVERLAPPING|BEFORE|AFTER|CONTAINING <type2>
 ///        [WHERE <key> = '<value>' {AND ...}]]
 ///     [PREFER QUALITY|COST]
+///     [WINDOW <n>s]
 ///
 /// e.g.  RETRIEVE highlight FROM 'german-gp' WHERE driver = 'SCHUMACHER'
 ///       RETRIEVE pitstop FROM 'usa-gp' DURING highlight PREFER COST
 ///       PROFILE RETRIEVE highlight FROM 'german-gp'
 ///       EXPLAIN RETRIEVE highlight FROM 'german-gp' WHERE driver = 'SENNA'
+///       WATCH RETRIEVE overtaking FROM 'live-gp' WINDOW 30s
 struct ParsedQuery {
   EventPattern primary;
   std::string video;
@@ -58,6 +60,15 @@ struct ParsedQuery {
   /// QueryResult::profile_text / profile_json. No extraction runs, the
   /// result cache is never consulted, and `segments` is always empty.
   bool explain = false;
+  /// WATCH prefix: register the query as a continuous query instead of
+  /// executing it once. The engine hands it to the installed watch handler
+  /// (query/continuous.h); notifications are delivered per appended batch.
+  bool watch = false;
+  /// WINDOW bound in seconds (`WINDOW 30s`); 0 means unbounded. Only valid
+  /// together with WATCH — it bounds the *standing view* of a watch to
+  /// segments ending within the trailing window; the notification stream
+  /// itself is never window-filtered (batch-size invariance).
+  double window_sec = 0.0;
 };
 
 /// Parses the retrieval language; returns InvalidArgument with a pointed

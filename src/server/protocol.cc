@@ -135,6 +135,13 @@ std::string EncodeResponse(const Response& response) {
         static_cast<unsigned long long>(response.version),
         static_cast<unsigned long long>(response.lsn),
         response.segments.size());
+    if (response.watch != 0) {
+      // Optional trailing field, spliced in before the newline so the
+      // header stays a single line.
+      out.pop_back();
+      out += StrFormat(" watch=%llu\n",
+                       static_cast<unsigned long long>(response.watch));
+    }
     for (const std::string& line : response.segments) {
       out += line;
       out.push_back('\n');
@@ -164,13 +171,15 @@ Result<Response> ParseResponse(std::string_view payload) {
   std::string_view rest = payload.substr(nl + 1);
   if (!fields.empty() && fields[0] == "OK") {
     uint64_t rows = 0;
-    if (fields.size() != 7 ||
+    if ((fields.size() != 7 && fields.size() != 8) ||
         !ParseKeyU64(fields[1], "session", &response.session) ||
         !ParseKeyU64(fields[2], "seq", &response.seq) ||
         !ParseKeyU64(fields[3], "epoch", &response.epoch) ||
         !ParseKeyU64(fields[4], "version", &response.version) ||
         !ParseKeyU64(fields[5], "lsn", &response.lsn) ||
-        !ParseKeyU64(fields[6], "rows", &rows)) {
+        !ParseKeyU64(fields[6], "rows", &rows) ||
+        (fields.size() == 8 &&
+         !ParseKeyU64(fields[7], "watch", &response.watch))) {
       return Status::InvalidArgument("response: malformed OK header");
     }
     response.ok = true;
@@ -217,6 +226,37 @@ Result<Response> ParseResponse(std::string_view payload) {
     return response;
   }
   return Status::InvalidArgument("response: unknown header");
+}
+
+std::string EncodeNotification(const Notification& notification) {
+  return StrFormat("N watch=%llu seq=%llu epoch=%llu version=%llu\n",
+                   static_cast<unsigned long long>(notification.watch),
+                   static_cast<unsigned long long>(notification.seq),
+                   static_cast<unsigned long long>(notification.epoch),
+                   static_cast<unsigned long long>(notification.version)) +
+         notification.segment;
+}
+
+Result<Notification> ParseNotification(std::string_view payload) {
+  const size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) {
+    return Status::InvalidArgument("notification: missing header line");
+  }
+  const std::vector<std::string_view> fields =
+      SplitFields(payload.substr(0, nl));
+  Notification notification;
+  if (fields.size() != 5 || fields[0] != "N" ||
+      !ParseKeyU64(fields[1], "watch", &notification.watch) ||
+      !ParseKeyU64(fields[2], "seq", &notification.seq) ||
+      !ParseKeyU64(fields[3], "epoch", &notification.epoch) ||
+      !ParseKeyU64(fields[4], "version", &notification.version)) {
+    return Status::InvalidArgument("notification: malformed header");
+  }
+  notification.segment = std::string(payload.substr(nl + 1));
+  if (notification.segment.substr(0, 2) != "S ") {
+    return Status::InvalidArgument("notification: malformed segment line");
+  }
+  return notification;
 }
 
 std::string EncodeSegment(const model::EventRecord& event) {

@@ -19,10 +19,14 @@ namespace cobra::server::protocol {
 ///   request   := "Q <session> <seq>\n<query text>"
 ///   response  := ok-response | err-response
 ///   ok-response :=
-///       "OK session=<s> seq=<q> epoch=<e> version=<v> lsn=<l> rows=<n>\n"
+///       "OK session=<s> seq=<q> epoch=<e> version=<v> lsn=<l> rows=<n>
+///        [watch=<w>]\n"                        (one line; watch only for
+///                                               WATCH registrations)
 ///       n segment lines ("S ...")
 ///       optional "P <bytes>\n<profile text>"  (PROFILE queries only)
 ///   err-response := "ERR <CodeName> session=<s> seq=<q>\n<message>"
+///   notification := "N watch=<w> seq=<q> epoch=<e> version=<v>\n"
+///                   one segment line ("S ...")
 ///
 /// A segment line is the canonical rendering of one result event:
 ///
@@ -62,6 +66,21 @@ struct Response {
   std::vector<std::string> segments;
   /// PROFILE queries: the span-tree text rendering, verbatim.
   std::string profile;
+  /// WATCH registrations: the assigned watch id (the optional trailing
+  /// `watch=` OK-header field; 0 = absent).
+  uint64_t watch = 0;
+};
+
+/// One continuous-query notification frame ("N ..."): a watch match pushed
+/// by the server after the response of the request whose batch produced it.
+/// `seq` is the watch's gap-free 1-based delivery counter; `segment` is the
+/// same canonical "S ..." line a one-shot result would carry.
+struct Notification {
+  uint64_t watch = 0;
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+  uint64_t version = 0;
+  std::string segment;
 };
 
 // -- Framing ---------------------------------------------------------------
@@ -93,6 +112,9 @@ Result<Request> ParseRequest(std::string_view payload);
 
 std::string EncodeResponse(const Response& response);
 Result<Response> ParseResponse(std::string_view payload);
+
+std::string EncodeNotification(const Notification& notification);
+Result<Notification> ParseNotification(std::string_view payload);
 
 /// Canonical segment line of one event record (see format above).
 std::string EncodeSegment(const model::EventRecord& event);

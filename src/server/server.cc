@@ -24,7 +24,8 @@ QueryServer::QueryServer(const query::QueryEngine* engine,
       config_(std::move(config)),
       snapshots_(videos, kernel),
       pool_(std::make_unique<ThreadPool>(
-          config_.workers > 0 ? config_.workers : 1)) {
+          config_.workers > 0 ? config_.workers : 1)),
+      watch_manager_(engine, &snapshots_, kernel) {
   COBRA_CHECK(engine != nullptr && videos != nullptr);
 }
 
@@ -39,12 +40,28 @@ uint64_t QueryServer::OpenSession() {
 }
 
 Status QueryServer::CloseSession(uint64_t session) {
-  MutexLock lock(mu_);
-  if (sessions_.erase(session) == 0) {
-    return Status::NotFound(
-        StrFormat("no session %llu", static_cast<unsigned long long>(session)));
+  {
+    MutexLock lock(mu_);
+    if (sessions_.erase(session) == 0) {
+      return Status::NotFound(StrFormat(
+          "no session %llu", static_cast<unsigned long long>(session)));
+    }
+    ++sessions_closed_;
   }
-  ++sessions_closed_;
+  // Watches die with their session: registrations are removed and
+  // undelivered notifications dropped. A host that wants watches to survive
+  // (e.g. across RECOVER) snapshots watch_manager().SerializeCursors()
+  // before the session goes away.
+  MutexLock lock(watch_mu_);
+  pending_notifications_.erase(session);
+  for (auto it = watch_sessions_.begin(); it != watch_sessions_.end();) {
+    if (it->second == session) {
+      (void)watch_manager_.Unregister(it->first);
+      it = watch_sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   return Status::OK();
 }
 
@@ -165,6 +182,22 @@ protocol::Response QueryServer::ExecuteAdmitted(
   Result<query::ParsedQuery> parsed = query::ParseQuery(query);
   if (!parsed.ok()) return fail(parsed.status());
 
+  if (parsed->watch) {
+    // WATCH registers a continuous query instead of reading. The response
+    // still claims the admission-time snapshot identity: the watch observes
+    // every write from that epoch on (its first pump evaluates the full
+    // history, so earlier matches are delivered too — exactly once).
+    const query::QueryAnalysis analysis =
+        query::AnalyzeQueryTextWithFacts(query);
+    MutexLock lock(watch_mu_);
+    Result<uint64_t> id = watch_manager_.Register(*parsed, analysis);
+    if (!id.ok()) return fail(id.status());
+    watch_sessions_[*id] = session;
+    response.ok = true;
+    response.watch = *id;
+    return response;
+  }
+
   kernel::ExecContext exec = config_.exec;
   exec.trace = nullptr;
   exec.trace_parent = nullptr;
@@ -260,6 +293,37 @@ std::string QueryServer::HandleFrame(const std::string& payload) {
       Call(request->session, request->seq, request->query));
 }
 
+Status QueryServer::PumpWatches() {
+  kernel::ExecContext exec = config_.exec;
+  exec.trace = nullptr;
+  exec.trace_parent = nullptr;
+  std::vector<query::WatchNotification> notes;
+  MutexLock lock(watch_mu_);
+  COBRA_RETURN_IF_ERROR(watch_manager_.Pump(exec, &notes));
+  for (const query::WatchNotification& note : notes) {
+    auto it = watch_sessions_.find(note.watch_id);
+    if (it == watch_sessions_.end()) continue;
+    protocol::Notification out;
+    out.watch = note.watch_id;
+    out.seq = note.seq;
+    out.epoch = note.epoch;
+    out.version = note.version;
+    out.segment = protocol::EncodeSegment(note.segment);
+    pending_notifications_[it->second].push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+std::vector<protocol::Notification> QueryServer::TakeNotifications(
+    uint64_t session) {
+  MutexLock lock(watch_mu_);
+  auto it = pending_notifications_.find(session);
+  if (it == pending_notifications_.end()) return {};
+  std::vector<protocol::Notification> out = std::move(it->second);
+  pending_notifications_.erase(it);
+  return out;
+}
+
 void QueryServer::Shutdown() {
   std::unique_ptr<ThreadPool> pool;
   {
@@ -284,17 +348,21 @@ void QueryServer::Shutdown() {
 }
 
 ServerStats QueryServer::stats() const {
-  MutexLock lock(mu_);
   ServerStats out;
-  out.accepted = accepted_;
-  out.rejected_busy = rejected_busy_;
-  out.rejected_shutdown = rejected_shutdown_;
-  out.completed = completed_;
-  out.errors = errors_;
-  out.sessions_opened = sessions_opened_;
-  out.sessions_closed = sessions_closed_;
-  out.in_flight = in_flight_;
-  out.snapshots = snapshots_.stats();
+  {
+    MutexLock lock(mu_);
+    out.accepted = accepted_;
+    out.rejected_busy = rejected_busy_;
+    out.rejected_shutdown = rejected_shutdown_;
+    out.completed = completed_;
+    out.errors = errors_;
+    out.sessions_opened = sessions_opened_;
+    out.sessions_closed = sessions_closed_;
+    out.in_flight = in_flight_;
+    out.snapshots = snapshots_.stats();
+  }
+  MutexLock lock(watch_mu_);
+  out.watches = watch_manager_.watch_count();
   return out;
 }
 
@@ -313,6 +381,25 @@ protocol::Response LocalConnection::Query(const std::string& text) {
   Result<protocol::Response> response = protocol::ParseResponse(payload);
   COBRA_CHECK(response.ok());
   return *response;
+}
+
+std::vector<protocol::Notification> LocalConnection::TakeNotifications() {
+  // Same no-socket wire round-trip as Query(): every notification is frame-
+  // encoded and re-parsed, so the bytes a test compares are exactly the
+  // bytes a TCP client would read.
+  std::vector<protocol::Notification> out;
+  protocol::FrameDecoder decoder;
+  for (const protocol::Notification& pending :
+       server_->TakeNotifications(session_)) {
+    decoder.Feed(protocol::EncodeFrame(protocol::EncodeNotification(pending)));
+    std::string payload;
+    COBRA_CHECK(decoder.Next(&payload));
+    Result<protocol::Notification> parsed =
+        protocol::ParseNotification(payload);
+    COBRA_CHECK(parsed.ok());
+    out.push_back(std::move(*parsed));
+  }
+  return out;
 }
 
 // -- TCP transport ---------------------------------------------------------
@@ -413,6 +500,13 @@ void TcpServer::ServeConnection(int fd, uint64_t id) {
         const uint64_t sid = request->session == 0 ? session : request->session;
         out = protocol::EncodeFrame(protocol::EncodeResponse(
             server_->Call(sid, request->seq, request->query)));
+        // Watch notifications queued for this session ride behind the
+        // response as "N" frames — a client distinguishes them by the
+        // payload's leading field.
+        for (const protocol::Notification& note :
+             server_->TakeNotifications(sid)) {
+          out += protocol::EncodeFrame(protocol::EncodeNotification(note));
+        }
       }
       size_t sent = 0;
       while (sent < out.size()) {

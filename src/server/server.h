@@ -15,6 +15,7 @@
 #include "base/thread_annotations.h"
 #include "base/thread_pool.h"
 #include "kernel/exec_context.h"
+#include "query/continuous.h"
 #include "query/engine.h"
 #include "query/snapshot.h"
 #include "server/protocol.h"
@@ -53,6 +54,7 @@ struct ServerStats {
   uint64_t sessions_opened = 0;
   uint64_t sessions_closed = 0;
   size_t in_flight = 0;  // currently admitted and not yet responded
+  size_t watches = 0;    // continuous queries currently registered
   query::SnapshotManager::Stats snapshots;
 };
 
@@ -72,6 +74,15 @@ struct ServerStats {
 /// Sessions are lightweight server-side state (id, counters); requests
 /// reference them by id. The transports below (LocalConnection, TcpServer)
 /// manage session lifecycle for their callers.
+///
+/// WATCH queries register with the server-owned ContinuousQueryManager
+/// instead of reading: the OK response carries the watch id, and matches are
+/// delivered as notification ("N") frames. The server never self-pumps —
+/// the ingesting host calls PumpWatches() after appending data, which
+/// evaluates every watch over one pinned snapshot and queues notifications
+/// on the sessions that registered them; transports drain those queues
+/// (LocalConnection::TakeNotifications, or piggybacked after TCP responses).
+/// A watch dies with its session.
 class QueryServer {
  public:
   /// The engine/catalogs must outlive the server. `engine` is used for its
@@ -108,6 +119,24 @@ class QueryServer {
   /// returns the encoded response payload. The transports' entry point.
   std::string HandleFrame(const std::string& payload) COBRA_EXCLUDES(mu_);
 
+  // -- Continuous queries --------------------------------------------------
+
+  /// Evaluates every registered watch against one freshly pinned snapshot
+  /// and queues the resulting notifications on their owning sessions
+  /// (drained by the transports as "N" frames). The ingesting host calls
+  /// this after appending a batch — the server never self-pumps, so
+  /// notification timing is a deterministic function of the write history.
+  Status PumpWatches() COBRA_EXCLUDES(watch_mu_);
+
+  /// Drains `session`'s queued notifications in delivery order.
+  std::vector<protocol::Notification> TakeNotifications(uint64_t session)
+      COBRA_EXCLUDES(watch_mu_);
+
+  /// The continuous-query registry, for cursor save/restore around RECOVER
+  /// and stats assertions. Quiesce serving (no concurrent Submits or pumps)
+  /// before touching it directly — the manager itself is not thread-safe.
+  query::ContinuousQueryManager& watch_manager() { return watch_manager_; }
+
   /// Stops admitting (further Submits return Unavailable), drains every
   /// in-flight request to its response, and joins the workers. Idempotent.
   void Shutdown() COBRA_EXCLUDES(mu_);
@@ -132,6 +161,17 @@ class QueryServer {
   query::SnapshotManager snapshots_;
   /// Created before and destroyed after the pool so tasks can always use it.
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Watch state lives under its own lock: registration happens on worker
+  /// threads (inside ExecuteAdmitted), pumping on the host's writer thread.
+  /// Never held together with mu_.
+  mutable Mutex watch_mu_;
+  query::ContinuousQueryManager watch_manager_ COBRA_GUARDED_BY(watch_mu_);
+  /// watch id -> owning session (notification routing and session cleanup).
+  std::map<uint64_t, uint64_t> watch_sessions_ COBRA_GUARDED_BY(watch_mu_);
+  /// Per-session queues of undelivered notifications.
+  std::map<uint64_t, std::vector<protocol::Notification>>
+      pending_notifications_ COBRA_GUARDED_BY(watch_mu_);
 
   mutable Mutex mu_;
   /// Signalled when in_flight_ drops to zero; Shutdown waits on it so no
@@ -165,6 +205,11 @@ class LocalConnection {
 
   /// Sends one query through the wire encoding and decodes the response.
   protocol::Response Query(const std::string& text);
+
+  /// Drains this session's pending watch notifications, each round-tripped
+  /// through the wire encoding ("N" frames) exactly as a socket client
+  /// would receive them, in delivery order.
+  std::vector<protocol::Notification> TakeNotifications();
 
   uint64_t session() const { return session_; }
 

@@ -222,6 +222,66 @@ TEST(HashIndexTest, ConcurrentProbesOnSharedBat) {
   EXPECT_EQ(bat.accel_info().head_builds, 1u);
 }
 
+TEST(HashIndexTest, AppendMaintenanceKeepsIndexFreshWithoutRebuilds) {
+  // Staleness audit for streaming mode: with append maintenance on, every
+  // append EXTENDS the live index in place — the build counter must never
+  // move, freshness must never drop, and probes must stay exact.
+  Bat bat(TailType::kInt);
+  for (size_t i = 0; i < Bat::kAutoIndexMinRows * 2; ++i) {
+    bat.AppendInt(static_cast<Oid>(i), static_cast<int64_t>(i % 7));
+  }
+  bat.BuildTailIndex();
+  ASSERT_TRUE(bat.accel_info().tail_index_fresh);
+  const uint64_t builds_before = bat.accel_info().tail_builds;
+  const uint64_t extends_before = bat.accel_info().tail_extends;
+
+  bat.set_append_maintenance(true);
+  constexpr size_t kAppends = 200;
+  ExecContext cold;
+  cold.auto_index = false;
+  for (size_t i = 0; i < kAppends; ++i) {
+    const int64_t v = static_cast<int64_t>(i % 7);
+    bat.AppendInt(static_cast<Oid>(10000 + i), v);
+    ASSERT_TRUE(bat.accel_info().tail_index_fresh) << "stale after append " << i;
+    auto count = bat.CountEq(Value::Int(v));
+    auto scan = bat.SelectEq(Value::Int(v), cold);
+    ASSERT_TRUE(count.ok());
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(*count, scan->size()) << "probe diverged at append " << i;
+  }
+  // The delta is pinned exactly: zero rebuilds, one extend per append, and
+  // the index covers every row.
+  EXPECT_EQ(bat.accel_info().tail_builds, builds_before);
+  EXPECT_EQ(bat.accel_info().tail_extends, extends_before + kAppends);
+  EXPECT_EQ(bat.accel_info().tail_indexed_rows, bat.size());
+
+  // Indexed selects serve the same bytes as a cold scan after maintenance.
+  for (int64_t probe : {0, 3, 6}) {
+    auto indexed = bat.SelectEq(Value::Int(probe));
+    auto scan = bat.SelectEq(Value::Int(probe), cold);
+    ASSERT_TRUE(indexed.ok());
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(indexed->size(), scan->size());
+    for (size_t i = 0; i < scan->size(); ++i) {
+      EXPECT_EQ(indexed->HeadAt(i), scan->HeadAt(i));
+    }
+  }
+
+  // Back in default mode the old contract still holds: appends invalidate,
+  // and CountEq is probe-only — it scans exactly but NEVER builds.
+  bat.set_append_maintenance(false);
+  bat.AppendInt(99999, 3);
+  EXPECT_FALSE(bat.accel_info().tail_index_fresh);
+  const uint64_t builds_stale = bat.accel_info().tail_builds;
+  auto count = bat.CountEq(Value::Int(3));
+  auto scan = bat.SelectEq(Value::Int(3), cold);
+  ASSERT_TRUE(count.ok());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(*count, scan->size());
+  EXPECT_EQ(bat.accel_info().tail_builds, builds_stale);
+  EXPECT_FALSE(bat.accel_info().tail_index_fresh);
+}
+
 TEST(CatalogStatsTest, ReportsAccelStatePerBat) {
   Catalog catalog;
   ASSERT_TRUE(catalog.Create("names", TailType::kStr).ok());

@@ -27,8 +27,10 @@
 #include "kernel/mil.h"
 #include "kernel/persist.h"
 #include "query/analyzer.h"
+#include "query/continuous.h"
 #include "query/engine.h"
 #include "query/parser.h"
+#include "query/snapshot.h"
 
 namespace cobra::kernel {
 namespace {
@@ -116,6 +118,10 @@ TEST_F(MilAnalyzerTest, PositionsTrackLines) {
 TEST_F(MilAnalyzerTest, MalformedCorpusRejectedWithPositions) {
   const char* corpus[] = {
       "PRINT bat('missing');",
+      // Stream seal-metadata BATs resolve like any other catalog name: a
+      // watch over a stream that was never attached is caught statically.
+      "PRINT bat('telemetry.@seals');",
+      "PRINT count(bat('values.@seals'));",
       "PRINT frobnicate(1);",
       "PRINT sum(1);",
       "PRINT select(bat('values'));",
@@ -621,6 +627,10 @@ const char* kValidQueries[] = {
     "EXPLAIN RETRIEVE highlight FROM 'german-gp'",
     "explain retrieve caption from 'usa-gp' where driver = 'Montoya'",
     "EXPLAIN RETRIEVE h FROM 'x' DURING caption WHERE kind = 'pitstop'",
+    "WATCH RETRIEVE overtaking FROM 'live-gp'",
+    "watch retrieve passing from 'x' where driver = 'alesi' window 30s",
+    "WATCH RETRIEVE h FROM 'x' DURING caption WINDOW 0.5s",
+    "WATCH RETRIEVE h FROM 'x' PREFER COST WINDOW 45S",
 };
 
 // The malformed corpus from query_test.cc's MalformedInputCorpus.
@@ -649,6 +659,16 @@ const char* kMalformedQueries[] = {
     "EXPLAIN EXPLAIN RETRIEVE h FROM 'x'",
     "EXPLAIN PROFILE RETRIEVE h FROM 'x'",
     "PROFILE EXPLAIN RETRIEVE h FROM 'x'",
+    "WATCH",
+    "WATCH WATCH RETRIEVE h FROM 'x'",
+    "WATCH PROFILE RETRIEVE h FROM 'x'",
+    "PROFILE WATCH RETRIEVE h FROM 'x'",
+    "RETRIEVE h FROM 'x' WINDOW 30s",
+    "WATCH RETRIEVE h FROM 'x' WINDOW",
+    "WATCH RETRIEVE h FROM 'x' WINDOW 30",
+    "WATCH RETRIEVE h FROM 'x' WINDOW -5s",
+    "WATCH RETRIEVE h FROM 'x' WINDOW 0s",
+    "WATCH RETRIEVE h FROM 'x' WINDOW abcs",
 };
 
 TEST(QueryAnalyzerTest, ValidQueriesPass) {
@@ -707,6 +727,85 @@ TEST(QueryAnalyzerTest, PositionsAreExact) {
     EXPECT_EQ(diags.diagnostics().front().line, 2);
     EXPECT_EQ(diags.diagnostics().front().col, 24);
   }
+}
+
+TEST(QueryAnalyzerTest, WatchWindowPositionsAreExact) {
+  {
+    // Missing duration at end-of-input: one past the last character.
+    DiagnosticList diags =
+        AnalyzeQueryText("WATCH RETRIEVE h FROM 'x' WINDOW");
+    ASSERT_FALSE(diags.ok());
+    EXPECT_EQ(diags.diagnostics().front().line, 1);
+    EXPECT_EQ(diags.diagnostics().front().col, 33);
+  }
+  {
+    // A malformed duration is positioned at ITS token, not at WINDOW.
+    DiagnosticList diags =
+        AnalyzeQueryText("WATCH RETRIEVE h FROM 'x'\nWINDOW abcs");
+    ASSERT_FALSE(diags.ok());
+    const Diagnostic& d = diags.diagnostics().front();
+    EXPECT_EQ(d.line, 2);
+    EXPECT_EQ(d.col, 8);
+    EXPECT_NE(d.message.find("window duration"), std::string::npos);
+  }
+  {
+    // Zero is rejected as non-positive, at the duration token.
+    DiagnosticList diags =
+        AnalyzeQueryText("WATCH RETRIEVE h FROM 'x' WINDOW 0s");
+    ASSERT_FALSE(diags.ok());
+    const Diagnostic& d = diags.diagnostics().front();
+    EXPECT_EQ(d.line, 1);
+    EXPECT_EQ(d.col, 34);
+    EXPECT_NE(d.message.find("positive"), std::string::npos);
+  }
+  {
+    // WINDOW without WATCH is positioned at the WINDOW keyword.
+    DiagnosticList diags =
+        AnalyzeQueryText("RETRIEVE h FROM 'x' WINDOW 30s");
+    ASSERT_FALSE(diags.ok());
+    const Diagnostic& d = diags.diagnostics().front();
+    EXPECT_EQ(d.line, 1);
+    EXPECT_EQ(d.col, 21);
+    EXPECT_NE(d.message.find("WINDOW requires WATCH"), std::string::npos);
+  }
+}
+
+TEST(QueryAnalyzerTest, WatchFactsCarryWindowAndVideoPosition) {
+  const QueryAnalysis analysis = AnalyzeQueryTextWithFacts(
+      "WATCH RETRIEVE passing\nFROM 'live-gp' WINDOW 30s");
+  ASSERT_TRUE(analysis.diags.ok());
+  EXPECT_TRUE(analysis.watch);
+  EXPECT_DOUBLE_EQ(analysis.window_sec, 30.0);
+  // The video token's position is what the continuous-query registrar
+  // blames when the video does not exist.
+  EXPECT_EQ(analysis.video_line, 2);
+  EXPECT_EQ(analysis.video_col, 6);
+
+  const QueryAnalysis plain =
+      AnalyzeQueryTextWithFacts("RETRIEVE passing FROM 'live-gp'");
+  ASSERT_TRUE(plain.diags.ok());
+  EXPECT_FALSE(plain.watch);
+  EXPECT_DOUBLE_EQ(plain.window_sec, 0.0);
+}
+
+TEST(QueryAnalyzerTest, WatchOverMissingVideoIsPositioned) {
+  // Registration over an empty catalog: the failure is a positioned
+  // query:L:C diagnostic at the video token, preserving the model's code.
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  extensions::ExtensionRegistry registry;
+  QueryEngine engine(&videos, &registry);
+  SnapshotManager snapshots(&videos, &kcat);
+  ContinuousQueryManager watches(&engine, &snapshots, &kcat);
+  auto id = watches.RegisterText("WATCH RETRIEVE passing\nFROM 'ghost-gp'");
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(id.status().message().find("query:2:6: error:"),
+            std::string::npos)
+      << id.status().message();
+  EXPECT_NE(id.status().message().find("no video named ghost-gp"),
+            std::string::npos)
+      << id.status().message();
 }
 
 TEST(QueryAnalyzerTest, AttrSitesCarryPositionsAndNormalizedText) {

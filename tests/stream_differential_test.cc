@@ -1,0 +1,633 @@
+// The streaming differential harness: the SAME event history must yield
+// byte-identical state and results whether it was batch-loaded once or
+// streamed in arbitrarily-sized batches with continuous queries attached.
+//
+//   * kernel layer — StreamBat appends under randomized batch sizes vs a
+//     batch-built Bat: ScanWindow byte-identical to SelectRange, CountEq
+//     identical to a scan, zone maps prune without changing results, and
+//     incremental index maintenance keeps probes fresh (no rebuilds);
+//   * end-to-end — an f1 race replayed through ReplayDriver into the query
+//     server with WATCH queries registered over the wire: final query
+//     results AND the concatenated notification stream are byte-identical
+//     to the one-giant-batch oracle, across random batch seeds;
+//   * sharded — the same streamed history read back at 1/2/7 shards
+//     produces the same response bytes;
+//   * seeded defect — with `unsafe_skip_tail_reindex` (kernel) or a stamped
+//     event.type index (watch gate), the harness MUST detect divergence:
+//     a stale-index bug cannot pass this suite.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "base/trace.h"
+#include "cobra/video_model.h"
+#include "extensions/extension.h"
+#include "f1/replay_driver.h"
+#include "f1/timeline.h"
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+#include "kernel/exec_context.h"
+#include "kernel/persist.h"
+#include "kernel/stream.h"
+#include "query/continuous.h"
+#include "query/engine.h"
+#include "query/snapshot.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace cobra {
+namespace {
+
+using kernel::Bat;
+using kernel::Catalog;
+using kernel::Oid;
+using kernel::StreamBat;
+using kernel::TailType;
+using kernel::Value;
+
+// ---------------------------------------------------------------------------
+// Kernel layer: StreamBat vs batch-built Bat.
+
+/// Canonical rendering of a (head, float-tail) result — equal strings mean
+/// byte-identical results.
+std::string CanonFloatBat(const Bat& bat) {
+  std::string out;
+  for (size_t i = 0; i < bat.size(); ++i) {
+    out += StrFormat("%llu:%a\n",
+                     static_cast<unsigned long long>(bat.HeadAt(i)),
+                     bat.FloatAt(i));
+  }
+  return out;
+}
+
+/// The deterministic value sequence both sides ingest.
+std::vector<double> WorkloadValues(size_t n) {
+  Rng rng(0xF1F1F1);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(rng.Uniform(-100.0, 100.0));
+  return values;
+}
+
+TEST(StreamBatDifferentialTest, RandomizedBatchesMatchBatchOracle) {
+  constexpr size_t kRows = 500;
+  const std::vector<double> values = WorkloadValues(kRows);
+
+  // Batch oracle: everything appended up front, queried via SelectRange.
+  Bat oracle(TailType::kFloat);
+  for (size_t i = 0; i < kRows; ++i) {
+    oracle.AppendFloat(static_cast<Oid>(i + 1), values[i]);
+  }
+
+  const struct {
+    double lo, hi;
+  } windows[] = {{-10.0, 10.0}, {-200.0, 200.0}, {55.5, 56.5}, {99.0, 98.0}};
+
+  for (const uint64_t seed : {7u, 99u, 12345u}) {
+    for (const uint64_t segment_rows : {3u, 16u, 64u}) {
+      SCOPED_TRACE(StrFormat("seed=%llu segment_rows=%llu",
+                             static_cast<unsigned long long>(seed),
+                             static_cast<unsigned long long>(segment_rows)));
+      Catalog catalog;
+      ASSERT_TRUE(catalog.Create("s", TailType::kFloat).ok());
+      StreamBat::Options opts;
+      opts.segment_rows = segment_rows;
+      auto stream = StreamBat::Attach(&catalog, "s", opts);
+      ASSERT_TRUE(stream.ok()) << stream.status().message();
+
+      Rng rng(seed);
+      size_t next = 0;
+      while (next < kRows) {
+        const size_t take =
+            std::min<size_t>(rng.UniformInt(9) + 1, kRows - next);
+        for (size_t i = 0; i < take; ++i, ++next) {
+          ASSERT_TRUE(
+              stream->Append(static_cast<Oid>(next + 1), Value::Float(values[next]))
+                  .ok());
+        }
+        // Mid-stream reads over a partially sealed row space must match the
+        // oracle restricted to the same prefix.
+        Bat prefix(TailType::kFloat);
+        for (size_t i = 0; i < next; ++i) {
+          prefix.AppendFloat(static_cast<Oid>(i + 1), values[i]);
+        }
+        auto mid = stream->ScanWindow(-50.0, 50.0, kernel::ExecContext());
+        auto mid_oracle = prefix.SelectRange(-50.0, 50.0);
+        ASSERT_TRUE(mid.ok());
+        ASSERT_TRUE(mid_oracle.ok());
+        ASSERT_EQ(CanonFloatBat(*mid), CanonFloatBat(*mid_oracle));
+      }
+
+      // Final reads: every window byte-identical to the batch oracle.
+      for (const auto& w : windows) {
+        auto got = stream->ScanWindow(w.lo, w.hi, kernel::ExecContext());
+        auto want = oracle.SelectRange(w.lo, w.hi);
+        ASSERT_TRUE(got.ok());
+        ASSERT_TRUE(want.ok());
+        EXPECT_EQ(CanonFloatBat(*got), CanonFloatBat(*want))
+            << "window [" << w.lo << ", " << w.hi << "]";
+      }
+      // The segmentation really sealed, and narrow windows really pruned.
+      EXPECT_EQ(stream->visible_rows(), kRows);
+      EXPECT_GE(stream->stats().seals, kRows / segment_rows - 1);
+      EXPECT_GT(stream->stats().segments_pruned, 0u);
+    }
+  }
+}
+
+TEST(StreamBatDifferentialTest, IncrementalMaintenanceServesFreshProbes) {
+  // Streaming appends with maintenance on: the index built once is extended
+  // in place (tail_extends grows, tail_builds does not) and CountEq stays
+  // exact after every batch.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Create("labels", TailType::kStr).ok());
+  StreamBat::Options opts;
+  opts.segment_rows = 32;
+  auto stream = StreamBat::Attach(&catalog, "labels", opts);
+  ASSERT_TRUE(stream.ok());
+
+  uint64_t hot = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    const bool is_hot = i % 3 == 0;
+    hot += is_hot ? 1 : 0;
+    ASSERT_TRUE(stream
+                    ->Append(static_cast<Oid>(i + 1),
+                             Value::Str(is_hot ? "hot" : "cold-" +
+                                                             std::to_string(i)))
+                    .ok());
+  }
+  stream->backing().BuildTailIndex();
+  const uint64_t builds_after_first = stream->backing().accel_info().tail_builds;
+
+  for (size_t i = 200; i < 400; ++i) {
+    const bool is_hot = i % 3 == 0;
+    hot += is_hot ? 1 : 0;
+    ASSERT_TRUE(stream
+                    ->Append(static_cast<Oid>(i + 1),
+                             Value::Str(is_hot ? "hot" : "cold-" +
+                                                             std::to_string(i)))
+                    .ok());
+    auto count = stream->CountEq(Value::Str("hot"), kernel::ExecContext());
+    ASSERT_TRUE(count.ok());
+    ASSERT_EQ(*count, hot) << "stale probe after append " << i;
+  }
+  const Bat::AccelInfo info = stream->backing().accel_info();
+  EXPECT_TRUE(info.tail_index_fresh);
+  EXPECT_EQ(info.tail_builds, builds_after_first);  // never rebuilt...
+  EXPECT_GE(info.tail_extends, 200u);               // ...extended per append
+  EXPECT_EQ(info.tail_indexed_rows, 400u);
+}
+
+TEST(StreamBatDifferentialTest, SeededStaleIndexDefectIsCaught) {
+  // The same workload with `unsafe_skip_tail_reindex`: the index is stamped
+  // fresh without the appended rows, so probe-vs-scan MUST diverge — this
+  // is the proof the harness can catch the latent-staleness bug class.
+  auto run = [](bool defect) -> std::vector<uint64_t> {
+    Catalog catalog;
+    COBRA_CHECK(catalog.Create("labels", TailType::kStr).ok());
+    StreamBat::Options opts;
+    opts.segment_rows = 32;
+    opts.unsafe_skip_tail_reindex = defect;
+    auto stream = StreamBat::Attach(&catalog, "labels", opts);
+    COBRA_CHECK(stream.ok());
+    std::vector<uint64_t> counts;
+    for (size_t i = 0; i < 300; ++i) {
+      COBRA_CHECK(stream
+                      ->Append(static_cast<Oid>(i + 1),
+                               Value::Str(i % 3 == 0 ? "hot" : "cold"))
+                      .ok());
+      if (i == 149) stream->backing().BuildTailIndex();
+      if (i > 149 && i % 50 == 0) {
+        auto count = stream->CountEq(Value::Str("hot"), kernel::ExecContext());
+        COBRA_CHECK(count.ok());
+        counts.push_back(*count);
+      }
+    }
+    return counts;
+  };
+  const std::vector<uint64_t> honest = run(false);
+  const std::vector<uint64_t> defective = run(true);
+  ASSERT_EQ(honest.size(), defective.size());
+  EXPECT_NE(honest, defective) << "the seeded defect was NOT caught";
+  // And the honest run agrees with arithmetic: the first probe lands after
+  // appending i=150, so it counts i in [0, 150] with i % 3 == 0.
+  EXPECT_EQ(honest.front(), 150u / 3 + 1);
+}
+
+TEST(StreamBatDifferentialTest, SpansAndSealsAreRecorded) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Create("s", TailType::kFloat).ok());
+  StreamBat::Options opts;
+  opts.segment_rows = 4;
+  auto stream = StreamBat::Attach(&catalog, "s", opts);
+  ASSERT_TRUE(stream.ok());
+
+  trace::TraceSink sink;
+  kernel::ExecContext ctx;
+  ctx.trace = &sink;
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        stream->Append(static_cast<Oid>(i + 1), Value::Float(i * 1.0), ctx)
+            .ok());
+  }
+  ASSERT_TRUE(stream->ScanWindow(0.0, 5.0, ctx).ok());
+  ASSERT_TRUE(stream->CountEq(Value::Float(3.0), ctx).ok());
+  const std::string text = sink.ToText();
+  EXPECT_NE(text.find("stream.append"), std::string::npos) << text;
+  EXPECT_NE(text.find("stream.scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("stream.count"), std::string::npos) << text;
+
+  // 10 rows at segment_rows=4: two sealed segments + a 2-row tail.
+  const std::vector<StreamBat::Segment> segments = stream->Segments();
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_TRUE(segments[0].sealed);
+  EXPECT_TRUE(segments[1].sealed);
+  EXPECT_FALSE(segments[2].sealed);
+  EXPECT_EQ(segments[0].end_row, 4u);
+  EXPECT_EQ(segments[1].end_row, 8u);
+  EXPECT_EQ(segments[2].end_row, 10u);
+  EXPECT_TRUE(segments[0].has_zone);
+  EXPECT_EQ(segments[0].min_num, 0.0);
+  EXPECT_EQ(segments[0].max_num, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: an f1 race streamed through the server with watches attached.
+
+/// Everything one replay run produces, rendered to comparable bytes.
+/// Notification lines exclude epoch/version (pump timing moves them) but
+/// keep watch id, per-watch sequence and the canonical segment line.
+/// `notifications` concatenates the per-watch streams in watch-id order:
+/// each watch's stream is a deterministic function of the write history,
+/// while the interleaving ACROSS watches legitimately depends on batch
+/// boundaries (one giant batch drains watch 1 entirely before watch 2).
+struct RunResult {
+  std::string notifications;
+  std::vector<std::string> final_results;
+  std::string kernel_dump;
+  query::ContinuousQueryManager::Stats watch_stats;
+};
+
+const char* kWatchQueries[] = {
+    "WATCH RETRIEVE passing FROM 'german-gp'",
+    "WATCH RETRIEVE commentary FROM 'german-gp' WHERE excited = '1' WINDOW "
+    "60s",
+    "WATCH RETRIEVE pitstop FROM 'german-gp'",
+};
+const char* kFinalQueries[] = {
+    "RETRIEVE passing FROM 'german-gp'",
+    "RETRIEVE pitstop FROM 'german-gp'",
+    "RETRIEVE commentary FROM 'german-gp' WHERE excited = '1'",
+    "RETRIEVE passing FROM 'german-gp' DURING excited",
+};
+
+/// Replays `timeline` into a fresh stack. `batch_rows` > 0 fixes the batch
+/// size (the full event count = the batch oracle); 0 draws random sizes
+/// from `seed`.
+RunResult RunServerReplay(const f1::RaceTimeline& timeline,
+                          uint64_t batch_rows, uint64_t seed) {
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  extensions::ExtensionRegistry registry;
+  query::QueryEngine engine(&videos, &registry);
+  server::QueryServer server(&engine, &videos, &kcat);
+  server::LocalConnection conn(&server);
+
+  auto video = videos.RegisterVideo("german-gp", timeline.profile.duration_sec);
+  COBRA_CHECK(video.ok());
+
+  RunResult run;
+  // Watches registered over the wire: the OK response carries the id.
+  for (size_t i = 0; i < std::size(kWatchQueries); ++i) {
+    const server::protocol::Response response = conn.Query(kWatchQueries[i]);
+    COBRA_CHECK(response.ok);
+    COBRA_CHECK(response.watch == i + 1);
+  }
+
+  f1::ReplayDriver::Options opts;
+  opts.batch_rows = batch_rows;
+  opts.seed = seed;
+  f1::ReplayDriver driver(&videos, opts);
+  std::map<uint64_t, std::string> watch_streams;
+  auto progress = driver.Replay(
+      *video, timeline, [&](const f1::ReplayDriver::Progress&) -> Status {
+        COBRA_RETURN_IF_ERROR(server.PumpWatches());
+        for (const server::protocol::Notification& n :
+             conn.TakeNotifications()) {
+          watch_streams[n.watch] += StrFormat(
+              "watch=%llu seq=%llu %s\n",
+              static_cast<unsigned long long>(n.watch),
+              static_cast<unsigned long long>(n.seq), n.segment.c_str());
+        }
+        return Status::OK();
+      });
+  COBRA_CHECK(progress.ok());
+  COBRA_CHECK(progress->events == timeline.events.size());
+  for (const auto& [_, stream] : watch_streams) run.notifications += stream;
+
+  for (const char* text : kFinalQueries) {
+    const server::protocol::Response response = conn.Query(text);
+    COBRA_CHECK(response.ok);
+    std::string lines;
+    for (const std::string& segment : response.segments) {
+      lines += segment;
+      lines.push_back('\n');
+    }
+    run.final_results.push_back(std::move(lines));
+  }
+  run.kernel_dump = kernel::PersistentStore::DumpCatalog(kcat);
+  run.watch_stats = server.watch_manager().stats();
+  return run;
+}
+
+TEST(StreamServerDifferentialTest, StreamedReplayMatchesBatchOracle) {
+  const f1::RaceTimeline timeline =
+      f1::GenerateTimeline(f1::RaceProfile::GermanGp(600.0));
+  ASSERT_GT(timeline.events.size(), 50u);
+
+  // Oracle: one giant batch, one pump.
+  const RunResult oracle = RunServerReplay(
+      timeline, /*batch_rows=*/timeline.events.size(), /*seed=*/1);
+  ASSERT_FALSE(oracle.notifications.empty());
+  ASSERT_FALSE(oracle.final_results[0].empty());
+
+  for (const uint64_t seed : {7u, 99u, 12345u}) {
+    SCOPED_TRACE(StrFormat("seed=%llu", static_cast<unsigned long long>(seed)));
+    const RunResult streamed =
+        RunServerReplay(timeline, /*batch_rows=*/0, seed);
+    // Batch boundaries moved; none of the observable bytes may.
+    EXPECT_EQ(streamed.notifications, oracle.notifications);
+    EXPECT_EQ(streamed.final_results, oracle.final_results);
+    EXPECT_EQ(streamed.kernel_dump, oracle.kernel_dump);
+    // The streamed run pumped once per batch; the append-only gate must
+    // have skipped evaluations for batches without a watched type, and the
+    // eval count stays far below watches x batches.
+    EXPECT_GT(streamed.watch_stats.evals, 0u);
+    EXPECT_GT(streamed.watch_stats.skipped_evals, 0u);
+  }
+
+  // Per-watch sequence numbers are gap-free from 1 — no duplicate and no
+  // lost notification anywhere in the oracle stream.
+  std::map<uint64_t, uint64_t> last_seq;
+  std::istringstream lines(oracle.notifications);
+  std::string line;
+  while (std::getline(lines, line)) {
+    unsigned long long watch = 0;
+    unsigned long long seq = 0;
+    ASSERT_EQ(std::sscanf(line.c_str(), "watch=%llu seq=%llu", &watch, &seq),
+              2)
+        << line;
+    EXPECT_EQ(seq, last_seq[watch] + 1) << line;
+    last_seq[watch] = seq;
+  }
+  EXPECT_EQ(last_seq.size(), 3u);  // every watch delivered something
+}
+
+TEST(StreamServerDifferentialTest, StampedGateIndexBreaksTheStreamAndIsCaught) {
+  // Watch-level seeded defect: stamping the kernel event.type index fresh
+  // between batches feeds the append-only gate stale cardinalities, so it
+  // wrongly proves "nothing relevant appended" and skips evaluations —
+  // notifications go missing. The harness detects this as a stream
+  // divergence from the honest run.
+  const f1::RaceTimeline timeline =
+      f1::GenerateTimeline(f1::RaceProfile::GermanGp(240.0));
+
+  auto run = [&](bool defect) -> std::string {
+    kernel::Catalog kcat;
+    model::VideoCatalog videos(&kcat);
+    extensions::ExtensionRegistry registry;
+    query::QueryEngine engine(&videos, &registry);
+    query::SnapshotManager snapshots(&videos, &kcat);
+    query::ContinuousQueryManager watches(&engine, &snapshots, &kcat);
+    auto video = videos.RegisterVideo("german-gp", 240.0);
+    COBRA_CHECK(video.ok());
+    auto id = watches.RegisterText("WATCH RETRIEVE passing FROM 'german-gp'");
+    COBRA_CHECK(id.ok());
+
+    std::string stream;
+    f1::ReplayDriver::Options opts;
+    opts.seed = 7;
+    f1::ReplayDriver driver(&videos, opts);
+    auto progress = driver.Replay(
+        *video, timeline, [&](const f1::ReplayDriver::Progress& p) -> Status {
+          auto types = kcat.Get("event.type");
+          if (types.ok()) {
+            if (p.batches == 1) {
+              // An honest index exists from here on...
+              (*types)->BuildTailIndex();
+            } else if (defect) {
+              // ...and the defect stamps it fresh instead of maintaining it.
+              (*types)->unsafe_stamp_indexes_fresh();
+            }
+          }
+          std::vector<query::WatchNotification> notes;
+          COBRA_RETURN_IF_ERROR(watches.Pump(&notes));
+          for (const query::WatchNotification& n : notes) {
+            stream += StrFormat(
+                "seq=%llu %s\n", static_cast<unsigned long long>(n.seq),
+                server::protocol::EncodeSegment(n.segment).c_str());
+          }
+          return Status::OK();
+        });
+    COBRA_CHECK(progress.ok());
+    return stream;
+  };
+
+  const std::string honest = run(false);
+  const std::string defective = run(true);
+  ASSERT_FALSE(honest.empty());
+  EXPECT_NE(honest, defective) << "the stale gate index was NOT caught";
+  // The defect loses notifications (gate skips evals); it never invents
+  // them, so the defective stream is a strict prefix of the honest one.
+  EXPECT_LT(defective.size(), honest.size());
+  EXPECT_EQ(honest.substr(0, defective.size()), defective);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded reads over the streamed history: 1, 2 and 7 shards serve the
+// same bytes, and watches pump from the owning shard's snapshot.
+
+TEST(StreamShardDifferentialTest, ShardCountsServeIdenticalBytes) {
+  const f1::RaceTimeline timeline =
+      f1::GenerateTimeline(f1::RaceProfile::GermanGp(240.0));
+  const char* kQuery = "RETRIEVE passing FROM 'german-gp'";
+
+  std::vector<std::string> per_shard_results;
+  std::vector<std::string> per_shard_notifications;
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{7}}) {
+    SCOPED_TRACE(StrFormat("shards=%zu", shards));
+    std::vector<std::unique_ptr<kernel::Catalog>> kcats;
+    std::vector<std::unique_ptr<model::VideoCatalog>> videos;
+    std::vector<std::unique_ptr<query::SnapshotManager>> managers;
+    std::vector<query::SnapshotManager*> manager_ptrs;
+    for (size_t s = 0; s < shards; ++s) {
+      kcats.push_back(std::make_unique<kernel::Catalog>());
+      videos.push_back(std::make_unique<model::VideoCatalog>(kcats.back().get()));
+      managers.push_back(std::make_unique<query::SnapshotManager>(
+          videos.back().get(), kcats.back().get()));
+      manager_ptrs.push_back(managers.back().get());
+    }
+    auto probe = query::AcquireShardedSnapshots(manager_ptrs);
+    ASSERT_TRUE(probe.ok());
+    const size_t owner = probe->OwnerOf("german-gp");
+    ASSERT_LT(owner, shards);
+
+    extensions::ExtensionRegistry registry;
+    query::QueryEngine engine(videos[owner].get(), &registry);
+    query::ContinuousQueryManager watches(&engine, manager_ptrs[owner],
+                                          kcats[owner].get());
+    auto video = videos[owner]->RegisterVideo("german-gp", 240.0);
+    ASSERT_TRUE(video.ok());
+    ASSERT_TRUE(
+        watches.RegisterText("WATCH RETRIEVE passing FROM 'german-gp'").ok());
+
+    std::string notifications;
+    f1::ReplayDriver::Options opts;
+    opts.seed = 99;
+    f1::ReplayDriver driver(videos[owner].get(), opts);
+    auto progress = driver.Replay(
+        *video, timeline, [&](const f1::ReplayDriver::Progress&) -> Status {
+          // The sharded pump path: each batch is evaluated over the owning
+          // shard's snapshot out of a coherent sharded acquisition.
+          COBRA_ASSIGN_OR_RETURN(query::ShardedSnapshotSet set,
+                                 query::AcquireShardedSnapshots(manager_ptrs));
+          std::vector<query::WatchNotification> notes;
+          COBRA_RETURN_IF_ERROR(watches.PumpOver(
+              set.shard(owner), kernel::ExecContext(), &notes));
+          for (const query::WatchNotification& n : notes) {
+            notifications += StrFormat(
+                "seq=%llu %s\n", static_cast<unsigned long long>(n.seq),
+                server::protocol::EncodeSegment(n.segment).c_str());
+          }
+          return Status::OK();
+        });
+    ASSERT_TRUE(progress.ok()) << progress.status().message();
+
+    auto set = query::AcquireShardedSnapshots(manager_ptrs);
+    ASSERT_TRUE(set.ok());
+    auto result = engine.ExecuteSnapshot(kQuery, *set);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    std::string lines;
+    for (const std::string& segment :
+         server::protocol::EncodeSegments(result->segments)) {
+      lines += segment;
+      lines.push_back('\n');
+    }
+    ASSERT_FALSE(lines.empty());
+    per_shard_results.push_back(std::move(lines));
+    per_shard_notifications.push_back(std::move(notifications));
+  }
+  // 2 and 7 shards match the 1-shard deployment byte for byte.
+  EXPECT_EQ(per_shard_results[1], per_shard_results[0]);
+  EXPECT_EQ(per_shard_results[2], per_shard_results[0]);
+  EXPECT_EQ(per_shard_notifications[1], per_shard_notifications[0]);
+  EXPECT_EQ(per_shard_notifications[2], per_shard_notifications[0]);
+}
+
+// ---------------------------------------------------------------------------
+// WINDOW semantics: the standing view is window-filtered, the notification
+// stream is not (a windowed stream would depend on batch timing).
+
+TEST(StreamWindowTest, WindowBoundsStandingViewOnly) {
+  const f1::RaceTimeline timeline =
+      f1::GenerateTimeline(f1::RaceProfile::GermanGp(240.0));
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  extensions::ExtensionRegistry registry;
+  query::QueryEngine engine(&videos, &registry);
+  query::SnapshotManager snapshots(&videos, &kcat);
+  query::ContinuousQueryManager watches(&engine, &snapshots, &kcat);
+  auto video = videos.RegisterVideo("german-gp", 240.0);
+  ASSERT_TRUE(video.ok());
+
+  auto plain = watches.RegisterText("WATCH RETRIEVE commentary FROM 'german-gp'");
+  auto windowed = watches.RegisterText(
+      "WATCH RETRIEVE commentary FROM 'german-gp' WINDOW 45s");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(windowed.ok());
+
+  std::map<uint64_t, std::string> streams;
+  f1::ReplayDriver::Options opts;
+  opts.seed = 7;
+  f1::ReplayDriver driver(&videos, opts);
+  auto progress = driver.Replay(
+      *video, timeline, [&](const f1::ReplayDriver::Progress&) -> Status {
+        std::vector<query::WatchNotification> notes;
+        COBRA_RETURN_IF_ERROR(watches.Pump(&notes));
+        for (const query::WatchNotification& n : notes) {
+          streams[n.watch_id] += StrFormat(
+              "seq=%llu %s\n", static_cast<unsigned long long>(n.seq),
+              server::protocol::EncodeSegment(n.segment).c_str());
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(progress.ok());
+
+  // Identical notification streams: WINDOW never filters delivery.
+  ASSERT_FALSE(streams[*plain].empty());
+  EXPECT_EQ(streams[*plain], streams[*windowed]);
+
+  // The standing views differ: the windowed one holds exactly the segments
+  // within 45 s of the newest end seen.
+  auto full = watches.Standing(*plain);
+  auto recent = watches.Standing(*windowed);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(recent.ok());
+  double watermark = 0.0;
+  for (const model::EventRecord& e : *full) {
+    watermark = std::max(watermark, e.end_sec);
+  }
+  std::vector<model::EventRecord> expect;
+  for (const model::EventRecord& e : *full) {
+    if (e.end_sec >= watermark - 45.0) expect.push_back(e);
+  }
+  ASSERT_LT(recent->size(), full->size());
+  ASSERT_EQ(recent->size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(server::protocol::EncodeSegment((*recent)[i]),
+              server::protocol::EncodeSegment(expect[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine guard rails: WATCH needs a host.
+
+TEST(StreamWatchGuardTest, WatchWithoutHostIsFailedPrecondition) {
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  extensions::ExtensionRegistry registry;
+  query::QueryEngine engine(&videos, &registry);
+  ASSERT_TRUE(videos.RegisterVideo("race", 600.0).ok());
+
+  auto direct = engine.Execute("WATCH RETRIEVE highlight FROM 'race'");
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kFailedPrecondition);
+
+  query::SnapshotManager snapshots(&videos, &kcat);
+  auto pin = snapshots.Acquire();
+  auto snap = engine.ExecuteSnapshot("WATCH RETRIEVE highlight FROM 'race'",
+                                     *pin);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kFailedPrecondition);
+
+  // With a manager attached, the same text registers and returns the id.
+  query::ContinuousQueryManager watches(&engine, &snapshots, &kcat);
+  watches.Attach(&engine);
+  auto result = engine.Execute("WATCH RETRIEVE highlight FROM 'race'");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->watch_id, 1u);
+  EXPECT_TRUE(result->segments.empty());
+  EXPECT_EQ(watches.watch_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,463 @@
+// Crash-safety proofs for STREAMING ingestion — the segment-append WAL path
+// and continuous-query cursor resume:
+//
+//   * an exhaustive crash-point matrix over a StreamBat workload: for EVERY
+//     k, fail the k-th write / sync / rename (and torn-write the k-th
+//     append) while appending through segment seals, crash, and assert
+//     recovery lands on an exact WAL-record prefix of the history — an
+//     append or seal is durable exactly-before or exactly-after its record,
+//     never half-applied (the `.@seals` BAT and the data BAT move together);
+//   * re-attachment after recovery restores the sealed segmentation (zone
+//     maps included) and the stream accepts appends again;
+//   * watch-cursor resume: SerializeCursors → crash → RECOVER →
+//     RestoreCursors replays NO already-delivered notification and loses
+//     none — the pre-crash and post-crash streams partition the honest
+//     notification set exactly, with gap-free sequence numbers across the
+//     boundary.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/io.h"
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "cobra/video_model.h"
+#include "extensions/extension.h"
+#include "kernel/bat.h"
+#include "kernel/catalog.h"
+#include "kernel/persist.h"
+#include "kernel/stream.h"
+#include "query/continuous.h"
+#include "query/engine.h"
+#include "query/snapshot.h"
+#include "server/protocol.h"
+
+namespace cobra {
+namespace {
+
+using kernel::Bat;
+using kernel::Catalog;
+using kernel::Oid;
+using kernel::PersistentStore;
+using kernel::StreamBat;
+using kernel::TailType;
+using kernel::Value;
+using Mode = io::FaultFs::FaultPlan::Mode;
+
+constexpr char kDir[] = "store";
+constexpr char kBat[] = "telemetry";
+constexpr uint64_t kSegmentRows = 4;
+constexpr size_t kAppends = 22;  // crosses five seal boundaries
+
+std::string Dump(const Catalog& catalog) {
+  return PersistentStore::DumpCatalog(catalog);
+}
+
+double AppendValue(size_t i) { return i * 10.0 + (i % 3); }
+
+/// Runs the streaming workload on `fs`: open store, create the BAT
+/// (WAL-logged), attach a StreamBat, append kAppends values — each append
+/// WAL-logs itself and any segment seal it triggers. Returns the 1-based
+/// index of the first failing step (1 = create, 1+i = i-th append), or 0
+/// when everything committed.
+size_t RunStreamWorkload(io::Fs* fs) {
+  PersistentStore store(fs, kDir);
+  if (!store.Open().ok()) return 1;
+  Catalog catalog;
+  if (!store.LogCreate(kBat, TailType::kFloat).ok()) return 1;
+  if (!catalog.Create(kBat, TailType::kFloat).ok()) return 1;
+  StreamBat::Options opts;
+  opts.segment_rows = kSegmentRows;
+  auto stream = StreamBat::Attach(&catalog, kBat, opts, &store);
+  if (!stream.ok()) return 1;
+  for (size_t i = 0; i < kAppends; ++i) {
+    if (!stream->Append(static_cast<Oid>(i + 1), Value::Float(AppendValue(i)))
+             .ok()) {
+      return i + 2;
+    }
+  }
+  return 0;
+}
+
+/// Every catalog state reachable by a WAL-record prefix of the workload:
+/// the create, then for each append its row — and, on each seal boundary,
+/// the intermediate "row durable, seal record not yet" state followed by
+/// the sealed state. Recovery must land on EXACTLY one of these.
+std::vector<std::string> RecordPrefixDumps() {
+  std::vector<std::string> dumps;
+  Catalog catalog;
+  dumps.push_back(Dump(catalog));  // nothing durable at all
+  COBRA_CHECK(catalog.Create(kBat, TailType::kFloat).ok());
+  dumps.push_back(Dump(catalog));
+  Bat* bat = catalog.Get(kBat).value();
+  Bat* seals = nullptr;
+  for (size_t i = 0; i < kAppends; ++i) {
+    bat->AppendFloat(static_cast<Oid>(i + 1), AppendValue(i));
+    dumps.push_back(Dump(catalog));
+    const uint64_t rows = i + 1;
+    if (rows % kSegmentRows == 0) {
+      if (seals == nullptr) {
+        seals =
+            catalog.Create(kernel::SegmentSealBatName(kBat), TailType::kOid)
+                .value();
+      }
+      seals->AppendOid(static_cast<Oid>(seals->size()), rows);
+      dumps.push_back(Dump(catalog));
+    }
+  }
+  return dumps;
+}
+
+// ---------------------------------------------------------------------------
+// The crash matrix over stream appends and seals.
+
+TEST(StreamCrashMatrixTest, EveryStreamAppendAndSealCrashPoint) {
+  // Reference run sizes the matrix.
+  io::FaultFs ref;
+  ASSERT_EQ(RunStreamWorkload(&ref), 0u);
+  const io::FaultFs::OpCounts totals = ref.counts();
+  ASSERT_GT(totals.writes, static_cast<int>(kAppends));  // appends + seals
+  ASSERT_GT(totals.syncs, static_cast<int>(kAppends));
+
+  const std::vector<std::string> valid = RecordPrefixDumps();
+  // The clean run itself ends on the final prefix state.
+  {
+    Catalog recovered;
+    PersistentStore reader(&ref, kDir);
+    ASSERT_TRUE(reader.Recover(&recovered).ok());
+    ASSERT_EQ(Dump(recovered), valid.back());
+  }
+
+  struct Axis {
+    Mode mode;
+    int count;
+    const char* name;
+  };
+  const Axis axes[] = {
+      {Mode::kFailWrite, totals.writes, "fail-write"},
+      {Mode::kTornWrite, totals.writes, "torn-write"},
+      {Mode::kFailSync, totals.syncs, "fail-sync"},
+      {Mode::kFailRename, totals.renames, "fail-rename"},
+  };
+
+  Rng rng(0x57BEA0);
+  int cases = 0;
+  for (const Axis& axis : axes) {
+    for (int k = 1; k <= axis.count; ++k) {
+      SCOPED_TRACE(std::string(axis.name) + " k=" + std::to_string(k));
+      io::FaultFs fs;
+      fs.Arm({axis.mode, k, rng.UniformInt(uint64_t{1} << 62)});
+
+      const size_t failed_at = RunStreamWorkload(&fs);
+      ASSERT_NE(failed_at, 0u) << "armed fault never fired";
+      fs.Crash();
+
+      Catalog recovered;
+      PersistentStore reader(&fs, kDir);
+      auto info = reader.Recover(&recovered);
+      if (!info.ok()) {
+        // Only legitimate when the fault killed the very first commit.
+        ASSERT_EQ(info.status().code(), StatusCode::kNotFound);
+        ASSERT_EQ(failed_at, 1u);
+        ASSERT_TRUE(reader.Open().ok());
+      }
+      const std::string dump = Dump(recovered);
+      bool is_prefix_state = false;
+      for (const std::string& d : valid) is_prefix_state |= (dump == d);
+      ASSERT_TRUE(is_prefix_state)
+          << "recovery produced a non-prefix hybrid after step " << failed_at
+          << ":\n"
+          << dump;
+
+      // The recovered catalog re-attaches as a stream: the seal metadata is
+      // never ahead of the data rows (Attach validates boundaries), and the
+      // stream ingests again — with the new appends durable across another
+      // crash-free recovery.
+      if (recovered.Exists(kBat)) {
+        StreamBat::Options opts;
+        opts.segment_rows = kSegmentRows;
+        auto stream = StreamBat::Attach(&recovered, kBat, opts, &reader);
+        ASSERT_TRUE(stream.ok()) << stream.status().message();
+        const uint64_t rows = stream->visible_rows();
+        ASSERT_LE(stream->sealed_rows(), rows);
+        ASSERT_TRUE(
+            stream->Append(static_cast<Oid>(rows + 1), Value::Float(-1.0))
+                .ok());
+
+        Catalog again;
+        PersistentStore reader2(&fs, kDir);
+        ASSERT_TRUE(reader2.Recover(&again).ok());
+        EXPECT_EQ(Dump(again), Dump(recovered));
+      }
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 80);  // the matrix really is exhaustive, not sampled
+}
+
+TEST(StreamRecoveryTest, RecoveredAttachRestoresSegmentation) {
+  io::MemFs fs;
+  ASSERT_EQ(RunStreamWorkload(&fs), 0u);
+
+  Catalog recovered;
+  PersistentStore reader(&fs, kDir);
+  ASSERT_TRUE(reader.Recover(&recovered).ok());
+  StreamBat::Options opts;
+  opts.segment_rows = kSegmentRows;
+  auto stream = StreamBat::Attach(&recovered, kBat, opts, &reader);
+  ASSERT_TRUE(stream.ok()) << stream.status().message();
+
+  // 22 rows at segment_rows=4: five sealed segments + a 2-row tail, with
+  // the zone maps recomputed from the recovered rows.
+  EXPECT_EQ(stream->visible_rows(), kAppends);
+  EXPECT_EQ(stream->sealed_rows(), (kAppends / kSegmentRows) * kSegmentRows);
+  const std::vector<StreamBat::Segment> segments = stream->Segments();
+  ASSERT_EQ(segments.size(), kAppends / kSegmentRows + 1);
+  for (size_t s = 0; s + 1 < segments.size(); ++s) {
+    EXPECT_TRUE(segments[s].sealed);
+    EXPECT_EQ(segments[s].begin_row, s * kSegmentRows);
+    EXPECT_EQ(segments[s].end_row, (s + 1) * kSegmentRows);
+    EXPECT_TRUE(segments[s].has_zone);
+    EXPECT_EQ(segments[s].min_num, AppendValue(s * kSegmentRows));
+  }
+  EXPECT_FALSE(segments.back().sealed);
+
+  // And the recovered stream serves the same bytes the original would.
+  Bat oracle(TailType::kFloat);
+  for (size_t i = 0; i < kAppends; ++i) {
+    oracle.AppendFloat(static_cast<Oid>(i + 1), AppendValue(i));
+  }
+  auto got = stream->ScanWindow(35.0, 150.0, kernel::ExecContext());
+  auto want = oracle.SelectRange(35.0, 150.0);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->size(), want->size());
+  for (size_t i = 0; i < want->size(); ++i) {
+    EXPECT_EQ(got->HeadAt(i), want->HeadAt(i));
+    EXPECT_EQ(got->FloatAt(i), want->FloatAt(i));
+  }
+  EXPECT_GT(stream->stats().segments_pruned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Watch-cursor resume across a crash.
+
+model::EventRecord MakeEvent(const std::string& type, double b, double e,
+                             std::map<std::string, std::string> attrs = {}) {
+  model::EventRecord record;
+  record.type = type;
+  record.begin_sec = b;
+  record.end_sec = e;
+  record.attrs = std::move(attrs);
+  return record;
+}
+
+std::string NoteKey(const query::WatchNotification& n) {
+  return StrFormat("watch=%llu %s",
+                   static_cast<unsigned long long>(n.watch_id),
+                   server::protocol::EncodeSegment(n.segment).c_str());
+}
+
+/// Renders watch/seq/segment (no epoch/version — those legitimately differ
+/// across a restart).
+std::string NoteLine(const query::WatchNotification& n) {
+  return StrFormat("watch=%llu seq=%llu %s\n",
+                   static_cast<unsigned long long>(n.watch_id),
+                   static_cast<unsigned long long>(n.seq),
+                   server::protocol::EncodeSegment(n.segment).c_str());
+}
+
+TEST(WatchResumeTest, CursorsResumeExactlyOnceAfterCleanCrash) {
+  io::FaultFs fs;
+  extensions::ExtensionRegistry registry;
+
+  // Pre-crash host: watch registered, first batch notified, cursors
+  // serialized, state checkpointed, second batch notified WAL-only.
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  query::QueryEngine engine(&videos, &registry, kDir);
+  engine.set_fs(&fs);
+  query::SnapshotManager snapshots(&videos, &kcat);
+  query::ContinuousQueryManager watches(&engine, &snapshots, &kcat);
+  auto race = videos.RegisterVideo("race", 600.0);
+  ASSERT_TRUE(race.ok());
+  ASSERT_TRUE(
+      watches
+          .RegisterText("WATCH RETRIEVE pass FROM 'race' WHERE driver = 'X'")
+          .ok());
+  ASSERT_TRUE(watches.RegisterText("WATCH RETRIEVE pit FROM 'race'").ok());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(videos
+                    .StoreEvent(*race, MakeEvent("pass", 10.0 + i, 11.0 + i,
+                                                 {{"driver", "X"}}))
+                    .ok());
+  }
+  ASSERT_TRUE(videos.StoreEvent(*race, MakeEvent("pit", 20, 21)).ok());
+  std::vector<query::WatchNotification> first;
+  ASSERT_TRUE(watches.Pump(&first).ok());
+  ASSERT_EQ(first.size(), 4u);
+
+  const std::string cursors = watches.SerializeCursors();
+  ASSERT_TRUE(engine.Execute("PERSIST").ok());
+
+  // Post-checkpoint batch: durable via the WAL only.
+  ASSERT_TRUE(videos
+                  .StoreEvent(*race, MakeEvent("pass", 30, 31,
+                                               {{"driver", "X"}}))
+                  .ok());
+  ASSERT_TRUE(videos
+                  .StoreEvent(*race, MakeEvent("pass", 32, 33,
+                                               {{"driver", "Y"}}))  // no match
+                  .ok());
+  ASSERT_TRUE(videos.StoreEvent(*race, MakeEvent("pit", 40, 41)).ok());
+  std::vector<query::WatchNotification> second;
+  ASSERT_TRUE(watches.Pump(&second).ok());
+  ASSERT_EQ(second.size(), 2u);
+
+  fs.Crash();
+
+  // Restart: recover the model, restore the cursors, pump once.
+  kernel::Catalog kcat2;
+  model::VideoCatalog videos2(&kcat2);
+  query::QueryEngine engine2(&videos2, &registry);
+  engine2.set_fs(&fs);
+  ASSERT_TRUE(engine2.Execute(StrFormat("RECOVER FROM '%s'", kDir)).ok());
+  EXPECT_EQ(Dump(kcat2), Dump(kcat));
+  query::SnapshotManager snapshots2(&videos2, &kcat2);
+  query::ContinuousQueryManager watches2(&engine2, &snapshots2, &kcat2);
+  ASSERT_TRUE(watches2.RestoreCursors(cursors).ok());
+  EXPECT_EQ(watches2.watch_count(), 2u);
+  std::vector<query::WatchNotification> resumed;
+  ASSERT_TRUE(watches2.Pump(&resumed).ok());
+
+  // Exactly-once: the resumed pump re-delivers precisely the notifications
+  // after the cursor point — same segments, same continuing sequence
+  // numbers — and none from before it.
+  ASSERT_EQ(resumed.size(), second.size());
+  for (size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(NoteLine(resumed[i]), NoteLine(second[i]));
+  }
+  std::set<std::string> before_keys;
+  for (const auto& n : first) before_keys.insert(NoteKey(n));
+  for (const auto& n : resumed) {
+    EXPECT_EQ(before_keys.count(NoteKey(n)), 0u) << NoteKey(n);
+  }
+
+  // Idempotent: pumping again with no new writes delivers nothing.
+  std::vector<query::WatchNotification> again;
+  ASSERT_TRUE(watches2.Pump(&again).ok());
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(WatchResumeTest, CrashPointsDuringPostCursorWritesPartitionTheStream) {
+  // Arm a fault inside the post-cursor writes: whatever prefix survives,
+  // the pre-crash deliveries and the resumed deliveries must partition the
+  // honest notification set of the RECOVERED state — no duplicate, no loss.
+  extensions::ExtensionRegistry registry;
+  Rng rng(0xCAFE02);
+  int resumed_any = 0;
+  for (int k = 1; k <= 12; ++k) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    io::FaultFs fs;
+    kernel::Catalog kcat;
+    model::VideoCatalog videos(&kcat);
+    query::QueryEngine engine(&videos, &registry, kDir);
+    engine.set_fs(&fs);
+    query::SnapshotManager snapshots(&videos, &kcat);
+    query::ContinuousQueryManager watches(&engine, &snapshots, &kcat);
+    auto race = videos.RegisterVideo("race", 600.0);
+    ASSERT_TRUE(race.ok());
+    ASSERT_TRUE(watches.RegisterText("WATCH RETRIEVE pass FROM 'race'").ok());
+    ASSERT_TRUE(
+        videos.StoreEvent(*race, MakeEvent("pass", 1, 2, {{"n", "a"}})).ok());
+    std::vector<query::WatchNotification> first;
+    ASSERT_TRUE(watches.Pump(&first).ok());
+    ASSERT_EQ(first.size(), 1u);
+    const std::string cursors = watches.SerializeCursors();
+    ASSERT_TRUE(engine.Execute("PERSIST").ok());
+
+    // The armed fault fires somewhere inside these writes (or never, for
+    // large k — that run degenerates to the clean-crash case).
+    fs.Arm({Mode::kFailWrite, k, rng.UniformInt(uint64_t{1} << 62)});
+    for (int i = 0; i < 6; ++i) {
+      if (!videos
+               .StoreEvent(*race, MakeEvent("pass", 10.0 + i, 11.0 + i,
+                                            {{"n", std::string(1, 'b' + i)}}))
+               .ok()) {
+        break;  // the host dies with the storage error
+      }
+    }
+    fs.Crash();
+
+    kernel::Catalog kcat2;
+    model::VideoCatalog videos2(&kcat2);
+    query::QueryEngine engine2(&videos2, &registry);
+    engine2.set_fs(&fs);
+    ASSERT_TRUE(engine2.Execute(StrFormat("RECOVER FROM '%s'", kDir)).ok());
+    query::SnapshotManager snapshots2(&videos2, &kcat2);
+
+    // Honest set: a fresh manager with NO cursor state sees every matching
+    // segment of the recovered history.
+    query::ContinuousQueryManager fresh(&engine2, &snapshots2, &kcat2);
+    ASSERT_TRUE(fresh.RegisterText("WATCH RETRIEVE pass FROM 'race'").ok());
+    std::vector<query::WatchNotification> honest;
+    ASSERT_TRUE(fresh.Pump(&honest).ok());
+    std::set<std::string> honest_keys;
+    for (const auto& n : honest) {
+      honest_keys.insert(server::protocol::EncodeSegment(n.segment));
+    }
+
+    // Resumed set: cursors restored, one pump.
+    query::ContinuousQueryManager resumed_mgr(&engine2, &snapshots2, &kcat2);
+    ASSERT_TRUE(resumed_mgr.RestoreCursors(cursors).ok());
+    std::vector<query::WatchNotification> resumed;
+    ASSERT_TRUE(resumed_mgr.Pump(&resumed).ok());
+    resumed_any += resumed.empty() ? 0 : 1;
+
+    // Partition: pre-crash ∪ resumed == honest, pre-crash ∩ resumed == ∅,
+    // and the sequence numbers continue gap-free across the boundary.
+    std::set<std::string> seen_keys;
+    uint64_t next_seq = 1;
+    for (const auto& n : first) {
+      EXPECT_EQ(n.seq, next_seq++);
+      EXPECT_TRUE(seen_keys.insert(server::protocol::EncodeSegment(n.segment))
+                      .second);
+    }
+    for (const auto& n : resumed) {
+      EXPECT_EQ(n.seq, next_seq++);
+      EXPECT_TRUE(seen_keys.insert(server::protocol::EncodeSegment(n.segment))
+                      .second)
+          << "duplicate delivery across the crash";
+    }
+    EXPECT_EQ(seen_keys, honest_keys) << "lost or invented notifications";
+  }
+  EXPECT_GT(resumed_any, 0);  // at least some crash points kept extra writes
+}
+
+TEST(WatchResumeTest, CorruptCursorPayloadIsRejected) {
+  kernel::Catalog kcat;
+  model::VideoCatalog videos(&kcat);
+  extensions::ExtensionRegistry registry;
+  query::QueryEngine engine(&videos, &registry);
+  query::SnapshotManager snapshots(&videos, &kcat);
+  query::ContinuousQueryManager watches(&engine, &snapshots, &kcat);
+  ASSERT_TRUE(videos.RegisterVideo("race", 60.0).ok());
+  ASSERT_TRUE(watches.RegisterText("WATCH RETRIEVE pass FROM 'race'").ok());
+  const std::string good = watches.SerializeCursors();
+
+  query::ContinuousQueryManager other(&engine, &snapshots, &kcat);
+  EXPECT_FALSE(other.RestoreCursors("not a cursor payload").ok());
+  EXPECT_FALSE(other.RestoreCursors(good.substr(0, good.size() / 2)).ok());
+  EXPECT_TRUE(other.RestoreCursors(good).ok());
+  EXPECT_EQ(other.watch_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cobra
